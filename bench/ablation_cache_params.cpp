@@ -1,0 +1,112 @@
+// Ablation (beyond the paper): the design knobs DESIGN.md calls out —
+// the Replace-First window W (Figs. 11/13), the TEV admission filter,
+// and CBSLRU's static fraction.
+#include "bench/bench_common.hpp"
+
+using namespace ssdse;
+using namespace ssdse::bench;
+
+namespace {
+
+struct Cell {
+  double hit_ratio;
+  Micros response;
+  std::uint64_t erases;
+};
+
+Cell run(const SystemConfig& cfg, std::uint64_t queries) {
+  SearchSystem system(cfg);
+  system.run(queries);
+  system.drain();
+  return {system.cache_manager().stats().hit_ratio(),
+          system.metrics().mean_response(),
+          system.cache_ssd()->block_erases()};
+}
+
+}  // namespace
+
+int main() {
+  print_environment("Ablation — W window, TEV filter, static fraction");
+  const auto queries = default_queries(25'000);
+  const std::uint64_t docs = 2'000'000;
+  const Bytes budget = 6 * MiB;
+
+  std::printf("--- Replace-First window W (CBLRU) ---\n");
+  Table w({"W", "hit ratio", "resp (ms)", "block erases"});
+  for (std::uint32_t window : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SystemConfig cfg = paper_system(CachePolicy::kCblru, docs, budget);
+    cfg.cache.replace_window = window;
+    const Cell c = run(cfg, queries);
+    w.add_row({Table::integer(window), Table::percent(c.hit_ratio),
+               fmt_ms(c.response),
+               Table::integer(static_cast<long long>(c.erases))});
+    std::printf("  ... W=%u done\n", window);
+  }
+  w.print();
+
+  std::printf("\n--- TEV admission (keep-fraction of training terms) ---\n");
+  Table tev({"keep fraction", "TEV", "hit ratio", "resp (ms)",
+             "block erases"});
+  for (double keep : {1.0, 0.95, 0.9, 0.7, 0.5, 0.25}) {
+    SystemConfig cfg = paper_system(CachePolicy::kCblru, docs, budget);
+    // Derive TEV from a private analysis so each cell is independent.
+    AnalyticIndex probe(cfg.corpus);
+    const auto analysis =
+        analyze_log(cfg.log, probe, cfg.training_queries, 128 * KiB);
+    cfg.cache.tev =
+        keep >= 1.0 ? 1e-12 : analysis.tev_for_fraction(keep);
+    const Cell c = run(cfg, queries);
+    tev.add_row({Table::num(keep, 2), Table::num(cfg.cache.tev, 4),
+                 Table::percent(c.hit_ratio), fmt_ms(c.response),
+                 Table::integer(static_cast<long long>(c.erases))});
+    std::printf("  ... keep=%.2f done\n", keep);
+  }
+  tev.print();
+
+  std::printf("\n--- CBSLRU static fraction ---\n");
+  Table sf({"static fraction", "hit ratio", "resp (ms)", "block erases"});
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    SystemConfig cfg = paper_system(CachePolicy::kCbslru, docs, budget);
+    cfg.cache.static_fraction = frac;
+    const Cell c = run(cfg, queries);
+    sf.add_row({Table::num(frac, 2), Table::percent(c.hit_ratio),
+                fmt_ms(c.response),
+                Table::integer(static_cast<long long>(c.erases))});
+    std::printf("  ... static=%.2f done\n", frac);
+  }
+  sf.print();
+
+  std::printf(
+      "\n--- SieveStore-style admission (threshold; replaces TEV) ---\n");
+  Table sv({"sieve threshold", "hit ratio", "resp (ms)", "block erases",
+            "SSD list inserts"});
+  for (std::uint32_t threshold : {0u, 2u, 3u, 5u}) {
+    SystemConfig cfg = paper_system(CachePolicy::kCblru, docs, budget);
+    cfg.cache.sieve_threshold = threshold;
+    SearchSystem system(cfg);
+    system.run(queries);
+    system.drain();
+    sv.add_row({threshold == 0 ? "off (TEV)" : Table::integer(threshold),
+                Table::percent(system.cache_manager().stats().hit_ratio()),
+                fmt_ms(system.metrics().mean_response()),
+                Table::integer(static_cast<long long>(
+                    system.cache_ssd()->block_erases())),
+                Table::integer(static_cast<long long>(
+                    system.cache_manager().ssd_lists()->stats().inserts))});
+    std::printf("  ... sieve=%u done\n", threshold);
+  }
+  sv.print();
+
+  std::printf("\n--- session burstiness (workload sensitivity) ---\n");
+  Table bu({"burst probability", "hit ratio", "resp (ms)"});
+  for (double burst : {0.0, 0.2, 0.4}) {
+    SystemConfig cfg = paper_system(CachePolicy::kCblru, docs, budget);
+    cfg.log.burst_probability = burst;
+    const Cell c = run(cfg, queries);
+    bu.add_row({Table::num(burst, 2), Table::percent(c.hit_ratio),
+                fmt_ms(c.response)});
+    std::printf("  ... burst=%.2f done\n", burst);
+  }
+  bu.print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the reproduction benches: the standard experiment
+// header (Tables II/III), common configurations, and small formatting
+// utilities.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/hybrid/search_system.hpp"
+#include "src/util/table.hpp"
+
+namespace ssdse::bench {
+
+/// Print the simulated environment (the content of the paper's Tables
+/// II and III) so every bench output is self-describing.
+inline void print_environment(const char* experiment) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf(
+      "simulated environment (paper Tables II/III):\n"
+      "  SSD: page-mapping FTL, 2 KiB pages, 64-page (128 KiB) blocks,\n"
+      "       read 32.725 us, program 101.475 us, erase 1.5 ms\n"
+      "  HDD: 7200 RPM, 0.8-12 ms seek, 100 MiB/s transfer\n"
+      "  corpus: synthetic enwiki-like (Zipf df); query log: AOL-like "
+      "Zipf\n\n");
+}
+
+/// Number of queries for full-system runs; override with SSDSE_QUERIES
+/// to trade fidelity for speed.
+inline std::uint64_t default_queries(std::uint64_t fallback = 50'000) {
+  if (const char* env = std::getenv("SSDSE_QUERIES")) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// The paper's standard 5M-document cell.
+inline SystemConfig paper_system(CachePolicy policy,
+                                 std::uint64_t docs = 5'000'000,
+                                 Bytes mem_budget = 10 * MiB) {
+  SystemConfig cfg;
+  cfg.set_num_docs(docs);
+  cfg.set_memory_budget(mem_budget);
+  cfg.cache.policy = policy;
+  cfg.training_queries = 10'000;
+  return cfg;
+}
+
+inline std::string fmt_ms(Micros us) { return Table::num(us / kMillisecond, 2); }
+
+}  // namespace ssdse::bench

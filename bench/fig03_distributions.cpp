@@ -1,0 +1,51 @@
+// Fig. 3 — (a) inverted-list utilization-rate distribution and (b) term
+// access-frequency distribution, for a 5M-document index under an
+// AOL-like query log.
+#include "bench/bench_common.hpp"
+#include "src/workload/log_analysis.hpp"
+
+using namespace ssdse;
+using namespace ssdse::bench;
+
+int main() {
+  print_environment(
+      "Fig. 3 — inverted-list utilization & term access frequency");
+
+  SystemConfig cfg = paper_system(CachePolicy::kCblru);
+  AnalyticIndex index(cfg.corpus);
+
+  std::printf("--- (a) utilization rate vs ranked terms ---\n");
+  Table a({"term_rank", "list_bytes", "utilization_%"});
+  for (std::uint32_t rank = 0; rank < 3'000;
+       rank += rank < 100 ? 10 : 100) {
+    const TermMeta m = index.term_meta(rank);
+    a.add_row({Table::integer(rank),
+               Table::integer(static_cast<long long>(m.list_bytes)),
+               Table::num(m.utilization * 100, 1)});
+  }
+  a.print();
+
+  std::printf(
+      "\n--- (b) term access frequency vs ranked terms (100k-query "
+      "sample) ---\n");
+  const auto analysis =
+      analyze_log(cfg.log, index, default_queries(100'000), 128 * KiB);
+  const auto sorted = analysis.term_freq.sorted();
+  Table b({"freq_rank", "term_id", "access_freq", "list_bytes"});
+  for (std::size_t rank = 0; rank < std::min<std::size_t>(sorted.size(), 1000);
+       rank += rank < 20 ? 1 : 50) {
+    const auto term = static_cast<TermId>(sorted[rank].first);
+    b.add_row({Table::integer(static_cast<long long>(rank)),
+               Table::integer(term),
+               Table::integer(static_cast<long long>(sorted[rank].second)),
+               Table::integer(
+                   static_cast<long long>(index.term_meta(term).list_bytes))});
+  }
+  b.print();
+
+  std::printf(
+      "\npaper: only part of each list is used during processing, and\n"
+      "only a small head of the vocabulary is accessed frequently\n"
+      "(Zipf-like, SS III).\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 4 — efficiency value (EV = Freq / SC) vs ranked terms, and the
+// TEV tiering: the most efficient lists belong in memory, the next tier
+// on SSD, and everything under TEV stays on HDD.
+#include "bench/bench_common.hpp"
+#include "src/workload/log_analysis.hpp"
+
+using namespace ssdse;
+using namespace ssdse::bench;
+
+int main() {
+  print_environment("Fig. 4 — efficiency value vs ranked terms");
+
+  SystemConfig cfg = paper_system(CachePolicy::kCblru);
+  AnalyticIndex index(cfg.corpus);
+  const auto analysis =
+      analyze_log(cfg.log, index, default_queries(100'000), 128 * KiB);
+
+  Table t({"ev_rank", "term_id", "freq", "SC_blocks", "EV"});
+  const auto& terms = analysis.terms_by_ev;
+  for (std::size_t rank = 0; rank < terms.size();
+       rank += rank < 20 ? 1 : std::max<std::size_t>(terms.size() / 60, 1)) {
+    const auto& te = terms[rank];
+    t.add_row({Table::integer(static_cast<long long>(rank)),
+               Table::integer(te.term),
+               Table::integer(static_cast<long long>(te.freq)),
+               Table::integer(te.sc_blocks), Table::num(te.ev, 3)});
+  }
+  t.print();
+
+  // Tiering thresholds: memory gets the top slice that fits a 10 MiB
+  // list budget, SSD the next 100x slice, HDD the rest (TEV).
+  Bytes mem_budget = 8 * MiB, ssd_budget = 800 * MiB;
+  double ev_mem = 0, ev_ssd = 0;
+  std::size_t n_mem = 0, n_ssd = 0;
+  for (const auto& te : terms) {
+    const Bytes bytes = static_cast<Bytes>(te.sc_blocks) * 128 * KiB;
+    if (mem_budget >= bytes) {
+      mem_budget -= bytes;
+      ev_mem = te.ev;
+      ++n_mem;
+    } else if (ssd_budget >= bytes) {
+      ssd_budget -= bytes;
+      ev_ssd = te.ev;
+      ++n_ssd;
+    }
+  }
+  std::printf(
+      "\ntiering (Fig. 4): memory tier: %zu terms (EV >= %.3f)\n"
+      "                 SSD tier:    %zu terms (EV >= %.3f)\n"
+      "                 HDD (below TEV): %zu terms\n",
+      n_mem, ev_mem, n_ssd, ev_ssd, terms.size() - n_mem - n_ssd);
+  std::printf("TEV at keep-fraction 0.9: %.4f\n",
+              analysis.tev_for_fraction(0.9));
+  return 0;
+}

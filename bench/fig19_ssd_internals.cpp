@@ -1,0 +1,86 @@
+// Fig. 19 — simulated performance inside the SSD: (a) cumulative block
+// erasure count and (b) mean flash access time, vs query count, for
+// LRU / CBLRU / CBSLRU.
+// Paper: erasures -59.92 % (CBLRU) / -71.52 % (CBSLRU); access time
+// -13.20 % / -43.83 %, vs LRU.
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+using namespace ssdse;
+using namespace ssdse::bench;
+
+namespace {
+
+struct Series {
+  std::vector<std::uint64_t> erases;
+  std::vector<Micros> access;
+};
+
+Series run(CachePolicy policy, std::uint64_t total,
+           std::uint64_t checkpoints) {
+  SystemConfig cfg = paper_system(policy);
+  SearchSystem system(cfg);
+  Series out;
+  const std::uint64_t step = total / checkpoints;
+  for (std::uint64_t cp = 0; cp < checkpoints; ++cp) {
+    system.run(step);
+    out.erases.push_back(system.cache_ssd()->block_erases());
+    out.access.push_back(system.cache_ssd()->mean_flash_access());
+  }
+  system.drain();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_environment("Fig. 19 — block erasures and flash access time");
+  const auto total = default_queries(100'000);
+  const std::uint64_t checkpoints = 10;
+
+  std::printf("running LRU...\n");
+  const Series lru = run(CachePolicy::kLru, total, checkpoints);
+  std::printf("running CBLRU...\n");
+  const Series cb = run(CachePolicy::kCblru, total, checkpoints);
+  std::printf("running CBSLRU...\n");
+  const Series cbs = run(CachePolicy::kCbslru, total, checkpoints);
+
+  std::printf("\n--- (a) cumulative block erasure count ---\n");
+  Table a({"queries (10^4)", "LRU", "CBLRU", "CBSLRU"});
+  for (std::uint64_t cp = 0; cp < checkpoints; ++cp) {
+    a.add_row({Table::num(static_cast<double>((cp + 1) * total) /
+                              (checkpoints * 10'000.0), 1),
+               Table::integer(static_cast<long long>(lru.erases[cp])),
+               Table::integer(static_cast<long long>(cb.erases[cp])),
+               Table::integer(static_cast<long long>(cbs.erases[cp]))});
+  }
+  a.print();
+
+  std::printf("\n--- (b) mean flash access time (us) ---\n");
+  Table b({"queries (10^4)", "LRU", "CBLRU", "CBSLRU"});
+  for (std::uint64_t cp = 0; cp < checkpoints; ++cp) {
+    b.add_row({Table::num(static_cast<double>((cp + 1) * total) /
+                              (checkpoints * 10'000.0), 1),
+               Table::num(lru.access[cp], 2), Table::num(cb.access[cp], 2),
+               Table::num(cbs.access[cp], 2)});
+  }
+  b.print();
+
+  const auto final_lru = static_cast<double>(lru.erases.back());
+  if (final_lru > 0) {
+    std::printf(
+        "\nfinal erasures vs LRU: CBLRU %+.2f%% (paper -59.92%%), "
+        "CBSLRU %+.2f%% (paper -71.52%%)\n",
+        (static_cast<double>(cb.erases.back()) / final_lru - 1) * 100,
+        (static_cast<double>(cbs.erases.back()) / final_lru - 1) * 100);
+  }
+  if (lru.access.back() > 0) {
+    std::printf(
+        "final access time vs LRU: CBLRU %+.2f%% (paper -13.20%%), "
+        "CBSLRU %+.2f%% (paper -43.83%%)\n",
+        (cb.access.back() / lru.access.back() - 1) * 100,
+        (cbs.access.back() / lru.access.back() - 1) * 100);
+  }
+  return 0;
+}

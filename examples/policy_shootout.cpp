@@ -1,0 +1,86 @@
+// Policy shootout: run the same query stream under LRU, CBLRU and
+// CBSLRU and compare hit ratio, latency, throughput and flash wear —
+// the paper's headline claims, reproduced on one shard.
+//
+//   $ ./build/examples/policy_shootout [num_queries]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/hybrid/search_system.hpp"
+#include "src/util/table.hpp"
+
+using namespace ssdse;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double hit_ratio;
+  Micros mean_response;
+  double qps;
+  std::uint64_t erases;
+  Micros flash_access;
+};
+
+Row run_policy(CachePolicy policy, std::uint64_t queries) {
+  SystemConfig cfg;
+  cfg.set_num_docs(1'000'000);
+  cfg.set_memory_budget(16 * MiB);
+  cfg.cache.policy = policy;
+  cfg.training_queries = 5'000;
+
+  SearchSystem system(cfg);
+  system.run(queries);
+  system.drain();
+
+  const Ssd* ssd = system.cache_ssd();
+  return Row{to_string(policy),
+             system.cache_manager().stats().hit_ratio(),
+             system.metrics().mean_response(),
+             system.throughput_qps(),
+             ssd ? ssd->block_erases() : 0,
+             ssd ? ssd->mean_flash_access() : 0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t queries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 30'000;
+
+  std::vector<Row> rows;
+  for (CachePolicy p :
+       {CachePolicy::kLru, CachePolicy::kCblru, CachePolicy::kCbslru}) {
+    std::printf("running %s...\n", to_string(p));
+    rows.push_back(run_policy(p, queries));
+  }
+
+  Table t({"policy", "hit ratio", "mean resp (ms)", "throughput (q/s)",
+           "block erases", "flash access (us)"});
+  for (const Row& r : rows) {
+    t.add_row({r.name, Table::percent(r.hit_ratio),
+               Table::num(r.mean_response / kMillisecond, 2),
+               Table::num(r.qps, 1),
+               Table::integer(static_cast<long long>(r.erases)),
+               Table::num(r.flash_access, 2)});
+  }
+  std::printf("\n");
+  t.print();
+
+  const Row& lru = rows[0];
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf(
+        "\n%s vs LRU: hit ratio %+.2f pp, response %+.1f%%, "
+        "throughput %+.1f%%, erases %+.1f%%\n",
+        r.name, (r.hit_ratio - lru.hit_ratio) * 100.0,
+        (r.mean_response / lru.mean_response - 1.0) * 100.0,
+        (r.qps / lru.qps - 1.0) * 100.0,
+        lru.erases ? (static_cast<double>(r.erases) /
+                          static_cast<double>(lru.erases) -
+                      1.0) * 100.0
+                   : 0.0);
+  }
+  return 0;
+}

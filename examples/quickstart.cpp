@@ -1,0 +1,74 @@
+// Quickstart: stand up a simulated index server with the SSD-backed
+// two-level cache (CBLRU), run a query stream against it, and print the
+// headline metrics.
+//
+//   $ ./build/examples/quickstart [num_queries]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/hybrid/search_system.hpp"
+#include "src/util/table.hpp"
+
+using namespace ssdse;
+
+int main(int argc, char** argv) {
+  const std::uint64_t num_queries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+
+  // 1. Describe the deployment: a 1M-document shard, a 20 MiB memory
+  //    cache (20 % results / 80 % lists) and the paper's 10x/100x SSD
+  //    tier, managed by CBLRU.
+  SystemConfig cfg;
+  cfg.set_num_docs(1'000'000);
+  cfg.set_memory_budget(20 * MiB);
+  cfg.cache.policy = CachePolicy::kCblru;
+  cfg.training_queries = 5'000;
+
+  // 2. Build the system: synthetic corpus -> inverted index -> HDD
+  //    layout; NAND + page-mapping FTL -> cache SSD; query-log model.
+  SearchSystem system(cfg);
+
+  // 3. Run the stream.
+  std::printf("running %llu queries against %llu docs (policy %s)...\n",
+              static_cast<unsigned long long>(num_queries),
+              static_cast<unsigned long long>(cfg.corpus.num_docs),
+              to_string(cfg.cache.policy));
+  system.run(num_queries);
+  system.drain();
+
+  // 4. Report.
+  const auto& m = system.metrics();
+  const auto& cs = system.cache_manager().stats();
+  std::printf("\n");
+  Table t({"metric", "value"});
+  t.add_row({"queries", Table::integer(static_cast<long long>(m.queries()))});
+  t.add_row({"mean response (ms)", Table::num(m.mean_response() / kMillisecond, 3)});
+  t.add_row({"p99 response (ms)",
+             Table::num(m.histogram().quantile(0.99) / kMillisecond, 3)});
+  t.add_row({"throughput (q/s)", Table::num(system.throughput_qps(), 1)});
+  t.add_row({"hit ratio (combined)", Table::percent(cs.hit_ratio())});
+  t.add_row({"  result: memory", Table::integer(static_cast<long long>(cs.result_hits_mem))});
+  t.add_row({"  result: SSD", Table::integer(static_cast<long long>(cs.result_hits_ssd))});
+  t.add_row({"  lists: memory", Table::integer(static_cast<long long>(cs.list_hits_mem))});
+  t.add_row({"  lists: SSD", Table::integer(static_cast<long long>(cs.list_hits_ssd))});
+  t.add_row({"  lists: HDD reads", Table::integer(static_cast<long long>(cs.hdd_list_reads))});
+  if (const Ssd* ssd = system.cache_ssd()) {
+    t.add_row({"SSD block erasures",
+               Table::integer(static_cast<long long>(ssd->block_erases()))});
+    t.add_row({"SSD mean access (us)", Table::num(ssd->mean_flash_access(), 2)});
+    t.add_row({"SSD write amplification",
+               Table::num(ssd->ftl().stats().write_amplification(
+                   ssd->nand().stats()), 3)});
+  }
+  t.print();
+
+  std::printf("\nTable I situation census:\n");
+  Table s({"situation", "probability", "mean time (ms)"});
+  for (std::size_t i = 0; i < kNumSituations; ++i) {
+    const auto sit = static_cast<Situation>(i);
+    s.add_row({to_string(sit), Table::percent(m.situation_probability(sit)),
+               Table::num(m.situation_mean_time(sit) / kMillisecond, 3)});
+  }
+  s.print();
+  return 0;
+}

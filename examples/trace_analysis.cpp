@@ -1,0 +1,70 @@
+// Trace analysis: the DiskMon-style workflow of paper §III. Collects an
+// I/O trace from a live retrieval run, synthesizes the two reference
+// traces of Fig. 1, and prints the four characteristics (read-dominant,
+// locality, random reads, skipped reads) side by side. Also demonstrates
+// CSV round-tripping of traces.
+//
+//   $ ./build/examples/trace_analysis [num_queries]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/hybrid/search_system.hpp"
+#include "src/trace/analyzer.hpp"
+#include "src/trace/synth.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/util/table.hpp"
+
+using namespace ssdse;
+
+namespace {
+
+void add_row(Table& t, const char* name, const TraceCharacteristics& c) {
+  t.add_row({name, Table::integer(static_cast<long long>(c.total_ops)),
+             Table::percent(c.read_fraction),
+             Table::percent(c.sequential_fraction),
+             Table::percent(c.skipped_fraction),
+             Table::percent(c.random_fraction),
+             Table::percent(c.locality_90)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t queries =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5'000;
+  Rng rng(99);
+
+  // Reference traces (the Fig. 1 substitutes).
+  const auto web = synthesize_web_search_trace({}, rng);
+  const auto lucene = synthesize_lucene_trace({}, rng);
+
+  // A live trace: attach the collector to the index HDD and run queries.
+  SystemConfig cfg;
+  cfg.set_num_docs(1'000'000);
+  cfg.set_memory_budget(16 * MiB);
+  SearchSystem system(cfg);
+  system.hdd().collector().set_enabled(true);
+  system.run(queries);
+  const auto live = system.hdd().collector().records();
+
+  // Round-trip the live trace through the CSV format.
+  const char* path = "/tmp/ssdse_live_trace.csv";
+  write_trace_csv(path, live);
+  const auto reloaded = read_trace_csv(path);
+  std::printf("live trace: %zu records captured, %zu reloaded from %s\n\n",
+              live.size(), reloaded.size(), path);
+
+  TraceAnalyzer analyzer;
+  Table t({"trace", "ops", "reads", "sequential", "skipped", "random",
+           "locality(90% hits in)"});
+  add_row(t, "web-search (UMass-like)", analyzer.analyze(web));
+  add_row(t, "lucene retrieval (synthetic)", analyzer.analyze(lucene));
+  add_row(t, "live retrieval (this engine)", analyzer.analyze(reloaded));
+  t.print();
+
+  std::printf(
+      "\nExpected per paper SS III: reads > 99%%, strong locality (90%% of\n"
+      "hits landing in a small fraction of the address space), few strictly\n"
+      "sequential runs, and a visible population of skipped reads.\n");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// CacheManager: the paper's central component (Fig. 2), implementing
+//  SM — selection management: what is worth caching where (Formula 1/2,
+//       TEV admission, result frequency threshold);
+//  QM — query management: probe memory, write buffer, SSD, fall back to
+//       HDD, and promote on the way back (hybrid inclusion scheme);
+//  RM — replacement management: eviction cascades from memory through
+//       the write buffer into the SSD caches.
+//
+// One CacheManager serves one index server. The policy (LRU / CBLRU /
+// CBSLRU) selects which L2 machinery is active.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/cache/intersection_cache.hpp"
+#include "src/cache/lru_ssd_cache.hpp"
+#include "src/cache/sieve_filter.hpp"
+#include "src/cache/mem_list_cache.hpp"
+#include "src/cache/mem_result_cache.hpp"
+#include "src/cache/policy.hpp"
+#include "src/cache/ssd_cache_file.hpp"
+#include "src/cache/ssd_list_cache.hpp"
+#include "src/cache/ssd_result_cache.hpp"
+#include "src/cache/write_buffer.hpp"
+#include "src/index/inverted_index.hpp"
+#include "src/storage/device.hpp"
+#include "src/storage/ram.hpp"
+#include "src/workload/log_analysis.hpp"
+
+namespace ssdse {
+
+struct CacheManagerStats {
+  std::uint64_t result_lookups = 0;
+  std::uint64_t result_hits_mem = 0;  // L1 + write buffer
+  std::uint64_t result_hits_ssd = 0;
+  std::uint64_t list_lookups = 0;
+  std::uint64_t list_hits_mem = 0;
+  std::uint64_t list_hits_ssd = 0;
+  std::uint64_t hdd_list_reads = 0;
+  std::uint64_t results_discarded = 0;  // below the SSD admission bar
+  std::uint64_t lists_discarded = 0;    // EV < TEV
+  std::uint64_t results_expired = 0;    // TTL misses (dynamic scenario)
+  std::uint64_t lists_expired = 0;
+  Micros background_flash_time = 0;     // flush/eviction writes (+ GC)
+
+  double result_hit_ratio() const {
+    return result_lookups ? static_cast<double>(result_hits_mem +
+                                                result_hits_ssd) /
+                                static_cast<double>(result_lookups)
+                          : 0.0;
+  }
+  double list_hit_ratio() const {
+    return list_lookups ? static_cast<double>(list_hits_mem +
+                                              list_hits_ssd) /
+                              static_cast<double>(list_lookups)
+                        : 0.0;
+  }
+  /// Combined hit ratio over all cacheable requests (Fig. 14 metric).
+  double hit_ratio() const {
+    const auto lookups = result_lookups + list_lookups;
+    const auto hits = result_hits_mem + result_hits_ssd + list_hits_mem +
+                      list_hits_ssd;
+    return lookups ? static_cast<double>(hits) /
+                         static_cast<double>(lookups)
+                   : 0.0;
+  }
+};
+
+class CacheManager {
+ public:
+  /// `ssd` may be null when cfg.l2 == false (one-level configuration).
+  CacheManager(const CacheConfig& cfg, Ssd* ssd,
+               StorageDevice& index_store, RamDevice& ram,
+               IndexView& index);
+
+  /// QM, result side. On a hit `*tier_out` says where it came from and
+  /// `time` accumulates the access cost. SSD hits are promoted into L1.
+  const ResultEntry* lookup_result(QueryId qid, Tier* tier_out, Micros* time);
+
+  /// QM, list side: returns the tier that served the (partial) list and
+  /// accumulates the access cost; misses read the HDD index and promote.
+  Tier fetch_list(TermId term, Micros* time);
+
+  /// RM entry point: a freshly computed result enters L1; evictions
+  /// cascade to the SSD per policy. Flash write time is accounted as
+  /// background (see stats().background_flash_time).
+  void insert_result(ResultEntry entry);
+
+  /// Three-level extension: probe the intersection cache for a term
+  /// pair. A hit covers *both* terms' list demand. Returns false when
+  /// the level is disabled or on a miss.
+  bool lookup_intersection(TermId a, TermId b, Micros* time);
+  /// Admit the pair's intersection after scoring computed it.
+  void insert_intersection(TermId a, TermId b);
+
+  /// CBSLRU static preload from log analysis. `make_result` materializes
+  /// the result entry of a distinct query (the offline batch job).
+  void preload_static(const LogAnalysis& analysis,
+                      const std::function<ResultEntry(QueryId)>& make_result);
+
+  /// Flush the write buffer (barrier; e.g. end of experiment).
+  void drain();
+
+  /// Advance the logical clock (one tick per query). Only needed when
+  /// cfg.ttl_queries > 0 (the dynamic scenario of paper §IV.B).
+  void advance_time() { ++now_; }
+  std::uint64_t now() const { return now_; }
+
+  const CacheManagerStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return cfg_; }
+  CachePolicy policy() const { return cfg_.policy; }
+
+  // Introspection for tests / benches.
+  const MemResultCache& mem_results() const { return mem_rc_; }
+  const MemListCache& mem_lists() const { return mem_lc_; }
+  const SsdResultCache* ssd_results() const { return ssd_rc_.get(); }
+  const SsdListCache* ssd_lists() const { return ssd_lc_.get(); }
+  const LruSsdResultCache* lru_ssd_results() const { return lru_rc_.get(); }
+  const LruSsdListCache* lru_ssd_lists() const { return lru_lc_.get(); }
+  const WriteBuffer& write_buffer() const { return wb_; }
+  const IntersectionCache* intersections() const { return ic_.get(); }
+  const SieveFilter* sieve() const { return sieve_.get(); }
+
+ private:
+  bool cost_based() const { return cfg_.policy != CachePolicy::kLru; }
+  /// TTL check against the logical clock (paper §IV.B).
+  bool expired(std::uint64_t born) const {
+    return cfg_.ttl_queries > 0 && now_ > born + cfg_.ttl_queries;
+  }
+  /// Drop every cached copy of a stale result / list.
+  void expire_result(QueryId qid);
+  Micros expire_list(TermId term);
+  /// Expected bytes a query needs from a term's list (PU x SI).
+  Bytes needed_bytes(const TermMeta& meta) const;
+  /// HDD read of a list prefix with skipped-read segmentation (§III).
+  Micros read_list_from_hdd(TermId term, Bytes bytes);
+  void route_result_evictions(std::vector<CachedResult> evicted);
+  void route_list_evictions(std::vector<EvictedList> evicted);
+  void flush_group(std::vector<CachedResult> group);
+
+  CacheConfig cfg_;
+  Ssd* ssd_;
+  StorageDevice& index_store_;
+  RamDevice& ram_;
+  IndexView& index_;
+
+  MemResultCache mem_rc_;
+  MemListCache mem_lc_;
+  WriteBuffer wb_;
+  std::unique_ptr<IntersectionCache> ic_;  // three-level extension
+  std::unique_ptr<SieveFilter> sieve_;     // SieveStore-style admission
+
+  // CBLRU / CBSLRU machinery.
+  std::unique_ptr<SsdCacheFile> result_file_;
+  std::unique_ptr<SsdCacheFile> list_file_;
+  std::unique_ptr<SsdResultCache> ssd_rc_;
+  std::unique_ptr<SsdListCache> ssd_lc_;
+
+  // LRU baseline machinery.
+  std::unique_ptr<LruSsdResultCache> lru_rc_;
+  std::unique_ptr<LruSsdListCache> lru_lc_;
+
+  std::uint64_t now_ = 0;  // logical clock (queries)
+  CacheManagerStats stats_;
+};
+
+}  // namespace ssdse

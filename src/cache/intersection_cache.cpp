@@ -1,0 +1,36 @@
+#include "src/cache/intersection_cache.hpp"
+
+namespace ssdse {
+
+IntersectionCache::IntersectionCache(Bytes capacity)
+    : capacity_(capacity) {}
+
+const CachedIntersection* IntersectionCache::lookup(TermId a, TermId b) {
+  ++stats_.lookups;
+  CachedIntersection* e = map_.touch(key(a, b));
+  if (!e) return nullptr;
+  ++e->freq;
+  ++stats_.hits;
+  return e;
+}
+
+void IntersectionCache::insert(TermId a, TermId b, Bytes bytes) {
+  if (bytes > capacity_) return;  // too large to ever fit
+  const std::uint64_t k = key(a, b);
+  if (CachedIntersection* existing = map_.touch(k)) {
+    used_ -= existing->bytes;
+    existing->bytes = bytes;
+    used_ += bytes;
+    return;
+  }
+  while (used_ + bytes > capacity_ && !map_.empty()) {
+    auto victim = map_.pop_lru();
+    used_ -= victim->second.bytes;
+    ++stats_.evictions;
+  }
+  map_.insert(k, CachedIntersection{bytes, 1});
+  used_ += bytes;
+  ++stats_.inserts;
+}
+
+}  // namespace ssdse

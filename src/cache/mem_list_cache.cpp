@@ -1,0 +1,75 @@
+#include "src/cache/mem_list_cache.hpp"
+
+#include <algorithm>
+
+namespace ssdse {
+
+MemListCache::MemListCache(Bytes capacity, CachePolicy policy,
+                           std::uint32_t replace_window)
+    : capacity_(capacity), policy_(policy), window_(replace_window) {}
+
+const CachedList* MemListCache::lookup(TermId term, Bytes needed_bytes) {
+  CachedList* e = map_.touch(term);
+  if (!e) return nullptr;
+  if (e->cached_bytes < needed_bytes) return nullptr;  // prefix too short
+  ++e->freq;
+  e->ev = e->sc_blocks
+              ? static_cast<double>(e->freq) / e->sc_blocks
+              : 0.0;
+  return e;
+}
+
+bool MemListCache::evict_one(std::vector<EvictedList>& out) {
+  if (map_.empty()) return false;
+  if (policy_ == CachePolicy::kLru) {
+    auto victim = map_.pop_lru();
+    used_ -= victim->second.cached_bytes;
+    out.push_back(EvictedList{victim->first, std::move(victim->second)});
+    return true;
+  }
+  // CBLRU/CBSLRU: minimum EV inside the Replace-First Region (the last
+  // `window_` entries of the LRU list), Fig. 12.
+  auto best = map_.rbegin();
+  std::uint32_t scanned = 0;
+  for (auto it = map_.rbegin(); it != map_.rend() && scanned < window_;
+       ++it, ++scanned) {
+    if (it->second.ev < best->second.ev) best = it;
+  }
+  const TermId victim_term = best->first;
+  auto victim = map_.erase(victim_term);
+  used_ -= victim->cached_bytes;
+  out.push_back(EvictedList{victim_term, std::move(*victim)});
+  return true;
+}
+
+bool MemListCache::erase(TermId term) {
+  auto victim = map_.erase(term);
+  if (!victim) return false;
+  used_ -= victim->cached_bytes;
+  return true;
+}
+
+std::vector<EvictedList> MemListCache::insert(TermId term, CachedList info) {
+  std::vector<EvictedList> evicted;
+  if (info.cached_bytes > capacity_) {
+    // Larger than the whole cache: pass it straight through as an
+    // eviction so the SSD level can still consider it.
+    evicted.push_back(EvictedList{term, std::move(info)});
+    return evicted;
+  }
+  if (CachedList* existing = map_.touch(term)) {
+    used_ -= existing->cached_bytes;
+    info.freq = std::max(info.freq, existing->freq);
+    *existing = info;
+    used_ += existing->cached_bytes;
+  } else {
+    used_ += info.cached_bytes;
+    map_.insert(term, info);
+  }
+  while (used_ > capacity_) {
+    if (!evict_one(evicted)) break;
+  }
+  return evicted;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,35 @@
+#include "src/cache/mem_result_cache.hpp"
+
+#include <algorithm>
+
+namespace ssdse {
+
+MemResultCache::MemResultCache(Bytes capacity)
+    : capacity_(capacity),
+      max_entries_(std::max<std::size_t>(1, capacity / kResultEntryBytes)) {}
+
+const CachedResult* MemResultCache::lookup(QueryId qid) {
+  CachedResult* hit = map_.touch(qid);
+  if (hit) ++hit->freq;
+  return hit;
+}
+
+std::vector<CachedResult> MemResultCache::insert(ResultEntry entry,
+                                                 std::uint64_t freq,
+                                                 std::uint64_t born) {
+  std::vector<CachedResult> evicted;
+  if (CachedResult* existing = map_.touch(entry.query)) {
+    existing->entry = std::move(entry);
+    existing->born = std::max(existing->born, born);
+    return evicted;
+  }
+  while (map_.size() >= max_entries_) {
+    auto victim = map_.pop_lru();
+    if (!victim) break;
+    evicted.push_back(std::move(victim->second));
+  }
+  map_.insert(entry.query, CachedResult{std::move(entry), freq, born});
+  return evicted;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,49 @@
+// L1 result cache ("L1 RC"): fixed-length 20 KiB entries in DRAM,
+// LRU-ordered (paper §VI.C.1 — result entries are small and uniform, so
+// plain LRU recency is the right L1 policy for every configuration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/result.hpp"
+#include "src/util/lru_map.hpp"
+
+namespace ssdse {
+
+struct CachedResult {
+  ResultEntry entry;
+  std::uint64_t freq = 1;  // accesses since admission (Fig. 6a "freq")
+  /// Logical birth time (query sequence number) for the TTL-based
+  /// dynamic scenario of paper §IV.B; 0 in the static scenario.
+  std::uint64_t born = 0;
+};
+
+class MemResultCache {
+ public:
+  explicit MemResultCache(Bytes capacity);
+
+  /// Hit: bumps recency + frequency and returns the entry.
+  const CachedResult* lookup(QueryId qid);
+
+  /// Insert a fresh entry (or refresh an existing one). Entries evicted
+  /// to make room are returned for the manager to consider for SSD.
+  std::vector<CachedResult> insert(ResultEntry entry, std::uint64_t freq = 1,
+                                   std::uint64_t born = 0);
+
+  /// Drop an entry (TTL expiry). Returns true if it was present.
+  bool erase(QueryId qid) { return map_.erase(qid).has_value(); }
+
+  bool contains(QueryId qid) const { return map_.contains(qid); }
+  std::size_t size() const { return map_.size(); }
+  Bytes used_bytes() const { return map_.size() * kResultEntryBytes; }
+  Bytes capacity() const { return capacity_; }
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  Bytes capacity_;
+  std::size_t max_entries_;
+  LruMap<QueryId, CachedResult> map_;
+};
+
+}  // namespace ssdse

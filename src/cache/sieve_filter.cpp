@@ -1,0 +1,38 @@
+#include "src/cache/sieve_filter.hpp"
+
+#include <algorithm>
+
+namespace ssdse {
+
+SieveFilter::SieveFilter(std::uint32_t threshold, std::size_t ghost_capacity)
+    : threshold_(std::max(threshold, 1u)),
+      capacity_(std::max<std::size_t>(ghost_capacity, 1)) {}
+
+bool SieveFilter::observe_and_admit(std::uint64_t key) {
+  ++stats_.observations;
+  if (threshold_ == 1) {
+    ++stats_.admissions;
+    return true;
+  }
+  std::uint32_t* counter = ghost_.touch(key);
+  if (counter == nullptr) {
+    ghost_.insert(key, 1);
+    while (ghost_.size() > capacity_) ghost_.pop_lru();
+    ++stats_.rejections;
+    return false;
+  }
+  if (++*counter >= threshold_) {
+    ghost_.erase(key);  // admitted: counting starts over if re-evicted
+    ++stats_.admissions;
+    return true;
+  }
+  ++stats_.rejections;
+  return false;
+}
+
+std::uint32_t SieveFilter::count(std::uint64_t key) const {
+  const std::uint32_t* counter = ghost_.peek(key);
+  return counter ? *counter : 0;
+}
+
+}  // namespace ssdse

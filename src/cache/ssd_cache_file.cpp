@@ -1,0 +1,86 @@
+#include "src/cache/ssd_cache_file.hpp"
+
+#include <stdexcept>
+
+namespace ssdse {
+
+SsdCacheFile::SsdCacheFile(Ssd& ssd, Lpn base_page, std::uint32_t num_blocks)
+    : ssd_(ssd),
+      base_(base_page),
+      num_blocks_(num_blocks),
+      ppb_(ssd.config().nand.pages_per_block) {
+  if (base_page % ppb_ != 0) {
+    throw std::invalid_argument(
+        "SsdCacheFile: base page must be flash-block aligned");
+  }
+  if (base_page + static_cast<Lpn>(num_blocks) * ppb_ >
+      ssd.logical_pages()) {
+    throw std::invalid_argument("SsdCacheFile: region exceeds SSD capacity");
+  }
+  states_.assign(num_blocks, CbState::kFree);
+  free_.reserve(num_blocks);
+  for (std::uint32_t b = num_blocks; b-- > 0;) free_.push_back(b);
+}
+
+void SsdCacheFile::check_block(std::uint32_t cb) const {
+  if (cb >= num_blocks_) {
+    throw std::out_of_range("SsdCacheFile: block index out of range");
+  }
+}
+
+std::optional<std::uint32_t> SsdCacheFile::alloc() {
+  if (free_.empty()) return std::nullopt;
+  const std::uint32_t cb = free_.back();
+  free_.pop_back();
+  return cb;
+}
+
+Micros SsdCacheFile::write(std::uint32_t cb, std::uint32_t pages) {
+  check_block(cb);
+  if (pages == 0 || pages > ppb_) {
+    throw std::invalid_argument("SsdCacheFile::write: bad page count");
+  }
+  if (states_[cb] == CbState::kReplaceable) --replaceable_;
+  states_[cb] = CbState::kNormal;
+  return ssd_.write_pages(first_page(cb), pages);
+}
+
+Micros SsdCacheFile::read(std::uint32_t cb, std::uint32_t page_off,
+                          std::uint32_t npages) {
+  check_block(cb);
+  if (page_off + npages > ppb_) {
+    throw std::invalid_argument("SsdCacheFile::read: range beyond block");
+  }
+  if (states_[cb] == CbState::kFree) {
+    throw std::logic_error("SsdCacheFile::read: reading a free block");
+  }
+  return ssd_.read_pages(first_page(cb) + page_off, npages);
+}
+
+void SsdCacheFile::mark_replaceable(std::uint32_t cb) {
+  check_block(cb);
+  if (states_[cb] == CbState::kNormal) {
+    states_[cb] = CbState::kReplaceable;
+    ++replaceable_;
+  }
+}
+
+void SsdCacheFile::mark_normal(std::uint32_t cb) {
+  check_block(cb);
+  if (states_[cb] == CbState::kFree) {
+    throw std::logic_error("SsdCacheFile::mark_normal on a free block");
+  }
+  if (states_[cb] == CbState::kReplaceable) --replaceable_;
+  states_[cb] = CbState::kNormal;
+}
+
+Micros SsdCacheFile::trim(std::uint32_t cb) {
+  check_block(cb);
+  if (states_[cb] == CbState::kFree) return 0;
+  if (states_[cb] == CbState::kReplaceable) --replaceable_;
+  states_[cb] = CbState::kFree;
+  free_.push_back(cb);
+  return ssd_.trim_pages(first_page(cb), ppb_);
+}
+
+}  // namespace ssdse

@@ -1,0 +1,81 @@
+// SsdCacheFile: the improved log-based cache-file manager on SSD
+// (paper §VI.B/§VI.C, Figs. 8 and 9).
+//
+// A contiguous range of the SSD's logical space is divided into cache
+// blocks of exactly one flash block (128 KiB, 64 pages), each in one of
+// three states:
+//   free        — available for writing;
+//   normal      — valid, read-only;
+//   replaceable — still readable, but its content was read back to
+//                 memory or invalidated, so it may be overwritten first.
+// Transitions (Fig. 9): free -write-> normal -read/evict-> replaceable
+// -overwrite-> normal, -delete(Trim)-> free.
+//
+// Because a cache block is flash-block aligned, every overwrite
+// invalidates one whole flash block inside the FTL — the mechanism that
+// turns CBLRU's large sequential writes into near-free garbage
+// collection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/ssd/ssd.hpp"
+
+namespace ssdse {
+
+enum class CbState : std::uint8_t { kFree, kNormal, kReplaceable };
+
+class SsdCacheFile {
+ public:
+  /// Manages `num_blocks` cache blocks starting at logical page `base`
+  /// (must be flash-block aligned).
+  SsdCacheFile(Ssd& ssd, Lpn base_page, std::uint32_t num_blocks);
+
+  std::uint32_t num_blocks() const { return num_blocks_; }
+  std::uint32_t pages_per_block() const { return ppb_; }
+  Bytes block_bytes() const {
+    return static_cast<Bytes>(ppb_) * ssd_.config().nand.page_bytes;
+  }
+
+  CbState state(std::uint32_t cb) const { return states_[cb]; }
+  std::size_t free_count() const { return free_.size(); }
+  std::size_t replaceable_count() const { return replaceable_; }
+
+  /// Take a free block (caller will write it). Returns nullopt when no
+  /// free block remains — the caller then picks a victim to overwrite.
+  std::optional<std::uint32_t> alloc();
+
+  /// Write `pages` pages (from the block start) into a block obtained
+  /// from alloc() or chosen as an overwrite victim. State -> normal.
+  Micros write(std::uint32_t cb, std::uint32_t pages);
+
+  /// Read `npages` starting at page `page_off` within the block.
+  Micros read(std::uint32_t cb, std::uint32_t page_off, std::uint32_t npages);
+
+  /// Mark a normal block replaceable (read back to memory / invalidated).
+  void mark_replaceable(std::uint32_t cb);
+  /// Overwrite resurrection path: replaceable content becomes current
+  /// again without a write (paper's write-buffer cancellation).
+  void mark_normal(std::uint32_t cb);
+
+  /// Delete cold data: TRIM the block and return it to the free pool.
+  Micros trim(std::uint32_t cb);
+
+ private:
+  Lpn first_page(std::uint32_t cb) const {
+    return base_ + static_cast<Lpn>(cb) * ppb_;
+  }
+  void check_block(std::uint32_t cb) const;
+
+  Ssd& ssd_;
+  Lpn base_;
+  std::uint32_t num_blocks_;
+  std::uint32_t ppb_;
+  std::vector<CbState> states_;
+  std::vector<std::uint32_t> free_;
+  std::size_t replaceable_ = 0;
+};
+
+}  // namespace ssdse

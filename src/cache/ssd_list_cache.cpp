@@ -1,0 +1,247 @@
+#include "src/cache/ssd_list_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/workload/log_analysis.hpp"
+
+namespace ssdse {
+
+SsdListCache::SsdListCache(SsdCacheFile& file, std::uint32_t replace_window)
+    : file_(file), window_(replace_window) {}
+
+std::uint32_t SsdListCache::blocks_for(Bytes bytes) const {
+  return formula_sc_blocks(bytes, 1.0, file_.block_bytes());
+}
+
+Micros SsdListCache::read_entry_pages(const SsdListEntry& e, Bytes bytes) {
+  // Read ceil(bytes / page) pages walking the entry's blocks in order.
+  auto pages = static_cast<std::uint64_t>(
+      (std::min(bytes, e.cached_bytes) + page_bytes() - 1) / page_bytes());
+  Micros t = 0;
+  const auto ppb = file_.pages_per_block();
+  for (std::uint32_t cb : e.blocks) {
+    if (pages == 0) break;
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(pages, ppb));
+    t += file_.read(cb, 0, n);
+    pages -= n;
+  }
+  return t;
+}
+
+Micros SsdListCache::write_entry_pages(const SsdListEntry& e) {
+  auto pages = static_cast<std::uint64_t>(
+      (e.cached_bytes + page_bytes() - 1) / page_bytes());
+  Micros t = 0;
+  const auto ppb = file_.pages_per_block();
+  for (std::uint32_t cb : e.blocks) {
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(pages, ppb));
+    t += file_.write(cb, std::max(n, 1u));
+    pages -= n;
+    stats_.blocks_written += 1;
+  }
+  return t;
+}
+
+const SsdListEntry* SsdListCache::lookup(TermId term, Bytes needed_bytes,
+                                         Micros& time) {
+  ++stats_.lookups;
+  if (auto sit = static_map_.find(term); sit != static_map_.end()) {
+    SsdListEntry& e = sit->second;
+    if (e.cached_bytes < needed_bytes) return nullptr;
+    ++e.freq;
+    time += read_entry_pages(e, needed_bytes);
+    ++stats_.hits;
+    return &e;
+  }
+  // No recency promotion on a hit: the copy just became memory-resident,
+  // so its blocks turn replaceable and should drift toward the
+  // Replace-First Region rather than back to the working region.
+  SsdListEntry* e = map_.peek(term);
+  if (!e) return nullptr;
+  if (e->cached_bytes < needed_bytes) return nullptr;  // prefix too short
+  ++e->freq;
+  e->ev = formula_ev(e->freq, e->sc_blocks);
+  time += read_entry_pages(*e, needed_bytes);
+  // Hybrid scheme: copy promoted to memory; SSD copy stays but becomes
+  // replaceable (Fig. 9).
+  if (!e->replaceable) {
+    e->replaceable = true;
+    for (std::uint32_t cb : e->blocks) file_.mark_replaceable(cb);
+  }
+  ++stats_.hits;
+  return e;
+}
+
+void SsdListCache::evict_entry(TermId term,
+                               std::vector<std::uint32_t>& pool) {
+  auto victim = map_.erase(term);
+  assert(victim.has_value());
+  for (std::uint32_t cb : victim->blocks) pool.push_back(cb);
+  ++stats_.evictions;
+}
+
+bool SsdListCache::acquire_blocks(std::uint32_t needed,
+                                  std::vector<std::uint32_t>& out,
+                                  Micros& time) {
+  // Free blocks first.
+  while (out.size() < needed) {
+    auto cb = file_.alloc();
+    if (!cb) break;
+    out.push_back(*cb);
+  }
+  auto shortfall = [&] {
+    return needed - static_cast<std::uint32_t>(
+                        std::min<std::size_t>(out.size(), needed));
+  };
+  if (shortfall() == 0) return true;
+
+  // Pass 1 (Fig. 13 write "1"): replaceable entries inside the
+  // Replace-First Region, LRU end first.
+  std::vector<TermId> picks;
+  std::uint32_t gathered = 0;
+  std::uint32_t scanned = 0;
+  for (auto it = map_.rbegin();
+       it != map_.rend() && scanned < window_ && gathered < shortfall();
+       ++it, ++scanned) {
+    if (it->second.replaceable) {
+      picks.push_back(it->first);
+      gathered += static_cast<std::uint32_t>(it->second.blocks.size());
+    }
+  }
+  for (TermId t : picks) evict_entry(t, out);
+  if (shortfall() == 0) return true;
+
+  // Pass 2 (write "2"): an exact-size entry in the window.
+  scanned = 0;
+  for (auto it = map_.rbegin(); it != map_.rend() && scanned < window_;
+       ++it, ++scanned) {
+    if (static_cast<std::uint32_t>(it->second.blocks.size()) ==
+        shortfall()) {
+      const TermId t = it->first;
+      evict_entry(t, out);
+      return true;
+    }
+  }
+
+  // Pass 3 (write "3"): assemble several window entries, LRU end first.
+  picks.clear();
+  gathered = 0;
+  scanned = 0;
+  for (auto it = map_.rbegin();
+       it != map_.rend() && scanned < window_ && gathered < shortfall();
+       ++it, ++scanned) {
+    picks.push_back(it->first);
+    gathered += static_cast<std::uint32_t>(it->second.blocks.size());
+  }
+  for (TermId t : picks) evict_entry(t, out);
+  if (shortfall() == 0) return true;
+
+  // Pass 4 (write "4", worst case): the whole LRU list.
+  while (shortfall() > 0 && !map_.empty()) {
+    const TermId t = map_.lru()->first;
+    evict_entry(t, out);
+  }
+  (void)time;
+  return shortfall() == 0;
+}
+
+Micros SsdListCache::erase(TermId term) {
+  Micros t = 0;
+  if (auto sit = static_map_.find(term); sit != static_map_.end()) {
+    // Stale pinned copy: drop the mapping; pinned blocks stay allocated.
+    static_map_.erase(sit);
+    return t;
+  }
+  if (!map_.contains(term)) return t;
+  std::vector<std::uint32_t> pool;
+  evict_entry(term, pool);
+  for (std::uint32_t cb : pool) t += file_.trim(cb);
+  return t;
+}
+
+Micros SsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
+                            std::uint64_t born) {
+  if (is_static(term)) return 0;  // pinned copy already present
+  Micros t = 0;
+  const std::uint32_t needed = blocks_for(bytes);
+  if (needed == 0) return 0;
+  if (needed > file_.num_blocks()) {
+    ++stats_.rejected_too_large;
+    return 0;
+  }
+  // Cancellation (replaceable -> normal, Fig. 9): the SSD still holds a
+  // prefix at least as long as what we would write, so revalidate it
+  // instead of rewriting.
+  if (SsdListEntry* existing = map_.touch(term)) {
+    if (existing->cached_bytes >= bytes) {
+      existing->freq = std::max(existing->freq, freq);
+      existing->ev = formula_ev(existing->freq, existing->sc_blocks);
+      existing->born = std::max(existing->born, born);
+      if (existing->replaceable) {
+        existing->replaceable = false;
+        for (std::uint32_t cb : existing->blocks) file_.mark_normal(cb);
+      }
+      ++stats_.resurrections;
+      return 0;
+    }
+  }
+  // Rewrite of a cached term: release the old copy first.
+  std::vector<std::uint32_t> pool;
+  if (map_.contains(term)) evict_entry(term, pool);
+
+  if (!acquire_blocks(needed, pool, t)) {
+    ++stats_.rejected_too_large;
+    for (std::uint32_t cb : pool) t += file_.trim(cb);
+    return t;
+  }
+  SsdListEntry e;
+  e.blocks.assign(pool.begin(), pool.begin() + needed);
+  e.cached_bytes = bytes;
+  e.freq = freq;
+  e.sc_blocks = needed;
+  e.ev = formula_ev(freq, needed);
+  e.replaceable = false;
+  e.born = born;
+  t += write_entry_pages(e);
+  // Excess blocks from oversized victims: cold-data deletion via TRIM.
+  for (std::size_t i = needed; i < pool.size(); ++i) {
+    t += file_.trim(pool[i]);
+  }
+  map_.insert(term, std::move(e));
+  ++stats_.inserts;
+  return t;
+}
+
+Micros SsdListCache::preload_static(
+    std::span<const std::tuple<TermId, Bytes, std::uint64_t>> entries) {
+  Micros t = 0;
+  for (const auto& [term, bytes, freq] : entries) {
+    const std::uint32_t needed = blocks_for(bytes);
+    if (needed == 0) continue;
+    std::vector<std::uint32_t> pool;
+    while (pool.size() < needed) {
+      auto cb = file_.alloc();
+      if (!cb) break;
+      pool.push_back(*cb);
+    }
+    if (pool.size() < needed) {
+      // Static share exhausted: return what we took and stop.
+      for (std::uint32_t cb : pool) t += file_.trim(cb);
+      break;
+    }
+    SsdListEntry e;
+    e.blocks = std::move(pool);
+    e.cached_bytes = bytes;
+    e.freq = freq;
+    e.sc_blocks = needed;
+    e.ev = formula_ev(freq, needed);
+    t += write_entry_pages(e);
+    static_map_.emplace(term, std::move(e));
+  }
+  return t;
+}
+
+}  // namespace ssdse

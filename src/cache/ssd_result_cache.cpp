@@ -1,0 +1,194 @@
+#include "src/cache/ssd_result_cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdse {
+
+SsdResultCache::SsdResultCache(SsdCacheFile& file,
+                               std::uint32_t replace_window)
+    : file_(file), window_(replace_window) {
+  slots_per_rb_ =
+      static_cast<std::uint32_t>(file.block_bytes() / kSlotBytes);
+}
+
+std::uint32_t SsdResultCache::pages_per_slot() const {
+  const auto page = file_.block_bytes() / file_.pages_per_block();
+  return static_cast<std::uint32_t>((kSlotBytes + page - 1) / page);
+}
+
+const ResultEntry* SsdResultCache::lookup(QueryId qid,
+                                          std::uint64_t& freq_out,
+                                          Micros& time,
+                                          std::uint64_t* born_out) {
+  ++stats_.lookups;
+  if (auto sit = static_map_.find(qid); sit != static_map_.end()) {
+    const Loc& loc = sit->second;
+    RbInfo& rb = static_rbs_[loc.rb];
+    time += file_.read(static_blocks_[loc.rb], loc.slot * pages_per_slot(),
+                       pages_per_slot());
+    auto& cached = rb.entries[loc.slot];
+    ++cached.freq;
+    freq_out = cached.freq;
+    if (born_out) *born_out = cached.born;
+    ++stats_.hits;
+    return &cached.entry;
+  }
+  auto it = map_.find(qid);
+  if (it == map_.end()) return nullptr;
+  const Loc loc = it->second;
+  // No recency promotion on a hit: reading an entry back to memory makes
+  // its block *more* eligible for overwrite (Figs. 9/11), so RBs keep
+  // their log (write-time) order in the LRU list.
+  RbInfo* rb = rbs_.peek(loc.rb);
+  assert(rb != nullptr);
+  time += file_.read(loc.rb, loc.slot * pages_per_slot(), pages_per_slot());
+  auto& cached = rb->entries[loc.slot];
+  ++cached.freq;
+  freq_out = cached.freq;
+  if (born_out) *born_out = cached.born;
+  // Hybrid scheme: the copy stays on SSD but the slot is now
+  // memory-resident, so the block becomes replaceable (Fig. 9).
+  if (rb->slot_state[loc.slot] == 0) {
+    rb->slot_state[loc.slot] = 1;
+    ++rb->iren;
+    file_.mark_replaceable(loc.rb);
+  }
+  ++stats_.hits;
+  return &cached.entry;
+}
+
+bool SsdResultCache::invalidate(QueryId qid) {
+  if (auto sit = static_map_.find(qid); sit != static_map_.end()) {
+    // Stale pinned copy: the slot's flash space stays pinned (static
+    // blocks are never reclaimed) but the entry is no longer served.
+    static_map_.erase(sit);
+    return true;
+  }
+  auto it = map_.find(qid);
+  if (it == map_.end()) return false;
+  const Loc loc = it->second;
+  if (RbInfo* rb = rbs_.peek(loc.rb)) {
+    if (rb->slot_state[loc.slot] != 2) {
+      if (rb->slot_state[loc.slot] == 0) {
+        ++rb->iren;
+        file_.mark_replaceable(loc.rb);
+      }
+      rb->slot_state[loc.slot] = 2;
+    }
+  }
+  map_.erase(it);
+  return true;
+}
+
+bool SsdResultCache::resurrect(QueryId qid) {
+  auto it = map_.find(qid);
+  if (it == map_.end()) return false;
+  const Loc loc = it->second;
+  RbInfo* rb = rbs_.peek(loc.rb);
+  assert(rb != nullptr);
+  if (rb->slot_state[loc.slot] != 1) return false;
+  rb->slot_state[loc.slot] = 0;
+  assert(rb->iren > 0);
+  --rb->iren;
+  if (rb->iren == 0) file_.mark_normal(loc.rb);
+  ++stats_.resurrections;
+  return true;
+}
+
+void SsdResultCache::drop_rb(std::uint32_t cb) {
+  RbInfo* rb = rbs_.peek(cb);
+  assert(rb != nullptr);
+  for (std::size_t s = 0; s < rb->entries.size(); ++s) {
+    if (rb->slot_state[s] != 2) ++stats_.entries_dropped_by_overwrite;
+    map_.erase(rb->entries[s].entry.query);
+  }
+  rbs_.erase(cb);
+}
+
+std::optional<std::uint32_t> SsdResultCache::acquire_block() {
+  if (auto cb = file_.alloc()) return cb;
+  if (rbs_.empty()) return std::nullopt;
+  // Fig. 11: scan the Replace-First Region (last W RBs of the LRU list)
+  // for the block with the largest IREN; ties resolved toward LRU end.
+  auto best = rbs_.rbegin();
+  std::uint32_t best_iren = best->second.iren;
+  std::uint32_t scanned = 0;
+  for (auto it = rbs_.rbegin(); it != rbs_.rend() && scanned < window_;
+       ++it, ++scanned) {
+    if (it->second.iren > best_iren) {
+      best = it;
+      best_iren = it->second.iren;
+    }
+  }
+  const std::uint32_t victim = best->first;
+  drop_rb(victim);
+  return victim;
+}
+
+Micros SsdResultCache::insert_rb(std::span<CachedResult> entries) {
+  if (entries.empty()) return 0;
+  assert(entries.size() <= slots_per_rb_);
+  const auto cb = acquire_block();
+  if (!cb) return 0;  // cache smaller than one RB: drop silently
+
+  // An entry being rewritten elsewhere invalidates its old slot.
+  for (const auto& e : entries) {
+    auto it = map_.find(e.entry.query);
+    if (it != map_.end()) {
+      const Loc old = it->second;
+      if (RbInfo* rb = rbs_.peek(old.rb)) {
+        if (rb->slot_state[old.slot] != 2) {
+          if (rb->slot_state[old.slot] == 0) {
+            ++rb->iren;
+            file_.mark_replaceable(old.rb);
+          }
+          rb->slot_state[old.slot] = 2;
+        }
+      }
+      map_.erase(it);
+    }
+  }
+
+  RbInfo rb;
+  rb.entries.assign(entries.begin(), entries.end());
+  rb.slot_state.assign(rb.entries.size(), 0);
+  rb.iren = 0;
+  const auto npages =
+      static_cast<std::uint32_t>(rb.entries.size()) * pages_per_slot();
+  const Micros t = file_.write(*cb, npages);
+  for (std::uint32_t s = 0; s < rb.entries.size(); ++s) {
+    map_[rb.entries[s].entry.query] =
+        Loc{*cb, s, /*is_static=*/false};
+  }
+  rbs_.insert(*cb, std::move(rb));
+  ++stats_.rb_writes;
+  stats_.entries_written += entries.size();
+  return t;
+}
+
+Micros SsdResultCache::preload_static(std::span<CachedResult> entries) {
+  Micros t = 0;
+  for (std::size_t i = 0; i < entries.size(); i += slots_per_rb_) {
+    const auto n = std::min<std::size_t>(slots_per_rb_, entries.size() - i);
+    const auto cb = file_.alloc();
+    if (!cb) break;  // static share exhausted the region
+    RbInfo rb;
+    rb.entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(i),
+                      entries.begin() + static_cast<std::ptrdiff_t>(i + n));
+    rb.slot_state.assign(rb.entries.size(), 0);
+    t += file_.write(*cb, static_cast<std::uint32_t>(n) * pages_per_slot());
+    const auto rb_index = static_cast<std::uint32_t>(static_rbs_.size());
+    for (std::uint32_t s = 0; s < rb.entries.size(); ++s) {
+      static_map_[rb.entries[s].entry.query] =
+          Loc{rb_index, s, /*is_static=*/true};
+    }
+    static_rbs_.push_back(std::move(rb));
+    static_blocks_.push_back(*cb);
+    stats_.entries_written += n;
+    ++stats_.rb_writes;
+  }
+  return t;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,69 @@
+#include "src/cache/write_buffer.hpp"
+
+#include <algorithm>
+
+namespace ssdse {
+
+WriteBuffer::WriteBuffer(std::uint32_t group_size)
+    : group_size_(std::max(group_size, 1u)) {}
+
+std::optional<std::vector<CachedResult>> WriteBuffer::push(
+    CachedResult entry) {
+  // Re-eviction of an entry already waiting: keep the newer copy.
+  const QueryId qid = entry.entry.query;
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [qid](const CachedResult& c) {
+                           return c.entry.query == qid;
+                         });
+  if (it != pending_.end()) {
+    it->freq = std::max(it->freq, entry.freq);
+    it->entry = std::move(entry.entry);
+    return std::nullopt;
+  }
+  pending_.push_back(std::move(entry));
+  ++stats_.buffered;
+  if (pending_.size() < group_size_) return std::nullopt;
+  std::vector<CachedResult> group;
+  group.swap(pending_);
+  ++stats_.flush_groups;
+  return group;
+}
+
+std::optional<CachedResult> WriteBuffer::take(QueryId qid) {
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [qid](const CachedResult& c) {
+                           return c.entry.query == qid;
+                         });
+  if (it == pending_.end()) return std::nullopt;
+  CachedResult out = std::move(*it);
+  pending_.erase(it);
+  ++stats_.buffer_hits;
+  return out;
+}
+
+bool WriteBuffer::cancel(QueryId qid) {
+  auto it = std::find_if(pending_.begin(), pending_.end(),
+                         [qid](const CachedResult& c) {
+                           return c.entry.query == qid;
+                         });
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  ++stats_.cancelled;
+  return true;
+}
+
+std::vector<CachedResult> WriteBuffer::drain() {
+  std::vector<CachedResult> out;
+  out.swap(pending_);
+  if (!out.empty()) ++stats_.flush_groups;
+  return out;
+}
+
+bool WriteBuffer::contains(QueryId qid) const {
+  return std::any_of(pending_.begin(), pending_.end(),
+                     [qid](const CachedResult& c) {
+                       return c.entry.query == qid;
+                     });
+}
+
+}  // namespace ssdse

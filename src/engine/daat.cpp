@@ -1,0 +1,130 @@
+#include "src/engine/daat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssdse {
+
+DocSortedList::DocSortedList(const PostingList& list,
+                             std::uint32_t skip_interval) {
+  postings_.assign(list.postings().begin(), list.postings().end());
+  std::sort(postings_.begin(), postings_.end(),
+            [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+  skip_interval = std::max(skip_interval, 1u);
+  for (std::uint32_t i = 0; i < postings_.size(); i += skip_interval) {
+    skip_index_.push_back(i);
+    skip_doc_.push_back(postings_[i].doc);
+  }
+}
+
+std::size_t DocSortedList::advance(std::size_t from, DocId target,
+                                   std::uint64_t* skips_used) const {
+  if (from >= postings_.size()) return postings_.size();
+  if (postings_[from].doc >= target) return from;
+  // Skip phase: binary-search the skip table for the last entry whose
+  // doc id is still below the target, starting past `from`.
+  auto it = std::upper_bound(skip_doc_.begin(), skip_doc_.end(), target);
+  std::size_t pos = from;
+  if (it != skip_doc_.begin()) {
+    const auto skip_slot =
+        static_cast<std::size_t>(it - skip_doc_.begin()) - 1;
+    const std::size_t skip_pos = skip_index_[skip_slot];
+    if (skip_pos > pos) {
+      if (skips_used) {
+        // Count hops as the number of skip entries leapt over.
+        const std::size_t from_slot = from / (skip_index_.size() > 1
+                                                  ? skip_index_[1]
+                                                  : postings_.size() + 1);
+        *skips_used += skip_slot > from_slot ? skip_slot - from_slot : 1;
+      }
+      pos = skip_pos;
+    }
+  }
+  // Scan phase.
+  while (pos < postings_.size() && postings_[pos].doc < target) ++pos;
+  return pos;
+}
+
+ResultEntry DaatProcessor::intersect(const MaterializedIndex& index,
+                                     const Query& query,
+                                     DaatStats* stats) const {
+  ResultEntry out;
+  out.query = query.id;
+  if (query.terms.empty()) return out;
+
+  // Build doc-sorted views, shortest list first (drives the loop).
+  std::vector<DocSortedList> lists;
+  lists.reserve(query.terms.size());
+  std::vector<double> idf;
+  const double n_docs = static_cast<double>(index.num_docs());
+  for (TermId t : query.terms) {
+    const PostingList* pl = index.postings(t);
+    lists.emplace_back(*pl);
+    idf.push_back(
+        std::log(1.0 + n_docs / (static_cast<double>(pl->size()) + 1.0)));
+  }
+  std::vector<std::size_t> order(lists.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lists[a].size() < lists[b].size();
+  });
+  if (lists[order[0]].empty()) return out;
+
+  std::vector<std::size_t> cursor(lists.size(), 0);
+  std::vector<ScoredDoc> matches;
+  std::uint64_t skip_hops = 0, touched = 0;
+
+  const DocSortedList& driver = lists[order[0]];
+  for (std::size_t dpos = 0; dpos < driver.size();) {
+    const DocId candidate = driver[dpos].doc;
+    ++touched;
+    double score = std::log(1.0 + driver[dpos].tf) * idf[order[0]];
+    bool all = true;
+    DocId next_candidate = candidate + 1;
+    for (std::size_t k = 1; k < order.size() && all; ++k) {
+      const std::size_t li = order[k];
+      cursor[li] = lists[li].advance(cursor[li], candidate, &skip_hops);
+      ++touched;
+      if (cursor[li] >= lists[li].size()) {
+        // This list is exhausted: no further candidate can match.
+        dpos = driver.size();
+        all = false;
+        break;
+      }
+      if (lists[li][cursor[li]].doc != candidate) {
+        next_candidate = lists[li][cursor[li]].doc;
+        all = false;
+      } else {
+        score += std::log(1.0 + lists[li][cursor[li]].tf) * idf[li];
+      }
+    }
+    if (dpos >= driver.size()) break;
+    if (all) {
+      matches.push_back(
+          ScoredDoc{candidate, static_cast<float>(score)});
+      ++dpos;
+    } else {
+      // Leap the driver to the blocking list's doc id.
+      dpos = driver.advance(dpos, next_candidate, &skip_hops);
+    }
+  }
+
+  const std::size_t k = std::min(top_k_, matches.size());
+  std::partial_sort(matches.begin(),
+                    matches.begin() + static_cast<std::ptrdiff_t>(k),
+                    matches.end(),
+                    [](const ScoredDoc& a, const ScoredDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  if (stats) {
+    stats->docs_scored = matches.size();
+    stats->postings_touched = touched;
+    stats->skip_hops = skip_hops;
+  }
+  matches.resize(k);
+  out.docs = std::move(matches);
+  return out;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,64 @@
+// Document-at-a-time (DAAT) conjunctive query processing with skip
+// pointers — the Lucene-style mechanism behind the paper's "skipped
+// reads" (§III): doc-id-ordered lists are intersected by repeatedly
+// advancing the laggard cursor, and skip entries let advance() leap over
+// runs of postings instead of scanning them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/query.hpp"
+#include "src/engine/result.hpp"
+#include "src/index/inverted_index.hpp"
+
+namespace ssdse {
+
+/// Doc-id-sorted projection of a posting list with a one-level skip
+/// table (every `skip_interval` postings).
+class DocSortedList {
+ public:
+  DocSortedList() = default;
+  explicit DocSortedList(const PostingList& list,
+                         std::uint32_t skip_interval = 64);
+
+  std::size_t size() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+  const Posting& operator[](std::size_t i) const { return postings_[i]; }
+
+  /// Smallest index i >= `from` with doc id >= `target`, or size() if
+  /// none. Uses the skip table first, then scans; `skips_used`
+  /// accumulates how many skip hops were taken (observability for the
+  /// skipped-read analysis).
+  std::size_t advance(std::size_t from, DocId target,
+                      std::uint64_t* skips_used = nullptr) const;
+
+  std::span<const Posting> postings() const { return postings_; }
+
+ private:
+  std::vector<Posting> postings_;  // doc-id ascending
+  std::vector<std::uint32_t> skip_index_;  // indices into postings_
+  std::vector<DocId> skip_doc_;            // doc id at each skip entry
+};
+
+struct DaatStats {
+  std::uint64_t docs_scored = 0;     // documents containing all terms
+  std::uint64_t postings_touched = 0;
+  std::uint64_t skip_hops = 0;       // skip-table leaps taken
+};
+
+/// Conjunctive (AND) top-K: returns documents containing *every* query
+/// term, scored by summed log-tf x idf, descending.
+class DaatProcessor {
+ public:
+  explicit DaatProcessor(std::size_t top_k = kTopK) : top_k_(top_k) {}
+
+  /// Requires a materialized index (real postings).
+  ResultEntry intersect(const MaterializedIndex& index, const Query& query,
+                        DaatStats* stats = nullptr) const;
+
+ private:
+  std::size_t top_k_;
+};
+
+}  // namespace ssdse

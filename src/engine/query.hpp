@@ -1,0 +1,18 @@
+// Queries: a distinct query is a small bag of term ids plus a stable
+// identity (the result-cache key).
+#pragma once
+
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct Query {
+  /// Identity of the *distinct* query string; repetitions of the same
+  /// query share the id (that is what result caching exploits).
+  QueryId id = 0;
+  std::vector<TermId> terms;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,30 @@
+// Result entries: the fixed-length cached unit of the result cache.
+// Paper §VI: top-K with K = 50, ~400 B per document (URL, snippet,
+// date), so one result entry is ~20 KiB.
+#pragma once
+
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+constexpr std::size_t kTopK = 50;
+constexpr Bytes kBytesPerResultDoc = 400;
+constexpr Bytes kResultEntryBytes = kTopK * kBytesPerResultDoc;  // 20'000 B
+
+struct ScoredDoc {
+  DocId doc = 0;
+  float score = 0.0f;
+
+  friend bool operator==(const ScoredDoc&, const ScoredDoc&) = default;
+};
+
+struct ResultEntry {
+  QueryId query = 0;
+  std::vector<ScoredDoc> docs;  // descending score, at most kTopK
+
+  Bytes bytes() const { return kResultEntryBytes; }
+};
+
+}  // namespace ssdse

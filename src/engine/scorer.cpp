@@ -1,0 +1,109 @@
+#include "src/engine/scorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace ssdse {
+
+namespace {
+
+/// Deterministic pseudo-doc for analytic top-K synthesis.
+DocId synth_doc(QueryId q, std::size_t i, std::uint64_t num_docs) {
+  std::uint64_t x = q * 0x9E3779B97F4A7C15ull + i * 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 31;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 29;
+  return static_cast<DocId>(x % num_docs);
+}
+
+}  // namespace
+
+ScoreOutcome Scorer::score(IndexView& index, const Query& query) const {
+  if (auto* mat = dynamic_cast<MaterializedIndex*>(&index)) {
+    return score_materialized(*mat, query);
+  }
+  return score_analytic(index, query);
+}
+
+ScoreOutcome Scorer::score_materialized(MaterializedIndex& index,
+                                        const Query& query) const {
+  ScoreOutcome out;
+  out.result.query = query.id;
+  std::unordered_map<DocId, float> acc;
+
+  const double n_docs = static_cast<double>(index.num_docs());
+  for (TermId t : query.terms) {
+    const PostingList& list = *index.postings(t);
+    TermScoreInfo info{t, 0, 1.0};
+    if (!list.empty()) {
+      const double idf =
+          std::log(1.0 + n_docs / static_cast<double>(list.size()));
+      const auto tf_top = list[0].tf;
+      const auto tf_floor = static_cast<std::uint32_t>(
+          std::ceil(cfg_.tf_cutoff * static_cast<double>(tf_top)));
+      const auto needed_candidates = static_cast<std::size_t>(
+          cfg_.candidate_multiple * static_cast<double>(cfg_.top_k));
+      std::size_t i = 0;
+      for (; i < list.size(); ++i) {
+        const Posting& p = list[i];
+        // Early termination: low-tf tail cannot displace the top-K once
+        // enough candidates are accumulated.
+        if (p.tf < tf_floor && acc.size() >= needed_candidates) break;
+        acc[p.doc] +=
+            static_cast<float>(std::log(1.0 + p.tf) * idf);
+      }
+      info.postings_processed = i;
+      info.utilization =
+          static_cast<double>(i) / static_cast<double>(list.size());
+      index.record_utilization(t, info.utilization);
+    } else {
+      info.postings_processed = 0;
+      info.utilization = 1.0;
+    }
+    out.total_postings += info.postings_processed;
+    out.terms.push_back(info);
+  }
+
+  // Extract top-K by partial sort.
+  std::vector<ScoredDoc> scored;
+  scored.reserve(acc.size());
+  for (const auto& [doc, s] : acc) scored.push_back(ScoredDoc{doc, s});
+  const std::size_t k = std::min(cfg_.top_k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  scored.resize(k);
+  out.result.docs = std::move(scored);
+  out.cpu_time = cfg_.cpu_fixed +
+                 cfg_.cpu_per_posting * static_cast<double>(out.total_postings);
+  return out;
+}
+
+ScoreOutcome Scorer::score_analytic(const IndexView& index,
+                                    const Query& query) const {
+  ScoreOutcome out;
+  out.result.query = query.id;
+  for (TermId t : query.terms) {
+    const TermMeta meta = index.term_meta(t);
+    const auto processed = static_cast<std::uint64_t>(
+        std::ceil(meta.utilization * static_cast<double>(meta.df)));
+    out.terms.push_back(TermScoreInfo{t, processed, meta.utilization});
+    out.total_postings += processed;
+  }
+  const std::size_t k =
+      std::min<std::uint64_t>(cfg_.top_k, index.num_docs());
+  out.result.docs.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.result.docs.push_back(ScoredDoc{
+        synth_doc(query.id, i, index.num_docs()),
+        static_cast<float>(k - i)});
+  }
+  out.cpu_time = cfg_.cpu_fixed +
+                 cfg_.cpu_per_posting * static_cast<double>(out.total_postings);
+  return out;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,149 @@
+#include "src/ftl/block_ftl.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ssdse {
+
+BlockFtl::BlockFtl(NandArray& nand, const FtlConfig& cfg)
+    : Ftl(nand), cfg_(cfg) {
+  const auto& nc = nand_.config();
+  const auto reserved = static_cast<std::uint32_t>(
+      static_cast<double>(nc.num_blocks) * cfg_.over_provisioning);
+  if (nc.num_blocks <= reserved + 2) {
+    throw std::invalid_argument("BlockFtl: NAND too small");
+  }
+  num_lbns_ = nc.num_blocks - std::max(reserved, 2u);
+  logical_pages_ = static_cast<Lpn>(num_lbns_) * nc.pages_per_block;
+  map_.assign(num_lbns_, kUnmappedB);
+  fill_.assign(num_lbns_, 0);
+  valid_.assign(num_lbns_, Bitmap(nc.pages_per_block));
+  version_.assign(logical_pages_, 0);
+  free_blocks_.reserve(nc.num_blocks);
+  for (Pbn b = nc.num_blocks; b-- > 0;) free_blocks_.push_back(b);
+}
+
+void BlockFtl::check_lpn(Lpn lpn) const {
+  if (lpn >= logical_pages_) {
+    throw std::out_of_range("BlockFtl: lpn beyond logical space");
+  }
+}
+
+Pbn BlockFtl::alloc_block() {
+  if (free_blocks_.empty()) {
+    throw std::logic_error("BlockFtl: free pool exhausted");
+  }
+  const Pbn b = free_blocks_.back();
+  free_blocks_.pop_back();
+  return b;
+}
+
+Micros BlockFtl::read(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_reads;
+  Micros cost = kCtrlOverhead;
+  const auto ppb = nand_.config().pages_per_block;
+  const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
+  const auto off = static_cast<std::uint32_t>(lpn % ppb);
+  if (map_[lbn] != kUnmappedB && valid_[lbn].test(off)) {
+    std::uint64_t tag = 0;
+    cost += nand_.read_page(static_cast<Ppn>(map_[lbn]) * ppb + off, &tag);
+    if (tag != make_tag(lpn, version_[lpn])) {
+      throw std::logic_error("BlockFtl: tag mismatch on read");
+    }
+  }
+  stats_.host_busy += cost;
+  return cost;
+}
+
+Micros BlockFtl::merge_block(std::uint32_t lbn, std::uint32_t write_offset) {
+  const auto ppb = nand_.config().pages_per_block;
+  const Pbn old = map_[lbn];
+  const Pbn fresh = alloc_block();
+  Micros cost = 0;
+
+  // Highest offset that must be programmed in the fresh block.
+  std::uint32_t top = write_offset == kInvalidU32 ? 0 : write_offset;
+  for (std::uint32_t p = 0; p < ppb; ++p) {
+    if (valid_[lbn].test(p) && p > top) top = p;
+  }
+  for (std::uint32_t p = 0; p <= top; ++p) {
+    const Lpn lpn = static_cast<Lpn>(lbn) * ppb + p;
+    const Ppn dst = static_cast<Ppn>(fresh) * ppb + p;
+    if (p == write_offset) {
+      cost += nand_.program_page(dst, make_tag(lpn, version_[lpn]));
+      valid_[lbn].set(p);
+    } else if (valid_[lbn].test(p)) {
+      std::uint64_t tag = 0;
+      cost += nand_.read_page(static_cast<Ppn>(old) * ppb + p, &tag);
+      assert(tag == make_tag(lpn, version_[lpn]));
+      cost += nand_.program_page(dst, tag);
+      ++stats_.gc_page_copies;
+    } else {
+      // Padding program to satisfy the in-order rule.
+      cost += nand_.program_page(dst, kPadTag | p);
+    }
+  }
+  map_[lbn] = fresh;
+  fill_[lbn] = top + 1;
+  if (old != kUnmappedB) {
+    cost += nand_.erase_block(old);
+    free_blocks_.push_back(old);
+    ++stats_.gc_invocations;
+  }
+  return cost;
+}
+
+Micros BlockFtl::write(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_writes;
+  Micros cost = kCtrlOverhead;
+  const auto ppb = nand_.config().pages_per_block;
+  const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
+  const auto off = static_cast<std::uint32_t>(lpn % ppb);
+  ++version_[lpn];
+
+  if (map_[lbn] == kUnmappedB) {
+    // First write into this logical block: take a fresh physical block,
+    // pad up to the offset, then program the data page.
+    map_[lbn] = alloc_block();
+    fill_[lbn] = 0;
+  }
+  if (!valid_[lbn].test(off) && off >= fill_[lbn]) {
+    // In-place append (possibly with padding programs before it).
+    const Ppn base = static_cast<Ppn>(map_[lbn]) * ppb;
+    for (std::uint32_t p = fill_[lbn]; p < off; ++p) {
+      cost += nand_.program_page(base + p, kPadTag | p);
+    }
+    cost += nand_.program_page(base + off, make_tag(lpn, version_[lpn]));
+    valid_[lbn].set(off);
+    fill_[lbn] = off + 1;
+  } else {
+    // Overwrite (or rewrite of a previously padded slot): copy-merge.
+    cost += merge_block(lbn, off);
+  }
+  stats_.host_busy += cost;
+  return cost;
+}
+
+Micros BlockFtl::trim(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_trims;
+  const auto ppb = nand_.config().pages_per_block;
+  const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
+  const auto off = static_cast<std::uint32_t>(lpn % ppb);
+  Micros cost = 1.0;
+  if (map_[lbn] != kUnmappedB && valid_[lbn].test(off)) {
+    valid_[lbn].clear(off);
+    ++version_[lpn];
+    if (valid_[lbn].none()) {
+      cost += nand_.erase_block(map_[lbn]);
+      free_blocks_.push_back(map_[lbn]);
+      map_[lbn] = kUnmappedB;
+      fill_[lbn] = 0;
+    }
+  }
+  return cost;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,51 @@
+// Block-mapping FTL (Kim et al. 2002, surveyed in paper §II.A).
+//
+// One mapping entry per logical block; a logical page lives at a fixed
+// offset inside its block. Overwrites force a copy-merge into a fresh
+// block, and NAND's in-order-program rule forces padding programs for
+// skipped offsets — exactly the read/GC weakness the paper attributes to
+// block mapping. Kept as an ablation baseline (bench/ablation_ftl).
+#pragma once
+
+#include <vector>
+
+#include "src/ftl/ftl.hpp"
+#include "src/util/bitmap.hpp"
+
+namespace ssdse {
+
+class BlockFtl final : public Ftl {
+ public:
+  BlockFtl(NandArray& nand, const FtlConfig& cfg = {});
+
+  Lpn logical_pages() const override { return logical_pages_; }
+  Micros read(Lpn lpn) override;
+  Micros write(Lpn lpn) override;
+  Micros trim(Lpn lpn) override;
+  std::string name() const override { return "block"; }
+
+  std::size_t free_blocks() const { return free_blocks_.size(); }
+
+ private:
+  static constexpr Pbn kUnmappedB = kInvalidU32;
+  static constexpr Micros kCtrlOverhead = 5.0;
+  /// Pad pages carry this marker in the upper tag bits.
+  static constexpr std::uint64_t kPadTag = 0xFFFFFFFF00000000ull;
+
+  Pbn alloc_block();
+  /// Rewrite logical block `lbn` into a fresh physical block with page
+  /// `write_offset` replaced by new data (kInvalidU32 = pure copy).
+  Micros merge_block(std::uint32_t lbn, std::uint32_t write_offset);
+  void check_lpn(Lpn lpn) const;
+
+  FtlConfig cfg_;
+  Lpn logical_pages_;
+  std::uint32_t num_lbns_;
+  std::vector<Pbn> map_;                  // lbn -> pbn
+  std::vector<std::uint32_t> fill_;       // lbn -> next in-order offset
+  std::vector<Bitmap> valid_;             // lbn -> per-offset validity
+  std::vector<std::uint32_t> version_;    // lpn -> tag version
+  std::vector<Pbn> free_blocks_;
+};
+
+}  // namespace ssdse

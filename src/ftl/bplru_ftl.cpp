@@ -1,0 +1,99 @@
+#include "src/ftl/bplru_ftl.hpp"
+
+#include <stdexcept>
+
+namespace ssdse {
+
+BplruFtl::BplruFtl(NandArray& nand, std::unique_ptr<Ftl> inner,
+                   const BplruConfig& cfg)
+    : Ftl(nand), inner_(std::move(inner)), cfg_(cfg) {
+  if (&inner_->nand() != &nand_) {
+    throw std::invalid_argument("BplruFtl: inner FTL wraps a different NAND");
+  }
+  if (cfg_.buffer_blocks == 0) {
+    throw std::invalid_argument("BplruFtl: zero-capacity buffer");
+  }
+}
+
+Micros BplruFtl::read(Lpn lpn) {
+  ++stats_.host_reads;
+  const std::uint64_t lbn = block_of_lpn(lpn);
+  const auto offset =
+      static_cast<std::uint32_t>(lpn % nand_.config().pages_per_block);
+  // Buffered dirty page: served from SSD RAM.
+  if (const BlockSet* set = buffer_.peek(lbn)) {
+    if (set->count(offset)) {
+      ++bstats_.buffer_read_hits;
+      stats_.host_busy += cfg_.ram_write;
+      return cfg_.ram_write;
+    }
+  }
+  const Micros t = inner_->read(lpn);
+  stats_.host_busy += t;
+  return t;
+}
+
+Micros BplruFtl::flush_block(std::uint64_t lbn, const BlockSet& dirty) {
+  Micros t = 0;
+  const auto ppb = nand_.config().pages_per_block;
+  const Lpn base = lbn * ppb;
+  for (std::uint32_t p = 0; p < ppb; ++p) {
+    if (dirty.count(p)) {
+      t += inner_->write(base + p);
+      ++bstats_.flushed_pages;
+    } else if (cfg_.page_padding) {
+      // Page padding: rewrite the clean page so the whole logical block
+      // lands as one sequential burst (read-modify-write).
+      t += inner_->read(base + p);
+      t += inner_->write(base + p);
+      ++bstats_.padded_pages;
+    }
+  }
+  ++bstats_.flushes;
+  return t;
+}
+
+Micros BplruFtl::flush_victim() {
+  auto victim = buffer_.pop_lru();
+  if (!victim) return 0;
+  return flush_block(victim->first, victim->second);
+}
+
+Micros BplruFtl::write(Lpn lpn) {
+  ++stats_.host_writes;
+  Micros t = cfg_.ram_write;
+  const std::uint64_t lbn = block_of_lpn(lpn);
+  const auto offset =
+      static_cast<std::uint32_t>(lpn % nand_.config().pages_per_block);
+  if (BlockSet* set = buffer_.touch(lbn)) {
+    set->insert(offset);
+  } else {
+    buffer_.insert(lbn, BlockSet{offset});
+    if (buffer_.size() > cfg_.buffer_blocks) {
+      t += flush_victim();
+    }
+  }
+  ++bstats_.buffered_writes;
+  stats_.host_busy += t;
+  return t;
+}
+
+Micros BplruFtl::trim(Lpn lpn) {
+  ++stats_.host_trims;
+  const std::uint64_t lbn = block_of_lpn(lpn);
+  const auto offset =
+      static_cast<std::uint32_t>(lpn % nand_.config().pages_per_block);
+  if (BlockSet* set = buffer_.peek(lbn)) {
+    set->erase(offset);
+    if (set->empty()) buffer_.erase(lbn);
+  }
+  return inner_->trim(lpn);
+}
+
+Micros BplruFtl::flush_all() {
+  Micros t = 0;
+  while (!buffer_.empty()) t += flush_victim();
+  return t;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,61 @@
+#include "src/ftl/dftl.hpp"
+
+namespace ssdse {
+
+Dftl::Dftl(NandArray& nand, const DftlConfig& cfg)
+    : Ftl(nand), cfg_(cfg), inner_(nand, cfg) {}
+
+Micros Dftl::cmt_access(Lpn lpn, bool dirtying) {
+  const auto& nc = nand_.config();
+  Micros cost = 0;
+  if (bool* dirty = cmt_.touch(lpn)) {
+    ++dstats_.cmt_hits;
+    *dirty = *dirty || dirtying;
+    return cost;
+  }
+  ++dstats_.cmt_misses;
+  // Miss: fetch the translation page holding this entry.
+  cost += nc.page_read;
+  ++dstats_.tpage_reads;
+  // Make room: evicting a dirty entry writes back its translation page
+  // (read-modify-write; DFTL's batching of same-page dirty entries is
+  // approximated by the single-page cost).
+  if (cmt_.size() >= cfg_.cmt_entries) {
+    const auto victim = cmt_.pop_lru();
+    if (victim && victim->second) {
+      cost += nc.page_read + nc.page_program;
+      ++dstats_.tpage_reads;
+      ++dstats_.tpage_writes;
+    }
+  }
+  cmt_.insert(lpn, dirtying);
+  return cost;
+}
+
+Micros Dftl::read(Lpn lpn) {
+  Micros cost = cmt_access(lpn, /*dirtying=*/false);
+  cost += inner_.read(lpn);
+  ++stats_.host_reads;
+  stats_.host_busy += cost;
+  return cost;
+}
+
+Micros Dftl::write(Lpn lpn) {
+  Micros cost = cmt_access(lpn, /*dirtying=*/true);
+  cost += inner_.write(lpn);
+  ++stats_.host_writes;
+  stats_.host_busy += cost;
+  // Mirror data-path GC counters so callers see one coherent FtlStats.
+  stats_.gc_invocations = inner_.stats().gc_invocations;
+  stats_.gc_page_copies = inner_.stats().gc_page_copies;
+  return cost;
+}
+
+Micros Dftl::trim(Lpn lpn) {
+  Micros cost = cmt_access(lpn, /*dirtying=*/true);
+  cost += inner_.trim(lpn);
+  ++stats_.host_trims;
+  return cost;
+}
+
+}  // namespace ssdse

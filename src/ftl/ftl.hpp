@@ -1,0 +1,98 @@
+// Flash translation layer interface (paper §II.A).
+//
+// The FTL exposes a flat logical-page address space over a NandArray and
+// hides erase-before-write behind out-of-place updates + garbage
+// collection. The paper takes the "ideal page-based FTL" as its
+// baseline; we implement that (PageFtl) plus the other schemes §II.A
+// surveys (block-mapped, hybrid log-block, DFTL) for ablation.
+//
+// Correctness instrumentation: every logical page carries a version
+// counter; writes program tag = (lpn << 32 | version) into NAND and
+// reads verify the mapped physical page holds exactly that tag, so any
+// mapping or GC bug trips immediately.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/storage/nand.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+/// Logical page number.
+using Lpn = std::uint64_t;
+
+struct FtlStats {
+  std::uint64_t host_reads = 0;
+  std::uint64_t host_writes = 0;
+  std::uint64_t host_trims = 0;
+  std::uint64_t gc_invocations = 0;
+  std::uint64_t gc_page_copies = 0;
+  Micros host_busy = 0;  // latency charged to host ops (incl. GC stalls)
+
+  /// Write amplification: NAND programs / host writes.
+  double write_amplification(const NandStats& nand) const {
+    return host_writes
+               ? static_cast<double>(nand.page_programs) /
+                     static_cast<double>(host_writes)
+               : 0.0;
+  }
+  Micros mean_access() const {
+    const auto ops = host_reads + host_writes;
+    return ops ? host_busy / static_cast<double>(ops) : 0.0;
+  }
+};
+
+class Ftl {
+ public:
+  explicit Ftl(NandArray& nand) : nand_(nand) {}
+  virtual ~Ftl() = default;
+
+  Ftl(const Ftl&) = delete;
+  Ftl& operator=(const Ftl&) = delete;
+
+  /// Logical capacity exported to the host (< physical capacity; the
+  /// rest is over-provisioning).
+  virtual Lpn logical_pages() const = 0;
+
+  /// Read a logical page. Reading a never-written/trimmed page is legal
+  /// (returns erased-pattern cost). Returns latency.
+  virtual Micros read(Lpn lpn) = 0;
+
+  /// Write a logical page (out-of-place). Returns latency including any
+  /// GC work it had to wait for.
+  virtual Micros write(Lpn lpn) = 0;
+
+  /// Drop a logical page (SSD TRIM): unmap and invalidate.
+  virtual Micros trim(Lpn lpn) = 0;
+
+  virtual std::string name() const = 0;
+
+  const FtlStats& stats() const { return stats_; }
+  NandArray& nand() { return nand_; }
+  const NandArray& nand() const { return nand_; }
+
+ protected:
+  static std::uint64_t make_tag(Lpn lpn, std::uint32_t version) {
+    return (lpn << 32) | version;
+  }
+  static Lpn tag_lpn(std::uint64_t tag) { return tag >> 32; }
+
+  NandArray& nand_;
+  FtlStats stats_;
+};
+
+struct FtlConfig {
+  /// Fraction of physical blocks reserved as over-provisioning (not in
+  /// the host-visible logical space). Intel consumer SSDs are ~7 %.
+  double over_provisioning = 0.07;
+  /// GC starts when the free-block pool drops to this size.
+  std::uint32_t gc_low_watermark = 4;
+  /// Wear leveling (PageFtl): allocate the least-worn free block and
+  /// break GC-victim ties toward less-worn blocks, narrowing the erase
+  /// spread across the array.
+  bool wear_leveling = false;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,209 @@
+#include "src/ftl/hybrid_ftl.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace ssdse {
+
+HybridLogFtl::HybridLogFtl(NandArray& nand, const HybridFtlConfig& cfg)
+    : Ftl(nand), cfg_(cfg) {
+  const auto& nc = nand_.config();
+  const auto reserved = static_cast<std::uint32_t>(
+                            static_cast<double>(nc.num_blocks) *
+                            cfg_.over_provisioning) +
+                        cfg_.log_blocks;
+  if (nc.num_blocks <= reserved + 2) {
+    throw std::invalid_argument("HybridLogFtl: NAND too small");
+  }
+  num_lbns_ = nc.num_blocks - reserved;
+  logical_pages_ = static_cast<Lpn>(num_lbns_) * nc.pages_per_block;
+  data_map_.assign(num_lbns_, kUnmappedB);
+  data_valid_.assign(num_lbns_, Bitmap(nc.pages_per_block));
+  log_map_.assign(logical_pages_, kUnmappedP);
+  version_.assign(logical_pages_, 0);
+  log_live_.assign(nc.num_blocks, 0);
+  free_blocks_.reserve(nc.num_blocks);
+  for (Pbn b = nc.num_blocks; b-- > 0;) free_blocks_.push_back(b);
+}
+
+void HybridLogFtl::check_lpn(Lpn lpn) const {
+  if (lpn >= logical_pages_) {
+    throw std::out_of_range("HybridLogFtl: lpn beyond logical space");
+  }
+}
+
+Pbn HybridLogFtl::alloc_block() {
+  if (free_blocks_.empty()) {
+    throw std::logic_error("HybridLogFtl: free pool exhausted");
+  }
+  const Pbn b = free_blocks_.back();
+  free_blocks_.pop_back();
+  return b;
+}
+
+Micros HybridLogFtl::read(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_reads;
+  Micros cost = kCtrlOverhead;
+  const auto ppb = nand_.config().pages_per_block;
+  std::uint64_t tag = 0;
+  if (log_map_[lpn] != kUnmappedP) {
+    cost += nand_.read_page(log_map_[lpn], &tag);
+  } else {
+    const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
+    const auto off = static_cast<std::uint32_t>(lpn % ppb);
+    if (data_map_[lbn] != kUnmappedB && data_valid_[lbn].test(off)) {
+      cost +=
+          nand_.read_page(static_cast<Ppn>(data_map_[lbn]) * ppb + off, &tag);
+    } else {
+      stats_.host_busy += cost;
+      return cost;  // unwritten page
+    }
+  }
+  if (tag != make_tag(lpn, version_[lpn])) {
+    throw std::logic_error("HybridLogFtl: tag mismatch on read");
+  }
+  stats_.host_busy += cost;
+  return cost;
+}
+
+Micros HybridLogFtl::full_merge(std::uint32_t lbn) {
+  const auto ppb = nand_.config().pages_per_block;
+  Micros cost = 0;
+  const Pbn fresh = alloc_block();
+  const Pbn old = data_map_[lbn];
+
+  // Top offset that must land in the fresh block.
+  std::uint32_t top = 0;
+  bool any = false;
+  for (std::uint32_t p = 0; p < ppb; ++p) {
+    const Lpn lpn = static_cast<Lpn>(lbn) * ppb + p;
+    if (log_map_[lpn] != kUnmappedP ||
+        (old != kUnmappedB && data_valid_[lbn].test(p))) {
+      top = p;
+      any = true;
+    }
+  }
+  assert(any);
+  (void)any;
+
+  for (std::uint32_t p = 0; p <= top; ++p) {
+    const Lpn lpn = static_cast<Lpn>(lbn) * ppb + p;
+    const Ppn dst = static_cast<Ppn>(fresh) * ppb + p;
+    std::uint64_t tag = 0;
+    if (log_map_[lpn] != kUnmappedP) {
+      // Newest copy lives in some log block.
+      cost += nand_.read_page(log_map_[lpn], &tag);
+      assert(tag == make_tag(lpn, version_[lpn]));
+      cost += nand_.program_page(dst, tag);
+      const Pbn lb = nand_.block_of(log_map_[lpn]);
+      assert(log_live_[lb] > 0);
+      --log_live_[lb];
+      log_map_[lpn] = kUnmappedP;
+      data_valid_[lbn].set(p);
+      ++stats_.gc_page_copies;
+    } else if (old != kUnmappedB && data_valid_[lbn].test(p)) {
+      cost += nand_.read_page(static_cast<Ppn>(old) * ppb + p, &tag);
+      assert(tag == make_tag(lpn, version_[lpn]));
+      cost += nand_.program_page(dst, tag);
+      ++stats_.gc_page_copies;
+    } else {
+      cost += nand_.program_page(dst, kPadTag | p);
+      data_valid_[lbn].clear(p);
+    }
+  }
+  data_map_[lbn] = fresh;
+  if (old != kUnmappedB) {
+    cost += nand_.erase_block(old);
+    free_blocks_.push_back(old);
+  }
+  ++stats_.gc_invocations;
+  return cost;
+}
+
+Micros HybridLogFtl::merge_oldest_log() {
+  assert(!log_fifo_.empty());
+  const auto ppb = nand_.config().pages_per_block;
+  const Pbn victim = log_fifo_.front();
+  log_fifo_.pop_front();
+  Micros cost = 0;
+
+  // Walk the victim's pages; each live page triggers a full merge of its
+  // logical block (which also clears this block's other entries for it).
+  const Ppn base = static_cast<Ppn>(victim) * ppb;
+  for (std::uint32_t p = 0; p < ppb && log_live_[victim] > 0; ++p) {
+    std::uint64_t tag = 0;
+    cost += nand_.read_page(base + p, &tag);
+    const Lpn lpn = tag_lpn(tag);
+    if (lpn < logical_pages_ && log_map_[lpn] == base + p) {
+      cost += full_merge(static_cast<std::uint32_t>(lpn / ppb));
+    }
+  }
+  assert(log_live_[victim] == 0);
+  cost += nand_.erase_block(victim);
+  free_blocks_.push_back(victim);
+  return cost;
+}
+
+Micros HybridLogFtl::append_to_log(Lpn lpn) {
+  const auto ppb = nand_.config().pages_per_block;
+  Micros cost = 0;
+  if (log_active_ == kUnmappedB || log_cursor_ == ppb) {
+    if (log_active_ != kUnmappedB) log_fifo_.push_back(log_active_);
+    while (log_fifo_.size() >= cfg_.log_blocks) {
+      cost += merge_oldest_log();
+    }
+    log_active_ = alloc_block();
+    log_cursor_ = 0;
+  }
+  const Ppn dst = static_cast<Ppn>(log_active_) * ppb + log_cursor_;
+  ++log_cursor_;
+  cost += nand_.program_page(dst, make_tag(lpn, version_[lpn]));
+  log_map_[lpn] = dst;
+  ++log_live_[log_active_];
+  return cost;
+}
+
+Micros HybridLogFtl::write(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_writes;
+  Micros cost = kCtrlOverhead;
+  const auto ppb = nand_.config().pages_per_block;
+  const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
+  const auto off = static_cast<std::uint32_t>(lpn % ppb);
+
+  // Invalidate the previous copy (log or data).
+  if (log_map_[lpn] != kUnmappedP) {
+    const Pbn lb = nand_.block_of(log_map_[lpn]);
+    assert(log_live_[lb] > 0);
+    --log_live_[lb];
+    log_map_[lpn] = kUnmappedP;
+  } else if (data_map_[lbn] != kUnmappedB && data_valid_[lbn].test(off)) {
+    data_valid_[lbn].clear(off);
+  }
+  ++version_[lpn];
+  cost += append_to_log(lpn);
+  stats_.host_busy += cost;
+  return cost;
+}
+
+Micros HybridLogFtl::trim(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_trims;
+  const auto ppb = nand_.config().pages_per_block;
+  const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
+  const auto off = static_cast<std::uint32_t>(lpn % ppb);
+  if (log_map_[lpn] != kUnmappedP) {
+    const Pbn lb = nand_.block_of(log_map_[lpn]);
+    assert(log_live_[lb] > 0);
+    --log_live_[lb];
+    log_map_[lpn] = kUnmappedP;
+  } else if (data_map_[lbn] != kUnmappedB && data_valid_[lbn].test(off)) {
+    data_valid_[lbn].clear(off);
+  }
+  ++version_[lpn];
+  return 1.0;
+}
+
+}  // namespace ssdse

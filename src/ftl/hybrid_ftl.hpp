@@ -1,0 +1,65 @@
+// Hybrid log-block FTL (FAST-style: Lee et al. 2007, paper §II.A).
+//
+// Data blocks are block-mapped; a small shared pool of page-mapped log
+// blocks absorbs all writes sequentially. When the log pool fills, the
+// oldest log block is victimized and every logical block with live pages
+// in it is *fully merged* (data block + newest log copies -> fresh
+// block). Random-write-heavy workloads trigger expensive full merges —
+// the behaviour that motivates the paper's large-sequential-write cache
+// policies.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "src/ftl/ftl.hpp"
+#include "src/util/bitmap.hpp"
+
+namespace ssdse {
+
+struct HybridFtlConfig : FtlConfig {
+  /// Number of log blocks (the write working set absorber).
+  std::uint32_t log_blocks = 32;
+};
+
+class HybridLogFtl final : public Ftl {
+ public:
+  HybridLogFtl(NandArray& nand, const HybridFtlConfig& cfg = {});
+
+  Lpn logical_pages() const override { return logical_pages_; }
+  Micros read(Lpn lpn) override;
+  Micros write(Lpn lpn) override;
+  Micros trim(Lpn lpn) override;
+  std::string name() const override { return "hybrid-log"; }
+
+  std::size_t active_log_blocks() const { return log_fifo_.size(); }
+
+ private:
+  static constexpr Pbn kUnmappedB = kInvalidU32;
+  static constexpr Ppn kUnmappedP = ~0ull;
+  static constexpr Micros kCtrlOverhead = 5.0;
+  static constexpr std::uint64_t kPadTag = 0xFFFFFFFF00000000ull;
+
+  Pbn alloc_block();
+  /// Full-merge every logical block with live pages in the oldest log
+  /// block, then erase it.
+  Micros merge_oldest_log();
+  Micros full_merge(std::uint32_t lbn);
+  Micros append_to_log(Lpn lpn);
+  void check_lpn(Lpn lpn) const;
+
+  HybridFtlConfig cfg_;
+  Lpn logical_pages_;
+  std::uint32_t num_lbns_;
+  std::vector<Pbn> data_map_;             // lbn -> data pbn
+  std::vector<Bitmap> data_valid_;        // lbn -> per-offset validity
+  std::vector<Ppn> log_map_;              // lpn -> ppn in a log block
+  std::vector<std::uint32_t> version_;    // lpn -> tag version
+  std::vector<std::uint32_t> log_live_;   // per physical block: live log pages
+  std::deque<Pbn> log_fifo_;              // oldest log block at front
+  Pbn log_active_ = kUnmappedB;
+  std::uint32_t log_cursor_ = 0;
+  std::vector<Pbn> free_blocks_;
+};
+
+}  // namespace ssdse

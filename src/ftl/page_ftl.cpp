@@ -1,0 +1,216 @@
+#include "src/ftl/page_ftl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ssdse {
+
+PageFtl::PageFtl(NandArray& nand, const FtlConfig& cfg)
+    : Ftl(nand), cfg_(cfg) {
+  const auto& nc = nand_.config();
+  // Over-provisioning must at least cover the GC watermark plus the two
+  // active blocks and one block of GC headroom, or steady-state GC can
+  // never refill the free pool on small arrays.
+  const auto reserved = std::max(
+      static_cast<std::uint32_t>(static_cast<double>(nc.num_blocks) *
+                                 cfg_.over_provisioning),
+      cfg_.gc_low_watermark + 4);
+  if (nc.num_blocks <= reserved + 2) {
+    throw std::invalid_argument("PageFtl: NAND too small for OP + reserve");
+  }
+  logical_pages_ =
+      static_cast<Lpn>(nc.num_blocks - reserved) * nc.pages_per_block;
+  map_.assign(logical_pages_, kUnmappedP);
+  version_.assign(logical_pages_, 0);
+  rmap_.assign(nc.total_pages(), kUnmappedL);
+  valid_.assign(nc.num_blocks, 0);
+  state_.assign(nc.num_blocks, BState::kFree);
+  seal_wear_.assign(nc.num_blocks, 0);
+  free_blocks_.reserve(nc.num_blocks);
+  // Highest block numbers first so allocation starts at block 0. Under
+  // wear leveling the vector is kept as a heap ordered by wear (least
+  // worn popped first); with uniform initial wear the orders coincide.
+  for (Pbn b = nc.num_blocks; b-- > 0;) free_blocks_.push_back(b);
+  if (cfg_.wear_leveling) {
+    auto cmp = [this](Pbn x, Pbn y) {
+      const auto wx = nand_.erase_count(x);
+      const auto wy = nand_.erase_count(y);
+      if (wx != wy) return wx > wy;
+      return x > y;
+    };
+    std::make_heap(free_blocks_.begin(), free_blocks_.end(), cmp);
+  }
+  for (int s = 0; s < 2; ++s) {
+    active_[s] = pop_free_block();
+    state_[active_[s]] = BState::kActive;
+    cursor_[s] = 0;
+  }
+}
+
+void PageFtl::check_lpn(Lpn lpn) const {
+  if (lpn >= logical_pages_) {
+    throw std::out_of_range("PageFtl: lpn beyond logical space");
+  }
+}
+
+void PageFtl::invalidate(Ppn ppn) {
+  assert(ppn != kUnmappedP);
+  const Pbn blk = nand_.block_of(ppn);
+  assert(valid_[blk] > 0);
+  if (state_[blk] == BState::kUsed) {
+    candidates_.erase(std::tuple{valid_[blk], seal_wear_[blk], blk});
+    --valid_[blk];
+    candidates_.insert(std::tuple{valid_[blk], seal_wear_[blk], blk});
+  } else {
+    --valid_[blk];
+  }
+  rmap_[ppn] = kUnmappedL;
+}
+
+Pbn PageFtl::pop_free_block() {
+  assert(!free_blocks_.empty());
+  if (!cfg_.wear_leveling) {
+    const Pbn b = free_blocks_.back();
+    free_blocks_.pop_back();
+    return b;
+  }
+  // Least-worn free block first (heap by descending wear at the back).
+  auto cmp = [this](Pbn a, Pbn b) {
+    const auto wa = nand_.erase_count(a);
+    const auto wb = nand_.erase_count(b);
+    if (wa != wb) return wa > wb;  // min-wear at the heap top
+    return a > b;
+  };
+  std::pop_heap(free_blocks_.begin(), free_blocks_.end(), cmp);
+  const Pbn b = free_blocks_.back();
+  free_blocks_.pop_back();
+  return b;
+}
+
+void PageFtl::push_free_block(Pbn b) {
+  free_blocks_.push_back(b);
+  if (cfg_.wear_leveling) {
+    auto cmp = [this](Pbn x, Pbn y) {
+      const auto wx = nand_.erase_count(x);
+      const auto wy = nand_.erase_count(y);
+      if (wx != wy) return wx > wy;
+      return x > y;
+    };
+    std::push_heap(free_blocks_.begin(), free_blocks_.end(), cmp);
+  }
+}
+
+Ppn PageFtl::alloc_page(bool gc_stream) {
+  const int s = gc_stream ? 1 : 0;
+  const auto ppb = nand_.config().pages_per_block;
+  if (cursor_[s] == ppb) {
+    // Seal the filled active block: it becomes a GC candidate.
+    const Pbn old = active_[s];
+    state_[old] = BState::kUsed;
+    seal_wear_[old] = cfg_.wear_leveling ? nand_.erase_count(old) : 0;
+    candidates_.insert(std::tuple{valid_[old], seal_wear_[old], old});
+    if (free_blocks_.empty()) {
+      throw std::logic_error("PageFtl: free pool exhausted (GC invariant)");
+    }
+    active_[s] = pop_free_block();
+    state_[active_[s]] = BState::kActive;
+    cursor_[s] = 0;
+  }
+  const Ppn ppn = static_cast<Ppn>(active_[s]) * ppb + cursor_[s];
+  ++cursor_[s];
+  return ppn;
+}
+
+Micros PageFtl::gc_once() {
+  const auto& nc = nand_.config();
+  if (candidates_.empty()) {
+    throw std::logic_error("PageFtl: GC with no candidate blocks");
+  }
+  const auto [best, victim_wear, victim] = *candidates_.begin();
+  (void)victim_wear;
+  if (best >= nc.pages_per_block) {
+    throw std::logic_error(
+        "PageFtl: no reclaimable block (logical space overcommitted)");
+  }
+  candidates_.erase(candidates_.begin());
+  Micros cost = 0;
+  const Ppn base = static_cast<Ppn>(victim) * nc.pages_per_block;
+  for (std::uint32_t p = 0; p < nc.pages_per_block; ++p) {
+    const Ppn src = base + p;
+    const Lpn lpn = rmap_[src];
+    if (lpn == kUnmappedL) continue;  // invalid page, skip
+    assert(map_[lpn] == src);
+    std::uint64_t tag = 0;
+    cost += nand_.read_page(src, &tag);
+    assert(tag == make_tag(lpn, version_[lpn]));
+    const Ppn dst = alloc_page(/*gc_stream=*/true);
+    cost += nand_.program_page(dst, tag);
+    map_[lpn] = dst;
+    rmap_[dst] = lpn;
+    // Source page: direct invalidation (victim is no longer a candidate).
+    --valid_[victim];
+    rmap_[src] = kUnmappedL;
+    ++valid_[nand_.block_of(dst)];
+    ++stats_.gc_page_copies;
+  }
+  assert(valid_[victim] == 0);
+  cost += nand_.erase_block(victim);
+  state_[victim] = BState::kFree;
+  push_free_block(victim);
+  ++stats_.gc_invocations;
+  return cost;
+}
+
+Micros PageFtl::collect_garbage() {
+  Micros cost = 0;
+  while (free_blocks_.size() < cfg_.gc_low_watermark) {
+    cost += gc_once();
+  }
+  return cost;
+}
+
+Micros PageFtl::read(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_reads;
+  Micros cost = kCtrlOverhead;
+  const Ppn ppn = map_[lpn];
+  if (ppn != kUnmappedP) {
+    std::uint64_t tag = 0;
+    cost += nand_.read_page(ppn, &tag);
+    if (tag != make_tag(lpn, version_[lpn])) {
+      throw std::logic_error("PageFtl: tag mismatch on read (mapping bug)");
+    }
+  }
+  stats_.host_busy += cost;
+  return cost;
+}
+
+Micros PageFtl::write(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_writes;
+  Micros cost = kCtrlOverhead;
+  if (map_[lpn] != kUnmappedP) invalidate(map_[lpn]);
+  ++version_[lpn];
+  const Ppn dst = alloc_page(/*gc_stream=*/false);
+  cost += nand_.program_page(dst, make_tag(lpn, version_[lpn]));
+  map_[lpn] = dst;
+  rmap_[dst] = lpn;
+  ++valid_[nand_.block_of(dst)];
+  cost += collect_garbage();
+  stats_.host_busy += cost;
+  return cost;
+}
+
+Micros PageFtl::trim(Lpn lpn) {
+  check_lpn(lpn);
+  ++stats_.host_trims;
+  if (map_[lpn] != kUnmappedP) {
+    invalidate(map_[lpn]);
+    map_[lpn] = kUnmappedP;
+    ++version_[lpn];
+  }
+  return 1.0;  // mapping-table update only
+}
+
+}  // namespace ssdse

@@ -1,0 +1,148 @@
+#include "src/hybrid/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace ssdse {
+
+SearchCluster::SearchCluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  if (cfg.num_shards == 0) {
+    throw std::invalid_argument("SearchCluster: need at least one shard");
+  }
+  shards_.reserve(cfg.num_shards);
+  for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+    SystemConfig shard_cfg = cfg.shard_template;
+    shard_cfg.set_num_docs(
+        std::max<std::uint64_t>(cfg.total_docs / cfg.num_shards, 1));
+    // Distinct corpus per shard (disjoint documents), shared vocabulary
+    // statistics: same query stream must be meaningful on every shard.
+    shard_cfg.corpus.seed = cfg.shard_template.corpus.seed + s;
+    shards_.push_back(std::make_unique<SearchSystem>(shard_cfg));
+  }
+  // The broadcast stream: use shard 0's log config (they all match on
+  // vocabulary size by construction).
+  gen_ = std::make_unique<QueryLogGenerator>(
+      shards_[0]->config().log);
+}
+
+SearchCluster::ClusterOutcome SearchCluster::execute(const Query& q) {
+  ClusterOutcome out;
+  std::vector<ScoredDoc> merged;
+  bool result_from_cache = true;
+  Situation worst_situation = Situation::kS1_ResultMemory;
+
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    const auto shard_out = shards_[s]->execute(q);
+    out.slowest_shard = std::max(out.slowest_shard, shard_out.response);
+    result_from_cache &= shard_out.result_from_cache;
+    // The broker reports the situation of the slowest path.
+    if (static_cast<int>(shard_out.situation) >
+        static_cast<int>(worst_situation)) {
+      worst_situation = shard_out.situation;
+    }
+    for (const ScoredDoc& d : shard_out.result.docs) {
+      merged.push_back(ScoredDoc{
+          d.doc * static_cast<DocId>(shards_.size()) + s, d.score});
+    }
+  }
+
+  // Broker merge: global top-K across shard results.
+  const std::size_t k = std::min<std::size_t>(kTopK, merged.size());
+  std::partial_sort(merged.begin(),
+                    merged.begin() + static_cast<std::ptrdiff_t>(k),
+                    merged.end(),
+                    [](const ScoredDoc& a, const ScoredDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  merged.resize(k);
+  out.result.query = q.id;
+  out.result.docs = std::move(merged);
+
+  out.response = out.slowest_shard + cfg_.network_rtt +
+                 cfg_.merge_cpu_per_shard *
+                     static_cast<double>(shards_.size());
+  metrics_.record(worst_situation, out.response);
+  return out;
+}
+
+void SearchCluster::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    execute(gen_->next());
+  }
+}
+
+void SearchCluster::run_parallel(std::uint64_t n) {
+  // Materialize the broadcast stream once so every shard thread replays
+  // exactly the queries run() would have issued.
+  std::vector<Query> stream;
+  stream.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) stream.push_back(gen_->next());
+
+  struct ShardOutcome {
+    Micros response;
+    Situation situation;
+    bool from_cache;
+    std::vector<ScoredDoc> docs;
+  };
+  std::vector<std::vector<ShardOutcome>> per_shard(shards_.size());
+
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      workers.emplace_back([&, s] {
+        auto& out = per_shard[s];
+        out.reserve(stream.size());
+        for (const Query& q : stream) {
+          auto shard_out = shards_[s]->execute(q);
+          out.push_back(ShardOutcome{shard_out.response,
+                                     shard_out.situation,
+                                     shard_out.result_from_cache,
+                                     std::move(shard_out.result.docs)});
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  // Broker phase, sequential: identical merge + metrics as run().
+  for (std::uint64_t i = 0; i < stream.size(); ++i) {
+    Micros slowest = 0;
+    Situation worst = Situation::kS1_ResultMemory;
+    std::vector<ScoredDoc> merged;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const ShardOutcome& so = per_shard[s][i];
+      slowest = std::max(slowest, so.response);
+      if (static_cast<int>(so.situation) > static_cast<int>(worst)) {
+        worst = so.situation;
+      }
+      for (const ScoredDoc& d : so.docs) {
+        merged.push_back(ScoredDoc{
+            d.doc * static_cast<DocId>(shards_.size()) +
+                static_cast<DocId>(s),
+            d.score});
+      }
+    }
+    const Micros response =
+        slowest + cfg_.network_rtt +
+        cfg_.merge_cpu_per_shard * static_cast<double>(shards_.size());
+    metrics_.record(worst, response);
+  }
+}
+
+double SearchCluster::throughput_qps() const {
+  double min_qps = 0;
+  bool first = true;
+  for (const auto& shard : shards_) {
+    const double qps = shard->throughput_qps();
+    if (first || qps < min_qps) {
+      min_qps = qps;
+      first = false;
+    }
+  }
+  return min_qps;
+}
+
+}  // namespace ssdse

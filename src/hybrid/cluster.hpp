@@ -1,0 +1,71 @@
+// SearchCluster: document-partitioned scale-out, the deployment shape
+// the paper's introduction assumes ("large search engines need to
+// process hundreds of queries per second ... massively parallel
+// processing"). A broker broadcasts each query to every index-server
+// shard (each a full SearchSystem with its own two-level cache and
+// devices) and merges the per-shard top-K.
+//
+// Timing model: shards serve the query in parallel, so the broker sees
+// max(shard response) plus one network round trip and a per-shard merge
+// cost. Shard documents are disjoint: shard-local doc d on shard s is
+// global doc d * num_shards + s.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/hybrid/search_system.hpp"
+
+namespace ssdse {
+
+struct ClusterConfig {
+  std::uint32_t num_shards = 4;
+  /// Per-cluster totals; each shard gets num_docs / num_shards documents
+  /// and the full cache configuration of `shard_template`.
+  std::uint64_t total_docs = 4'000'000;
+  SystemConfig shard_template;
+  Micros network_rtt = 300;           // broker <-> shard, one hop each way
+  Micros merge_cpu_per_shard = 25;    // top-K heap merge per shard result
+};
+
+class SearchCluster {
+ public:
+  explicit SearchCluster(const ClusterConfig& cfg);
+
+  struct ClusterOutcome {
+    Micros response = 0;       // broker-observed latency
+    Micros slowest_shard = 0;  // max per-shard service time
+    ResultEntry result;        // merged global top-K
+  };
+
+  ClusterOutcome execute(const Query& q);
+  void run(std::uint64_t n);
+
+  /// Parallel run: one thread per shard replays the same broadcast
+  /// stream (shards are fully independent simulations), then the broker
+  /// merge happens query-by-query on the caller's thread. Bit-identical
+  /// to run() — including all metrics — just faster on multicore hosts.
+  void run_parallel(std::uint64_t n);
+
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  SearchSystem& shard(std::size_t i) { return *shards_[i]; }
+  const RunMetrics& metrics() const { return metrics_; }
+
+  /// Cluster throughput: every shard must execute every query
+  /// (broadcast), so the fleet saturates at the *slowest* shard's
+  /// aggregate work rate.
+  double throughput_qps() const;
+
+  /// Shared query generator (shards see the same broadcast stream).
+  QueryLogGenerator& generator() { return *gen_; }
+
+ private:
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<SearchSystem>> shards_;
+  std::unique_ptr<QueryLogGenerator> gen_;
+  RunMetrics metrics_;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,19 @@
+#include "src/hybrid/cost_model.hpp"
+
+namespace ssdse {
+
+namespace {
+double gib(Bytes b) { return static_cast<double>(b) / (1024.0 * 1024.0 * 1024.0); }
+}  // namespace
+
+double CostModel::dollars(Bytes dram, Bytes ssd, Bytes hdd) const {
+  return gib(dram) * dram_per_gb + gib(ssd) * ssd_per_gb +
+         gib(hdd) * hdd_per_gb;
+}
+
+double CostModel::cost_performance(Bytes dram, Bytes ssd, Bytes hdd,
+                                   Micros mean_response) const {
+  return dollars(dram, ssd, hdd) * (mean_response / kMillisecond);
+}
+
+}  // namespace ssdse

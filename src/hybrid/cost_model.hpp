@@ -1,0 +1,23 @@
+// Hardware cost model (paper §VII.C): $/GB figures for DRAM, SSD and
+// HDD as of the paper's evaluation, used to compare provisioning
+// strategies (grow DRAM vs add an SSD tier vs all-SSD).
+#pragma once
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct CostModel {
+  double dram_per_gb = 14.5;  // paper §VII.C
+  double ssd_per_gb = 1.9;    // paper §VII.C
+  double hdd_per_gb = 0.06;   // WDC-class 2012 street price
+
+  double dollars(Bytes dram, Bytes ssd, Bytes hdd) const;
+
+  /// Cost-performance figure of merit: dollars x mean response (lower is
+  /// better); the paper's argument is that 2LC wins this product.
+  double cost_performance(Bytes dram, Bytes ssd, Bytes hdd,
+                          Micros mean_response) const;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,40 @@
+#include "src/hybrid/load_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssdse {
+
+LoadPoint simulate_open_loop(std::span<const Micros> service_times,
+                             double arrival_qps, Rng& rng) {
+  LoadPoint out;
+  out.arrival_qps = arrival_qps;
+  if (service_times.empty() || arrival_qps <= 0) return out;
+
+  const double mean_gap_us = kSecond / arrival_qps;
+  StreamingStats wait, response;
+  LatencyHistogram hist(0.1, 1e9, 1.2);
+
+  Micros now = 0;           // arrival clock
+  Micros server_free = 0;   // when the server becomes idle
+  Micros busy = 0;
+  for (const Micros service : service_times) {
+    // Exponential inter-arrival gap (Poisson process).
+    now += -mean_gap_us * std::log1p(-rng.next_double());
+    const Micros start = std::max(now, server_free);
+    const Micros w = start - now;
+    server_free = start + service;
+    busy += service;
+    wait.add(w);
+    response.add(w + service);
+    hist.add(w + service);
+  }
+  out.utilization = server_free > 0 ? busy / server_free : 0.0;
+  out.mean_wait = wait.mean();
+  out.mean_response = response.mean();
+  out.p99_response = hist.quantile(0.99);
+  out.served = wait.count();
+  return out;
+}
+
+}  // namespace ssdse

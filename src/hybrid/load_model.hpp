@@ -1,0 +1,30 @@
+// Open-loop load model: the closed-loop simulator measures *service*
+// times; production operators care about latency under a given *arrival
+// rate*. This FIFO single-server queue replays an empirical service-time
+// sequence against Poisson arrivals, yielding the classic latency-vs-
+// load hockey stick (bench/ext_load_latency).
+#pragma once
+
+#include <span>
+
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct LoadPoint {
+  double arrival_qps = 0;
+  double utilization = 0;      // busy time / horizon
+  Micros mean_wait = 0;        // queueing delay
+  Micros mean_response = 0;    // wait + service
+  Micros p99_response = 0;
+  std::uint64_t served = 0;
+};
+
+/// Simulate FIFO service of `service_times` (in arrival order) under
+/// Poisson arrivals at `arrival_qps`. Deterministic given `rng`.
+LoadPoint simulate_open_loop(std::span<const Micros> service_times,
+                             double arrival_qps, Rng& rng);
+
+}  // namespace ssdse

@@ -1,0 +1,193 @@
+#include "src/hybrid/search_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdse {
+
+namespace {
+
+/// CPU cost of serving an already-computed result (lookup + transmit).
+constexpr Micros kResultServeCpu = 50.0;
+
+/// Size a NAND array so its post-OP logical space covers `logical_bytes`.
+NandConfig size_nand(NandConfig nand, Bytes logical_bytes, double op) {
+  const Bytes block = nand.block_bytes();
+  const auto logical_blocks =
+      static_cast<std::uint64_t>((logical_bytes + block - 1) / block);
+  const auto physical = static_cast<std::uint64_t>(
+                            std::ceil(static_cast<double>(logical_blocks) /
+                                      (1.0 - op))) +
+                        16;
+  nand.num_blocks = static_cast<std::uint32_t>(physical);
+  return nand;
+}
+
+}  // namespace
+
+SearchSystem::SearchSystem(const SystemConfig& cfg) : cfg_(cfg) {
+  build(nullptr);
+}
+
+SearchSystem::SearchSystem(const SystemConfig& cfg, IndexView& index)
+    : cfg_(cfg) {
+  build(&index);
+}
+
+void SearchSystem::build(IndexView* external_index) {
+  index_on_ssd_ = cfg_.index_on_ssd;
+
+  if (external_index != nullptr) {
+    index_ = external_index;
+  } else {
+    owned_index_ = std::make_unique<AnalyticIndex>(cfg_.corpus);
+    index_ = owned_index_.get();
+  }
+  if (cfg_.log.vocab_size != index_->vocab_size()) {
+    cfg_.log.vocab_size = index_->vocab_size();
+  }
+
+  // Devices. The HDD must hold the index image.
+  HddConfig hc = cfg_.hdd;
+  hc.capacity = std::max<Bytes>(hc.capacity,
+                                index_->layout().total_bytes() + GiB);
+  hdd_ = std::make_unique<HddModel>(hc);
+  ram_ = std::make_unique<RamDevice>(cfg_.ram);
+
+  CacheConfig cc = cfg_.cache;
+  if (!cfg_.use_cache) {
+    cc.result_cache = false;
+    cc.list_cache = false;
+    cc.l2 = false;
+  }
+
+  if (cc.l2) {
+    // Cache SSD sized to the configured cache capacities (unless the
+    // caller fixed a non-default geometry).
+    SsdConfig sc = cfg_.cache_ssd;
+    const Bytes wanted =
+        cc.ssd_result_capacity + cc.ssd_list_capacity + 64 * MiB;
+    if (sc.nand.num_blocks == NandConfig{}.num_blocks) {
+      sc.nand = size_nand(sc.nand, wanted, sc.ftl.over_provisioning);
+    }
+    cache_ssd_ = std::make_unique<Ssd>(sc);
+  }
+  if (index_on_ssd_) {
+    SsdConfig sc = cfg_.cache_ssd;  // same flash technology
+    sc.nand =
+        size_nand(sc.nand, index_->layout().total_bytes() + 64 * MiB,
+                  sc.ftl.over_provisioning);
+    index_ssd_ = std::make_unique<Ssd>(sc);
+    format_index_ssd();
+  }
+
+  gen_ = std::make_unique<QueryLogGenerator>(cfg_.log);
+  scorer_ = Scorer(cfg_.scorer);
+
+  // Offline log analysis: derives TEV and feeds the CBSLRU preload.
+  const bool cost_based = cc.policy != CachePolicy::kLru;
+  if (cfg_.use_cache && cost_based && cfg_.training_queries > 0) {
+    analysis_ = analyze_log(cfg_.log, *index_, cfg_.training_queries,
+                            cc.block_bytes);
+    if (cc.tev == 0.0) {
+      // Mild admission bar (Fig. 4's HDD tier): drop only lists whose
+      // frequency does not justify their block count — a once-accessed
+      // list bigger than ~1 MiB (8 blocks) is not worth flash wear —
+      // and never more than the bottom 2 % of the trained EV ranking.
+      cc.tev = std::min(analysis_->tev_for_fraction(0.98), 0.125);
+    }
+  }
+
+  cm_ = std::make_unique<CacheManager>(cc, cache_ssd_.get(), index_store(),
+                                       *ram_, *index_);
+
+  if (cfg_.use_cache && cc.policy == CachePolicy::kCbslru && analysis_) {
+    cm_->preload_static(*analysis_, [this](QueryId qid) {
+      return scorer_.score(*index_, gen_->query_for_rank(qid)).result;
+    });
+  }
+}
+
+void SearchSystem::format_index_ssd() {
+  const Bytes page = index_ssd_->config().nand.page_bytes;
+  const Lpn pages =
+      std::min<Lpn>((index_->layout().total_bytes() + page - 1) / page,
+                    index_ssd_->logical_pages());
+  index_ssd_->write_pages(0, pages);
+  index_ssd_->reset_stats();
+}
+
+SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
+  QueryOutcome out;
+  Micros t = 0;
+  cm_->advance_time();  // logical clock for the TTL dynamic scenario
+
+  const auto implied = static_cast<std::uint64_t>(1 + q.terms.size());
+  Tier rtier = Tier::kMemory;
+  if (const ResultEntry* hit = cm_->lookup_result(q.id, &rtier, &t)) {
+    t += kResultServeCpu;
+    out.response = t;
+    out.result_from_cache = true;
+    out.situation = classify_situation(true, rtier, false, false, false);
+    out.result = *hit;
+    metrics_.record(out.situation, t);
+    // A result hit covers the query's whole implied data demand.
+    metrics_.record_coverage(implied, implied);
+    return out;
+  }
+
+  bool used_mem = false, used_ssd = false, used_hdd = false;
+  // Three-level extension: a cached intersection covers both terms of a
+  // pair, skipping their list fetches entirely.
+  std::vector<bool> covered(q.terms.size(), false);
+  for (std::size_t i = 0; i + 1 < q.terms.size(); i += 2) {
+    if (cm_->lookup_intersection(q.terms[i], q.terms[i + 1], &t)) {
+      covered[i] = covered[i + 1] = true;
+      used_mem = true;
+    }
+  }
+  std::uint64_t covered_requests = 0;
+  for (std::size_t i = 0; i < q.terms.size(); ++i) {
+    if (covered[i]) {
+      ++covered_requests;  // intersection hit covered this term
+      continue;
+    }
+    switch (cm_->fetch_list(q.terms[i], &t)) {
+      case Tier::kMemory:
+        used_mem = true;
+        ++covered_requests;
+        break;
+      case Tier::kSsd:
+        used_ssd = true;
+        ++covered_requests;
+        break;
+      case Tier::kHdd: used_hdd = true; break;
+    }
+  }
+  metrics_.record_coverage(covered_requests, implied);
+
+  ScoreOutcome scored = scorer_.score(*index_, q);
+  t += scored.cpu_time;
+  cm_->insert_result(scored.result);
+  // Admit intersections computed as a by-product of scoring.
+  for (std::size_t i = 0; i + 1 < q.terms.size(); i += 2) {
+    if (!covered[i]) cm_->insert_intersection(q.terms[i], q.terms[i + 1]);
+  }
+
+  out.response = t;
+  out.result_from_cache = false;
+  out.situation =
+      classify_situation(false, rtier, used_mem, used_ssd, used_hdd);
+  out.result = std::move(scored.result);
+  metrics_.record(out.situation, t);
+  return out;
+}
+
+void SearchSystem::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    execute(gen_->next());
+  }
+}
+
+}  // namespace ssdse

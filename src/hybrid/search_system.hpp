@@ -1,0 +1,88 @@
+// SearchSystem: one simulated index server — index + devices + two-level
+// cache + query stream — the unit every experiment in §VII runs on.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/cache/cache_manager.hpp"
+#include "src/engine/scorer.hpp"
+#include "src/hybrid/metrics.hpp"
+#include "src/hybrid/system_config.hpp"
+#include "src/index/inverted_index.hpp"
+#include "src/workload/query_log.hpp"
+
+namespace ssdse {
+
+class SearchSystem {
+ public:
+  /// Builds an AnalyticIndex from cfg.corpus (web-scale path).
+  explicit SearchSystem(const SystemConfig& cfg);
+  /// Uses a caller-provided index (e.g. MaterializedIndex for
+  /// correctness experiments). The index must outlive the system.
+  SearchSystem(const SystemConfig& cfg, IndexView& index);
+
+  struct QueryOutcome {
+    Micros response = 0;
+    Situation situation = Situation::kS9_ListsHdd;
+    bool result_from_cache = false;
+    ResultEntry result;
+  };
+
+  /// Execute one query end to end (QM -> scoring -> RM).
+  QueryOutcome execute(const Query& q);
+
+  /// Pull `n` queries from the internal generator and execute them.
+  void run(std::uint64_t n);
+
+  const RunMetrics& metrics() const { return metrics_; }
+  double throughput_qps() const {
+    return metrics_.throughput_qps(cm_->stats().background_flash_time);
+  }
+  Micros background_flash_time() const {
+    return cm_->stats().background_flash_time;
+  }
+
+  CacheManager& cache_manager() { return *cm_; }
+  const CacheManager& cache_manager() const { return *cm_; }
+  IndexView& index() { return *index_; }
+  QueryLogGenerator& generator() { return *gen_; }
+  Ssd* cache_ssd() { return cache_ssd_.get(); }
+  const Ssd* cache_ssd() const { return cache_ssd_.get(); }
+  HddModel& hdd() { return *hdd_; }
+  StorageDevice& index_store() {
+    return index_on_ssd_ ? static_cast<StorageDevice&>(*index_ssd_)
+                         : static_cast<StorageDevice&>(*hdd_);
+  }
+  const SystemConfig& config() const { return cfg_; }
+  const std::optional<LogAnalysis>& log_analysis() const { return analysis_; }
+
+  /// Flush the write buffer and settle background state (end of run).
+  void drain() { cm_->drain(); }
+
+ private:
+  void build(IndexView* external_index);
+  /// Pre-write every index page on the index SSD so later reads are
+  /// charged real flash reads (one-time setup, excluded from metrics).
+  void format_index_ssd();
+
+  SystemConfig cfg_;
+  bool index_on_ssd_ = false;
+
+  std::unique_ptr<IndexView> owned_index_;
+  IndexView* index_ = nullptr;
+
+  std::unique_ptr<HddModel> hdd_;
+  std::unique_ptr<RamDevice> ram_;
+  std::unique_ptr<Ssd> cache_ssd_;
+  std::unique_ptr<Ssd> index_ssd_;
+
+  Scorer scorer_;
+  std::unique_ptr<QueryLogGenerator> gen_;
+  std::optional<LogAnalysis> analysis_;
+  std::unique_ptr<CacheManager> cm_;
+
+  RunMetrics metrics_;
+};
+
+}  // namespace ssdse

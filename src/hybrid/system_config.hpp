@@ -1,0 +1,56 @@
+// Whole-system configuration: one struct describes an experiment cell
+// (corpus scale, query log, cache policy/capacities, devices).
+#pragma once
+
+#include <cstdint>
+
+#include "src/cache/policy.hpp"
+#include "src/engine/scorer.hpp"
+#include "src/index/corpus.hpp"
+#include "src/ssd/ssd.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/storage/ram.hpp"
+#include "src/workload/query_log.hpp"
+
+namespace ssdse {
+
+struct SystemConfig {
+  CorpusConfig corpus;
+  QueryLogConfig log;
+  CacheConfig cache;
+  ScorerConfig scorer;
+
+  /// Cache-SSD geometry; sized automatically when zero (see
+  /// SearchSystem) to cover the configured cache capacities + OP.
+  SsdConfig cache_ssd;
+  HddConfig hdd;
+  RamConfig ram;
+
+  bool use_cache = true;
+  /// Store index files on SSD instead of HDD (Figs. 15, 16a, 18a).
+  bool index_on_ssd = false;
+  /// Training prefix replayed for log analysis (TEV + CBSLRU preload).
+  std::uint64_t training_queries = 20'000;
+
+  /// Convenience: the paper's standard split of a memory-cache budget
+  /// (20 % results / 80 % lists) and SSD scaling (10x / 100x).
+  void set_memory_budget(Bytes mem_cache_bytes) {
+    cache.mem_result_capacity =
+        static_cast<Bytes>(0.2 * static_cast<double>(mem_cache_bytes));
+    cache.mem_list_capacity =
+        static_cast<Bytes>(0.8 * static_cast<double>(mem_cache_bytes));
+    cache.ssd_result_capacity = 10 * cache.mem_result_capacity;
+    cache.ssd_list_capacity = 100 * cache.mem_list_capacity;
+  }
+
+  /// Scale the vocabulary with corpus size (Heaps-like) and keep the
+  /// query log drawing from the same vocabulary.
+  void set_num_docs(std::uint64_t docs) {
+    corpus.num_docs = docs;
+    corpus.vocab_size =
+        static_cast<std::uint32_t>(std::max<std::uint64_t>(docs / 5, 50'000));
+    log.vocab_size = corpus.vocab_size;
+  }
+};
+
+}  // namespace ssdse

@@ -1,0 +1,95 @@
+// Posting-list compression codecs.
+//
+// Real inverted indexes (Lucene included) store doc-id deltas and term
+// frequencies compressed; list sizes on disk — the quantity every cache
+// decision in this system keys on — are codec-dependent. Three codecs:
+//   * RawCodec        — fixed 8 B/posting (the simulator's default model);
+//   * VarintCodec     — LEB128 on doc-id deltas and tf's (Lucene-classic);
+//   * GroupVarintCodec — 4-at-a-time length-prefixed groups (faster
+//     decode, slightly larger than varint).
+//
+// Doc-id deltas require doc-id order, but the engine keeps lists
+// frequency-sorted (paper §VI). Like the real systems the paper builds
+// on, the codec layer encodes *frequency-ordered* postings with raw doc
+// ids varint-packed and tf's delta-packed (tf is non-increasing in that
+// order, so deltas are small) — see encode() for the exact layout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/index/posting.hpp"
+
+namespace ssdse {
+
+class PostingCodec {
+ public:
+  virtual ~PostingCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Encode postings (frequency-sorted order preserved).
+  virtual std::vector<std::uint8_t> encode(
+      std::span<const Posting> postings) const = 0;
+
+  /// Decode the full buffer; inverse of encode().
+  virtual std::vector<Posting> decode(
+      std::span<const std::uint8_t> bytes) const = 0;
+
+  /// Encoded size without materializing the buffer (used by the
+  /// analytic index to model on-disk list sizes cheaply).
+  virtual Bytes encoded_bytes(std::span<const Posting> postings) const;
+
+  /// Size model for the analytic path: expected bytes per posting for a
+  /// list of `df` postings over `num_docs` documents.
+  virtual double bytes_per_posting(std::uint64_t df,
+                                   std::uint64_t num_docs) const = 0;
+};
+
+/// Fixed-width 8 B/posting (doc id + tf, uncompressed).
+class RawCodec final : public PostingCodec {
+ public:
+  std::string name() const override { return "raw"; }
+  std::vector<std::uint8_t> encode(
+      std::span<const Posting> postings) const override;
+  std::vector<Posting> decode(
+      std::span<const std::uint8_t> bytes) const override;
+  double bytes_per_posting(std::uint64_t df,
+                           std::uint64_t num_docs) const override;
+};
+
+/// LEB128 varint: doc ids raw-varint, tf's as non-increasing deltas.
+class VarintCodec final : public PostingCodec {
+ public:
+  std::string name() const override { return "varint"; }
+  std::vector<std::uint8_t> encode(
+      std::span<const Posting> postings) const override;
+  std::vector<Posting> decode(
+      std::span<const std::uint8_t> bytes) const override;
+  double bytes_per_posting(std::uint64_t df,
+                           std::uint64_t num_docs) const override;
+};
+
+/// Group varint: groups of 4 values with a 1-byte length selector.
+class GroupVarintCodec final : public PostingCodec {
+ public:
+  std::string name() const override { return "group-varint"; }
+  std::vector<std::uint8_t> encode(
+      std::span<const Posting> postings) const override;
+  std::vector<Posting> decode(
+      std::span<const std::uint8_t> bytes) const override;
+  double bytes_per_posting(std::uint64_t df,
+                           std::uint64_t num_docs) const override;
+};
+
+/// Factory by name ("raw", "varint", "group-varint").
+std::unique_ptr<PostingCodec> make_codec(const std::string& name);
+
+// Low-level varint helpers (shared by codecs and tested directly).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+std::uint64_t get_varint(std::span<const std::uint8_t> in, std::size_t& pos);
+
+}  // namespace ssdse

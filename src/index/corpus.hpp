@@ -1,0 +1,86 @@
+// Synthetic corpus generation (the enwiki substitute, DESIGN.md §2).
+//
+// Two forms share one statistical model:
+//  * TermStatsModel — analytic per-term document frequencies / list
+//    sizes / utilization rates for web-scale simulations (5M docs);
+//  * MaterializedCorpus — actual documents (term-id bags) for small-
+//    scale runs where real posting lists and real scoring are wanted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct CorpusConfig {
+  std::uint64_t num_docs = 5'000'000;
+  std::uint32_t vocab_size = 1'000'000;
+  /// Zipf exponent of term document-frequency over term rank.
+  double df_zipf = 1.05;
+  /// Stopword pruning: no indexed term appears in more than this
+  /// fraction of documents. Calibrated to the paper's Fig. 3b, whose
+  /// largest inverted list is ~800 KB on 5M documents (~2 % df).
+  double max_df_fraction = 0.02;
+  /// Mean distinct terms per document (drives total postings).
+  double terms_per_doc = 180;
+  /// Log-normal sigma of document length variation.
+  double doclen_sigma = 0.5;
+  /// Posting-list compression codec ("raw", "varint", "group-varint");
+  /// determines on-disk list sizes and therefore every cache decision.
+  std::string codec = "raw";
+  std::uint64_t seed = 2012;
+};
+
+/// Analytic per-term statistics: df, list size and modelled utilization
+/// rate (the PU of Formula 1, normally measured from the query log; the
+/// model reproduces Fig. 3a's shape — long lists are processed
+/// shallowly, short lists fully).
+class TermStatsModel {
+ public:
+  explicit TermStatsModel(const CorpusConfig& cfg);
+
+  std::uint32_t vocab_size() const { return static_cast<std::uint32_t>(df_.size()); }
+  std::uint64_t num_docs() const { return cfg_.num_docs; }
+  const CorpusConfig& config() const { return cfg_; }
+
+  /// Document frequency of the term with popularity rank == id (term ids
+  /// are assigned in rank order: id 0 is the most frequent term).
+  std::uint64_t df(TermId t) const { return df_[t]; }
+  /// On-disk size under the configured codec.
+  Bytes list_bytes(TermId t) const { return list_bytes_[t]; }
+  /// Modelled utilization rate in (0, 1].
+  double utilization(TermId t) const { return pu_[t]; }
+  std::uint64_t total_postings() const { return total_postings_; }
+
+ private:
+  CorpusConfig cfg_;
+  std::vector<std::uint64_t> df_;
+  std::vector<Bytes> list_bytes_;
+  std::vector<float> pu_;
+  std::uint64_t total_postings_ = 0;
+};
+
+/// A small materialized corpus: documents as bags of term ids.
+class MaterializedCorpus {
+ public:
+  MaterializedCorpus(const CorpusConfig& cfg, Rng& rng);
+
+  std::uint64_t num_docs() const { return docs_.size(); }
+  std::uint32_t vocab_size() const { return cfg_.vocab_size; }
+  const CorpusConfig& config() const { return cfg_; }
+
+  /// (term, tf) pairs of one document.
+  const std::vector<std::pair<TermId, std::uint32_t>>& doc(DocId d) const {
+    return docs_[d];
+  }
+
+ private:
+  CorpusConfig cfg_;
+  std::vector<std::vector<std::pair<TermId, std::uint32_t>>> docs_;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,81 @@
+#include "src/index/inverted_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/index/codec.hpp"
+
+namespace ssdse {
+
+namespace {
+
+IndexLayout layout_from_sizes(std::vector<Bytes> sizes) {
+  return IndexLayout(sizes);
+}
+
+}  // namespace
+
+AnalyticIndex::AnalyticIndex(const CorpusConfig& cfg) : model_(cfg) {
+  std::vector<Bytes> sizes(model_.vocab_size());
+  for (TermId t = 0; t < model_.vocab_size(); ++t) {
+    sizes[t] = model_.list_bytes(t);
+  }
+  layout_ = layout_from_sizes(std::move(sizes));
+}
+
+TermMeta AnalyticIndex::term_meta(TermId t) const {
+  if (t >= model_.vocab_size()) {
+    throw std::out_of_range("AnalyticIndex: term id out of range");
+  }
+  return TermMeta{model_.df(t), model_.list_bytes(t), model_.utilization(t)};
+}
+
+MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
+    : num_docs_(corpus.num_docs()) {
+  std::vector<std::vector<Posting>> raw(corpus.vocab_size());
+  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    for (const auto& [term, tf] : corpus.doc(d)) {
+      raw[term].push_back(Posting{d, tf});
+    }
+  }
+  const auto codec = make_codec(corpus.config().codec);
+  lists_.reserve(raw.size());
+  encoded_bytes_.reserve(raw.size());
+  std::vector<Bytes> sizes;
+  sizes.reserve(raw.size());
+  for (auto& postings : raw) {
+    lists_.emplace_back(std::move(postings));
+    const Bytes encoded = lists_.back().empty()
+                              ? 0
+                              : codec->encoded_bytes(
+                                    lists_.back().postings());
+    encoded_bytes_.push_back(std::max<Bytes>(encoded, 1));
+    sizes.push_back(encoded_bytes_.back());
+  }
+  layout_ = layout_from_sizes(std::move(sizes));
+  pu_mean_.assign(lists_.size(), 1.0f);
+  pu_samples_.assign(lists_.size(), 0);
+}
+
+TermMeta MaterializedIndex::term_meta(TermId t) const {
+  if (t >= lists_.size()) {
+    throw std::out_of_range("MaterializedIndex: term id out of range");
+  }
+  return TermMeta{lists_[t].size(), encoded_bytes_[t], pu_mean_[t]};
+}
+
+void MaterializedIndex::record_utilization(TermId t, double pu) {
+  if (t >= lists_.size()) {
+    throw std::out_of_range("MaterializedIndex: term id out of range");
+  }
+  const auto n = ++pu_samples_[t];
+  // Running mean; first sample replaces the optimistic 1.0 default.
+  if (n == 1) {
+    pu_mean_[t] = static_cast<float>(pu);
+  } else {
+    pu_mean_[t] += (static_cast<float>(pu) - pu_mean_[t]) /
+                   static_cast<float>(n);
+  }
+}
+
+}  // namespace ssdse

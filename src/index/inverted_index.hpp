@@ -1,0 +1,85 @@
+// IndexView: the inverted-index abstraction the engine and caches see.
+//
+// Two implementations (DESIGN.md §2):
+//  * AnalyticIndex — per-term statistics only; scales to the paper's
+//    5M-document configuration because no postings are materialized.
+//  * MaterializedIndex — real frequency-sorted posting lists built from
+//    a MaterializedCorpus; used at smaller scale to validate that the
+//    cache hierarchy is performance-transparent (same top-K with and
+//    without caching) and to *measure* utilization rates instead of
+//    modelling them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/index/corpus.hpp"
+#include "src/index/layout.hpp"
+#include "src/index/posting.hpp"
+
+namespace ssdse {
+
+struct TermMeta {
+  std::uint64_t df = 0;       // documents containing the term
+  Bytes list_bytes = 0;       // on-disk inverted list size
+  double utilization = 1.0;   // PU: fraction of the list query processing reads
+};
+
+class IndexView {
+ public:
+  virtual ~IndexView() = default;
+
+  virtual std::uint64_t num_docs() const = 0;
+  virtual std::uint32_t vocab_size() const = 0;
+  virtual TermMeta term_meta(TermId t) const = 0;
+  virtual const IndexLayout& layout() const = 0;
+
+  /// Materialized postings, or nullptr for analytic indexes.
+  virtual const PostingList* postings(TermId /*t*/) const { return nullptr; }
+};
+
+class AnalyticIndex final : public IndexView {
+ public:
+  explicit AnalyticIndex(const CorpusConfig& cfg);
+
+  std::uint64_t num_docs() const override { return model_.num_docs(); }
+  std::uint32_t vocab_size() const override { return model_.vocab_size(); }
+  TermMeta term_meta(TermId t) const override;
+  const IndexLayout& layout() const override { return layout_; }
+
+  const TermStatsModel& model() const { return model_; }
+
+ private:
+  TermStatsModel model_;
+  IndexLayout layout_;
+};
+
+class MaterializedIndex final : public IndexView {
+ public:
+  /// Builds real posting lists; on-disk sizes follow the corpus codec
+  /// (actual encoded bytes, not a model).
+  explicit MaterializedIndex(const MaterializedCorpus& corpus);
+
+  std::uint64_t num_docs() const override { return num_docs_; }
+  std::uint32_t vocab_size() const override {
+    return static_cast<std::uint32_t>(lists_.size());
+  }
+  TermMeta term_meta(TermId t) const override;
+  const IndexLayout& layout() const override { return layout_; }
+  const PostingList* postings(TermId t) const override { return &lists_[t]; }
+
+  /// Called by the scorer after processing a list; keeps a running mean
+  /// utilization per term (the paper's "computing during the process of
+  /// retrieval" option for obtaining PU).
+  void record_utilization(TermId t, double pu);
+
+ private:
+  std::uint64_t num_docs_;
+  std::vector<PostingList> lists_;
+  std::vector<Bytes> encoded_bytes_;  // per-list on-disk size (codec)
+  IndexLayout layout_;
+  std::vector<float> pu_mean_;
+  std::vector<std::uint32_t> pu_samples_;
+};
+
+}  // namespace ssdse

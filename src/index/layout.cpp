@@ -1,0 +1,24 @@
+#include "src/index/layout.hpp"
+
+#include <algorithm>
+
+namespace ssdse {
+
+IndexLayout::IndexLayout(const std::vector<Bytes>& list_bytes,
+                         Bytes align_bytes, Bytes base_offset) {
+  extents_.reserve(list_bytes.size());
+  Bytes cursor = base_offset;
+  for (Bytes len : list_bytes) {
+    extents_.push_back(Extent{cursor, len});
+    const Bytes padded = (len + align_bytes - 1) / align_bytes * align_bytes;
+    cursor += padded;
+  }
+  total_bytes_ = cursor - base_offset;
+}
+
+Extent IndexLayout::prefix_extent(TermId t, Bytes prefix_bytes) const {
+  const Extent& e = extents_[t];
+  return Extent{e.offset, std::min(prefix_bytes, e.length)};
+}
+
+}  // namespace ssdse

@@ -1,0 +1,43 @@
+// On-disk index layout: maps every term's inverted list to a contiguous
+// byte extent on the index device, term-id order, page-aligned starts.
+// The engine turns list reads into (lba, sectors) runs through this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct Extent {
+  Bytes offset = 0;  // byte offset on the device
+  Bytes length = 0;
+
+  Lba lba() const { return offset / kSectorSize; }
+  Bytes sectors() const { return bytes_to_sectors(length); }
+};
+
+class IndexLayout {
+ public:
+  IndexLayout() = default;
+
+  /// Build from per-term list sizes; each extent is aligned to
+  /// `align_bytes` (default 4 KiB, a filesystem block).
+  explicit IndexLayout(const std::vector<Bytes>& list_bytes,
+                       Bytes align_bytes = 4 * KiB, Bytes base_offset = 0);
+
+  const Extent& extent(TermId t) const { return extents_[t]; }
+  std::size_t terms() const { return extents_.size(); }
+  Bytes total_bytes() const { return total_bytes_; }
+
+  /// Byte range of a *prefix* of the list (frequency-sorted lists are
+  /// read from the front).
+  Extent prefix_extent(TermId t, Bytes prefix_bytes) const;
+
+ private:
+  std::vector<Extent> extents_;
+  Bytes total_bytes_ = 0;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,71 @@
+#include "src/ssd/ssd.hpp"
+
+#include <stdexcept>
+
+namespace ssdse {
+
+Ssd::Ssd(const SsdConfig& cfg)
+    : cfg_(cfg),
+      nand_(cfg.nand),
+      ftl_(make_ftl(cfg.ftl_scheme, nand_, cfg.ftl)),
+      sectors_per_page_(cfg.nand.page_bytes / kSectorSize) {
+  if (cfg.nand.page_bytes % kSectorSize != 0) {
+    throw std::invalid_argument("Ssd: page size must be sector-aligned");
+  }
+}
+
+Bytes Ssd::capacity_bytes() const {
+  return static_cast<Bytes>(ftl_->logical_pages()) * cfg_.nand.page_bytes;
+}
+
+Micros Ssd::read_pages(Lpn first, std::uint64_t count) {
+  Micros t = 0;
+  for (std::uint64_t i = 0; i < count; ++i) t += ftl_->read(first + i);
+  return t;
+}
+
+Micros Ssd::write_pages(Lpn first, std::uint64_t count) {
+  Micros t = 0;
+  for (std::uint64_t i = 0; i < count; ++i) t += ftl_->write(first + i);
+  return t;
+}
+
+Micros Ssd::trim_pages(Lpn first, std::uint64_t count) {
+  Micros t = 0;
+  for (std::uint64_t i = 0; i < count; ++i) t += ftl_->trim(first + i);
+  return t;
+}
+
+Micros Ssd::read(Lba lba, std::uint32_t sectors) {
+  if ((lba + sectors) * kSectorSize > capacity_bytes()) {
+    throw std::out_of_range("Ssd::read beyond capacity");
+  }
+  const Lpn first = lba / sectors_per_page_;
+  const Lpn last = (lba + sectors + sectors_per_page_ - 1) / sectors_per_page_;
+  const Micros t = read_pages(first, last - first);
+  account(IoOp::kRead, lba, sectors, t);
+  return t;
+}
+
+Micros Ssd::write(Lba lba, std::uint32_t sectors) {
+  if ((lba + sectors) * kSectorSize > capacity_bytes()) {
+    throw std::out_of_range("Ssd::write beyond capacity");
+  }
+  const Lpn first = lba / sectors_per_page_;
+  const Lpn last = (lba + sectors + sectors_per_page_ - 1) / sectors_per_page_;
+  const Micros t = write_pages(first, last - first);
+  account(IoOp::kWrite, lba, sectors, t);
+  return t;
+}
+
+Micros Ssd::trim(Lba lba, std::uint64_t sectors) {
+  // TRIM only whole pages fully covered by the range.
+  const Lpn first = (lba + sectors_per_page_ - 1) / sectors_per_page_;
+  const Lpn last = (lba + sectors) / sectors_per_page_;
+  Micros t = 0;
+  if (last > first) t = trim_pages(first, last - first);
+  account(IoOp::kTrim, lba, static_cast<std::uint32_t>(sectors), t);
+  return t;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,67 @@
+// Ssd: the host-visible solid-state drive — a NandArray behind a
+// pluggable FTL, exported through the sector-granular StorageDevice
+// interface (Tables II/III of the paper). Also exposes the page-granular
+// side door the SSD cache file uses for aligned block writes and TRIM.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/ftl/factory.hpp"
+#include "src/storage/device.hpp"
+
+namespace ssdse {
+
+struct SsdConfig {
+  NandConfig nand;
+  FtlConfig ftl;
+  std::string ftl_scheme = "page";  // paper baseline
+};
+
+class Ssd final : public StorageDevice {
+ public:
+  explicit Ssd(const SsdConfig& cfg = {});
+
+  Micros read(Lba lba, std::uint32_t sectors) override;
+  Micros write(Lba lba, std::uint32_t sectors) override;
+  Micros trim(Lba lba, std::uint64_t sectors) override;
+  Bytes capacity_bytes() const override;
+
+  /// Page-granular access (used by the cache layer, which thinks in
+  /// flash pages/blocks).
+  Micros read_pages(Lpn first, std::uint64_t count);
+  Micros write_pages(Lpn first, std::uint64_t count);
+  Micros trim_pages(Lpn first, std::uint64_t count);
+
+  Lpn logical_pages() const { return ftl_->logical_pages(); }
+  std::uint32_t sectors_per_page() const { return sectors_per_page_; }
+  std::uint64_t block_erases() const { return nand_.stats().block_erases; }
+
+  const NandArray& nand() const { return nand_; }
+  Ftl& ftl() { return *ftl_; }
+  const Ftl& ftl() const { return *ftl_; }
+  const SsdConfig& config() const { return cfg_; }
+
+  /// Mean host access latency inside the SSD so far (Fig. 19b metric):
+  /// FTL-charged busy time / host ops, GC stalls included.
+  Micros mean_flash_access() const { return ftl_->stats().mean_access(); }
+
+  /// Endurance: fraction of the rated erase budget consumed on average
+  /// (the paper's lifetime concern: "in some cases less than one year").
+  double wear_fraction(std::uint32_t rated_cycles = 100'000) const {
+    return nand_.mean_erase_count() / static_cast<double>(rated_cycles);
+  }
+  /// Same for the most-worn block (no wear-leveling assumption).
+  double worst_wear_fraction(std::uint32_t rated_cycles = 100'000) const {
+    return static_cast<double>(nand_.max_erase_count()) /
+           static_cast<double>(rated_cycles);
+  }
+
+ private:
+  SsdConfig cfg_;
+  NandArray nand_;
+  std::unique_ptr<Ftl> ftl_;
+  std::uint32_t sectors_per_page_;
+};
+
+}  // namespace ssdse

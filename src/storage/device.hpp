@@ -1,0 +1,80 @@
+// StorageDevice: the host-visible block-device interface every storage
+// model implements (HDD, SSD, RAM). Calls return the simulated service
+// latency; the caller owns the clock and accumulates time.
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/collector.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct DeviceStats {
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
+  std::uint64_t trim_ops = 0;
+  std::uint64_t sectors_read = 0;
+  std::uint64_t sectors_written = 0;
+  Micros busy_read = 0;
+  Micros busy_write = 0;
+
+  Micros busy_total() const { return busy_read + busy_write; }
+  std::uint64_t ops_total() const { return read_ops + write_ops; }
+  Micros mean_access() const {
+    return ops_total() ? busy_total() / static_cast<double>(ops_total()) : 0;
+  }
+};
+
+class StorageDevice {
+ public:
+  virtual ~StorageDevice() = default;
+
+  /// Service a read/write of `sectors` 512 B sectors at `lba`; returns
+  /// the latency. Implementations must validate bounds.
+  virtual Micros read(Lba lba, std::uint32_t sectors) = 0;
+  virtual Micros write(Lba lba, std::uint32_t sectors) = 0;
+
+  /// TRIM a sector range (no-op unless the device supports it).
+  virtual Micros trim(Lba /*lba*/, std::uint64_t /*sectors*/) { return 0; }
+
+  virtual Bytes capacity_bytes() const = 0;
+
+  const DeviceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DeviceStats{}; }
+
+  TraceCollector& collector() { return collector_; }
+  const TraceCollector& collector() const { return collector_; }
+
+ protected:
+  /// Shared accounting + tracing helper for subclasses. `now` is the
+  /// device-local cumulative busy time used as the trace timestamp.
+  void account(IoOp op, Lba lba, std::uint32_t sectors, Micros latency);
+
+  DeviceStats stats_;
+  TraceCollector collector_{/*enabled=*/false};
+  Micros device_clock_ = 0;
+};
+
+inline void StorageDevice::account(IoOp op, Lba lba, std::uint32_t sectors,
+                                   Micros latency) {
+  device_clock_ += latency;
+  switch (op) {
+    case IoOp::kRead:
+      ++stats_.read_ops;
+      stats_.sectors_read += sectors;
+      stats_.busy_read += latency;
+      break;
+    case IoOp::kWrite:
+      ++stats_.write_ops;
+      stats_.sectors_written += sectors;
+      stats_.busy_write += latency;
+      break;
+    case IoOp::kTrim:
+      ++stats_.trim_ops;
+      break;
+  }
+  collector_.record(device_clock_, op, lba, sectors);
+}
+
+}  // namespace ssdse

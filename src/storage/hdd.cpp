@@ -1,0 +1,61 @@
+#include "src/storage/hdd.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdse {
+
+HddModel::HddModel(const HddConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  us_per_sector_ =
+      static_cast<double>(kSectorSize) / (cfg_.transfer_mib_s * 1024.0 * 1024.0) *
+      kSecond;
+  revolution_us_ = 60.0 * kSecond / cfg_.rpm;
+}
+
+Micros HddModel::seek_time(Lba from, Lba to) const {
+  const Lba total = cfg_.capacity / kSectorSize;
+  const Lba dist = from > to ? from - to : to - from;
+  if (dist == 0) return 0;
+  // Square-root seek curve: short seeks are dominated by head settle,
+  // long seeks by coast velocity. Classic Ruemmler & Wilkes shape.
+  const double frac = static_cast<double>(dist) / static_cast<double>(total);
+  return cfg_.min_seek + (cfg_.max_seek - cfg_.min_seek) * std::sqrt(frac);
+}
+
+Micros HddModel::service(IoOp op, Lba lba, std::uint32_t sectors) {
+  if ((lba + sectors) * kSectorSize > cfg_.capacity) {
+    throw std::out_of_range("HddModel: access beyond capacity");
+  }
+  Micros t = cfg_.controller_overhead;
+  const bool sequential = head_valid_ && lba == head_;
+  if (!sequential) {
+    t += seek_time(head_valid_ ? head_ : 0, lba);
+    t += rng_.next_double() * revolution_us_;  // rotational latency
+  }
+  t += static_cast<double>(sectors) * us_per_sector_;
+  head_ = lba + sectors;
+  head_valid_ = true;
+  account(op, lba, sectors, t);
+  return t;
+}
+
+Micros HddModel::read(Lba lba, std::uint32_t sectors) {
+  return service(IoOp::kRead, lba, sectors);
+}
+
+Micros HddModel::write(Lba lba, std::uint32_t sectors) {
+  return service(IoOp::kWrite, lba, sectors);
+}
+
+Micros HddModel::expected_latency(Lba from, Lba to,
+                                  std::uint32_t sectors) const {
+  Micros t = cfg_.controller_overhead;
+  if (from != to) {
+    t += seek_time(from, to) + revolution_us_ / 2.0;
+  }
+  t += static_cast<double>(sectors) * us_per_sector_;
+  return t;
+}
+
+}  // namespace ssdse

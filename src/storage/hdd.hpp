@@ -1,0 +1,48 @@
+// Mechanical hard-drive latency model (the paper's WDC WD3200AAJS-class
+// index store). Captures exactly what the evaluation depends on: random
+// reads pay a distance-dependent seek plus rotational latency, while
+// sequential continuation streams at the platter transfer rate.
+#pragma once
+
+#include "src/storage/device.hpp"
+#include "src/util/rng.hpp"
+
+namespace ssdse {
+
+struct HddConfig {
+  Bytes capacity = 180 * GiB;
+  Micros min_seek = 800;        // adjacent-track seek
+  Micros max_seek = 12'000;     // full-stroke seek
+  double rpm = 7200;            // -> 8.33 ms per revolution
+  double transfer_mib_s = 100;  // sustained media rate
+  Micros controller_overhead = 50;
+  std::uint64_t seed = 42;      // rotational-phase randomness
+};
+
+class HddModel final : public StorageDevice {
+ public:
+  explicit HddModel(const HddConfig& cfg = {});
+
+  Micros read(Lba lba, std::uint32_t sectors) override;
+  Micros write(Lba lba, std::uint32_t sectors) override;
+  Bytes capacity_bytes() const override { return cfg_.capacity; }
+
+  const HddConfig& config() const { return cfg_; }
+
+  /// Deterministic expected latency for planning/tests: seek for the
+  /// given distance + average rotational delay + transfer.
+  Micros expected_latency(Lba from, Lba to, std::uint32_t sectors) const;
+
+ private:
+  Micros service(IoOp op, Lba lba, std::uint32_t sectors);
+  Micros seek_time(Lba from, Lba to) const;
+
+  HddConfig cfg_;
+  Lba head_ = 0;        // sector under the head (end of last transfer)
+  bool head_valid_ = false;
+  Rng rng_;
+  Micros us_per_sector_;
+  Micros revolution_us_;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,82 @@
+#include "src/storage/nand.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace ssdse {
+
+NandArray::NandArray(const NandConfig& cfg)
+    : cfg_(cfg),
+      tags_(cfg.total_pages(), kNandFreeTag),
+      next_page_(cfg.num_blocks, 0),
+      wear_(cfg.num_blocks, 0) {}
+
+Micros NandArray::read_page(Ppn ppn, std::uint64_t* tag_out) {
+  if (ppn >= cfg_.total_pages()) {
+    throw std::out_of_range("NandArray::read_page: ppn out of range");
+  }
+  if (tag_out) *tag_out = tags_[ppn];
+  ++stats_.page_reads;
+  stats_.busy += cfg_.page_read;
+  return cfg_.page_read;
+}
+
+Micros NandArray::program_page(Ppn ppn, std::uint64_t tag) {
+  if (ppn >= cfg_.total_pages()) {
+    throw std::out_of_range("NandArray::program_page: ppn out of range");
+  }
+  if (tags_[ppn] != kNandFreeTag) {
+    throw std::logic_error(
+        "NandArray: program of non-erased page " + std::to_string(ppn) +
+        " (erase-before-write violation)");
+  }
+  const Pbn blk = block_of(ppn);
+  const std::uint32_t pib = page_in_block(ppn);
+  if (pib != next_page_[blk]) {
+    throw std::logic_error(
+        "NandArray: out-of-order program in block " + std::to_string(blk) +
+        ": page " + std::to_string(pib) + ", expected " +
+        std::to_string(next_page_[blk]));
+  }
+  tags_[ppn] = tag;
+  next_page_[blk] = pib + 1;
+  ++stats_.page_programs;
+  stats_.busy += cfg_.page_program;
+  return cfg_.page_program;
+}
+
+Micros NandArray::erase_block(Pbn block) {
+  if (block >= cfg_.num_blocks) {
+    throw std::out_of_range("NandArray::erase_block: block out of range");
+  }
+  const Ppn base = static_cast<Ppn>(block) * cfg_.pages_per_block;
+  std::fill(tags_.begin() + static_cast<std::ptrdiff_t>(base),
+            tags_.begin() + static_cast<std::ptrdiff_t>(base) +
+                cfg_.pages_per_block,
+            kNandFreeTag);
+  next_page_[block] = 0;
+  ++wear_[block];
+  ++stats_.block_erases;
+  stats_.busy += cfg_.block_erase;
+  return cfg_.block_erase;
+}
+
+bool NandArray::is_erased(Ppn ppn) const {
+  if (ppn >= cfg_.total_pages()) {
+    throw std::out_of_range("NandArray::is_erased: ppn out of range");
+  }
+  return tags_[ppn] == kNandFreeTag;
+}
+
+std::uint32_t NandArray::max_erase_count() const {
+  return *std::max_element(wear_.begin(), wear_.end());
+}
+
+double NandArray::mean_erase_count() const {
+  const auto sum = std::accumulate(wear_.begin(), wear_.end(), 0ull);
+  return static_cast<double>(sum) / static_cast<double>(wear_.size());
+}
+
+}  // namespace ssdse

@@ -1,0 +1,89 @@
+// Raw NAND-flash array model beneath the FTL (FlashSim-equivalent,
+// DESIGN.md §2). Enforces the physical constraints all FTL correctness
+// rests on:
+//  * erase-before-write — a programmed page cannot be reprogrammed;
+//  * in-order programming within a block;
+//  * erase granularity is a whole block.
+// Each page stores a 64-bit host tag so FTL tests can assert that data
+// survives garbage collection bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct NandConfig {
+  std::uint32_t page_bytes = 2 * KiB;   // Table III
+  std::uint32_t pages_per_block = 64;   // -> 128 KiB blocks
+  std::uint32_t num_blocks = 16 * 1024; // 2 GiB raw by default
+  Micros page_read = 32.725;            // Table III
+  Micros page_program = 101.475;        // Table III
+  Micros block_erase = 1500.0;          // Table III
+
+  Bytes block_bytes() const {
+    return static_cast<Bytes>(page_bytes) * pages_per_block;
+  }
+  std::uint64_t total_pages() const {
+    return static_cast<std::uint64_t>(num_blocks) * pages_per_block;
+  }
+  Bytes capacity_bytes() const {
+    return static_cast<Bytes>(num_blocks) * block_bytes();
+  }
+};
+
+/// Physical page number.
+using Ppn = std::uint64_t;
+/// Physical block number.
+using Pbn = std::uint32_t;
+
+constexpr std::uint64_t kNandFreeTag = ~0ull;
+
+struct NandStats {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_programs = 0;
+  std::uint64_t block_erases = 0;
+  Micros busy = 0;
+};
+
+class NandArray {
+ public:
+  explicit NandArray(const NandConfig& cfg = {});
+
+  const NandConfig& config() const { return cfg_; }
+  const NandStats& stats() const { return stats_; }
+
+  /// Read one page; returns latency. `tag_out` receives the stored host
+  /// tag (kNandFreeTag if the page is erased).
+  Micros read_page(Ppn ppn, std::uint64_t* tag_out = nullptr);
+
+  /// Program one page with a host tag. Throws std::logic_error if the
+  /// page is not erased or programming is out of order within the block.
+  Micros program_page(Ppn ppn, std::uint64_t tag);
+
+  /// Erase a whole block; increments its wear counter.
+  Micros erase_block(Pbn block);
+
+  bool is_erased(Ppn ppn) const;
+  std::uint32_t erase_count(Pbn block) const { return wear_[block]; }
+  std::uint32_t max_erase_count() const;
+  double mean_erase_count() const;
+
+  Pbn block_of(Ppn ppn) const {
+    return static_cast<Pbn>(ppn / cfg_.pages_per_block);
+  }
+  std::uint32_t page_in_block(Ppn ppn) const {
+    return static_cast<std::uint32_t>(ppn % cfg_.pages_per_block);
+  }
+
+ private:
+  NandConfig cfg_;
+  NandStats stats_;
+  std::vector<std::uint64_t> tags_;         // per page; kNandFreeTag = erased
+  std::vector<std::uint32_t> next_page_;    // per block: next programmable page
+  std::vector<std::uint32_t> wear_;         // per block erase counts
+};
+
+}  // namespace ssdse

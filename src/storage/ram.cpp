@@ -1,0 +1,32 @@
+#include "src/storage/ram.hpp"
+
+#include <stdexcept>
+
+namespace ssdse {
+
+RamDevice::RamDevice(const RamConfig& cfg) : cfg_(cfg) {
+  us_per_byte_ = kSecond / (cfg_.bandwidth_gib_s * 1024.0 * 1024.0 * 1024.0);
+}
+
+Micros RamDevice::access_cost(Bytes bytes) const {
+  return cfg_.access_latency + static_cast<double>(bytes) * us_per_byte_;
+}
+
+Micros RamDevice::service(IoOp op, Lba lba, std::uint32_t sectors) {
+  if ((lba + sectors) * kSectorSize > cfg_.capacity) {
+    throw std::out_of_range("RamDevice: access beyond capacity");
+  }
+  const Micros t = access_cost(static_cast<Bytes>(sectors) * kSectorSize);
+  account(op, lba, sectors, t);
+  return t;
+}
+
+Micros RamDevice::read(Lba lba, std::uint32_t sectors) {
+  return service(IoOp::kRead, lba, sectors);
+}
+
+Micros RamDevice::write(Lba lba, std::uint32_t sectors) {
+  return service(IoOp::kWrite, lba, sectors);
+}
+
+}  // namespace ssdse

@@ -1,0 +1,34 @@
+// DRAM timing model: flat latency plus bandwidth-limited transfer.
+// Used for L1 cache access costs and as a reference StorageDevice in
+// tests.
+#pragma once
+
+#include "src/storage/device.hpp"
+
+namespace ssdse {
+
+struct RamConfig {
+  Bytes capacity = 2 * GiB;
+  Micros access_latency = 0.08;   // ~80 ns
+  double bandwidth_gib_s = 20.0;  // sustained copy bandwidth
+};
+
+class RamDevice final : public StorageDevice {
+ public:
+  explicit RamDevice(const RamConfig& cfg = {});
+
+  Micros read(Lba lba, std::uint32_t sectors) override;
+  Micros write(Lba lba, std::uint32_t sectors) override;
+  Bytes capacity_bytes() const override { return cfg_.capacity; }
+
+  /// Cost of touching `bytes` of resident data (no LBA semantics),
+  /// usable without an address space.
+  Micros access_cost(Bytes bytes) const;
+
+ private:
+  Micros service(IoOp op, Lba lba, std::uint32_t sectors);
+  RamConfig cfg_;
+  Micros us_per_byte_;
+};
+
+}  // namespace ssdse

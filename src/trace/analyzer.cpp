@@ -1,0 +1,75 @@
+#include "src/trace/analyzer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace ssdse {
+
+TraceCharacteristics TraceAnalyzer::analyze(
+    std::span<const IoRecord> trace) const {
+  TraceCharacteristics c;
+  c.total_ops = trace.size();
+  if (trace.empty()) return c;
+
+  std::uint64_t reads = 0, sequential = 0, skipped = 0;
+  double jump_sum = 0;
+  std::uint64_t jumps = 0;
+  c.min_lba = trace.front().lba;
+  c.max_lba = trace.front().end_lba();
+
+  // Access counts at 1 MiB-granule level for the locality measure.
+  constexpr Lba kGranule = (1 * MiB) / kSectorSize;
+  std::unordered_map<Lba, std::uint64_t> granule_hits;
+
+  Lba prev_end = trace.front().end_lba();
+  bool first = true;
+  for (const auto& r : trace) {
+    if (r.op == IoOp::kRead) ++reads;
+    c.min_lba = std::min(c.min_lba, r.lba);
+    c.max_lba = std::max(c.max_lba, r.end_lba());
+    granule_hits[r.lba / kGranule] += 1;
+    if (!first) {
+      if (r.lba == prev_end) {
+        ++sequential;
+      } else if (r.lba > prev_end && r.lba - prev_end <= skip_window_) {
+        ++skipped;
+      }
+      const Lba jump = r.lba > prev_end ? r.lba - prev_end : prev_end - r.lba;
+      jump_sum += static_cast<double>(jump);
+      ++jumps;
+    }
+    prev_end = r.end_lba();
+    first = false;
+  }
+
+  const auto n = static_cast<double>(trace.size());
+  c.read_fraction = static_cast<double>(reads) / n;
+  c.sequential_fraction = static_cast<double>(sequential) / n;
+  c.skipped_fraction = static_cast<double>(skipped) / n;
+  c.random_fraction =
+      1.0 - c.sequential_fraction - c.skipped_fraction;
+  c.mean_jump_sectors = jumps ? jump_sum / static_cast<double>(jumps) : 0.0;
+
+  // locality_90: fraction of granules covering 90 % of accesses.
+  std::vector<std::uint64_t> counts;
+  counts.reserve(granule_hits.size());
+  std::uint64_t total_hits = 0;
+  for (const auto& [g, cnt] : granule_hits) {
+    counts.push_back(cnt);
+    total_hits += cnt;
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const auto target = static_cast<std::uint64_t>(
+      0.9 * static_cast<double>(total_hits));
+  std::uint64_t acc = 0;
+  std::size_t used = 0;
+  for (; used < counts.size() && acc < target; ++used) acc += counts[used];
+  c.locality_90 = counts.empty()
+                      ? 0.0
+                      : static_cast<double>(used) /
+                            static_cast<double>(counts.size());
+  return c;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,40 @@
+// TraceAnalyzer quantifies the four I/O characteristics the paper
+// identifies in §III: read dominance, locality, random reads, and
+// skipped reads.
+#pragma once
+
+#include <span>
+
+#include "src/trace/record.hpp"
+
+namespace ssdse {
+
+struct TraceCharacteristics {
+  std::uint64_t total_ops = 0;
+  double read_fraction = 0;        // reads / total ops
+  double sequential_fraction = 0;  // ops starting exactly at prev end
+  double skipped_fraction = 0;     // small forward jumps (skip reads)
+  double random_fraction = 0;      // everything else
+  /// Locality: smallest fraction of distinct sectors receiving 90 % of
+  /// accesses (lower = more skewed = stronger locality).
+  double locality_90 = 0;
+  double mean_jump_sectors = 0;    // mean |lba_i - end_{i-1}|
+  Lba min_lba = 0;
+  Lba max_lba = 0;
+};
+
+class TraceAnalyzer {
+ public:
+  /// `skip_window_sectors` bounds the forward-jump size still counted as
+  /// a "skipped read" (paper: skip-list traversal inside one inverted
+  /// list jumps forward by small steps).
+  explicit TraceAnalyzer(Lba skip_window_sectors = 2048)
+      : skip_window_(skip_window_sectors) {}
+
+  TraceCharacteristics analyze(std::span<const IoRecord> trace) const;
+
+ private:
+  Lba skip_window_;
+};
+
+}  // namespace ssdse

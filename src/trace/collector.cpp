@@ -1,0 +1,24 @@
+#include "src/trace/collector.hpp"
+
+namespace ssdse {
+
+void TraceCollector::record(Micros now, IoOp op, Lba lba,
+                            std::uint32_t sectors) {
+  if (!enabled_) return;
+  ++total_;
+  switch (op) {
+    case IoOp::kRead: ++reads_; break;
+    case IoOp::kWrite: ++writes_; break;
+    case IoOp::kTrim: ++trims_; break;
+  }
+  if (max_records_ == 0 || records_.size() < max_records_) {
+    records_.push_back(IoRecord{now, op, lba, sectors});
+  }
+}
+
+void TraceCollector::clear() {
+  records_.clear();
+  total_ = reads_ = writes_ = trims_ = 0;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,47 @@
+// TraceCollector: the simulator's DiskMon. Storage devices call
+// record() on every host-visible operation; benches and the analyzer
+// consume the captured trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/trace/record.hpp"
+
+namespace ssdse {
+
+class TraceCollector {
+ public:
+  /// A disabled collector drops records; devices always carry one so the
+  /// hot path has no null checks.
+  explicit TraceCollector(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Cap memory use for long runs; 0 means unlimited. Once the cap is
+  /// reached further records are counted but not stored.
+  void set_capacity(std::size_t max_records) { max_records_ = max_records; }
+
+  void record(Micros now, IoOp op, Lba lba, std::uint32_t sectors);
+
+  std::span<const IoRecord> records() const { return records_; }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t trims() const { return trims_; }
+
+  void clear();
+
+ private:
+  bool enabled_;
+  std::size_t max_records_ = 0;
+  std::vector<IoRecord> records_;
+  std::uint64_t total_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t trims_ = 0;
+};
+
+}  // namespace ssdse

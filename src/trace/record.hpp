@@ -1,0 +1,31 @@
+// I/O trace records, the common currency of the DiskMon-equivalent
+// tooling (paper §III / Fig. 1).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+enum class IoOp : std::uint8_t { kRead, kWrite, kTrim };
+
+struct IoRecord {
+  Micros timestamp = 0;  // simulated time of issue
+  IoOp op = IoOp::kRead;
+  Lba lba = 0;           // starting sector
+  std::uint32_t sectors = 0;
+
+  Lba end_lba() const { return lba + sectors; }
+};
+
+inline const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::kRead: return "R";
+    case IoOp::kWrite: return "W";
+    case IoOp::kTrim: return "T";
+  }
+  return "?";
+}
+
+}  // namespace ssdse

@@ -1,0 +1,42 @@
+#include "src/trace/replay.hpp"
+
+namespace ssdse {
+
+ReplayReport replay_trace(std::span<const IoRecord> trace,
+                          StorageDevice& device,
+                          const ReplayOptions& options) {
+  ReplayReport report;
+  const Lba device_sectors = device.capacity_bytes() / kSectorSize;
+  for (const IoRecord& r : trace) {
+    Lba lba = r.lba;
+    std::uint32_t sectors = std::max(r.sectors, 1u);
+    if (lba + sectors > device_sectors) {
+      if (!options.wrap_addresses || sectors > device_sectors) {
+        ++report.skipped_out_of_range;
+        continue;
+      }
+      lba = lba % (device_sectors - sectors);
+    }
+    Micros t = 0;
+    switch (r.op) {
+      case IoOp::kRead:
+        t = device.read(lba, sectors);
+        ++report.reads;
+        break;
+      case IoOp::kWrite:
+        t = device.write(lba, sectors);
+        ++report.writes;
+        break;
+      case IoOp::kTrim:
+        t = device.trim(lba, sectors);
+        ++report.trims;
+        break;
+    }
+    ++report.ops;
+    report.device_time += t;
+    report.op_latency.add(t);
+  }
+  return report;
+}
+
+}  // namespace ssdse

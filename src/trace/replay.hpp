@@ -1,0 +1,38 @@
+// Trace replay: drive any StorageDevice with a captured or synthesized
+// I/O trace (the UMass-repository workflow — the paper's Fig. 1 traces
+// become executable workloads instead of pictures).
+#pragma once
+
+#include <span>
+
+#include "src/storage/device.hpp"
+#include "src/trace/record.hpp"
+#include "src/util/stats.hpp"
+
+namespace ssdse {
+
+struct ReplayReport {
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t skipped_out_of_range = 0;  // records beyond the device
+  Micros device_time = 0;                  // sum of service latencies
+  StreamingStats op_latency;
+
+  Micros mean_latency() const { return op_latency.mean(); }
+};
+
+struct ReplayOptions {
+  /// Wrap out-of-range accesses back into the device (modulo) instead of
+  /// skipping them — lets a trace captured on a big disk run on a small
+  /// simulated one while preserving its locality structure.
+  bool wrap_addresses = true;
+};
+
+/// Replay every record in order; returns the aggregate report.
+ReplayReport replay_trace(std::span<const IoRecord> trace,
+                          StorageDevice& device,
+                          const ReplayOptions& options = {});
+
+}  // namespace ssdse

@@ -1,0 +1,72 @@
+#include "src/trace/synth.hpp"
+
+#include <algorithm>
+
+#include "src/util/zipf.hpp"
+
+namespace ssdse {
+
+std::vector<IoRecord> synthesize_web_search_trace(
+    const WebSearchTraceConfig& cfg, Rng& rng) {
+  std::vector<IoRecord> out;
+  out.reserve(cfg.num_ops);
+  // Hot regions: Zipf over region ranks; region centers are a random
+  // permutation of equal slices of the device so hotness is not
+  // spatially correlated with LBA.
+  ZipfSampler zipf(cfg.hot_regions, cfg.zipf_exponent);
+  std::vector<Lba> region_base(cfg.hot_regions);
+  const Lba slice = cfg.device_sectors / cfg.hot_regions;
+  for (std::size_t i = 0; i < cfg.hot_regions; ++i) {
+    region_base[i] = static_cast<Lba>(i) * slice;
+  }
+  for (std::size_t i = cfg.hot_regions; i > 1; --i) {
+    std::swap(region_base[i - 1], region_base[rng.next_below(i)]);
+  }
+
+  Micros now = 0;
+  for (std::size_t i = 0; i < cfg.num_ops; ++i) {
+    const std::uint64_t rank = zipf.sample(rng) - 1;
+    const Lba base = region_base[rank];
+    const Lba lba = base + rng.next_below(std::max<Lba>(slice, 1));
+    const auto sectors = static_cast<std::uint32_t>(
+        cfg.min_sectors +
+        rng.next_below(cfg.max_sectors - cfg.min_sectors + 1));
+    const IoOp op = rng.chance(cfg.read_fraction) ? IoOp::kRead : IoOp::kWrite;
+    out.push_back(IoRecord{now, op, std::min(lba, cfg.device_sectors - 1),
+                           sectors});
+    now += rng.uniform(50.0, 500.0);
+  }
+  return out;
+}
+
+std::vector<IoRecord> synthesize_lucene_trace(const LuceneTraceConfig& cfg,
+                                              Rng& rng) {
+  std::vector<IoRecord> out;
+  out.reserve(cfg.num_ops);
+  Micros now = 0;
+  Lba cursor = cfg.band_start + rng.next_below(cfg.band_sectors);
+  for (std::size_t i = 0; i < cfg.num_ops; ++i) {
+    const auto sectors = static_cast<std::uint32_t>(
+        cfg.min_sectors +
+        rng.next_below(cfg.max_sectors - cfg.min_sectors + 1));
+    const double u = rng.next_double();
+    if (u < cfg.sequential_probability) {
+      // continue exactly where the previous read ended
+    } else if (u < cfg.sequential_probability + cfg.skip_probability) {
+      // skip forward inside the current inverted list
+      cursor += rng.next_below(cfg.max_skip_sectors) + 1;
+    } else {
+      // jump to another term's list within the index band
+      cursor = cfg.band_start + rng.next_below(cfg.band_sectors);
+    }
+    if (cursor >= cfg.band_start + cfg.band_sectors) {
+      cursor = cfg.band_start + rng.next_below(cfg.band_sectors);
+    }
+    out.push_back(IoRecord{now, IoOp::kRead, cursor, sectors});
+    cursor += sectors;
+    now += rng.uniform(50.0, 500.0);
+  }
+  return out;
+}
+
+}  // namespace ssdse

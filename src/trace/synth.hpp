@@ -1,0 +1,46 @@
+// Synthetic trace generators standing in for the two traces of Fig. 1:
+//  * a UMass-style web-search trace — reads scattered over the whole
+//    device with Zipf-skewed hot regions;
+//  * a Lucene-style retrieval trace — reads confined to a narrow index
+//    band with frequent small forward skips (skip-list traversal).
+//
+// Substitution note (DESIGN.md §2): we do not ship the proprietary UMass
+// trace; these generators reproduce the statistical properties §III
+// derives from it (read-dominance, locality, randomness, skips).
+#pragma once
+
+#include <vector>
+
+#include "src/trace/record.hpp"
+#include "src/util/rng.hpp"
+
+namespace ssdse {
+
+struct WebSearchTraceConfig {
+  std::size_t num_ops = 5000;
+  Lba device_sectors = 3'500'000;  // matches Fig. 1a's 35e5 span
+  double zipf_exponent = 0.9;      // hot-region skew
+  std::size_t hot_regions = 512;
+  double read_fraction = 0.995;    // paper: reads > 99 %
+  std::uint32_t min_sectors = 8;
+  std::uint32_t max_sectors = 64;
+};
+
+struct LuceneTraceConfig {
+  std::size_t num_ops = 5000;
+  Lba band_start = 15'400'000;  // Fig. 1b: ~154e5 .. 160e5
+  Lba band_sectors = 600'000;
+  double skip_probability = 0.55;  // forward skip within current list
+  Lba max_skip_sectors = 1024;
+  double sequential_probability = 0.15;
+  std::uint32_t min_sectors = 8;
+  std::uint32_t max_sectors = 128;
+};
+
+std::vector<IoRecord> synthesize_web_search_trace(
+    const WebSearchTraceConfig& cfg, Rng& rng);
+
+std::vector<IoRecord> synthesize_lucene_trace(const LuceneTraceConfig& cfg,
+                                              Rng& rng);
+
+}  // namespace ssdse

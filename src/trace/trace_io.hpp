@@ -1,0 +1,19 @@
+// CSV persistence for traces (DiskMon-export-like format):
+//   timestamp_us,op,lba,sectors
+#pragma once
+
+#include <string>
+#include <span>
+#include <vector>
+
+#include "src/trace/record.hpp"
+
+namespace ssdse {
+
+/// Writes the trace; throws std::runtime_error on I/O failure.
+void write_trace_csv(const std::string& path, std::span<const IoRecord> trace);
+
+/// Reads a trace written by write_trace_csv; throws on parse errors.
+std::vector<IoRecord> read_trace_csv(const std::string& path);
+
+}  // namespace ssdse

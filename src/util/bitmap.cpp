@@ -1,0 +1,65 @@
+#include "src/util/bitmap.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace ssdse {
+
+Bitmap::Bitmap(std::size_t n, bool value) { resize(n, value); }
+
+void Bitmap::resize(std::size_t n, bool value) {
+  size_ = n;
+  words_.assign((n + 63) / 64, value ? ~0ull : 0ull);
+  if (value && n % 64 != 0) {
+    words_.back() &= (1ull << (n % 64)) - 1;
+  }
+  ones_ = value ? n : 0;
+}
+
+bool Bitmap::test(std::size_t i) const {
+  assert(i < size_);
+  return (words_[i >> 6] >> (i & 63)) & 1ull;
+}
+
+void Bitmap::set(std::size_t i) {
+  assert(i < size_);
+  std::uint64_t& w = words_[i >> 6];
+  const std::uint64_t mask = 1ull << (i & 63);
+  if (!(w & mask)) {
+    w |= mask;
+    ++ones_;
+  }
+}
+
+void Bitmap::clear(std::size_t i) {
+  assert(i < size_);
+  std::uint64_t& w = words_[i >> 6];
+  const std::uint64_t mask = 1ull << (i & 63);
+  if (w & mask) {
+    w &= ~mask;
+    --ones_;
+  }
+}
+
+void Bitmap::assign(std::size_t i, bool value) {
+  value ? set(i) : clear(i);
+}
+
+std::size_t Bitmap::first_clear() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t inv = ~words_[w];
+    if (w == words_.size() - 1 && size_ % 64 != 0) {
+      inv &= (1ull << (size_ % 64)) - 1;
+    }
+    if (inv) {
+      const std::size_t i = (w << 6) +
+                            static_cast<std::size_t>(std::countr_zero(inv));
+      return i < size_ ? i : size_;
+    }
+  }
+  return size_;
+}
+
+void Bitmap::fill(bool value) { resize(size_, value); }
+
+}  // namespace ssdse

@@ -1,0 +1,42 @@
+// Dynamic bitset used for FTL page validity maps and result-block flags
+// (the paper's per-RB "flag" bitmap, Fig. 7b).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssdse {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t n, bool value = false);
+
+  void resize(std::size_t n, bool value = false);
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i);
+  void clear(std::size_t i);
+  void assign(std::size_t i, bool value);
+
+  /// Number of set bits (maintained incrementally, O(1)).
+  std::size_t popcount() const { return ones_; }
+
+  /// Index of the first clear bit, or size() if all set.
+  std::size_t first_clear() const;
+
+  /// Set / clear all bits.
+  void fill(bool value);
+
+  bool all() const { return ones_ == size_; }
+  bool none() const { return ones_ == 0; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::size_t ones_ = 0;
+};
+
+}  // namespace ssdse

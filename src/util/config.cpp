@@ -1,0 +1,166 @@
+#include "src/util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace ssdse {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+}  // namespace
+
+Config Config::from_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "r"), &std::fclose);
+  if (!f) throw std::runtime_error("Config: cannot open " + path);
+  Config cfg;
+  char buf[1024];
+  int line_no = 0;
+  while (std::fgets(buf, sizeof(buf), f.get())) {
+    ++line_no;
+    std::string line(buf);
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("Config: missing '=' at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error("Config: empty key at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+Config Config::from_args(int argc, const char* const* argv,
+                         std::vector<std::string>* rest) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        cfg.values_[arg.substr(2)] = "true";  // boolean flag form
+      } else {
+        cfg.values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else if (rest != nullptr) {
+      rest->push_back(arg);
+    } else {
+      throw std::runtime_error("Config: unexpected argument " + arg);
+    }
+  }
+  return cfg;
+}
+
+void Config::merge(const Config& overrides) {
+  for (const auto& [k, v] : overrides.values_) values_[k] = v;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const auto v = std::stoll(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::runtime_error("Config: '" + key + "' is not an integer: " +
+                             it->second);
+  }
+  return v;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::runtime_error("Config: '" + key + "' is not a number: " +
+                             it->second);
+  }
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string v = lower(it->second);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("Config: '" + key + "' is not a boolean: " +
+                           it->second);
+}
+
+Bytes Config::parse_bytes(const std::string& text) {
+  std::size_t pos = 0;
+  const double v = std::stod(text, &pos);
+  std::string suffix = lower(trim(text.substr(pos)));
+  double scale = 1;
+  if (suffix == "kib" || suffix == "kb" || suffix == "k") {
+    scale = 1024.0;
+  } else if (suffix == "mib" || suffix == "mb" || suffix == "m") {
+    scale = 1024.0 * 1024.0;
+  } else if (suffix == "gib" || suffix == "gb" || suffix == "g") {
+    scale = 1024.0 * 1024.0 * 1024.0;
+  } else if (!suffix.empty()) {
+    throw std::runtime_error("Config: bad size suffix: " + text);
+  }
+  if (v < 0) throw std::runtime_error("Config: negative size: " + text);
+  return static_cast<Bytes>(std::llround(v * scale));
+}
+
+Bytes Config::get_bytes(const std::string& key, Bytes fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return parse_bytes(it->second);
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,58 @@
+// Key-value configuration: the text format the ssdse_sim driver and
+// power users configure experiments with.
+//
+//   # comment
+//   docs        = 5000000
+//   mem_budget  = 10MiB        # size suffixes: KiB / MiB / GiB
+//   policy      = cbslru
+//
+// Command-line overrides use --key=value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse a config file; throws std::runtime_error on I/O or syntax
+  /// errors (line number included).
+  static Config from_file(const std::string& path);
+
+  /// Parse --key=value arguments; non-matching arguments are returned
+  /// through `rest` if given, otherwise rejected.
+  static Config from_args(int argc, const char* const* argv,
+                          std::vector<std::string>* rest = nullptr);
+
+  /// Later values win (use to layer CLI over file).
+  void merge(const Config& overrides);
+
+  bool has(const std::string& key) const;
+  std::vector<std::string> keys() const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  /// Accepts plain numbers or KiB/MiB/GiB/KB/MB/GB suffixes.
+  Bytes get_bytes(const std::string& key, Bytes fallback) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  /// Parse a size with optional binary suffix ("10MiB" -> bytes).
+  static Bytes parse_bytes(const std::string& text);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ssdse

@@ -1,0 +1,113 @@
+// Generic O(1) LRU-ordered map, the backbone of every cache in this
+// project. Keeps a doubly-linked recency list plus a hash index.
+//
+// The cache policies in src/cache need more than "evict the LRU item":
+// CBLRU scans a *Replace-First Region* (a window at the LRU end) and
+// picks victims by cost inside it, so this container exposes ordered
+// iteration from the LRU end and arbitrary-position erase, not only
+// pop_lru().
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace ssdse {
+
+template <typename K, typename V>
+class LruMap {
+ public:
+  using Entry = std::pair<K, V>;
+  using iterator = typename std::list<Entry>::iterator;
+  using const_iterator = typename std::list<Entry>::const_iterator;
+
+  bool contains(const K& key) const { return index_.count(key) != 0; }
+  std::size_t size() const { return list_.size(); }
+  bool empty() const { return list_.empty(); }
+
+  /// Find without touching recency.
+  V* peek(const K& key) {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+  const V* peek(const K& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  /// Find and move to the MRU position.
+  V* touch(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    list_.splice(list_.begin(), list_, it->second);
+    return &it->second->second;
+  }
+
+  /// Insert (or overwrite) at the MRU position.
+  V& insert(const K& key, V value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      list_.splice(list_.begin(), list_, it->second);
+      return it->second->second;
+    }
+    list_.emplace_front(key, std::move(value));
+    index_.emplace(key, list_.begin());
+    return list_.front().second;
+  }
+
+  /// Remove a specific key. Returns the value if present.
+  std::optional<V> erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    V v = std::move(it->second->second);
+    list_.erase(it->second);
+    index_.erase(it);
+    return v;
+  }
+
+  /// Remove and return the least recently used entry.
+  std::optional<Entry> pop_lru() {
+    if (list_.empty()) return std::nullopt;
+    Entry e = std::move(list_.back());
+    index_.erase(e.first);
+    list_.pop_back();
+    return e;
+  }
+
+  /// Peek at the LRU entry without removing it.
+  const Entry* lru() const { return list_.empty() ? nullptr : &list_.back(); }
+  const Entry* mru() const { return list_.empty() ? nullptr : &list_.front(); }
+
+  /// Erase by iterator (valid list iterator), returning the next one.
+  iterator erase(iterator it) {
+    index_.erase(it->first);
+    return list_.erase(it);
+  }
+
+  // MRU-first iteration.
+  iterator begin() { return list_.begin(); }
+  iterator end() { return list_.end(); }
+  const_iterator begin() const { return list_.begin(); }
+  const_iterator end() const { return list_.end(); }
+
+  // LRU-first iteration (reverse), for Replace-First-Region scans.
+  auto rbegin() { return list_.rbegin(); }
+  auto rend() { return list_.rend(); }
+  auto rbegin() const { return list_.rbegin(); }
+  auto rend() const { return list_.rend(); }
+
+  void clear() {
+    list_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::list<Entry> list_;  // front = MRU, back = LRU
+  std::unordered_map<K, iterator> index_;
+};
+
+}  // namespace ssdse

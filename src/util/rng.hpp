@@ -1,0 +1,52 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// Every stochastic component in the simulator (corpus synthesis, query
+// logs, device noise) takes an explicit Rng so whole experiments replay
+// bit-identically from a seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ssdse {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Log-normal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Geometric-ish integer in [1, inf) with success probability p.
+  std::uint64_t geometric(double p);
+
+  /// Fork a statistically independent stream (SplitMix64 of state).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ssdse

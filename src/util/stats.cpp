@@ -1,0 +1,111 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ssdse {
+
+void StreamingStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StreamingStats::reset() { *this = StreamingStats{}; }
+
+double StreamingStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, double growth)
+    : lo_(lo), log_growth_(std::log(growth)) {
+  const auto n = static_cast<std::size_t>(
+                     std::ceil(std::log(hi / lo) / log_growth_)) +
+                 2;
+  buckets_.assign(n, 0);
+}
+
+std::size_t LatencyHistogram::bucket_for(double x) const {
+  if (x <= lo_) return 0;
+  const auto i =
+      static_cast<std::size_t>(std::log(x / lo_) / log_growth_) + 1;
+  return std::min(i, buckets_.size() - 1);
+}
+
+void LatencyHistogram::add(double x) {
+  ++buckets_[bucket_for(x)];
+  ++total_;
+  sum_ += x;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // report the geometric midpoint of the bucket
+      if (i == 0) return lo_;
+      const double lower = lo_ * std::exp(log_growth_ * static_cast<double>(i - 1));
+      return lower * std::exp(0.5 * log_growth_);
+    }
+  }
+  return lo_ * std::exp(log_growth_ * static_cast<double>(buckets_.size()));
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p50=%.2f p90=%.2f p99=%.2f mean=%.2f",
+                quantile(0.50), quantile(0.90), quantile(0.99), mean());
+  return buf;
+}
+
+void Counter::add(std::uint64_t key, std::uint64_t weight) {
+  map_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Counter::count_of(std::uint64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Counter::sorted() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> v(map_.begin(),
+                                                         map_.end());
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return v;
+}
+
+}  // namespace ssdse

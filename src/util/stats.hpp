@@ -1,0 +1,86 @@
+// Streaming statistics and fixed-bucket histograms.
+//
+// Every metric in the simulator (response time, per-device latency,
+// cache occupancy) is accumulated with these; nothing retains per-sample
+// vectors in the hot path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ssdse {
+
+/// Welford-style running mean/variance plus min/max/sum.
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log-scaled histogram for latency-like positive values; supports
+/// approximate quantiles with bounded relative error.
+class LatencyHistogram {
+ public:
+  /// Buckets grow geometrically from `lo` by factor `growth` until `hi`.
+  explicit LatencyHistogram(double lo = 0.1, double hi = 1e8,
+                            double growth = 1.15);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  double quantile(double q) const;  // q in [0,1]
+  double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+
+  /// Render "p50=... p90=... p99=..." for reports.
+  std::string summary() const;
+
+ private:
+  std::size_t bucket_for(double x) const;
+
+  double lo_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Frequency counter over integer keys with sorted extraction; used by
+/// the trace analyzer and query-log analysis (not a hot path).
+class Counter {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t distinct() const { return map_.size(); }
+  std::uint64_t count_of(std::uint64_t key) const;
+
+  /// (key, count) pairs sorted by descending count (ties by key).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> map_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ssdse

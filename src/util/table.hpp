@@ -1,0 +1,33 @@
+// Console table printer used by every bench binary so that reproduced
+// figures/tables come out as aligned, copy-pasteable rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssdse {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; cells are already formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 2);
+
+  /// Render with column alignment; header separator included.
+  std::string to_string() const;
+
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssdse

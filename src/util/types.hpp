@@ -1,0 +1,45 @@
+// Common scalar types and unit helpers shared by every subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ssdse {
+
+/// Simulated time in microseconds. All device models and the query
+/// processor account time in this unit; a plain double keeps arithmetic
+/// cheap and composable (latencies are summed, averaged and histogrammed
+/// constantly in the hot path).
+using Micros = double;
+
+constexpr Micros kMillisecond = 1000.0;
+constexpr Micros kSecond = 1'000'000.0;
+
+constexpr Micros ms(double v) { return v * kMillisecond; }
+constexpr Micros sec(double v) { return v * kSecond; }
+
+/// Byte counts. 64-bit everywhere: index extents for 5M documents exceed
+/// 4 GiB easily.
+using Bytes = std::uint64_t;
+
+constexpr Bytes KiB = 1024;
+constexpr Bytes MiB = 1024 * KiB;
+constexpr Bytes GiB = 1024 * MiB;
+
+/// Logical block address in 512-byte sectors (trace / device interface).
+using Lba = std::uint64_t;
+constexpr Bytes kSectorSize = 512;
+
+/// Identifier types. Strong-enough aliases; the index/engine layers never
+/// mix them because the APIs take them by distinct parameter names.
+using TermId = std::uint32_t;
+using DocId = std::uint32_t;
+using QueryId = std::uint64_t;
+
+constexpr std::uint32_t kInvalidU32 = 0xFFFFFFFFu;
+
+inline constexpr Bytes bytes_to_sectors(Bytes b) {
+  return (b + kSectorSize - 1) / kSectorSize;
+}
+
+}  // namespace ssdse

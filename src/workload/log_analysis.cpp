@@ -1,0 +1,57 @@
+#include "src/workload/log_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssdse {
+
+std::uint32_t formula_sc_blocks(Bytes list_bytes, double utilization,
+                                Bytes block_bytes) {
+  if (list_bytes == 0) return 0;
+  const double used =
+      static_cast<double>(list_bytes) * std::clamp(utilization, 0.0, 1.0);
+  const auto blocks = static_cast<std::uint32_t>(
+      std::ceil(used / static_cast<double>(block_bytes)));
+  return std::max(blocks, 1u);
+}
+
+double formula_ev(std::uint64_t freq, std::uint32_t sc_blocks) {
+  if (sc_blocks == 0) return 0.0;
+  return static_cast<double>(freq) / static_cast<double>(sc_blocks);
+}
+
+double LogAnalysis::tev_for_fraction(double keep_fraction) const {
+  if (terms_by_ev.empty()) return 0.0;
+  keep_fraction = std::clamp(keep_fraction, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      keep_fraction * static_cast<double>(terms_by_ev.size() - 1));
+  return terms_by_ev[idx].ev;
+}
+
+LogAnalysis analyze_log(const QueryLogConfig& log_cfg, const IndexView& index,
+                        std::uint64_t sample_size, Bytes block_bytes) {
+  LogAnalysis out;
+  out.sample_size = sample_size;
+  QueryLogGenerator gen(log_cfg);
+  for (std::uint64_t i = 0; i < sample_size; ++i) {
+    const Query q = gen.next();
+    out.query_freq.add(q.id);
+    for (TermId t : q.terms) out.term_freq.add(t);
+  }
+  for (const auto& [term, freq] : out.term_freq.sorted()) {
+    const auto meta = index.term_meta(static_cast<TermId>(term));
+    const auto sc =
+        formula_sc_blocks(meta.list_bytes, meta.utilization, block_bytes);
+    out.terms_by_ev.push_back(TermEfficiency{
+        static_cast<TermId>(term), freq, sc, formula_ev(freq, sc)});
+  }
+  std::sort(out.terms_by_ev.begin(), out.terms_by_ev.end(),
+            [](const TermEfficiency& a, const TermEfficiency& b) {
+              if (a.ev != b.ev) return a.ev > b.ev;
+              return a.term < b.term;
+            });
+  out.queries_by_freq = out.query_freq.sorted();
+  return out;
+}
+
+}  // namespace ssdse

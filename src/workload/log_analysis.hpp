@@ -1,0 +1,48 @@
+// Offline query-log analysis (the paper's "analyzing the query log"):
+// term/query access frequencies, the efficiency-value ranking of Fig. 4,
+// the TEV threshold, and the static working sets CBSLRU preloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/index/inverted_index.hpp"
+#include "src/util/stats.hpp"
+#include "src/workload/query_log.hpp"
+
+namespace ssdse {
+
+struct TermEfficiency {
+  TermId term = 0;
+  std::uint64_t freq = 0;      // accesses in the analyzed sample
+  std::uint32_t sc_blocks = 0; // Formula 1 cache size in 128 KiB blocks
+  double ev = 0;               // Formula 2: freq / sc_blocks
+};
+
+struct LogAnalysis {
+  std::uint64_t sample_size = 0;
+  Counter query_freq;  // by distinct query id
+  Counter term_freq;   // by term id
+  /// Terms ranked by descending efficiency value.
+  std::vector<TermEfficiency> terms_by_ev;
+  /// Queries ranked by descending frequency (for the static result set).
+  std::vector<std::pair<QueryId, std::uint64_t>> queries_by_freq;
+
+  /// EV threshold such that `keep_fraction` of analyzed terms are at or
+  /// above it (the paper's TEV; Fig. 4's tiering line).
+  double tev_for_fraction(double keep_fraction) const;
+};
+
+/// Replay `sample_size` queries from a *fresh* generator stream (the
+/// training prefix) and accumulate statistics against the index.
+LogAnalysis analyze_log(const QueryLogConfig& log_cfg, const IndexView& index,
+                        std::uint64_t sample_size, Bytes block_bytes);
+
+/// Formula 1: SC = ceil(SI * PU / SB), in blocks (>= 1 for non-empty).
+std::uint32_t formula_sc_blocks(Bytes list_bytes, double utilization,
+                                Bytes block_bytes);
+
+/// Formula 2: EV = Freq / SC.
+double formula_ev(std::uint64_t freq, std::uint32_t sc_blocks);
+
+}  // namespace ssdse

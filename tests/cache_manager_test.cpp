@@ -1,0 +1,235 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/cache_manager.hpp"
+#include "src/storage/hdd.hpp"
+
+namespace ssdse {
+namespace {
+
+CorpusConfig small_corpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 50'000;
+  cfg.vocab_size = 5'000;
+  cfg.terms_per_doc = 40;
+  return cfg;
+}
+
+CacheConfig small_cache(CachePolicy policy) {
+  CacheConfig cc;
+  cc.policy = policy;
+  cc.mem_result_capacity = 200 * KiB;   // 10 result entries
+  cc.mem_list_capacity = 2 * MiB;
+  cc.ssd_result_capacity = 2 * MiB;
+  cc.ssd_list_capacity = 32 * MiB;
+  return cc;
+}
+
+ResultEntry make_result(QueryId qid) {
+  ResultEntry e;
+  e.query = qid;
+  e.docs = {{static_cast<DocId>(qid), 1.0f}};
+  return e;
+}
+
+class CacheManagerTest : public ::testing::Test {
+ protected:
+  CacheManagerTest() : index_(small_corpus()) {
+    SsdConfig sc;
+    sc.nand.num_blocks = 512;  // 64 MiB raw
+    ssd_ = std::make_unique<Ssd>(sc);
+  }
+
+  std::unique_ptr<CacheManager> make(CachePolicy policy) {
+    return std::make_unique<CacheManager>(small_cache(policy), ssd_.get(),
+                                          hdd_, ram_, index_);
+  }
+
+  AnalyticIndex index_;
+  HddModel hdd_;
+  RamDevice ram_;
+  std::unique_ptr<Ssd> ssd_;
+};
+
+TEST_F(CacheManagerTest, ResultMissThenMemoryHit) {
+  auto cm = make(CachePolicy::kCblru);
+  Tier tier;
+  Micros t = 0;
+  EXPECT_EQ(cm->lookup_result(1, &tier, &t), nullptr);
+  cm->insert_result(make_result(1));
+  const ResultEntry* hit = cm->lookup_result(1, &tier, &t);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(tier, Tier::kMemory);
+  EXPECT_EQ(cm->stats().result_hits_mem, 1u);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST_F(CacheManagerTest, ListMissGoesToHddThenMemoryHit) {
+  auto cm = make(CachePolicy::kCblru);
+  Micros t1 = 0;
+  EXPECT_EQ(cm->fetch_list(100, &t1), Tier::kHdd);
+  EXPECT_GT(t1, 1000.0);  // HDD seek territory
+  Micros t2 = 0;
+  EXPECT_EQ(cm->fetch_list(100, &t2), Tier::kMemory);
+  EXPECT_LT(t2, t1 / 10);
+  EXPECT_EQ(cm->stats().hdd_list_reads, 1u);
+  EXPECT_EQ(cm->stats().list_hits_mem, 1u);
+}
+
+TEST_F(CacheManagerTest, EvictedHotListsReachSsd) {
+  auto cm = make(CachePolicy::kCblru);
+  // Flood the memory list cache so evictions cascade into the SSD list
+  // cache, then hit one of the SSD-resident terms.
+  Micros t = 0;
+  for (TermId term = 0; term < 1'500; ++term) cm->fetch_list(term, &t);
+  EXPECT_GT(cm->ssd_lists()->stats().inserts, 0u);
+  EXPECT_GT(cm->stats().background_flash_time, 0.0);
+  for (TermId term = 0; term < 1'500; ++term) {
+    if (cm->ssd_lists()->contains(term) && !cm->mem_lists().contains(term)) {
+      Micros t2 = 0;
+      EXPECT_EQ(cm->fetch_list(term, &t2), Tier::kSsd);
+      EXPECT_GE(cm->stats().list_hits_ssd, 1u);
+      return;
+    }
+  }
+  FAIL() << "no SSD-resident evicted list found";
+}
+
+TEST_F(CacheManagerTest, ResultsFlushInRbGroupsThroughWriteBuffer) {
+  auto cm = make(CachePolicy::kCblru);
+  // Query results with freq >= admission bar: look each up once so the
+  // eviction carries freq 2.
+  const auto per_rb = cm->config().results_per_rb();
+  Tier tier;
+  for (QueryId q = 0; q < 40; ++q) {
+    cm->insert_result(make_result(q));
+    Micros t = 0;
+    cm->lookup_result(q, &tier, &t);
+  }
+  // 10-entry L1: 30 evictions -> write buffer groups of `per_rb`.
+  EXPECT_GT(cm->ssd_results()->stats().rb_writes, 0u);
+  EXPECT_EQ(cm->ssd_results()->stats().entries_written % per_rb, 0u);
+  cm->drain();
+}
+
+TEST_F(CacheManagerTest, ColdResultsDiscardedNotFlushed) {
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.min_result_freq_for_ssd = 100;  // nothing qualifies
+  CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
+  for (QueryId q = 0; q < 40; ++q) cm.insert_result(make_result(q));
+  EXPECT_GT(cm.stats().results_discarded, 0u);
+  EXPECT_EQ(cm.ssd_results()->stats().rb_writes, 0u);
+}
+
+TEST_F(CacheManagerTest, TevFiltersListAdmission) {
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.tev = 1e18;          // impossible bar
+  cc.mem_list_capacity = 128 * KiB;  // force plenty of evictions
+  CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
+  Micros t = 0;
+  for (TermId term = 0; term < 2'000; ++term) cm.fetch_list(term, &t);
+  EXPECT_GT(cm.stats().lists_discarded, 0u);
+  EXPECT_EQ(cm.ssd_lists()->stats().inserts, 0u);
+}
+
+TEST_F(CacheManagerTest, LruBaselineUsesLruMachinery) {
+  auto cm = make(CachePolicy::kLru);
+  EXPECT_EQ(cm->ssd_results(), nullptr);
+  EXPECT_NE(cm->lru_ssd_results(), nullptr);
+  Micros t = 0;
+  cm->fetch_list(10, &t);
+  Tier tier;
+  cm->insert_result(make_result(1));
+  cm->lookup_result(1, &tier, &t);
+  EXPECT_EQ(tier, Tier::kMemory);
+}
+
+TEST_F(CacheManagerTest, LruEvictionsWriteImmediately) {
+  auto cm = make(CachePolicy::kLru);
+  for (QueryId q = 0; q < 20; ++q) cm->insert_result(make_result(q));
+  // 10-entry L1 -> 10 evictions, written without any grouping.
+  EXPECT_EQ(cm->lru_ssd_results()->stats().inserts, 10u);
+  EXPECT_GT(cm->stats().background_flash_time, 0.0);
+}
+
+TEST_F(CacheManagerTest, SsdResultHitPromotesToMemory) {
+  auto cm = make(CachePolicy::kCblru);
+  Tier tier;
+  // Fill and overflow L1 so early queries land on the SSD.
+  for (QueryId q = 0; q < 40; ++q) {
+    cm->insert_result(make_result(q));
+    Micros t = 0;
+    cm->lookup_result(q, &tier, &t);
+  }
+  cm->drain();
+  // Find one query that is on the SSD and not in memory.
+  for (QueryId q = 0; q < 10; ++q) {
+    if (!cm->mem_results().contains(q) && cm->ssd_results()->contains(q)) {
+      Micros t = 0;
+      const ResultEntry* hit = cm->lookup_result(q, &tier, &t);
+      ASSERT_NE(hit, nullptr);
+      EXPECT_EQ(tier, Tier::kSsd);
+      EXPECT_TRUE(cm->mem_results().contains(q));  // promoted
+      return;
+    }
+  }
+  FAIL() << "no SSD-resident result found to exercise the promotion path";
+}
+
+TEST_F(CacheManagerTest, OneLevelConfigNeverTouchesSsd) {
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.l2 = false;
+  CacheManager cm(cc, nullptr, hdd_, ram_, index_);
+  Micros t = 0;
+  for (TermId term = 0; term < 100; ++term) cm.fetch_list(term, &t);
+  for (QueryId q = 0; q < 30; ++q) cm.insert_result(make_result(q));
+  EXPECT_EQ(cm.stats().background_flash_time, 0.0);
+  EXPECT_EQ(cm.ssd_lists(), nullptr);
+}
+
+TEST_F(CacheManagerTest, L2WithoutSsdThrows) {
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  EXPECT_THROW(CacheManager(cc, nullptr, hdd_, ram_, index_),
+               std::invalid_argument);
+}
+
+TEST_F(CacheManagerTest, DisabledResultCacheNeverHits) {
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.result_cache = false;
+  CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
+  Tier tier;
+  Micros t = 0;
+  cm.insert_result(make_result(1));
+  EXPECT_EQ(cm.lookup_result(1, &tier, &t), nullptr);
+  EXPECT_EQ(cm.stats().result_lookups, 0u);
+}
+
+TEST_F(CacheManagerTest, DisabledListCacheAlwaysHdd) {
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.list_cache = false;
+  CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
+  Micros t = 0;
+  EXPECT_EQ(cm.fetch_list(5, &t), Tier::kHdd);
+  EXPECT_EQ(cm.fetch_list(5, &t), Tier::kHdd);  // no caching
+  EXPECT_EQ(cm.stats().list_lookups, 0u);
+}
+
+TEST_F(CacheManagerTest, OversizedCacheCapacitiesRejected) {
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.ssd_list_capacity = 100 * GiB;
+  EXPECT_THROW(CacheManager(cc, ssd_.get(), hdd_, ram_, index_),
+               std::invalid_argument);
+}
+
+TEST_F(CacheManagerTest, HitRatioAccounting) {
+  auto cm = make(CachePolicy::kCblru);
+  Micros t = 0;
+  cm->fetch_list(1, &t);  // miss
+  cm->fetch_list(1, &t);  // hit
+  EXPECT_DOUBLE_EQ(cm->stats().list_hit_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(cm->stats().hit_ratio(), 0.5);
+}
+
+}  // namespace
+}  // namespace ssdse

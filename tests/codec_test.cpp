@@ -1,0 +1,157 @@
+// Posting-list compression codec tests: round-trips, size relations,
+// error handling, and a parameterized sweep over codecs x list shapes.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/index/codec.hpp"
+#include "src/util/rng.hpp"
+
+namespace ssdse {
+namespace {
+
+std::vector<Posting> freq_sorted_list(std::size_t n, std::uint64_t seed,
+                                      DocId doc_space = 1'000'000) {
+  Rng rng(seed);
+  std::vector<Posting> out;
+  out.reserve(n);
+  std::uint32_t tf = 100000;
+  for (std::size_t i = 0; i < n; ++i) {
+    // tf non-increasing (frequency-sorted order).
+    tf -= static_cast<std::uint32_t>(rng.next_below(3));
+    out.push_back(Posting{static_cast<DocId>(rng.next_below(doc_space)),
+                          std::max<std::uint32_t>(tf, 1)});
+  }
+  return out;
+}
+
+// --- varint primitives -----------------------------------------------------
+
+TEST(VarintTest, RoundTripValues) {
+  std::vector<std::uint8_t> buf;
+  const std::uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20,
+                                  ~0ull >> 1, ~0ull};
+  for (std::uint64_t v : values) put_varint(buf, v);
+  std::size_t pos = 0;
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(get_varint(buf, pos), v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, SmallValuesOneByte) {
+  std::vector<std::uint8_t> buf;
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 3u);  // second value took 2 bytes
+}
+
+TEST(VarintTest, TruncatedInputThrows) {
+  std::vector<std::uint8_t> buf = {0x80};  // continuation with no next byte
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(buf, pos), std::out_of_range);
+}
+
+// --- factory ---------------------------------------------------------------
+
+TEST(CodecFactoryTest, MakesAllAndRejectsUnknown) {
+  for (const std::string name : {"raw", "varint", "group-varint"}) {
+    auto codec = make_codec(name);
+    ASSERT_NE(codec, nullptr);
+    EXPECT_EQ(codec->name(), name);
+  }
+  EXPECT_THROW(make_codec("lz4"), std::invalid_argument);
+}
+
+// --- size relations -----------------------------------------------------------
+
+TEST(CodecSizeTest, CompressedSmallerThanRaw) {
+  const auto list = freq_sorted_list(5'000, 1);
+  RawCodec raw;
+  VarintCodec varint;
+  GroupVarintCodec gv;
+  const auto raw_size = raw.encoded_bytes(list);
+  EXPECT_LT(varint.encoded_bytes(list), raw_size);
+  EXPECT_LT(gv.encoded_bytes(list), raw_size);
+}
+
+TEST(CodecSizeTest, SizeModelTracksActual) {
+  for (const std::string name : {"raw", "varint", "group-varint"}) {
+    auto codec = make_codec(name);
+    const auto list = freq_sorted_list(10'000, 2);
+    const double actual =
+        static_cast<double>(codec->encoded_bytes(list)) /
+        static_cast<double>(list.size());
+    const double modeled = codec->bytes_per_posting(list.size(), 1'000'000);
+    EXPECT_NEAR(actual, modeled, modeled * 0.5) << name;
+  }
+}
+
+TEST(CodecSizeTest, RawIsExactlyEightBytesPerPosting) {
+  const auto list = freq_sorted_list(100, 3);
+  RawCodec raw;
+  EXPECT_EQ(raw.encoded_bytes(list), 800u);
+  EXPECT_DOUBLE_EQ(raw.bytes_per_posting(100, 1'000'000), 8.0);
+}
+
+// --- error handling -------------------------------------------------------------
+
+TEST(CodecErrorTest, RawRejectsMisalignedBuffer) {
+  RawCodec raw;
+  std::vector<std::uint8_t> bad(13);
+  EXPECT_THROW(raw.decode(bad), std::invalid_argument);
+}
+
+TEST(CodecErrorTest, GroupVarintRejectsTruncation) {
+  GroupVarintCodec gv;
+  const auto list = freq_sorted_list(50, 4);
+  auto bytes = gv.encode(list);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(gv.decode(bytes), std::out_of_range);
+}
+
+// --- parameterized round-trip sweep -----------------------------------------------
+
+struct CodecCase {
+  std::string codec;
+  std::size_t list_size;
+};
+
+class CodecRoundTripTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTripTest, DecodeInvertsEncode) {
+  const auto& param = GetParam();
+  auto codec = make_codec(param.codec);
+  const auto list = freq_sorted_list(param.list_size, 42 + param.list_size);
+  const auto encoded = codec->encode(list);
+  const auto decoded = codec->decode(encoded);
+  ASSERT_EQ(decoded.size(), list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(decoded[i], list[i]) << param.codec << " @ " << i;
+  }
+}
+
+std::vector<CodecCase> codec_cases() {
+  std::vector<CodecCase> cases;
+  for (const std::string name : {"raw", "varint", "group-varint"}) {
+    for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 1000u, 65537u}) {
+      cases.push_back({name, n});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllSizes, CodecRoundTripTest, ::testing::ValuesIn(codec_cases()),
+    [](const ::testing::TestParamInfo<CodecCase>& param_info) {
+      std::string s =
+          param_info.param.codec + "_" + std::to_string(param_info.param.list_size);
+      for (char& c : s) {
+        if (c == '-') c = '_';
+      }
+      return s;
+    });
+
+}  // namespace
+}  // namespace ssdse

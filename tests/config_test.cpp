@@ -1,0 +1,115 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/config.hpp"
+
+namespace ssdse {
+namespace {
+
+std::string write_temp(const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "ssdse_config_test.conf";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs(contents.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(ConfigTest, ParsesFileWithCommentsAndBlanks) {
+  const auto path = write_temp(
+      "# experiment\n"
+      "docs = 5000000\n"
+      "\n"
+      "policy= cbslru   # trailing comment\n"
+      "mem_budget =10MiB\n");
+  const Config cfg = Config::from_file(path);
+  EXPECT_EQ(cfg.get_int("docs", 0), 5'000'000);
+  EXPECT_EQ(cfg.get_string("policy", ""), "cbslru");
+  EXPECT_EQ(cfg.get_bytes("mem_budget", 0), 10 * MiB);
+  EXPECT_EQ(cfg.keys().size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigTest, MissingFileThrows) {
+  EXPECT_THROW(Config::from_file("/no/such/file.conf"), std::runtime_error);
+}
+
+TEST(ConfigTest, SyntaxErrorReportsLine) {
+  const auto path = write_temp("good = 1\nbad line without equals\n");
+  try {
+    Config::from_file(path);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":2"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ConfigTest, ArgsParsing) {
+  const char* argv[] = {"prog", "--docs=42", "--verbose", "positional",
+                        "--x=1.5"};
+  std::vector<std::string> rest;
+  const Config cfg = Config::from_args(5, argv, &rest);
+  EXPECT_EQ(cfg.get_int("docs", 0), 42);
+  EXPECT_TRUE(cfg.get_bool("verbose", false));  // bare flag = true
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 0), 1.5);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], "positional");
+}
+
+TEST(ConfigTest, ArgsRejectUnexpectedWithoutRest) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Config::from_args(2, argv), std::runtime_error);
+}
+
+TEST(ConfigTest, MergeLaterWins) {
+  Config base, over;
+  base.set("a", "1");
+  base.set("b", "2");
+  over.set("b", "3");
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+}
+
+TEST(ConfigTest, FallbacksWhenMissing) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int("nope", 7), 7);
+  EXPECT_EQ(cfg.get_string("nope", "x"), "x");
+  EXPECT_TRUE(cfg.get_bool("nope", true));
+  EXPECT_EQ(cfg.get_bytes("nope", 5), 5u);
+  EXPECT_FALSE(cfg.has("nope"));
+}
+
+TEST(ConfigTest, BytesSuffixes) {
+  EXPECT_EQ(Config::parse_bytes("123"), 123u);
+  EXPECT_EQ(Config::parse_bytes("1KiB"), 1024u);
+  EXPECT_EQ(Config::parse_bytes("2MB"), 2 * MiB);
+  EXPECT_EQ(Config::parse_bytes("1.5 GiB"), 1536 * MiB);
+  EXPECT_EQ(Config::parse_bytes("4k"), 4096u);
+  EXPECT_THROW(Config::parse_bytes("10parsecs"), std::runtime_error);
+  EXPECT_THROW(Config::parse_bytes("-4KiB"), std::runtime_error);
+}
+
+TEST(ConfigTest, BoolFormats) {
+  Config cfg;
+  cfg.set("a", "yes");
+  cfg.set("b", "OFF");
+  cfg.set("c", "1");
+  cfg.set("d", "maybe");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_THROW(cfg.get_bool("d", false), std::runtime_error);
+}
+
+TEST(ConfigTest, BadNumbersThrow) {
+  Config cfg;
+  cfg.set("n", "12abc");
+  EXPECT_THROW(cfg.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW(cfg.get_double("n", 0), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,189 @@
+// DAAT conjunctive processing tests: advance() semantics, skip usage,
+// and intersection correctness against a brute-force oracle.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/daat.hpp"
+#include "src/util/rng.hpp"
+
+namespace ssdse {
+namespace {
+
+PostingList make_list(std::vector<DocId> docs, std::uint32_t tf = 5) {
+  std::vector<Posting> p;
+  p.reserve(docs.size());
+  for (DocId d : docs) p.push_back(Posting{d, tf});
+  return PostingList(std::move(p));
+}
+
+// --- DocSortedList -----------------------------------------------------
+
+TEST(DocSortedListTest, SortsByDocId) {
+  DocSortedList list(make_list({50, 3, 20, 7}));
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0].doc, 3u);
+  EXPECT_EQ(list[3].doc, 50u);
+}
+
+TEST(DocSortedListTest, AdvanceFindsFirstAtLeastTarget) {
+  DocSortedList list(make_list({10, 20, 30, 40, 50}));
+  EXPECT_EQ(list.advance(0, 25), 2u);   // -> doc 30
+  EXPECT_EQ(list.advance(0, 30), 2u);   // exact
+  EXPECT_EQ(list.advance(0, 5), 0u);    // already positioned
+  EXPECT_EQ(list.advance(3, 35), 3u);   // from later cursor
+  EXPECT_EQ(list.advance(0, 100), 5u);  // exhausted
+  EXPECT_EQ(list.advance(5, 10), 5u);   // from end stays at end
+}
+
+TEST(DocSortedListTest, AdvanceNeverMovesBackwards) {
+  Rng rng(7);
+  std::vector<DocId> docs;
+  for (int i = 0; i < 5000; ++i) {
+    docs.push_back(static_cast<DocId>(rng.next_below(100'000)));
+  }
+  std::sort(docs.begin(), docs.end());
+  docs.erase(std::unique(docs.begin(), docs.end()), docs.end());
+  DocSortedList list(make_list(docs));
+  std::size_t pos = 0;
+  for (int i = 0; i < 500; ++i) {
+    const DocId target = static_cast<DocId>(rng.next_below(100'000));
+    const std::size_t next = list.advance(pos, target);
+    EXPECT_GE(next, pos);
+    if (next < list.size()) {
+      EXPECT_GE(list[next].doc, target);
+      if (next > 0 && list[next].doc > target && next > pos) {
+        EXPECT_LT(list[next - 1].doc, target);
+      }
+    }
+    if (target >= (pos < list.size() ? list[pos].doc : 0)) pos = next;
+    if (pos >= list.size()) pos = 0;
+  }
+}
+
+TEST(DocSortedListTest, LongJumpsUseSkips) {
+  std::vector<DocId> docs(10'000);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    docs[i] = static_cast<DocId>(i * 3);
+  }
+  DocSortedList list(make_list(docs), /*skip_interval=*/64);
+  std::uint64_t hops = 0;
+  list.advance(0, 29'000, &hops);
+  EXPECT_GT(hops, 0u);
+}
+
+// --- DaatProcessor ------------------------------------------------------------
+
+CorpusConfig daat_corpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 3'000;
+  cfg.vocab_size = 120;
+  cfg.terms_per_doc = 20;
+  cfg.max_df_fraction = 0.5;  // dense lists: intersections non-empty
+  return cfg;
+}
+
+class DaatTest : public ::testing::Test {
+ protected:
+  DaatTest() : rng_(55), corpus_(daat_corpus(), rng_), index_(corpus_) {}
+
+  /// Brute-force oracle: docs containing every term.
+  std::set<DocId> oracle(const std::vector<TermId>& terms) {
+    std::set<DocId> acc;
+    bool first = true;
+    for (TermId t : terms) {
+      std::set<DocId> docs;
+      for (const Posting& p : index_.postings(t)->postings()) {
+        docs.insert(p.doc);
+      }
+      if (first) {
+        acc = std::move(docs);
+        first = false;
+      } else {
+        std::set<DocId> merged;
+        std::set_intersection(acc.begin(), acc.end(), docs.begin(),
+                              docs.end(),
+                              std::inserter(merged, merged.begin()));
+        acc = std::move(merged);
+      }
+    }
+    return acc;
+  }
+
+  Rng rng_;
+  MaterializedCorpus corpus_;
+  MaterializedIndex index_;
+};
+
+TEST_F(DaatTest, MatchesBruteForceIntersection) {
+  DaatProcessor daat(/*top_k=*/100'000);  // keep every match
+  for (QueryId qid = 0; qid < 20; ++qid) {
+    Query q{qid, {static_cast<TermId>(qid % 40),
+                  static_cast<TermId>(40 + qid % 40)}};
+    DaatStats stats;
+    const ResultEntry result = daat.intersect(index_, q, &stats);
+    const auto expected = oracle(q.terms);
+    ASSERT_EQ(result.docs.size(), expected.size()) << "query " << qid;
+    for (const ScoredDoc& d : result.docs) {
+      EXPECT_TRUE(expected.count(d.doc)) << d.doc;
+    }
+    EXPECT_EQ(stats.docs_scored, expected.size());
+  }
+}
+
+TEST_F(DaatTest, ThreeTermIntersection) {
+  DaatProcessor daat(100'000);
+  Query q{1, {0, 1, 2}};
+  const auto result = daat.intersect(index_, q);
+  const auto expected = oracle(q.terms);
+  EXPECT_EQ(result.docs.size(), expected.size());
+}
+
+TEST_F(DaatTest, ScoresDescending) {
+  DaatProcessor daat(50);
+  Query q{2, {0, 1}};
+  const auto result = daat.intersect(index_, q);
+  for (std::size_t i = 1; i < result.docs.size(); ++i) {
+    EXPECT_GE(result.docs[i - 1].score, result.docs[i].score);
+  }
+}
+
+TEST_F(DaatTest, TopKBoundsOutput) {
+  DaatProcessor daat(5);
+  Query q{3, {0, 1}};
+  const auto result = daat.intersect(index_, q);
+  EXPECT_LE(result.docs.size(), 5u);
+}
+
+TEST_F(DaatTest, EmptyQueryAndMissingTerm) {
+  DaatProcessor daat;
+  EXPECT_TRUE(daat.intersect(index_, Query{4, {}}).docs.empty());
+}
+
+TEST_F(DaatTest, SkipHopsObservedOnSelectiveQueries) {
+  // Intersecting a rare term with a dense one forces long advances in
+  // the dense list — the "skipped reads" of paper SSIII.
+  TermId rare = 0, dense = 0;
+  std::size_t min_df = ~0ull, max_df = 0;
+  for (TermId t = 0; t < index_.vocab_size(); ++t) {
+    const auto df = index_.postings(t)->size();
+    if (df > 0 && df < min_df) {
+      min_df = df;
+      rare = t;
+    }
+    if (df > max_df) {
+      max_df = df;
+      dense = t;
+    }
+  }
+  ASSERT_NE(rare, dense);
+  DaatProcessor daat(100'000);
+  DaatStats stats;
+  daat.intersect(index_, Query{5, {rare, dense}}, &stats);
+  // Far fewer postings touched than the dense list holds.
+  EXPECT_LT(stats.postings_touched, max_df);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,174 @@
+#include <stdexcept>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/page_ftl.hpp"
+#include "src/util/rng.hpp"
+
+namespace ssdse {
+namespace {
+
+NandConfig small_nand(std::uint32_t blocks = 64,
+                      std::uint32_t pages_per_block = 16) {
+  NandConfig cfg;
+  cfg.num_blocks = blocks;
+  cfg.pages_per_block = pages_per_block;
+  return cfg;
+}
+
+TEST(PageFtlTest, LogicalSpaceSmallerThanPhysical) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  EXPECT_LT(ftl.logical_pages(), nand.config().total_pages());
+  EXPECT_GT(ftl.logical_pages(), 0u);
+}
+
+TEST(PageFtlTest, WriteThenReadVerifiesInternally) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  // The FTL self-checks tags on read; no throw == data is intact.
+  ftl.write(5);
+  EXPECT_NO_THROW(ftl.read(5));
+  EXPECT_EQ(ftl.stats().host_reads, 1u);
+  EXPECT_EQ(ftl.stats().host_writes, 1u);
+}
+
+TEST(PageFtlTest, UnwrittenReadIsCheap) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  const Micros t = ftl.read(3);
+  EXPECT_LT(t, nand.config().page_read);  // controller overhead only
+}
+
+TEST(PageFtlTest, OverwriteInvalidatesOldCopy) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  ftl.write(1);
+  const auto programs_before = nand.stats().page_programs;
+  ftl.write(1);  // out-of-place rewrite
+  EXPECT_EQ(nand.stats().page_programs, programs_before + 1);
+  EXPECT_NO_THROW(ftl.read(1));  // newest version readable
+}
+
+TEST(PageFtlTest, OutOfRangeThrows) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  EXPECT_THROW(ftl.read(ftl.logical_pages()), std::out_of_range);
+  EXPECT_THROW(ftl.write(ftl.logical_pages()), std::out_of_range);
+  EXPECT_THROW(ftl.trim(ftl.logical_pages()), std::out_of_range);
+}
+
+TEST(PageFtlTest, SequentialOverwriteTriggersCheapGc) {
+  NandArray nand(small_nand(32, 8));
+  PageFtl ftl(nand);
+  const Lpn n = ftl.logical_pages();
+  // Three full sequential passes: whole blocks become invalid, so GC
+  // should erase without copying.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (Lpn p = 0; p < n; ++p) ftl.write(p);
+  }
+  EXPECT_GT(nand.stats().block_erases, 0u);
+  EXPECT_EQ(ftl.stats().gc_page_copies, 0u);
+  const double wa = ftl.stats().write_amplification(nand.stats());
+  EXPECT_NEAR(wa, 1.0, 1e-9);
+}
+
+TEST(PageFtlTest, RandomOverwriteCausesWriteAmplification) {
+  NandArray nand(small_nand(64, 16));
+  PageFtl ftl(nand);
+  Rng rng(9);
+  const Lpn n = ftl.logical_pages();
+  for (int i = 0; i < 20000; ++i) {
+    ftl.write(rng.next_below(n));
+  }
+  EXPECT_GT(ftl.stats().gc_page_copies, 0u);
+  EXPECT_GT(ftl.stats().write_amplification(nand.stats()), 1.01);
+}
+
+TEST(PageFtlTest, AllDataSurvivesGcChurn) {
+  NandArray nand(small_nand(48, 8));
+  PageFtl ftl(nand);
+  Rng rng(10);
+  const Lpn n = ftl.logical_pages();
+  std::unordered_set<Lpn> written;
+  for (int i = 0; i < 10000; ++i) {
+    const Lpn p = rng.next_below(n);
+    ftl.write(p);
+    written.insert(p);
+  }
+  // Every written page must read back its newest version (self-checked).
+  for (Lpn p : written) EXPECT_NO_THROW(ftl.read(p));
+}
+
+TEST(PageFtlTest, TrimFreesAndInvalidates) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  ftl.write(7);
+  ftl.trim(7);
+  EXPECT_EQ(ftl.stats().host_trims, 1u);
+  // Post-trim read is an unmapped read (cheap, no tag check).
+  const Micros t = ftl.read(7);
+  EXPECT_LT(t, nand.config().page_read);
+}
+
+TEST(PageFtlTest, TrimmedSpaceReducesGcWork) {
+  // Workload A: overwrite everything twice. Workload B: trim before the
+  // second pass — GC should copy nothing.
+  auto run = [](bool trim_first) {
+    NandArray nand(small_nand(32, 8));
+    PageFtl ftl(nand);
+    const Lpn n = ftl.logical_pages();
+    for (Lpn p = 0; p < n; ++p) ftl.write(p);
+    if (trim_first) {
+      for (Lpn p = 0; p < n; ++p) ftl.trim(p);
+    }
+    // Random second pass (hostile to GC without TRIM).
+    Rng rng(11);
+    for (Lpn i = 0; i < n; ++i) ftl.write(rng.next_below(n));
+    return ftl.stats().gc_page_copies;
+  };
+  EXPECT_LE(run(true), run(false));
+}
+
+TEST(PageFtlTest, GcLatencyChargedToWrites) {
+  NandArray nand(small_nand(16, 8));
+  PageFtl ftl(nand);
+  Rng rng(12);
+  const Lpn n = ftl.logical_pages();
+  Micros max_write = 0;
+  for (int i = 0; i < 5000; ++i) {
+    max_write = std::max(max_write, ftl.write(rng.next_below(n)));
+  }
+  // Some write must have absorbed an erase (1.5 ms).
+  EXPECT_GT(max_write, nand.config().block_erase);
+}
+
+TEST(PageFtlTest, FreePoolNeverBelowWatermarkAfterWrite) {
+  FtlConfig cfg;
+  cfg.gc_low_watermark = 3;
+  NandArray nand(small_nand(32, 8));
+  PageFtl ftl(nand, cfg);
+  Rng rng(13);
+  const Lpn n = ftl.logical_pages();
+  for (int i = 0; i < 5000; ++i) {
+    ftl.write(rng.next_below(n));
+    EXPECT_GE(ftl.free_blocks(), cfg.gc_low_watermark);
+  }
+}
+
+TEST(PageFtlTest, TooSmallNandRejected) {
+  NandArray nand(small_nand(4, 4));
+  EXPECT_THROW(PageFtl ftl(nand), std::invalid_argument);
+}
+
+TEST(PageFtlTest, MeanAccessPositiveAfterTraffic) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  ftl.write(0);
+  ftl.read(0);
+  EXPECT_GT(ftl.stats().mean_access(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssdse

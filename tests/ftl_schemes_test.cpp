@@ -1,0 +1,263 @@
+// Cross-scheme FTL tests: block-mapped, hybrid log-block, DFTL, the
+// factory, plus a parameterized correctness sweep run against every
+// scheme under several workload shapes.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/ftl/block_ftl.hpp"
+#include "src/ftl/dftl.hpp"
+#include "src/ftl/factory.hpp"
+#include "src/ftl/hybrid_ftl.hpp"
+#include "src/util/rng.hpp"
+
+namespace ssdse {
+namespace {
+
+NandConfig small_nand(std::uint32_t blocks = 64,
+                      std::uint32_t pages_per_block = 16) {
+  NandConfig cfg;
+  cfg.num_blocks = blocks;
+  cfg.pages_per_block = pages_per_block;
+  return cfg;
+}
+
+// --- BlockFtl ----------------------------------------------------------
+
+TEST(BlockFtlTest, SequentialFillNoMerges) {
+  NandArray nand(small_nand());
+  BlockFtl ftl(nand);
+  for (Lpn p = 0; p < 64; ++p) ftl.write(p);
+  EXPECT_EQ(ftl.stats().gc_invocations, 0u);
+  EXPECT_EQ(nand.stats().block_erases, 0u);
+  for (Lpn p = 0; p < 64; ++p) EXPECT_NO_THROW(ftl.read(p));
+}
+
+TEST(BlockFtlTest, OverwriteForcesCopyMerge) {
+  NandArray nand(small_nand());
+  BlockFtl ftl(nand);
+  for (Lpn p = 0; p < 16; ++p) ftl.write(p);  // fill block 0
+  const auto erases_before = nand.stats().block_erases;
+  ftl.write(3);  // overwrite -> copy-merge + erase of old block
+  EXPECT_EQ(nand.stats().block_erases, erases_before + 1);
+  EXPECT_GT(ftl.stats().gc_page_copies, 0u);
+  for (Lpn p = 0; p < 16; ++p) EXPECT_NO_THROW(ftl.read(p));
+}
+
+TEST(BlockFtlTest, SkippedOffsetsPadded) {
+  NandArray nand(small_nand());
+  BlockFtl ftl(nand);
+  ftl.write(5);  // lbn 0, offset 5: pages 0..4 must be pad-programmed
+  EXPECT_EQ(nand.stats().page_programs, 6u);
+  EXPECT_NO_THROW(ftl.read(5));
+  // Unwritten neighbours stay unreadable-but-legal.
+  EXPECT_NO_THROW(ftl.read(4));
+}
+
+TEST(BlockFtlTest, TrimWholeBlockFreesIt) {
+  NandArray nand(small_nand());
+  BlockFtl ftl(nand);
+  const auto before = ftl.free_blocks();
+  ftl.write(0);
+  ftl.write(1);
+  EXPECT_EQ(ftl.free_blocks(), before - 1);
+  ftl.trim(0);
+  ftl.trim(1);
+  EXPECT_EQ(ftl.free_blocks(), before);  // erased + returned
+}
+
+TEST(BlockFtlTest, RandomChurnKeepsDataIntact) {
+  NandArray nand(small_nand());
+  BlockFtl ftl(nand);
+  Rng rng(21);
+  const Lpn n = std::min<Lpn>(ftl.logical_pages(), 256);
+  for (int i = 0; i < 3000; ++i) ftl.write(rng.next_below(n));
+  for (Lpn p = 0; p < n; ++p) EXPECT_NO_THROW(ftl.read(p));
+}
+
+// --- HybridLogFtl ---------------------------------------------------------
+
+HybridFtlConfig hybrid_cfg(std::uint32_t log_blocks = 4) {
+  HybridFtlConfig cfg;
+  cfg.log_blocks = log_blocks;
+  return cfg;
+}
+
+TEST(HybridFtlTest, WritesLandInLogWithoutImmediateMerge) {
+  NandArray nand(small_nand());
+  HybridLogFtl ftl(nand, hybrid_cfg());
+  for (Lpn p = 0; p < 10; ++p) ftl.write(p);
+  EXPECT_EQ(ftl.stats().gc_invocations, 0u);
+  for (Lpn p = 0; p < 10; ++p) EXPECT_NO_THROW(ftl.read(p));
+}
+
+TEST(HybridFtlTest, LogExhaustionTriggersFullMerge) {
+  NandArray nand(small_nand(64, 8));
+  HybridLogFtl ftl(nand, hybrid_cfg(2));
+  Rng rng(22);
+  const Lpn n = std::min<Lpn>(ftl.logical_pages(), 128);
+  for (int i = 0; i < 200; ++i) ftl.write(rng.next_below(n));
+  EXPECT_GT(ftl.stats().gc_invocations, 0u);
+  EXPECT_LE(ftl.active_log_blocks(), 2u);
+}
+
+TEST(HybridFtlTest, NewestVersionWinsAfterMerges) {
+  NandArray nand(small_nand(64, 8));
+  HybridLogFtl ftl(nand, hybrid_cfg(2));
+  // Hammer one page among scattered writes; its read must always verify
+  // the latest version (internal tag check).
+  Rng rng(23);
+  const Lpn n = std::min<Lpn>(ftl.logical_pages(), 64);
+  for (int i = 0; i < 500; ++i) {
+    ftl.write(7);
+    ftl.write(rng.next_below(n));
+    EXPECT_NO_THROW(ftl.read(7));
+  }
+}
+
+TEST(HybridFtlTest, TrimDropsLogAndDataCopies) {
+  NandArray nand(small_nand());
+  HybridLogFtl ftl(nand, hybrid_cfg());
+  ftl.write(3);
+  ftl.trim(3);
+  const Micros t = ftl.read(3);
+  EXPECT_LT(t, nand.config().page_read);  // unmapped read
+}
+
+// --- Dftl -------------------------------------------------------------------
+
+DftlConfig dftl_cfg(std::size_t cmt = 64) {
+  DftlConfig cfg;
+  cfg.cmt_entries = cmt;
+  return cfg;
+}
+
+TEST(DftlTest, CmtHitsOnRepeatedAccess) {
+  NandArray nand(small_nand());
+  Dftl ftl(nand, dftl_cfg());
+  ftl.write(1);
+  for (int i = 0; i < 10; ++i) ftl.read(1);
+  EXPECT_GT(ftl.dftl_stats().cmt_hits, 8u);
+  EXPECT_GT(ftl.dftl_stats().hit_ratio(), 0.8);
+}
+
+TEST(DftlTest, ColdMissesCostTranslationReads) {
+  NandArray nand(small_nand(256, 16));
+  Dftl ftl(nand, dftl_cfg(16));
+  // Touch many distinct pages: each miss charges a translation read.
+  for (Lpn p = 0; p < 200; ++p) ftl.write(p * 7 % ftl.logical_pages());
+  EXPECT_GT(ftl.dftl_stats().tpage_reads, 100u);
+}
+
+TEST(DftlTest, DirtyEvictionsWriteTranslationPages) {
+  NandArray nand(small_nand(256, 16));
+  Dftl ftl(nand, dftl_cfg(8));
+  for (Lpn p = 0; p < 100; ++p) ftl.write(p);  // all dirtying, tiny CMT
+  EXPECT_GT(ftl.dftl_stats().tpage_writes, 50u);
+}
+
+TEST(DftlTest, MissCostsMoreThanHit) {
+  NandArray nand(small_nand(256, 16));
+  Dftl ftl(nand, dftl_cfg(4));
+  for (Lpn p = 0; p < 64; ++p) ftl.write(p);
+  const Micros hit = [&] {
+    ftl.read(63);          // load into CMT
+    return ftl.read(63);   // now a CMT hit
+  }();
+  const Micros miss = ftl.read(0);  // long evicted
+  EXPECT_GT(miss, hit);
+}
+
+TEST(DftlTest, DataIntegrityUnderChurn) {
+  NandArray nand(small_nand(128, 8));
+  Dftl ftl(nand, dftl_cfg(32));
+  Rng rng(24);
+  const Lpn n = std::min<Lpn>(ftl.logical_pages(), 256);
+  for (int i = 0; i < 5000; ++i) ftl.write(rng.next_below(n));
+  for (Lpn p = 0; p < n; ++p) EXPECT_NO_THROW(ftl.read(p));
+}
+
+// --- Factory -----------------------------------------------------------------
+
+TEST(FtlFactoryTest, MakesEverySchemeAndRejectsUnknown) {
+  for (const auto& name : ftl_scheme_names()) {
+    NandArray nand(small_nand());
+    auto ftl = make_ftl(name, nand);
+    ASSERT_NE(ftl, nullptr) << name;
+    EXPECT_EQ(ftl->name(), name);
+    EXPECT_GT(ftl->logical_pages(), 0u);
+  }
+  NandArray nand(small_nand());
+  EXPECT_THROW(make_ftl("bogus", nand), std::invalid_argument);
+}
+
+// --- Parameterized correctness sweep over all schemes -----------------------
+
+struct SweepCase {
+  std::string scheme;
+  int workload;  // 0 sequential, 1 random, 2 hot/cold, 3 write/trim mix
+};
+
+class FtlSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(FtlSweepTest, IntegrityAndAccountingInvariants) {
+  const auto& param = GetParam();
+  NandArray nand(small_nand(96, 8));
+  auto ftl = make_ftl(param.scheme, nand);
+  Rng rng(1000 + param.workload);
+  const Lpn n = std::min<Lpn>(ftl->logical_pages(), 256);
+
+  for (int i = 0; i < 4000; ++i) {
+    Lpn p;
+    switch (param.workload) {
+      case 0: p = static_cast<Lpn>(i) % n; break;
+      case 1: p = rng.next_below(n); break;
+      case 2: p = rng.chance(0.8) ? rng.next_below(n / 10 + 1)
+                                  : rng.next_below(n); break;
+      default: p = rng.next_below(n); break;
+    }
+    ftl->write(p);
+    if (param.workload == 3 && rng.chance(0.3)) {
+      ftl->trim(rng.next_below(n));
+    }
+    if (rng.chance(0.2)) ftl->read(rng.next_below(n));  // self-verifying
+  }
+  // Full read-back: every page either verifies or is legally unmapped.
+  for (Lpn p = 0; p < n; ++p) EXPECT_NO_THROW(ftl->read(p));
+
+  // Accounting invariants.
+  const auto& s = ftl->stats();
+  EXPECT_EQ(s.host_writes, 4000u);
+  EXPECT_GT(s.host_busy, 0.0);
+  EXPECT_GE(nand.stats().page_programs, s.host_writes);
+  if (s.host_writes > 0) {
+    EXPECT_GE(s.write_amplification(nand.stats()), 1.0);
+  }
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const auto& scheme : ftl_scheme_names()) {
+    for (int w = 0; w < 4; ++w) cases.push_back({scheme, w});
+  }
+  return cases;
+}
+
+std::string sweep_case_name(
+    const ::testing::TestParamInfo<SweepCase>& info) {
+  static const char* const kNames[] = {"sequential", "random", "hotcold",
+                                       "trimmix"};
+  std::string s = info.param.scheme + "_" + kNames[info.param.workload];
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemesAllWorkloads, FtlSweepTest,
+                         ::testing::ValuesIn(sweep_cases()),
+                         sweep_case_name);
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,229 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/index/corpus.hpp"
+#include "src/index/inverted_index.hpp"
+#include "src/index/layout.hpp"
+#include "src/index/posting.hpp"
+
+namespace ssdse {
+namespace {
+
+// --- PostingList ---------------------------------------------------------
+
+TEST(PostingListTest, SortedByDescendingTf) {
+  PostingList list({{1, 5}, {2, 50}, {3, 1}, {4, 50}});
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0].tf, 50u);
+  EXPECT_EQ(list[1].tf, 50u);
+  EXPECT_LT(list[0].doc, list[1].doc);  // tie broken by doc id
+  EXPECT_EQ(list[3].tf, 1u);
+}
+
+TEST(PostingListTest, PrefixFractionRounding) {
+  std::vector<Posting> p;
+  for (DocId d = 0; d < 10; ++d) p.push_back({d, 10 - d});
+  PostingList list(std::move(p));
+  EXPECT_EQ(list.prefix(0.5).size(), 5u);
+  EXPECT_EQ(list.prefix(0.01).size(), 1u);  // at least one posting
+  EXPECT_EQ(list.prefix(1.0).size(), 10u);
+  EXPECT_EQ(list.prefix(2.0).size(), 10u);  // clamped
+  EXPECT_EQ(list.prefix(0.0).size(), 0u);
+}
+
+TEST(PostingListTest, EmptyList) {
+  PostingList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.prefix(1.0).size(), 0u);
+  EXPECT_EQ(list.bytes(), 0u);
+}
+
+TEST(PostingListTest, FrontierBinarySearch) {
+  PostingList list({{0, 9}, {1, 7}, {2, 7}, {3, 3}, {4, 1}});
+  EXPECT_EQ(list.frontier(10), 0u);
+  EXPECT_EQ(list.frontier(7), 3u);  // first index with tf < 7
+  EXPECT_EQ(list.frontier(1), 5u);
+  EXPECT_EQ(list.frontier(0), 5u);
+}
+
+TEST(PostingListTest, SkipTableCoversList) {
+  std::vector<Posting> p;
+  for (DocId d = 0; d < 1000; ++d) p.push_back({d, 1000 - d});
+  PostingList list(std::move(p), /*skip_interval=*/128);
+  const auto skips = list.skips();
+  ASSERT_FALSE(skips.empty());
+  EXPECT_EQ(skips[0], 0u);
+  EXPECT_EQ(skips.size(), (1000 + 127) / 128);
+  for (std::size_t i = 1; i < skips.size(); ++i) {
+    EXPECT_EQ(skips[i] - skips[i - 1], 128u);
+  }
+}
+
+TEST(PostingListTest, BytesUsesPostingSizeModel) {
+  PostingList list({{0, 1}, {1, 1}});
+  EXPECT_EQ(list.bytes(), 2 * kPostingBytes);
+}
+
+// --- TermStatsModel ----------------------------------------------------------
+
+CorpusConfig small_corpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 100'000;
+  cfg.vocab_size = 20'000;
+  cfg.terms_per_doc = 50;
+  return cfg;
+}
+
+TEST(TermStatsTest, DfDecreasesWithRankAndIsCapped) {
+  TermStatsModel model(small_corpus());
+  for (TermId t = 1; t < model.vocab_size(); ++t) {
+    EXPECT_LE(model.df(t), model.df(t - 1) + 1) << "rank " << t;
+    EXPECT_LE(model.df(t), model.num_docs());
+    EXPECT_GE(model.df(t), 1u);
+  }
+}
+
+TEST(TermStatsTest, TotalPostingsNearTarget) {
+  const auto cfg = small_corpus();
+  TermStatsModel model(cfg);
+  const double target =
+      static_cast<double>(cfg.num_docs) * cfg.terms_per_doc;
+  // Capping at num_docs removes some mass; within a factor of 2.
+  EXPECT_GT(static_cast<double>(model.total_postings()), target * 0.3);
+  EXPECT_LT(static_cast<double>(model.total_postings()), target * 1.5);
+}
+
+TEST(TermStatsTest, UtilizationInRangeAndLowForHeadTerms) {
+  TermStatsModel model(small_corpus());
+  double head_pu = 0, tail_pu = 0;
+  const TermId head_n = 20, tail_n = 20;
+  for (TermId t = 0; t < head_n; ++t) head_pu += model.utilization(t);
+  for (TermId t = model.vocab_size() - tail_n; t < model.vocab_size(); ++t) {
+    tail_pu += model.utilization(t);
+  }
+  for (TermId t = 0; t < model.vocab_size(); t += 97) {
+    EXPECT_GT(model.utilization(t), 0.0);
+    EXPECT_LE(model.utilization(t), 1.0);
+  }
+  // Long head lists are processed shallowly; short tail lists fully.
+  EXPECT_LT(head_pu / head_n, tail_pu / tail_n);
+}
+
+TEST(TermStatsTest, ListBytesMatchPostingModel) {
+  TermStatsModel model(small_corpus());
+  EXPECT_EQ(model.list_bytes(0), model.df(0) * kPostingBytes);
+}
+
+// --- IndexLayout ---------------------------------------------------------------
+
+TEST(LayoutTest, ExtentsAlignedAndDisjoint) {
+  IndexLayout layout({1000, 5000, 1, 4096}, /*align=*/4096);
+  Bytes prev_end = 0;
+  for (TermId t = 0; t < 4; ++t) {
+    const Extent& e = layout.extent(t);
+    EXPECT_EQ(e.offset % 4096, 0u);
+    EXPECT_GE(e.offset, prev_end);
+    prev_end = e.offset + e.length;
+  }
+  EXPECT_EQ(layout.extent(1).length, 5000u);
+  EXPECT_GE(layout.total_bytes(), 1000u + 5000 + 1 + 4096);
+}
+
+TEST(LayoutTest, PrefixExtentClamped) {
+  IndexLayout layout({10'000});
+  const Extent p = layout.prefix_extent(0, 2'000);
+  EXPECT_EQ(p.offset, layout.extent(0).offset);
+  EXPECT_EQ(p.length, 2'000u);
+  EXPECT_EQ(layout.prefix_extent(0, 99'999).length, 10'000u);
+}
+
+TEST(LayoutTest, LbaConversion) {
+  IndexLayout layout({1024, 1024}, 4096, /*base_offset=*/8192);
+  EXPECT_EQ(layout.extent(0).lba(), 8192 / kSectorSize);
+  EXPECT_EQ(layout.extent(0).sectors(), 2u);
+}
+
+// --- MaterializedCorpus / MaterializedIndex ----------------------------------
+
+CorpusConfig tiny_corpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 500;
+  cfg.vocab_size = 200;
+  cfg.terms_per_doc = 12;
+  return cfg;
+}
+
+TEST(MaterializedTest, CorpusDocsHaveSortedUniqueTerms) {
+  Rng rng(31);
+  MaterializedCorpus corpus(tiny_corpus(), rng);
+  ASSERT_EQ(corpus.num_docs(), 500u);
+  for (DocId d = 0; d < 50; ++d) {
+    const auto& doc = corpus.doc(d);
+    EXPECT_FALSE(doc.empty());
+    for (std::size_t i = 1; i < doc.size(); ++i) {
+      EXPECT_LT(doc[i - 1].first, doc[i].first);
+    }
+    for (const auto& [term, tf] : doc) {
+      EXPECT_LT(term, 200u);
+      EXPECT_GE(tf, 1u);
+    }
+  }
+}
+
+TEST(MaterializedTest, IndexConsistentWithCorpus) {
+  Rng rng(32);
+  MaterializedCorpus corpus(tiny_corpus(), rng);
+  MaterializedIndex index(corpus);
+  // df(t) == number of docs containing t; verify on a sample.
+  for (TermId t = 0; t < 20; ++t) {
+    std::uint64_t df = 0;
+    for (DocId d = 0; d < corpus.num_docs(); ++d) {
+      for (const auto& [term, tf] : corpus.doc(d)) df += term == t;
+    }
+    EXPECT_EQ(index.term_meta(t).df, df) << "term " << t;
+    EXPECT_EQ(index.postings(t)->size(), df);
+  }
+}
+
+TEST(MaterializedTest, UtilizationRecordingRunsMean) {
+  Rng rng(33);
+  MaterializedCorpus corpus(tiny_corpus(), rng);
+  MaterializedIndex index(corpus);
+  EXPECT_DOUBLE_EQ(index.term_meta(0).utilization, 1.0);  // optimistic prior
+  index.record_utilization(0, 0.5);
+  EXPECT_NEAR(index.term_meta(0).utilization, 0.5, 1e-6);
+  index.record_utilization(0, 0.7);
+  EXPECT_NEAR(index.term_meta(0).utilization, 0.6, 1e-6);
+}
+
+TEST(MaterializedTest, OutOfRangeTermThrows) {
+  Rng rng(34);
+  MaterializedCorpus corpus(tiny_corpus(), rng);
+  MaterializedIndex index(corpus);
+  EXPECT_THROW(index.term_meta(5000), std::out_of_range);
+  EXPECT_THROW(index.record_utilization(5000, 0.5), std::out_of_range);
+}
+
+// --- AnalyticIndex --------------------------------------------------------------
+
+TEST(AnalyticIndexTest, MetaMatchesModel) {
+  AnalyticIndex index(small_corpus());
+  EXPECT_EQ(index.num_docs(), 100'000u);
+  EXPECT_EQ(index.vocab_size(), 20'000u);
+  const TermMeta m = index.term_meta(0);
+  EXPECT_EQ(m.df, index.model().df(0));
+  EXPECT_EQ(m.list_bytes, index.model().list_bytes(0));
+  EXPECT_EQ(index.postings(0), nullptr);  // analytic: no materialized lists
+  EXPECT_THROW(index.term_meta(20'000), std::out_of_range);
+}
+
+TEST(AnalyticIndexTest, LayoutCoversEveryTerm) {
+  AnalyticIndex index(small_corpus());
+  EXPECT_EQ(index.layout().terms(), index.vocab_size());
+  EXPECT_GT(index.layout().total_bytes(), 0u);
+  EXPECT_EQ(index.layout().extent(5).length, index.term_meta(5).list_bytes);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,113 @@
+// Three-level caching extension tests (paper §VIII future work):
+// the intersection cache and its integration into the query path.
+#include <gtest/gtest.h>
+
+#include "src/cache/intersection_cache.hpp"
+#include "src/hybrid/search_system.hpp"
+
+namespace ssdse {
+namespace {
+
+// --- IntersectionCache unit tests ---------------------------------------
+
+TEST(IntersectionCacheTest, KeyIsOrderInvariant) {
+  EXPECT_EQ(IntersectionCache::key(3, 9), IntersectionCache::key(9, 3));
+  EXPECT_NE(IntersectionCache::key(3, 9), IntersectionCache::key(3, 10));
+}
+
+TEST(IntersectionCacheTest, InsertLookupEitherOrder) {
+  IntersectionCache cache(1 * MiB);
+  cache.insert(5, 7, 10 * KiB);
+  EXPECT_NE(cache.lookup(5, 7), nullptr);
+  const CachedIntersection* e = cache.lookup(7, 5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->bytes, 10 * KiB);
+  EXPECT_EQ(e->freq, 3u);  // two lookups after admission
+  EXPECT_EQ(cache.lookup(5, 8), nullptr);
+}
+
+TEST(IntersectionCacheTest, LruEvictionUnderPressure) {
+  IntersectionCache cache(30 * KiB);
+  cache.insert(1, 2, 10 * KiB);
+  cache.insert(3, 4, 10 * KiB);
+  cache.insert(5, 6, 10 * KiB);
+  cache.lookup(1, 2);  // promote
+  cache.insert(7, 8, 10 * KiB);
+  EXPECT_TRUE(cache.contains(1, 2));
+  EXPECT_FALSE(cache.contains(3, 4));  // LRU victim
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.used_bytes(), cache.capacity());
+}
+
+TEST(IntersectionCacheTest, OversizedEntryRejected) {
+  IntersectionCache cache(10 * KiB);
+  cache.insert(1, 2, 1 * MiB);
+  EXPECT_FALSE(cache.contains(1, 2));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(IntersectionCacheTest, ReinsertUpdatesBytes) {
+  IntersectionCache cache(1 * MiB);
+  cache.insert(1, 2, 10 * KiB);
+  cache.insert(2, 1, 20 * KiB);
+  EXPECT_EQ(cache.used_bytes(), 20 * KiB);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// --- System integration ----------------------------------------------------
+
+SystemConfig three_level_cfg(Bytes intersection_capacity) {
+  SystemConfig cfg;
+  cfg.set_num_docs(200'000);
+  cfg.set_memory_budget(6 * MiB);
+  cfg.cache.intersection_capacity = intersection_capacity;
+  cfg.log.min_terms = 2;  // pairs need multi-term queries
+  cfg.training_queries = 1'000;
+  return cfg;
+}
+
+TEST(ThreeLevelSystemTest, IntersectionHitsHappen) {
+  SearchSystem system(three_level_cfg(4 * MiB));
+  system.run(5'000);
+  const auto* ic = system.cache_manager().intersections();
+  ASSERT_NE(ic, nullptr);
+  EXPECT_GT(ic->stats().inserts, 0u);
+  EXPECT_GT(ic->stats().hits, 0u);
+}
+
+TEST(ThreeLevelSystemTest, DisabledByDefault) {
+  SystemConfig cfg = three_level_cfg(0);
+  SearchSystem system(cfg);
+  system.run(100);
+  EXPECT_EQ(system.cache_manager().intersections(), nullptr);
+}
+
+TEST(ThreeLevelSystemTest, ReducesListFetchTraffic) {
+  SystemConfig base = three_level_cfg(0);
+  SystemConfig three = three_level_cfg(8 * MiB);
+  SearchSystem a(base), b(three);
+  a.run(5'000);
+  b.run(5'000);
+  // Covered pairs never consult the list caches or the HDD.
+  EXPECT_LT(b.cache_manager().stats().list_lookups,
+            a.cache_manager().stats().list_lookups);
+  EXPECT_LE(b.cache_manager().stats().hdd_list_reads,
+            a.cache_manager().stats().hdd_list_reads);
+}
+
+TEST(ThreeLevelSystemTest, SameResultsAsTwoLevel) {
+  SystemConfig base = three_level_cfg(0);
+  SystemConfig three = three_level_cfg(8 * MiB);
+  SearchSystem a(base), b(three);
+  for (std::uint64_t r = 0; r < 30; ++r) {
+    const auto ra = a.execute(a.generator().query_for_rank(r));
+    const auto rb = b.execute(b.generator().query_for_rank(r));
+    ASSERT_EQ(ra.result.docs.size(), rb.result.docs.size());
+    for (std::size_t i = 0; i < ra.result.docs.size(); ++i) {
+      EXPECT_EQ(ra.result.docs[i], rb.result.docs[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssdse

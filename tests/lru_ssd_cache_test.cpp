@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/cache/lru_ssd_cache.hpp"
+#include "src/util/rng.hpp"
+
+namespace ssdse {
+namespace {
+
+SsdConfig small_ssd() {
+  SsdConfig cfg;
+  cfg.nand.num_blocks = 128;
+  cfg.nand.pages_per_block = 16;
+  return cfg;
+}
+
+CachedResult cached(QueryId qid) {
+  CachedResult c;
+  c.entry.query = qid;
+  c.entry.docs = {{static_cast<DocId>(qid), 1.0f}};
+  return c;
+}
+
+// --- PageRunAllocator ------------------------------------------------------
+
+TEST(PageRunAllocatorTest, AllocatesAndTracksFreePages) {
+  PageRunAllocator a(0, 100);
+  std::vector<std::pair<Lpn, std::uint64_t>> runs;
+  EXPECT_TRUE(a.alloc(30, runs));
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (std::pair<Lpn, std::uint64_t>{0, 30}));
+  EXPECT_EQ(a.free_pages(), 70u);
+}
+
+TEST(PageRunAllocatorTest, RefusesOverAllocation) {
+  PageRunAllocator a(0, 10);
+  std::vector<std::pair<Lpn, std::uint64_t>> runs;
+  EXPECT_FALSE(a.alloc(11, runs));
+  EXPECT_TRUE(runs.empty());
+  EXPECT_EQ(a.free_pages(), 10u);
+}
+
+TEST(PageRunAllocatorTest, FreeCoalescesNeighbours) {
+  PageRunAllocator a(0, 100);
+  std::vector<std::pair<Lpn, std::uint64_t>> r1, r2, r3;
+  a.alloc(10, r1);  // [0,10)
+  a.alloc(10, r2);  // [10,20)
+  a.alloc(10, r3);  // [20,30)
+  a.free(10, 10);
+  EXPECT_EQ(a.fragments(), 2u);  // [10,20) and [30,100)
+  a.free(0, 10);
+  EXPECT_EQ(a.fragments(), 2u);  // [0,20) coalesced, [30,100)
+  a.free(20, 10);
+  EXPECT_EQ(a.fragments(), 1u);  // all free, one run
+  EXPECT_EQ(a.free_pages(), 100u);
+}
+
+TEST(PageRunAllocatorTest, FragmentationForcesScatteredRuns) {
+  PageRunAllocator a(0, 100);
+  std::vector<std::pair<Lpn, std::uint64_t>> r1, r2, r3;
+  a.alloc(40, r1);
+  a.alloc(40, r2);
+  a.free(r1[0].first, 20);  // hole [0,20)
+  // Asking for 30 pages: 20 from the hole + 10 from the tail.
+  EXPECT_TRUE(a.alloc(30, r3));
+  EXPECT_EQ(r3.size(), 2u);
+}
+
+// --- LruSsdResultCache -----------------------------------------------------
+
+TEST(LruSsdResultCacheTest, InsertLookupEvict) {
+  Ssd ssd(small_ssd());
+  // Room for exactly 3 slots (10 pages each).
+  LruSsdResultCache cache(ssd, 0, 30);
+  cache.insert(cached(1));
+  cache.insert(cached(2));
+  cache.insert(cached(3));
+  std::uint64_t freq;
+  Micros t = 0;
+  EXPECT_NE(cache.lookup(1, freq, t), nullptr);  // 1 promoted
+  cache.insert(cached(4));                       // evicts LRU (= 2)
+  EXPECT_EQ(cache.lookup(2, freq, t), nullptr);
+  EXPECT_NE(cache.lookup(1, freq, t), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruSsdResultCacheTest, ReinsertOverwritesInPlace) {
+  Ssd ssd(small_ssd());
+  LruSsdResultCache cache(ssd, 0, 30);
+  cache.insert(cached(1));
+  const auto writes_before = ssd.ftl().stats().host_writes;
+  cache.insert(cached(1));  // same slot rewritten
+  EXPECT_EQ(ssd.ftl().stats().host_writes, writes_before + 10);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruSsdResultCacheTest, HitBumpsFrequency) {
+  Ssd ssd(small_ssd());
+  LruSsdResultCache cache(ssd, 0, 30);
+  cache.insert(cached(7));
+  std::uint64_t freq = 0;
+  Micros t = 0;
+  cache.lookup(7, freq, t);
+  EXPECT_EQ(freq, 2u);
+  cache.lookup(7, freq, t);
+  EXPECT_EQ(freq, 3u);
+}
+
+TEST(LruSsdResultCacheTest, ZeroCapacityDropsInserts) {
+  Ssd ssd(small_ssd());
+  LruSsdResultCache cache(ssd, 0, 5);  // < one slot
+  EXPECT_EQ(cache.insert(cached(1)), 0.0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --- LruSsdListCache ----------------------------------------------------------
+
+TEST(LruSsdListCacheTest, PrefixRuleGovernsHits) {
+  Ssd ssd(small_ssd());
+  LruSsdListCache cache(ssd, 0, 100);
+  cache.insert(1, 50 * KiB, 1);
+  Micros t = 0;
+  EXPECT_NE(cache.lookup(1, 50 * KiB, t), nullptr);
+  EXPECT_NE(cache.lookup(1, 10 * KiB, t), nullptr);
+  // Needing more than the cached prefix is a miss.
+  EXPECT_EQ(cache.lookup(1, 200 * KiB, t), nullptr);
+  EXPECT_EQ(cache.lookup(2, 1, t), nullptr);
+}
+
+TEST(LruSsdListCacheTest, EvictsLruUntilFit) {
+  Ssd ssd(small_ssd());
+  LruSsdListCache cache(ssd, 0, 50);  // 100 KiB of pages
+  cache.insert(1, 40 * KiB, 1);       // 20 pages
+  cache.insert(2, 40 * KiB, 1);       // 20 pages
+  Micros t = 0;
+  cache.lookup(1, 1, t);              // promote 1
+  cache.insert(3, 40 * KiB, 1);       // needs 20: evict LRU (= 2)
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(LruSsdListCacheTest, TooLargeRejected) {
+  Ssd ssd(small_ssd());
+  LruSsdListCache cache(ssd, 0, 50);
+  EXPECT_EQ(cache.insert(1, 10 * MiB, 1), 0.0);
+  EXPECT_EQ(cache.stats().rejected_too_large, 1u);
+}
+
+TEST(LruSsdListCacheTest, ChurnScattersWritesAcrossRuns) {
+  Ssd ssd(small_ssd());
+  // Cover nearly the whole logical space so live entries are spread over
+  // most flash blocks and GC must copy around them.
+  const std::uint64_t region = ssd.logical_pages() - 64;
+  LruSsdListCache cache(ssd, 0, region);
+  Rng rng(3);
+  // Mixed-size churn fragments the free space.
+  for (int i = 0; i < 600; ++i) {
+    const TermId term = static_cast<TermId>(rng.next_below(60));
+    const Bytes bytes = (1 + rng.next_below(50)) * 10 * KiB;
+    cache.insert(term, bytes, 1);
+  }
+  EXPECT_GT(cache.allocator().fragments(), 1u);
+  // The baseline's signature cost: write amplification inside the FTL
+  // from scattered partial-block invalidations.
+  EXPECT_GT(ssd.ftl().stats().write_amplification(ssd.nand().stats()), 1.0);
+}
+
+TEST(LruSsdListCacheTest, ReinsertReleasesOldSpace) {
+  Ssd ssd(small_ssd());
+  LruSsdListCache cache(ssd, 0, 100);
+  cache.insert(1, 100 * KiB, 1);  // 50 pages
+  cache.insert(1, 20 * KiB, 1);   // shrink to 10 pages
+  EXPECT_EQ(cache.allocator().free_pages(), 90u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "src/cache/mem_list_cache.hpp"
+#include "src/cache/mem_result_cache.hpp"
+
+namespace ssdse {
+namespace {
+
+ResultEntry make_result(QueryId qid) {
+  ResultEntry e;
+  e.query = qid;
+  e.docs = {{static_cast<DocId>(qid), 1.0f}};
+  return e;
+}
+
+// --- MemResultCache -----------------------------------------------------
+
+TEST(MemResultCacheTest, HitBumpsFrequency) {
+  MemResultCache cache(100 * KiB);  // 5 entries
+  cache.insert(make_result(1));
+  EXPECT_EQ(cache.lookup(1)->freq, 2u);
+  EXPECT_EQ(cache.lookup(1)->freq, 3u);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+}
+
+TEST(MemResultCacheTest, LruEvictionOrder) {
+  MemResultCache cache(40 * KiB);  // 2 entries
+  cache.insert(make_result(1));
+  cache.insert(make_result(2));
+  cache.lookup(1);  // 1 becomes MRU
+  const auto evicted = cache.insert(make_result(3));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].entry.query, 2u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(MemResultCacheTest, ReinsertRefreshesWithoutEviction) {
+  MemResultCache cache(40 * KiB);
+  cache.insert(make_result(1));
+  cache.insert(make_result(2));
+  const auto evicted = cache.insert(make_result(1));
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MemResultCacheTest, CapacityAccounting) {
+  MemResultCache cache(100 * KiB);
+  EXPECT_EQ(cache.max_entries(), 5u);
+  for (QueryId q = 0; q < 10; ++q) cache.insert(make_result(q));
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.used_bytes(), 5 * kResultEntryBytes);
+}
+
+TEST(MemResultCacheTest, EvictionCarriesFrequency) {
+  MemResultCache cache(20 * KiB);  // 1 entry
+  cache.insert(make_result(1));
+  cache.lookup(1);
+  cache.lookup(1);
+  const auto evicted = cache.insert(make_result(2));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].freq, 3u);
+}
+
+// --- MemListCache ------------------------------------------------------------
+
+CachedList list_info(Bytes cached, Bytes full, std::uint64_t freq = 1,
+                     std::uint32_t sc = 1) {
+  CachedList c;
+  c.cached_bytes = cached;
+  c.full_bytes = full;
+  c.utilization = static_cast<double>(cached) / static_cast<double>(full);
+  c.freq = freq;
+  c.sc_blocks = sc;
+  c.ev = static_cast<double>(freq) / sc;
+  return c;
+}
+
+TEST(MemListCacheTest, PrefixRuleGovernsHits) {
+  MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
+  cache.insert(7, list_info(100 * KiB, 400 * KiB));
+  EXPECT_NE(cache.lookup(7, 50 * KiB), nullptr);
+  EXPECT_NE(cache.lookup(7, 100 * KiB), nullptr);
+  // Needing more than the cached prefix is a miss.
+  EXPECT_EQ(cache.lookup(7, 200 * KiB), nullptr);
+  EXPECT_EQ(cache.lookup(8, 1), nullptr);
+}
+
+TEST(MemListCacheTest, HitBumpsFreqAndEv) {
+  MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
+  cache.insert(1, list_info(10 * KiB, 10 * KiB, 1, 2));
+  const CachedList* e = cache.lookup(1, 1 * KiB);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->freq, 2u);
+  EXPECT_DOUBLE_EQ(e->ev, 1.0);  // 2 / 2
+}
+
+TEST(MemListCacheTest, LruPolicyEvictsLru) {
+  MemListCache cache(100 * KiB, CachePolicy::kLru, 4);
+  cache.insert(1, list_info(40 * KiB, 40 * KiB));
+  cache.insert(2, list_info(40 * KiB, 40 * KiB));
+  cache.lookup(1, 1);
+  const auto evicted = cache.insert(3, list_info(40 * KiB, 40 * KiB));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].term, 2u);
+}
+
+TEST(MemListCacheTest, CblruEvictsMinEvInWindow) {
+  // Window covers the whole cache; the min-EV entry must go first even
+  // if it is not the LRU one (Fig. 12).
+  MemListCache cache(120 * KiB, CachePolicy::kCblru, 8);
+  cache.insert(1, list_info(40 * KiB, 40 * KiB, /*freq=*/50, /*sc=*/1));
+  cache.insert(2, list_info(40 * KiB, 40 * KiB, /*freq=*/2, /*sc=*/1));
+  cache.insert(3, list_info(40 * KiB, 40 * KiB, /*freq=*/30, /*sc=*/1));
+  // LRU order (old->new): 1, 2, 3. Min EV is term 2.
+  const auto evicted = cache.insert(4, list_info(40 * KiB, 40 * KiB, 10, 1));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].term, 2u);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(MemListCacheTest, CblruWindowLimitsScan) {
+  // Window of 1: only the LRU entry is examined, so the global min-EV
+  // entry deeper in the list survives.
+  MemListCache cache(100 * KiB, CachePolicy::kCblru, 1);
+  cache.insert(1, list_info(40 * KiB, 40 * KiB, /*freq=*/1, /*sc=*/1));   // min EV
+  cache.insert(2, list_info(40 * KiB, 40 * KiB, /*freq=*/90, /*sc=*/1));
+  cache.lookup(1, 1);  // promote term 1 to MRU; LRU is now 2
+  const auto evicted = cache.insert(3, list_info(40 * KiB, 40 * KiB, 5, 1));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].term, 2u);  // LRU evicted despite higher EV
+}
+
+TEST(MemListCacheTest, OversizedEntryPassesThrough) {
+  MemListCache cache(50 * KiB, CachePolicy::kCblru, 4);
+  const auto evicted = cache.insert(1, list_info(80 * KiB, 80 * KiB));
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].term, 1u);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(MemListCacheTest, ReinsertUpdatesBytesAccounting) {
+  MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
+  cache.insert(1, list_info(100 * KiB, 400 * KiB));
+  cache.insert(1, list_info(200 * KiB, 400 * KiB));
+  EXPECT_EQ(cache.used_bytes(), 200 * KiB);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemListCacheTest, ReinsertKeepsLargerFreq) {
+  MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
+  cache.insert(1, list_info(10 * KiB, 10 * KiB, /*freq=*/9));
+  cache.insert(1, list_info(10 * KiB, 10 * KiB, /*freq=*/1));
+  EXPECT_EQ(cache.lookup(1, 1)->freq, 10u);  // max(9,1) + the hit
+}
+
+TEST(MemListCacheTest, MultipleEvictionsUntilFit) {
+  MemListCache cache(100 * KiB, CachePolicy::kLru, 4);
+  cache.insert(1, list_info(40 * KiB, 40 * KiB));
+  cache.insert(2, list_info(40 * KiB, 40 * KiB));
+  const auto evicted = cache.insert(3, list_info(90 * KiB, 90 * KiB));
+  EXPECT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains(3));
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/hybrid/cost_model.hpp"
+#include "src/hybrid/metrics.hpp"
+
+namespace ssdse {
+namespace {
+
+// --- Situation classification (Table I) ---------------------------------
+
+TEST(SituationTest, ResultHits) {
+  EXPECT_EQ(classify_situation(true, Tier::kMemory, false, false, false),
+            Situation::kS1_ResultMemory);
+  EXPECT_EQ(classify_situation(true, Tier::kSsd, false, false, false),
+            Situation::kS2_ResultSsd);
+}
+
+TEST(SituationTest, ListTierCombinations) {
+  EXPECT_EQ(classify_situation(false, Tier::kMemory, true, false, false),
+            Situation::kS3_ListsMemory);
+  EXPECT_EQ(classify_situation(false, Tier::kMemory, true, true, false),
+            Situation::kS4_ListsMemorySsd);
+  EXPECT_EQ(classify_situation(false, Tier::kMemory, false, true, false),
+            Situation::kS5_ListsSsd);
+  EXPECT_EQ(classify_situation(false, Tier::kMemory, true, false, true),
+            Situation::kS6_ListsMemoryHdd);
+  EXPECT_EQ(classify_situation(false, Tier::kMemory, true, true, true),
+            Situation::kS7_ListsMemorySsdHdd);
+  EXPECT_EQ(classify_situation(false, Tier::kMemory, false, true, true),
+            Situation::kS8_ListsSsdHdd);
+  EXPECT_EQ(classify_situation(false, Tier::kMemory, false, false, true),
+            Situation::kS9_ListsHdd);
+}
+
+TEST(SituationTest, NamesDistinct) {
+  for (std::size_t i = 0; i < kNumSituations; ++i) {
+    for (std::size_t j = i + 1; j < kNumSituations; ++j) {
+      EXPECT_STRNE(to_string(static_cast<Situation>(i)),
+                   to_string(static_cast<Situation>(j)));
+    }
+  }
+}
+
+// --- RunMetrics -----------------------------------------------------------
+
+TEST(RunMetricsTest, ProbabilitiesSumToOne) {
+  RunMetrics m;
+  m.record(Situation::kS1_ResultMemory, 100);
+  m.record(Situation::kS1_ResultMemory, 200);
+  m.record(Situation::kS9_ListsHdd, 5000);
+  m.record(Situation::kS5_ListsSsd, 800);
+  double sum = 0;
+  for (std::size_t i = 0; i < kNumSituations; ++i) {
+    sum += m.situation_probability(static_cast<Situation>(i));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_EQ(m.queries(), 4u);
+  EXPECT_DOUBLE_EQ(m.situation_mean_time(Situation::kS1_ResultMemory), 150.0);
+}
+
+TEST(RunMetricsTest, ThroughputAccountsBackgroundTime) {
+  RunMetrics m;
+  for (int i = 0; i < 10; ++i) m.record(Situation::kS3_ListsMemory, 1000.0);
+  // 10 queries in 10 ms of foreground -> 1000 q/s.
+  EXPECT_NEAR(m.throughput_qps(0), 1000.0, 1e-9);
+  // Adding 10 ms of background flash time halves it.
+  EXPECT_NEAR(m.throughput_qps(10'000.0), 500.0, 1e-9);
+}
+
+TEST(RunMetricsTest, EmptyMetricsSafe) {
+  RunMetrics m;
+  EXPECT_EQ(m.queries(), 0u);
+  EXPECT_EQ(m.mean_response(), 0.0);
+  EXPECT_EQ(m.throughput_qps(0), 0.0);
+  EXPECT_EQ(m.situation_probability(Situation::kS1_ResultMemory), 0.0);
+}
+
+// --- CostModel ---------------------------------------------------------------
+
+TEST(CostModelTest, PaperDollarFigures) {
+  CostModel c;
+  EXPECT_NEAR(c.dollars(1 * GiB, 0, 0), 14.5, 1e-9);
+  EXPECT_NEAR(c.dollars(0, 1 * GiB, 0), 1.9, 1e-9);
+  EXPECT_NEAR(c.dollars(0, 0, 1 * GiB), 0.06, 1e-9);
+  EXPECT_NEAR(c.dollars(512 * MiB, 2 * GiB, 0), 14.5 / 2 + 3.8, 1e-9);
+}
+
+TEST(CostModelTest, SsdMuchCheaperThanDram) {
+  CostModel c;
+  // The paper's ratio: DRAM ~7.6x the $/GB of SSD.
+  EXPECT_NEAR(c.dram_per_gb / c.ssd_per_gb, 7.63, 0.02);
+}
+
+TEST(CostModelTest, CostPerformanceLowerIsBetter) {
+  CostModel c;
+  // Same response: cheaper hardware wins. Same hardware: faster wins.
+  EXPECT_LT(c.cost_performance(1 * GiB, 0, 0, ms(10)),
+            c.cost_performance(2 * GiB, 0, 0, ms(10)));
+  EXPECT_LT(c.cost_performance(1 * GiB, 0, 0, ms(5)),
+            c.cost_performance(1 * GiB, 0, 0, ms(10)));
+}
+
+}  // namespace
+}  // namespace ssdse

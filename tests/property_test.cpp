@@ -1,0 +1,149 @@
+// Property-based sweeps: whole-system invariants that must hold for
+// every cache policy, configuration corner and seed, run via TEST_P.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/hybrid/search_system.hpp"
+
+namespace ssdse {
+namespace {
+
+struct SystemCase {
+  CachePolicy policy;
+  Bytes mem_budget;
+  std::uint64_t seed;
+  bool index_on_ssd;
+};
+
+class SystemPropertyTest : public ::testing::TestWithParam<SystemCase> {};
+
+TEST_P(SystemPropertyTest, InvariantsHoldOverQueryStream) {
+  const SystemCase& param = GetParam();
+  SystemConfig cfg;
+  cfg.set_num_docs(100'000);
+  cfg.set_memory_budget(param.mem_budget);
+  cfg.cache.policy = param.policy;
+  cfg.log.seed = param.seed;
+  cfg.index_on_ssd = param.index_on_ssd;
+  cfg.training_queries = 1'000;
+
+  SearchSystem system(cfg);
+  const std::uint64_t n = 2'000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto out = system.execute(system.generator().next());
+    // Responses are positive and bounded by a sane ceiling (seconds).
+    ASSERT_GT(out.response, 0.0);
+    ASSERT_LT(out.response, 10.0 * kSecond);
+    ASSERT_FALSE(out.result.docs.empty());
+  }
+  system.drain();
+
+  const auto& cs = system.cache_manager().stats();
+  // Hit ratios are probabilities.
+  EXPECT_GE(cs.hit_ratio(), 0.0);
+  EXPECT_LE(cs.hit_ratio(), 1.0);
+  EXPECT_LE(cs.result_hits_mem + cs.result_hits_ssd, cs.result_lookups);
+  EXPECT_LE(cs.list_hits_mem + cs.list_hits_ssd, cs.list_lookups);
+
+  // Every query was classified exactly once.
+  std::uint64_t classified = 0;
+  for (std::size_t s = 0; s < kNumSituations; ++s) {
+    classified += system.metrics().situation_count(static_cast<Situation>(s));
+  }
+  EXPECT_EQ(classified, n);
+
+  // Storage accounting: flash time only exists when an L2 is present.
+  if (!cfg.cache.l2) {
+    EXPECT_EQ(cs.background_flash_time, 0.0);
+  }
+  if (const Ssd* ssd = system.cache_ssd()) {
+    const auto& fs = ssd->ftl().stats();
+    EXPECT_GE(fs.write_amplification(ssd->nand().stats()),
+              fs.host_writes ? 1.0 : 0.0);
+    // Erases never exceed programs (each erase needs a prior full
+    // block's worth of programs in steady state).
+    EXPECT_LE(ssd->nand().stats().block_erases * 1ull,
+              ssd->nand().stats().page_programs);
+  }
+}
+
+std::vector<SystemCase> system_cases() {
+  std::vector<SystemCase> cases;
+  for (CachePolicy p :
+       {CachePolicy::kLru, CachePolicy::kCblru, CachePolicy::kCbslru}) {
+    for (Bytes budget : {2 * MiB, 16 * MiB}) {
+      cases.push_back({p, budget, 1, false});
+    }
+    cases.push_back({p, 8 * MiB, 99, false});
+  }
+  cases.push_back({CachePolicy::kCblru, 8 * MiB, 1, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesBudgetsSeeds, SystemPropertyTest,
+    ::testing::ValuesIn(system_cases()),
+    [](const ::testing::TestParamInfo<SystemCase>& param_info) {
+      const auto& p = param_info.param;
+      return std::string(to_string(p.policy)) + "_" +
+             std::to_string(p.mem_budget / MiB) + "MiB_seed" +
+             std::to_string(p.seed) + (p.index_on_ssd ? "_issd" : "");
+    });
+
+// --- Hybrid-scheme invariant: SSD hits must leave the SSD copy intact ----
+
+TEST(HybridSchemeProperty, SsdHitKeepsCopyReadable) {
+  SystemConfig cfg;
+  cfg.set_num_docs(100'000);
+  cfg.set_memory_budget(2 * MiB);
+  cfg.cache.policy = CachePolicy::kCblru;
+  cfg.training_queries = 500;
+  SearchSystem system(cfg);
+  system.run(3'000);
+  // Any term still indexed by the SSD list cache must serve a lookup
+  // (i.e. reads never deleted data - the exclusive scheme would have).
+  auto& cm = system.cache_manager();
+  Micros t = 0;
+  std::uint64_t present = 0;
+  for (TermId term = 0; term < 2'000; ++term) {
+    if (cm.ssd_lists()->contains(term)) {
+      ++present;
+    }
+  }
+  EXPECT_GT(present, 0u);
+  (void)t;
+}
+
+// --- Zipf workload sanity across exponents --------------------------------
+
+class ZipfSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSweepTest, HitRatioIncreasesWithSkew) {
+  // Not a strict monotonicity check; just: a strongly skewed stream must
+  // beat a uniform one given identical capacities.
+  auto hit_ratio = [](double zipf) {
+    SystemConfig cfg;
+    cfg.set_num_docs(100'000);
+    cfg.set_memory_budget(4 * MiB);
+    cfg.log.query_zipf = zipf;
+    cfg.training_queries = 500;
+    SearchSystem system(cfg);
+    system.run(3'000);
+    return system.cache_manager().stats().hit_ratio();
+  };
+  const double skewed = hit_ratio(GetParam());
+  const double uniform = hit_ratio(0.0);
+  EXPECT_GT(skewed, uniform);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweepTest,
+                         ::testing::Values(0.8, 1.0, 1.2),
+                         [](const ::testing::TestParamInfo<double>& param_info) {
+                           return "zipf" +
+                                  std::to_string(static_cast<int>(
+                                      param_info.param * 10));
+                         });
+
+}  // namespace
+}  // namespace ssdse

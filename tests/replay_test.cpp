@@ -1,0 +1,75 @@
+// Trace replay driver tests.
+#include <gtest/gtest.h>
+
+#include "src/ssd/ssd.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/trace/replay.hpp"
+#include "src/trace/synth.hpp"
+
+namespace ssdse {
+namespace {
+
+TEST(ReplayTest, CountsOpsByType) {
+  std::vector<IoRecord> trace = {
+      {0, IoOp::kRead, 0, 8},
+      {1, IoOp::kWrite, 100, 8},
+      {2, IoOp::kRead, 200, 8},
+      {3, IoOp::kTrim, 0, 8},
+  };
+  HddModel hdd;
+  const auto report = replay_trace(trace, hdd);
+  EXPECT_EQ(report.ops, 4u);
+  EXPECT_EQ(report.reads, 2u);
+  EXPECT_EQ(report.writes, 1u);
+  EXPECT_EQ(report.trims, 1u);
+  EXPECT_GT(report.device_time, 0.0);
+  EXPECT_GT(report.mean_latency(), 0.0);
+}
+
+TEST(ReplayTest, WrapMapsLargeAddressesIn) {
+  SsdConfig cfg;
+  cfg.nand.num_blocks = 64;
+  cfg.nand.pages_per_block = 16;
+  Ssd ssd(cfg);
+  std::vector<IoRecord> trace = {
+      {0, IoOp::kWrite, 1'000'000'000, 8},  // far beyond the SSD
+  };
+  ReplayOptions wrap;
+  wrap.wrap_addresses = true;
+  auto report = replay_trace(trace, ssd, wrap);
+  EXPECT_EQ(report.ops, 1u);
+  EXPECT_EQ(report.skipped_out_of_range, 0u);
+
+  ReplayOptions strict;
+  strict.wrap_addresses = false;
+  report = replay_trace(trace, ssd, strict);
+  EXPECT_EQ(report.ops, 0u);
+  EXPECT_EQ(report.skipped_out_of_range, 1u);
+}
+
+TEST(ReplayTest, SyntheticWebTraceOnSsdVsHdd) {
+  Rng rng(9);
+  WebSearchTraceConfig cfg;
+  cfg.num_ops = 1'500;
+  const auto trace = synthesize_web_search_trace(cfg, rng);
+
+  HddModel hdd;
+  SsdConfig sc;  // default 2 GiB SSD
+  Ssd ssd(sc);
+  const auto on_hdd = replay_trace(trace, hdd);
+  const auto on_ssd = replay_trace(trace, ssd);
+  EXPECT_EQ(on_hdd.ops, on_ssd.ops);
+  // Random-read-dominant trace: SSD must be much faster (the paper's
+  // core premise).
+  EXPECT_LT(on_ssd.device_time * 5, on_hdd.device_time);
+}
+
+TEST(ReplayTest, EmptyTraceIsNoop) {
+  HddModel hdd;
+  const auto report = replay_trace({}, hdd);
+  EXPECT_EQ(report.ops, 0u);
+  EXPECT_EQ(report.device_time, 0.0);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,160 @@
+// Reproduction regression suite: the paper's headline *orderings*,
+// asserted at reduced scale so a behavioural regression in any layer
+// (FTL, cache policy, workload model) fails the test run — not just the
+// bench outputs.
+#include <gtest/gtest.h>
+
+#include "src/hybrid/search_system.hpp"
+
+namespace ssdse {
+namespace {
+
+struct PolicyOutcome {
+  double coverage = 0;
+  Micros response = 0;
+  double qps = 0;
+  std::uint64_t erases = 0;
+  Micros flash_access = 0;
+};
+
+PolicyOutcome run_policy(CachePolicy policy, Bytes mem_budget = 4 * MiB,
+                         std::uint64_t queries = 15'000) {
+  // The paper's claims live in the capacity-pressure regime: a 5M-doc
+  // shard against a small memory budget (cf. Fig. 14's sweep).
+  SystemConfig cfg;
+  cfg.set_num_docs(5'000'000);
+  cfg.set_memory_budget(mem_budget);
+  cfg.cache.policy = policy;
+  cfg.training_queries = 3'000;
+  SearchSystem system(cfg);
+  system.run(queries);
+  system.drain();
+  return PolicyOutcome{system.metrics().request_coverage(),
+                       system.metrics().mean_response(),
+                       system.throughput_qps(),
+                       system.cache_ssd()->block_erases(),
+                       system.cache_ssd()->mean_flash_access()};
+}
+
+class ReproductionTest : public ::testing::Test {
+ protected:
+  static const PolicyOutcome& lru() {
+    static const PolicyOutcome o = run_policy(CachePolicy::kLru);
+    return o;
+  }
+  static const PolicyOutcome& cblru() {
+    static const PolicyOutcome o = run_policy(CachePolicy::kCblru);
+    return o;
+  }
+  static const PolicyOutcome& cbslru() {
+    static const PolicyOutcome o = run_policy(CachePolicy::kCbslru);
+    return o;
+  }
+};
+
+// Paper Fig. 14(b): hit ratio ordering under capacity pressure.
+TEST_F(ReproductionTest, HitRatioOrderingUnderPressure) {
+  EXPECT_GT(cblru().coverage, lru().coverage);
+  EXPECT_GT(cbslru().coverage, cblru().coverage);
+}
+
+// Paper Fig. 17(a): response-time ordering.
+TEST_F(ReproductionTest, ResponseTimeOrdering) {
+  EXPECT_LT(cbslru().response, lru().response);
+  EXPECT_LT(cblru().response, lru().response);
+}
+
+// Paper Fig. 17(b): throughput ordering.
+TEST_F(ReproductionTest, ThroughputOrdering) {
+  EXPECT_GT(cblru().qps, lru().qps);
+  EXPECT_GT(cbslru().qps, cblru().qps);
+}
+
+// Paper Fig. 19(a): block-erasure ordering — the wear claim.
+TEST_F(ReproductionTest, EraseCountOrdering) {
+  EXPECT_LT(cblru().erases, lru().erases / 2);
+  EXPECT_LE(cbslru().erases, cblru().erases);
+}
+
+// Paper Fig. 19(b): flash access time ordering.
+TEST_F(ReproductionTest, FlashAccessOrdering) {
+  EXPECT_LT(cblru().flash_access, lru().flash_access);
+  EXPECT_LT(cbslru().flash_access, lru().flash_access);
+}
+
+// Paper Fig. 14(a): RIC > IC and RIC > RC on request coverage, and RC
+// saturates while IC keeps growing.
+TEST(ReproductionCoverageTest, RicBeatsSingleCaches) {
+  auto coverage = [](bool results, bool lists, Bytes budget) {
+    SystemConfig cfg;
+    cfg.set_num_docs(5'000'000);
+    cfg.cache.l2 = false;
+    cfg.cache.result_cache = results;
+    cfg.cache.list_cache = lists;
+    if (results && lists) {
+      cfg.set_memory_budget(budget);
+      cfg.cache.l2 = false;
+    } else if (results) {
+      cfg.cache.mem_result_capacity = budget;
+    } else {
+      cfg.cache.mem_list_capacity = budget;
+    }
+    cfg.training_queries = 0;
+    SearchSystem system(cfg);
+    system.run(10'000);
+    return system.metrics().request_coverage();
+  };
+  const Bytes budget = 24 * MiB;
+  const double rc = coverage(true, false, budget);
+  const double ic = coverage(false, true, budget);
+  const double ric = coverage(true, true, budget);
+  EXPECT_GT(ric, ic);
+  EXPECT_GT(ric, rc);
+  // RC saturates faster than IC: quadrupling capacity helps the list
+  // cache more than the result cache (paper: "keep RC within bounds").
+  const double rc_big = coverage(true, false, 4 * budget);
+  const double ic_big = coverage(false, true, 4 * budget);
+  EXPECT_LT(rc_big - rc, ic_big - ic);
+}
+
+// Paper Table I: time costs strictly tiered memory < SSD < HDD.
+TEST(ReproductionSituationTest, TimeCostTiers) {
+  SystemConfig cfg;
+  cfg.set_num_docs(1'000'000);
+  cfg.set_memory_budget(8 * MiB);
+  cfg.training_queries = 2'000;
+  SearchSystem system(cfg);
+  system.run(15'000);
+  const auto& m = system.metrics();
+  const Micros t1 = m.situation_mean_time(Situation::kS1_ResultMemory);
+  const Micros t2 = m.situation_mean_time(Situation::kS2_ResultSsd);
+  const Micros t9 = m.situation_mean_time(Situation::kS9_ListsHdd);
+  ASSERT_GT(m.situation_count(Situation::kS1_ResultMemory), 0u);
+  ASSERT_GT(m.situation_count(Situation::kS2_ResultSsd), 0u);
+  ASSERT_GT(m.situation_count(Situation::kS9_ListsHdd), 0u);
+  EXPECT_LT(t1 * 2, t2);   // memory result << SSD result
+  EXPECT_LT(t2 * 2, t9);   // SSD result << HDD lists
+}
+
+// Paper SSVII.C: two-level wins on cost-performance.
+TEST(ReproductionCostTest, TwoLevelWinsCostPerformance) {
+  auto response = [](Bytes mem, bool l2) {
+    SystemConfig cfg;
+    cfg.set_num_docs(1'000'000);
+    cfg.set_memory_budget(mem);
+    cfg.cache.policy = CachePolicy::kCbslru;
+    cfg.cache.l2 = l2;
+    cfg.training_queries = 2'000;
+    SearchSystem system(cfg);
+    system.run(10'000);
+    return system.metrics().mean_response();
+  };
+  // Small DRAM + SSD tier vs 4x the DRAM without it: the hybrid must at
+  // least match it while costing far less (DRAM $14.5 vs SSD $1.9 / GB).
+  const Micros hybrid = response(4 * MiB, true);
+  const Micros big_dram = response(16 * MiB, false);
+  EXPECT_LT(hybrid, big_dram);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,143 @@
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/ssd_cache_file.hpp"
+
+namespace ssdse {
+namespace {
+
+SsdConfig small_ssd() {
+  SsdConfig cfg;
+  cfg.nand.num_blocks = 64;
+  cfg.nand.pages_per_block = 16;
+  return cfg;
+}
+
+class SsdCacheFileTest : public ::testing::Test {
+ protected:
+  SsdCacheFileTest() : ssd_(small_ssd()), file_(ssd_, 0, 16) {}
+  Ssd ssd_;
+  SsdCacheFile file_;
+};
+
+TEST_F(SsdCacheFileTest, StartsAllFree) {
+  EXPECT_EQ(file_.num_blocks(), 16u);
+  EXPECT_EQ(file_.free_count(), 16u);
+  EXPECT_EQ(file_.replaceable_count(), 0u);
+  for (std::uint32_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(file_.state(b), CbState::kFree);
+  }
+}
+
+TEST_F(SsdCacheFileTest, AllocWriteTransitionsToNormal) {
+  const auto cb = file_.alloc();
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(file_.free_count(), 15u);
+  const Micros t = file_.write(*cb, file_.pages_per_block());
+  EXPECT_GT(t, 0.0);
+  EXPECT_EQ(file_.state(*cb), CbState::kNormal);
+}
+
+TEST_F(SsdCacheFileTest, AllocExhaustionReturnsNullopt) {
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(file_.alloc().has_value());
+  EXPECT_FALSE(file_.alloc().has_value());
+}
+
+TEST_F(SsdCacheFileTest, Fig9StateMachine) {
+  const auto cb = *file_.alloc();
+  file_.write(cb, 4);                       // free -> normal
+  EXPECT_EQ(file_.state(cb), CbState::kNormal);
+  file_.mark_replaceable(cb);               // normal -> replaceable
+  EXPECT_EQ(file_.state(cb), CbState::kReplaceable);
+  EXPECT_EQ(file_.replaceable_count(), 1u);
+  file_.write(cb, 4);                       // overwrite -> normal again
+  EXPECT_EQ(file_.state(cb), CbState::kNormal);
+  EXPECT_EQ(file_.replaceable_count(), 0u);
+  file_.mark_replaceable(cb);
+  file_.trim(cb);                           // delete -> free
+  EXPECT_EQ(file_.state(cb), CbState::kFree);
+  EXPECT_EQ(file_.free_count(), 16u);
+  EXPECT_EQ(file_.replaceable_count(), 0u);
+}
+
+TEST_F(SsdCacheFileTest, MarkReplaceableOnlyAffectsNormal) {
+  const auto cb = *file_.alloc();
+  // Never-written block stays free even if marked.
+  file_.mark_replaceable(cb);
+  EXPECT_EQ(file_.state(cb), CbState::kFree);
+  file_.write(cb, 1);
+  file_.mark_replaceable(cb);
+  file_.mark_replaceable(cb);  // idempotent
+  EXPECT_EQ(file_.replaceable_count(), 1u);
+}
+
+TEST_F(SsdCacheFileTest, MarkNormalResurrection) {
+  const auto cb = *file_.alloc();
+  file_.write(cb, 1);
+  file_.mark_replaceable(cb);
+  file_.mark_normal(cb);
+  EXPECT_EQ(file_.state(cb), CbState::kNormal);
+  EXPECT_EQ(file_.replaceable_count(), 0u);
+}
+
+TEST_F(SsdCacheFileTest, MarkNormalOnFreeThrows) {
+  EXPECT_THROW(file_.mark_normal(0), std::logic_error);
+}
+
+TEST_F(SsdCacheFileTest, ReadChecksState) {
+  EXPECT_THROW(file_.read(0, 0, 1), std::logic_error);  // free block
+  const auto cb = *file_.alloc();
+  file_.write(cb, 8);
+  EXPECT_GT(file_.read(cb, 0, 8), 0.0);
+  EXPECT_THROW(file_.read(cb, 10, 10), std::invalid_argument);  // off end
+}
+
+TEST_F(SsdCacheFileTest, WriteValidation) {
+  const auto cb = *file_.alloc();
+  EXPECT_THROW(file_.write(cb, 0), std::invalid_argument);
+  EXPECT_THROW(file_.write(cb, file_.pages_per_block() + 1),
+               std::invalid_argument);
+  EXPECT_THROW(file_.write(99, 1), std::out_of_range);
+}
+
+TEST_F(SsdCacheFileTest, TrimFreeBlockIsNoop) {
+  EXPECT_EQ(file_.trim(3), 0.0);
+  EXPECT_EQ(file_.free_count(), 16u);
+}
+
+TEST_F(SsdCacheFileTest, OverwriteInvalidatesWholeFlashBlock) {
+  // Cache blocks are flash-block aligned: a full overwrite of one cache
+  // block must not force GC copies (the CBLRU placement property).
+  const auto cb = *file_.alloc();
+  const auto ppb = file_.pages_per_block();
+  for (int round = 0; round < 50; ++round) {
+    file_.write(cb, ppb);
+  }
+  EXPECT_EQ(ssd_.ftl().stats().gc_page_copies, 0u);
+}
+
+TEST(SsdCacheFileCtorTest, RejectsMisalignedBase) {
+  Ssd ssd(small_ssd());
+  EXPECT_THROW(SsdCacheFile(ssd, 3, 4), std::invalid_argument);
+}
+
+TEST(SsdCacheFileCtorTest, RejectsOversizedRegion) {
+  Ssd ssd(small_ssd());
+  EXPECT_THROW(SsdCacheFile(ssd, 0, 10'000), std::invalid_argument);
+}
+
+TEST(SsdCacheFileCtorTest, DisjointRegionsCoexist) {
+  Ssd ssd(small_ssd());
+  SsdCacheFile a(ssd, 0, 8);
+  SsdCacheFile b(ssd, 8 * 16, 8);
+  const auto ca = *a.alloc();
+  const auto cb = *b.alloc();
+  a.write(ca, 16);
+  b.write(cb, 16);
+  EXPECT_GT(a.read(ca, 0, 16), 0.0);
+  EXPECT_GT(b.read(cb, 0, 16), 0.0);
+}
+
+}  // namespace
+}  // namespace ssdse

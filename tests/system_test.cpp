@@ -1,0 +1,177 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/hybrid/search_system.hpp"
+
+namespace ssdse {
+namespace {
+
+SystemConfig small_system(CachePolicy policy = CachePolicy::kCblru) {
+  SystemConfig cfg;
+  cfg.set_num_docs(200'000);
+  cfg.set_memory_budget(8 * MiB);
+  cfg.cache.policy = policy;
+  cfg.training_queries = 2'000;
+  return cfg;
+}
+
+TEST(SearchSystemTest, RunsAndRecordsMetrics) {
+  SearchSystem system(small_system());
+  system.run(2'000);
+  EXPECT_EQ(system.metrics().queries(), 2'000u);
+  EXPECT_GT(system.metrics().mean_response(), 0.0);
+  EXPECT_GT(system.throughput_qps(), 0.0);
+}
+
+TEST(SearchSystemTest, SituationProbabilitiesSumToOne) {
+  SearchSystem system(small_system());
+  system.run(1'000);
+  double sum = 0;
+  for (std::size_t i = 0; i < kNumSituations; ++i) {
+    sum += system.metrics().situation_probability(static_cast<Situation>(i));
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SearchSystemTest, RepeatedQueryBecomesResultHit) {
+  SearchSystem system(small_system());
+  const Query q = system.generator().query_for_rank(0);
+  const auto first = system.execute(q);
+  EXPECT_FALSE(first.result_from_cache);
+  const auto second = system.execute(q);
+  EXPECT_TRUE(second.result_from_cache);
+  EXPECT_EQ(second.situation, Situation::kS1_ResultMemory);
+  EXPECT_LT(second.response, first.response);
+  // Identical result content from the cache.
+  ASSERT_EQ(first.result.docs.size(), second.result.docs.size());
+  for (std::size_t i = 0; i < first.result.docs.size(); ++i) {
+    EXPECT_EQ(first.result.docs[i], second.result.docs[i]);
+  }
+}
+
+TEST(SearchSystemTest, CachingIsPerformanceTransparent) {
+  // The same query must return identical top-K documents no matter which
+  // tier serves it and which policy manages the caches.
+  auto run = [](CachePolicy policy, bool use_cache) {
+    SystemConfig cfg = small_system(policy);
+    cfg.use_cache = use_cache;
+    SearchSystem system(cfg);
+    std::vector<ResultEntry> results;
+    for (std::uint64_t r = 0; r < 50; ++r) {
+      results.push_back(
+          system.execute(system.generator().query_for_rank(r)).result);
+    }
+    return results;
+  };
+  const auto uncached = run(CachePolicy::kCblru, false);
+  for (CachePolicy p :
+       {CachePolicy::kLru, CachePolicy::kCblru, CachePolicy::kCbslru}) {
+    const auto cached = run(p, true);
+    ASSERT_EQ(cached.size(), uncached.size());
+    for (std::size_t i = 0; i < cached.size(); ++i) {
+      ASSERT_EQ(cached[i].docs.size(), uncached[i].docs.size()) << i;
+      for (std::size_t d = 0; d < cached[i].docs.size(); ++d) {
+        EXPECT_EQ(cached[i].docs[d], uncached[i].docs[d]);
+      }
+    }
+  }
+}
+
+TEST(SearchSystemTest, NoCacheModeAlwaysHitsIndexStore) {
+  SystemConfig cfg = small_system();
+  cfg.use_cache = false;
+  SearchSystem system(cfg);
+  system.run(300);
+  EXPECT_EQ(system.metrics().situation_probability(Situation::kS9_ListsHdd),
+            1.0);
+  EXPECT_EQ(system.cache_manager().stats().background_flash_time, 0.0);
+}
+
+TEST(SearchSystemTest, CacheBeatsNoCache) {
+  SystemConfig with = small_system();
+  SystemConfig without = small_system();
+  without.use_cache = false;
+  SearchSystem a(with), b(without);
+  a.run(2'000);
+  b.run(2'000);
+  EXPECT_LT(a.metrics().mean_response(), b.metrics().mean_response());
+}
+
+TEST(SearchSystemTest, IndexOnSsdFasterThanHddWithoutCache) {
+  SystemConfig hdd_cfg = small_system();
+  hdd_cfg.use_cache = false;
+  SystemConfig ssd_cfg = hdd_cfg;
+  ssd_cfg.index_on_ssd = true;
+  SearchSystem on_hdd(hdd_cfg), on_ssd(ssd_cfg);
+  on_hdd.run(500);
+  on_ssd.run(500);
+  EXPECT_LT(on_ssd.metrics().mean_response(),
+            on_hdd.metrics().mean_response());
+}
+
+TEST(SearchSystemTest, CbslruPreloadsStaticPartition) {
+  SystemConfig cfg = small_system(CachePolicy::kCbslru);
+  SearchSystem system(cfg);
+  ASSERT_TRUE(system.log_analysis().has_value());
+  // The hottest training query must be pinned on SSD.
+  const QueryId hottest = system.log_analysis()->queries_by_freq[0].first;
+  EXPECT_TRUE(system.cache_manager().ssd_results()->is_static(hottest));
+}
+
+TEST(SearchSystemTest, TevDerivedFromTrainingWhenUnset) {
+  SystemConfig cfg = small_system(CachePolicy::kCblru);
+  cfg.cache.tev = 0.0;
+  SearchSystem system(cfg);
+  EXPECT_GT(system.cache_manager().config().tev, 0.0);
+}
+
+TEST(SearchSystemTest, DeterministicAcrossRuns) {
+  SystemConfig cfg = small_system();
+  SearchSystem a(cfg), b(cfg);
+  a.run(500);
+  b.run(500);
+  EXPECT_DOUBLE_EQ(a.metrics().mean_response(), b.metrics().mean_response());
+  EXPECT_EQ(a.cache_manager().stats().hit_ratio(),
+            b.cache_manager().stats().hit_ratio());
+}
+
+TEST(SearchSystemTest, DrainFlushesWriteBuffer) {
+  SearchSystem system(small_system());
+  system.run(1'000);
+  system.drain();
+  EXPECT_EQ(system.cache_manager().write_buffer().size(), 0u);
+}
+
+TEST(SearchSystemTest, MaterializedIndexEndToEnd) {
+  CorpusConfig cc;
+  cc.num_docs = 2'000;
+  cc.vocab_size = 500;
+  cc.terms_per_doc = 15;
+  Rng rng(5);
+  MaterializedCorpus corpus(cc, rng);
+  MaterializedIndex index(corpus);
+
+  SystemConfig cfg;
+  cfg.corpus = cc;
+  cfg.log.vocab_size = 500;
+  cfg.log.distinct_queries = 2'000;
+  cfg.set_memory_budget(2 * MiB);
+  cfg.cache.ssd_result_capacity = 4 * MiB;
+  cfg.cache.ssd_list_capacity = 16 * MiB;
+  cfg.training_queries = 500;
+
+  SearchSystem system(cfg, index);
+  system.run(1'000);
+  EXPECT_EQ(system.metrics().queries(), 1'000u);
+  EXPECT_GT(system.cache_manager().stats().hit_ratio(), 0.0);
+  // Real scoring measured utilizations and fed them back.
+  bool any_partial = false;
+  for (TermId t = 0; t < 20; ++t) {
+    if (index.term_meta(t).utilization < 1.0) any_partial = true;
+  }
+  EXPECT_TRUE(any_partial);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,211 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/analyzer.hpp"
+#include "src/trace/collector.hpp"
+#include "src/trace/synth.hpp"
+#include "src/trace/trace_io.hpp"
+
+namespace ssdse {
+namespace {
+
+// --- TraceCollector -----------------------------------------------------
+
+TEST(CollectorTest, RecordsAndCounts) {
+  TraceCollector c;
+  c.record(1.0, IoOp::kRead, 100, 8);
+  c.record(2.0, IoOp::kWrite, 200, 16);
+  c.record(3.0, IoOp::kTrim, 300, 32);
+  EXPECT_EQ(c.total_recorded(), 3u);
+  EXPECT_EQ(c.reads(), 1u);
+  EXPECT_EQ(c.writes(), 1u);
+  EXPECT_EQ(c.trims(), 1u);
+  ASSERT_EQ(c.records().size(), 3u);
+  EXPECT_EQ(c.records()[0].lba, 100u);
+  EXPECT_EQ(c.records()[1].sectors, 16u);
+}
+
+TEST(CollectorTest, DisabledDropsRecords) {
+  TraceCollector c(/*enabled=*/false);
+  c.record(1.0, IoOp::kRead, 1, 1);
+  EXPECT_EQ(c.total_recorded(), 0u);
+  EXPECT_TRUE(c.records().empty());
+}
+
+TEST(CollectorTest, CapacityCapStopsStorageNotCounting) {
+  TraceCollector c;
+  c.set_capacity(2);
+  for (int i = 0; i < 5; ++i) c.record(i, IoOp::kRead, i, 1);
+  EXPECT_EQ(c.records().size(), 2u);
+  EXPECT_EQ(c.total_recorded(), 5u);
+}
+
+TEST(CollectorTest, ClearResets) {
+  TraceCollector c;
+  c.record(1.0, IoOp::kRead, 1, 1);
+  c.clear();
+  EXPECT_EQ(c.total_recorded(), 0u);
+  EXPECT_TRUE(c.records().empty());
+}
+
+// --- TraceAnalyzer --------------------------------------------------------
+
+TEST(AnalyzerTest, EmptyTrace) {
+  TraceAnalyzer a;
+  const auto c = a.analyze({});
+  EXPECT_EQ(c.total_ops, 0u);
+}
+
+TEST(AnalyzerTest, PureSequentialDetected) {
+  std::vector<IoRecord> t;
+  Lba lba = 0;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back({static_cast<Micros>(i), IoOp::kRead, lba, 8});
+    lba += 8;
+  }
+  TraceAnalyzer a;
+  const auto c = a.analyze(t);
+  EXPECT_DOUBLE_EQ(c.read_fraction, 1.0);
+  // 99 of 100 ops continue the previous one.
+  EXPECT_NEAR(c.sequential_fraction, 0.99, 1e-9);
+  EXPECT_NEAR(c.skipped_fraction, 0.0, 1e-9);
+}
+
+TEST(AnalyzerTest, SkippedReadsDetected) {
+  std::vector<IoRecord> t;
+  Lba lba = 0;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back({static_cast<Micros>(i), IoOp::kRead, lba, 8});
+    lba += 8 + 100;  // small forward jump within the skip window
+  }
+  TraceAnalyzer a(/*skip_window_sectors=*/2048);
+  const auto c = a.analyze(t);
+  EXPECT_NEAR(c.skipped_fraction, 0.99, 1e-9);
+}
+
+TEST(AnalyzerTest, LargeJumpsAreRandom) {
+  std::vector<IoRecord> t;
+  for (int i = 0; i < 100; ++i) {
+    t.push_back({static_cast<Micros>(i), IoOp::kRead,
+                 static_cast<Lba>(i % 2 == 0 ? 0 : 10'000'000), 8});
+  }
+  TraceAnalyzer a;
+  const auto c = a.analyze(t);
+  EXPECT_GT(c.random_fraction, 0.95);
+  EXPECT_GT(c.mean_jump_sectors, 1'000'000);
+}
+
+TEST(AnalyzerTest, WriteFractionCounted) {
+  std::vector<IoRecord> t;
+  for (int i = 0; i < 10; ++i) {
+    t.push_back({0.0, i < 4 ? IoOp::kWrite : IoOp::kRead,
+                 static_cast<Lba>(i * 1000), 8});
+  }
+  TraceAnalyzer a;
+  EXPECT_NEAR(a.analyze(t).read_fraction, 0.6, 1e-9);
+}
+
+TEST(AnalyzerTest, LocalityOfSkewedTrace) {
+  // 90% of hits land on one granule; locality_90 must be small.
+  std::vector<IoRecord> t;
+  for (int i = 0; i < 1000; ++i) {
+    const bool hot = i % 10 != 0;
+    t.push_back({static_cast<Micros>(i), IoOp::kRead,
+                 hot ? 0u : static_cast<Lba>((i % 100) * 1'000'000), 8});
+  }
+  TraceAnalyzer a;
+  const auto c = a.analyze(t);
+  EXPECT_LT(c.locality_90, 0.2);
+}
+
+// --- Synthesizers ---------------------------------------------------------
+
+TEST(SynthTest, WebSearchTraceMatchesPaperProperties) {
+  Rng rng(1);
+  WebSearchTraceConfig cfg;
+  cfg.num_ops = 4000;
+  const auto trace = synthesize_web_search_trace(cfg, rng);
+  ASSERT_EQ(trace.size(), cfg.num_ops);
+  TraceAnalyzer a;
+  const auto c = a.analyze(trace);
+  EXPECT_GT(c.read_fraction, 0.99);  // paper: reads > 99 %
+  EXPECT_GT(c.random_fraction, 0.9);
+  for (const auto& r : trace) {
+    EXPECT_LT(r.lba, cfg.device_sectors);
+  }
+}
+
+TEST(SynthTest, LuceneTraceConfinedToBandWithSkips) {
+  Rng rng(2);
+  LuceneTraceConfig cfg;
+  cfg.num_ops = 4000;
+  const auto trace = synthesize_lucene_trace(cfg, rng);
+  TraceAnalyzer a;
+  const auto c = a.analyze(trace);
+  EXPECT_DOUBLE_EQ(c.read_fraction, 1.0);
+  EXPECT_GT(c.skipped_fraction, 0.3);  // skip-list behaviour visible
+  for (const auto& r : trace) {
+    EXPECT_GE(r.lba, cfg.band_start);
+    EXPECT_LT(r.lba, cfg.band_start + cfg.band_sectors + cfg.max_sectors);
+  }
+}
+
+TEST(SynthTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  const auto ta = synthesize_web_search_trace({}, a);
+  const auto tb = synthesize_web_search_trace({}, b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].lba, tb[i].lba);
+    EXPECT_EQ(ta[i].sectors, tb[i].sectors);
+  }
+}
+
+// --- CSV I/O ---------------------------------------------------------------
+
+TEST(TraceIoTest, RoundTrip) {
+  std::vector<IoRecord> t = {
+      {1.5, IoOp::kRead, 100, 8},
+      {2.5, IoOp::kWrite, 200, 16},
+      {3.5, IoOp::kTrim, 300, 32},
+  };
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.csv";
+  write_trace_csv(path, t);
+  const auto back = read_trace_csv(path);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back[i].op, t[i].op);
+    EXPECT_EQ(back[i].lba, t[i].lba);
+    EXPECT_EQ(back[i].sectors, t[i].sectors);
+    EXPECT_NEAR(back[i].timestamp, t[i].timestamp, 1e-3);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_trace_csv("/nonexistent/dir/trace.csv"),
+               std::runtime_error);
+}
+
+TEST(TraceIoTest, MalformedLineThrows) {
+  const std::string path = ::testing::TempDir() + "trace_bad.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("timestamp_us,op,lba,sectors\nnot-a-record\n", f);
+  std::fclose(f);
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, UnknownOpThrows) {
+  const std::string path = ::testing::TempDir() + "trace_badop.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("timestamp_us,op,lba,sectors\n1.0,X,5,8\n", f);
+  std::fclose(f);
+  EXPECT_THROW(read_trace_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,164 @@
+// Dynamic-scenario (TTL) tests, paper §IV.B: cached data carries a
+// freshness anchor; entries older than ttl_queries are re-read from the
+// index store instead of being served stale.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/cache_manager.hpp"
+#include "src/hybrid/search_system.hpp"
+#include "src/storage/hdd.hpp"
+
+namespace ssdse {
+namespace {
+
+CorpusConfig small_corpus() {
+  CorpusConfig cfg;
+  cfg.num_docs = 50'000;
+  cfg.vocab_size = 5'000;
+  return cfg;
+}
+
+CacheConfig ttl_cache(std::uint64_t ttl) {
+  CacheConfig cc;
+  cc.policy = CachePolicy::kCblru;
+  cc.mem_result_capacity = 200 * KiB;
+  cc.mem_list_capacity = 2 * MiB;
+  cc.ssd_result_capacity = 2 * MiB;
+  cc.ssd_list_capacity = 32 * MiB;
+  cc.ttl_queries = ttl;
+  return cc;
+}
+
+ResultEntry make_result(QueryId qid) {
+  ResultEntry e;
+  e.query = qid;
+  e.docs = {{static_cast<DocId>(qid), 1.0f}};
+  return e;
+}
+
+class TtlTest : public ::testing::Test {
+ protected:
+  TtlTest() : index_(small_corpus()) {
+    SsdConfig sc;
+    sc.nand.num_blocks = 512;
+    ssd_ = std::make_unique<Ssd>(sc);
+  }
+  std::unique_ptr<CacheManager> make(std::uint64_t ttl) {
+    return std::make_unique<CacheManager>(ttl_cache(ttl), ssd_.get(), hdd_,
+                                          ram_, index_);
+  }
+  void tick(CacheManager& cm, int n) {
+    for (int i = 0; i < n; ++i) cm.advance_time();
+  }
+
+  AnalyticIndex index_;
+  HddModel hdd_;
+  RamDevice ram_;
+  std::unique_ptr<Ssd> ssd_;
+};
+
+TEST_F(TtlTest, FreshResultServedStaleResultExpired) {
+  auto cm = make(/*ttl=*/10);
+  cm->advance_time();
+  cm->insert_result(make_result(1));
+  Tier tier;
+  Micros t = 0;
+  // Within TTL: hit.
+  tick(*cm, 5);
+  EXPECT_NE(cm->lookup_result(1, &tier, &t), nullptr);
+  // Beyond TTL: stale -> miss, and the entry is gone everywhere.
+  tick(*cm, 10);
+  EXPECT_EQ(cm->lookup_result(1, &tier, &t), nullptr);
+  EXPECT_EQ(cm->stats().results_expired, 1u);
+  EXPECT_FALSE(cm->mem_results().contains(1));
+}
+
+TEST_F(TtlTest, ZeroTtlMeansStaticScenario) {
+  auto cm = make(/*ttl=*/0);
+  cm->insert_result(make_result(1));
+  tick(*cm, 1'000'000);
+  Tier tier;
+  Micros t = 0;
+  EXPECT_NE(cm->lookup_result(1, &tier, &t), nullptr);
+  EXPECT_EQ(cm->stats().results_expired, 0u);
+}
+
+TEST_F(TtlTest, StaleListRefetchedFromHdd) {
+  auto cm = make(/*ttl=*/10);
+  cm->advance_time();
+  Micros t = 0;
+  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kHdd);
+  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kMemory);
+  tick(*cm, 20);
+  // Stale now: served from HDD again and counted as expired.
+  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kHdd);
+  EXPECT_EQ(cm->stats().lists_expired, 1u);
+  // The refetched copy is fresh again.
+  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kMemory);
+}
+
+TEST_F(TtlTest, ExpiryPurgesSsdCopyToo) {
+  auto cm = make(/*ttl=*/50);
+  cm->advance_time();
+  Micros t = 0;
+  // Get term 7 into the SSD list cache by flooding memory.
+  cm->fetch_list(7, &t);
+  for (TermId term = 100; term < 1'200; ++term) cm->fetch_list(term, &t);
+  ASSERT_FALSE(cm->mem_lists().contains(7));
+  if (!cm->ssd_lists()->contains(7)) {
+    GTEST_SKIP() << "term 7 was not admitted to the SSD in this setup";
+  }
+  tick(*cm, 100);  // well past TTL
+  EXPECT_EQ(cm->fetch_list(7, &t), Tier::kHdd);
+  EXPECT_FALSE(cm->ssd_lists()->contains(7));
+}
+
+TEST_F(TtlTest, BornCarriedThroughPromotion) {
+  auto cm = make(/*ttl=*/30);
+  cm->advance_time();
+  Micros t = 0;
+  cm->fetch_list(9, &t);  // born at time 1
+  for (TermId term = 100; term < 1'200; ++term) cm->fetch_list(term, &t);
+  if (!cm->ssd_lists()->contains(9)) {
+    GTEST_SKIP() << "term 9 was not admitted to the SSD in this setup";
+  }
+  // Promote back from SSD at ~time 1101; the *original* born must stick,
+  // so the entry expires at 1+30, not 1101+30.
+  const Tier tier = cm->fetch_list(9, &t);
+  ASSERT_EQ(tier, Tier::kSsd);
+  tick(*cm, 40);
+  EXPECT_EQ(cm->fetch_list(9, &t), Tier::kHdd);
+  EXPECT_GE(cm->stats().lists_expired, 1u);
+}
+
+TEST(TtlSystemTest, DynamicScenarioEndToEnd) {
+  SystemConfig cfg;
+  cfg.set_num_docs(100'000);
+  cfg.set_memory_budget(8 * MiB);
+  cfg.cache.ttl_queries = 500;
+  cfg.training_queries = 500;
+  SearchSystem system(cfg);
+  system.run(5'000);
+  const auto& cs = system.cache_manager().stats();
+  EXPECT_GT(cs.results_expired + cs.lists_expired, 0u);
+  // Despite expiry churn the system still caches effectively.
+  EXPECT_GT(cs.hit_ratio(), 0.05);
+}
+
+TEST(TtlSystemTest, ShorterTtlLowersHitRatio) {
+  auto hit_ratio = [](std::uint64_t ttl) {
+    SystemConfig cfg;
+    cfg.set_num_docs(100'000);
+    cfg.set_memory_budget(8 * MiB);
+    cfg.cache.ttl_queries = ttl;
+    cfg.training_queries = 500;
+    SearchSystem system(cfg);
+    system.run(5'000);
+    return system.cache_manager().stats().hit_ratio();
+  };
+  EXPECT_LT(hit_ratio(100), hit_ratio(0));
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "src/cache/write_buffer.hpp"
+
+namespace ssdse {
+namespace {
+
+CachedResult cached(QueryId qid, std::uint64_t freq = 1) {
+  CachedResult c;
+  c.entry.query = qid;
+  c.freq = freq;
+  return c;
+}
+
+TEST(WriteBufferTest, GroupsAtConfiguredSize) {
+  WriteBuffer wb(3);
+  EXPECT_FALSE(wb.push(cached(1)).has_value());
+  EXPECT_FALSE(wb.push(cached(2)).has_value());
+  auto group = wb.push(cached(3));
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->size(), 3u);
+  EXPECT_EQ(wb.size(), 0u);
+  EXPECT_EQ(wb.stats().flush_groups, 1u);
+}
+
+TEST(WriteBufferTest, DuplicatePushKeepsNewest) {
+  WriteBuffer wb(3);
+  wb.push(cached(1, 5));
+  wb.push(cached(1, 2));
+  EXPECT_EQ(wb.size(), 1u);
+  auto taken = wb.take(1);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->freq, 5u);  // larger frequency preserved
+}
+
+TEST(WriteBufferTest, TakeRemovesAndCounts) {
+  WriteBuffer wb(4);
+  wb.push(cached(1));
+  wb.push(cached(2));
+  EXPECT_TRUE(wb.contains(1));
+  auto taken = wb.take(1);
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->entry.query, 1u);
+  EXPECT_FALSE(wb.contains(1));
+  EXPECT_EQ(wb.size(), 1u);
+  EXPECT_EQ(wb.stats().buffer_hits, 1u);
+  EXPECT_FALSE(wb.take(1).has_value());
+}
+
+TEST(WriteBufferTest, CancelDropsWithoutFlush) {
+  WriteBuffer wb(2);
+  wb.push(cached(1));
+  EXPECT_TRUE(wb.cancel(1));
+  EXPECT_FALSE(wb.cancel(1));
+  EXPECT_EQ(wb.size(), 0u);
+  EXPECT_EQ(wb.stats().cancelled, 1u);
+  // The next push does not form a group (buffer was emptied).
+  EXPECT_FALSE(wb.push(cached(2)).has_value());
+}
+
+TEST(WriteBufferTest, DrainReturnsShortGroup) {
+  WriteBuffer wb(6);
+  wb.push(cached(1));
+  wb.push(cached(2));
+  auto rest = wb.drain();
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_EQ(wb.size(), 0u);
+  EXPECT_TRUE(wb.drain().empty());
+}
+
+TEST(WriteBufferTest, GroupSizeOneFlushesImmediately) {
+  WriteBuffer wb(1);
+  auto group = wb.push(cached(9));
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->size(), 1u);
+}
+
+TEST(WriteBufferTest, StatsCountBuffered) {
+  WriteBuffer wb(10);
+  for (QueryId q = 0; q < 5; ++q) wb.push(cached(q));
+  EXPECT_EQ(wb.stats().buffered, 5u);
+}
+
+}  // namespace
+}  // namespace ssdse
