@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_ftl.cpp" "bench/CMakeFiles/ablation_ftl.dir/ablation_ftl.cpp.o" "gcc" "bench/CMakeFiles/ablation_ftl.dir/ablation_ftl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hybrid/CMakeFiles/ssdse_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/ssdse_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ssdse_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ssdse_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ssdse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ssdse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ssdse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ssdse_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_policy.dir/ablation_l1_policy.cpp.o"
+  "CMakeFiles/ablation_l1_policy.dir/ablation_l1_policy.cpp.o.d"
+  "ablation_l1_policy"
+  "ablation_l1_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cluster.dir/ext_cluster.cpp.o"
+  "CMakeFiles/ext_cluster.dir/ext_cluster.cpp.o.d"
+  "ext_cluster"
+  "ext_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dynamic_ttl.dir/ext_dynamic_ttl.cpp.o"
+  "CMakeFiles/ext_dynamic_ttl.dir/ext_dynamic_ttl.cpp.o.d"
+  "ext_dynamic_ttl"
+  "ext_dynamic_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dynamic_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_three_level.dir/ext_three_level.cpp.o"
+  "CMakeFiles/ext_three_level.dir/ext_three_level.cpp.o.d"
+  "ext_three_level"
+  "ext_three_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_three_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

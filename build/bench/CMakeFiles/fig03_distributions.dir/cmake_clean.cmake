@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_distributions.dir/fig03_distributions.cpp.o"
+  "CMakeFiles/fig03_distributions.dir/fig03_distributions.cpp.o.d"
+  "fig03_distributions"
+  "fig03_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

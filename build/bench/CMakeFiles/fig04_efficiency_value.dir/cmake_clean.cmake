@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_efficiency_value.dir/fig04_efficiency_value.cpp.o"
+  "CMakeFiles/fig04_efficiency_value.dir/fig04_efficiency_value.cpp.o.d"
+  "fig04_efficiency_value"
+  "fig04_efficiency_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_efficiency_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_nocache.dir/fig15_nocache.cpp.o"
+  "CMakeFiles/fig15_nocache.dir/fig15_nocache.cpp.o.d"
+  "fig15_nocache"
+  "fig15_nocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_nocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

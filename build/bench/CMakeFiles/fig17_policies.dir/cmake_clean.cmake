@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_policies.dir/fig17_policies.cpp.o"
+  "CMakeFiles/fig17_policies.dir/fig17_policies.cpp.o.d"
+  "fig17_policies"
+  "fig17_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cost.dir/fig18_cost.cpp.o"
+  "CMakeFiles/fig18_cost.dir/fig18_cost.cpp.o.d"
+  "fig18_cost"
+  "fig18_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

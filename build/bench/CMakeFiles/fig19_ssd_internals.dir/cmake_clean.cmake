@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_ssd_internals.dir/fig19_ssd_internals.cpp.o"
+  "CMakeFiles/fig19_ssd_internals.dir/fig19_ssd_internals.cpp.o.d"
+  "fig19_ssd_internals"
+  "fig19_ssd_internals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_ssd_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

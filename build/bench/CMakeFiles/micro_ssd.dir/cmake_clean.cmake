@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ssd.dir/micro_ssd.cpp.o"
+  "CMakeFiles/micro_ssd.dir/micro_ssd.cpp.o.d"
+  "micro_ssd"
+  "micro_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

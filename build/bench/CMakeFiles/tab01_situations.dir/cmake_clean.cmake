@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_situations.dir/tab01_situations.cpp.o"
+  "CMakeFiles/tab01_situations.dir/tab01_situations.cpp.o.d"
+  "tab01_situations"
+  "tab01_situations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_situations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

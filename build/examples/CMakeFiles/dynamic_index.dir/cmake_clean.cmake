@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_index.dir/dynamic_index.cpp.o"
+  "CMakeFiles/dynamic_index.dir/dynamic_index.cpp.o.d"
+  "dynamic_index"
+  "dynamic_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_sim.dir/ssdse_sim.cpp.o"
+  "CMakeFiles/ssdse_sim.dir/ssdse_sim.cpp.o.d"
+  "ssdse_sim"
+  "ssdse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

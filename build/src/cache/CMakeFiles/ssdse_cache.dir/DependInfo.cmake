@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_manager.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/cache_manager.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/cache_manager.cpp.o.d"
+  "/root/repo/src/cache/intersection_cache.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/intersection_cache.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/intersection_cache.cpp.o.d"
+  "/root/repo/src/cache/lru_ssd_cache.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/lru_ssd_cache.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/lru_ssd_cache.cpp.o.d"
+  "/root/repo/src/cache/mem_list_cache.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/mem_list_cache.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/mem_list_cache.cpp.o.d"
+  "/root/repo/src/cache/mem_result_cache.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/mem_result_cache.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/mem_result_cache.cpp.o.d"
+  "/root/repo/src/cache/sieve_filter.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/sieve_filter.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/sieve_filter.cpp.o.d"
+  "/root/repo/src/cache/ssd_cache_file.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/ssd_cache_file.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/ssd_cache_file.cpp.o.d"
+  "/root/repo/src/cache/ssd_list_cache.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/ssd_list_cache.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/ssd_list_cache.cpp.o.d"
+  "/root/repo/src/cache/ssd_result_cache.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/ssd_result_cache.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/ssd_result_cache.cpp.o.d"
+  "/root/repo/src/cache/write_buffer.cpp" "src/cache/CMakeFiles/ssdse_cache.dir/write_buffer.cpp.o" "gcc" "src/cache/CMakeFiles/ssdse_cache.dir/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ssdse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ssdse_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ssdse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ssdse_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ssdse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ssdse_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_cache.dir/cache_manager.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/cache_manager.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/intersection_cache.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/intersection_cache.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/lru_ssd_cache.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/lru_ssd_cache.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/mem_list_cache.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/mem_list_cache.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/mem_result_cache.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/mem_result_cache.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/sieve_filter.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/sieve_filter.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/ssd_cache_file.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/ssd_cache_file.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/ssd_list_cache.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/ssd_list_cache.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/ssd_result_cache.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/ssd_result_cache.cpp.o.d"
+  "CMakeFiles/ssdse_cache.dir/write_buffer.cpp.o"
+  "CMakeFiles/ssdse_cache.dir/write_buffer.cpp.o.d"
+  "libssdse_cache.a"
+  "libssdse_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

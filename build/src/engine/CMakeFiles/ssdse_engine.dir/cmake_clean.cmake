@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_engine.dir/daat.cpp.o"
+  "CMakeFiles/ssdse_engine.dir/daat.cpp.o.d"
+  "CMakeFiles/ssdse_engine.dir/scorer.cpp.o"
+  "CMakeFiles/ssdse_engine.dir/scorer.cpp.o.d"
+  "libssdse_engine.a"
+  "libssdse_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

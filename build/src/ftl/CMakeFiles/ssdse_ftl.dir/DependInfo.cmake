@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/block_ftl.cpp" "src/ftl/CMakeFiles/ssdse_ftl.dir/block_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/ssdse_ftl.dir/block_ftl.cpp.o.d"
+  "/root/repo/src/ftl/bplru_ftl.cpp" "src/ftl/CMakeFiles/ssdse_ftl.dir/bplru_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/ssdse_ftl.dir/bplru_ftl.cpp.o.d"
+  "/root/repo/src/ftl/dftl.cpp" "src/ftl/CMakeFiles/ssdse_ftl.dir/dftl.cpp.o" "gcc" "src/ftl/CMakeFiles/ssdse_ftl.dir/dftl.cpp.o.d"
+  "/root/repo/src/ftl/ftl.cpp" "src/ftl/CMakeFiles/ssdse_ftl.dir/ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/ssdse_ftl.dir/ftl.cpp.o.d"
+  "/root/repo/src/ftl/hybrid_ftl.cpp" "src/ftl/CMakeFiles/ssdse_ftl.dir/hybrid_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/ssdse_ftl.dir/hybrid_ftl.cpp.o.d"
+  "/root/repo/src/ftl/page_ftl.cpp" "src/ftl/CMakeFiles/ssdse_ftl.dir/page_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/ssdse_ftl.dir/page_ftl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/ssdse_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdse_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

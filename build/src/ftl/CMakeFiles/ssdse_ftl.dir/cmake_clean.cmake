@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_ftl.dir/block_ftl.cpp.o"
+  "CMakeFiles/ssdse_ftl.dir/block_ftl.cpp.o.d"
+  "CMakeFiles/ssdse_ftl.dir/bplru_ftl.cpp.o"
+  "CMakeFiles/ssdse_ftl.dir/bplru_ftl.cpp.o.d"
+  "CMakeFiles/ssdse_ftl.dir/dftl.cpp.o"
+  "CMakeFiles/ssdse_ftl.dir/dftl.cpp.o.d"
+  "CMakeFiles/ssdse_ftl.dir/ftl.cpp.o"
+  "CMakeFiles/ssdse_ftl.dir/ftl.cpp.o.d"
+  "CMakeFiles/ssdse_ftl.dir/hybrid_ftl.cpp.o"
+  "CMakeFiles/ssdse_ftl.dir/hybrid_ftl.cpp.o.d"
+  "CMakeFiles/ssdse_ftl.dir/page_ftl.cpp.o"
+  "CMakeFiles/ssdse_ftl.dir/page_ftl.cpp.o.d"
+  "libssdse_ftl.a"
+  "libssdse_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

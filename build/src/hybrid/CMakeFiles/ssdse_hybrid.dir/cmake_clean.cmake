@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_hybrid.dir/cluster.cpp.o"
+  "CMakeFiles/ssdse_hybrid.dir/cluster.cpp.o.d"
+  "CMakeFiles/ssdse_hybrid.dir/cost_model.cpp.o"
+  "CMakeFiles/ssdse_hybrid.dir/cost_model.cpp.o.d"
+  "CMakeFiles/ssdse_hybrid.dir/load_model.cpp.o"
+  "CMakeFiles/ssdse_hybrid.dir/load_model.cpp.o.d"
+  "CMakeFiles/ssdse_hybrid.dir/metrics.cpp.o"
+  "CMakeFiles/ssdse_hybrid.dir/metrics.cpp.o.d"
+  "CMakeFiles/ssdse_hybrid.dir/search_system.cpp.o"
+  "CMakeFiles/ssdse_hybrid.dir/search_system.cpp.o.d"
+  "libssdse_hybrid.a"
+  "libssdse_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

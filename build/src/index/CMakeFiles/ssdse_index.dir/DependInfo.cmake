@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/codec.cpp" "src/index/CMakeFiles/ssdse_index.dir/codec.cpp.o" "gcc" "src/index/CMakeFiles/ssdse_index.dir/codec.cpp.o.d"
+  "/root/repo/src/index/corpus.cpp" "src/index/CMakeFiles/ssdse_index.dir/corpus.cpp.o" "gcc" "src/index/CMakeFiles/ssdse_index.dir/corpus.cpp.o.d"
+  "/root/repo/src/index/inverted_index.cpp" "src/index/CMakeFiles/ssdse_index.dir/inverted_index.cpp.o" "gcc" "src/index/CMakeFiles/ssdse_index.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/index/layout.cpp" "src/index/CMakeFiles/ssdse_index.dir/layout.cpp.o" "gcc" "src/index/CMakeFiles/ssdse_index.dir/layout.cpp.o.d"
+  "/root/repo/src/index/posting.cpp" "src/index/CMakeFiles/ssdse_index.dir/posting.cpp.o" "gcc" "src/index/CMakeFiles/ssdse_index.dir/posting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

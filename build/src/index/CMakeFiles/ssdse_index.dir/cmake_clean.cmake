@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_index.dir/codec.cpp.o"
+  "CMakeFiles/ssdse_index.dir/codec.cpp.o.d"
+  "CMakeFiles/ssdse_index.dir/corpus.cpp.o"
+  "CMakeFiles/ssdse_index.dir/corpus.cpp.o.d"
+  "CMakeFiles/ssdse_index.dir/inverted_index.cpp.o"
+  "CMakeFiles/ssdse_index.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/ssdse_index.dir/layout.cpp.o"
+  "CMakeFiles/ssdse_index.dir/layout.cpp.o.d"
+  "CMakeFiles/ssdse_index.dir/posting.cpp.o"
+  "CMakeFiles/ssdse_index.dir/posting.cpp.o.d"
+  "libssdse_index.a"
+  "libssdse_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

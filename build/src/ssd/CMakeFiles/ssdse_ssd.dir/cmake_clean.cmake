@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_ssd.dir/ssd.cpp.o"
+  "CMakeFiles/ssdse_ssd.dir/ssd.cpp.o.d"
+  "libssdse_ssd.a"
+  "libssdse_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/hdd.cpp" "src/storage/CMakeFiles/ssdse_storage.dir/hdd.cpp.o" "gcc" "src/storage/CMakeFiles/ssdse_storage.dir/hdd.cpp.o.d"
+  "/root/repo/src/storage/nand.cpp" "src/storage/CMakeFiles/ssdse_storage.dir/nand.cpp.o" "gcc" "src/storage/CMakeFiles/ssdse_storage.dir/nand.cpp.o.d"
+  "/root/repo/src/storage/ram.cpp" "src/storage/CMakeFiles/ssdse_storage.dir/ram.cpp.o" "gcc" "src/storage/CMakeFiles/ssdse_storage.dir/ram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssdse_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdse_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_storage.dir/hdd.cpp.o"
+  "CMakeFiles/ssdse_storage.dir/hdd.cpp.o.d"
+  "CMakeFiles/ssdse_storage.dir/nand.cpp.o"
+  "CMakeFiles/ssdse_storage.dir/nand.cpp.o.d"
+  "CMakeFiles/ssdse_storage.dir/ram.cpp.o"
+  "CMakeFiles/ssdse_storage.dir/ram.cpp.o.d"
+  "libssdse_storage.a"
+  "libssdse_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

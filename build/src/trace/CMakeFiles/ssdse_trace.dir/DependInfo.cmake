@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cpp" "src/trace/CMakeFiles/ssdse_trace.dir/analyzer.cpp.o" "gcc" "src/trace/CMakeFiles/ssdse_trace.dir/analyzer.cpp.o.d"
+  "/root/repo/src/trace/collector.cpp" "src/trace/CMakeFiles/ssdse_trace.dir/collector.cpp.o" "gcc" "src/trace/CMakeFiles/ssdse_trace.dir/collector.cpp.o.d"
+  "/root/repo/src/trace/replay.cpp" "src/trace/CMakeFiles/ssdse_trace.dir/replay.cpp.o" "gcc" "src/trace/CMakeFiles/ssdse_trace.dir/replay.cpp.o.d"
+  "/root/repo/src/trace/synth.cpp" "src/trace/CMakeFiles/ssdse_trace.dir/synth.cpp.o" "gcc" "src/trace/CMakeFiles/ssdse_trace.dir/synth.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/ssdse_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/ssdse_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

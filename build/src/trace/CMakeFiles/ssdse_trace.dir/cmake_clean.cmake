@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_trace.dir/analyzer.cpp.o"
+  "CMakeFiles/ssdse_trace.dir/analyzer.cpp.o.d"
+  "CMakeFiles/ssdse_trace.dir/collector.cpp.o"
+  "CMakeFiles/ssdse_trace.dir/collector.cpp.o.d"
+  "CMakeFiles/ssdse_trace.dir/replay.cpp.o"
+  "CMakeFiles/ssdse_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/ssdse_trace.dir/synth.cpp.o"
+  "CMakeFiles/ssdse_trace.dir/synth.cpp.o.d"
+  "CMakeFiles/ssdse_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/ssdse_trace.dir/trace_io.cpp.o.d"
+  "libssdse_trace.a"
+  "libssdse_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

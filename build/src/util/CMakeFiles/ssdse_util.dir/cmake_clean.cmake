@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_util.dir/bitmap.cpp.o"
+  "CMakeFiles/ssdse_util.dir/bitmap.cpp.o.d"
+  "CMakeFiles/ssdse_util.dir/config.cpp.o"
+  "CMakeFiles/ssdse_util.dir/config.cpp.o.d"
+  "CMakeFiles/ssdse_util.dir/rng.cpp.o"
+  "CMakeFiles/ssdse_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ssdse_util.dir/stats.cpp.o"
+  "CMakeFiles/ssdse_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ssdse_util.dir/table.cpp.o"
+  "CMakeFiles/ssdse_util.dir/table.cpp.o.d"
+  "CMakeFiles/ssdse_util.dir/zipf.cpp.o"
+  "CMakeFiles/ssdse_util.dir/zipf.cpp.o.d"
+  "libssdse_util.a"
+  "libssdse_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssdse_util.a"
+)

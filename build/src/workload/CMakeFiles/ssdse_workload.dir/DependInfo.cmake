@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/log_analysis.cpp" "src/workload/CMakeFiles/ssdse_workload.dir/log_analysis.cpp.o" "gcc" "src/workload/CMakeFiles/ssdse_workload.dir/log_analysis.cpp.o.d"
+  "/root/repo/src/workload/query_log.cpp" "src/workload/CMakeFiles/ssdse_workload.dir/query_log.cpp.o" "gcc" "src/workload/CMakeFiles/ssdse_workload.dir/query_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/ssdse_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ssdse_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdse_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

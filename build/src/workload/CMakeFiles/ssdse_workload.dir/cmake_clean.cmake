@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdse_workload.dir/log_analysis.cpp.o"
+  "CMakeFiles/ssdse_workload.dir/log_analysis.cpp.o.d"
+  "CMakeFiles/ssdse_workload.dir/query_log.cpp.o"
+  "CMakeFiles/ssdse_workload.dir/query_log.cpp.o.d"
+  "libssdse_workload.a"
+  "libssdse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_test.dir/arc_test.cpp.o"
+  "CMakeFiles/arc_test.dir/arc_test.cpp.o.d"
+  "arc_test"
+  "arc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

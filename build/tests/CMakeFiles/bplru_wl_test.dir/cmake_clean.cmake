@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bplru_wl_test.dir/bplru_wl_test.cpp.o"
+  "CMakeFiles/bplru_wl_test.dir/bplru_wl_test.cpp.o.d"
+  "bplru_wl_test"
+  "bplru_wl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bplru_wl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daat_test.dir/daat_test.cpp.o"
+  "CMakeFiles/daat_test.dir/daat_test.cpp.o.d"
+  "daat_test"
+  "daat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

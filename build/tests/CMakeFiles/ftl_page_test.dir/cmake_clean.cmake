@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_page_test.dir/ftl_page_test.cpp.o"
+  "CMakeFiles/ftl_page_test.dir/ftl_page_test.cpp.o.d"
+  "ftl_page_test"
+  "ftl_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

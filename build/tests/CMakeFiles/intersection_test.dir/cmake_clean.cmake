@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_test.dir/intersection_test.cpp.o"
+  "CMakeFiles/intersection_test.dir/intersection_test.cpp.o.d"
+  "intersection_test"
+  "intersection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

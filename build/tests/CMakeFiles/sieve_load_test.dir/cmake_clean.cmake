@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sieve_load_test.dir/sieve_load_test.cpp.o"
+  "CMakeFiles/sieve_load_test.dir/sieve_load_test.cpp.o.d"
+  "sieve_load_test"
+  "sieve_load_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sieve_load_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_cache_file_test.dir/ssd_cache_file_test.cpp.o"
+  "CMakeFiles/ssd_cache_file_test.dir/ssd_cache_file_test.cpp.o.d"
+  "ssd_cache_file_test"
+  "ssd_cache_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_cache_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_result_cache_test.dir/ssd_result_cache_test.cpp.o"
+  "CMakeFiles/ssd_result_cache_test.dir/ssd_result_cache_test.cpp.o.d"
+  "ssd_result_cache_test"
+  "ssd_result_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_result_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttl_test.dir/ttl_test.cpp.o"
+  "CMakeFiles/ttl_test.dir/ttl_test.cpp.o.d"
+  "ttl_test"
+  "ttl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_buffer_test.dir/write_buffer_test.cpp.o"
+  "CMakeFiles/write_buffer_test.dir/write_buffer_test.cpp.o.d"
+  "write_buffer_test"
+  "write_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
