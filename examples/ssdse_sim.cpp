@@ -22,6 +22,9 @@
 //   wear_leveling (false)
 //   training (10000)         log-analysis prefix (TEV / CBSLRU preload)
 //   seed (7)                 query-stream seed
+//   recovery_dir ("")        persist SSD cache metadata here; a re-run
+//                            against the same dir warm-restarts
+//   snapshot_every (0)       auto-checkpoint period in queries
 #include <cstdio>
 #include <stdexcept>
 
@@ -57,12 +60,29 @@ SystemConfig system_config(const Config& cfg) {
   sys.training_queries =
       static_cast<std::uint64_t>(cfg.get_int("training", 10'000));
   sys.log.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+  sys.recovery.dir = cfg.get_string("recovery_dir", "");
+  sys.recovery.enabled = !sys.recovery.dir.empty();
+  sys.recovery.snapshot_every =
+      static_cast<std::uint64_t>(cfg.get_int("snapshot_every", 0));
   return sys;
 }
 
 void report_system(SearchSystem& system) {
   const auto& m = system.metrics();
   const auto& cs = system.cache_manager().stats();
+  if (const auto* rs = system.recovery_stats()) {
+    std::printf("recovery: %s start (%llu result + %llu list entries "
+                "recovered, %.2f ms",
+                system.warm_started() ? "warm" : "cold",
+                static_cast<unsigned long long>(rs->result_entries_recovered),
+                static_cast<unsigned long long>(rs->list_entries_recovered),
+                rs->recovery_wall_ms);
+    if (rs->journal_torn_bytes > 0) {
+      std::printf("; journal torn tail of %llu bytes truncated",
+                  static_cast<unsigned long long>(rs->journal_torn_bytes));
+    }
+    std::printf(")\n\n");
+  }
   Table t({"metric", "value"});
   t.add_row({"queries", Table::integer(static_cast<long long>(m.queries()))});
   t.add_row({"mean response (ms)",
@@ -151,6 +171,7 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(queries));
       system.run(queries);
       system.drain();
+      system.checkpoint();  // clean-shutdown snapshot (no-op if disabled)
       report_system(system);
     }
   } catch (const std::exception& e) {

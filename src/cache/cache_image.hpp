@@ -1,0 +1,76 @@
+// Persistence images of the SSD cache metadata (src/recovery).
+//
+// The SSD keeps its data across a restart; what dies with the process
+// is the DRAM metadata — the result map, the RB map with its per-slot
+// validity flags, the list map, and the CBLRU recency order. These
+// plain structs are the serializable mirror of that metadata: the
+// snapshot persists a whole CacheImage, the journal persists one image
+// fragment per mutation (RB flush / list install / invalidation), and
+// warm restart rebuilds the caches from a recovered image.
+//
+// Result payloads (the scored docs) ride along so a recovered entry is
+// bit-identical to the one that was cached — the crash-consistency test
+// sweeps recovered entries against an always-up run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/engine/result.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+/// One slot of a result block. `state` mirrors RbInfo::slot_state:
+/// 0 valid, 1 memory-resident (replaceable), 2 invalid.
+struct RbSlotImage {
+  QueryId qid = 0;
+  std::uint64_t freq = 0;
+  std::uint64_t born = 0;
+  std::uint8_t state = 0;
+  std::vector<ScoredDoc> docs;
+};
+
+/// One result block: its cache-file block id plus its slots.
+struct RbImage {
+  std::uint32_t cb = 0;
+  std::vector<RbSlotImage> slots;
+};
+
+/// One SSD list-cache entry (dynamic or static partition).
+struct ListEntryImage {
+  TermId term = 0;
+  std::vector<std::uint32_t> blocks;  // cache-file block ids, in order
+  Bytes cached_bytes = 0;
+  std::uint64_t freq = 0;
+  std::uint32_t sc_blocks = 0;
+  std::uint64_t born = 0;
+  bool replaceable = false;
+};
+
+/// Full metadata image of both SSD caches at one instant.
+struct CacheImage {
+  std::uint64_t logical_now = 0;            // TTL clock (queries)
+  std::vector<RbImage> rbs;                 // dynamic RBs, MRU-first
+  std::vector<RbImage> static_rbs;          // CBSLRU pinned RBs, in order
+  std::vector<ListEntryImage> lists;        // dynamic entries, MRU-first
+  std::vector<ListEntryImage> static_lists; // CBSLRU pinned lists
+};
+
+/// Journal sink: the SSD caches report each durable mutation *before*
+/// touching flash (write-ahead — the record carries the payload, so a
+/// crash mid-flash-write still recovers the entry from the journal).
+/// Slot-state drift from lookups (replaceable marks, frequency bumps)
+/// is deliberately not journaled: losing it only costs a redundant
+/// rewrite after recovery, never correctness.
+class CacheJournalSink {
+ public:
+  virtual ~CacheJournalSink() = default;
+
+  virtual void on_rb_flush(const RbImage& rb) = 0;
+  virtual void on_result_invalidate(QueryId qid) = 0;
+  virtual void on_list_install(const ListEntryImage& entry) = 0;
+  virtual void on_list_erase(TermId term) = 0;
+};
+
+}  // namespace ssdse

@@ -392,4 +392,28 @@ void CacheManager::drain() {
   if (!rest.empty()) flush_group(std::move(rest));
 }
 
+void CacheManager::set_journal_sink(CacheJournalSink* sink) {
+  if (!supports_persistence()) return;
+  ssd_rc_->set_journal(sink);
+  ssd_lc_->set_journal(sink);
+}
+
+CacheImage CacheManager::export_image() const {
+  CacheImage image;
+  image.logical_now = now_;
+  if (!supports_persistence()) return image;
+  ssd_rc_->export_image(image.rbs, image.static_rbs);
+  ssd_lc_->export_image(image.lists, image.static_lists);
+  return image;
+}
+
+Micros CacheManager::restore_image(const CacheImage& image) {
+  if (!supports_persistence()) return 0;
+  now_ = image.logical_now;
+  Micros t = 0;
+  t += ssd_rc_->restore_image(image.rbs, image.static_rbs);
+  t += ssd_lc_->restore_image(image.lists, image.static_lists);
+  return t;
+}
+
 }  // namespace ssdse

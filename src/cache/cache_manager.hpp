@@ -103,6 +103,19 @@ class CacheManager {
   /// Flush the write buffer (barrier; e.g. end of experiment).
   void drain();
 
+  // Persistence & warm restart (src/recovery). Only the cost-based L2
+  // machinery persists: the LRU baseline's entry-granular SSD writes
+  // have no aligned-record invariant to journal against.
+  bool supports_persistence() const { return cfg_.l2 && cost_based(); }
+  /// Register the journal sink on both SSD caches (null to detach).
+  void set_journal_sink(CacheJournalSink* sink);
+  /// Snapshot the full SSD cache metadata (both caches + TTL clock).
+  CacheImage export_image() const;
+  /// Warm restart: rebuild both SSD caches and the cache-file block
+  /// states from a recovered image. Must be called before any traffic.
+  /// Returns the adoption flash time (recovery work, not query time).
+  Micros restore_image(const CacheImage& image);
+
   /// Advance the logical clock (one tick per query). Only needed when
   /// cfg.ttl_queries > 0 (the dynamic scenario of paper §IV.B).
   void advance_time() { ++now_; }

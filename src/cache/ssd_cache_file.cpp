@@ -1,6 +1,9 @@
 #include "src/cache/ssd_cache_file.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "src/util/crash_point.hpp"
 
 namespace ssdse {
 
@@ -40,6 +43,7 @@ Micros SsdCacheFile::write(std::uint32_t cb, std::uint32_t pages) {
   if (pages == 0 || pages > ppb_) {
     throw std::invalid_argument("SsdCacheFile::write: bad page count");
   }
+  SSDSE_CRASH_POINT("ssd_cache_file.write");
   if (states_[cb] == CbState::kReplaceable) --replaceable_;
   states_[cb] = CbState::kNormal;
   return ssd_.write_pages(first_page(cb), pages);
@@ -72,6 +76,26 @@ void SsdCacheFile::mark_normal(std::uint32_t cb) {
   }
   if (states_[cb] == CbState::kReplaceable) --replaceable_;
   states_[cb] = CbState::kNormal;
+}
+
+Micros SsdCacheFile::adopt(std::uint32_t cb, CbState state) {
+  check_block(cb);
+  if (state == CbState::kFree) {
+    throw std::invalid_argument("SsdCacheFile::adopt: adopting as free");
+  }
+  if (states_[cb] != CbState::kFree) {
+    throw std::logic_error("SsdCacheFile::adopt: block already in use");
+  }
+  auto it = std::find(free_.begin(), free_.end(), cb);
+  if (it == free_.end()) {
+    throw std::logic_error("SsdCacheFile::adopt: block missing from pool");
+  }
+  free_.erase(it);
+  states_[cb] = state;
+  if (state == CbState::kReplaceable) ++replaceable_;
+  // Re-seed the fresh FTL's mapping so later reads of this block are
+  // charged real flash reads (the data itself survived on NAND).
+  return ssd_.write_pages(first_page(cb), ppb_);
 }
 
 Micros SsdCacheFile::trim(std::uint32_t cb) {

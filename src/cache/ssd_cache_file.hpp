@@ -63,6 +63,13 @@ class SsdCacheFile {
   /// Delete cold data: TRIM the block and return it to the free pool.
   Micros trim(std::uint32_t cb);
 
+  /// Warm-restart adoption (src/recovery): claim a free block whose
+  /// content survived the restart on flash. Removes it from the free
+  /// pool, sets its state, and re-seeds the (fresh) FTL mapping for its
+  /// pages. The returned flash time is recovery work, not query
+  /// traffic — the caller accounts it separately.
+  Micros adopt(std::uint32_t cb, CbState state);
+
  private:
   Lpn first_page(std::uint32_t cb) const {
     return base_ + static_cast<Lpn>(cb) * ppb_;

@@ -153,9 +153,11 @@ Micros SsdListCache::erase(TermId term) {
   if (auto sit = static_map_.find(term); sit != static_map_.end()) {
     // Stale pinned copy: drop the mapping; pinned blocks stay allocated.
     static_map_.erase(sit);
+    if (journal_) journal_->on_list_erase(term);
     return t;
   }
   if (!map_.contains(term)) return t;
+  if (journal_) journal_->on_list_erase(term);
   std::vector<std::uint32_t> pool;
   evict_entry(term, pool);
   for (std::uint32_t cb : pool) t += file_.trim(cb);
@@ -205,6 +207,13 @@ Micros SsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
   e.ev = formula_ev(freq, needed);
   e.replaceable = false;
   e.born = born;
+  // Write-ahead journaling: the install record must be durable before
+  // the overwrite destroys the victims' data on flash.
+  if (journal_) {
+    journal_->on_list_install(ListEntryImage{term, e.blocks, bytes, freq,
+                                             needed, born,
+                                             /*replaceable=*/false});
+  }
   t += write_entry_pages(e);
   // Excess blocks from oversized victims: cold-data deletion via TRIM.
   for (std::size_t i = needed; i < pool.size(); ++i) {
@@ -212,6 +221,54 @@ Micros SsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
   }
   map_.insert(term, std::move(e));
   ++stats_.inserts;
+  return t;
+}
+
+void SsdListCache::export_image(
+    std::vector<ListEntryImage>& out,
+    std::vector<ListEntryImage>& static_out) const {
+  for (const auto& [term, e] : map_) {  // MRU-first
+    out.push_back(ListEntryImage{term, e.blocks, e.cached_bytes, e.freq,
+                                 e.sc_blocks, e.born, e.replaceable});
+  }
+  for (const auto& [term, e] : static_map_) {
+    static_out.push_back(ListEntryImage{term, e.blocks, e.cached_bytes,
+                                        e.freq, e.sc_blocks, e.born,
+                                        /*replaceable=*/false});
+  }
+}
+
+Micros SsdListCache::restore_image(
+    const std::vector<ListEntryImage>& entries,
+    const std::vector<ListEntryImage>& static_entries) {
+  Micros t = 0;
+  auto rebuild = [](const ListEntryImage& image) {
+    SsdListEntry e;
+    e.blocks = image.blocks;
+    e.cached_bytes = image.cached_bytes;
+    e.freq = image.freq;
+    e.sc_blocks = image.sc_blocks;
+    e.ev = formula_ev(image.freq, std::max(image.sc_blocks, 1u));
+    // The L1 copy died with the process, so the SSD copy is current
+    // again — replaceable marks are not carried across a restart.
+    e.replaceable = false;
+    e.born = image.born;
+    return e;
+  };
+  for (const ListEntryImage& image : static_entries) {
+    for (std::uint32_t cb : image.blocks) {
+      t += file_.adopt(cb, CbState::kNormal);
+    }
+    static_map_.emplace(image.term, rebuild(image));
+  }
+  // Insert LRU-first so the final LruMap order matches the image's
+  // MRU-first order.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    for (std::uint32_t cb : it->blocks) {
+      t += file_.adopt(cb, CbState::kNormal);
+    }
+    map_.insert(it->term, rebuild(*it));
+  }
   return t;
 }
 

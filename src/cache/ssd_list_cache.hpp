@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cache/cache_image.hpp"
 #include "src/cache/policy.hpp"
 #include "src/cache/ssd_cache_file.hpp"
 #include "src/util/lru_map.hpp"
@@ -65,6 +66,21 @@ class SsdListCache {
   Micros preload_static(
       std::span<const std::tuple<TermId, Bytes, std::uint64_t>> entries);
 
+  /// Persistence (src/recovery): durable mutations (installs, erases)
+  /// are reported here write-ahead. May be null.
+  void set_journal(CacheJournalSink* sink) { journal_ = sink; }
+
+  /// Serialize the list map (block ids, prefix sizes, EV state, recency
+  /// order) into `out` for a snapshot.
+  void export_image(std::vector<ListEntryImage>& out,
+                    std::vector<ListEntryImage>& static_out) const;
+
+  /// Warm restart: rebuild the map from a recovered image on a freshly
+  /// constructed cache; adopts the image's blocks in the cache file.
+  /// Returns the adoption (recovery) flash time.
+  Micros restore_image(const std::vector<ListEntryImage>& entries,
+                       const std::vector<ListEntryImage>& static_entries);
+
   bool contains(TermId term) const {
     return map_.contains(term) || static_map_.count(term) != 0;
   }
@@ -91,6 +107,7 @@ class SsdListCache {
 
   SsdCacheFile& file_;
   std::uint32_t window_;
+  CacheJournalSink* journal_ = nullptr;
   LruMap<TermId, SsdListEntry> map_;
   std::unordered_map<TermId, SsdListEntry> static_map_;
   SsdListCacheStats stats_;

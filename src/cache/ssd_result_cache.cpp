@@ -63,10 +63,12 @@ bool SsdResultCache::invalidate(QueryId qid) {
     // Stale pinned copy: the slot's flash space stays pinned (static
     // blocks are never reclaimed) but the entry is no longer served.
     static_map_.erase(sit);
+    if (journal_) journal_->on_result_invalidate(qid);
     return true;
   }
   auto it = map_.find(qid);
   if (it == map_.end()) return false;
+  if (journal_) journal_->on_result_invalidate(qid);
   const Loc loc = it->second;
   if (RbInfo* rb = rbs_.peek(loc.rb)) {
     if (rb->slot_state[loc.slot] != 2) {
@@ -154,6 +156,18 @@ Micros SsdResultCache::insert_rb(std::span<CachedResult> entries) {
   rb.entries.assign(entries.begin(), entries.end());
   rb.slot_state.assign(rb.entries.size(), 0);
   rb.iren = 0;
+  // Write-ahead journaling: the record (payload included) must be
+  // durable before the flash overwrite destroys the victim RB's data.
+  if (journal_) {
+    RbImage image;
+    image.cb = *cb;
+    image.slots.reserve(rb.entries.size());
+    for (const CachedResult& e : rb.entries) {
+      image.slots.push_back(RbSlotImage{e.entry.query, e.freq, e.born,
+                                        /*state=*/0, e.entry.docs});
+    }
+    journal_->on_rb_flush(image);
+  }
   const auto npages =
       static_cast<std::uint32_t>(rb.entries.size()) * pages_per_slot();
   const Micros t = file_.write(*cb, npages);
@@ -164,6 +178,87 @@ Micros SsdResultCache::insert_rb(std::span<CachedResult> entries) {
   rbs_.insert(*cb, std::move(rb));
   ++stats_.rb_writes;
   stats_.entries_written += entries.size();
+  return t;
+}
+
+void SsdResultCache::export_image(std::vector<RbImage>& out,
+                                  std::vector<RbImage>& static_out) const {
+  // Dynamic RBs, MRU-first — the LruMap order is the log order CBLRU
+  // victimization depends on, so the snapshot preserves it exactly.
+  for (const auto& [cb, rb] : rbs_) {
+    RbImage image;
+    image.cb = cb;
+    image.slots.reserve(rb.entries.size());
+    for (std::size_t s = 0; s < rb.entries.size(); ++s) {
+      const CachedResult& e = rb.entries[s];
+      image.slots.push_back(RbSlotImage{e.entry.query, e.freq, e.born,
+                                        rb.slot_state[s], e.entry.docs});
+    }
+    out.push_back(std::move(image));
+  }
+  for (std::size_t r = 0; r < static_rbs_.size(); ++r) {
+    const RbInfo& rb = static_rbs_[r];
+    RbImage image;
+    image.cb = static_blocks_[r];
+    image.slots.reserve(rb.entries.size());
+    for (std::size_t s = 0; s < rb.entries.size(); ++s) {
+      const CachedResult& e = rb.entries[s];
+      // A pinned slot is stale once invalidate() dropped its mapping.
+      auto sit = static_map_.find(e.entry.query);
+      const bool live = sit != static_map_.end() &&
+                        sit->second.rb == r &&
+                        sit->second.slot == static_cast<std::uint32_t>(s);
+      image.slots.push_back(RbSlotImage{e.entry.query, e.freq, e.born,
+                                        static_cast<std::uint8_t>(live ? 0
+                                                                       : 2),
+                                        e.entry.docs});
+    }
+    static_out.push_back(std::move(image));
+  }
+}
+
+Micros SsdResultCache::restore_image(
+    const std::vector<RbImage>& rbs, const std::vector<RbImage>& static_rbs) {
+  Micros t = 0;
+  for (const RbImage& image : static_rbs) {
+    t += file_.adopt(image.cb, CbState::kNormal);
+    RbInfo rb;
+    rb.slot_state.assign(image.slots.size(), 0);
+    const auto rb_index = static_cast<std::uint32_t>(static_rbs_.size());
+    for (std::uint32_t s = 0; s < image.slots.size(); ++s) {
+      const RbSlotImage& slot = image.slots[s];
+      rb.entries.push_back(CachedResult{
+          ResultEntry{slot.qid, slot.docs}, slot.freq, slot.born});
+      if (slot.state != 2) {
+        static_map_[slot.qid] = Loc{rb_index, s, /*is_static=*/true};
+      }
+    }
+    static_rbs_.push_back(std::move(rb));
+    static_blocks_.push_back(image.cb);
+  }
+  // Insert LRU-first so the final LruMap order matches the image's
+  // MRU-first order.
+  for (auto it = rbs.rbegin(); it != rbs.rend(); ++it) {
+    const RbImage& image = *it;
+    RbInfo rb;
+    for (std::uint32_t s = 0; s < image.slots.size(); ++s) {
+      const RbSlotImage& slot = image.slots[s];
+      rb.entries.push_back(CachedResult{
+          ResultEntry{slot.qid, slot.docs}, slot.freq, slot.born});
+      // Memory-resident slots degrade to valid: the L1 copy died with
+      // the process, so the SSD copy is the only one again.
+      const std::uint8_t state = slot.state == 2 ? 2 : 0;
+      rb.slot_state.push_back(state);
+      if (state == 2) {
+        ++rb.iren;
+      } else {
+        map_[slot.qid] = Loc{image.cb, s, /*is_static=*/false};
+      }
+    }
+    t += file_.adopt(image.cb, rb.iren > 0 ? CbState::kReplaceable
+                                           : CbState::kNormal);
+    rbs_.insert(image.cb, std::move(rb));
+  }
   return t;
 }
 

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/cache/cache_image.hpp"
 #include "src/cache/mem_result_cache.hpp"
 #include "src/cache/policy.hpp"
 #include "src/cache/ssd_cache_file.hpp"
@@ -64,6 +65,21 @@ class SsdResultCache {
   /// any dynamic traffic. Returns flash write time.
   Micros preload_static(std::span<CachedResult> entries);
 
+  /// Persistence (src/recovery): durable mutations (RB flushes,
+  /// invalidations) are reported here write-ahead. May be null.
+  void set_journal(CacheJournalSink* sink) { journal_ = sink; }
+
+  /// Serialize the full metadata state (RB map, result map, validity
+  /// flags, recency order) into `out` for a snapshot.
+  void export_image(std::vector<RbImage>& out,
+                    std::vector<RbImage>& static_out) const;
+
+  /// Warm restart: rebuild the maps from a recovered image. Must be
+  /// called on a freshly constructed cache; adopts the image's blocks
+  /// in the cache file. Returns the adoption (recovery) flash time.
+  Micros restore_image(const std::vector<RbImage>& rbs,
+                       const std::vector<RbImage>& static_rbs);
+
   bool contains(QueryId qid) const {
     return map_.count(qid) != 0 || static_map_.count(qid) != 0;
   }
@@ -98,6 +114,7 @@ class SsdResultCache {
   SsdCacheFile& file_;
   std::uint32_t window_;
   std::uint32_t slots_per_rb_;
+  CacheJournalSink* journal_ = nullptr;
   LruMap<std::uint32_t, RbInfo> rbs_;           // key: cache block id
   std::unordered_map<QueryId, Loc> map_;        // dynamic entries
   std::unordered_map<QueryId, Loc> static_map_; // pinned entries

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/crash_point.hpp"
+
 namespace ssdse {
 
 WriteBuffer::WriteBuffer(std::uint32_t group_size)
@@ -23,6 +25,7 @@ std::optional<std::vector<CachedResult>> WriteBuffer::push(
   pending_.push_back(std::move(entry));
   ++stats_.buffered;
   if (pending_.size() < group_size_) return std::nullopt;
+  SSDSE_CRASH_POINT("write_buffer.group_ready");
   std::vector<CachedResult> group;
   group.swap(pending_);
   ++stats_.flush_groups;
@@ -53,6 +56,7 @@ bool WriteBuffer::cancel(QueryId qid) {
 }
 
 std::vector<CachedResult> WriteBuffer::drain() {
+  SSDSE_CRASH_POINT("write_buffer.drain");
   std::vector<CachedResult> out;
   out.swap(pending_);
   if (!out.empty()) ++stats_.flush_groups;

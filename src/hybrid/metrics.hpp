@@ -34,6 +34,33 @@ const char* to_string(Situation s);
 Situation classify_situation(bool result_hit, Tier result_tier,
                              bool used_memory, bool used_ssd, bool used_hdd);
 
+/// Warm-restart accounting (src/recovery): the Fig. 15/16-style cold
+/// cliff comparison. `steady` is the pre-restart steady-state combined
+/// hit ratio; `warm`/`cold` measure the same early window (first N
+/// queries) after a recovered vs. fresh start.
+struct WarmRestartReport {
+  std::uint64_t window_queries = 0;
+  double steady_hit_ratio = 0;
+  double warm_hit_ratio = 0;
+  double cold_hit_ratio = 0;
+  Micros warm_mean_response = 0;
+  Micros cold_mean_response = 0;
+  /// Simulated flash time the restore spent re-adopting blocks.
+  Micros recovery_flash_time = 0;
+  /// Host wall-clock of snapshot parse + journal replay.
+  double recovery_wall_ms = 0;
+
+  /// How far the recovered system's early window sits below the
+  /// pre-restart steady state (the acceptance bar is <= 0.05).
+  double warm_vs_steady_gap() const {
+    return steady_hit_ratio - warm_hit_ratio;
+  }
+  /// How much of the cold-start cliff the warm restart recovered.
+  double warm_vs_cold_gain() const {
+    return warm_hit_ratio - cold_hit_ratio;
+  }
+};
+
 class RunMetrics {
  public:
   void record(Situation s, Micros response);

@@ -102,11 +102,40 @@ void SearchSystem::build(IndexView* external_index) {
   cm_ = std::make_unique<CacheManager>(cc, cache_ssd_.get(), index_store(),
                                        *ram_, *index_);
 
-  if (cfg_.use_cache && cc.policy == CachePolicy::kCbslru && analysis_) {
+  // Warm restart (src/recovery): rebuild the SSD caches from the last
+  // good snapshot + journal tail instead of starting cold.
+  if (cfg_.recovery.enabled && cm_->supports_persistence()) {
+    persistence_ = std::make_unique<recovery::PersistenceManager>(
+        cfg_.recovery.dir, recovery::cache_config_fingerprint(cc));
+    if (auto image = persistence_->recover()) {
+      const Micros restore_time = cm_->restore_image(*image);
+      persistence_->note_restore_flash_time(restore_time);
+      // Block adoption re-seeds the fresh FTL; that is recovery work
+      // (data already resident), not run traffic.
+      cache_ssd_->reset_stats();
+      warm_started_ = true;
+    }
+  }
+
+  if (!warm_started_ && cfg_.use_cache &&
+      cc.policy == CachePolicy::kCbslru && analysis_) {
     cm_->preload_static(*analysis_, [this](QueryId qid) {
       return scorer_.score(*index_, gen_->query_for_rank(qid)).result;
     });
   }
+
+  if (persistence_) {
+    // Fold the starting state (static preload or recovered image) into
+    // a fresh snapshot, then journal from there.
+    persistence_->checkpoint(cm_->export_image());
+    cm_->set_journal_sink(persistence_.get());
+  }
+}
+
+bool SearchSystem::checkpoint() {
+  if (!persistence_) return false;
+  queries_since_checkpoint_ = 0;
+  return persistence_->checkpoint(cm_->export_image());
 }
 
 void SearchSystem::format_index_ssd() {
@@ -134,6 +163,7 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
     metrics_.record(out.situation, t);
     // A result hit covers the query's whole implied data demand.
     metrics_.record_coverage(implied, implied);
+    maybe_checkpoint();
     return out;
   }
 
@@ -181,6 +211,7 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
       classify_situation(false, rtier, used_mem, used_ssd, used_hdd);
   out.result = std::move(scored.result);
   metrics_.record(out.situation, t);
+  maybe_checkpoint();
   return out;
 }
 
@@ -188,6 +219,12 @@ void SearchSystem::run(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) {
     execute(gen_->next());
   }
+}
+
+void SearchSystem::maybe_checkpoint() {
+  if (!persistence_ || cfg_.recovery.snapshot_every == 0) return;
+  if (++queries_since_checkpoint_ < cfg_.recovery.snapshot_every) return;
+  checkpoint();
 }
 
 }  // namespace ssdse

@@ -10,6 +10,7 @@
 #include "src/hybrid/metrics.hpp"
 #include "src/hybrid/system_config.hpp"
 #include "src/index/inverted_index.hpp"
+#include "src/recovery/recovery_manager.hpp"
 #include "src/workload/query_log.hpp"
 
 namespace ssdse {
@@ -60,8 +61,20 @@ class SearchSystem {
   /// Flush the write buffer and settle background state (end of run).
   void drain() { cm_->drain(); }
 
+  /// Persistence (src/recovery): snapshot the SSD cache metadata now
+  /// and reset the journal. No-op (false) when recovery is disabled.
+  bool checkpoint();
+  /// Whether this system came up warm from recovered metadata.
+  bool warm_started() const { return warm_started_; }
+  /// Recovery accounting; null when recovery is disabled.
+  const recovery::RecoveryStats* recovery_stats() const {
+    return persistence_ ? &persistence_->stats() : nullptr;
+  }
+
  private:
   void build(IndexView* external_index);
+  /// Periodic snapshot per cfg.recovery.snapshot_every.
+  void maybe_checkpoint();
   /// Pre-write every index page on the index SSD so later reads are
   /// charged real flash reads (one-time setup, excluded from metrics).
   void format_index_ssd();
@@ -81,6 +94,10 @@ class SearchSystem {
   std::unique_ptr<QueryLogGenerator> gen_;
   std::optional<LogAnalysis> analysis_;
   std::unique_ptr<CacheManager> cm_;
+
+  std::unique_ptr<recovery::PersistenceManager> persistence_;
+  bool warm_started_ = false;
+  std::uint64_t queries_since_checkpoint_ = 0;
 
   RunMetrics metrics_;
 };

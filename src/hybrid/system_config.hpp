@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "src/cache/policy.hpp"
 #include "src/engine/scorer.hpp"
@@ -13,6 +14,18 @@
 #include "src/workload/query_log.hpp"
 
 namespace ssdse {
+
+/// Crash-safe persistence of the SSD cache metadata (src/recovery).
+/// When enabled, the L2 maps are checkpointed to `dir` and journaled
+/// between checkpoints; constructing a SearchSystem against a dir with
+/// valid recovery files performs a warm restart instead of a cold one.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Sidecar metadata directory (snapshot.ssdse + journal.ssdse).
+  std::string dir;
+  /// Auto-checkpoint period in queries; 0 = only explicit checkpoint().
+  std::uint64_t snapshot_every = 0;
+};
 
 struct SystemConfig {
   CorpusConfig corpus;
@@ -29,6 +42,8 @@ struct SystemConfig {
   bool use_cache = true;
   /// Store index files on SSD instead of HDD (Figs. 15, 16a, 18a).
   bool index_on_ssd = false;
+  /// Warm-restart persistence of the SSD cache metadata.
+  RecoveryConfig recovery;
   /// Training prefix replayed for log analysis (TEV + CBSLRU preload).
   std::uint64_t training_queries = 20'000;
 

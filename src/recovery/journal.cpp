@@ -1,0 +1,78 @@
+#include "src/recovery/journal.hpp"
+
+#include <filesystem>
+
+#include "src/util/crash_point.hpp"
+
+namespace ssdse::recovery {
+
+JournalWriter::JournalWriter(std::string path) : path_(std::move(path)) {
+  // "a" creates if missing and appends otherwise; the existing tail was
+  // validated (and truncated if torn) by recovery before we get here.
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_) {
+    std::fseek(file_, 0, SEEK_END);
+    const long at = std::ftell(file_);
+    offset_ = at < 0 ? 0 : static_cast<Bytes>(at);
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_) std::fclose(file_);
+}
+
+void JournalWriter::append(RecordType type,
+                           const std::vector<std::uint8_t>& payload) {
+  if (!file_) return;
+  std::vector<std::uint8_t> frame;
+  encode_frame(type, payload, frame);
+  auto& injector = CrashInjector::instance();
+  if (const auto torn = injector.tear_at(offset_, frame.size())) {
+    // Power loss mid-append: persist only the prefix, then die.
+    std::fwrite(frame.data(), 1, static_cast<std::size_t>(*torn), file_);
+    std::fflush(file_);
+    offset_ += *torn;
+    injector.crash_now("journal.append");
+  }
+  std::fwrite(frame.data(), 1, frame.size(), file_);
+  std::fflush(file_);
+  offset_ += frame.size();
+}
+
+void JournalWriter::reset() {
+  if (file_) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "wb");
+  offset_ = 0;
+}
+
+JournalScan read_journal(const std::string& path) {
+  JournalScan scan;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return scan;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(size < 0 ? 0
+                                           : static_cast<std::size_t>(size));
+  const bool ok = std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) return scan;
+
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    auto frame = decode_frame(bytes.data(), bytes.size(), offset);
+    if (!frame) break;  // torn tail: stop at the last consistent prefix
+    scan.records.push_back(std::move(*frame));
+  }
+  scan.valid_bytes = offset;
+  scan.torn_bytes = bytes.size() - offset;
+  return scan;
+}
+
+bool truncate_journal(const std::string& path, Bytes valid_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, valid_bytes, ec);
+  return !ec;
+}
+
+}  // namespace ssdse::recovery

@@ -1,0 +1,61 @@
+// Append-only metadata journal: one CRC-framed record per durable SSD
+// cache mutation (RB flush / list install / invalidation) between
+// snapshots. Recovery = last good snapshot + replay of the journal's
+// longest consistent prefix; anything after the first torn or corrupt
+// frame is truncated, never interpreted.
+//
+// The journal writer cooperates with the crash injector: an armed byte
+// offset inside an append persists exactly the bytes before it and then
+// throws CrashException — simulating power loss mid-write.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/recovery/wire.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse::recovery {
+
+class JournalWriter {
+ public:
+  /// Opens (appending) or creates the journal at `path`.
+  explicit JournalWriter(std::string path);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Append one framed record and flush. Throws CrashException when the
+  /// crash injector tears this write (after persisting the prefix).
+  void append(RecordType type, const std::vector<std::uint8_t>& payload);
+
+  /// Truncate to empty (after a successful snapshot folds the records).
+  void reset();
+
+  Bytes bytes_written() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  Bytes offset_ = 0;
+};
+
+/// Result of scanning a journal file.
+struct JournalScan {
+  std::vector<Frame> records;  // the longest consistent prefix
+  Bytes valid_bytes = 0;       // where that prefix ends
+  Bytes torn_bytes = 0;        // bytes discarded after it
+};
+
+/// Scan `path`, verifying every frame; stops at the first inconsistent
+/// byte. Missing file = empty scan.
+JournalScan read_journal(const std::string& path);
+
+/// Physically truncate `path` to `valid_bytes` (recovery's repair step
+/// so the next append extends a consistent prefix).
+bool truncate_journal(const std::string& path, Bytes valid_bytes);
+
+}  // namespace ssdse::recovery

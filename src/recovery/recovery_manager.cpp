@@ -1,0 +1,201 @@
+#include "src/recovery/recovery_manager.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <unordered_set>
+
+#include "src/recovery/snapshot.hpp"
+#include "src/util/crc32.hpp"
+
+namespace ssdse::recovery {
+
+namespace {
+
+constexpr const char* kSnapshotFile = "snapshot.ssdse";
+constexpr const char* kJournalFile = "journal.ssdse";
+
+/// Mark every live slot holding `qid` invalid.
+void invalidate_result(std::vector<RbImage>& rbs, QueryId qid) {
+  for (RbImage& rb : rbs) {
+    for (RbSlotImage& slot : rb.slots) {
+      if (slot.qid == qid && slot.state != 2) slot.state = 2;
+    }
+  }
+}
+
+void replay_rb_flush(CacheImage& image, RbImage&& rb) {
+  // The flush overwrote cache block `cb`: whatever RB lived there is
+  // gone, and any older copy of the flushed entries is now stale.
+  std::erase_if(image.rbs,
+                [&](const RbImage& old) { return old.cb == rb.cb; });
+  for (const RbSlotImage& slot : rb.slots) {
+    if (slot.state != 2) invalidate_result(image.rbs, slot.qid);
+  }
+  image.rbs.insert(image.rbs.begin(), std::move(rb));  // MRU position
+}
+
+void replay_list_install(CacheImage& image, ListEntryImage&& entry) {
+  // The install claimed these blocks: the previous copy of the term and
+  // every entry overwritten for space are evicted.
+  std::unordered_set<std::uint32_t> claimed(entry.blocks.begin(),
+                                            entry.blocks.end());
+  std::erase_if(image.lists, [&](const ListEntryImage& old) {
+    if (old.term == entry.term) return true;
+    return std::any_of(old.blocks.begin(), old.blocks.end(),
+                       [&](std::uint32_t cb) { return claimed.count(cb); });
+  });
+  image.lists.insert(image.lists.begin(), std::move(entry));
+}
+
+}  // namespace
+
+std::uint32_t cache_config_fingerprint(const CacheConfig& cfg) {
+  ByteWriter w;
+  w.u32(kFormatVersion);
+  w.u8(static_cast<std::uint8_t>(cfg.policy));
+  w.u64(cfg.ssd_result_capacity);
+  w.u64(cfg.ssd_list_capacity);
+  w.u64(cfg.block_bytes);
+  w.u32(cfg.replace_window);
+  w.u64(cfg.ttl_queries);
+  w.u64(static_cast<std::uint64_t>(cfg.static_fraction * 1e6));
+  w.u64(CacheConfig::kResultEntrySlotBytes);
+  return crc32c(w.data().data(), w.data().size());
+}
+
+bool apply_journal_record(const Frame& record, CacheImage& image) {
+  ByteReader r(record.payload.data(), record.payload.size());
+  switch (record.type) {
+    case RecordType::kJournalRbFlush: {
+      RbImage rb;
+      if (!decode_rb(r, rb)) return false;
+      replay_rb_flush(image, std::move(rb));
+      return true;
+    }
+    case RecordType::kJournalResultInvalidate: {
+      const QueryId qid = r.u64();
+      if (!r.ok()) return false;
+      invalidate_result(image.rbs, qid);
+      invalidate_result(image.static_rbs, qid);
+      return true;
+    }
+    case RecordType::kJournalListInstall: {
+      ListEntryImage e;
+      if (!decode_list_entry(r, e)) return false;
+      replay_list_install(image, std::move(e));
+      return true;
+    }
+    case RecordType::kJournalListErase: {
+      const TermId term = r.u32();
+      if (!r.ok()) return false;
+      std::erase_if(image.lists, [&](const ListEntryImage& old) {
+        return old.term == term;
+      });
+      std::erase_if(image.static_lists, [&](const ListEntryImage& old) {
+        return old.term == term;
+      });
+      return true;
+    }
+    default:
+      return false;  // snapshot record in the journal: corrupt
+  }
+}
+
+PersistenceManager::PersistenceManager(std::string dir,
+                                       std::uint32_t fingerprint)
+    : dir_(std::move(dir)), fingerprint_(fingerprint) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string PersistenceManager::snapshot_path() const {
+  return (std::filesystem::path(dir_) / kSnapshotFile).string();
+}
+
+std::string PersistenceManager::journal_path() const {
+  return (std::filesystem::path(dir_) / kJournalFile).string();
+}
+
+std::optional<CacheImage> PersistenceManager::recover() {
+  const auto begin = std::chrono::steady_clock::now();
+  stats_.attempted = true;
+
+  auto image = read_snapshot(snapshot_path(), fingerprint_);
+  JournalScan scan = read_journal(journal_path());
+  stats_.journal_valid_bytes = scan.valid_bytes;
+  stats_.journal_torn_bytes = scan.torn_bytes;
+  if (scan.torn_bytes > 0) {
+    // Repair: the next append must extend the consistent prefix.
+    truncate_journal(journal_path(), scan.valid_bytes);
+  }
+  if (image) {
+    for (const Frame& record : scan.records) {
+      if (apply_journal_record(record, *image)) {
+        ++stats_.journal_records_replayed;
+      } else {
+        ++stats_.journal_records_rejected;
+      }
+    }
+    stats_.warm = true;
+    for (const RbImage& rb : image->rbs) {
+      for (const RbSlotImage& s : rb.slots) {
+        if (s.state != 2) ++stats_.result_entries_recovered;
+      }
+    }
+    for (const RbImage& rb : image->static_rbs) {
+      for (const RbSlotImage& s : rb.slots) {
+        if (s.state != 2) ++stats_.result_entries_recovered;
+      }
+    }
+    stats_.list_entries_recovered =
+        image->lists.size() + image->static_lists.size();
+  }
+  // The journal writer opens only now, appending after the repaired
+  // prefix (or a fresh file on cold start).
+  journal_ = std::make_unique<JournalWriter>(journal_path());
+
+  const auto end = std::chrono::steady_clock::now();
+  stats_.recovery_wall_ms =
+      std::chrono::duration<double, std::milli>(end - begin).count();
+  return image;
+}
+
+bool PersistenceManager::checkpoint(const CacheImage& image) {
+  if (!write_snapshot(snapshot_path(), image, fingerprint_)) return false;
+  if (!journal_) {
+    journal_ = std::make_unique<JournalWriter>(journal_path());
+  }
+  journal_->reset();
+  return true;
+}
+
+void PersistenceManager::on_rb_flush(const RbImage& rb) {
+  if (!journal_) return;
+  ByteWriter w;
+  encode_rb(rb, w);
+  journal_->append(RecordType::kJournalRbFlush, w.data());
+}
+
+void PersistenceManager::on_result_invalidate(QueryId qid) {
+  if (!journal_) return;
+  ByteWriter w;
+  w.u64(qid);
+  journal_->append(RecordType::kJournalResultInvalidate, w.data());
+}
+
+void PersistenceManager::on_list_install(const ListEntryImage& entry) {
+  if (!journal_) return;
+  ByteWriter w;
+  encode_list_entry(entry, w);
+  journal_->append(RecordType::kJournalListInstall, w.data());
+}
+
+void PersistenceManager::on_list_erase(TermId term) {
+  if (!journal_) return;
+  ByteWriter w;
+  w.u32(term);
+  journal_->append(RecordType::kJournalListErase, w.data());
+}
+
+}  // namespace ssdse::recovery

@@ -1,0 +1,181 @@
+#include "src/recovery/snapshot.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/recovery/wire.hpp"
+
+namespace ssdse::recovery {
+
+namespace {
+
+struct SectionCounts {
+  std::uint32_t rbs = 0;
+  std::uint32_t static_rbs = 0;
+  std::uint32_t lists = 0;
+  std::uint32_t static_lists = 0;
+
+  bool operator==(const SectionCounts&) const = default;
+};
+
+void encode_counts(const SectionCounts& c, ByteWriter& w) {
+  w.u32(c.rbs);
+  w.u32(c.static_rbs);
+  w.u32(c.lists);
+  w.u32(c.static_lists);
+}
+
+SectionCounts decode_counts(ByteReader& r) {
+  SectionCounts c;
+  c.rbs = r.u32();
+  c.static_rbs = r.u32();
+  c.lists = r.u32();
+  c.static_lists = r.u32();
+  return c;
+}
+
+bool write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(size < 0 ? 0 : static_cast<std::size_t>(size));
+  const bool ok =
+      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace
+
+bool write_snapshot(const std::string& path, const CacheImage& image,
+                    std::uint32_t fingerprint) {
+  std::vector<std::uint8_t> out;
+
+  SectionCounts counts{static_cast<std::uint32_t>(image.rbs.size()),
+                       static_cast<std::uint32_t>(image.static_rbs.size()),
+                       static_cast<std::uint32_t>(image.lists.size()),
+                       static_cast<std::uint32_t>(image.static_lists.size())};
+  {
+    ByteWriter w;
+    w.u32(kFormatVersion);
+    w.u32(fingerprint);
+    w.u64(image.logical_now);
+    encode_counts(counts, w);
+    encode_frame(RecordType::kSnapshotHeader, w.data(), out);
+  }
+  for (const RbImage& rb : image.rbs) {
+    ByteWriter w;
+    encode_rb(rb, w);
+    encode_frame(RecordType::kRb, w.data(), out);
+  }
+  for (const RbImage& rb : image.static_rbs) {
+    ByteWriter w;
+    encode_rb(rb, w);
+    encode_frame(RecordType::kStaticRb, w.data(), out);
+  }
+  for (const ListEntryImage& e : image.lists) {
+    ByteWriter w;
+    encode_list_entry(e, w);
+    encode_frame(RecordType::kList, w.data(), out);
+  }
+  for (const ListEntryImage& e : image.static_lists) {
+    ByteWriter w;
+    encode_list_entry(e, w);
+    encode_frame(RecordType::kStaticList, w.data(), out);
+  }
+  {
+    ByteWriter w;
+    encode_counts(counts, w);
+    encode_frame(RecordType::kSnapshotFooter, w.data(), out);
+  }
+
+  const std::string tmp = path + ".tmp";
+  if (!write_file(tmp, out)) return false;
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<CacheImage> read_snapshot(const std::string& path,
+                                        std::uint32_t fingerprint) {
+  const auto bytes = read_file(path);
+  if (!bytes) return std::nullopt;
+
+  std::size_t offset = 0;
+  auto header = decode_frame(bytes->data(), bytes->size(), offset);
+  if (!header || header->type != RecordType::kSnapshotHeader) {
+    return std::nullopt;
+  }
+  CacheImage image;
+  SectionCounts declared;
+  {
+    ByteReader r(header->payload.data(), header->payload.size());
+    if (r.u32() != kFormatVersion) return std::nullopt;
+    if (r.u32() != fingerprint) return std::nullopt;
+    image.logical_now = r.u64();
+    declared = decode_counts(r);
+    if (!r.ok()) return std::nullopt;
+  }
+
+  SectionCounts seen;
+  bool footer_ok = false;
+  while (offset < bytes->size()) {
+    auto frame = decode_frame(bytes->data(), bytes->size(), offset);
+    if (!frame) return std::nullopt;  // torn or corrupt record
+    ByteReader r(frame->payload.data(), frame->payload.size());
+    switch (frame->type) {
+      case RecordType::kRb: {
+        RbImage rb;
+        if (!decode_rb(r, rb)) return std::nullopt;
+        image.rbs.push_back(std::move(rb));
+        ++seen.rbs;
+        break;
+      }
+      case RecordType::kStaticRb: {
+        RbImage rb;
+        if (!decode_rb(r, rb)) return std::nullopt;
+        image.static_rbs.push_back(std::move(rb));
+        ++seen.static_rbs;
+        break;
+      }
+      case RecordType::kList: {
+        ListEntryImage e;
+        if (!decode_list_entry(r, e)) return std::nullopt;
+        image.lists.push_back(std::move(e));
+        ++seen.lists;
+        break;
+      }
+      case RecordType::kStaticList: {
+        ListEntryImage e;
+        if (!decode_list_entry(r, e)) return std::nullopt;
+        image.static_lists.push_back(std::move(e));
+        ++seen.static_lists;
+        break;
+      }
+      case RecordType::kSnapshotFooter: {
+        footer_ok = decode_counts(r) == declared && r.ok() &&
+                    offset == bytes->size();
+        if (!footer_ok) return std::nullopt;
+        break;
+      }
+      default:
+        return std::nullopt;  // journal record inside a snapshot
+    }
+  }
+  if (!footer_ok || !(seen == declared)) return std::nullopt;
+  return image;
+}
+
+}  // namespace ssdse::recovery

@@ -1,0 +1,35 @@
+// Checksummed, versioned snapshot of the SSD cache metadata.
+//
+// Layout: a stream of CRC-framed records (see wire.hpp) —
+//   header (version, config fingerprint, TTL clock, section counts),
+//   one kRb record per dynamic RB (MRU-first),
+//   one kStaticRb per pinned RB,
+//   one kList / kStaticList per list entry,
+//   footer repeating the counts.
+// The snapshot is valid only if every frame verifies and the footer
+// counts match the records seen; otherwise the reader reports nothing
+// and recovery falls back to a cold start — never a partial snapshot.
+//
+// Writes go to `<path>.tmp` and rename over the old snapshot, so a
+// crash mid-snapshot leaves the previous one intact.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/cache/cache_image.hpp"
+
+namespace ssdse::recovery {
+
+/// Serialize `image` to `path` (atomic via tmp + rename). Returns false
+/// on I/O failure.
+bool write_snapshot(const std::string& path, const CacheImage& image,
+                    std::uint32_t fingerprint);
+
+/// Load and fully verify a snapshot. Returns nullopt if the file is
+/// missing, torn, corrupt, from a different format version, or written
+/// under a different cache configuration (fingerprint mismatch).
+std::optional<CacheImage> read_snapshot(const std::string& path,
+                                        std::uint32_t fingerprint);
+
+}  // namespace ssdse::recovery

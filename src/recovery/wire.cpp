@@ -1,0 +1,174 @@
+#include "src/recovery/wire.hpp"
+
+#include <cstring>
+
+#include "src/util/crc32.hpp"
+
+namespace ssdse::recovery {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void ByteWriter::f32(float v) {
+  static_assert(sizeof(float) == 4);
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  u32(bits);
+}
+
+void ByteWriter::bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+bool ByteReader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  const std::uint8_t* p = nullptr;
+  return take(1, &p) ? *p : 0;
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint8_t* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint8_t* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+float ByteReader::f32() {
+  const std::uint32_t bits = u32();
+  float v = 0;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+void encode_frame(RecordType type, const std::vector<std::uint8_t>& payload,
+                  std::vector<std::uint8_t>& out) {
+  ByteWriter header;
+  header.u8(static_cast<std::uint8_t>(type));
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+
+  Crc32c crc;
+  crc.update(header.data().data(), header.data().size());
+  crc.update(payload.data(), payload.size());
+
+  ByteWriter frame;
+  frame.u32(kFrameMagic);
+  frame.bytes(header.data().data(), header.data().size());
+  frame.bytes(payload.data(), payload.size());
+  frame.u32(crc.value());
+  const auto& bytes = frame.data();
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> decode_frame(const std::uint8_t* data, std::size_t size,
+                                  std::size_t& offset) {
+  // magic(4) + type(1) + len(4) + crc(4)
+  constexpr std::size_t kOverhead = 13;
+  if (offset > size || size - offset < kOverhead) return std::nullopt;
+  ByteReader r(data + offset, size - offset);
+  if (r.u32() != kFrameMagic) return std::nullopt;
+  const std::uint8_t type = r.u8();
+  const std::uint32_t len = r.u32();
+  if (len > kMaxPayload || size - offset - kOverhead < len) {
+    return std::nullopt;
+  }
+  const std::uint8_t* body = data + offset + 4;  // type + len + payload
+  const std::uint8_t* payload = data + offset + 9;
+  Crc32c crc;
+  crc.update(body, 5 + len);
+  ByteReader tail(payload + len, 4);
+  if (crc.value() != tail.u32()) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<RecordType>(type);
+  frame.payload.assign(payload, payload + len);
+  offset += kOverhead + len;
+  return frame;
+}
+
+void encode_rb(const RbImage& rb, ByteWriter& w) {
+  w.u32(rb.cb);
+  w.u32(static_cast<std::uint32_t>(rb.slots.size()));
+  for (const RbSlotImage& s : rb.slots) {
+    w.u64(s.qid);
+    w.u64(s.freq);
+    w.u64(s.born);
+    w.u8(s.state);
+    w.u32(static_cast<std::uint32_t>(s.docs.size()));
+    for (const ScoredDoc& d : s.docs) {
+      w.u32(d.doc);
+      w.f32(d.score);
+    }
+  }
+}
+
+bool decode_rb(ByteReader& r, RbImage& rb) {
+  rb.cb = r.u32();
+  const std::uint32_t nslots = r.u32();
+  if (!r.ok() || nslots > 4096) return false;
+  rb.slots.resize(nslots);
+  for (RbSlotImage& s : rb.slots) {
+    s.qid = r.u64();
+    s.freq = r.u64();
+    s.born = r.u64();
+    s.state = r.u8();
+    const std::uint32_t ndocs = r.u32();
+    if (!r.ok() || ndocs > 65536) return false;
+    s.docs.resize(ndocs);
+    for (ScoredDoc& d : s.docs) {
+      d.doc = r.u32();
+      d.score = r.f32();
+    }
+  }
+  return r.ok();
+}
+
+void encode_list_entry(const ListEntryImage& e, ByteWriter& w) {
+  w.u32(e.term);
+  w.u32(static_cast<std::uint32_t>(e.blocks.size()));
+  for (std::uint32_t cb : e.blocks) w.u32(cb);
+  w.u64(e.cached_bytes);
+  w.u64(e.freq);
+  w.u32(e.sc_blocks);
+  w.u64(e.born);
+  w.u8(e.replaceable ? 1 : 0);
+}
+
+bool decode_list_entry(ByteReader& r, ListEntryImage& e) {
+  e.term = r.u32();
+  const std::uint32_t nblocks = r.u32();
+  if (!r.ok() || nblocks > 1u << 20) return false;
+  e.blocks.resize(nblocks);
+  for (std::uint32_t& cb : e.blocks) cb = r.u32();
+  e.cached_bytes = r.u64();
+  e.freq = r.u64();
+  e.sc_blocks = r.u32();
+  e.born = r.u64();
+  e.replaceable = r.u8() != 0;
+  return r.ok();
+}
+
+}  // namespace ssdse::recovery

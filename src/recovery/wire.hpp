@@ -1,0 +1,110 @@
+// Wire format of the persistence subsystem: little-endian primitives
+// plus the CRC-framed record shared by the snapshot and the journal.
+//
+// Record frame:
+//   u32 magic  'SSRJ'
+//   u8  type   (RecordType)
+//   u32 payload length
+//   payload bytes
+//   u32 CRC32C over [type, length, payload]
+//
+// A reader accepts a frame only if the magic, the length bound and the
+// CRC all check out — a torn tail (truncated frame, zeroed length,
+// flipped bit) fails one of the three and cleanly ends the stream at
+// the last consistent prefix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/cache/cache_image.hpp"
+
+namespace ssdse::recovery {
+
+constexpr std::uint32_t kFrameMagic = 0x4A525353u;  // "SSRJ" little-endian
+constexpr std::uint32_t kFormatVersion = 1;
+/// Sanity bound on one record: an RB of 6 x 20 KiB entries is ~128 KiB;
+/// anything claiming more than this is a torn length field.
+constexpr std::uint32_t kMaxPayload = 16u * 1024 * 1024;
+
+enum class RecordType : std::uint8_t {
+  // Snapshot sections.
+  kSnapshotHeader = 1,
+  kRb = 2,          // one dynamic RB, MRU-first ordinal order
+  kStaticRb = 3,
+  kList = 4,        // one dynamic list entry, MRU-first
+  kStaticList = 5,
+  kSnapshotFooter = 6,
+  // Journal records (one per durable mutation between snapshots).
+  kJournalRbFlush = 16,
+  kJournalResultInvalidate = 17,
+  kJournalListInstall = 18,
+  kJournalListErase = 19,
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f32(float v);
+  void bytes(const void* data, std::size_t len);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader: every accessor returns a zero value and trips
+/// ok() on overrun, so decoders can parse straight-line and validate
+/// once at the end.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  float f32();
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// One decoded frame.
+struct Frame {
+  RecordType type = RecordType::kSnapshotHeader;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Append a framed record (magic + header + payload + CRC) to `out`.
+void encode_frame(RecordType type, const std::vector<std::uint8_t>& payload,
+                  std::vector<std::uint8_t>& out);
+
+/// Decode the frame at `offset`. On success advances `offset` past the
+/// frame and returns it; on any inconsistency (short buffer, bad magic,
+/// oversized length, CRC mismatch) returns nullopt with `offset`
+/// untouched — the caller truncates there.
+std::optional<Frame> decode_frame(const std::uint8_t* data, std::size_t size,
+                                  std::size_t& offset);
+
+// Image payload codecs.
+void encode_rb(const RbImage& rb, ByteWriter& w);
+bool decode_rb(ByteReader& r, RbImage& rb);
+void encode_list_entry(const ListEntryImage& e, ByteWriter& w);
+bool decode_list_entry(ByteReader& r, ListEntryImage& e);
+
+}  // namespace ssdse::recovery

@@ -1,0 +1,51 @@
+#include "src/util/crash_point.hpp"
+
+namespace ssdse {
+
+CrashInjector& CrashInjector::instance() {
+  static CrashInjector injector;
+  return injector;
+}
+
+void CrashInjector::arm_site(std::string site, std::uint64_t hits) {
+  site_ = std::move(site);
+  countdown_ = hits == 0 ? 1 : hits;
+  byte_offset_.reset();
+  armed_ = true;
+}
+
+void CrashInjector::arm_byte(std::uint64_t offset) {
+  site_.clear();
+  countdown_ = 0;
+  byte_offset_ = offset;
+  armed_ = true;
+}
+
+void CrashInjector::disarm() {
+  armed_ = false;
+  site_.clear();
+  countdown_ = 0;
+  byte_offset_.reset();
+}
+
+void CrashInjector::hit(const char* site) {
+  if (!armed_ || site_.empty() || site_ != site) return;
+  if (--countdown_ > 0) return;
+  crash_now(site);
+}
+
+std::optional<std::uint64_t> CrashInjector::tear_at(
+    std::uint64_t begin, std::uint64_t len) const {
+  if (!armed_ || !byte_offset_.has_value()) return std::nullopt;
+  if (*byte_offset_ < begin || *byte_offset_ >= begin + len) {
+    return std::nullopt;
+  }
+  return *byte_offset_ - begin;
+}
+
+void CrashInjector::crash_now(const char* what) {
+  disarm();  // the "process" dies once; recovery runs uninstrumented
+  throw CrashException(what);
+}
+
+}  // namespace ssdse

@@ -1,0 +1,74 @@
+// Crash injection for the persistence subsystem (src/recovery).
+//
+// The recovery acceptance bar is "for every injected crash point in the
+// RB flush path, recovery either fully restores the entry or cleanly
+// drops it". Two mechanisms model process death:
+//   * site hooks — SSDSE_CRASH_POINT("name") markers in the write path
+//     (write buffer, SSD cache file) throw CrashException on the armed
+//     n-th hit;
+//   * torn writes — stream writers (the metadata journal) ask
+//     tear_at() before appending; an armed byte offset inside the write
+//     makes them persist only the prefix before dying.
+// Disarmed, every hook is a single branch on a bool — the query hot
+// path pays nothing measurable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace ssdse {
+
+/// Thrown to simulate the process dying mid-write. Test harnesses catch
+/// it at the top level and abandon the crashed system.
+struct CrashException : std::runtime_error {
+  explicit CrashException(const std::string& site)
+      : std::runtime_error("injected crash at " + site) {}
+};
+
+class CrashInjector {
+ public:
+  static CrashInjector& instance();
+
+  /// Throw CrashException on the `hits`-th (1-based) pass through
+  /// `site`. Only one site may be armed at a time.
+  void arm_site(std::string site, std::uint64_t hits = 1);
+
+  /// Tear the stream write covering absolute byte `offset`: the writer
+  /// persists bytes [begin, offset) of that write and then crashes.
+  void arm_byte(std::uint64_t offset);
+
+  void disarm();
+  bool armed() const { return armed_; }
+
+  /// Site hook body (use SSDSE_CRASH_POINT). Throws when the armed site
+  /// countdown reaches zero.
+  void hit(const char* site);
+
+  /// Stream-writer hook: about to append `len` bytes at `begin`. If the
+  /// armed byte offset falls inside, returns the number of bytes to
+  /// persist before crashing (caller writes them, flushes, then calls
+  /// crash_now). Returns nullopt to proceed normally.
+  std::optional<std::uint64_t> tear_at(std::uint64_t begin,
+                                       std::uint64_t len) const;
+
+  [[noreturn]] void crash_now(const char* what);
+
+ private:
+  CrashInjector() = default;
+
+  bool armed_ = false;
+  std::string site_;
+  std::uint64_t countdown_ = 0;
+  std::optional<std::uint64_t> byte_offset_;
+};
+
+#define SSDSE_CRASH_POINT(site)                          \
+  do {                                                   \
+    if (::ssdse::CrashInjector::instance().armed()) {    \
+      ::ssdse::CrashInjector::instance().hit(site);      \
+    }                                                    \
+  } while (0)
+
+}  // namespace ssdse

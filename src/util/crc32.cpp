@@ -1,0 +1,46 @@
+#include "src/util/crc32.hpp"
+
+#include <array>
+
+namespace ssdse {
+
+namespace {
+
+/// CRC32C polynomial (Castagnoli), reflected form.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+std::uint32_t advance(std::uint32_t state, const void* data,
+                      std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    state = (state >> 8) ^ kTable[(state ^ p[i]) & 0xFFu];
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  return advance(0xFFFFFFFFu, data, len) ^ 0xFFFFFFFFu;
+}
+
+Crc32c& Crc32c::update(const void* data, std::size_t len) {
+  state_ = advance(state_, data, len);
+  return *this;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli): the checksum guarding every record of the
+// persistence subsystem (snapshot + metadata journal, src/recovery).
+// Hardware-agnostic table-driven implementation — recovery correctness
+// must not depend on SSE4.2 being present.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ssdse {
+
+/// One-shot CRC32C over a buffer (initial/final XOR handled internally).
+std::uint32_t crc32c(const void* data, std::size_t len);
+
+/// Incremental interface: feed chunks, then read value(). Matches the
+/// one-shot function bit for bit.
+class Crc32c {
+ public:
+  Crc32c& update(const void* data, std::size_t len);
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  void reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace ssdse

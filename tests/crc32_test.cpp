@@ -1,0 +1,62 @@
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/crc32.hpp"
+
+namespace ssdse {
+namespace {
+
+std::uint32_t crc_of(const std::string& s) {
+  return crc32c(s.data(), s.size());
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // RFC 3720 / published CRC-32C test vectors.
+  EXPECT_EQ(crc_of(""), 0x00000000u);
+  EXPECT_EQ(crc_of("a"), 0xC1D04330u);
+  EXPECT_EQ(crc_of("abc"), 0x364B3FB7u);
+  EXPECT_EQ(crc_of("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc_of("The quick brown fox jumps over the lazy dog"),
+            0x22620404u);
+}
+
+TEST(Crc32Test, AllZeroAndAllOneBlocks) {
+  // iSCSI vectors: 32 bytes of 0x00 and 32 bytes of 0xFF.
+  std::vector<std::uint8_t> zeros(32, 0x00);
+  std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  EXPECT_EQ(crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string msg = "An Efficient SSD-based Hybrid Storage";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Crc32c inc;
+    inc.update(msg.data(), split);
+    inc.update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(inc.value(), crc_of(msg)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, SingleBitFlipDetected) {
+  std::string msg = "payload bytes that a journal record might carry";
+  const std::uint32_t good = crc_of(msg);
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      msg[byte] = static_cast<char>(msg[byte] ^ (1 << bit));
+      EXPECT_NE(crc_of(msg), good) << "byte " << byte << " bit " << bit;
+      msg[byte] = static_cast<char>(msg[byte] ^ (1 << bit));
+    }
+  }
+}
+
+TEST(Crc32Test, FreshObjectIsEmptyCrc) {
+  Crc32c inc;
+  EXPECT_EQ(inc.value(), 0u);
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -81,5 +81,58 @@ TEST(WriteBufferTest, StatsCountBuffered) {
   EXPECT_EQ(wb.stats().buffered, 5u);
 }
 
+TEST(WriteBufferTest, DrainPartialRbResetsGrouping) {
+  WriteBuffer wb(6);
+  for (QueryId q = 0; q < 4; ++q) wb.push(cached(q));
+  auto rest = wb.drain();  // partial RB: 4 of 6 slots
+  EXPECT_EQ(rest.size(), 4u);
+  EXPECT_EQ(wb.stats().flush_groups, 1u);
+  // The group counter starts over: the next full group needs 6 fresh
+  // entries, not 2.
+  for (QueryId q = 10; q < 15; ++q) {
+    EXPECT_FALSE(wb.push(cached(q)).has_value());
+  }
+  auto group = wb.push(cached(15));
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->size(), 6u);
+}
+
+TEST(WriteBufferTest, DrainTwiceSecondIsEmptyAndUncounted) {
+  WriteBuffer wb(6);
+  wb.push(cached(1));
+  EXPECT_EQ(wb.drain().size(), 1u);
+  EXPECT_TRUE(wb.drain().empty());
+  EXPECT_TRUE(wb.drain().empty());
+  // Empty drains are not flush groups.
+  EXPECT_EQ(wb.stats().flush_groups, 1u);
+}
+
+TEST(WriteBufferTest, DrainInterleavedWithEvictions) {
+  WriteBuffer wb(6);
+  wb.push(cached(1));
+  wb.push(cached(2));
+  wb.push(cached(3));
+  wb.take(2);    // read back to L1 (buffer hit)
+  wb.cancel(1);  // SSD copy resurrected instead
+  auto rest = wb.drain();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].entry.query, 3u);
+  EXPECT_EQ(wb.stats().buffer_hits, 1u);
+  EXPECT_EQ(wb.stats().cancelled, 1u);
+  // Drained entries are gone for good: no stale probes.
+  EXPECT_FALSE(wb.contains(3));
+  EXPECT_FALSE(wb.take(3).has_value());
+}
+
+TEST(WriteBufferTest, DrainKeepsMergedDuplicateState) {
+  WriteBuffer wb(6);
+  wb.push(cached(7, 9));
+  wb.push(cached(7, 4));  // re-eviction merges into one slot
+  auto rest = wb.drain();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].entry.query, 7u);
+  EXPECT_EQ(rest[0].freq, 9u);  // max frequency survives the merge
+}
+
 }  // namespace
 }  // namespace ssdse
