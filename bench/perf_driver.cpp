@@ -1,0 +1,197 @@
+// Wall-clock performance driver: measures the speed of the *simulator
+// itself* (not simulated time) on a fixed workload, and emits the
+// result as BENCH_PR2.json so the perf trajectory of the repo is
+// tracked across PRs (ROADMAP: "runs as fast as the hardware allows").
+//
+// Three phases isolate the layers of the query hot path:
+//  * daat  — materialized-index conjunctive top-K (DaatProcessor) on a
+//            small real corpus: pure engine + index-layout cost;
+//  * cache — one-level (memory-only) SearchSystem at the paper's 5M-doc
+//            scale: QM/RM cache machinery without flash;
+//  * ssd   — full two-level CBSLRU hierarchy (write buffer, SSD caches,
+//            FTL + NAND model): the fig14-scale workload.
+//
+// Each phase also records a result checksum / coverage figure so a
+// before/after comparison can assert the optimization changed *time
+// only*, never output.
+//
+// Override query counts with SSDSE_QUERIES (system phases) and
+// SSDSE_DAAT_QUERIES; output path with SSDSE_BENCH_OUT.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.hpp"
+#include "src/engine/daat.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/query_log.hpp"
+
+using namespace ssdse;
+using namespace ssdse::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+std::uint64_t env_count(const char* name, std::uint64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+struct PhaseResult {
+  const char* name;
+  std::uint64_t queries = 0;
+  double wall_ms = 0;
+  double qps = 0;
+  /// Output fingerprint: DAAT result checksum or request coverage in
+  /// parts-per-million. Must be invariant under perf-only changes.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Phase 1: the DAAT engine on a materialized index. Build cost (the
+/// one-time doc-sorted materialization) is excluded: the simulator
+/// builds once and serves millions of queries.
+PhaseResult run_daat_phase(std::uint64_t queries) {
+  CorpusConfig cc;
+  cc.num_docs = 40'000;
+  cc.vocab_size = 2'000;
+  cc.terms_per_doc = 60;
+  cc.max_df_fraction = 0.10;
+  cc.seed = 2012;
+  Rng rng(99);
+  MaterializedCorpus corpus(cc, rng);
+  MaterializedIndex index(corpus);
+
+  QueryLogConfig qc;
+  qc.distinct_queries = 50'000;
+  qc.vocab_size = cc.vocab_size;
+  qc.min_terms = 2;
+  qc.max_terms = 3;
+  qc.seed = 17;
+  QueryLogGenerator gen(qc);
+  std::vector<Query> batch;
+  batch.reserve(queries);
+  for (std::uint64_t i = 0; i < queries; ++i) batch.push_back(gen.next());
+
+  DaatProcessor daat(/*top_k=*/kTopK);
+  std::uint64_t checksum = 0;
+  const auto t0 = Clock::now();
+  for (const Query& q : batch) {
+    DaatStats stats;
+    const ResultEntry r = daat.intersect(index, q, &stats);
+    checksum += stats.docs_scored + stats.postings_touched;
+    for (const ScoredDoc& d : r.docs) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &d.score, sizeof bits);
+      checksum = checksum * 1099511628211ull + d.doc + bits;
+    }
+  }
+  const double wall = ms_since(t0);
+  return PhaseResult{"daat", queries, wall,
+                     1000.0 * static_cast<double>(queries) / wall,
+                     checksum};
+}
+
+/// Shared body of the two system phases: run the fixed query stream,
+/// time it, fingerprint the request coverage.
+PhaseResult run_system_phase(const char* name, SystemConfig cfg,
+                             std::uint64_t queries) {
+  SearchSystem system(cfg);
+  const auto t0 = Clock::now();
+  system.run(queries);
+  system.drain();
+  const double wall = ms_since(t0);
+  const auto coverage_ppm = static_cast<std::uint64_t>(
+      1e6 * system.metrics().request_coverage());
+  return PhaseResult{name, queries, wall,
+                     1000.0 * static_cast<double>(queries) / wall,
+                     coverage_ppm};
+}
+
+/// Phase 2: memory-only cache hierarchy at web scale (no flash model).
+PhaseResult run_cache_phase(std::uint64_t queries) {
+  SystemConfig cfg = paper_system(CachePolicy::kCblru);
+  cfg.cache.l2 = false;
+  cfg.set_memory_budget(64 * MiB);
+  cfg.cache.l2 = false;  // set_memory_budget sizes SSD fields; keep off
+  cfg.training_queries = 0;
+  return run_system_phase("cache", cfg, queries);
+}
+
+/// Phase 3: the full two-level hierarchy — the fig14_hit_ratio-scale
+/// cell (5M docs, CBSLRU, 10 MiB memory budget, SSD 10x/100x).
+PhaseResult run_ssd_phase(std::uint64_t queries) {
+  SystemConfig cfg = paper_system(CachePolicy::kCbslru);
+  return run_system_phase("ssd", cfg, queries);
+}
+
+void write_json(const char* path, const std::vector<PhaseResult>& phases) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_driver: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::uint64_t total_q = 0;
+  double total_ms = 0;
+  for (const auto& p : phases) {
+    total_q += p.queries;
+    total_ms += p.wall_ms;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"perf_driver\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"phases\": [\n");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& p = phases[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"queries\": %llu, "
+                 "\"wall_ms\": %.3f, \"qps\": %.1f, "
+                 "\"fingerprint\": %llu}%s\n",
+                 p.name, static_cast<unsigned long long>(p.queries),
+                 p.wall_ms, p.qps,
+                 static_cast<unsigned long long>(p.fingerprint),
+                 i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"total\": {\"queries\": %llu, \"wall_ms\": %.3f, "
+               "\"qps\": %.1f}\n}\n",
+               static_cast<unsigned long long>(total_q), total_ms,
+               1000.0 * static_cast<double>(total_q) / total_ms);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  print_environment("perf driver — simulator wall-clock throughput");
+  const auto system_queries = default_queries(40'000);
+  const auto daat_queries = env_count("SSDSE_DAAT_QUERIES", 20'000);
+  const char* out = std::getenv("SSDSE_BENCH_OUT");
+  if (!out) out = "BENCH_PR2.json";
+
+  std::vector<PhaseResult> phases;
+  phases.push_back(run_daat_phase(daat_queries));
+  std::printf("  daat : %8.1f q/s  (%.0f ms, fingerprint %llu)\n",
+              phases.back().qps, phases.back().wall_ms,
+              static_cast<unsigned long long>(phases.back().fingerprint));
+  phases.push_back(run_cache_phase(system_queries));
+  std::printf("  cache: %8.1f q/s  (%.0f ms, coverage %llu ppm)\n",
+              phases.back().qps, phases.back().wall_ms,
+              static_cast<unsigned long long>(phases.back().fingerprint));
+  phases.push_back(run_ssd_phase(system_queries));
+  std::printf("  ssd  : %8.1f q/s  (%.0f ms, coverage %llu ppm)\n",
+              phases.back().qps, phases.back().wall_ms,
+              static_cast<unsigned long long>(phases.back().fingerprint));
+
+  write_json(out, phases);
+  std::printf("wrote %s\n", out);
+  return 0;
+}

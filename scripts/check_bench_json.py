@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validate the schema of a perf_driver BENCH_*.json file.
+
+Usage: check_bench_json.py <bench.json>
+
+Exits non-zero (with a message) on any missing key, wrong type, or
+implausible value — CI runs this after the perf_driver smoke so a
+silently malformed benchmark artifact fails the build.
+"""
+import json
+import sys
+
+EXPECTED_PHASES = ["daat", "cache", "ssd"]
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_counters(obj, ctx):
+    require(isinstance(obj.get("queries"), int) and obj["queries"] > 0,
+            f"{ctx}: 'queries' must be a positive integer")
+    require(isinstance(obj.get("wall_ms"), (int, float)) and obj["wall_ms"] > 0,
+            f"{ctx}: 'wall_ms' must be a positive number")
+    require(isinstance(obj.get("qps"), (int, float)) and obj["qps"] > 0,
+            f"{ctx}: 'qps' must be a positive number")
+    # qps must be consistent with queries/wall_ms (1 % tolerance for the
+    # writer's fixed-precision formatting).
+    derived = 1000.0 * obj["queries"] / obj["wall_ms"]
+    require(abs(derived - obj["qps"]) <= 0.01 * derived + 0.1,
+            f"{ctx}: qps {obj['qps']} inconsistent with "
+            f"queries/wall_ms ({derived:.1f})")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_bench_json.py <bench.json>")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    require(doc.get("bench") == "perf_driver",
+            f"'bench' must be 'perf_driver', got {doc.get('bench')!r}")
+    require(doc.get("schema_version") == 1,
+            f"unsupported schema_version {doc.get('schema_version')!r}")
+
+    phases = doc.get("phases")
+    require(isinstance(phases, list), "'phases' must be a list")
+    names = [p.get("name") for p in phases]
+    require(names == EXPECTED_PHASES,
+            f"phase names must be {EXPECTED_PHASES}, got {names}")
+    for p in phases:
+        check_counters(p, f"phase '{p.get('name')}'")
+        require(isinstance(p.get("fingerprint"), int) and
+                p["fingerprint"] >= 0,
+                f"phase '{p.get('name')}': 'fingerprint' must be a "
+                "non-negative integer")
+
+    total = doc.get("total")
+    require(isinstance(total, dict), "'total' must be an object")
+    check_counters(total, "total")
+    require(total["queries"] == sum(p["queries"] for p in phases),
+            "total queries must equal the sum over phases")
+
+    print(f"check_bench_json: OK ({sys.argv[1]}: "
+          f"{total['queries']} queries, {total['qps']:.1f} q/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -108,11 +108,8 @@ const ResultEntry* CacheManager::lookup_result(QueryId qid, Tier* tier_out,
     *time += ram_.access_cost(kResultEntryBytes);
     *tier_out = Tier::kMemory;
     ++buffered->freq;
-    const QueryId key = buffered->entry.query;
-    auto evicted = mem_rc_.insert(std::move(buffered->entry), buffered->freq,
-                                  buffered->born);
-    route_result_evictions(std::move(evicted));
-    return &mem_rc_.lookup(key)->entry;
+    return promote_result(std::move(buffered->entry), buffered->freq,
+                          buffered->born);
   }
   // L2.
   std::uint64_t freq = 0;
@@ -135,11 +132,34 @@ const ResultEntry* CacheManager::lookup_result(QueryId qid, Tier* tier_out,
     *time += flash;
     *tier_out = Tier::kSsd;
     // Promote to L1 (hybrid scheme: the SSD copy stays, now replaceable).
-    auto evicted = mem_rc_.insert(*ssd_hit, freq, born);
-    route_result_evictions(std::move(evicted));
-    return &mem_rc_.lookup(qid)->entry;
+    // Copy now: the eviction cascade may rewrite the SSD cache and
+    // dangle `ssd_hit`.
+    return promote_result(*ssd_hit, freq, born);
   }
   return nullptr;
+}
+
+const ResultEntry* CacheManager::promote_result(ResultEntry entry,
+                                                std::uint64_t freq,
+                                                std::uint64_t born) {
+  auto ins = mem_rc_.insert(std::move(entry), freq, born);
+  const ResultEntry* served;
+  if (ins.handle) {
+    // Single probe: the insert handle serves the query directly (the
+    // seed re-looked the key up, paying a second hash walk — and that
+    // lookup bumped freq, a semantic the handle path preserves).
+    ++ins.handle->freq;
+    served = &ins.handle->entry;
+  } else {
+    // Degenerate L1 (capacity below one entry): the promoted entry was
+    // bounced into the eviction batch. Serve from a scratch copy taken
+    // *before* the cascade moves the batch into the write buffer / SSD.
+    ++ins.evicted.back().freq;
+    promoted_scratch_ = ins.evicted.back().entry;
+    served = &promoted_scratch_;
+  }
+  route_result_evictions(std::move(ins.evicted));
+  return served;
 }
 
 Micros CacheManager::read_list_from_hdd(TermId term, Bytes bytes) {
@@ -179,7 +199,7 @@ Micros CacheManager::expire_list(TermId term) {
 }
 
 Tier CacheManager::fetch_list(TermId term, Micros* time) {
-  const TermMeta meta = index_.term_meta(term);
+  const TermMeta meta = index_.term_meta_fast(term);
   const Bytes needed = needed_bytes(meta);
   if (!cfg_.list_cache) {
     // No list caching in this configuration: always hit the index store.
@@ -342,8 +362,8 @@ bool CacheManager::lookup_intersection(TermId a, TermId b, Micros* time) {
 
 void CacheManager::insert_intersection(TermId a, TermId b) {
   if (!ic_) return;
-  const Bytes na = needed_bytes(index_.term_meta(a));
-  const Bytes nb = needed_bytes(index_.term_meta(b));
+  const Bytes na = needed_bytes(index_.term_meta_fast(a));
+  const Bytes nb = needed_bytes(index_.term_meta_fast(b));
   const auto bytes = static_cast<Bytes>(
       pair_overlap(a, b) * static_cast<double>(std::min(na, nb)));
   ic_->insert(a, b, std::max<Bytes>(bytes, 64));
@@ -351,7 +371,8 @@ void CacheManager::insert_intersection(TermId a, TermId b) {
 
 void CacheManager::insert_result(ResultEntry entry) {
   if (!cfg_.result_cache) return;
-  route_result_evictions(mem_rc_.insert(std::move(entry), 1, now_));
+  auto ins = mem_rc_.insert(std::move(entry), 1, now_);
+  route_result_evictions(std::move(ins.evicted));
 }
 
 void CacheManager::preload_static(
@@ -378,7 +399,7 @@ void CacheManager::preload_static(
   for (const auto& te : analysis.terms_by_ev) {
     const Bytes bytes = static_cast<Bytes>(te.sc_blocks) * cfg_.block_bytes;
     if (bytes > budget) continue;
-    const auto meta = index_.term_meta(te.term);
+    const auto meta = index_.term_meta_fast(te.term);
     lists.emplace_back(te.term, std::min(bytes, meta.list_bytes), te.freq);
     budget -= bytes;
     if (budget < cfg_.block_bytes) break;

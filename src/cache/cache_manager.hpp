@@ -152,6 +152,12 @@ class CacheManager {
   void route_result_evictions(std::vector<CachedResult> evicted);
   void route_list_evictions(std::vector<EvictedList> evicted);
   void flush_group(std::vector<CachedResult> group);
+  /// Promote a result into L1 and return a pointer good for serving the
+  /// current query: the L1 copy when admitted (stable — the eviction
+  /// cascade never touches other L1 entries), else a scratch copy taken
+  /// before the cascade consumes the bounced entry (degenerate L1).
+  const ResultEntry* promote_result(ResultEntry entry, std::uint64_t freq,
+                                    std::uint64_t born);
 
   CacheConfig cfg_;
   Ssd* ssd_;
@@ -176,6 +182,9 @@ class CacheManager {
   std::unique_ptr<LruSsdListCache> lru_lc_;
 
   std::uint64_t now_ = 0;  // logical clock (queries)
+  /// Serving copy for promotions the degenerate (zero-entry) L1 bounced;
+  /// valid until the next promote_result call.
+  ResultEntry promoted_scratch_;
   CacheManagerStats stats_;
 };
 

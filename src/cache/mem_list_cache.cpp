@@ -1,6 +1,7 @@
 #include "src/cache/mem_list_cache.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace ssdse {
 
@@ -35,10 +36,12 @@ bool MemListCache::evict_one(std::vector<EvictedList>& out) {
        ++it, ++scanned) {
     if (it->second.ev < best->second.ev) best = it;
   }
-  const TermId victim_term = best->first;
-  auto victim = map_.erase(victim_term);
-  used_ -= victim->cached_bytes;
-  out.push_back(EvictedList{victim_term, std::move(*victim)});
+  // Erase through the list iterator the scan already holds — no second
+  // hash walk to re-find the victim by key.
+  const auto victim = std::prev(best.base());
+  used_ -= victim->second.cached_bytes;
+  out.push_back(EvictedList{victim->first, std::move(victim->second)});
+  map_.erase(victim);
   return true;
 }
 

@@ -6,7 +6,10 @@ namespace ssdse {
 
 MemResultCache::MemResultCache(Bytes capacity)
     : capacity_(capacity),
-      max_entries_(std::max<std::size_t>(1, capacity / kResultEntryBytes)) {}
+      // Honour the byte budget exactly: a capacity below one entry
+      // means *zero* entries, not a free entry (insert then bounces the
+      // entry straight to the eviction path with a null handle).
+      max_entries_(capacity / kResultEntryBytes) {}
 
 const CachedResult* MemResultCache::lookup(QueryId qid) {
   CachedResult* hit = map_.touch(qid);
@@ -14,22 +17,28 @@ const CachedResult* MemResultCache::lookup(QueryId qid) {
   return hit;
 }
 
-std::vector<CachedResult> MemResultCache::insert(ResultEntry entry,
-                                                 std::uint64_t freq,
-                                                 std::uint64_t born) {
-  std::vector<CachedResult> evicted;
+MemInsert MemResultCache::insert(ResultEntry entry, std::uint64_t freq,
+                                 std::uint64_t born) {
+  MemInsert out;
   if (CachedResult* existing = map_.touch(entry.query)) {
     existing->entry = std::move(entry);
     existing->born = std::max(existing->born, born);
-    return evicted;
+    out.handle = existing;
+    return out;
+  }
+  if (max_entries_ == 0) {
+    // Degenerate capacity: the entry cannot be admitted at all.
+    out.evicted.push_back(CachedResult{std::move(entry), freq, born});
+    return out;
   }
   while (map_.size() >= max_entries_) {
     auto victim = map_.pop_lru();
     if (!victim) break;
-    evicted.push_back(std::move(victim->second));
+    out.evicted.push_back(std::move(victim->second));
   }
-  map_.insert(entry.query, CachedResult{std::move(entry), freq, born});
-  return evicted;
+  const QueryId qid = entry.query;
+  out.handle = &map_.insert(qid, CachedResult{std::move(entry), freq, born});
+  return out;
 }
 
 }  // namespace ssdse

@@ -19,6 +19,17 @@ struct CachedResult {
   std::uint64_t born = 0;
 };
 
+/// Outcome of MemResultCache::insert. `handle` points at the cached
+/// copy — stable (LRU-list-node backed) until that entry is evicted or
+/// erased, so callers can serve a hit without a second hash probe.
+/// When the cache cannot hold even one entry (capacity below
+/// kResultEntryBytes), the inserted entry itself lands in `evicted`
+/// and `handle` is null.
+struct MemInsert {
+  CachedResult* handle = nullptr;
+  std::vector<CachedResult> evicted;
+};
+
 class MemResultCache {
  public:
   explicit MemResultCache(Bytes capacity);
@@ -27,9 +38,10 @@ class MemResultCache {
   const CachedResult* lookup(QueryId qid);
 
   /// Insert a fresh entry (or refresh an existing one). Entries evicted
-  /// to make room are returned for the manager to consider for SSD.
-  std::vector<CachedResult> insert(ResultEntry entry, std::uint64_t freq = 1,
-                                   std::uint64_t born = 0);
+  /// to make room are returned for the manager to consider for SSD,
+  /// alongside a stable handle to the admitted copy (see MemInsert).
+  MemInsert insert(ResultEntry entry, std::uint64_t freq = 1,
+                   std::uint64_t born = 0);
 
   /// Drop an entry (TTL expiry). Returns true if it was present.
   bool erase(QueryId qid) { return map_.erase(qid).has_value(); }

@@ -190,9 +190,13 @@ Micros SsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
       return 0;
     }
   }
-  // Rewrite of a cached term: release the old copy first.
+  // Rewrite of a cached term: release the old copy first (single hash
+  // walk: erase doubles as the existence check).
   std::vector<std::uint32_t> pool;
-  if (map_.contains(term)) evict_entry(term, pool);
+  if (auto victim = map_.erase(term)) {
+    for (std::uint32_t cb : victim->blocks) pool.push_back(cb);
+    ++stats_.evictions;
+  }
 
   if (!acquire_blocks(needed, pool, t)) {
     ++stats_.rejected_too_large;

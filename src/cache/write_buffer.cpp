@@ -11,13 +11,14 @@ WriteBuffer::WriteBuffer(std::uint32_t group_size)
 
 std::optional<std::vector<CachedResult>> WriteBuffer::push(
     CachedResult entry) {
-  // Re-eviction of an entry already waiting: keep the newer copy.
+  // Re-eviction of an entry already waiting: keep the newer copy. The
+  // membership set answers "already waiting?" without scanning.
   const QueryId qid = entry.entry.query;
-  auto it = std::find_if(pending_.begin(), pending_.end(),
-                         [qid](const CachedResult& c) {
-                           return c.entry.query == qid;
-                         });
-  if (it != pending_.end()) {
+  if (!members_.insert(qid).second) {
+    auto it = std::find_if(pending_.begin(), pending_.end(),
+                           [qid](const CachedResult& c) {
+                             return c.entry.query == qid;
+                           });
     it->freq = std::max(it->freq, entry.freq);
     it->entry = std::move(entry.entry);
     return std::nullopt;
@@ -28,16 +29,17 @@ std::optional<std::vector<CachedResult>> WriteBuffer::push(
   SSDSE_CRASH_POINT("write_buffer.group_ready");
   std::vector<CachedResult> group;
   group.swap(pending_);
+  members_.clear();
   ++stats_.flush_groups;
   return group;
 }
 
 std::optional<CachedResult> WriteBuffer::take(QueryId qid) {
+  if (members_.erase(qid) == 0) return std::nullopt;
   auto it = std::find_if(pending_.begin(), pending_.end(),
                          [qid](const CachedResult& c) {
                            return c.entry.query == qid;
                          });
-  if (it == pending_.end()) return std::nullopt;
   CachedResult out = std::move(*it);
   pending_.erase(it);
   ++stats_.buffer_hits;
@@ -45,11 +47,11 @@ std::optional<CachedResult> WriteBuffer::take(QueryId qid) {
 }
 
 bool WriteBuffer::cancel(QueryId qid) {
+  if (members_.erase(qid) == 0) return false;
   auto it = std::find_if(pending_.begin(), pending_.end(),
                          [qid](const CachedResult& c) {
                            return c.entry.query == qid;
                          });
-  if (it == pending_.end()) return false;
   pending_.erase(it);
   ++stats_.cancelled;
   return true;
@@ -59,15 +61,13 @@ std::vector<CachedResult> WriteBuffer::drain() {
   SSDSE_CRASH_POINT("write_buffer.drain");
   std::vector<CachedResult> out;
   out.swap(pending_);
+  members_.clear();
   if (!out.empty()) ++stats_.flush_groups;
   return out;
 }
 
 bool WriteBuffer::contains(QueryId qid) const {
-  return std::any_of(pending_.begin(), pending_.end(),
-                     [qid](const CachedResult& c) {
-                       return c.entry.query == qid;
-                     });
+  return members_.count(qid) != 0;
 }
 
 }  // namespace ssdse

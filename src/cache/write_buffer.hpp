@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "src/cache/mem_result_cache.hpp"
@@ -47,6 +48,10 @@ class WriteBuffer {
  private:
   std::uint32_t group_size_;
   std::vector<CachedResult> pending_;
+  // Membership index over pending_: take() probes the buffer on every
+  // L1 result miss, and without this the common not-buffered case costs
+  // a linear scan of up to a whole RB group.
+  std::unordered_set<QueryId> members_;
   WriteBufferStats stats_;
 };
 

@@ -10,8 +10,8 @@ DocSortedList::DocSortedList(const PostingList& list,
   postings_.assign(list.postings().begin(), list.postings().end());
   std::sort(postings_.begin(), postings_.end(),
             [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
-  skip_interval = std::max(skip_interval, 1u);
-  for (std::uint32_t i = 0; i < postings_.size(); i += skip_interval) {
+  skip_interval_ = std::max(skip_interval, 1u);
+  for (std::uint32_t i = 0; i < postings_.size(); i += skip_interval_) {
     skip_index_.push_back(i);
     skip_doc_.push_back(postings_[i].doc);
   }
@@ -31,10 +31,10 @@ std::size_t DocSortedList::advance(std::size_t from, DocId target,
     const std::size_t skip_pos = skip_index_[skip_slot];
     if (skip_pos > pos) {
       if (skips_used) {
-        // Count hops as the number of skip entries leapt over.
-        const std::size_t from_slot = from / (skip_index_.size() > 1
-                                                  ? skip_index_[1]
-                                                  : postings_.size() + 1);
+        // Count hops as the number of skip entries leapt over, derived
+        // from the stored interval (the table shape degenerates when it
+        // has a single entry).
+        const std::size_t from_slot = from / skip_interval_;
         *skips_used += skip_slot > from_slot ? skip_slot - from_slot : 1;
       }
       pos = skip_pos;
@@ -47,12 +47,82 @@ std::size_t DocSortedList::advance(std::size_t from, DocId target,
 
 ResultEntry DaatProcessor::intersect(const MaterializedIndex& index,
                                      const Query& query,
-                                     DaatStats* stats) const {
+                                     DaatStats* stats) {
   ResultEntry out;
   out.query = query.id;
   if (query.terms.empty()) return out;
 
-  // Build doc-sorted views, shortest list first (drives the loop).
+  // Borrow the precomputed doc-sorted views — no copy, no sort. The
+  // shortest list drives the loop.
+  const std::size_t n = query.terms.size();
+  views_.clear();
+  for (TermId t : query.terms) views_.push_back(index.doc_sorted(t));
+  order_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return views_[a].size() < views_[b].size();
+            });
+  if (views_[order_[0]].empty()) return out;
+
+  cursor_.assign(n, 0);
+  top_docs_.reset(top_k_);
+  std::uint64_t matched = 0, skip_hops = 0, touched = 0;
+
+  const DocSortedView& driver = views_[order_[0]];
+  const double driver_idf = driver.idf();
+  for (std::size_t dpos = 0; dpos < driver.size();) {
+    const DocId candidate = driver[dpos].doc;
+    ++touched;
+    double score = std::log(1.0 + driver[dpos].tf) * driver_idf;
+    bool all = true;
+    DocId next_candidate = candidate + 1;
+    for (std::size_t k = 1; k < n && all; ++k) {
+      const DocSortedView& list = views_[order_[k]];
+      std::size_t& cur = cursor_[order_[k]];
+      cur = list.advance(cur, candidate, &skip_hops);
+      ++touched;
+      if (cur >= list.size()) {
+        // This list is exhausted: no further candidate can match.
+        dpos = driver.size();
+        all = false;
+        break;
+      }
+      if (list[cur].doc != candidate) {
+        next_candidate = list[cur].doc;
+        all = false;
+      } else {
+        score += std::log(1.0 + list[cur].tf) * list.idf();
+      }
+    }
+    if (dpos >= driver.size()) break;
+    if (all) {
+      ++matched;
+      top_docs_.push(ScoredDoc{candidate, static_cast<float>(score)});
+      ++dpos;
+    } else {
+      // Leap the driver to the blocking list's doc id.
+      dpos = driver.advance(dpos, next_candidate, &skip_hops);
+    }
+  }
+
+  if (stats) {
+    stats->docs_scored = matched;
+    stats->postings_touched = touched;
+    stats->skip_hops = skip_hops;
+  }
+  out.docs = top_docs_.take_sorted();
+  return out;
+}
+
+ResultEntry NaiveDaatProcessor::intersect(const MaterializedIndex& index,
+                                          const Query& query,
+                                          DaatStats* stats) const {
+  ResultEntry out;
+  out.query = query.id;
+  if (query.terms.empty()) return out;
+
+  // Build doc-sorted copies, shortest list first (drives the loop).
   std::vector<DocSortedList> lists;
   lists.reserve(query.terms.size());
   std::vector<double> idf;

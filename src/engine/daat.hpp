@@ -3,6 +3,14 @@
 // reads" (§III): doc-id-ordered lists are intersected by repeatedly
 // advancing the laggard cursor, and skip entries let advance() leap over
 // runs of postings instead of scanning them.
+//
+// Two processors share the algorithm (DESIGN.md §8):
+//  * DaatProcessor — the hot path: consumes the index's precomputed
+//    DocSortedViews (zero per-query copy/sort/allocation, scratch
+//    buffers reused across queries, bounded-heap top-K);
+//  * NaiveDaatProcessor — the seed reference implementation, which
+//    rebuilds a DocSortedList per query; kept for the equivalence suite
+//    that pins the hot path to bit-identical results.
 #pragma once
 
 #include <cstdint>
@@ -10,12 +18,14 @@
 
 #include "src/engine/query.hpp"
 #include "src/engine/result.hpp"
+#include "src/engine/top_k.hpp"
 #include "src/index/inverted_index.hpp"
 
 namespace ssdse {
 
 /// Doc-id-sorted projection of a posting list with a one-level skip
-/// table (every `skip_interval` postings).
+/// table (every `skip_interval` postings). Owns a per-query copy; the
+/// hot path uses the index's precomputed DocSortedView instead.
 class DocSortedList {
  public:
   DocSortedList() = default;
@@ -39,6 +49,7 @@ class DocSortedList {
   std::vector<Posting> postings_;  // doc-id ascending
   std::vector<std::uint32_t> skip_index_;  // indices into postings_
   std::vector<DocId> skip_doc_;            // doc id at each skip entry
+  std::uint32_t skip_interval_ = 1;        // spacing of skip entries
 };
 
 struct DaatStats {
@@ -48,12 +59,36 @@ struct DaatStats {
 };
 
 /// Conjunctive (AND) top-K: returns documents containing *every* query
-/// term, scored by summed log-tf x idf, descending.
+/// term, scored by summed log-tf x idf, descending. Intersects the
+/// index's precomputed doc-sorted views; per-processor scratch buffers
+/// make intersect() allocation-free apart from the returned top-K.
+/// Not thread-safe: use one processor per worker thread.
 class DaatProcessor {
  public:
   explicit DaatProcessor(std::size_t top_k = kTopK) : top_k_(top_k) {}
 
   /// Requires a materialized index (real postings).
+  ResultEntry intersect(const MaterializedIndex& index, const Query& query,
+                        DaatStats* stats = nullptr);
+
+ private:
+  std::size_t top_k_;
+  // Scratch reused across queries (sized to the query's term count).
+  std::vector<DocSortedView> views_;
+  std::vector<std::size_t> cursor_;
+  std::vector<std::uint32_t> order_;
+  TopKAccumulator top_docs_;
+};
+
+/// Reference implementation with seed semantics: copies and re-sorts
+/// every posting list per query, collects all matches, partial-sorts.
+/// Slow by design — the equivalence suite intersects through both
+/// processors and asserts bit-identical results and stats.
+class NaiveDaatProcessor {
+ public:
+  explicit NaiveDaatProcessor(std::size_t top_k = kTopK)
+      : top_k_(top_k) {}
+
   ResultEntry intersect(const MaterializedIndex& index, const Query& query,
                         DaatStats* stats = nullptr) const;
 

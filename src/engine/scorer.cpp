@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "src/engine/top_k.hpp"
+
 namespace ssdse {
 
 namespace {
@@ -30,15 +32,16 @@ ScoreOutcome Scorer::score_materialized(MaterializedIndex& index,
                                         const Query& query) const {
   ScoreOutcome out;
   out.result.query = query.id;
+  out.terms.reserve(query.terms.size());
   std::unordered_map<DocId, float> acc;
 
-  const double n_docs = static_cast<double>(index.num_docs());
   for (TermId t : query.terms) {
     const PostingList& list = *index.postings(t);
     TermScoreInfo info{t, 0, 1.0};
     if (!list.empty()) {
-      const double idf =
-          std::log(1.0 + n_docs / static_cast<double>(list.size()));
+      // idf precomputed at index build (TermMeta::idf) — no per-query
+      // std::log for list weighting.
+      const double idf = index.term_meta_fast(t).idf;
       const auto tf_top = list[0].tf;
       const auto tf_floor = static_cast<std::uint32_t>(
           std::ceil(cfg_.tf_cutoff * static_cast<double>(tf_top)));
@@ -65,18 +68,12 @@ ScoreOutcome Scorer::score_materialized(MaterializedIndex& index,
     out.terms.push_back(info);
   }
 
-  // Extract top-K by partial sort.
-  std::vector<ScoredDoc> scored;
-  scored.reserve(acc.size());
-  for (const auto& [doc, s] : acc) scored.push_back(ScoredDoc{doc, s});
-  const std::size_t k = std::min(cfg_.top_k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
-                    scored.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.doc < b.doc;
-                    });
-  scored.resize(k);
-  out.result.docs = std::move(scored);
+  // Extract the top-K through a bounded heap: O(n log k), no
+  // intermediate full-size vector. The ranking order is total (ties
+  // break on doc id), so this selects exactly what partial_sort did.
+  TopKAccumulator top_docs(cfg_.top_k);
+  for (const auto& [doc, s] : acc) top_docs.push(ScoredDoc{doc, s});
+  out.result.docs = top_docs.take_sorted();
   out.cpu_time = cfg_.cpu_fixed +
                  cfg_.cpu_per_posting * static_cast<double>(out.total_postings);
   return out;
@@ -86,20 +83,20 @@ ScoreOutcome Scorer::score_analytic(const IndexView& index,
                                     const Query& query) const {
   ScoreOutcome out;
   out.result.query = query.id;
+  out.terms.reserve(query.terms.size());
   for (TermId t : query.terms) {
-    const TermMeta meta = index.term_meta(t);
+    const TermMeta meta = index.term_meta_fast(t);
     const auto processed = static_cast<std::uint64_t>(
         std::ceil(meta.utilization * static_cast<double>(meta.df)));
     out.terms.push_back(TermScoreInfo{t, processed, meta.utilization});
     out.total_postings += processed;
   }
-  const std::size_t k =
-      std::min<std::uint64_t>(cfg_.top_k, index.num_docs());
+  const std::uint64_t num_docs = index.num_docs();
+  const std::size_t k = std::min<std::uint64_t>(cfg_.top_k, num_docs);
   out.result.docs.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
-    out.result.docs.push_back(ScoredDoc{
-        synth_doc(query.id, i, index.num_docs()),
-        static_cast<float>(k - i)});
+    out.result.docs.push_back(ScoredDoc{synth_doc(query.id, i, num_docs),
+                                        static_cast<float>(k - i)});
   }
   out.cpu_time = cfg_.cpu_fixed +
                  cfg_.cpu_per_posting * static_cast<double>(out.total_postings);

@@ -60,9 +60,27 @@ class Ftl {
   /// (returns erased-pattern cost). Returns latency.
   virtual Micros read(Lpn lpn) = 0;
 
+  /// Read `count` consecutive logical pages. Identical accounting to
+  /// calling read() per page (same per-page latency sum, same stats),
+  /// but one dispatch per run — the host read path issues every list
+  /// and result-cache access through here.
+  virtual Micros read_run(Lpn first, std::uint64_t count) {
+    Micros t = 0;
+    for (std::uint64_t i = 0; i < count; ++i) t += read(first + i);
+    return t;
+  }
+
   /// Write a logical page (out-of-place). Returns latency including any
   /// GC work it had to wait for.
   virtual Micros write(Lpn lpn) = 0;
+
+  /// Write `count` consecutive logical pages; identical accounting to
+  /// calling write() per page, one dispatch per run.
+  virtual Micros write_run(Lpn first, std::uint64_t count) {
+    Micros t = 0;
+    for (std::uint64_t i = 0; i < count; ++i) t += write(first + i);
+    return t;
+  }
 
   /// Drop a logical page (SSD TRIM): unmap and invalidate.
   virtual Micros trim(Lpn lpn) = 0;

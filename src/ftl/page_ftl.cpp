@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
 namespace ssdse {
@@ -46,6 +47,12 @@ PageFtl::PageFtl(NandArray& nand, const FtlConfig& cfg)
     state_[active_[s]] = BState::kActive;
     cursor_[s] = 0;
   }
+  // Lazy deletion leaves at most one stale heap entry per invalidation;
+  // cap the backlog at a few live-set sizes before rebuilding.
+  compact_limit_ = static_cast<std::size_t>(nc.num_blocks) * 4 + 64;
+  candidates_.reserve(compact_limit_);
+  is_dirty_.assign(nc.num_blocks, 0);
+  dirty_.reserve(nc.num_blocks);
 }
 
 void PageFtl::check_lpn(Lpn lpn) const {
@@ -58,14 +65,45 @@ void PageFtl::invalidate(Ppn ppn) {
   assert(ppn != kUnmappedP);
   const Pbn blk = nand_.block_of(ppn);
   assert(valid_[blk] > 0);
-  if (state_[blk] == BState::kUsed) {
-    candidates_.erase(std::tuple{valid_[blk], seal_wear_[blk], blk});
-    --valid_[blk];
-    candidates_.insert(std::tuple{valid_[blk], seal_wear_[blk], blk});
-  } else {
-    --valid_[blk];
+  --valid_[blk];
+  // Defer the heap push: just queue the block as dirty (once). Its
+  // current key is pushed in a batch when GC next needs a victim, so
+  // repeated overwrites between collections cost O(1) each; stale keys
+  // already in the heap are filtered out when popped (lazy deletion).
+  if (state_[blk] == BState::kUsed && !is_dirty_[blk]) {
+    is_dirty_[blk] = 1;
+    dirty_.push_back(blk);
   }
   rmap_[ppn] = kUnmappedL;
+}
+
+void PageFtl::push_candidate(Pbn b) {
+  candidates_.emplace_back(valid_[b], seal_wear_[b], b);
+  std::push_heap(candidates_.begin(), candidates_.end(), std::greater<>{});
+  if (candidates_.size() > compact_limit_) compact_candidates();
+}
+
+void PageFtl::flush_dirty_candidates() {
+  for (const Pbn b : dirty_) {
+    is_dirty_[b] = 0;
+    // Blocks reclaimed (or re-activated) since being queued have no
+    // live key to refresh.
+    if (state_[b] == BState::kUsed) push_candidate(b);
+  }
+  dirty_.clear();
+}
+
+void PageFtl::compact_candidates() {
+  // Rebuilding from live state also supersedes any queued dirty keys.
+  for (const Pbn b : dirty_) is_dirty_[b] = 0;
+  dirty_.clear();
+  candidates_.clear();
+  for (Pbn b = 0; b < state_.size(); ++b) {
+    if (state_[b] == BState::kUsed) {
+      candidates_.emplace_back(valid_[b], seal_wear_[b], b);
+    }
+  }
+  std::make_heap(candidates_.begin(), candidates_.end(), std::greater<>{});
 }
 
 Pbn PageFtl::pop_free_block() {
@@ -109,7 +147,7 @@ Ppn PageFtl::alloc_page(bool gc_stream) {
     const Pbn old = active_[s];
     state_[old] = BState::kUsed;
     seal_wear_[old] = cfg_.wear_leveling ? nand_.erase_count(old) : 0;
-    candidates_.insert(std::tuple{valid_[old], seal_wear_[old], old});
+    push_candidate(old);
     if (free_blocks_.empty()) {
       throw std::logic_error("PageFtl: free pool exhausted (GC invariant)");
     }
@@ -124,16 +162,30 @@ Ppn PageFtl::alloc_page(bool gc_stream) {
 
 Micros PageFtl::gc_once() {
   const auto& nc = nand_.config();
-  if (candidates_.empty()) {
-    throw std::logic_error("PageFtl: GC with no candidate blocks");
+  flush_dirty_candidates();
+  // Pop until the minimum entry reflects a block's live state. A stale
+  // entry that *matches* live state is necessarily equal to that
+  // block's current key (same tuple), so accepting it picks the same
+  // victim an exact ordered set would.
+  std::uint32_t best = 0;
+  Pbn victim = 0;
+  for (;;) {
+    if (candidates_.empty()) {
+      throw std::logic_error("PageFtl: GC with no candidate blocks");
+    }
+    const auto [v, w, b] = candidates_.front();
+    std::pop_heap(candidates_.begin(), candidates_.end(), std::greater<>{});
+    candidates_.pop_back();
+    if (state_[b] == BState::kUsed && valid_[b] == v && seal_wear_[b] == w) {
+      best = v;
+      victim = b;
+      break;
+    }
   }
-  const auto [best, victim_wear, victim] = *candidates_.begin();
-  (void)victim_wear;
   if (best >= nc.pages_per_block) {
     throw std::logic_error(
         "PageFtl: no reclaimable block (logical space overcommitted)");
   }
-  candidates_.erase(candidates_.begin());
   Micros cost = 0;
   const Ppn base = static_cast<Ppn>(victim) * nc.pages_per_block;
   for (std::uint32_t p = 0; p < nc.pages_per_block; ++p) {
@@ -184,6 +236,39 @@ Micros PageFtl::read(Lpn lpn) {
   }
   stats_.host_busy += cost;
   return cost;
+}
+
+Micros PageFtl::read_run(Lpn first, std::uint64_t count) {
+  // Inlined per-page read loop: byte-for-byte the accounting of read()
+  // called `count` times (same stats increments, same latency summation
+  // order), minus one virtual dispatch per page.
+  Micros t = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Lpn lpn = first + i;
+    check_lpn(lpn);
+    ++stats_.host_reads;
+    Micros cost = kCtrlOverhead;
+    const Ppn ppn = map_[lpn];
+    if (ppn != kUnmappedP) {
+      std::uint64_t tag = 0;
+      cost += nand_.read_page(ppn, &tag);
+      if (tag != make_tag(lpn, version_[lpn])) {
+        throw std::logic_error("PageFtl: tag mismatch on read (mapping bug)");
+      }
+    }
+    stats_.host_busy += cost;
+    t += cost;
+  }
+  return t;
+}
+
+Micros PageFtl::write_run(Lpn first, std::uint64_t count) {
+  // Same per-page call sequence as the base default, but the qualified
+  // call devirtualizes write() so the compiler can inline the page body
+  // into the loop (write_pages issues tens of pages per request).
+  Micros t = 0;
+  for (std::uint64_t i = 0; i < count; ++i) t += PageFtl::write(first + i);
+  return t;
 }
 
 Micros PageFtl::write(Lpn lpn) {

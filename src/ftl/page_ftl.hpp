@@ -1,11 +1,10 @@
 // Page-mapping FTL — the paper's baseline ("ideal page-based FTL",
 // Intel AP-684). Full page-granular mapping table, out-of-place writes
 // into per-stream active blocks, greedy (min-valid-pages) garbage
-// collection with an ordered candidate set for O(log B) victim picks,
-// hot/cold separation between host and GC write streams.
+// collection with a lazy-deletion candidate heap for O(log B) victim
+// picks, hot/cold separation between host and GC write streams.
 #pragma once
 
-#include <set>
 #include <tuple>
 #include <vector>
 
@@ -19,6 +18,8 @@ class PageFtl final : public Ftl {
 
   Lpn logical_pages() const override { return logical_pages_; }
   Micros read(Lpn lpn) override;
+  Micros read_run(Lpn first, std::uint64_t count) override;
+  Micros write_run(Lpn first, std::uint64_t count) override;
   Micros write(Lpn lpn) override;
   Micros trim(Lpn lpn) override;
   std::string name() const override { return "page"; }
@@ -43,6 +44,17 @@ class PageFtl final : public Ftl {
   void push_free_block(Pbn b);
   void invalidate(Ppn ppn);
   void check_lpn(Lpn lpn) const;
+  /// Record the current (valid, seal-wear) key of a Used block in the
+  /// candidate heap; stale earlier entries are left behind and filtered
+  /// out lazily at victim-selection time.
+  void push_candidate(Pbn b);
+  /// Push the current keys of all dirty blocks (invalidated since the
+  /// last GC) — called before victim selection so every Used block's
+  /// live key is present in the heap.
+  void flush_dirty_candidates();
+  /// Rebuild the candidate heap from live block state when lazy
+  /// deletion has let it grow past compact_limit_.
+  void compact_candidates();
 
   FtlConfig cfg_;
   Lpn logical_pages_;
@@ -52,8 +64,21 @@ class PageFtl final : public Ftl {
   std::vector<std::uint32_t> valid_;   // block -> valid page count
   std::vector<BState> state_;          // block -> lifecycle state
   std::vector<std::uint32_t> seal_wear_;  // wear key at seal time (WL)
-  // (valid, wear-at-seal, blk); wear component is 0 unless wear_leveling.
-  std::set<std::tuple<std::uint32_t, std::uint32_t, Pbn>> candidates_;
+  // GC victim candidates: (valid, wear-at-seal, blk) min-heap with lazy
+  // deletion — invalidate() pushes the updated key instead of erasing
+  // the old one, and gc_once() discards entries whose key no longer
+  // matches the block's live state. Because valid_ only decreases while
+  // a block stays Used, every block's *current* key is always present,
+  // so the first live entry popped is exactly the ordered-set minimum.
+  // The wear component is 0 unless wear_leveling.
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, Pbn>> candidates_;
+  std::size_t compact_limit_ = 0;  // heap size that triggers compaction
+  // Invalidation defers the heap push: a block is marked dirty on its
+  // first invalidation since the last GC, and all dirty keys are pushed
+  // in one batch when a victim is next needed — many overwrites of the
+  // same block between GCs collapse into a single heap operation.
+  std::vector<Pbn> dirty_;
+  std::vector<std::uint8_t> is_dirty_;  // block -> queued in dirty_
   std::vector<Pbn> free_blocks_;  // max-heap-by-(-wear) when WL is on
   Pbn active_[2];                      // [0] host stream, [1] GC stream
   std::uint32_t cursor_[2];            // next page within active block

@@ -169,17 +169,34 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
 
   bool used_mem = false, used_ssd = false, used_hdd = false;
   // Three-level extension: a cached intersection covers both terms of a
-  // pair, skipping their list fetches entirely.
-  std::vector<bool> covered(q.terms.size(), false);
+  // pair, skipping their list fetches entirely. Queries are a handful
+  // of terms, so the covered set is a stack bitmask, not a heap vector
+  // (execute() is the hot loop; one allocation per query shows up).
+  std::uint64_t covered_mask = 0;
+  std::vector<bool> covered_wide;  // only for pathological term counts
+  const bool wide = q.terms.size() > 64;
+  if (wide) covered_wide.assign(q.terms.size(), false);
+  const auto covered = [&](std::size_t i) {
+    return wide ? static_cast<bool>(covered_wide[i])
+                : ((covered_mask >> i) & 1) != 0;
+  };
+  const auto mark_covered = [&](std::size_t i) {
+    if (wide) {
+      covered_wide[i] = true;
+    } else {
+      covered_mask |= 1ull << i;
+    }
+  };
   for (std::size_t i = 0; i + 1 < q.terms.size(); i += 2) {
     if (cm_->lookup_intersection(q.terms[i], q.terms[i + 1], &t)) {
-      covered[i] = covered[i + 1] = true;
+      mark_covered(i);
+      mark_covered(i + 1);
       used_mem = true;
     }
   }
   std::uint64_t covered_requests = 0;
   for (std::size_t i = 0; i < q.terms.size(); ++i) {
-    if (covered[i]) {
+    if (covered(i)) {
       ++covered_requests;  // intersection hit covered this term
       continue;
     }
@@ -202,7 +219,7 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
   cm_->insert_result(scored.result);
   // Admit intersections computed as a by-product of scoring.
   for (std::size_t i = 0; i + 1 < q.terms.size(); i += 2) {
-    if (!covered[i]) cm_->insert_intersection(q.terms[i], q.terms[i + 1]);
+    if (!covered(i)) cm_->insert_intersection(q.terms[i], q.terms[i + 1]);
   }
 
   out.response = t;

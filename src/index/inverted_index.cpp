@@ -1,6 +1,7 @@
 #include "src/index/inverted_index.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "src/index/codec.hpp"
@@ -17,17 +18,24 @@ IndexLayout layout_from_sizes(std::vector<Bytes> sizes) {
 
 AnalyticIndex::AnalyticIndex(const CorpusConfig& cfg) : model_(cfg) {
   std::vector<Bytes> sizes(model_.vocab_size());
+  metas_.resize(model_.vocab_size());
+  const double n_docs = static_cast<double>(model_.num_docs());
   for (TermId t = 0; t < model_.vocab_size(); ++t) {
     sizes[t] = model_.list_bytes(t);
+    const auto df = model_.df(t);
+    metas_[t] = TermMeta{
+        df, model_.list_bytes(t), model_.utilization(t),
+        df ? std::log(1.0 + n_docs / static_cast<double>(df)) : 0.0};
   }
   layout_ = layout_from_sizes(std::move(sizes));
+  register_meta_table(metas_.data(), metas_.size());
 }
 
 TermMeta AnalyticIndex::term_meta(TermId t) const {
-  if (t >= model_.vocab_size()) {
+  if (t >= metas_.size()) {
     throw std::out_of_range("AnalyticIndex: term id out of range");
   }
-  return TermMeta{model_.df(t), model_.list_bytes(t), model_.utilization(t)};
+  return metas_[t];
 }
 
 MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
@@ -40,28 +48,57 @@ MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
   }
   const auto codec = make_codec(corpus.config().codec);
   lists_.reserve(raw.size());
-  encoded_bytes_.reserve(raw.size());
+  metas_.reserve(raw.size());
   std::vector<Bytes> sizes;
   sizes.reserve(raw.size());
+  std::size_t total_postings = 0;
+  for (const auto& postings : raw) total_postings += postings.size();
+  doc_sorted_.reserve(raw.size(), total_postings);
+  const double n_docs = static_cast<double>(num_docs_);
   for (auto& postings : raw) {
+    // The corpus emits postings in ascending doc order, so the raw list
+    // *is* the doc-sorted projection: snapshot it into the arena before
+    // PostingList re-sorts by descending tf.
+    const double daat_idf = std::log(
+        1.0 + n_docs / (static_cast<double>(postings.size()) + 1.0));
+    const bool sorted = std::is_sorted(
+        postings.begin(), postings.end(),
+        [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+    if (sorted) {
+      doc_sorted_.add_list(postings, daat_idf);
+    } else {  // future-proofing: corpora built from unordered sources
+      std::vector<Posting> by_doc(postings);
+      std::sort(by_doc.begin(), by_doc.end(),
+                [](const Posting& a, const Posting& b) {
+                  return a.doc < b.doc;
+                });
+      doc_sorted_.add_list(by_doc, daat_idf);
+    }
+    const double scoring_idf =
+        postings.empty()
+            ? 0.0
+            : std::log(1.0 + n_docs / static_cast<double>(postings.size()));
     lists_.emplace_back(std::move(postings));
     const Bytes encoded = lists_.back().empty()
                               ? 0
                               : codec->encoded_bytes(
                                     lists_.back().postings());
-    encoded_bytes_.push_back(std::max<Bytes>(encoded, 1));
-    sizes.push_back(encoded_bytes_.back());
+    metas_.push_back(TermMeta{lists_.back().size(),
+                              std::max<Bytes>(encoded, 1),
+                              /*utilization=*/1.0, scoring_idf});
+    sizes.push_back(metas_.back().list_bytes);
   }
   layout_ = layout_from_sizes(std::move(sizes));
   pu_mean_.assign(lists_.size(), 1.0f);
   pu_samples_.assign(lists_.size(), 0);
+  register_meta_table(metas_.data(), metas_.size());
 }
 
 TermMeta MaterializedIndex::term_meta(TermId t) const {
   if (t >= lists_.size()) {
     throw std::out_of_range("MaterializedIndex: term id out of range");
   }
-  return TermMeta{lists_[t].size(), encoded_bytes_[t], pu_mean_[t]};
+  return metas_[t];
 }
 
 void MaterializedIndex::record_utilization(TermId t, double pu) {
@@ -70,12 +107,15 @@ void MaterializedIndex::record_utilization(TermId t, double pu) {
   }
   const auto n = ++pu_samples_[t];
   // Running mean; first sample replaces the optimistic 1.0 default.
+  // Accumulated in float (as the pre-table implementation did), then
+  // mirrored into the meta table the hot path reads.
   if (n == 1) {
     pu_mean_[t] = static_cast<float>(pu);
   } else {
     pu_mean_[t] += (static_cast<float>(pu) - pu_mean_[t]) /
                    static_cast<float>(n);
   }
+  metas_[t].utilization = static_cast<double>(pu_mean_[t]);
 }
 
 }  // namespace ssdse

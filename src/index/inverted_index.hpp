@@ -11,9 +11,11 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "src/index/corpus.hpp"
+#include "src/index/doc_sorted.hpp"
 #include "src/index/layout.hpp"
 #include "src/index/posting.hpp"
 
@@ -23,6 +25,9 @@ struct TermMeta {
   std::uint64_t df = 0;       // documents containing the term
   Bytes list_bytes = 0;       // on-disk inverted list size
   double utilization = 1.0;   // PU: fraction of the list query processing reads
+  /// Precomputed scoring idf, log(1 + N / df); 0 for empty lists. Built
+  /// once with the index so the scorer never calls std::log per query.
+  double idf = 0.0;
 };
 
 class IndexView {
@@ -36,6 +41,32 @@ class IndexView {
 
   /// Materialized postings, or nullptr for analytic indexes.
   virtual const PostingList* postings(TermId /*t*/) const { return nullptr; }
+
+  /// Hot-path term_meta: both built-in indexes keep their metadata in a
+  /// contiguous table registered at construction, so the common case is
+  /// an inline bounds-checked array load with no virtual dispatch.
+  /// Implementations without a table fall back to the virtual call.
+  TermMeta term_meta_fast(TermId t) const {
+    if (meta_table_ != nullptr) {
+      if (t >= meta_count_) {
+        throw std::out_of_range("IndexView: term id out of range");
+      }
+      return meta_table_[t];
+    }
+    return term_meta(t);
+  }
+
+ protected:
+  /// Derived classes call this once the table's storage is stable (it
+  /// must outlive the index and never reallocate).
+  void register_meta_table(const TermMeta* table, std::size_t count) {
+    meta_table_ = table;
+    meta_count_ = count;
+  }
+
+ private:
+  const TermMeta* meta_table_ = nullptr;
+  std::size_t meta_count_ = 0;
 };
 
 class AnalyticIndex final : public IndexView {
@@ -52,6 +83,11 @@ class AnalyticIndex final : public IndexView {
  private:
   TermStatsModel model_;
   IndexLayout layout_;
+  // Full TermMeta per term, one contiguous array: term_meta() is on the
+  // hot path (scorer + cache manager, several calls per query) and a
+  // single-struct read costs one cache miss where gathering df / bytes /
+  // pu / idf from four parallel arrays cost up to four.
+  std::vector<TermMeta> metas_;
 };
 
 class MaterializedIndex final : public IndexView {
@@ -68,6 +104,11 @@ class MaterializedIndex final : public IndexView {
   const IndexLayout& layout() const override { return layout_; }
   const PostingList* postings(TermId t) const override { return &lists_[t]; }
 
+  /// Borrow the precomputed doc-sorted projection of a term's list
+  /// (immutable arena slice; no copy, no sort — DESIGN.md §8).
+  DocSortedView doc_sorted(TermId t) const { return doc_sorted_.view(t); }
+  const DocSortedStore& doc_sorted_store() const { return doc_sorted_; }
+
   /// Called by the scorer after processing a list; keeps a running mean
   /// utilization per term (the paper's "computing during the process of
   /// retrieval" option for obtaining PU).
@@ -76,8 +117,12 @@ class MaterializedIndex final : public IndexView {
  private:
   std::uint64_t num_docs_;
   std::vector<PostingList> lists_;
-  std::vector<Bytes> encoded_bytes_;  // per-list on-disk size (codec)
   IndexLayout layout_;
+  DocSortedStore doc_sorted_;  // build-once doc-ordered projections
+  // Contiguous TermMeta table (df, encoded bytes, running-mean PU, idf)
+  // backing term_meta_fast(); record_utilization keeps the utilization
+  // field in step with pu_mean_.
+  std::vector<TermMeta> metas_;
   std::vector<float> pu_mean_;
   std::vector<std::uint32_t> pu_samples_;
 };

@@ -22,6 +22,10 @@ void ByteWriter::f32(float v) {
 }
 
 void ByteWriter::bytes(const void* data, std::size_t len) {
+  // Empty appends short-circuit: `data` may be null (e.g. an empty
+  // payload's data()), and the guard also keeps GCC's -O2 stringop
+  // range analysis from flagging the 0-length vector insert.
+  if (len == 0) return;
   const auto* p = static_cast<const std::uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + len);
 }

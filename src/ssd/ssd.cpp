@@ -19,15 +19,11 @@ Bytes Ssd::capacity_bytes() const {
 }
 
 Micros Ssd::read_pages(Lpn first, std::uint64_t count) {
-  Micros t = 0;
-  for (std::uint64_t i = 0; i < count; ++i) t += ftl_->read(first + i);
-  return t;
+  return ftl_->read_run(first, count);
 }
 
 Micros Ssd::write_pages(Lpn first, std::uint64_t count) {
-  Micros t = 0;
-  for (std::uint64_t i = 0; i < count; ++i) t += ftl_->write(first + i);
-  return t;
+  return ftl_->write_run(first, count);
 }
 
 Micros Ssd::trim_pages(Lpn first, std::uint64_t count) {

@@ -13,20 +13,12 @@ NandArray::NandArray(const NandConfig& cfg)
       next_page_(cfg.num_blocks, 0),
       wear_(cfg.num_blocks, 0) {}
 
-Micros NandArray::read_page(Ppn ppn, std::uint64_t* tag_out) {
-  if (ppn >= cfg_.total_pages()) {
-    throw std::out_of_range("NandArray::read_page: ppn out of range");
-  }
-  if (tag_out) *tag_out = tags_[ppn];
-  ++stats_.page_reads;
-  stats_.busy += cfg_.page_read;
-  return cfg_.page_read;
+void NandArray::throw_ppn_range(const char* fn, Ppn /*ppn*/) const {
+  throw std::out_of_range(std::string("NandArray::") + fn +
+                          ": ppn out of range");
 }
 
-Micros NandArray::program_page(Ppn ppn, std::uint64_t tag) {
-  if (ppn >= cfg_.total_pages()) {
-    throw std::out_of_range("NandArray::program_page: ppn out of range");
-  }
+void NandArray::throw_program_violation(Ppn ppn) const {
   if (tags_[ppn] != kNandFreeTag) {
     throw std::logic_error(
         "NandArray: program of non-erased page " + std::to_string(ppn) +
@@ -34,17 +26,10 @@ Micros NandArray::program_page(Ppn ppn, std::uint64_t tag) {
   }
   const Pbn blk = block_of(ppn);
   const std::uint32_t pib = page_in_block(ppn);
-  if (pib != next_page_[blk]) {
-    throw std::logic_error(
-        "NandArray: out-of-order program in block " + std::to_string(blk) +
-        ": page " + std::to_string(pib) + ", expected " +
-        std::to_string(next_page_[blk]));
-  }
-  tags_[ppn] = tag;
-  next_page_[blk] = pib + 1;
-  ++stats_.page_programs;
-  stats_.busy += cfg_.page_program;
-  return cfg_.page_program;
+  throw std::logic_error(
+      "NandArray: out-of-order program in block " + std::to_string(blk) +
+      ": page " + std::to_string(pib) + ", expected " +
+      std::to_string(next_page_[blk]));
 }
 
 Micros NandArray::erase_block(Pbn block) {

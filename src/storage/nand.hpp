@@ -56,12 +56,31 @@ class NandArray {
   const NandStats& stats() const { return stats_; }
 
   /// Read one page; returns latency. `tag_out` receives the stored host
-  /// tag (kNandFreeTag if the page is erased).
-  Micros read_page(Ppn ppn, std::uint64_t* tag_out = nullptr);
+  /// tag (kNandFreeTag if the page is erased). Inline: FTLs issue one
+  /// call per page and the simulator's throughput is bounded by it.
+  Micros read_page(Ppn ppn, std::uint64_t* tag_out = nullptr) {
+    if (ppn >= tags_.size()) throw_ppn_range("read_page", ppn);
+    if (tag_out) *tag_out = tags_[ppn];
+    ++stats_.page_reads;
+    stats_.busy += cfg_.page_read;
+    return cfg_.page_read;
+  }
 
   /// Program one page with a host tag. Throws std::logic_error if the
   /// page is not erased or programming is out of order within the block.
-  Micros program_page(Ppn ppn, std::uint64_t tag);
+  Micros program_page(Ppn ppn, std::uint64_t tag) {
+    if (ppn >= tags_.size()) throw_ppn_range("program_page", ppn);
+    const Pbn blk = block_of(ppn);
+    const std::uint32_t pib = page_in_block(ppn);
+    if (tags_[ppn] != kNandFreeTag || pib != next_page_[blk]) {
+      throw_program_violation(ppn);
+    }
+    tags_[ppn] = tag;
+    next_page_[blk] = pib + 1;
+    ++stats_.page_programs;
+    stats_.busy += cfg_.page_program;
+    return cfg_.page_program;
+  }
 
   /// Erase a whole block; increments its wear counter.
   Micros erase_block(Pbn block);
@@ -79,6 +98,9 @@ class NandArray {
   }
 
  private:
+  [[noreturn]] void throw_ppn_range(const char* fn, Ppn ppn) const;
+  [[noreturn]] void throw_program_violation(Ppn ppn) const;
+
   NandConfig cfg_;
   NandStats stats_;
   std::vector<std::uint64_t> tags_;         // per page; kNandFreeTag = erased

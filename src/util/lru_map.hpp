@@ -10,6 +10,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <iterator>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -46,16 +47,25 @@ class LruMap {
     return &it->second->second;
   }
 
-  /// Insert (or overwrite) at the MRU position.
+  /// Insert (or overwrite) at the MRU position. Single hash probe
+  /// (try_emplace doubles as the existence check), and recycled list
+  /// nodes: steady-state churn (pop_lru feeding insert) allocates
+  /// nothing.
   V& insert(const K& key, V value) {
-    auto it = index_.find(key);
-    if (it != index_.end()) {
+    auto [it, inserted] = index_.try_emplace(key, iterator{});
+    if (!inserted) {
       it->second->second = std::move(value);
       list_.splice(list_.begin(), list_, it->second);
       return it->second->second;
     }
-    list_.emplace_front(key, std::move(value));
-    index_.emplace(key, list_.begin());
+    if (spare_.empty()) {
+      list_.emplace_front(key, std::move(value));
+    } else {
+      spare_.front().first = key;
+      spare_.front().second = std::move(value);
+      list_.splice(list_.begin(), spare_, spare_.begin());
+    }
+    it->second = list_.begin();
     return list_.front().second;
   }
 
@@ -64,7 +74,7 @@ class LruMap {
     auto it = index_.find(key);
     if (it == index_.end()) return std::nullopt;
     V v = std::move(it->second->second);
-    list_.erase(it->second);
+    recycle(it->second);
     index_.erase(it);
     return v;
   }
@@ -74,7 +84,7 @@ class LruMap {
     if (list_.empty()) return std::nullopt;
     Entry e = std::move(list_.back());
     index_.erase(e.first);
-    list_.pop_back();
+    recycle(--list_.end());
     return e;
   }
 
@@ -85,7 +95,9 @@ class LruMap {
   /// Erase by iterator (valid list iterator), returning the next one.
   iterator erase(iterator it) {
     index_.erase(it->first);
-    return list_.erase(it);
+    const iterator next = std::next(it);
+    recycle(it);
+    return next;
   }
 
   // MRU-first iteration.
@@ -102,11 +114,20 @@ class LruMap {
 
   void clear() {
     list_.clear();
+    spare_.clear();
     index_.clear();
   }
 
  private:
-  std::list<Entry> list_;  // front = MRU, back = LRU
+  /// Detach a node from the live list into the spare pool (its value
+  /// has already been moved out). The pool never exceeds the map's own
+  /// historical peak size.
+  void recycle(iterator it) {
+    spare_.splice(spare_.begin(), list_, it);
+  }
+
+  std::list<Entry> list_;   // front = MRU, back = LRU
+  std::list<Entry> spare_;  // recycled nodes awaiting reuse
   std::unordered_map<K, iterator> index_;
 };
 

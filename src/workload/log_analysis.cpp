@@ -39,7 +39,7 @@ LogAnalysis analyze_log(const QueryLogConfig& log_cfg, const IndexView& index,
     for (TermId t : q.terms) out.term_freq.add(t);
   }
   for (const auto& [term, freq] : out.term_freq.sorted()) {
-    const auto meta = index.term_meta(static_cast<TermId>(term));
+    const auto meta = index.term_meta_fast(static_cast<TermId>(term));
     const auto sc =
         formula_sc_blocks(meta.list_bytes, meta.utilization, block_bytes);
     out.terms_by_ev.push_back(TermEfficiency{

@@ -222,6 +222,61 @@ TEST_F(CacheManagerTest, OversizedCacheCapacitiesRejected) {
                std::invalid_argument);
 }
 
+TEST_F(CacheManagerTest, DegenerateL1ServesWriteBufferHitFromScratch) {
+  // Regression: with an L1 too small for even one entry, promotion on a
+  // write-buffer hit used to re-probe L1 for the just-inserted entry and
+  // dereference the (null) miss. The hit must now be served from the
+  // manager's scratch copy while the entry continues down the cascade.
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.mem_result_capacity = 1 * KiB;  // below one 20 KiB entry -> 0 slots
+  cc.min_result_freq_for_ssd = 1;    // everything qualifies for the SSD
+  CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
+  ASSERT_EQ(cm.mem_results().max_entries(), 0u);
+
+  cm.insert_result(make_result(7));
+  EXPECT_EQ(cm.mem_results().size(), 0u);  // bounced straight through
+  EXPECT_GT(cm.write_buffer().size(), 0u);
+
+  Tier tier;
+  Micros t = 0;
+  const ResultEntry* hit = cm.lookup_result(7, &tier, &t);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->query, 7u);
+  ASSERT_EQ(hit->docs.size(), 1u);
+  EXPECT_EQ(hit->docs[0].doc, 7u);
+  EXPECT_EQ(tier, Tier::kMemory);
+  EXPECT_EQ(cm.stats().result_hits_mem, 1u);
+}
+
+TEST_F(CacheManagerTest, DegenerateL1ServesSsdHitFromScratch) {
+  // Same regression, SSD-promotion branch: the promoted entry bounces
+  // out of the zero-slot L1 and may be rewritten on the SSD while being
+  // served, so the returned pointer must not alias either cache.
+  CacheConfig cc = small_cache(CachePolicy::kCblru);
+  cc.mem_result_capacity = 1 * KiB;
+  cc.min_result_freq_for_ssd = 1;
+  CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
+
+  for (QueryId q = 0; q < 40; ++q) cm.insert_result(make_result(q));
+  cm.drain();  // flush the write buffer so entries are SSD-resident
+
+  Tier tier;
+  bool exercised = false;
+  for (QueryId q = 0; q < 40 && !exercised; ++q) {
+    if (!cm.ssd_results()->contains(q)) continue;
+    Micros t = 0;
+    const ResultEntry* hit = cm.lookup_result(q, &tier, &t);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->query, q);
+    ASSERT_EQ(hit->docs.size(), 1u);
+    EXPECT_EQ(hit->docs[0].doc, static_cast<DocId>(q));
+    EXPECT_EQ(tier, Tier::kSsd);
+    EXPECT_EQ(cm.mem_results().size(), 0u);  // never actually admitted
+    exercised = true;
+  }
+  ASSERT_TRUE(exercised) << "no SSD-resident result to promote";
+}
+
 TEST_F(CacheManagerTest, HitRatioAccounting) {
   auto cm = make(CachePolicy::kCblru);
   Micros t = 0;

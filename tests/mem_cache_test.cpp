@@ -28,9 +28,10 @@ TEST(MemResultCacheTest, LruEvictionOrder) {
   cache.insert(make_result(1));
   cache.insert(make_result(2));
   cache.lookup(1);  // 1 becomes MRU
-  const auto evicted = cache.insert(make_result(3));
-  ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].entry.query, 2u);
+  const auto ins = cache.insert(make_result(3));
+  EXPECT_EQ(ins.handle->entry.query, 3u);
+  ASSERT_EQ(ins.evicted.size(), 1u);
+  EXPECT_EQ(ins.evicted[0].entry.query, 2u);
   EXPECT_TRUE(cache.contains(1));
   EXPECT_TRUE(cache.contains(3));
 }
@@ -39,8 +40,9 @@ TEST(MemResultCacheTest, ReinsertRefreshesWithoutEviction) {
   MemResultCache cache(40 * KiB);
   cache.insert(make_result(1));
   cache.insert(make_result(2));
-  const auto evicted = cache.insert(make_result(1));
-  EXPECT_TRUE(evicted.empty());
+  const auto ins = cache.insert(make_result(1));
+  EXPECT_NE(ins.handle, nullptr);
+  EXPECT_TRUE(ins.evicted.empty());
   EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -57,9 +59,31 @@ TEST(MemResultCacheTest, EvictionCarriesFrequency) {
   cache.insert(make_result(1));
   cache.lookup(1);
   cache.lookup(1);
-  const auto evicted = cache.insert(make_result(2));
-  ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].freq, 3u);
+  const auto ins = cache.insert(make_result(2));
+  ASSERT_EQ(ins.evicted.size(), 1u);
+  EXPECT_EQ(ins.evicted[0].freq, 3u);
+}
+
+TEST(MemResultCacheTest, InsertHandleIsStableAcrossRecencyChurn) {
+  MemResultCache cache(100 * KiB);  // 5 entries
+  const auto ins = cache.insert(make_result(1));
+  ASSERT_NE(ins.handle, nullptr);
+  for (QueryId q = 2; q <= 5; ++q) cache.insert(make_result(q));
+  cache.lookup(3);  // recency churn must not move the node
+  EXPECT_EQ(ins.handle->entry.query, 1u);
+  EXPECT_EQ(&cache.lookup(1)->entry, &ins.handle->entry);
+}
+
+TEST(MemResultCacheTest, DegenerateCapacityHoldsZeroEntries) {
+  MemResultCache cache(kResultEntryBytes / 2);  // below one entry
+  EXPECT_EQ(cache.max_entries(), 0u);
+  const auto ins = cache.insert(make_result(1));
+  // The entry is bounced straight to the eviction path, never cached.
+  EXPECT_EQ(ins.handle, nullptr);
+  ASSERT_EQ(ins.evicted.size(), 1u);
+  EXPECT_EQ(ins.evicted[0].entry.query, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(1), nullptr);
 }
 
 // --- MemListCache ------------------------------------------------------------
