@@ -5,7 +5,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "src/hybrid/run_report.hpp"
 #include "src/hybrid/search_system.hpp"
 #include "src/util/table.hpp"
 
@@ -47,5 +49,20 @@ inline SystemConfig paper_system(CachePolicy policy,
 }
 
 inline std::string fmt_ms(Micros us) { return Table::num(us / kMillisecond, 2); }
+
+/// Figure benches emit a telemetry run report for their representative
+/// cell when SSDSE_TELEMETRY_OUT names a path (perf_driver always
+/// emits; see DESIGN.md §9 for the schema).
+inline void maybe_write_report(const SearchSystem& sys,
+                               const std::string& run_name) {
+  if (const char* path = std::getenv("SSDSE_TELEMETRY_OUT")) {
+    if (write_run_report(sys, run_name, path)) {
+      std::printf("wrote telemetry report %s (%s)\n", path,
+                  run_name.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write telemetry report %s\n", path);
+    }
+  }
+}
 
 }  // namespace ssdse::bench

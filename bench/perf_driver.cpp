@@ -1,6 +1,6 @@
 // Wall-clock performance driver: measures the speed of the *simulator
 // itself* (not simulated time) on a fixed workload, and emits the
-// result as BENCH_PR2.json so the perf trajectory of the repo is
+// result as BENCH_PR3.json so the perf trajectory of the repo is
 // tracked across PRs (ROADMAP: "runs as fast as the hardware allows").
 //
 // Three phases isolate the layers of the query hot path:
@@ -23,6 +23,8 @@
 
 #include "bench/bench_common.hpp"
 #include "src/engine/daat.hpp"
+#include "src/hybrid/run_report.hpp"
+#include "src/telemetry/tracer.hpp"
 #include "src/util/rng.hpp"
 #include "src/workload/query_log.hpp"
 
@@ -56,59 +58,131 @@ struct PhaseResult {
   std::uint64_t fingerprint = 0;
 };
 
-/// Phase 1: the DAAT engine on a materialized index. Build cost (the
-/// one-time doc-sorted materialization) is excluded: the simulator
-/// builds once and serves millions of queries.
-PhaseResult run_daat_phase(std::uint64_t queries) {
-  CorpusConfig cc;
-  cc.num_docs = 40'000;
-  cc.vocab_size = 2'000;
-  cc.terms_per_doc = 60;
-  cc.max_df_fraction = 0.10;
-  cc.seed = 2012;
-  Rng rng(99);
-  MaterializedCorpus corpus(cc, rng);
-  MaterializedIndex index(corpus);
+/// The daat-phase workload, shared with the zero-overhead trace guard.
+struct DaatWorkload {
+  explicit DaatWorkload(std::uint64_t queries) {
+    CorpusConfig cc;
+    cc.num_docs = 40'000;
+    cc.vocab_size = 2'000;
+    cc.terms_per_doc = 60;
+    cc.max_df_fraction = 0.10;
+    cc.seed = 2012;
+    Rng rng(99);
+    corpus = std::make_unique<MaterializedCorpus>(cc, rng);
+    index = std::make_unique<MaterializedIndex>(*corpus);
 
-  QueryLogConfig qc;
-  qc.distinct_queries = 50'000;
-  qc.vocab_size = cc.vocab_size;
-  qc.min_terms = 2;
-  qc.max_terms = 3;
-  qc.seed = 17;
-  QueryLogGenerator gen(qc);
+    QueryLogConfig qc;
+    qc.distinct_queries = 50'000;
+    qc.vocab_size = cc.vocab_size;
+    qc.min_terms = 2;
+    qc.max_terms = 3;
+    qc.seed = 17;
+    QueryLogGenerator gen(qc);
+    batch.reserve(queries);
+    for (std::uint64_t i = 0; i < queries; ++i) batch.push_back(gen.next());
+  }
+
+  std::unique_ptr<MaterializedCorpus> corpus;
+  std::unique_ptr<MaterializedIndex> index;
   std::vector<Query> batch;
-  batch.reserve(queries);
-  for (std::uint64_t i = 0; i < queries; ++i) batch.push_back(gen.next());
+};
 
+/// The daat hot loop. `kTraced=false` compiles the span calls away
+/// entirely (if constexpr), giving the guard a true tracing-compiled-out
+/// baseline inside one binary; `kTraced=true` instruments each query
+/// against `tracer`. Both variants must produce the same checksum.
+template <bool kTraced>
+std::uint64_t daat_loop(const DaatWorkload& w,
+                        telemetry::QueryTracer* tracer) {
   DaatProcessor daat(/*top_k=*/kTopK);
   std::uint64_t checksum = 0;
-  const auto t0 = Clock::now();
-  for (const Query& q : batch) {
+  for (const Query& q : w.batch) {
+    if constexpr (kTraced) tracer->begin_query(q.id);
     DaatStats stats;
-    const ResultEntry r = daat.intersect(index, q, &stats);
+    const ResultEntry r = daat.intersect(*w.index, q, &stats);
     checksum += stats.docs_scored + stats.postings_touched;
     for (const ScoredDoc& d : r.docs) {
       std::uint32_t bits;
       std::memcpy(&bits, &d.score, sizeof bits);
       checksum = checksum * 1099511628211ull + d.doc + bits;
     }
+    if constexpr (kTraced) {
+      tracer->add_span(telemetry::TraceStage::kDaatScore,
+                       static_cast<Micros>(stats.postings_touched));
+      tracer->end_query(static_cast<Micros>(stats.postings_touched));
+    }
   }
+  return checksum;
+}
+
+/// Phase 1: the DAAT engine on a materialized index. Build cost (the
+/// one-time doc-sorted materialization) is excluded: the simulator
+/// builds once and serves millions of queries.
+PhaseResult run_daat_phase(std::uint64_t queries) {
+  DaatWorkload w(queries);
+  const auto t0 = Clock::now();
+  const std::uint64_t checksum = daat_loop<false>(w, nullptr);
   const double wall = ms_since(t0);
   return PhaseResult{"daat", queries, wall,
                      1000.0 * static_cast<double>(queries) / wall,
                      checksum};
 }
 
+/// Zero-overhead guard: the telemetry layer must never tax the hot path
+/// when it is off. Runs the daat loop with spans compiled out and with
+/// spans compiled in against an idle (runtime-disabled) tracer, in
+/// alternating min-of-N pairs; the checksums must match bit-for-bit and
+/// the instrumented wall time must stay within 10 %.
+struct TraceGuardResult {
+  std::uint64_t fingerprint_off = 0;
+  std::uint64_t fingerprint_on = 0;
+  double wall_ratio = 0;  // instrumented-idle / compiled-out (min-of-N)
+  bool enforced = false;  // qps bound enforced (Release builds)
+  bool pass = false;
+};
+
+TraceGuardResult run_trace_guard(std::uint64_t queries) {
+  DaatWorkload w(queries);
+  telemetry::QueryTracer tracer;
+  tracer.set_enabled(false);  // compiled in, runtime-idle
+
+  TraceGuardResult g;
+  double best_off = 0, best_on = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = Clock::now();
+    g.fingerprint_off = daat_loop<false>(w, nullptr);
+    const double off = ms_since(t0);
+    t0 = Clock::now();
+    g.fingerprint_on = daat_loop<true>(w, &tracer);
+    const double on = ms_since(t0);
+    if (rep == 0 || off < best_off) best_off = off;
+    if (rep == 0 || on < best_on) best_on = on;
+  }
+  g.wall_ratio = best_off > 0 ? best_on / best_off : 1.0;
+#ifdef NDEBUG
+  g.enforced = true;
+#endif
+  g.pass = g.fingerprint_off == g.fingerprint_on &&
+           (!g.enforced || g.wall_ratio <= 1.10);
+  return g;
+}
+
 /// Shared body of the two system phases: run the fixed query stream,
-/// time it, fingerprint the request coverage.
+/// time it, fingerprint the request coverage. When `report_path` is
+/// set, the phase additionally emits the telemetry run report.
 PhaseResult run_system_phase(const char* name, SystemConfig cfg,
-                             std::uint64_t queries) {
+                             std::uint64_t queries,
+                             const char* report_path = nullptr) {
   SearchSystem system(cfg);
   const auto t0 = Clock::now();
   system.run(queries);
   system.drain();
   const double wall = ms_since(t0);
+  if (report_path != nullptr &&
+      !write_run_report(system, name, report_path)) {
+    std::fprintf(stderr, "perf_driver: cannot write %s\n", report_path);
+    std::exit(1);
+  }
   const auto coverage_ppm = static_cast<std::uint64_t>(
       1e6 * system.metrics().request_coverage());
   return PhaseResult{name, queries, wall,
@@ -127,13 +201,15 @@ PhaseResult run_cache_phase(std::uint64_t queries) {
 }
 
 /// Phase 3: the full two-level hierarchy — the fig14_hit_ratio-scale
-/// cell (5M docs, CBSLRU, 10 MiB memory budget, SSD 10x/100x).
-PhaseResult run_ssd_phase(std::uint64_t queries) {
+/// cell (5M docs, CBSLRU, 10 MiB memory budget, SSD 10x/100x). This is
+/// the phase whose telemetry report the CI schema check validates.
+PhaseResult run_ssd_phase(std::uint64_t queries, const char* report_path) {
   SystemConfig cfg = paper_system(CachePolicy::kCbslru);
-  return run_system_phase("ssd", cfg, queries);
+  return run_system_phase("ssd", cfg, queries, report_path);
 }
 
-void write_json(const char* path, const std::vector<PhaseResult>& phases) {
+void write_json(const char* path, const std::vector<PhaseResult>& phases,
+                const TraceGuardResult& guard) {
   FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "perf_driver: cannot write %s\n", path);
@@ -161,6 +237,13 @@ void write_json(const char* path, const std::vector<PhaseResult>& phases) {
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
+               "  \"trace_guard\": {\"fingerprint_match\": %s, "
+               "\"wall_ratio\": %.4f, \"enforced\": %s, \"pass\": %s},\n",
+               guard.fingerprint_off == guard.fingerprint_on ? "true"
+                                                             : "false",
+               guard.wall_ratio, guard.enforced ? "true" : "false",
+               guard.pass ? "true" : "false");
+  std::fprintf(f,
                "  \"total\": {\"queries\": %llu, \"wall_ms\": %.3f, "
                "\"qps\": %.1f}\n}\n",
                static_cast<unsigned long long>(total_q), total_ms,
@@ -175,7 +258,9 @@ int main() {
   const auto system_queries = default_queries(40'000);
   const auto daat_queries = env_count("SSDSE_DAAT_QUERIES", 20'000);
   const char* out = std::getenv("SSDSE_BENCH_OUT");
-  if (!out) out = "BENCH_PR2.json";
+  if (!out) out = "BENCH_PR3.json";
+  const char* telemetry_out = std::getenv("SSDSE_TELEMETRY_OUT");
+  if (!telemetry_out) telemetry_out = "TELEMETRY.json";
 
   std::vector<PhaseResult> phases;
   phases.push_back(run_daat_phase(daat_queries));
@@ -186,12 +271,30 @@ int main() {
   std::printf("  cache: %8.1f q/s  (%.0f ms, coverage %llu ppm)\n",
               phases.back().qps, phases.back().wall_ms,
               static_cast<unsigned long long>(phases.back().fingerprint));
-  phases.push_back(run_ssd_phase(system_queries));
+  phases.push_back(run_ssd_phase(system_queries, telemetry_out));
   std::printf("  ssd  : %8.1f q/s  (%.0f ms, coverage %llu ppm)\n",
               phases.back().qps, phases.back().wall_ms,
               static_cast<unsigned long long>(phases.back().fingerprint));
 
-  write_json(out, phases);
-  std::printf("wrote %s\n", out);
+  const TraceGuardResult guard = run_trace_guard(daat_queries);
+  std::printf("  trace guard: wall ratio %.3f (idle-instrumented / "
+              "compiled-out), fingerprints %s%s\n",
+              guard.wall_ratio,
+              guard.fingerprint_off == guard.fingerprint_on ? "match"
+                                                            : "DIFFER",
+              guard.enforced ? "" : " [ratio not enforced: debug build]");
+
+  write_json(out, phases, guard);
+  std::printf("wrote %s and %s\n", out, telemetry_out);
+
+  if (!guard.pass) {
+    std::fprintf(stderr,
+                 "perf_driver: zero-overhead trace guard FAILED "
+                 "(ratio %.3f, fingerprints %llu vs %llu)\n",
+                 guard.wall_ratio,
+                 static_cast<unsigned long long>(guard.fingerprint_off),
+                 static_cast<unsigned long long>(guard.fingerprint_on));
+    return 1;
+  }
   return 0;
 }

@@ -1,16 +1,30 @@
 #!/usr/bin/env python3
-"""Validate the schema of a perf_driver BENCH_*.json file.
+"""Validate machine-readable run artifacts.
 
-Usage: check_bench_json.py <bench.json>
+Usage: check_bench_json.py <file.json> [more.json ...]
+
+Two document shapes are recognized:
+  * perf_driver bench files ("bench": "perf_driver") — phase timings,
+    fingerprints and the zero-overhead trace guard;
+  * telemetry run reports ("report": "telemetry") — DESIGN.md §9: the
+    registry dump, per-stage trace quantiles, situation census, per-tier
+    cache accounting and flash counters.
 
 Exits non-zero (with a message) on any missing key, wrong type, or
 implausible value — CI runs this after the perf_driver smoke so a
-silently malformed benchmark artifact fails the build.
+silently malformed artifact fails the build. Internal consistency is
+checked too (per-tier hits + misses == probes, situation counts sum to
+the query count, quantiles ordered), not just key presence.
 """
 import json
 import sys
 
 EXPECTED_PHASES = ["daat", "cache", "ssd"]
+
+TRACE_STAGES = {
+    "result_probe", "list_fetch_mem", "list_fetch_ssd", "list_fetch_hdd",
+    "daat_score", "write_buffer_flush", "ftl_gc",
+}
 
 
 def fail(msg):
@@ -23,12 +37,16 @@ def require(cond, msg):
         fail(msg)
 
 
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
 def check_counters(obj, ctx):
     require(isinstance(obj.get("queries"), int) and obj["queries"] > 0,
             f"{ctx}: 'queries' must be a positive integer")
-    require(isinstance(obj.get("wall_ms"), (int, float)) and obj["wall_ms"] > 0,
+    require(is_num(obj.get("wall_ms")) and obj["wall_ms"] > 0,
             f"{ctx}: 'wall_ms' must be a positive number")
-    require(isinstance(obj.get("qps"), (int, float)) and obj["qps"] > 0,
+    require(is_num(obj.get("qps")) and obj["qps"] > 0,
             f"{ctx}: 'qps' must be a positive number")
     # qps must be consistent with queries/wall_ms (1 % tolerance for the
     # writer's fixed-precision formatting).
@@ -38,17 +56,49 @@ def check_counters(obj, ctx):
             f"queries/wall_ms ({derived:.1f})")
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: check_bench_json.py <bench.json>")
-    try:
-        with open(sys.argv[1]) as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {sys.argv[1]}: {e}")
+def check_quantiles(obj, ctx):
+    for key in ("p50_us", "p90_us", "p99_us"):
+        require(is_num(obj.get(key)) and obj[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative number")
+    require(obj["p50_us"] <= obj["p90_us"] <= obj["p99_us"],
+            f"{ctx}: quantiles must be ordered p50 <= p90 <= p99 "
+            f"({obj['p50_us']}, {obj['p90_us']}, {obj['p99_us']})")
 
-    require(doc.get("bench") == "perf_driver",
-            f"'bench' must be 'perf_driver', got {doc.get('bench')!r}")
+
+def check_tier(tier, ctx):
+    require(isinstance(tier, dict), f"{ctx}: must be an object")
+    for key in ("probes", "l1_hits", "l2_hits", "misses"):
+        require(isinstance(tier.get(key), int) and tier[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+    require(tier["l1_hits"] + tier["l2_hits"] + tier["misses"]
+            == tier["probes"],
+            f"{ctx}: l1_hits + l2_hits + misses must equal probes")
+    ratio = tier.get("hit_ratio")
+    require(is_num(ratio) and 0.0 <= ratio <= 1.0,
+            f"{ctx}: 'hit_ratio' must be in [0, 1]")
+    if tier["probes"]:
+        derived = (tier["l1_hits"] + tier["l2_hits"]) / tier["probes"]
+        require(abs(derived - ratio) <= 1e-6,
+                f"{ctx}: hit_ratio {ratio} inconsistent with counts "
+                f"({derived:.6f})")
+
+
+def check_trace_guard(guard):
+    require(isinstance(guard, dict), "'trace_guard' must be an object")
+    require(guard.get("fingerprint_match") is True,
+            "trace_guard: instrumented fingerprint differs from baseline")
+    require(is_num(guard.get("wall_ratio")) and guard["wall_ratio"] > 0,
+            "trace_guard: 'wall_ratio' must be a positive number")
+    require(isinstance(guard.get("enforced"), bool),
+            "trace_guard: 'enforced' must be a bool")
+    require(guard.get("pass") is True, "trace_guard: guard did not pass")
+    if guard["enforced"]:
+        require(guard["wall_ratio"] <= 1.10,
+                f"trace_guard: wall_ratio {guard['wall_ratio']} exceeds "
+                "the 10 % zero-overhead budget")
+
+
+def check_bench(doc, path):
     require(doc.get("schema_version") == 1,
             f"unsupported schema_version {doc.get('schema_version')!r}")
 
@@ -64,14 +114,130 @@ def main():
                 f"phase '{p.get('name')}': 'fingerprint' must be a "
                 "non-negative integer")
 
+    if "trace_guard" in doc:
+        check_trace_guard(doc["trace_guard"])
+
     total = doc.get("total")
     require(isinstance(total, dict), "'total' must be an object")
     check_counters(total, "total")
     require(total["queries"] == sum(p["queries"] for p in phases),
             "total queries must equal the sum over phases")
 
-    print(f"check_bench_json: OK ({sys.argv[1]}: "
+    print(f"check_bench_json: OK ({path}: "
           f"{total['queries']} queries, {total['qps']:.1f} q/s)")
+
+
+def check_telemetry(doc, path):
+    require(doc.get("schema_version") == 1,
+            f"unsupported schema_version {doc.get('schema_version')!r}")
+    require(isinstance(doc.get("run"), str) and doc["run"],
+            "'run' must be a non-empty string")
+    queries = doc.get("queries")
+    require(isinstance(queries, int) and queries > 0,
+            "'queries' must be a positive integer")
+    require(isinstance(doc.get("tracing"), bool), "'tracing' must be a bool")
+
+    sim = doc.get("simulated")
+    require(isinstance(sim, dict), "'simulated' must be an object")
+    require(is_num(sim.get("mean_response_us"))
+            and sim["mean_response_us"] >= 0,
+            "simulated: 'mean_response_us' must be non-negative")
+    require(is_num(sim.get("throughput_qps")) and sim["throughput_qps"] > 0,
+            "simulated: 'throughput_qps' must be positive")
+    check_quantiles(sim, "simulated")
+
+    stages = doc.get("stages")
+    require(isinstance(stages, dict), "'stages' must be an object")
+    if doc["tracing"]:
+        require(stages, "tracing is on but 'stages' is empty")
+    for name, st in stages.items():
+        require(name in TRACE_STAGES, f"unknown trace stage {name!r}")
+        ctx = f"stage '{name}'"
+        require(isinstance(st.get("count"), int) and st["count"] > 0,
+                f"{ctx}: 'count' must be a positive integer")
+        require(is_num(st.get("total_us")) and st["total_us"] >= 0,
+                f"{ctx}: 'total_us' must be non-negative")
+        require(is_num(st.get("mean_us")) and st["mean_us"] >= 0,
+                f"{ctx}: 'mean_us' must be non-negative")
+        check_quantiles(st, ctx)
+
+    situations = doc.get("situations")
+    require(isinstance(situations, list) and len(situations) == 9,
+            "'situations' must be a list of 9 entries (Table I S1-S9)")
+    census = 0
+    for i, s in enumerate(situations):
+        ctx = f"situation {i + 1}"
+        require(s.get("key") == f"s{i + 1}", f"{ctx}: key must be s{i + 1}")
+        require(isinstance(s.get("name"), str) and s["name"],
+                f"{ctx}: 'name' must be a non-empty string")
+        require(isinstance(s.get("count"), int) and s["count"] >= 0,
+                f"{ctx}: 'count' must be a non-negative integer")
+        require(is_num(s.get("mean_us")) and s["mean_us"] >= 0,
+                f"{ctx}: 'mean_us' must be non-negative")
+        census += s["count"]
+    require(census == queries,
+            f"situation counts sum to {census}, expected {queries}")
+
+    cache = doc.get("cache")
+    require(isinstance(cache, dict), "'cache' must be an object")
+    check_tier(cache.get("result"), "cache.result")
+    check_tier(cache.get("list"), "cache.list")
+    require(is_num(cache.get("combined_hit_ratio"))
+            and 0.0 <= cache["combined_hit_ratio"] <= 1.0,
+            "cache: 'combined_hit_ratio' must be in [0, 1]")
+    require(is_num(cache.get("request_coverage"))
+            and 0.0 <= cache["request_coverage"] <= 1.0,
+            "cache: 'request_coverage' must be in [0, 1]")
+
+    flash = doc.get("flash")
+    require(isinstance(flash, dict), "'flash' must be an object")
+    require(isinstance(flash.get("present"), bool),
+            "flash: 'present' must be a bool")
+    if flash["present"]:
+        for key in ("host_reads", "host_writes", "host_trims",
+                    "gc_invocations", "gc_page_copies", "page_reads",
+                    "page_programs", "block_erases", "max_erase_count"):
+            require(isinstance(flash.get(key), int) and flash[key] >= 0,
+                    f"flash: '{key}' must be a non-negative integer")
+        for key in ("gc_busy_us", "write_amplification",
+                    "mean_erase_count"):
+            require(is_num(flash.get(key)) and flash[key] >= 0,
+                    f"flash: '{key}' must be non-negative")
+        if flash["host_writes"] > 0:
+            require(flash["write_amplification"] >= 1.0,
+                    "flash: write_amplification below 1 with host writes "
+                    "present")
+
+    metrics = doc.get("metrics")
+    require(isinstance(metrics, dict) and metrics,
+            "'metrics' must be a non-empty object (registry dump)")
+
+    print(f"check_bench_json: OK ({path}: telemetry report "
+          f"'{doc['run']}', {queries} queries, {len(stages)} stages, "
+          f"{len(metrics)} metrics)")
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if doc.get("report") == "telemetry":
+        check_telemetry(doc, path)
+    elif doc.get("bench") == "perf_driver":
+        check_bench(doc, path)
+    else:
+        fail(f"{path}: neither a perf_driver bench file nor a telemetry "
+             "report")
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_json.py <file.json> [more.json ...]")
+    for path in sys.argv[1:]:
+        check_file(path)
 
 
 if __name__ == "__main__":

@@ -48,6 +48,7 @@ Micros Dftl::write(Lpn lpn) {
   // Mirror data-path GC counters so callers see one coherent FtlStats.
   stats_.gc_invocations = inner_.stats().gc_invocations;
   stats_.gc_page_copies = inner_.stats().gc_page_copies;
+  stats_.gc_busy = inner_.stats().gc_busy;
   return cost;
 }
 

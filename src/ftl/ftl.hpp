@@ -30,6 +30,7 @@ struct FtlStats {
   std::uint64_t gc_invocations = 0;
   std::uint64_t gc_page_copies = 0;
   Micros host_busy = 0;  // latency charged to host ops (incl. GC stalls)
+  Micros gc_busy = 0;    // portion of host_busy spent inside GC/merges
 
   /// Write amplification: NAND programs / host writes.
   double write_amplification(const NandStats& nand) const {

@@ -119,6 +119,7 @@ Micros HybridLogFtl::full_merge(std::uint32_t lbn) {
     free_blocks_.push_back(old);
   }
   ++stats_.gc_invocations;
+  stats_.gc_busy += cost;
   return cost;
 }
 
@@ -128,21 +129,30 @@ Micros HybridLogFtl::merge_oldest_log() {
   const Pbn victim = log_fifo_.front();
   log_fifo_.pop_front();
   Micros cost = 0;
+  // full_merge accounts its own cost into gc_busy; track only this
+  // function's own work (victim-scan reads + final erase) to avoid
+  // double-counting.
+  Micros own = 0;
 
   // Walk the victim's pages; each live page triggers a full merge of its
   // logical block (which also clears this block's other entries for it).
   const Ppn base = static_cast<Ppn>(victim) * ppb;
   for (std::uint32_t p = 0; p < ppb && log_live_[victim] > 0; ++p) {
     std::uint64_t tag = 0;
-    cost += nand_.read_page(base + p, &tag);
+    const Micros scan = nand_.read_page(base + p, &tag);
+    cost += scan;
+    own += scan;
     const Lpn lpn = tag_lpn(tag);
     if (lpn < logical_pages_ && log_map_[lpn] == base + p) {
       cost += full_merge(static_cast<std::uint32_t>(lpn / ppb));
     }
   }
   assert(log_live_[victim] == 0);
-  cost += nand_.erase_block(victim);
+  const Micros erase = nand_.erase_block(victim);
+  cost += erase;
+  own += erase;
   free_blocks_.push_back(victim);
+  stats_.gc_busy += own;
   return cost;
 }
 

@@ -211,6 +211,7 @@ Micros PageFtl::gc_once() {
   state_[victim] = BState::kFree;
   push_free_block(victim);
   ++stats_.gc_invocations;
+  stats_.gc_busy += cost;
   return cost;
 }
 

@@ -132,6 +132,14 @@ void SearchCluster::run_parallel(std::uint64_t n) {
   }
 }
 
+telemetry::RegistrySnapshot SearchCluster::telemetry_snapshot() const {
+  telemetry::RegistrySnapshot merged;
+  for (const auto& shard : shards_) {
+    merged.merge(shard->telemetry_registry().snapshot());
+  }
+  return merged;
+}
+
 double SearchCluster::throughput_qps() const {
   double min_qps = 0;
   bool first = true;

@@ -53,6 +53,11 @@ class SearchCluster {
   SearchSystem& shard(std::size_t i) { return *shards_[i]; }
   const RunMetrics& metrics() const { return metrics_; }
 
+  /// Fleet-wide telemetry: every shard's registry snapshot merged
+  /// (counters sum, gauges become per-shard sample distributions,
+  /// histograms merge bucket-wise).
+  telemetry::RegistrySnapshot telemetry_snapshot() const;
+
   /// Cluster throughput: every shard must execute every query
   /// (broadcast), so the fleet saturates at the *slowest* shard's
   /// aggregate work rate.

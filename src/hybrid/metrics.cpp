@@ -69,6 +69,22 @@ double RunMetrics::cache_served_fraction() const {
   return static_cast<double>(served) / static_cast<double>(total);
 }
 
+void RunMetrics::register_into(telemetry::MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  registry.stats(prefix + ".response", &responses_);
+  registry.histogram(prefix + ".response.us", &hist_);
+  for (std::size_t i = 0; i < kNumSituations; ++i) {
+    registry.counter(prefix + ".situation.s" + std::to_string(i + 1),
+                     &counts_[i]);
+  }
+  registry.counter(prefix + ".coverage.covered", &covered_requests_);
+  registry.counter(prefix + ".coverage.implied", &implied_requests_);
+  registry.gauge(prefix + ".coverage.ratio",
+                 [this] { return request_coverage(); });
+  registry.gauge(prefix + ".cache_served_fraction",
+                 [this] { return cache_served_fraction(); });
+}
+
 double RunMetrics::throughput_qps(Micros background_time) const {
   const Micros total = responses_.sum() + background_time;
   return total > 0 ? static_cast<double>(responses_.count()) /

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/cache/policy.hpp"
+#include "src/telemetry/registry.hpp"
 #include "src/util/stats.hpp"
 #include "src/util/types.hpp"
 
@@ -101,6 +102,13 @@ class RunMetrics {
   /// Closed-loop throughput: queries / (response time + background flash
   /// time the cache writes consumed on the shared device).
   double throughput_qps(Micros background_time) const;
+
+  /// Expose the accumulators under `prefix` ("query" gives
+  /// query.response.*, query.situation.s1..s9, query.coverage.*). The
+  /// registry keeps pointers into this object, which must therefore
+  /// outlive it and stay at a fixed address.
+  void register_into(telemetry::MetricsRegistry& registry,
+                     const std::string& prefix) const;
 
  private:
   StreamingStats responses_;

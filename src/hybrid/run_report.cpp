@@ -1,0 +1,214 @@
+#include "src/hybrid/run_report.hpp"
+
+#include <cstdio>
+
+namespace ssdse {
+
+namespace {
+
+void append_tier_block(telemetry::JsonWriter& w, std::uint64_t probes,
+                       std::uint64_t l1_hits, std::uint64_t l2_hits,
+                       double hit_ratio) {
+  w.begin_object();
+  w.key("probes");
+  w.value(probes);
+  w.key("l1_hits");
+  w.value(l1_hits);
+  w.key("l2_hits");
+  w.value(l2_hits);
+  w.key("misses");
+  w.value(probes - l1_hits - l2_hits);
+  w.key("hit_ratio");
+  w.value(hit_ratio);
+  w.end_object();
+}
+
+void append_quantiles(telemetry::JsonWriter& w, const LatencyHistogram& h) {
+  w.key("p50_us");
+  w.value(h.quantile(0.50));
+  w.key("p90_us");
+  w.value(h.quantile(0.90));
+  w.key("p99_us");
+  w.value(h.quantile(0.99));
+}
+
+}  // namespace
+
+void append_registry_json(telemetry::JsonWriter& w,
+                          const telemetry::RegistrySnapshot& snap) {
+  w.begin_object();
+  for (const auto& m : snap.metrics()) {
+    w.key(m.name);
+    switch (m.kind) {
+      case telemetry::MetricKind::kCounter:
+        w.value(m.counter);
+        break;
+      case telemetry::MetricKind::kGauge:
+        w.begin_object();
+        w.key("mean");
+        w.value(m.gauge.mean());
+        w.key("min");
+        w.value(m.gauge.min());
+        w.key("max");
+        w.value(m.gauge.max());
+        w.key("samples");
+        w.value(m.gauge.count());
+        w.end_object();
+        break;
+      case telemetry::MetricKind::kHistogram:
+        w.begin_object();
+        w.key("count");
+        w.value(m.hist.count());
+        w.key("mean");
+        w.value(m.hist.mean());
+        w.key("p50");
+        w.value(m.hist.quantile(0.50));
+        w.key("p90");
+        w.value(m.hist.quantile(0.90));
+        w.key("p99");
+        w.value(m.hist.quantile(0.99));
+        w.end_object();
+        break;
+    }
+  }
+  w.end_object();
+}
+
+std::string render_run_report(const SearchSystem& sys,
+                              const std::string& run_name) {
+  using telemetry::TraceStage;
+  telemetry::JsonWriter w;
+  const RunMetrics& rm = sys.metrics();
+  const CacheManagerStats& cs = sys.cache_manager().stats();
+
+  w.begin_object();
+  w.key("report");
+  w.value("telemetry");
+  w.key("schema_version");
+  w.value(std::uint64_t{1});
+  w.key("run");
+  w.value(run_name);
+  w.key("queries");
+  w.value(rm.queries());
+  w.key("tracing");
+  w.value(SSDSE_TRACING != 0 && sys.tracer().enabled());
+
+  w.key("simulated");
+  w.begin_object();
+  w.key("mean_response_us");
+  w.value(rm.mean_response());
+  append_quantiles(w, rm.histogram());
+  w.key("throughput_qps");
+  w.value(sys.throughput_qps());
+  w.key("background_flash_us");
+  w.value(sys.background_flash_time());
+  w.end_object();
+
+  // Per-stage trace summary. Stages a run never touched are omitted;
+  // with tracing compiled out or disabled the object is empty.
+  w.key("stages");
+  w.begin_object();
+  const telemetry::QueryTracer& tracer = sys.tracer();
+  for (std::size_t i = 0; i < telemetry::kNumTraceStages; ++i) {
+    const auto stage = static_cast<TraceStage>(i);
+    const StreamingStats& st = tracer.stage_stats(stage);
+    if (st.count() == 0) continue;
+    w.key(telemetry::to_string(stage));
+    w.begin_object();
+    w.key("count");
+    w.value(st.count());
+    w.key("total_us");
+    w.value(st.sum());
+    w.key("mean_us");
+    w.value(st.mean());
+    append_quantiles(w, tracer.stage_hist(stage));
+    w.end_object();
+  }
+  w.end_object();
+
+  // Table-I situation census.
+  w.key("situations");
+  w.begin_array();
+  for (std::size_t i = 0; i < kNumSituations; ++i) {
+    const auto s = static_cast<Situation>(i);
+    w.begin_object();
+    char key[8];
+    std::snprintf(key, sizeof(key), "s%zu", i + 1);
+    w.key("key");
+    w.value(key);
+    w.key("name");
+    w.value(to_string(s));
+    w.key("count");
+    w.value(rm.situation_count(s));
+    w.key("mean_us");
+    w.value(rm.situation_mean_time(s));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("cache");
+  w.begin_object();
+  w.key("result");
+  append_tier_block(w, cs.result_lookups, cs.result_hits_mem,
+                    cs.result_hits_ssd, cs.result_hit_ratio());
+  w.key("list");
+  append_tier_block(w, cs.list_lookups, cs.list_hits_mem, cs.list_hits_ssd,
+                    cs.list_hit_ratio());
+  w.key("combined_hit_ratio");
+  w.value(cs.hit_ratio());
+  w.key("request_coverage");
+  w.value(rm.request_coverage());
+  w.end_object();
+
+  w.key("flash");
+  w.begin_object();
+  const Ssd* ssd = sys.cache_ssd();
+  w.key("present");
+  w.value(ssd != nullptr);
+  if (ssd != nullptr) {
+    const FtlStats& fs = ssd->ftl().stats();
+    const NandStats& ns = ssd->nand().stats();
+    w.key("host_reads");
+    w.value(fs.host_reads);
+    w.key("host_writes");
+    w.value(fs.host_writes);
+    w.key("host_trims");
+    w.value(fs.host_trims);
+    w.key("gc_invocations");
+    w.value(fs.gc_invocations);
+    w.key("gc_page_copies");
+    w.value(fs.gc_page_copies);
+    w.key("gc_busy_us");
+    w.value(fs.gc_busy);
+    w.key("page_reads");
+    w.value(ns.page_reads);
+    w.key("page_programs");
+    w.value(ns.page_programs);
+    w.key("block_erases");
+    w.value(ns.block_erases);
+    w.key("write_amplification");
+    w.value(fs.write_amplification(ns));
+    w.key("mean_erase_count");
+    w.value(ssd->nand().mean_erase_count());
+    w.key("max_erase_count");
+    w.value(static_cast<std::uint64_t>(ssd->nand().max_erase_count()));
+  }
+  w.end_object();
+
+  w.key("metrics");
+  append_registry_json(w, sys.telemetry_registry().snapshot());
+
+  w.end_object();
+  return w.str();
+}
+
+bool write_run_report(const SearchSystem& sys, const std::string& run_name,
+                      const std::string& path) {
+  const std::string json = render_run_report(sys, run_name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,34 @@
+// Machine-readable run reports (DESIGN.md §9).
+//
+// One JSON document per run: simulated latency quantiles, per-stage
+// trace summary, the Table-I situation census, per-tier cache hit
+// ratios, flash wear/write-amplification counters, and a full dump of
+// the metrics registry. Every bench emits one, and
+// scripts/check_bench_json.py validates the schema in CI, so runs stay
+// comparable across configurations and PRs.
+#pragma once
+
+#include <string>
+
+#include "src/hybrid/search_system.hpp"
+#include "src/telemetry/json_writer.hpp"
+#include "src/telemetry/registry.hpp"
+
+namespace ssdse {
+
+/// Serialize a registry snapshot as a JSON object keyed by metric name.
+/// Counters render as integers; gauges as {mean,min,max,samples};
+/// histograms as {count,mean,p50,p90,p99}.
+void append_registry_json(telemetry::JsonWriter& w,
+                          const telemetry::RegistrySnapshot& snap);
+
+/// Render the full telemetry report for one system.
+std::string render_run_report(const SearchSystem& sys,
+                              const std::string& run_name);
+
+/// Write render_run_report() output to `path`; returns false on I/O
+/// failure.
+bool write_run_report(const SearchSystem& sys, const std::string& run_name,
+                      const std::string& path);
+
+}  // namespace ssdse

@@ -130,6 +130,76 @@ void SearchSystem::build(IndexView* external_index) {
     persistence_->checkpoint(cm_->export_image());
     cm_->set_journal_sink(persistence_.get());
   }
+
+  register_telemetry();
+}
+
+void SearchSystem::register_telemetry() {
+  using telemetry::TraceStage;
+  auto& r = registry_;
+
+  const CacheManagerStats* cs = &cm_->stats();
+  r.counter("cache.result.probes", &cs->result_lookups);
+  r.counter("cache.l1.result.hits", &cs->result_hits_mem);
+  r.counter("cache.l2.result.hits", &cs->result_hits_ssd);
+  r.counter("cache.list.probes", &cs->list_lookups);
+  r.counter("cache.l1.list.hits", &cs->list_hits_mem);
+  r.counter("cache.l2.list.hits", &cs->list_hits_ssd);
+  r.counter("cache.hdd.list.reads", &cs->hdd_list_reads);
+  r.counter("cache.result.discarded", &cs->results_discarded);
+  r.counter("cache.list.discarded", &cs->lists_discarded);
+  r.counter("cache.result.expired", &cs->results_expired);
+  r.counter("cache.list.expired", &cs->lists_expired);
+  r.gauge("cache.background.flash_us",
+          [cs] { return cs->background_flash_time; });
+  r.gauge("cache.result.hit_ratio", [cs] { return cs->result_hit_ratio(); });
+  r.gauge("cache.list.hit_ratio", [cs] { return cs->list_hit_ratio(); });
+  r.gauge("cache.hit_ratio", [cs] { return cs->hit_ratio(); });
+
+  const WriteBufferStats* wb = &cm_->write_buffer().stats();
+  r.counter("cache.wb.buffered", &wb->buffered);
+  r.counter("cache.wb.flush_groups", &wb->flush_groups);
+  r.counter("cache.wb.hits", &wb->buffer_hits);
+  r.counter("cache.wb.cancelled", &wb->cancelled);
+
+  if (cache_ssd_) {
+    const FtlStats* fs = &cache_ssd_->ftl().stats();
+    const NandStats* ns = &cache_ssd_->nand().stats();
+    const Ssd* ssd = cache_ssd_.get();
+    r.counter("ssd.cache.host.reads", &fs->host_reads);
+    r.counter("ssd.cache.host.writes", &fs->host_writes);
+    r.counter("ssd.cache.host.trims", &fs->host_trims);
+    r.counter("ssd.cache.gc.invocations", &fs->gc_invocations);
+    r.counter("ssd.cache.gc.page_copies", &fs->gc_page_copies);
+    r.gauge("ssd.cache.ftl.gc_busy_us", [fs] { return fs->gc_busy; });
+    r.counter("ssd.cache.nand.page_reads", &ns->page_reads);
+    r.counter("ssd.cache.nand.page_programs", &ns->page_programs);
+    r.counter("ssd.cache.nand.block_erases", &ns->block_erases);
+    r.gauge("ssd.cache.write_amplification",
+            [fs, ns] { return fs->write_amplification(*ns); });
+    r.gauge("ssd.cache.wear.mean_erases",
+            [ssd] { return ssd->nand().mean_erase_count(); });
+    r.gauge("ssd.cache.wear.max_erases", [ssd] {
+      return static_cast<double>(ssd->nand().max_erase_count());
+    });
+  }
+
+  if (owned_index_) {
+    r.gauge_value("index.model.build_ms",
+                  static_cast<const AnalyticIndex*>(owned_index_.get())
+                      ->model()
+                      .build_wall_ms());
+  }
+
+  metrics_.register_into(r, "query");
+
+#if SSDSE_TRACING
+  for (std::size_t i = 0; i < telemetry::kNumTraceStages; ++i) {
+    const auto stage = static_cast<TraceStage>(i);
+    r.histogram(std::string("trace.") + telemetry::to_string(stage) + ".us",
+                &tracer_.stage_hist(stage));
+  }
+#endif
 }
 
 bool SearchSystem::checkpoint() {
@@ -152,9 +222,37 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
   Micros t = 0;
   cm_->advance_time();  // logical clock for the TTL dynamic scenario
 
+#if SSDSE_TRACING
+  using telemetry::TraceStage;
+  tracer_.begin_query(q.id);
+  // Background flash work (write-buffer flushes, and the GC they drag
+  // in) is accounted device-side, not on `t`; snapshot the accumulators
+  // so the deltas this query causes become spans. GC only runs on
+  // writes, and all cache-SSD writes are background, so the GC delta is
+  // a subset of the background delta.
+  const Micros trace_bg0 = cm_->stats().background_flash_time;
+  const Micros trace_gc0 =
+      cache_ssd_ ? cache_ssd_->ftl().stats().gc_busy : 0.0;
+  const auto trace_finish = [&](Micros total) {
+    const Micros bg = cm_->stats().background_flash_time - trace_bg0;
+    const Micros gc =
+        (cache_ssd_ ? cache_ssd_->ftl().stats().gc_busy : 0.0) - trace_gc0;
+    if (bg > gc) tracer_.add_span(TraceStage::kWriteBufferFlush, bg - gc);
+    if (gc > 0) tracer_.add_span(TraceStage::kFtlGc, gc);
+    tracer_.end_query(total);
+  };
+#endif
+
   const auto implied = static_cast<std::uint64_t>(1 + q.terms.size());
   Tier rtier = Tier::kMemory;
-  if (const ResultEntry* hit = cm_->lookup_result(q.id, &rtier, &t)) {
+#if SSDSE_TRACING
+  const Micros trace_probe0 = t;
+#endif
+  const ResultEntry* hit = cm_->lookup_result(q.id, &rtier, &t);
+#if SSDSE_TRACING
+  tracer_.add_span(TraceStage::kResultProbe, t - trace_probe0);
+#endif
+  if (hit) {
     t += kResultServeCpu;
     out.response = t;
     out.result_from_cache = true;
@@ -163,6 +261,9 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
     metrics_.record(out.situation, t);
     // A result hit covers the query's whole implied data demand.
     metrics_.record_coverage(implied, implied);
+#if SSDSE_TRACING
+    trace_finish(t);
+#endif
     maybe_checkpoint();
     return out;
   }
@@ -187,6 +288,9 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
       covered_mask |= 1ull << i;
     }
   };
+#if SSDSE_TRACING
+  const Micros trace_ix0 = t;
+#endif
   for (std::size_t i = 0; i + 1 < q.terms.size(); i += 2) {
     if (cm_->lookup_intersection(q.terms[i], q.terms[i + 1], &t)) {
       mark_covered(i);
@@ -194,28 +298,49 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
       used_mem = true;
     }
   }
+#if SSDSE_TRACING
+  // Intersection probes are memory-resident list service.
+  if (t > trace_ix0) tracer_.add_span(TraceStage::kListFetchMem, t - trace_ix0);
+#endif
   std::uint64_t covered_requests = 0;
   for (std::size_t i = 0; i < q.terms.size(); ++i) {
     if (covered(i)) {
       ++covered_requests;  // intersection hit covered this term
       continue;
     }
+#if SSDSE_TRACING
+    const Micros trace_fetch0 = t;
+#endif
     switch (cm_->fetch_list(q.terms[i], &t)) {
       case Tier::kMemory:
         used_mem = true;
         ++covered_requests;
+#if SSDSE_TRACING
+        tracer_.add_span(TraceStage::kListFetchMem, t - trace_fetch0);
+#endif
         break;
       case Tier::kSsd:
         used_ssd = true;
         ++covered_requests;
+#if SSDSE_TRACING
+        tracer_.add_span(TraceStage::kListFetchSsd, t - trace_fetch0);
+#endif
         break;
-      case Tier::kHdd: used_hdd = true; break;
+      case Tier::kHdd:
+        used_hdd = true;
+#if SSDSE_TRACING
+        tracer_.add_span(TraceStage::kListFetchHdd, t - trace_fetch0);
+#endif
+        break;
     }
   }
   metrics_.record_coverage(covered_requests, implied);
 
   ScoreOutcome scored = scorer_.score(*index_, q);
   t += scored.cpu_time;
+#if SSDSE_TRACING
+  tracer_.add_span(TraceStage::kDaatScore, scored.cpu_time);
+#endif
   cm_->insert_result(scored.result);
   // Admit intersections computed as a by-product of scoring.
   for (std::size_t i = 0; i + 1 < q.terms.size(); i += 2) {
@@ -228,6 +353,9 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
       classify_situation(false, rtier, used_mem, used_ssd, used_hdd);
   out.result = std::move(scored.result);
   metrics_.record(out.situation, t);
+#if SSDSE_TRACING
+  trace_finish(t);
+#endif
   maybe_checkpoint();
   return out;
 }

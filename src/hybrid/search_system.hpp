@@ -11,6 +11,8 @@
 #include "src/hybrid/system_config.hpp"
 #include "src/index/inverted_index.hpp"
 #include "src/recovery/recovery_manager.hpp"
+#include "src/telemetry/registry.hpp"
+#include "src/telemetry/tracer.hpp"
 #include "src/workload/query_log.hpp"
 
 namespace ssdse {
@@ -22,6 +24,11 @@ class SearchSystem {
   /// Uses a caller-provided index (e.g. MaterializedIndex for
   /// correctness experiments). The index must outlive the system.
   SearchSystem(const SystemConfig& cfg, IndexView& index);
+
+  // The telemetry registry holds raw pointers into this object's stats
+  // accumulators; pinning the address keeps them valid for its lifetime.
+  SearchSystem(const SearchSystem&) = delete;
+  SearchSystem& operator=(const SearchSystem&) = delete;
 
   struct QueryOutcome {
     Micros response = 0;
@@ -58,6 +65,18 @@ class SearchSystem {
   const SystemConfig& config() const { return cfg_; }
   const std::optional<LogAnalysis>& log_analysis() const { return analysis_; }
 
+  /// Every stats struct in the system, registered under hierarchical
+  /// names (cache.*, ssd.cache.*, query.*, trace.*, index.*).
+  const telemetry::MetricsRegistry& telemetry_registry() const {
+    return registry_;
+  }
+  telemetry::MetricsRegistry& telemetry_registry() { return registry_; }
+  const telemetry::QueryTracer& tracer() const { return tracer_; }
+  telemetry::QueryTracer& tracer() { return tracer_; }
+  /// Runtime switch; has no effect when spans are compiled out
+  /// (SSDSE_TRACING=0).
+  void set_tracing(bool on) { tracer_.set_enabled(on); }
+
   /// Flush the write buffer and settle background state (end of run).
   void drain() { cm_->drain(); }
 
@@ -73,6 +92,9 @@ class SearchSystem {
 
  private:
   void build(IndexView* external_index);
+  /// Register every component's stats struct into registry_ (end of
+  /// build(), once all components have their final addresses).
+  void register_telemetry();
   /// Periodic snapshot per cfg.recovery.snapshot_every.
   void maybe_checkpoint();
   /// Pre-write every index page on the index SSD so later reads are
@@ -100,6 +122,8 @@ class SearchSystem {
   std::uint64_t queries_since_checkpoint_ = 0;
 
   RunMetrics metrics_;
+  telemetry::MetricsRegistry registry_;
+  telemetry::QueryTracer tracer_;
 };
 
 }  // namespace ssdse

@@ -34,6 +34,37 @@ Bytes PostingCodec::encoded_bytes(std::span<const Posting> postings) const {
   return encode(postings).size();
 }
 
+CodecKind codec_kind(const std::string& name) {
+  if (name == "raw") return CodecKind::kRaw;
+  if (name == "varint") return CodecKind::kVarint;
+  if (name == "group-varint") return CodecKind::kGroupVarint;
+  throw std::invalid_argument("unknown codec: " + name);
+}
+
+double model_bytes_per_posting(CodecKind kind, std::uint64_t df,
+                               std::uint64_t num_docs) {
+  (void)df;
+  switch (kind) {
+    case CodecKind::kRaw:
+      return 8.0;
+    case CodecKind::kVarint:
+      // Doc ids uniform in [0, num_docs): ~ceil(log128(num_docs)) bytes;
+      // tf deltas are ~1 byte.
+      return std::max(1.0,
+                      std::ceil(std::log2(static_cast<double>(num_docs) + 1) /
+                                7.0)) +
+             1.0;
+    case CodecKind::kGroupVarint:
+      // doc bytes + tf byte + selector amortized over 4 values
+      // (2 postings).
+      return std::max(1.0,
+                      std::ceil(std::log2(static_cast<double>(num_docs) + 1) /
+                                8.0)) +
+             1.0 + 0.5;
+  }
+  throw std::invalid_argument("unknown codec kind");
+}
+
 // --- RawCodec ------------------------------------------------------------
 
 std::vector<std::uint8_t> RawCodec::encode(
@@ -59,8 +90,9 @@ std::vector<Posting> RawCodec::decode(
   return out;
 }
 
-double RawCodec::bytes_per_posting(std::uint64_t, std::uint64_t) const {
-  return 8.0;
+double RawCodec::bytes_per_posting(std::uint64_t df,
+                                   std::uint64_t num_docs) const {
+  return model_bytes_per_posting(CodecKind::kRaw, df, num_docs);
 }
 
 // --- VarintCodec -----------------------------------------------------------
@@ -107,13 +139,7 @@ std::vector<Posting> VarintCodec::decode(
 
 double VarintCodec::bytes_per_posting(std::uint64_t df,
                                       std::uint64_t num_docs) const {
-  // Doc ids are uniform in [0, num_docs): ~ceil(log128(num_docs)) bytes;
-  // tf deltas are ~1 byte.
-  const double id_bytes =
-      std::max(1.0, std::ceil(std::log2(static_cast<double>(num_docs) + 1) /
-                              7.0));
-  (void)df;
-  return id_bytes + 1.0;
+  return model_bytes_per_posting(CodecKind::kVarint, df, num_docs);
 }
 
 // --- GroupVarintCodec --------------------------------------------------------
@@ -197,11 +223,7 @@ std::vector<Posting> GroupVarintCodec::decode(
 
 double GroupVarintCodec::bytes_per_posting(std::uint64_t df,
                                            std::uint64_t num_docs) const {
-  const double id_bytes = std::max(
-      1.0, std::ceil(std::log2(static_cast<double>(num_docs) + 1) / 8.0));
-  (void)df;
-  // doc bytes + tf byte + selector amortized over 4 values (2 postings).
-  return id_bytes + 1.0 + 0.5;
+  return model_bytes_per_posting(CodecKind::kGroupVarint, df, num_docs);
 }
 
 std::unique_ptr<PostingCodec> make_codec(const std::string& name) {

@@ -25,6 +25,22 @@
 
 namespace ssdse {
 
+/// Codec identity resolved once from the config string, so size-model
+/// hot loops (TermStatsModel builds one entry per vocabulary term) never
+/// pay a virtual call or string compare per posting.
+enum class CodecKind : std::uint8_t { kRaw, kVarint, kGroupVarint };
+
+/// Resolve a codec name ("raw", "varint", "group-varint"); throws
+/// std::invalid_argument on unknown names.
+CodecKind codec_kind(const std::string& name);
+
+/// Analytic size model: expected bytes per posting for a list of `df`
+/// postings over `num_docs` documents. All current codecs are
+/// df-independent, which lets callers hoist the value out of per-term
+/// loops; `df` stays in the signature for codecs whose model may use it.
+double model_bytes_per_posting(CodecKind kind, std::uint64_t df,
+                               std::uint64_t num_docs);
+
 class PostingCodec {
  public:
   virtual ~PostingCodec() = default;

@@ -1,6 +1,7 @@
 #include "src/index/corpus.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 
@@ -11,11 +12,18 @@
 namespace ssdse {
 
 TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
   df_.resize(cfg.vocab_size);
   list_bytes_.resize(cfg.vocab_size);
   pu_.resize(cfg.vocab_size);
   Rng rng(cfg.seed);
-  const auto codec = make_codec(cfg.codec);
+  // Resolve the codec once; all current size models are df-independent,
+  // so the per-posting constant hoists out of the per-term loop (the old
+  // code paid a virtual call through a freshly heap-allocated codec for
+  // every one of the ~1M vocabulary terms).
+  const CodecKind kind = codec_kind(cfg.codec);
+  const double bytes_per_posting =
+      model_bytes_per_posting(kind, /*df=*/1, cfg.num_docs);
 
   // Target total postings; distribute over ranks by the Zipf law, capped
   // at num_docs (a term cannot appear in more documents than exist).
@@ -35,9 +43,8 @@ TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
     df_[r] = df;
     total_postings_ += df;
     list_bytes_[r] = std::max<Bytes>(
-        static_cast<Bytes>(std::ceil(
-            static_cast<double>(df) *
-            codec->bytes_per_posting(df, cfg.num_docs))),
+        static_cast<Bytes>(
+            std::ceil(static_cast<double>(df) * bytes_per_posting)),
         1);
   }
 
@@ -53,6 +60,10 @@ TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
     pu *= std::exp(rng.normal(0.0, 0.25));  // per-term noise
     pu_[r] = static_cast<float>(std::clamp(pu, 0.01, 1.0));
   }
+  build_wall_ms_ =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
 }
 
 MaterializedCorpus::MaterializedCorpus(const CorpusConfig& cfg, Rng& rng)

@@ -56,12 +56,17 @@ class TermStatsModel {
   double utilization(TermId t) const { return pu_[t]; }
   std::uint64_t total_postings() const { return total_postings_; }
 
+  /// Wall-clock time the constructor took (exposed as the telemetry
+  /// gauge `index.model.build_ms`).
+  double build_wall_ms() const { return build_wall_ms_; }
+
  private:
   CorpusConfig cfg_;
   std::vector<std::uint64_t> df_;
   std::vector<Bytes> list_bytes_;
   std::vector<float> pu_;
   std::uint64_t total_postings_ = 0;
+  double build_wall_ms_ = 0.0;
 };
 
 /// A small materialized corpus: documents as bags of term ids.

@@ -1,0 +1,101 @@
+#include "src/telemetry/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ssdse::telemetry {
+
+JsonWriter::JsonWriter() { out_.reserve(4096); }
+
+void JsonWriter::maybe_comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  maybe_comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  maybe_comma();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_.pop_back();
+}
+
+void JsonWriter::key(const std::string& k) {
+  maybe_comma();
+  out_ += '"';
+  out_ += k;  // metric names are [a-z0-9._]; no escaping needed for keys
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  maybe_comma();
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  maybe_comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  maybe_comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::value(bool v) {
+  maybe_comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(const std::string& v) {
+  maybe_comma();
+  out_ += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      case '\r': out_ += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace ssdse::telemetry

@@ -1,0 +1,49 @@
+// Minimal streaming JSON writer for telemetry reports.
+//
+// The simulator has no third-party dependencies, so run reports are
+// serialized with this small comma-tracking writer instead of a JSON
+// library. Output is compact (no whitespace) and always valid JSON as
+// long as begin/end calls are balanced; numeric values are normalized
+// (non-finite doubles become 0) so downstream parsers never see NaN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssdse::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emit an object key; must be followed by exactly one value or
+  /// begin_object/begin_array call.
+  void key(const std::string& k);
+
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void maybe_comma();
+
+  std::string out_;
+  // One entry per open container: true once the first element has been
+  // written (so the next element needs a leading comma).
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace ssdse::telemetry

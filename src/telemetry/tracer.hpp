@@ -1,0 +1,144 @@
+// QueryTracer: per-query span recording over simulated time.
+//
+// A query's simulated latency is the sum of stage costs the engine adds
+// to its `Micros` accumulator (result probe, per-tier list fetches, DAAT
+// scoring) plus background flash work it triggers. The tracer attributes
+// those microseconds to a fixed span taxonomy and keeps (a) per-stage
+// LatencyHistogram + StreamingStats aggregates for the whole run and
+// (b) a bounded ring buffer of complete per-query traces for tail
+// inspection.
+//
+// Tracing is compile-time gated: build with -DSSDSE_TRACING=0 (CMake
+// option SSDSE_TRACING=OFF) and the SSDSE_SPAN helper expands to
+// nothing, so the PR-2 hot-path numbers are untouched. With tracing
+// compiled in but `set_enabled(false)`, instrumentation reduces to one
+// branch per span site.
+#pragma once
+
+#ifndef SSDSE_TRACING
+#define SSDSE_TRACING 1
+#endif
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse::telemetry {
+
+/// Span taxonomy. One entry per place a query's simulated microseconds
+/// can go; kept small and fixed so per-query storage is a flat array.
+enum class TraceStage : std::uint8_t {
+  kResultProbe = 0,    // result-cache probe (RM/SM lookup incl. SSD read)
+  kListFetchMem,       // posting list served from RAM (QM hit)
+  kListFetchSsd,       // posting list served from the SSD list cache
+  kListFetchHdd,       // posting list fetched from HDD
+  kDaatScore,          // document-at-a-time scoring CPU time
+  kWriteBufferFlush,   // background flash writes minus GC (flush cost)
+  kFtlGc,              // FTL garbage-collection time the query triggered
+};
+
+inline constexpr std::size_t kNumTraceStages = 7;
+
+const char* to_string(TraceStage stage);
+
+/// One completed query trace: total simulated latency plus per-stage
+/// attribution. Stages the query never touched stay at 0 and are
+/// excluded from aggregate histograms via the touched mask.
+struct QueryTrace {
+  QueryId query = 0;
+  Micros total = 0;
+  std::array<Micros, kNumTraceStages> stage_us{};
+  std::uint32_t touched = 0;  // bitmask over TraceStage
+
+  bool touched_stage(TraceStage s) const {
+    return touched & (1u << static_cast<unsigned>(s));
+  }
+};
+
+class QueryTracer {
+ public:
+  explicit QueryTracer(std::size_t ring_capacity = 1024);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void begin_query(QueryId qid);
+
+  /// Attribute `dur` simulated microseconds to `stage` for the current
+  /// query. Durations accumulate (a stage may be hit repeatedly, e.g.
+  /// one list fetch per term).
+  void add_span(TraceStage stage, Micros dur);
+
+  /// Close the current query, feed per-stage aggregates, and push the
+  /// trace into the ring buffer.
+  void end_query(Micros total);
+
+  std::uint64_t queries_traced() const { return traced_; }
+
+  const LatencyHistogram& stage_hist(TraceStage s) const {
+    return hists_[static_cast<std::size_t>(s)];
+  }
+  const StreamingStats& stage_stats(TraceStage s) const {
+    return stats_[static_cast<std::size_t>(s)];
+  }
+
+  /// Ring contents, oldest first. At most `ring_capacity` traces.
+  std::vector<QueryTrace> recent() const;
+
+  /// Fold another tracer's per-stage aggregates into this one
+  /// (cross-shard report). Ring buffers are per-shard and not merged.
+  void merge_aggregates(const QueryTracer& other);
+
+  void clear();
+
+ private:
+  bool enabled_ = true;
+  std::uint64_t traced_ = 0;
+  QueryTrace current_;
+  std::array<LatencyHistogram, kNumTraceStages> hists_;
+  std::array<StreamingStats, kNumTraceStages> stats_;
+  std::vector<QueryTrace> ring_;
+  std::size_t ring_capacity_;
+  std::size_t ring_next_ = 0;
+  bool ring_full_ = false;
+};
+
+/// RAII span helper for code regions that advance a simulated clock:
+/// samples the clock reference at construction and attributes the delta
+/// on destruction.
+class SpanTimer {
+ public:
+  SpanTimer(QueryTracer& tracer, TraceStage stage, const Micros& clock)
+      : tracer_(tracer), stage_(stage), clock_(clock), start_(clock) {}
+  ~SpanTimer() { tracer_.add_span(stage_, clock_ - start_); }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  QueryTracer& tracer_;
+  TraceStage stage_;
+  const Micros& clock_;
+  Micros start_;
+};
+
+}  // namespace ssdse::telemetry
+
+// Span site helper: compiles to nothing when tracing is disabled at
+// build time, so instrumented functions carry zero overhead.
+#if SSDSE_TRACING
+#define SSDSE_SPAN_CONCAT2(a, b) a##b
+#define SSDSE_SPAN_CONCAT(a, b) SSDSE_SPAN_CONCAT2(a, b)
+#define SSDSE_SPAN(tracer, stage, clock)                            \
+  ::ssdse::telemetry::SpanTimer SSDSE_SPAN_CONCAT(ssdse_span_,      \
+                                                  __LINE__)(tracer, \
+                                                            stage, clock)
+#else
+#define SSDSE_SPAN(tracer, stage, clock) \
+  do {                                   \
+  } while (false)
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace ssdse {
 
@@ -79,6 +80,19 @@ double LatencyHistogram::quantile(double q) const {
     }
   }
   return lo_ * std::exp(log_growth_ * static_cast<double>(buckets_.size()));
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (lo_ != other.lo_ || log_growth_ != other.log_growth_ ||
+      buckets_.size() != other.buckets_.size()) {
+    throw std::invalid_argument(
+        "LatencyHistogram::merge: bucket geometry mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
 }
 
 std::string LatencyHistogram::summary() const {

@@ -53,6 +53,13 @@ class LatencyHistogram {
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
   }
 
+  /// Merge another histogram (cross-shard telemetry aggregation). Both
+  /// histograms must share one bucket geometry (lo/growth/size); merging
+  /// splits of a sample stream is bucket-exact, so quantiles of the
+  /// merge equal quantiles of the whole. Throws std::invalid_argument on
+  /// a geometry mismatch.
+  void merge(const LatencyHistogram& other);
+
   /// Render "p50=... p90=... p99=..." for reports.
   std::string summary() const;
 

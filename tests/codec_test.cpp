@@ -64,6 +64,30 @@ TEST(CodecFactoryTest, MakesAllAndRejectsUnknown) {
   EXPECT_THROW(make_codec("lz4"), std::invalid_argument);
 }
 
+TEST(CodecFactoryTest, KindResolvesAllNamesAndRejectsUnknown) {
+  EXPECT_EQ(codec_kind("raw"), CodecKind::kRaw);
+  EXPECT_EQ(codec_kind("varint"), CodecKind::kVarint);
+  EXPECT_EQ(codec_kind("group-varint"), CodecKind::kGroupVarint);
+  EXPECT_THROW(codec_kind("lz4"), std::invalid_argument);
+}
+
+TEST(CodecFactoryTest, KindModelMatchesVirtualModel) {
+  // The size model used by TermStatsModel's build loop (enum dispatch,
+  // resolved once) must agree exactly with the per-codec virtuals it
+  // replaced on the hot path.
+  for (const std::string name : {"raw", "varint", "group-varint"}) {
+    auto codec = make_codec(name);
+    const CodecKind kind = codec_kind(name);
+    for (const std::uint64_t df : {1ull, 100ull, 50'000ull}) {
+      for (const std::uint64_t n : {1'000ull, 1'000'000ull, 1ull << 40}) {
+        EXPECT_DOUBLE_EQ(model_bytes_per_posting(kind, df, n),
+                         codec->bytes_per_posting(df, n))
+            << name << " df=" << df << " n=" << n;
+      }
+    }
+  }
+}
+
 // --- size relations -----------------------------------------------------------
 
 TEST(CodecSizeTest, CompressedSmallerThanRaw) {

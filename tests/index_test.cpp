@@ -115,6 +115,23 @@ TEST(TermStatsTest, ListBytesMatchPostingModel) {
   EXPECT_EQ(model.list_bytes(0), model.df(0) * kPostingBytes);
 }
 
+TEST(TermStatsTest, BuildWallTimeIsMeasured) {
+  TermStatsModel model(small_corpus());
+  // Exposed as the "index.model.build_ms" telemetry gauge; must be a
+  // sane, finite duration.
+  EXPECT_GT(model.build_wall_ms(), 0.0);
+  EXPECT_LT(model.build_wall_ms(), 60'000.0);
+}
+
+TEST(TermStatsTest, CodecChangesModeledListBytes) {
+  CorpusConfig cfg = small_corpus();
+  cfg.codec = "varint";
+  TermStatsModel varint(cfg);
+  TermStatsModel raw(small_corpus());  // default codec is raw
+  EXPECT_EQ(raw.df(0), varint.df(0));
+  EXPECT_LT(varint.list_bytes(0), raw.list_bytes(0));
+}
+
 // --- IndexLayout ---------------------------------------------------------------
 
 TEST(LayoutTest, ExtentsAlignedAndDisjoint) {

@@ -50,6 +50,38 @@ TEST(CollectorTest, ClearResets) {
   EXPECT_TRUE(c.records().empty());
 }
 
+TEST(CollectorTest, PerOpCountersKeepCountingPastCapacity) {
+  TraceCollector c;
+  c.set_capacity(3);
+  for (int i = 0; i < 4; ++i) c.record(i, IoOp::kRead, i, 1);
+  for (int i = 0; i < 4; ++i) c.record(4 + i, IoOp::kWrite, i, 1);
+  for (int i = 0; i < 2; ++i) c.record(8 + i, IoOp::kTrim, i, 1);
+  EXPECT_EQ(c.records().size(), 3u);  // storage stops at the cap...
+  EXPECT_EQ(c.total_recorded(), 10u);  // ...accounting does not
+  EXPECT_EQ(c.reads(), 4u);
+  EXPECT_EQ(c.writes(), 4u);
+  EXPECT_EQ(c.trims(), 2u);
+}
+
+TEST(CollectorTest, ClearResetsCapAccountingButKeepsCapValue) {
+  TraceCollector c;
+  c.set_capacity(2);
+  for (int i = 0; i < 5; ++i) c.record(i, IoOp::kRead, i, 1);
+  ASSERT_EQ(c.records().size(), 2u);
+  c.clear();
+  EXPECT_EQ(c.total_recorded(), 0u);
+  EXPECT_EQ(c.reads(), 0u);
+  EXPECT_EQ(c.writes(), 0u);
+  EXPECT_EQ(c.trims(), 0u);
+  EXPECT_TRUE(c.records().empty());
+  // The configured cap survives clear(): storage refills up to it and
+  // counting continues past it.
+  for (int i = 0; i < 5; ++i) c.record(i, IoOp::kWrite, i, 1);
+  EXPECT_EQ(c.records().size(), 2u);
+  EXPECT_EQ(c.total_recorded(), 5u);
+  EXPECT_EQ(c.writes(), 5u);
+}
+
 // --- TraceAnalyzer --------------------------------------------------------
 
 TEST(AnalyzerTest, EmptyTrace) {

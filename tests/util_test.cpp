@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -239,6 +240,94 @@ TEST(HistogramTest, QuantileApproximatesUniform) {
 TEST(HistogramTest, EmptyQuantileZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExtremeQuantilesOfEmpty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleAllQuantilesAgree) {
+  LatencyHistogram h;
+  h.add(42.0);
+  const double q0 = h.quantile(0.0);
+  EXPECT_EQ(h.quantile(0.5), q0);
+  EXPECT_EQ(h.quantile(1.0), q0);
+  // Bucketed value within one growth factor of the sample.
+  EXPECT_NEAR(q0, 42.0, 42.0 * 0.15);
+  EXPECT_EQ(h.mean(), 42.0);
+}
+
+TEST(HistogramTest, BelowLoClampsToFirstBucket) {
+  LatencyHistogram h(/*lo=*/1.0, /*hi=*/1e6, /*growth=*/1.5);
+  h.add(0.001);
+  h.add(-5.0);  // pathological but must not crash or misindex
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.quantile(0.5), 1.0);  // bucket 0 reports lo
+  EXPECT_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(HistogramTest, AboveHiClampsToLastBucket) {
+  LatencyHistogram h(/*lo=*/1.0, /*hi=*/100.0, /*growth=*/2.0);
+  h.add(1e12);
+  h.add(1e15);
+  EXPECT_EQ(h.count(), 2u);
+  // Both land in the overflow bucket; the reported quantile is finite
+  // and at least hi.
+  const double q = h.quantile(0.5);
+  EXPECT_GE(q, 100.0);
+  EXPECT_LT(q, 1e6);  // bounded by the bucket geometry, not the sample
+}
+
+TEST(HistogramTest, MergeOfSplitsEqualsWhole) {
+  LatencyHistogram whole, a, b;
+  Rng r(123);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = r.lognormal(4.0, 1.5);
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  // Summation order differs between the split and the whole stream, so
+  // the mean agrees only to rounding.
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12 * whole.mean());
+  // Bucket-exact merge: identical quantiles, not just close ones.
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedGeometry) {
+  LatencyHistogram a(0.1, 1e8, 1.15);
+  LatencyHistogram different_growth(0.1, 1e8, 1.2);
+  LatencyHistogram different_lo(1.0, 1e8, 1.15);
+  EXPECT_THROW(a.merge(different_growth), std::invalid_argument);
+  EXPECT_THROW(a.merge(different_lo), std::invalid_argument);
+}
+
+TEST(StatsTest, MergeOfManySplitsEqualsWhole) {
+  // Property backing the cross-shard aggregation: splitting a sample
+  // stream across N shards and merging the shard stats reproduces the
+  // whole-stream stats.
+  Rng r(77);
+  StreamingStats whole;
+  StreamingStats shards[4];
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.lognormal(2.0, 1.0);
+    whole.add(x);
+    shards[i % 4].add(x);
+  }
+  StreamingStats merged;
+  for (auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9 * whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(),
+              1e-6 * whole.variance());
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
 }
 
 // --- Counter -------------------------------------------------------------
