@@ -1,0 +1,224 @@
+// Extension bench: fault injection and graceful degradation
+// (DESIGN.md §10). Sweeps NAND/HDD error rates over the paper's
+// two-level cell and checks the two robustness headlines:
+//
+//  1. *Results never change.* Injected faults may cost latency and hit
+//     ratio, but every query's merged top-K must stay bit-identical to
+//     the fault-free baseline — a failed SSD-cache read degrades into
+//     the miss path, which computes the same answer from the HDD.
+//  2. *The breaker trips and recovers.* Under a sustained flash error
+//     burst the SSD-cache circuit breaker opens (queries bypass the
+//     cache instead of paying doomed flash reads), probes the cache
+//     after a cooldown, and re-closes when probes succeed.
+//
+// Emits machine-readable JSON (SSDSE_BENCH_OUT, default
+// BENCH_FAULTS.json) consumed by scripts/check_bench_json.py in CI, and
+// a telemetry run report for the last faulty cell when
+// SSDSE_TELEMETRY_OUT is set (exercises the report's "faults" section).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+using namespace ssdse;
+using namespace ssdse::bench;
+
+namespace {
+
+struct FaultCell {
+  const char* name;
+  double ssd_unc = 0;        // NAND uncorrectable-read rate (cache SSD)
+  double ssd_transient = 0;  // NAND ECC-retry rate
+  double ssd_program = 0;    // NAND program-failure rate (BBM)
+  double hdd_unc = 0;        // HDD uncorrectable-read rate
+  double hdd_spike = 0;      // HDD latency-spike rate
+};
+
+struct CellResult {
+  const FaultCell* cell = nullptr;
+  std::uint64_t fingerprint = 0;
+  Micros mean_response = 0;
+  std::uint64_t ssd_read_errors = 0;
+  std::uint64_t hdd_read_errors = 0;
+  std::uint64_t read_retries = 0;
+  std::uint64_t grown_bad_blocks = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t breaker_reopens = 0;
+  std::uint64_t breaker_bypassed = 0;
+  std::string breaker_state = "closed";
+};
+
+SystemConfig cell_config(const FaultCell& c) {
+  SystemConfig cfg = paper_system(CachePolicy::kCbslru, 2'000'000, 6 * MiB);
+  cfg.cache_ssd.nand.fault.read_unc_rate = c.ssd_unc;
+  cfg.cache_ssd.nand.fault.read_transient_rate = c.ssd_transient;
+  cfg.cache_ssd.nand.fault.program_fail_rate = c.ssd_program;
+  cfg.hdd_faults.read_unc_rate = c.hdd_unc;
+  cfg.hdd_faults.latency_spike_rate = c.hdd_spike;
+  // A breaker sized so the severe cell's error burst demonstrably trips
+  // it *and* lets probe successes re-close it within the run.
+  cfg.cache.breaker.window = 64;
+  cfg.cache.breaker.min_samples = 16;
+  cfg.cache.breaker.threshold = 0.5;
+  cfg.cache.breaker.cooldown_ops = 128;
+  cfg.cache.breaker.probes = 2;
+  return cfg;
+}
+
+CellResult run_cell(const FaultCell& c, std::uint64_t queries,
+                    bool emit_report) {
+  SearchSystem sys(cell_config(c));
+  std::uint64_t checksum = 0;
+  Micros sum = 0;
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    const auto out = sys.execute(sys.generator().next());
+    sum += out.response;
+    for (const ScoredDoc& d : out.result.docs) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &d.score, sizeof bits);
+      checksum = checksum * 1099511628211ull + d.doc + bits;
+    }
+  }
+  sys.drain();
+  if (emit_report) maybe_write_report(sys, "ext_faults");
+
+  CellResult r;
+  r.cell = &c;
+  r.fingerprint = checksum;
+  r.mean_response = queries ? sum / static_cast<double>(queries) : 0.0;
+  const CacheManagerStats& cm = sys.cache_manager().stats();
+  r.ssd_read_errors = cm.ssd_read_errors;
+  r.hdd_read_errors = cm.hdd_read_errors;
+  const auto& br = sys.cache_manager().breaker();
+  r.breaker_trips = br.stats().trips;
+  r.breaker_closes = br.stats().closes;
+  r.breaker_reopens = br.stats().reopens;
+  r.breaker_bypassed = br.stats().bypassed_ops;
+  r.breaker_state = CircuitBreaker::to_string(br.state());
+  if (const Ssd* ssd = sys.cache_ssd()) {
+    r.read_retries = ssd->ftl().stats().read_retries;
+    r.grown_bad_blocks = ssd->ftl().stats().grown_bad_blocks;
+  }
+  return r;
+}
+
+void write_json(const char* path, const std::vector<CellResult>& cells,
+                std::uint64_t queries, bool fingerprint_match,
+                const CellResult& severe) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "ext_faults: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_faults\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"queries\": %llu,\n",
+               static_cast<unsigned long long>(queries));
+  std::fprintf(f, "  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"fingerprint\": %llu, "
+        "\"mean_response_ms\": %.3f, \"ssd_read_errors\": %llu, "
+        "\"hdd_read_errors\": %llu, \"read_retries\": %llu, "
+        "\"grown_bad_blocks\": %llu, \"breaker\": {\"trips\": %llu, "
+        "\"closes\": %llu, \"reopens\": %llu, \"bypassed_ops\": %llu, "
+        "\"final_state\": \"%s\"}}%s\n",
+        r.cell->name, static_cast<unsigned long long>(r.fingerprint),
+        r.mean_response / kMillisecond,
+        static_cast<unsigned long long>(r.ssd_read_errors),
+        static_cast<unsigned long long>(r.hdd_read_errors),
+        static_cast<unsigned long long>(r.read_retries),
+        static_cast<unsigned long long>(r.grown_bad_blocks),
+        static_cast<unsigned long long>(r.breaker_trips),
+        static_cast<unsigned long long>(r.breaker_closes),
+        static_cast<unsigned long long>(r.breaker_reopens),
+        static_cast<unsigned long long>(r.breaker_bypassed),
+        r.breaker_state.c_str(), i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"fingerprint_match\": %s,\n",
+               fingerprint_match ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"breaker_demo\": {\"trips\": %llu, \"closes\": %llu, "
+      "\"recovered\": %s}\n}\n",
+      static_cast<unsigned long long>(severe.breaker_trips),
+      static_cast<unsigned long long>(severe.breaker_closes),
+      severe.breaker_trips > 0 && severe.breaker_closes > 0 ? "true"
+                                                            : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  print_environment("Extension — fault injection & graceful degradation");
+  const auto queries = default_queries(20'000);
+  std::printf("%llu queries per cell, CBSLRU two-level hierarchy\n\n",
+              static_cast<unsigned long long>(queries));
+
+  const std::vector<FaultCell> kCells = {
+      {"baseline", 0, 0, 0, 0, 0},
+      {"light", 0.001, 0.01, 0, 0.001, 0.0005},
+      {"moderate", 0.02, 0.05, 0.0005, 0.01, 0.002},
+      // Breaker demo. The rate is per NAND *page* and an entry read
+      // merges its pages' statuses to the most severe, so the
+      // entry-level error rate is much higher than 8 % — hot enough to
+      // trip the breaker repeatedly, cool enough that two consecutive
+      // probe reads still succeed and re-close it (recovery).
+      {"severe", 0.08, 0.1, 0.001, 0, 0},
+  };
+
+  std::vector<CellResult> results;
+  for (const FaultCell& c : kCells) {
+    std::printf("running %-9s (ssd unc %.3f, hdd unc %.3f)...\n", c.name,
+                c.ssd_unc, c.hdd_unc);
+    results.push_back(
+        run_cell(c, queries, /*emit_report=*/&c == &kCells.back()));
+  }
+  std::printf("\n");
+
+  Table t({"cell", "mean (ms)", "ssd errs", "hdd errs", "retries",
+           "bad blks", "trips", "closes", "bypassed", "fingerprint"});
+  for (const CellResult& r : results) {
+    t.add_row({r.cell->name, fmt_ms(r.mean_response),
+               Table::num(static_cast<double>(r.ssd_read_errors), 0),
+               Table::num(static_cast<double>(r.hdd_read_errors), 0),
+               Table::num(static_cast<double>(r.read_retries), 0),
+               Table::num(static_cast<double>(r.grown_bad_blocks), 0),
+               Table::num(static_cast<double>(r.breaker_trips), 0),
+               Table::num(static_cast<double>(r.breaker_closes), 0),
+               Table::num(static_cast<double>(r.breaker_bypassed), 0),
+               std::to_string(r.fingerprint)});
+  }
+  t.print();
+
+  const std::uint64_t baseline = results.front().fingerprint;
+  bool match = true;
+  for (const CellResult& r : results) match = match && r.fingerprint == baseline;
+  const CellResult& severe = results.back();
+  const bool breaker_ok = severe.breaker_trips > 0 && severe.breaker_closes > 0;
+
+  std::printf(
+      "\nresult integrity: every cell's fingerprint %s the fault-free\n"
+      "baseline — injected faults cost latency, never answers.\n"
+      "breaker: %llu trips, %llu re-closes, %llu reopens in the severe\n"
+      "cell (%s).\n",
+      match ? "matches" : "DIVERGES FROM",
+      static_cast<unsigned long long>(severe.breaker_trips),
+      static_cast<unsigned long long>(severe.breaker_closes),
+      static_cast<unsigned long long>(severe.breaker_reopens),
+      breaker_ok ? "tripped and recovered" : "DID NOT trip and recover");
+
+  const char* out = std::getenv("SSDSE_BENCH_OUT");
+  if (!out) out = "BENCH_FAULTS.json";
+  write_json(out, results, queries, match, severe);
+  std::printf("wrote %s\n", out);
+
+  return match && breaker_ok ? 0 : 1;
+}

@@ -3,12 +3,16 @@
 
 Usage: check_bench_json.py <file.json> [more.json ...]
 
-Two document shapes are recognized:
+Three document shapes are recognized:
   * perf_driver bench files ("bench": "perf_driver") — phase timings,
     fingerprints and the zero-overhead trace guard;
+  * fault-injection bench files ("bench": "ext_faults") — DESIGN.md §10:
+    per-cell fault/breaker accounting, with the two robustness gates
+    (fingerprints bit-identical across fault rates; the breaker tripped
+    and recovered in the demo cell);
   * telemetry run reports ("report": "telemetry") — DESIGN.md §9: the
     registry dump, per-stage trace quantiles, situation census, per-tier
-    cache accounting and flash counters.
+    cache accounting, flash counters and the fault/breaker section.
 
 Exits non-zero (with a message) on any missing key, wrong type, or
 implausible value — CI runs this after the perf_driver smoke so a
@@ -23,7 +27,7 @@ EXPECTED_PHASES = ["daat", "cache", "ssd"]
 
 TRACE_STAGES = {
     "result_probe", "list_fetch_mem", "list_fetch_ssd", "list_fetch_hdd",
-    "daat_score", "write_buffer_flush", "ftl_gc",
+    "daat_score", "write_buffer_flush", "ftl_gc", "broker_merge",
 }
 
 
@@ -127,6 +131,106 @@ def check_bench(doc, path):
           f"{total['queries']} queries, {total['qps']:.1f} q/s)")
 
 
+BREAKER_STATES = {"closed", "open", "half_open"}
+
+
+def check_breaker(br, ctx):
+    require(isinstance(br, dict), f"{ctx}: must be an object")
+    require(br.get("final_state", br.get("state")) in BREAKER_STATES,
+            f"{ctx}: state must be one of {sorted(BREAKER_STATES)}")
+    for key in ("trips", "closes", "reopens", "bypassed_ops"):
+        require(isinstance(br.get(key), int) and br[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+    # A breaker can only half-open (and hence re-close or reopen) after
+    # a trip put it in the open state.
+    if br["trips"] == 0:
+        require(br["closes"] == 0 and br["reopens"] == 0,
+                f"{ctx}: closes/reopens without any trip")
+
+
+def check_faults(faults, ctx="faults"):
+    require(isinstance(faults, dict), f"'{ctx}' must be an object")
+    for key in ("ssd_read_errors", "hdd_read_errors"):
+        require(isinstance(faults.get(key), int) and faults[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+    check_breaker(faults.get("breaker"), f"{ctx}.breaker")
+    for key in ("bypassed_probes", "bypassed_inserts"):
+        require(isinstance(faults["breaker"].get(key), int)
+                and faults["breaker"][key] >= 0,
+                f"{ctx}.breaker: '{key}' must be a non-negative integer")
+    if "flash" in faults:
+        fl = faults["flash"]
+        for key in ("read_retries", "uncorrectable_reads",
+                    "program_failures", "remapped_writes",
+                    "grown_bad_blocks"):
+            require(isinstance(fl.get(key), int) and fl[key] >= 0,
+                    f"{ctx}.flash: '{key}' must be a non-negative integer")
+        # BBM invariant: every injected program failure is salvaged by
+        # exactly one remap and retires exactly one block.
+        require(fl["program_failures"] == fl["remapped_writes"]
+                == fl["grown_bad_blocks"],
+                f"{ctx}.flash: program_failures ({fl['program_failures']}) "
+                f"!= remapped_writes ({fl['remapped_writes']}) or "
+                f"grown_bad_blocks ({fl['grown_bad_blocks']})")
+    if "hdd" in faults:
+        for key in ("read_uncs", "read_retries", "write_fails",
+                    "latency_spikes"):
+            require(isinstance(faults["hdd"].get(key), int)
+                    and faults["hdd"][key] >= 0,
+                    f"{ctx}.hdd: '{key}' must be a non-negative integer")
+
+
+def check_ext_faults(doc, path):
+    require(doc.get("schema_version") == 1,
+            f"unsupported schema_version {doc.get('schema_version')!r}")
+    require(isinstance(doc.get("queries"), int) and doc["queries"] > 0,
+            "'queries' must be a positive integer")
+
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and len(cells) >= 2,
+            "'cells' must be a list with at least a baseline and one "
+            "faulty cell")
+    fingerprints = set()
+    for c in cells:
+        ctx = f"cell '{c.get('name')}'"
+        require(isinstance(c.get("name"), str) and c["name"],
+                f"{ctx}: 'name' must be a non-empty string")
+        require(isinstance(c.get("fingerprint"), int)
+                and c["fingerprint"] > 0,
+                f"{ctx}: 'fingerprint' must be a positive integer")
+        fingerprints.add(c["fingerprint"])
+        require(is_num(c.get("mean_response_ms"))
+                and c["mean_response_ms"] > 0,
+                f"{ctx}: 'mean_response_ms' must be positive")
+        for key in ("ssd_read_errors", "hdd_read_errors", "read_retries",
+                    "grown_bad_blocks"):
+            require(isinstance(c.get(key), int) and c[key] >= 0,
+                    f"{ctx}: '{key}' must be a non-negative integer")
+        check_breaker(c.get("breaker"), f"{ctx}.breaker")
+
+    # Robustness gate 1: faults must never change results.
+    require(doc.get("fingerprint_match") is True,
+            "fingerprint_match is not true: a faulty cell's results "
+            "diverged from the fault-free baseline")
+    require(len(fingerprints) == 1,
+            f"cells carry {len(fingerprints)} distinct fingerprints; "
+            "expected all identical")
+    # Robustness gate 2: the breaker demo tripped and recovered.
+    demo = doc.get("breaker_demo")
+    require(isinstance(demo, dict), "'breaker_demo' must be an object")
+    require(isinstance(demo.get("trips"), int) and demo["trips"] >= 1,
+            "breaker_demo: expected at least one trip")
+    require(isinstance(demo.get("closes"), int) and demo["closes"] >= 1,
+            "breaker_demo: expected at least one re-close (recovery)")
+    require(demo.get("recovered") is True,
+            "breaker_demo: 'recovered' must be true")
+
+    print(f"check_bench_json: OK ({path}: ext_faults, "
+          f"{len(cells)} cells x {doc['queries']} queries, "
+          f"fingerprints identical, breaker tripped {demo['trips']}x / "
+          f"recovered {demo['closes']}x)")
+
+
 def check_telemetry(doc, path):
     require(doc.get("schema_version") == 1,
             f"unsupported schema_version {doc.get('schema_version')!r}")
@@ -208,6 +312,9 @@ def check_telemetry(doc, path):
                     "flash: write_amplification below 1 with host writes "
                     "present")
 
+    if "faults" in doc:
+        check_faults(doc["faults"])
+
     metrics = doc.get("metrics")
     require(isinstance(metrics, dict) and metrics,
             "'metrics' must be a non-empty object (registry dump)")
@@ -228,9 +335,11 @@ def check_file(path):
         check_telemetry(doc, path)
     elif doc.get("bench") == "perf_driver":
         check_bench(doc, path)
+    elif doc.get("bench") == "ext_faults":
+        check_ext_faults(doc, path)
     else:
-        fail(f"{path}: neither a perf_driver bench file nor a telemetry "
-             "report")
+        fail(f"{path}: not a perf_driver/ext_faults bench file or a "
+             "telemetry report")
 
 
 def main():

@@ -24,7 +24,8 @@ CacheManager::CacheManager(const CacheConfig& cfg, Ssd* ssd,
       index_(index),
       mem_rc_(cfg.mem_result_capacity),
       mem_lc_(cfg.mem_list_capacity, cfg.policy, cfg.replace_window),
-      wb_(cfg.results_per_rb()) {
+      wb_(cfg.results_per_rb()),
+      breaker_(cfg.breaker) {
   if (cfg_.intersection_capacity > 0) {
     ic_ = std::make_unique<IntersectionCache>(cfg_.intersection_capacity);
   }
@@ -117,10 +118,26 @@ const ResultEntry* CacheManager::lookup_result(QueryId qid, Tier* tier_out,
   const ResultEntry* ssd_hit = nullptr;
   Micros flash = 0;
   if (cfg_.l2) {
-    if (cost_based()) {
-      ssd_hit = ssd_rc_->lookup(qid, freq, flash, &born);
+    if (!breaker_.allow()) {
+      // Breaker open: skip the SSD probe entirely and fall through to
+      // the HDD path, exactly as if the entry were not cached.
+      ++stats_.breaker_bypassed_probes;
     } else {
-      ssd_hit = lru_rc_->lookup(qid, freq, flash, &born);
+      IoStatus st = IoStatus::kOk;
+      if (cost_based()) {
+        ssd_hit = ssd_rc_->lookup(qid, freq, flash, &born, &st);
+      } else {
+        ssd_hit = lru_rc_->lookup(qid, freq, flash, &born, &st);
+      }
+      // A flash read happened iff we got a hit or the read failed (a
+      // plain map miss touches no flash and must not feed the window).
+      if (ssd_hit || st == IoStatus::kUncorrectable) {
+        breaker_.record(st != IoStatus::kUncorrectable);
+      }
+      if (st == IoStatus::kUncorrectable) {
+        ++stats_.ssd_read_errors;
+        *time += flash;  // the failed read's latency is real query time
+      }
     }
   }
   if (ssd_hit) {
@@ -175,7 +192,14 @@ Micros CacheManager::read_list_from_hdd(TermId term, Bytes bytes) {
     const Bytes chunk = std::min(remaining, kHddChunkBytes);
     const auto sectors =
         static_cast<std::uint32_t>(bytes_to_sectors(chunk));
-    t += index_store_.read(std::min(lba, extent_end - 1), sectors);
+    const IoResult io = index_store_.read(std::min(lba, extent_end - 1),
+                                          sectors);
+    t += io.latency;
+    if (io.status == IoStatus::kUncorrectable) {
+      // HDD media error: the replica re-read penalty is already in the
+      // latency; the data itself still arrives (latency-only model).
+      ++stats_.hdd_read_errors;
+    }
     remaining -= chunk;
     // Skip forward: half a chunk of postings the scorer steps over.
     lba += sectors + sectors / 2;
@@ -224,27 +248,41 @@ Tier CacheManager::fetch_list(TermId term, Micros* time) {
   bool ssd_hit = false;
   Micros flash = 0;
   if (cfg_.l2) {
-    if (cost_based()) {
-      if (const SsdListEntry* e = ssd_lc_->lookup(term, needed, flash)) {
-        if (expired(e->born)) {
-          stats_.background_flash_time += expire_list(term);
-        } else {
-          ssd_hit = true;
-          promoted_freq = e->freq;
-          promoted_born = e->born;
-          promoted_bytes = std::min(e->cached_bytes, meta.list_bytes);
+    if (!breaker_.allow()) {
+      // Breaker open: no SSD probe; the query pays the HDD path below.
+      ++stats_.breaker_bypassed_probes;
+    } else {
+      IoStatus st = IoStatus::kOk;
+      if (cost_based()) {
+        if (const SsdListEntry* e =
+                ssd_lc_->lookup(term, needed, flash, &st)) {
+          if (expired(e->born)) {
+            stats_.background_flash_time += expire_list(term);
+          } else {
+            ssd_hit = true;
+            promoted_freq = e->freq;
+            promoted_born = e->born;
+            promoted_bytes = std::min(e->cached_bytes, meta.list_bytes);
+          }
+        }
+      } else {
+        if (const auto* e = lru_lc_->lookup(term, needed, flash, &st)) {
+          if (expired(e->born)) {
+            stats_.background_flash_time += expire_list(term);
+          } else {
+            ssd_hit = true;
+            promoted_freq = e->freq;
+            promoted_born = e->born;
+            promoted_bytes = std::min<Bytes>(e->bytes, meta.list_bytes);
+          }
         }
       }
-    } else {
-      if (const auto* e = lru_lc_->lookup(term, needed, flash)) {
-        if (expired(e->born)) {
-          stats_.background_flash_time += expire_list(term);
-        } else {
-          ssd_hit = true;
-          promoted_freq = e->freq;
-          promoted_born = e->born;
-          promoted_bytes = std::min<Bytes>(e->bytes, meta.list_bytes);
-        }
+      if (ssd_hit || st == IoStatus::kUncorrectable) {
+        breaker_.record(st != IoStatus::kUncorrectable);
+      }
+      if (st == IoStatus::kUncorrectable) {
+        ++stats_.ssd_read_errors;
+        *time += flash;  // failed read latency still counts
       }
     }
   }
@@ -286,6 +324,12 @@ void CacheManager::flush_group(std::vector<CachedResult> group) {
 void CacheManager::route_result_evictions(
     std::vector<CachedResult> evicted) {
   if (!cfg_.l2) return;  // one-level cache: evictions are simply dropped
+  if (breaker_.state() != CircuitBreaker::State::kClosed) {
+    // Degraded SSD: don't write into a failing cache; evictions are
+    // dropped exactly as in the one-level configuration.
+    stats_.breaker_bypassed_inserts += evicted.size();
+    return;
+  }
   for (auto& e : evicted) {
     if (!cost_based()) {
       stats_.background_flash_time += lru_rc_->insert(std::move(e));
@@ -309,6 +353,10 @@ void CacheManager::route_result_evictions(
 
 void CacheManager::route_list_evictions(std::vector<EvictedList> evicted) {
   if (!cfg_.l2) return;
+  if (breaker_.state() != CircuitBreaker::State::kClosed) {
+    stats_.breaker_bypassed_inserts += evicted.size();
+    return;
+  }
   for (auto& e : evicted) {
     if (!cost_based()) {
       // Baseline: flush exactly what was cached, byte-packed and

@@ -14,6 +14,7 @@
 #include <memory>
 #include <optional>
 
+#include "src/cache/circuit_breaker.hpp"
 #include "src/cache/intersection_cache.hpp"
 #include "src/cache/lru_ssd_cache.hpp"
 #include "src/cache/sieve_filter.hpp"
@@ -44,6 +45,12 @@ struct CacheManagerStats {
   std::uint64_t results_expired = 0;    // TTL misses (dynamic scenario)
   std::uint64_t lists_expired = 0;
   Micros background_flash_time = 0;     // flush/eviction writes (+ GC)
+
+  // Graceful degradation (DESIGN.md §10).
+  std::uint64_t ssd_read_errors = 0;  // uncorrectable SSD-cache reads
+  std::uint64_t hdd_read_errors = 0;  // uncorrectable index-store reads
+  std::uint64_t breaker_bypassed_probes = 0;   // lookups skipped while open
+  std::uint64_t breaker_bypassed_inserts = 0;  // evictions dropped, not flushed
 
   double result_hit_ratio() const {
     return result_lookups ? static_cast<double>(result_hits_mem +
@@ -125,6 +132,9 @@ class CacheManager {
   const CacheConfig& config() const { return cfg_; }
   CachePolicy policy() const { return cfg_.policy; }
 
+  /// SSD-cache circuit breaker (inert unless flash reads start failing).
+  const CircuitBreaker& breaker() const { return breaker_; }
+
   // Introspection for tests / benches.
   const MemResultCache& mem_results() const { return mem_rc_; }
   const MemListCache& mem_lists() const { return mem_lc_; }
@@ -180,6 +190,8 @@ class CacheManager {
   // LRU baseline machinery.
   std::unique_ptr<LruSsdResultCache> lru_rc_;
   std::unique_ptr<LruSsdListCache> lru_lc_;
+
+  CircuitBreaker breaker_;
 
   std::uint64_t now_ = 0;  // logical clock (queries)
   /// Serving copy for promotions the degenerate (zero-entry) L1 bounced;

@@ -1,0 +1,131 @@
+// Circuit breaker for the SSD cache tier (DESIGN.md §10).
+//
+// Classic three-state machine over a sliding window of flash-read
+// outcomes:
+//   kClosed   — normal operation; record() tracks the error rate and
+//               trips to kOpen when errors/window >= threshold (with at
+//               least min_samples outcomes observed).
+//   kOpen     — the SSD cache is bypassed entirely (no probes, no
+//               inserts). After cooldown_ops bypassed operations the
+//               breaker half-opens.
+//   kHalfOpen — a budget of probe reads is allowed through; any failure
+//               reopens immediately, `probes` consecutive successes
+//               re-close.
+//
+// With no errors the breaker is inert: allow() is a branch on kClosed
+// and record(true) never trips, so constructing one unconditionally
+// keeps fault-free runs bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ssdse {
+
+struct CircuitBreakerConfig {
+  std::uint32_t window = 128;       // sliding window of read outcomes
+  double threshold = 0.5;           // trip when errors/window >= this
+  std::uint32_t min_samples = 16;   // don't trip on a tiny sample
+  std::uint64_t cooldown_ops = 256; // bypassed ops before half-opening
+  std::uint32_t probes = 4;         // successes needed to re-close
+};
+
+struct CircuitBreakerStats {
+  std::uint64_t trips = 0;    // kClosed -> kOpen transitions
+  std::uint64_t reopens = 0;  // kHalfOpen -> kOpen (probe failed)
+  std::uint64_t closes = 0;   // kHalfOpen -> kClosed (probes passed)
+  std::uint64_t bypassed_ops = 0;  // operations refused while open
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  static const char* to_string(State s) {
+    switch (s) {
+      case State::kClosed: return "closed";
+      case State::kOpen: return "open";
+      case State::kHalfOpen: return "half_open";
+    }
+    return "?";
+  }
+
+  explicit CircuitBreaker(const CircuitBreakerConfig& cfg = {})
+      : cfg_(cfg), window_(cfg.window, 0) {}
+
+  State state() const { return state_; }
+  const CircuitBreakerStats& stats() const { return stats_; }
+
+  /// May the next SSD-cache operation proceed? While open this counts
+  /// the bypass and advances the cooldown clock.
+  bool allow() {
+    switch (state_) {
+      case State::kClosed:
+      case State::kHalfOpen:
+        return true;
+      case State::kOpen:
+        ++stats_.bypassed_ops;
+        if (++cooldown_ >= cfg_.cooldown_ops) half_open();
+        return false;
+    }
+    return true;
+  }
+
+  /// Feed the outcome of one actual flash read (true = data delivered).
+  void record(bool ok) {
+    if (state_ == State::kHalfOpen) {
+      if (!ok) {
+        state_ = State::kOpen;
+        ++stats_.reopens;
+        cooldown_ = 0;
+        return;
+      }
+      if (++probe_successes_ >= cfg_.probes) {
+        state_ = State::kClosed;
+        ++stats_.closes;
+        clear_window();
+      }
+      return;
+    }
+    if (state_ != State::kClosed) return;  // open: outcome is moot
+    // Sliding window ring: replace the oldest outcome.
+    const std::uint8_t outgoing = window_[pos_];
+    window_[pos_] = ok ? 0 : 1;
+    errors_ += (ok ? 0 : 1) - outgoing;
+    pos_ = (pos_ + 1) % cfg_.window;
+    if (samples_ < cfg_.window) ++samples_;
+    if (samples_ >= cfg_.min_samples &&
+        static_cast<double>(errors_) >=
+            cfg_.threshold * static_cast<double>(cfg_.window)) {
+      state_ = State::kOpen;
+      ++stats_.trips;
+      cooldown_ = 0;
+      clear_window();
+    }
+  }
+
+ private:
+  void half_open() {
+    state_ = State::kHalfOpen;
+    probe_successes_ = 0;
+  }
+  void clear_window() {
+    std::fill(window_.begin(), window_.end(), 0);
+    errors_ = 0;
+    samples_ = 0;
+    pos_ = 0;
+  }
+
+  CircuitBreakerConfig cfg_;
+  State state_ = State::kClosed;
+  CircuitBreakerStats stats_;
+  std::vector<std::uint8_t> window_;
+  std::uint32_t pos_ = 0;
+  std::uint32_t samples_ = 0;
+  std::int64_t errors_ = 0;
+  std::uint64_t cooldown_ = 0;
+  std::uint32_t probe_successes_ = 0;
+};
+
+}  // namespace ssdse

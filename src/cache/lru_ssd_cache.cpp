@@ -21,12 +21,23 @@ LruSsdResultCache::LruSsdResultCache(Ssd& ssd, Lpn base, std::uint64_t pages)
 const ResultEntry* LruSsdResultCache::lookup(QueryId qid,
                                              std::uint64_t& freq_out,
                                              Micros& time,
-                                             std::uint64_t* born_out) {
+                                             std::uint64_t* born_out,
+                                             IoStatus* io_status) {
   ++stats_.lookups;
   Slot* s = map_.touch(qid);
   if (!s) return nullptr;
-  time += ssd_.read_pages(base_ + static_cast<Lpn>(s->slot) * pages_per_slot_,
-                          pages_per_slot_);
+  const IoResult io = ssd_.read_pages(
+      base_ + static_cast<Lpn>(s->slot) * pages_per_slot_, pages_per_slot_);
+  time += io.latency;
+  if (io_status) *io_status = io.status;
+  if (io.status == IoStatus::kUncorrectable) {
+    // Unreadable slot: drop the entry and miss (slot returns to the
+    // free pool; the next insert simply rewrites it).
+    ++stats_.read_errors;
+    free_slots_.push_back(s->slot);
+    map_.erase(qid);
+    return nullptr;
+  }
   ++s->cached.freq;
   freq_out = s->cached.freq;
   if (born_out) *born_out = s->cached.born;
@@ -60,8 +71,10 @@ Micros LruSsdResultCache::insert(CachedResult entry) {
     free_slots_.pop_back();
     map_.insert(qid, Slot{std::move(entry), slot});
   }
+  // BBM hides program failures below this layer; only latency remains.
   t += ssd_.write_pages(base_ + static_cast<Lpn>(slot) * pages_per_slot_,
-                        pages_per_slot_);
+                        pages_per_slot_)
+           .latency;
   ++stats_.inserts;
   return t;
 }
@@ -123,7 +136,8 @@ LruSsdListCache::LruSsdListCache(Ssd& ssd, Lpn base, std::uint64_t pages)
 
 const LruSsdListCache::Entry* LruSsdListCache::lookup(TermId term,
                                                       Bytes needed_bytes,
-                                                      Micros& time) {
+                                                      Micros& time,
+                                                      IoStatus* io_status) {
   ++stats_.lookups;
   Entry* e = map_.touch(term);
   if (!e) return nullptr;
@@ -132,11 +146,20 @@ const LruSsdListCache::Entry* LruSsdListCache::lookup(TermId term,
   auto pages = static_cast<std::uint64_t>(
       (needed_bytes + page_bytes_ - 1) / page_bytes_);
   pages = std::min(pages, e->pages);
+  IoResult io;
   for (const auto& [start, len] : e->runs) {
     if (pages == 0) break;
     const auto n = std::min(len, pages);
-    time += ssd_.read_pages(start, n);
+    io += ssd_.read_pages(start, n);
     pages -= n;
+  }
+  time += io.latency;
+  if (io_status) *io_status = io.status;
+  if (io.status == IoStatus::kUncorrectable) {
+    // Unreadable list: drop the entry, free its pages, and miss.
+    ++stats_.read_errors;
+    erase(term);
+    return nullptr;
   }
   ++stats_.hits;
   return e;
@@ -182,7 +205,8 @@ Micros LruSsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
   e.freq = freq;
   e.born = born;
   for (const auto& [start, len] : e.runs) {
-    t += ssd_.write_pages(start, len);
+    // BBM hides program failures below this layer; only latency remains.
+    t += ssd_.write_pages(start, len).latency;
   }
   map_.insert(term, std::move(e));
   ++stats_.inserts;

@@ -27,6 +27,7 @@ struct LruSsdStats {
   std::uint64_t inserts = 0;
   std::uint64_t evictions = 0;
   std::uint64_t rejected_too_large = 0;
+  std::uint64_t read_errors = 0;  // uncorrectable flash reads -> miss
 };
 
 class LruSsdResultCache {
@@ -34,8 +35,11 @@ class LruSsdResultCache {
   /// Region: logical pages [base, base + pages) on `ssd`.
   LruSsdResultCache(Ssd& ssd, Lpn base, std::uint64_t pages);
 
+  /// `io_status` (optional) receives the flash read's status; on
+  /// kUncorrectable the entry is dropped and nullptr returned (miss).
   const ResultEntry* lookup(QueryId qid, std::uint64_t& freq_out,
-                            Micros& time, std::uint64_t* born_out = nullptr);
+                            Micros& time, std::uint64_t* born_out = nullptr,
+                            IoStatus* io_status = nullptr);
   /// Insert one evicted entry; writes immediately. Returns flash time.
   Micros insert(CachedResult entry);
   /// TTL expiry: drop the entry, freeing its slot.
@@ -96,8 +100,10 @@ class LruSsdListCache {
 
   /// Hit iff the cached prefix covers `needed_bytes` (the engine caches
   /// whatever it fetched; early termination bounds that for every
-  /// policy). Reads the needed pages on a hit.
-  const Entry* lookup(TermId term, Bytes needed_bytes, Micros& time);
+  /// policy). Reads the needed pages on a hit. `io_status` (optional)
+  /// receives the read status; kUncorrectable drops the entry -> miss.
+  const Entry* lookup(TermId term, Bytes needed_bytes, Micros& time,
+                      IoStatus* io_status = nullptr);
 
   /// Insert a list prefix of `bytes`; evicts LRU entries until it fits.
   Micros insert(TermId term, Bytes bytes, std::uint64_t freq,

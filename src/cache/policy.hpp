@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/cache/circuit_breaker.hpp"
 #include "src/util/types.hpp"
 
 namespace ssdse {
@@ -87,6 +88,10 @@ struct CacheConfig {
   /// queries is considered stale and re-read from the index store on
   /// access. 0 = static scenario (the paper's evaluation setting).
   std::uint64_t ttl_queries = 0;
+
+  /// Graceful degradation (DESIGN.md §10): circuit breaker over the SSD
+  /// cache tier's flash-read outcomes. Inert with no read errors.
+  CircuitBreakerConfig breaker;
 
   /// Baseline semantics: the traditional LRU list cache holds *whole*
   /// inverted lists (paper §VII.A: "only part of inverted lists are

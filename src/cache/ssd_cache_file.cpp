@@ -38,7 +38,7 @@ std::optional<std::uint32_t> SsdCacheFile::alloc() {
   return cb;
 }
 
-Micros SsdCacheFile::write(std::uint32_t cb, std::uint32_t pages) {
+IoResult SsdCacheFile::write(std::uint32_t cb, std::uint32_t pages) {
   check_block(cb);
   if (pages == 0 || pages > ppb_) {
     throw std::invalid_argument("SsdCacheFile::write: bad page count");
@@ -49,8 +49,8 @@ Micros SsdCacheFile::write(std::uint32_t cb, std::uint32_t pages) {
   return ssd_.write_pages(first_page(cb), pages);
 }
 
-Micros SsdCacheFile::read(std::uint32_t cb, std::uint32_t page_off,
-                          std::uint32_t npages) {
+IoResult SsdCacheFile::read(std::uint32_t cb, std::uint32_t page_off,
+                            std::uint32_t npages) {
   check_block(cb);
   if (page_off + npages > ppb_) {
     throw std::invalid_argument("SsdCacheFile::read: range beyond block");
@@ -95,7 +95,8 @@ Micros SsdCacheFile::adopt(std::uint32_t cb, CbState state) {
   if (state == CbState::kReplaceable) ++replaceable_;
   // Re-seed the fresh FTL's mapping so later reads of this block are
   // charged real flash reads (the data itself survived on NAND).
-  return ssd_.write_pages(first_page(cb), ppb_);
+  // Recovery runs fault-free, so the status is discarded.
+  return ssd_.write_pages(first_page(cb), ppb_).latency;
 }
 
 Micros SsdCacheFile::trim(std::uint32_t cb) {

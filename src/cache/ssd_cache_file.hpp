@@ -49,10 +49,13 @@ class SsdCacheFile {
 
   /// Write `pages` pages (from the block start) into a block obtained
   /// from alloc() or chosen as an overwrite victim. State -> normal.
-  Micros write(std::uint32_t cb, std::uint32_t pages);
+  IoResult write(std::uint32_t cb, std::uint32_t pages);
 
-  /// Read `npages` starting at page `page_off` within the block.
-  Micros read(std::uint32_t cb, std::uint32_t page_off, std::uint32_t npages);
+  /// Read `npages` starting at page `page_off` within the block. The
+  /// status is the caller's degradation signal: kUncorrectable means
+  /// the cached bytes are gone and the entry must be invalidated.
+  IoResult read(std::uint32_t cb, std::uint32_t page_off,
+                std::uint32_t npages);
 
   /// Mark a normal block replaceable (read back to memory / invalidated).
   void mark_replaceable(std::uint32_t cb);

@@ -14,20 +14,20 @@ std::uint32_t SsdListCache::blocks_for(Bytes bytes) const {
   return formula_sc_blocks(bytes, 1.0, file_.block_bytes());
 }
 
-Micros SsdListCache::read_entry_pages(const SsdListEntry& e, Bytes bytes) {
+IoResult SsdListCache::read_entry_pages(const SsdListEntry& e, Bytes bytes) {
   // Read ceil(bytes / page) pages walking the entry's blocks in order.
   auto pages = static_cast<std::uint64_t>(
       (std::min(bytes, e.cached_bytes) + page_bytes() - 1) / page_bytes());
-  Micros t = 0;
+  IoResult io;
   const auto ppb = file_.pages_per_block();
   for (std::uint32_t cb : e.blocks) {
     if (pages == 0) break;
     const auto n = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(pages, ppb));
-    t += file_.read(cb, 0, n);
+    io += file_.read(cb, 0, n);
     pages -= n;
   }
-  return t;
+  return io;
 }
 
 Micros SsdListCache::write_entry_pages(const SsdListEntry& e) {
@@ -38,7 +38,8 @@ Micros SsdListCache::write_entry_pages(const SsdListEntry& e) {
   for (std::uint32_t cb : e.blocks) {
     const auto n = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(pages, ppb));
-    t += file_.write(cb, std::max(n, 1u));
+    // BBM hides program failures below this layer; only latency remains.
+    t += file_.write(cb, std::max(n, 1u)).latency;
     pages -= n;
     stats_.blocks_written += 1;
   }
@@ -46,13 +47,23 @@ Micros SsdListCache::write_entry_pages(const SsdListEntry& e) {
 }
 
 const SsdListEntry* SsdListCache::lookup(TermId term, Bytes needed_bytes,
-                                         Micros& time) {
+                                         Micros& time, IoStatus* io_status) {
   ++stats_.lookups;
   if (auto sit = static_map_.find(term); sit != static_map_.end()) {
     SsdListEntry& e = sit->second;
     if (e.cached_bytes < needed_bytes) return nullptr;
     ++e.freq;
-    time += read_entry_pages(e, needed_bytes);
+    const IoResult io = read_entry_pages(e, needed_bytes);
+    time += io.latency;
+    if (io_status) *io_status = io.status;
+    if (io.status == IoStatus::kUncorrectable) {
+      // Cached prefix unreadable: drop the pinned mapping (blocks stay
+      // allocated, matching erase()'s static path) and miss.
+      ++stats_.read_errors;
+      static_map_.erase(sit);
+      if (journal_) journal_->on_list_erase(term);
+      return nullptr;
+    }
     ++stats_.hits;
     return &e;
   }
@@ -64,7 +75,19 @@ const SsdListEntry* SsdListCache::lookup(TermId term, Bytes needed_bytes,
   if (e->cached_bytes < needed_bytes) return nullptr;  // prefix too short
   ++e->freq;
   e->ev = formula_ev(e->freq, e->sc_blocks);
-  time += read_entry_pages(*e, needed_bytes);
+  const IoResult io = read_entry_pages(*e, needed_bytes);
+  time += io.latency;
+  if (io_status) *io_status = io.status;
+  if (io.status == IoStatus::kUncorrectable) {
+    // Unreadable entry: cold-data deletion as in erase() — TRIM the
+    // blocks, drop the mapping, and fall through to HDD like any miss.
+    ++stats_.read_errors;
+    if (journal_) journal_->on_list_erase(term);
+    std::vector<std::uint32_t> pool;
+    evict_entry(term, pool);
+    for (std::uint32_t cb : pool) time += file_.trim(cb);
+    return nullptr;
+  }
   // Hybrid scheme: copy promoted to memory; SSD copy stays but becomes
   // replaceable (Fig. 9).
   if (!e->replaceable) {

@@ -33,6 +33,7 @@ struct SsdListCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t blocks_written = 0;
   std::uint64_t resurrections = 0;  // rewrites cancelled (Fig. 9)
+  std::uint64_t read_errors = 0;    // uncorrectable flash reads -> miss
 };
 
 struct SsdListEntry {
@@ -51,8 +52,12 @@ class SsdListCache {
 
   /// Hit iff the cached prefix covers `needed_bytes`; reads the needed
   /// pages, marks the entry (and its blocks) replaceable, bumps freq.
-  /// Returns nullptr on miss.
-  const SsdListEntry* lookup(TermId term, Bytes needed_bytes, Micros& time);
+  /// Returns nullptr on miss. `io_status` (optional) receives the flash
+  /// read's status: on kUncorrectable the entry is dropped internally
+  /// (blocks TRIMmed, time charged) and nullptr is returned — the miss
+  /// path with the failed read's latency added.
+  const SsdListEntry* lookup(TermId term, Bytes needed_bytes, Micros& time,
+                             IoStatus* io_status = nullptr);
 
   /// Admit a partial list of `bytes` (=> SC blocks). Returns flash time.
   Micros insert(TermId term, Bytes bytes, std::uint64_t freq,
@@ -102,7 +107,7 @@ class SsdListCache {
   bool acquire_blocks(std::uint32_t needed, std::vector<std::uint32_t>& out,
                       Micros& time);
   void evict_entry(TermId term, std::vector<std::uint32_t>& pool);
-  Micros read_entry_pages(const SsdListEntry& e, Bytes bytes);
+  IoResult read_entry_pages(const SsdListEntry& e, Bytes bytes);
   Micros write_entry_pages(const SsdListEntry& e);
 
   SsdCacheFile& file_;

@@ -20,13 +20,26 @@ std::uint32_t SsdResultCache::pages_per_slot() const {
 const ResultEntry* SsdResultCache::lookup(QueryId qid,
                                           std::uint64_t& freq_out,
                                           Micros& time,
-                                          std::uint64_t* born_out) {
+                                          std::uint64_t* born_out,
+                                          IoStatus* io_status) {
   ++stats_.lookups;
   if (auto sit = static_map_.find(qid); sit != static_map_.end()) {
     const Loc& loc = sit->second;
     RbInfo& rb = static_rbs_[loc.rb];
-    time += file_.read(static_blocks_[loc.rb], loc.slot * pages_per_slot(),
-                       pages_per_slot());
+    const IoResult io = file_.read(
+        static_blocks_[loc.rb], loc.slot * pages_per_slot(),
+        pages_per_slot());
+    time += io.latency;
+    if (io_status) *io_status = io.status;
+    if (io.status == IoStatus::kUncorrectable) {
+      // Cached bytes are gone: drop the pinned mapping and degrade to a
+      // miss. The flash space stays pinned (static blocks are never
+      // reclaimed), matching invalidate()'s static path.
+      ++stats_.read_errors;
+      static_map_.erase(sit);
+      if (journal_) journal_->on_result_invalidate(qid);
+      return nullptr;
+    }
     auto& cached = rb.entries[loc.slot];
     ++cached.freq;
     freq_out = cached.freq;
@@ -42,7 +55,25 @@ const ResultEntry* SsdResultCache::lookup(QueryId qid,
   // their log (write-time) order in the LRU list.
   RbInfo* rb = rbs_.peek(loc.rb);
   assert(rb != nullptr);
-  time += file_.read(loc.rb, loc.slot * pages_per_slot(), pages_per_slot());
+  const IoResult io =
+      file_.read(loc.rb, loc.slot * pages_per_slot(), pages_per_slot());
+  time += io.latency;
+  if (io_status) *io_status = io.status;
+  if (io.status == IoStatus::kUncorrectable) {
+    // Same slot transitions as invalidate(): the entry is unreadable,
+    // so the caller's fall-through to HDD is bit-identical to a miss.
+    ++stats_.read_errors;
+    if (journal_) journal_->on_result_invalidate(qid);
+    if (rb->slot_state[loc.slot] != 2) {
+      if (rb->slot_state[loc.slot] == 0) {
+        ++rb->iren;
+        file_.mark_replaceable(loc.rb);
+      }
+      rb->slot_state[loc.slot] = 2;
+    }
+    map_.erase(it);
+    return nullptr;
+  }
   auto& cached = rb->entries[loc.slot];
   ++cached.freq;
   freq_out = cached.freq;
@@ -170,7 +201,8 @@ Micros SsdResultCache::insert_rb(std::span<CachedResult> entries) {
   }
   const auto npages =
       static_cast<std::uint32_t>(rb.entries.size()) * pages_per_slot();
-  const Micros t = file_.write(*cb, npages);
+  // BBM hides program failures below this layer, so only latency remains.
+  const Micros t = file_.write(*cb, npages).latency;
   for (std::uint32_t s = 0; s < rb.entries.size(); ++s) {
     map_[rb.entries[s].entry.query] =
         Loc{*cb, s, /*is_static=*/false};
@@ -272,7 +304,8 @@ Micros SsdResultCache::preload_static(std::span<CachedResult> entries) {
     rb.entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(i),
                       entries.begin() + static_cast<std::ptrdiff_t>(i + n));
     rb.slot_state.assign(rb.entries.size(), 0);
-    t += file_.write(*cb, static_cast<std::uint32_t>(n) * pages_per_slot());
+    t += file_.write(*cb, static_cast<std::uint32_t>(n) * pages_per_slot())
+             .latency;
     const auto rb_index = static_cast<std::uint32_t>(static_rbs_.size());
     for (std::uint32_t s = 0; s < rb.entries.size(); ++s) {
       static_map_[rb.entries[s].entry.query] =

@@ -33,6 +33,7 @@ struct SsdResultCacheStats {
   std::uint64_t entries_written = 0;
   std::uint64_t entries_dropped_by_overwrite = 0;
   std::uint64_t resurrections = 0;
+  std::uint64_t read_errors = 0;  // uncorrectable flash reads -> miss
 };
 
 class SsdResultCache {
@@ -43,9 +44,13 @@ class SsdResultCache {
   /// SSD lookup; on a hit the entry is read from flash and its slot is
   /// marked memory-resident (block state -> replaceable, Fig. 9).
   /// `time` accumulates the flash read cost; `born_out` (optional)
-  /// receives the entry's freshness anchor for TTL checks.
+  /// receives the entry's freshness anchor for TTL checks. `io_status`
+  /// (optional) receives the flash read's status: on kUncorrectable the
+  /// entry is invalidated internally and nullptr is returned — exactly
+  /// the miss path, just with the failed read's latency in `time`.
   const ResultEntry* lookup(QueryId qid, std::uint64_t& freq_out,
-                            Micros& time, std::uint64_t* born_out = nullptr);
+                            Micros& time, std::uint64_t* born_out = nullptr,
+                            IoStatus* io_status = nullptr);
 
   /// TTL expiry: mark the slot invalid and forget the entry. Handles
   /// both dynamic and static copies. Returns true if it was present.

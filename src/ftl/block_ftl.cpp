@@ -38,22 +38,26 @@ Pbn BlockFtl::alloc_block() {
   return b;
 }
 
-Micros BlockFtl::read(Lpn lpn) {
+IoResult BlockFtl::read(Lpn lpn) {
   check_lpn(lpn);
   ++stats_.host_reads;
-  Micros cost = kCtrlOverhead;
+  IoResult io;
+  io += kCtrlOverhead;
   const auto ppb = nand_.config().pages_per_block;
   const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
   const auto off = static_cast<std::uint32_t>(lpn % ppb);
   if (map_[lbn] != kUnmappedB && valid_[lbn].test(off)) {
     std::uint64_t tag = 0;
-    cost += nand_.read_page(static_cast<Ppn>(map_[lbn]) * ppb + off, &tag);
+    io += nand_.read_page_checked(static_cast<Ppn>(map_[lbn]) * ppb + off,
+                                  &tag);
     if (tag != make_tag(lpn, version_[lpn])) {
       throw std::logic_error("BlockFtl: tag mismatch on read");
     }
+    stats_.read_retries += io.retries;
+    if (io.status == IoStatus::kUncorrectable) ++stats_.uncorrectable_reads;
   }
-  stats_.host_busy += cost;
-  return cost;
+  stats_.host_busy += io.latency;
+  return io;
 }
 
 Micros BlockFtl::merge_block(std::uint32_t lbn, std::uint32_t write_offset) {
@@ -97,7 +101,9 @@ Micros BlockFtl::merge_block(std::uint32_t lbn, std::uint32_t write_offset) {
   return cost;
 }
 
-Micros BlockFtl::write(Lpn lpn) {
+IoResult BlockFtl::write(Lpn lpn) {
+  // Program faults are rejected for non-BBM schemes at Ssd construction,
+  // so internal programs here cannot fail; only read faults reach us.
   check_lpn(lpn);
   ++stats_.host_writes;
   Micros cost = kCtrlOverhead;
@@ -126,7 +132,7 @@ Micros BlockFtl::write(Lpn lpn) {
     cost += merge_block(lbn, off);
   }
   stats_.host_busy += cost;
-  return cost;
+  return {cost, IoStatus::kOk, 0};
 }
 
 Micros BlockFtl::trim(Lpn lpn) {

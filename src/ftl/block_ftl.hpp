@@ -19,8 +19,8 @@ class BlockFtl final : public Ftl {
   BlockFtl(NandArray& nand, const FtlConfig& cfg = {});
 
   Lpn logical_pages() const override { return logical_pages_; }
-  Micros read(Lpn lpn) override;
-  Micros write(Lpn lpn) override;
+  IoResult read(Lpn lpn) override;
+  IoResult write(Lpn lpn) override;
   Micros trim(Lpn lpn) override;
   std::string name() const override { return "block"; }
 

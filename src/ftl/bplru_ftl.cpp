@@ -15,53 +15,54 @@ BplruFtl::BplruFtl(NandArray& nand, std::unique_ptr<Ftl> inner,
   }
 }
 
-Micros BplruFtl::read(Lpn lpn) {
+IoResult BplruFtl::read(Lpn lpn) {
   ++stats_.host_reads;
   const std::uint64_t lbn = block_of_lpn(lpn);
   const auto offset =
       static_cast<std::uint32_t>(lpn % nand_.config().pages_per_block);
-  // Buffered dirty page: served from SSD RAM.
+  // Buffered dirty page: served from SSD RAM (never faults).
   if (const BlockSet* set = buffer_.peek(lbn)) {
     if (set->count(offset)) {
       ++bstats_.buffer_read_hits;
       stats_.host_busy += cfg_.ram_write;
-      return cfg_.ram_write;
+      return {cfg_.ram_write, IoStatus::kOk, 0};
     }
   }
-  const Micros t = inner_->read(lpn);
-  stats_.host_busy += t;
-  return t;
+  const IoResult io = inner_->read(lpn);
+  stats_.host_busy += io.latency;
+  return io;
 }
 
-Micros BplruFtl::flush_block(std::uint64_t lbn, const BlockSet& dirty) {
-  Micros t = 0;
+IoResult BplruFtl::flush_block(std::uint64_t lbn, const BlockSet& dirty) {
+  IoResult io;
   const auto ppb = nand_.config().pages_per_block;
   const Lpn base = lbn * ppb;
   for (std::uint32_t p = 0; p < ppb; ++p) {
     if (dirty.count(p)) {
-      t += inner_->write(base + p);
+      io += inner_->write(base + p);
       ++bstats_.flushed_pages;
     } else if (cfg_.page_padding) {
       // Page padding: rewrite the clean page so the whole logical block
       // lands as one sequential burst (read-modify-write).
-      t += inner_->read(base + p);
-      t += inner_->write(base + p);
+      io += inner_->read(base + p);
+      io += inner_->write(base + p);
       ++bstats_.padded_pages;
     }
   }
   ++bstats_.flushes;
-  return t;
+  return io;
 }
 
-Micros BplruFtl::flush_victim() {
+IoResult BplruFtl::flush_victim() {
   auto victim = buffer_.pop_lru();
-  if (!victim) return 0;
+  if (!victim) return {};
   return flush_block(victim->first, victim->second);
 }
 
-Micros BplruFtl::write(Lpn lpn) {
+IoResult BplruFtl::write(Lpn lpn) {
   ++stats_.host_writes;
-  Micros t = cfg_.ram_write;
+  IoResult io;
+  io += cfg_.ram_write;
   const std::uint64_t lbn = block_of_lpn(lpn);
   const auto offset =
       static_cast<std::uint32_t>(lpn % nand_.config().pages_per_block);
@@ -70,12 +71,12 @@ Micros BplruFtl::write(Lpn lpn) {
   } else {
     buffer_.insert(lbn, BlockSet{offset});
     if (buffer_.size() > cfg_.buffer_blocks) {
-      t += flush_victim();
+      io += flush_victim();
     }
   }
   ++bstats_.buffered_writes;
-  stats_.host_busy += t;
-  return t;
+  stats_.host_busy += io.latency;
+  return io;
 }
 
 Micros BplruFtl::trim(Lpn lpn) {
@@ -90,10 +91,10 @@ Micros BplruFtl::trim(Lpn lpn) {
   return inner_->trim(lpn);
 }
 
-Micros BplruFtl::flush_all() {
-  Micros t = 0;
-  while (!buffer_.empty()) t += flush_victim();
-  return t;
+IoResult BplruFtl::flush_all() {
+  IoResult io;
+  while (!buffer_.empty()) io += flush_victim();
+  return io;
 }
 
 }  // namespace ssdse

@@ -42,13 +42,16 @@ class BplruFtl final : public Ftl {
            const BplruConfig& cfg = {});
 
   Lpn logical_pages() const override { return inner_->logical_pages(); }
-  Micros read(Lpn lpn) override;
-  Micros write(Lpn lpn) override;
+  IoResult read(Lpn lpn) override;
+  IoResult write(Lpn lpn) override;
   Micros trim(Lpn lpn) override;
+  bool supports_bad_blocks() const override {
+    return inner_->supports_bad_blocks();
+  }
   std::string name() const override { return "bplru+" + inner_->name(); }
 
   /// Flush every buffered block (shutdown barrier).
-  Micros flush_all();
+  IoResult flush_all();
 
   const BplruStats& bplru_stats() const { return bstats_; }
   Ftl& inner() { return *inner_; }
@@ -59,8 +62,8 @@ class BplruFtl final : public Ftl {
   std::uint64_t block_of_lpn(Lpn lpn) const {
     return lpn / nand_.config().pages_per_block;
   }
-  Micros flush_block(std::uint64_t lbn, const BlockSet& dirty);
-  Micros flush_victim();
+  IoResult flush_block(std::uint64_t lbn, const BlockSet& dirty);
+  IoResult flush_victim();
 
   std::unique_ptr<Ftl> inner_;
   BplruConfig cfg_;

@@ -32,24 +32,33 @@ Micros Dftl::cmt_access(Lpn lpn, bool dirtying) {
   return cost;
 }
 
-Micros Dftl::read(Lpn lpn) {
-  Micros cost = cmt_access(lpn, /*dirtying=*/false);
-  cost += inner_.read(lpn);
+IoResult Dftl::read(Lpn lpn) {
+  IoResult io;
+  io += cmt_access(lpn, /*dirtying=*/false);
+  io += inner_.read(lpn);
   ++stats_.host_reads;
-  stats_.host_busy += cost;
-  return cost;
+  stats_.host_busy += io.latency;
+  // Mirror data-path fault counters so callers see one coherent FtlStats.
+  stats_.read_retries = inner_.stats().read_retries;
+  stats_.uncorrectable_reads = inner_.stats().uncorrectable_reads;
+  return io;
 }
 
-Micros Dftl::write(Lpn lpn) {
-  Micros cost = cmt_access(lpn, /*dirtying=*/true);
-  cost += inner_.write(lpn);
+IoResult Dftl::write(Lpn lpn) {
+  IoResult io;
+  io += cmt_access(lpn, /*dirtying=*/true);
+  io += inner_.write(lpn);
   ++stats_.host_writes;
-  stats_.host_busy += cost;
-  // Mirror data-path GC counters so callers see one coherent FtlStats.
+  stats_.host_busy += io.latency;
+  // Mirror data-path GC/BBM counters so callers see one coherent
+  // FtlStats.
   stats_.gc_invocations = inner_.stats().gc_invocations;
   stats_.gc_page_copies = inner_.stats().gc_page_copies;
   stats_.gc_busy = inner_.stats().gc_busy;
-  return cost;
+  stats_.program_failures = inner_.stats().program_failures;
+  stats_.remapped_writes = inner_.stats().remapped_writes;
+  stats_.grown_bad_blocks = inner_.stats().grown_bad_blocks;
+  return io;
 }
 
 Micros Dftl::trim(Lpn lpn) {

@@ -44,9 +44,11 @@ class Dftl final : public Ftl {
   Dftl(NandArray& nand, const DftlConfig& cfg = {});
 
   Lpn logical_pages() const override { return inner_.logical_pages(); }
-  Micros read(Lpn lpn) override;
-  Micros write(Lpn lpn) override;
+  IoResult read(Lpn lpn) override;
+  IoResult write(Lpn lpn) override;
   Micros trim(Lpn lpn) override;
+  /// Data path is a PageFtl, which absorbs program failures via BBM.
+  bool supports_bad_blocks() const override { return true; }
   std::string name() const override { return "dftl"; }
 
   const DftlStats& dftl_stats() const { return dstats_; }

@@ -31,6 +31,12 @@ struct FtlStats {
   std::uint64_t gc_page_copies = 0;
   Micros host_busy = 0;  // latency charged to host ops (incl. GC stalls)
   Micros gc_busy = 0;    // portion of host_busy spent inside GC/merges
+  // Fault/BBM accounting (DESIGN.md §10); all zero when faults are off.
+  std::uint64_t read_retries = 0;        // ECC ladder steps consumed
+  std::uint64_t uncorrectable_reads = 0; // host reads failed past the ladder
+  std::uint64_t program_failures = 0;    // injected host program failures
+  std::uint64_t remapped_writes = 0;     // host writes salvaged by remap
+  std::uint64_t grown_bad_blocks = 0;    // blocks retired from the pool
 
   /// Write amplification: NAND programs / host writes.
   double write_amplification(const NandStats& nand) const {
@@ -58,33 +64,43 @@ class Ftl {
   virtual Lpn logical_pages() const = 0;
 
   /// Read a logical page. Reading a never-written/trimmed page is legal
-  /// (returns erased-pattern cost). Returns latency.
-  virtual Micros read(Lpn lpn) = 0;
+  /// (returns erased-pattern cost). Returns latency + status: with the
+  /// NAND fault model armed, a read may be kRetried (extra latency) or
+  /// kUncorrectable (data unavailable; the caller degrades).
+  virtual IoResult read(Lpn lpn) = 0;
 
   /// Read `count` consecutive logical pages. Identical accounting to
   /// calling read() per page (same per-page latency sum, same stats),
   /// but one dispatch per run — the host read path issues every list
-  /// and result-cache access through here.
-  virtual Micros read_run(Lpn first, std::uint64_t count) {
-    Micros t = 0;
-    for (std::uint64_t i = 0; i < count; ++i) t += read(first + i);
-    return t;
+  /// and result-cache access through here. Statuses merge to the most
+  /// severe.
+  virtual IoResult read_run(Lpn first, std::uint64_t count) {
+    IoResult io;
+    for (std::uint64_t i = 0; i < count; ++i) io += read(first + i);
+    return io;
   }
 
   /// Write a logical page (out-of-place). Returns latency including any
-  /// GC work it had to wait for.
-  virtual Micros write(Lpn lpn) = 0;
+  /// GC work it had to wait for. FTLs with bad-block management remap
+  /// failed programs internally and return kOk.
+  virtual IoResult write(Lpn lpn) = 0;
 
   /// Write `count` consecutive logical pages; identical accounting to
   /// calling write() per page, one dispatch per run.
-  virtual Micros write_run(Lpn first, std::uint64_t count) {
-    Micros t = 0;
-    for (std::uint64_t i = 0; i < count; ++i) t += write(first + i);
-    return t;
+  virtual IoResult write_run(Lpn first, std::uint64_t count) {
+    IoResult io;
+    for (std::uint64_t i = 0; i < count; ++i) io += write(first + i);
+    return io;
   }
 
-  /// Drop a logical page (SSD TRIM): unmap and invalidate.
+  /// Drop a logical page (SSD TRIM): unmap and invalidate. Pure mapping
+  /// work — cannot fail, so it keeps the bare-latency signature.
   virtual Micros trim(Lpn lpn) = 0;
+
+  /// Whether this scheme tolerates program failures via grown-bad-block
+  /// management. Ssd's constructor rejects configs that inject program
+  /// faults into a scheme that cannot absorb them.
+  virtual bool supports_bad_blocks() const { return false; }
 
   virtual std::string name() const = 0;
 

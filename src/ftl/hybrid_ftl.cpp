@@ -42,30 +42,33 @@ Pbn HybridLogFtl::alloc_block() {
   return b;
 }
 
-Micros HybridLogFtl::read(Lpn lpn) {
+IoResult HybridLogFtl::read(Lpn lpn) {
   check_lpn(lpn);
   ++stats_.host_reads;
-  Micros cost = kCtrlOverhead;
+  IoResult io;
+  io += kCtrlOverhead;
   const auto ppb = nand_.config().pages_per_block;
   std::uint64_t tag = 0;
   if (log_map_[lpn] != kUnmappedP) {
-    cost += nand_.read_page(log_map_[lpn], &tag);
+    io += nand_.read_page_checked(log_map_[lpn], &tag);
   } else {
     const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
     const auto off = static_cast<std::uint32_t>(lpn % ppb);
     if (data_map_[lbn] != kUnmappedB && data_valid_[lbn].test(off)) {
-      cost +=
-          nand_.read_page(static_cast<Ppn>(data_map_[lbn]) * ppb + off, &tag);
+      io += nand_.read_page_checked(
+          static_cast<Ppn>(data_map_[lbn]) * ppb + off, &tag);
     } else {
-      stats_.host_busy += cost;
-      return cost;  // unwritten page
+      stats_.host_busy += io.latency;
+      return io;  // unwritten page
     }
   }
   if (tag != make_tag(lpn, version_[lpn])) {
     throw std::logic_error("HybridLogFtl: tag mismatch on read");
   }
-  stats_.host_busy += cost;
-  return cost;
+  stats_.read_retries += io.retries;
+  if (io.status == IoStatus::kUncorrectable) ++stats_.uncorrectable_reads;
+  stats_.host_busy += io.latency;
+  return io;
 }
 
 Micros HybridLogFtl::full_merge(std::uint32_t lbn) {
@@ -175,7 +178,9 @@ Micros HybridLogFtl::append_to_log(Lpn lpn) {
   return cost;
 }
 
-Micros HybridLogFtl::write(Lpn lpn) {
+IoResult HybridLogFtl::write(Lpn lpn) {
+  // Program faults are rejected for non-BBM schemes at Ssd construction,
+  // so log/merge programs here cannot fail; only read faults reach us.
   check_lpn(lpn);
   ++stats_.host_writes;
   Micros cost = kCtrlOverhead;
@@ -195,7 +200,7 @@ Micros HybridLogFtl::write(Lpn lpn) {
   ++version_[lpn];
   cost += append_to_log(lpn);
   stats_.host_busy += cost;
-  return cost;
+  return {cost, IoStatus::kOk, 0};
 }
 
 Micros HybridLogFtl::trim(Lpn lpn) {

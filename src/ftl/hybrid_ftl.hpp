@@ -27,8 +27,8 @@ class HybridLogFtl final : public Ftl {
   HybridLogFtl(NandArray& nand, const HybridFtlConfig& cfg = {});
 
   Lpn logical_pages() const override { return logical_pages_; }
-  Micros read(Lpn lpn) override;
-  Micros write(Lpn lpn) override;
+  IoResult read(Lpn lpn) override;
+  IoResult write(Lpn lpn) override;
   Micros trim(Lpn lpn) override;
   std::string name() const override { return "hybrid-log"; }
 

@@ -223,69 +223,133 @@ Micros PageFtl::collect_garbage() {
   return cost;
 }
 
-Micros PageFtl::read(Lpn lpn) {
+IoResult PageFtl::read(Lpn lpn) {
   check_lpn(lpn);
   ++stats_.host_reads;
-  Micros cost = kCtrlOverhead;
+  IoResult io;
+  io += kCtrlOverhead;
   const Ppn ppn = map_[lpn];
   if (ppn != kUnmappedP) {
     std::uint64_t tag = 0;
-    cost += nand_.read_page(ppn, &tag);
+    io += nand_.read_page_checked(ppn, &tag);
     if (tag != make_tag(lpn, version_[lpn])) {
       throw std::logic_error("PageFtl: tag mismatch on read (mapping bug)");
     }
+    stats_.read_retries += io.retries;
+    if (io.status == IoStatus::kUncorrectable) ++stats_.uncorrectable_reads;
   }
-  stats_.host_busy += cost;
-  return cost;
+  stats_.host_busy += io.latency;
+  return io;
 }
 
-Micros PageFtl::read_run(Lpn first, std::uint64_t count) {
+IoResult PageFtl::read_run(Lpn first, std::uint64_t count) {
   // Inlined per-page read loop: byte-for-byte the accounting of read()
   // called `count` times (same stats increments, same latency summation
   // order), minus one virtual dispatch per page.
-  Micros t = 0;
+  IoResult run;
   for (std::uint64_t i = 0; i < count; ++i) {
     const Lpn lpn = first + i;
     check_lpn(lpn);
     ++stats_.host_reads;
-    Micros cost = kCtrlOverhead;
+    IoResult io;
+    io += kCtrlOverhead;
     const Ppn ppn = map_[lpn];
     if (ppn != kUnmappedP) {
       std::uint64_t tag = 0;
-      cost += nand_.read_page(ppn, &tag);
+      io += nand_.read_page_checked(ppn, &tag);
       if (tag != make_tag(lpn, version_[lpn])) {
         throw std::logic_error("PageFtl: tag mismatch on read (mapping bug)");
       }
+      stats_.read_retries += io.retries;
+      if (io.status == IoStatus::kUncorrectable) ++stats_.uncorrectable_reads;
     }
-    stats_.host_busy += cost;
-    t += cost;
+    stats_.host_busy += io.latency;
+    run += io;
   }
-  return t;
+  return run;
 }
 
-Micros PageFtl::write_run(Lpn first, std::uint64_t count) {
+IoResult PageFtl::write_run(Lpn first, std::uint64_t count) {
   // Same per-page call sequence as the base default, but the qualified
   // call devirtualizes write() so the compiler can inline the page body
   // into the loop (write_pages issues tens of pages per request).
-  Micros t = 0;
-  for (std::uint64_t i = 0; i < count; ++i) t += PageFtl::write(first + i);
-  return t;
+  IoResult io;
+  for (std::uint64_t i = 0; i < count; ++i) io += PageFtl::write(first + i);
+  return io;
 }
 
-Micros PageFtl::write(Lpn lpn) {
+Micros PageFtl::retire_active_block(int s) {
+  const auto& nc = nand_.config();
+  const Pbn b = active_[s];
+  // Install the replacement first so relocation programs land in a
+  // different block than the one being retired.
+  if (free_blocks_.empty()) {
+    throw std::logic_error(
+        "PageFtl: free pool exhausted retiring bad block (spares gone)");
+  }
+  active_[s] = pop_free_block();
+  state_[active_[s]] = BState::kActive;
+  cursor_[s] = 0;
+  // Relocate the dying block's valid pages onto the GC stream. The
+  // poisoned page has no rmap entry, so it is skipped like any invalid
+  // page. Relocation uses the fault-free NAND ops: modeling relocation
+  // failure would mean data loss, which the latency-only simulation
+  // cannot represent (DESIGN.md §10).
+  Micros cost = 0;
+  const Ppn base = static_cast<Ppn>(b) * nc.pages_per_block;
+  for (std::uint32_t p = 0; p < nc.pages_per_block; ++p) {
+    const Ppn src = base + p;
+    const Lpn lpn = rmap_[src];
+    if (lpn == kUnmappedL) continue;
+    assert(map_[lpn] == src);
+    std::uint64_t tag = 0;
+    cost += nand_.read_page(src, &tag);
+    assert(tag == make_tag(lpn, version_[lpn]));
+    const Ppn dst = alloc_page(/*gc_stream=*/true);
+    cost += nand_.program_page(dst, tag);
+    map_[lpn] = dst;
+    rmap_[dst] = lpn;
+    // Direct invalidation: an Active block is never in the candidate
+    // heap, so no dirty-queue bookkeeping applies.
+    --valid_[b];
+    rmap_[src] = kUnmappedL;
+    ++valid_[nand_.block_of(dst)];
+  }
+  assert(valid_[b] == 0);
+  cost += nand_.erase_block(b);
+  state_[b] = BState::kBad;  // never pushed back to the free pool
+  ++stats_.grown_bad_blocks;
+  return cost;
+}
+
+IoResult PageFtl::write(Lpn lpn) {
   check_lpn(lpn);
   ++stats_.host_writes;
-  Micros cost = kCtrlOverhead;
+  IoResult io;
+  io += kCtrlOverhead;
   if (map_[lpn] != kUnmappedP) invalidate(map_[lpn]);
   ++version_[lpn];
-  const Ppn dst = alloc_page(/*gc_stream=*/false);
-  cost += nand_.program_page(dst, make_tag(lpn, version_[lpn]));
-  map_[lpn] = dst;
-  rmap_[dst] = lpn;
-  ++valid_[nand_.block_of(dst)];
-  cost += collect_garbage();
-  stats_.host_busy += cost;
-  return cost;
+  const std::uint64_t tag = make_tag(lpn, version_[lpn]);
+  for (;;) {
+    const Ppn dst = alloc_page(/*gc_stream=*/false);
+    const IoResult pr = nand_.program_page_checked(dst, tag);
+    io += pr.latency;
+    if (pr.status != IoStatus::kWriteFailed) {
+      map_[lpn] = dst;
+      rmap_[dst] = lpn;
+      ++valid_[nand_.block_of(dst)];
+      break;
+    }
+    // Grown bad block: the program consumed the page but stored nothing.
+    // Retire the whole active block and retry in a fresh one — the
+    // failure never surfaces to the host.
+    ++stats_.program_failures;
+    io += retire_active_block(/*s=*/0);  // program faults hit the host stream
+    ++stats_.remapped_writes;
+  }
+  io += collect_garbage();
+  stats_.host_busy += io.latency;
+  return io;
 }
 
 Micros PageFtl::trim(Lpn lpn) {

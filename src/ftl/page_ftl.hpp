@@ -17,11 +17,14 @@ class PageFtl final : public Ftl {
   PageFtl(NandArray& nand, const FtlConfig& cfg = {});
 
   Lpn logical_pages() const override { return logical_pages_; }
-  Micros read(Lpn lpn) override;
-  Micros read_run(Lpn first, std::uint64_t count) override;
-  Micros write_run(Lpn first, std::uint64_t count) override;
-  Micros write(Lpn lpn) override;
+  IoResult read(Lpn lpn) override;
+  IoResult read_run(Lpn first, std::uint64_t count) override;
+  IoResult write_run(Lpn first, std::uint64_t count) override;
+  IoResult write(Lpn lpn) override;
   Micros trim(Lpn lpn) override;
+  /// Program failures are absorbed by grown-bad-block retirement +
+  /// remap; the host write always succeeds (until spares exhaust).
+  bool supports_bad_blocks() const override { return true; }
   std::string name() const override { return "page"; }
 
   std::size_t free_blocks() const { return free_blocks_.size(); }
@@ -31,12 +34,17 @@ class PageFtl final : public Ftl {
   static constexpr Lpn kUnmappedL = ~0ull;
   static constexpr Micros kCtrlOverhead = 5.0;
 
-  enum class BState : std::uint8_t { kFree, kActive, kUsed };
+  enum class BState : std::uint8_t { kFree, kActive, kUsed, kBad };
 
   /// Run GC until the free pool is back above the watermark. Returns the
   /// accumulated latency (charged to the triggering host write).
   Micros collect_garbage();
   Micros gc_once();
+  /// Grown-bad-block handling: retire stream `s`'s active block after a
+  /// program failure — install a fresh active block, relocate the dying
+  /// block's valid pages onto the GC stream, erase it once, and mark it
+  /// kBad (never returned to the free pool). Returns the latency.
+  Micros retire_active_block(int s);
   /// Allocate the next physical page on the given stream, pulling a new
   /// active block from the free pool when the current one fills.
   Ppn alloc_page(bool gc_stream);

@@ -24,30 +24,58 @@ SearchCluster::SearchCluster(const ClusterConfig& cfg) : cfg_(cfg) {
   // vocabulary size by construction).
   gen_ = std::make_unique<QueryLogGenerator>(
       shards_[0]->config().log);
+
+  broker_registry_.counter("cluster.broker.queries", &broker_queries_);
+  broker_registry_.counter("cluster.shards.dropped",
+                           &shards_dropped_total_);
+#if SSDSE_TRACING
+  broker_registry_.histogram(
+      "trace.broker_merge.us",
+      &broker_tracer_.stage_hist(telemetry::TraceStage::kBrokerMerge));
+#endif
 }
 
-SearchCluster::ClusterOutcome SearchCluster::execute(const Query& q) {
+SearchCluster::ClusterOutcome SearchCluster::merge_replies(
+    QueryId qid, std::vector<ShardReply> replies) {
   ClusterOutcome out;
-  std::vector<ScoredDoc> merged;
-  bool result_from_cache = true;
-  Situation worst_situation = Situation::kS1_ResultMemory;
+  const Micros deadline = cfg_.shard_deadline;
+  ++broker_queries_;
+#if SSDSE_TRACING
+  broker_tracer_.begin_query(qid);
+#endif
 
-  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
-    const auto shard_out = shards_[s]->execute(q);
-    out.slowest_shard = std::max(out.slowest_shard, shard_out.response);
-    result_from_cache &= shard_out.result_from_cache;
-    // The broker reports the situation of the slowest path.
-    if (static_cast<int>(shard_out.situation) >
-        static_cast<int>(worst_situation)) {
-      worst_situation = shard_out.situation;
+  std::vector<ScoredDoc> merged;
+  Situation worst_situation = Situation::kS1_ResultMemory;
+  for (std::size_t s = 0; s < replies.size(); ++s) {
+    const ShardReply& r = replies[s];
+    out.slowest_shard = std::max(out.slowest_shard, r.response);
+    if (deadline > 0 && r.response > deadline) {
+      // Late shard: the broker stops waiting at the deadline; this
+      // shard's documents (and its situation) are not part of the
+      // answer.
+      ++out.shards_dropped;
+      continue;
     }
-    for (const ScoredDoc& d : shard_out.result.docs) {
+    ++out.shards_included;
+    // The broker reports the situation of the slowest *included* path.
+    if (static_cast<int>(r.situation) >
+        static_cast<int>(worst_situation)) {
+      worst_situation = r.situation;
+    }
+    for (const ScoredDoc& d : r.docs) {
       merged.push_back(ScoredDoc{
-          d.doc * static_cast<DocId>(shards_.size()) + s, d.score});
+          d.doc * static_cast<DocId>(shards_.size()) +
+              static_cast<DocId>(s),
+          d.score});
     }
   }
+  shards_dropped_total_ += out.shards_dropped;
+  out.coverage = replies.empty()
+                     ? 0.0
+                     : static_cast<double>(out.shards_included) /
+                           static_cast<double>(replies.size());
 
-  // Broker merge: global top-K across shard results.
+  // Broker merge: global top-K across the included shard results.
   const std::size_t k = std::min<std::size_t>(kTopK, merged.size());
   std::partial_sort(merged.begin(),
                     merged.begin() + static_cast<std::ptrdiff_t>(k),
@@ -57,14 +85,36 @@ SearchCluster::ClusterOutcome SearchCluster::execute(const Query& q) {
                       return a.doc < b.doc;
                     });
   merged.resize(k);
-  out.result.query = q.id;
+  out.result.query = qid;
   out.result.docs = std::move(merged);
 
-  out.response = out.slowest_shard + cfg_.network_rtt +
+  // With no deadline (or none late) the broker waits for the slowest
+  // shard; with drops it stops waiting at the deadline. Merge CPU is
+  // paid only for results that actually arrived.
+  const Micros wait = (deadline > 0 && out.shards_dropped > 0)
+                          ? deadline
+                          : out.slowest_shard;
+  out.response = wait + cfg_.network_rtt +
                  cfg_.merge_cpu_per_shard *
-                     static_cast<double>(shards_.size());
+                     static_cast<double>(out.shards_included);
+#if SSDSE_TRACING
+  broker_tracer_.add_span(telemetry::TraceStage::kBrokerMerge,
+                          out.response - wait);
+  broker_tracer_.end_query(out.response);
+#endif
   metrics_.record(worst_situation, out.response);
   return out;
+}
+
+SearchCluster::ClusterOutcome SearchCluster::execute(const Query& q) {
+  std::vector<ShardReply> replies;
+  replies.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    auto shard_out = shard->execute(q);
+    replies.push_back(ShardReply{shard_out.response, shard_out.situation,
+                                 std::move(shard_out.result.docs)});
+  }
+  return merge_replies(q.id, std::move(replies));
 }
 
 void SearchCluster::run(std::uint64_t n) {
@@ -80,13 +130,7 @@ void SearchCluster::run_parallel(std::uint64_t n) {
   stream.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) stream.push_back(gen_->next());
 
-  struct ShardOutcome {
-    Micros response;
-    Situation situation;
-    bool from_cache;
-    std::vector<ScoredDoc> docs;
-  };
-  std::vector<std::vector<ShardOutcome>> per_shard(shards_.size());
+  std::vector<std::vector<ShardReply>> per_shard(shards_.size());
 
   {
     std::vector<std::thread> workers;
@@ -97,10 +141,9 @@ void SearchCluster::run_parallel(std::uint64_t n) {
         out.reserve(stream.size());
         for (const Query& q : stream) {
           auto shard_out = shards_[s]->execute(q);
-          out.push_back(ShardOutcome{shard_out.response,
-                                     shard_out.situation,
-                                     shard_out.result_from_cache,
-                                     std::move(shard_out.result.docs)});
+          out.push_back(ShardReply{shard_out.response,
+                                   shard_out.situation,
+                                   std::move(shard_out.result.docs)});
         }
       });
     }
@@ -109,26 +152,12 @@ void SearchCluster::run_parallel(std::uint64_t n) {
 
   // Broker phase, sequential: identical merge + metrics as run().
   for (std::uint64_t i = 0; i < stream.size(); ++i) {
-    Micros slowest = 0;
-    Situation worst = Situation::kS1_ResultMemory;
-    std::vector<ScoredDoc> merged;
+    std::vector<ShardReply> replies;
+    replies.reserve(shards_.size());
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      const ShardOutcome& so = per_shard[s][i];
-      slowest = std::max(slowest, so.response);
-      if (static_cast<int>(so.situation) > static_cast<int>(worst)) {
-        worst = so.situation;
-      }
-      for (const ScoredDoc& d : so.docs) {
-        merged.push_back(ScoredDoc{
-            d.doc * static_cast<DocId>(shards_.size()) +
-                static_cast<DocId>(s),
-            d.score});
-      }
+      replies.push_back(std::move(per_shard[s][i]));
     }
-    const Micros response =
-        slowest + cfg_.network_rtt +
-        cfg_.merge_cpu_per_shard * static_cast<double>(shards_.size());
-    metrics_.record(worst, response);
+    merge_replies(stream[i].id, std::move(replies));
   }
 }
 
@@ -137,6 +166,7 @@ telemetry::RegistrySnapshot SearchCluster::telemetry_snapshot() const {
   for (const auto& shard : shards_) {
     merged.merge(shard->telemetry_registry().snapshot());
   }
+  merged.merge(broker_registry_.snapshot());
   return merged;
 }
 

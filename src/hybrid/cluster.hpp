@@ -26,6 +26,11 @@ struct ClusterConfig {
   SystemConfig shard_template;
   Micros network_rtt = 300;           // broker <-> shard, one hop each way
   Micros merge_cpu_per_shard = 25;    // top-K heap merge per shard result
+  /// Per-shard soft deadline at the broker (simulated µs). Shards whose
+  /// service time exceeds it are dropped from the merge: the broker
+  /// stops waiting at the deadline and returns partial coverage
+  /// (graceful degradation, DESIGN.md §10). 0 = wait for every shard.
+  Micros shard_deadline = 0;
 };
 
 class SearchCluster {
@@ -34,8 +39,11 @@ class SearchCluster {
 
   struct ClusterOutcome {
     Micros response = 0;       // broker-observed latency
-    Micros slowest_shard = 0;  // max per-shard service time
-    ResultEntry result;        // merged global top-K
+    Micros slowest_shard = 0;  // max per-shard service time (incl. late)
+    std::uint32_t shards_included = 0;  // answered within the deadline
+    std::uint32_t shards_dropped = 0;   // late, excluded from the merge
+    double coverage = 1.0;     // shards_included / num_shards
+    ResultEntry result;        // merged global top-K (included shards)
   };
 
   ClusterOutcome execute(const Query& q);
@@ -66,11 +74,36 @@ class SearchCluster {
   /// Shared query generator (shards see the same broadcast stream).
   QueryLogGenerator& generator() { return *gen_; }
 
+  /// Broker-side tracing (kBrokerMerge spans) and counters
+  /// (cluster.broker.queries, cluster.shards.dropped).
+  const telemetry::QueryTracer& broker_tracer() const {
+    return broker_tracer_;
+  }
+  const telemetry::MetricsRegistry& broker_registry() const {
+    return broker_registry_;
+  }
+
  private:
+  /// One shard's answer as seen by the broker.
+  struct ShardReply {
+    Micros response = 0;
+    Situation situation = Situation::kS1_ResultMemory;
+    std::vector<ScoredDoc> docs;
+  };
+  /// The broker phase for one query: deadline filtering, global top-K
+  /// merge, response-time assembly, metrics. Shared by run() and
+  /// run_parallel() so the two stay bit-identical.
+  ClusterOutcome merge_replies(QueryId qid, std::vector<ShardReply> replies);
+
   ClusterConfig cfg_;
   std::vector<std::unique_ptr<SearchSystem>> shards_;
   std::unique_ptr<QueryLogGenerator> gen_;
   RunMetrics metrics_;
+
+  telemetry::QueryTracer broker_tracer_;
+  telemetry::MetricsRegistry broker_registry_;
+  std::uint64_t broker_queries_ = 0;
+  std::uint64_t shards_dropped_total_ = 0;
 };
 
 }  // namespace ssdse

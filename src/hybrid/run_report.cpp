@@ -195,6 +195,64 @@ std::string render_run_report(const SearchSystem& sys,
   }
   w.end_object();
 
+  // Fault injection & graceful degradation (DESIGN.md §10). All-zero
+  // (and breaker "closed") in a fault-free run.
+  w.key("faults");
+  w.begin_object();
+  w.key("ssd_read_errors");
+  w.value(cs.ssd_read_errors);
+  w.key("hdd_read_errors");
+  w.value(cs.hdd_read_errors);
+  const CircuitBreaker& br = sys.cache_manager().breaker();
+  w.key("breaker");
+  w.begin_object();
+  w.key("state");
+  w.value(CircuitBreaker::to_string(br.state()));
+  w.key("trips");
+  w.value(br.stats().trips);
+  w.key("reopens");
+  w.value(br.stats().reopens);
+  w.key("closes");
+  w.value(br.stats().closes);
+  w.key("bypassed_ops");
+  w.value(br.stats().bypassed_ops);
+  w.key("bypassed_probes");
+  w.value(cs.breaker_bypassed_probes);
+  w.key("bypassed_inserts");
+  w.value(cs.breaker_bypassed_inserts);
+  w.end_object();
+  if (ssd != nullptr) {
+    const FtlStats& fs = ssd->ftl().stats();
+    w.key("flash");
+    w.begin_object();
+    w.key("read_retries");
+    w.value(fs.read_retries);
+    w.key("uncorrectable_reads");
+    w.value(fs.uncorrectable_reads);
+    w.key("program_failures");
+    w.value(fs.program_failures);
+    w.key("remapped_writes");
+    w.value(fs.remapped_writes);
+    w.key("grown_bad_blocks");
+    w.value(fs.grown_bad_blocks);
+    w.end_object();
+  }
+  if (const FaultyDevice* fh = sys.faulty_hdd()) {
+    const FaultyDeviceStats& hf = fh->fault_stats();
+    w.key("hdd");
+    w.begin_object();
+    w.key("read_uncs");
+    w.value(hf.read_uncs);
+    w.key("read_retries");
+    w.value(hf.read_retries);
+    w.key("write_fails");
+    w.value(hf.write_fails);
+    w.key("latency_spikes");
+    w.value(hf.latency_spikes);
+    w.end_object();
+  }
+  w.end_object();
+
   w.key("metrics");
   append_registry_json(w, sys.telemetry_registry().snapshot());
 

@@ -53,6 +53,11 @@ void SearchSystem::build(IndexView* external_index) {
   hc.capacity = std::max<Bytes>(hc.capacity,
                                 index_->layout().total_bytes() + GiB);
   hdd_ = std::make_unique<HddModel>(hc);
+  if (cfg_.hdd_faults.armed()) {
+    // Fault decorator in front of the index store; an unarmed plan
+    // skips the wrapper entirely so fault-free runs stay bit-identical.
+    faulty_hdd_ = std::make_unique<FaultyDevice>(*hdd_, cfg_.hdd_faults);
+  }
   ram_ = std::make_unique<RamDevice>(cfg_.ram);
 
   CacheConfig cc = cfg_.cache;
@@ -156,6 +161,29 @@ void SearchSystem::register_telemetry() {
   r.gauge("cache.list.hit_ratio", [cs] { return cs->list_hit_ratio(); });
   r.gauge("cache.hit_ratio", [cs] { return cs->hit_ratio(); });
 
+  // Fault / degradation accounting (DESIGN.md §10). All zero and inert
+  // in fault-free runs.
+  r.counter("cache.faults.ssd_read_errors", &cs->ssd_read_errors);
+  r.counter("cache.faults.hdd_read_errors", &cs->hdd_read_errors);
+  r.counter("cache.breaker.bypassed_probes", &cs->breaker_bypassed_probes);
+  r.counter("cache.breaker.bypassed_inserts", &cs->breaker_bypassed_inserts);
+  const CircuitBreakerStats* bs = &cm_->breaker().stats();
+  r.counter("cache.breaker.trips", &bs->trips);
+  r.counter("cache.breaker.reopens", &bs->reopens);
+  r.counter("cache.breaker.closes", &bs->closes);
+  r.counter("cache.breaker.bypassed_ops", &bs->bypassed_ops);
+  r.gauge("cache.breaker.open", [this] {
+    return cm_->breaker().state() == CircuitBreaker::State::kClosed ? 0.0
+                                                                    : 1.0;
+  });
+  if (faulty_hdd_) {
+    const FaultyDeviceStats* hf = &faulty_hdd_->fault_stats();
+    r.counter("hdd.faults.read_uncs", &hf->read_uncs);
+    r.counter("hdd.faults.read_retries", &hf->read_retries);
+    r.counter("hdd.faults.write_fails", &hf->write_fails);
+    r.counter("hdd.faults.latency_spikes", &hf->latency_spikes);
+  }
+
   const WriteBufferStats* wb = &cm_->write_buffer().stats();
   r.counter("cache.wb.buffered", &wb->buffered);
   r.counter("cache.wb.flush_groups", &wb->flush_groups);
@@ -182,6 +210,13 @@ void SearchSystem::register_telemetry() {
     r.gauge("ssd.cache.wear.max_erases", [ssd] {
       return static_cast<double>(ssd->nand().max_erase_count());
     });
+    // NAND fault + bad-block management counters (zero with faults off).
+    r.counter("ssd.cache.faults.read_retries", &fs->read_retries);
+    r.counter("ssd.cache.faults.uncorrectable_reads",
+              &fs->uncorrectable_reads);
+    r.counter("ssd.cache.faults.program_failures", &fs->program_failures);
+    r.counter("ssd.cache.faults.remapped_writes", &fs->remapped_writes);
+    r.counter("ssd.cache.faults.grown_bad_blocks", &fs->grown_bad_blocks);
   }
 
   if (owned_index_) {

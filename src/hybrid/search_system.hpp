@@ -59,9 +59,13 @@ class SearchSystem {
   const Ssd* cache_ssd() const { return cache_ssd_.get(); }
   HddModel& hdd() { return *hdd_; }
   StorageDevice& index_store() {
-    return index_on_ssd_ ? static_cast<StorageDevice&>(*index_ssd_)
-                         : static_cast<StorageDevice&>(*hdd_);
+    if (index_on_ssd_) return *index_ssd_;
+    if (faulty_hdd_) return *faulty_hdd_;
+    return *hdd_;
   }
+  /// Fault decorator on the HDD index store; null unless
+  /// cfg.hdd_faults.armed().
+  const FaultyDevice* faulty_hdd() const { return faulty_hdd_.get(); }
   const SystemConfig& config() const { return cfg_; }
   const std::optional<LogAnalysis>& log_analysis() const { return analysis_; }
 
@@ -108,6 +112,7 @@ class SearchSystem {
   IndexView* index_ = nullptr;
 
   std::unique_ptr<HddModel> hdd_;
+  std::unique_ptr<FaultyDevice> faulty_hdd_;  // wraps *hdd_ when armed
   std::unique_ptr<RamDevice> ram_;
   std::unique_ptr<Ssd> cache_ssd_;
   std::unique_ptr<Ssd> index_ssd_;

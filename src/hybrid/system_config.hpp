@@ -9,6 +9,7 @@
 #include "src/engine/scorer.hpp"
 #include "src/index/corpus.hpp"
 #include "src/ssd/ssd.hpp"
+#include "src/storage/fault.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/storage/ram.hpp"
 #include "src/workload/query_log.hpp"
@@ -42,6 +43,10 @@ struct SystemConfig {
   bool use_cache = true;
   /// Store index files on SSD instead of HDD (Figs. 15, 16a, 18a).
   bool index_on_ssd = false;
+  /// Fault injection on the HDD index store (DESIGN.md §10): when armed,
+  /// the HDD is wrapped in a FaultyDevice. NAND faults for the cache SSD
+  /// live in cache_ssd.nand.fault.
+  FaultPlan hdd_faults;
   /// Warm-restart persistence of the SSD cache metadata.
   RecoveryConfig recovery;
   /// Training prefix replayed for log analysis (TEV + CBSLRU preload).

@@ -12,17 +12,22 @@ Ssd::Ssd(const SsdConfig& cfg)
   if (cfg.nand.page_bytes % kSectorSize != 0) {
     throw std::invalid_argument("Ssd: page size must be sector-aligned");
   }
+  if (cfg.nand.fault.program_fail_rate > 0 && !ftl_->supports_bad_blocks()) {
+    throw std::invalid_argument(
+        "Ssd: program-fault injection requires an FTL with bad-block "
+        "management (scheme '" + cfg.ftl_scheme + "' has none)");
+  }
 }
 
 Bytes Ssd::capacity_bytes() const {
   return static_cast<Bytes>(ftl_->logical_pages()) * cfg_.nand.page_bytes;
 }
 
-Micros Ssd::read_pages(Lpn first, std::uint64_t count) {
+IoResult Ssd::read_pages(Lpn first, std::uint64_t count) {
   return ftl_->read_run(first, count);
 }
 
-Micros Ssd::write_pages(Lpn first, std::uint64_t count) {
+IoResult Ssd::write_pages(Lpn first, std::uint64_t count) {
   return ftl_->write_run(first, count);
 }
 
@@ -32,36 +37,36 @@ Micros Ssd::trim_pages(Lpn first, std::uint64_t count) {
   return t;
 }
 
-Micros Ssd::read(Lba lba, std::uint32_t sectors) {
+IoResult Ssd::read(Lba lba, std::uint32_t sectors) {
   if ((lba + sectors) * kSectorSize > capacity_bytes()) {
     throw std::out_of_range("Ssd::read beyond capacity");
   }
   const Lpn first = lba / sectors_per_page_;
   const Lpn last = (lba + sectors + sectors_per_page_ - 1) / sectors_per_page_;
-  const Micros t = read_pages(first, last - first);
-  account(IoOp::kRead, lba, sectors, t);
-  return t;
+  const IoResult io = read_pages(first, last - first);
+  account(IoOp::kRead, lba, sectors, io.latency);
+  return io;
 }
 
-Micros Ssd::write(Lba lba, std::uint32_t sectors) {
+IoResult Ssd::write(Lba lba, std::uint32_t sectors) {
   if ((lba + sectors) * kSectorSize > capacity_bytes()) {
     throw std::out_of_range("Ssd::write beyond capacity");
   }
   const Lpn first = lba / sectors_per_page_;
   const Lpn last = (lba + sectors + sectors_per_page_ - 1) / sectors_per_page_;
-  const Micros t = write_pages(first, last - first);
-  account(IoOp::kWrite, lba, sectors, t);
-  return t;
+  const IoResult io = write_pages(first, last - first);
+  account(IoOp::kWrite, lba, sectors, io.latency);
+  return io;
 }
 
-Micros Ssd::trim(Lba lba, std::uint64_t sectors) {
+IoResult Ssd::trim(Lba lba, std::uint64_t sectors) {
   // TRIM only whole pages fully covered by the range.
   const Lpn first = (lba + sectors_per_page_ - 1) / sectors_per_page_;
   const Lpn last = (lba + sectors) / sectors_per_page_;
   Micros t = 0;
   if (last > first) t = trim_pages(first, last - first);
   account(IoOp::kTrim, lba, static_cast<std::uint32_t>(sectors), t);
-  return t;
+  return {t, IoStatus::kOk, 0};
 }
 
 }  // namespace ssdse

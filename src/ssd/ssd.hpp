@@ -22,15 +22,15 @@ class Ssd final : public StorageDevice {
  public:
   explicit Ssd(const SsdConfig& cfg = {});
 
-  Micros read(Lba lba, std::uint32_t sectors) override;
-  Micros write(Lba lba, std::uint32_t sectors) override;
-  Micros trim(Lba lba, std::uint64_t sectors) override;
+  IoResult read(Lba lba, std::uint32_t sectors) override;
+  IoResult write(Lba lba, std::uint32_t sectors) override;
+  IoResult trim(Lba lba, std::uint64_t sectors) override;
   Bytes capacity_bytes() const override;
 
   /// Page-granular access (used by the cache layer, which thinks in
-  /// flash pages/blocks).
-  Micros read_pages(Lpn first, std::uint64_t count);
-  Micros write_pages(Lpn first, std::uint64_t count);
+  /// flash pages/blocks). TRIM is pure mapping work and cannot fail.
+  IoResult read_pages(Lpn first, std::uint64_t count);
+  IoResult write_pages(Lpn first, std::uint64_t count);
   Micros trim_pages(Lpn first, std::uint64_t count);
 
   Lpn logical_pages() const { return ftl_->logical_pages(); }

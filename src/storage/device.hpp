@@ -1,10 +1,12 @@
 // StorageDevice: the host-visible block-device interface every storage
 // model implements (HDD, SSD, RAM). Calls return the simulated service
-// latency; the caller owns the clock and accumulates time.
+// latency plus an explicit status (IoResult); the caller owns the clock
+// and accumulates time, and must decide what a failed I/O means.
 #pragma once
 
 #include <cstdint>
 
+#include "src/storage/io_result.hpp"
 #include "src/trace/collector.hpp"
 #include "src/util/types.hpp"
 
@@ -31,12 +33,13 @@ class StorageDevice {
   virtual ~StorageDevice() = default;
 
   /// Service a read/write of `sectors` 512 B sectors at `lba`; returns
-  /// the latency. Implementations must validate bounds.
-  virtual Micros read(Lba lba, std::uint32_t sectors) = 0;
-  virtual Micros write(Lba lba, std::uint32_t sectors) = 0;
+  /// the latency and completion status. Implementations must validate
+  /// bounds.
+  virtual IoResult read(Lba lba, std::uint32_t sectors) = 0;
+  virtual IoResult write(Lba lba, std::uint32_t sectors) = 0;
 
   /// TRIM a sector range (no-op unless the device supports it).
-  virtual Micros trim(Lba /*lba*/, std::uint64_t /*sectors*/) { return 0; }
+  virtual IoResult trim(Lba /*lba*/, std::uint64_t /*sectors*/) { return {}; }
 
   virtual Bytes capacity_bytes() const = 0;
 

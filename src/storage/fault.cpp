@@ -1,0 +1,47 @@
+#include "src/storage/fault.hpp"
+
+namespace ssdse {
+
+void FaultyDevice::maybe_spike(IoResult& io) {
+  if (plan_.latency_spike_rate > 0 && rng_.chance(plan_.latency_spike_rate)) {
+    io.latency += plan_.spike_latency;
+    ++fstats_.latency_spikes;
+  }
+}
+
+IoResult FaultyDevice::read(Lba lba, std::uint32_t sectors) {
+  IoResult io = inner_.read(lba, sectors);
+  if (plan_.armed()) {
+    const double r = rng_.next_double();
+    if (r < plan_.read_unc_rate) {
+      io.latency += plan_.unc_penalty;
+      if (io.status < IoStatus::kUncorrectable) {
+        io.status = IoStatus::kUncorrectable;
+      }
+      ++fstats_.read_uncs;
+    } else if (r < plan_.read_unc_rate + plan_.read_transient_rate) {
+      io.latency += plan_.retry_latency;
+      ++io.retries;
+      if (io.status < IoStatus::kRetried) io.status = IoStatus::kRetried;
+      ++fstats_.read_retries;
+    }
+    maybe_spike(io);
+  }
+  account(IoOp::kRead, lba, sectors, io.latency);
+  return io;
+}
+
+IoResult FaultyDevice::write(Lba lba, std::uint32_t sectors) {
+  IoResult io = inner_.write(lba, sectors);
+  if (plan_.armed()) {
+    if (plan_.write_fail_rate > 0 && rng_.chance(plan_.write_fail_rate)) {
+      if (io.status < IoStatus::kWriteFailed) io.status = IoStatus::kWriteFailed;
+      ++fstats_.write_fails;
+    }
+    maybe_spike(io);
+  }
+  account(IoOp::kWrite, lba, sectors, io.latency);
+  return io;
+}
+
+}  // namespace ssdse

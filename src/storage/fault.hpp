@@ -1,0 +1,134 @@
+// Deterministic fault injection for the storage stack (DESIGN.md §10).
+//
+// Two injection points:
+//  * NandFaultModel — per-page NAND error model used by NandArray's
+//    checked read/program operations: transient read errors that succeed
+//    after ECC read-retry (extra latency), uncorrectable reads, and
+//    program failures that grow bad blocks in the FTL.
+//  * FaultyDevice — a StorageDevice decorator injecting read/write
+//    failures and latency spikes at the block-device boundary (used to
+//    make the HDD index store misbehave).
+//
+// Both are seeded and draw from their own Rng, and — crucially for
+// reproducibility — draw NOTHING when every rate is zero, so a zero
+// fault plan is bit-identical to not having the layer at all.
+#pragma once
+
+#include <cstdint>
+
+#include "src/storage/device.hpp"
+#include "src/storage/io_result.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+struct NandFaultConfig {
+  double read_transient_rate = 0;   // P[read needs ECC retries, then succeeds]
+  double read_unc_rate = 0;         // P[read uncorrectable after full ladder]
+  double program_fail_rate = 0;     // P[host program fails -> bad block]
+  std::uint32_t retry_ladder_steps = 3;  // max ECC re-reads per page
+  std::uint64_t seed = 0x5eed'fa17ull;
+
+  bool armed() const {
+    return read_transient_rate > 0 || read_unc_rate > 0 ||
+           program_fail_rate > 0;
+  }
+};
+
+/// Per-array NAND error source. One Rng, consumed only when armed.
+class NandFaultModel {
+ public:
+  explicit NandFaultModel(const NandFaultConfig& cfg = {})
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  struct ReadFault {
+    IoStatus status = IoStatus::kOk;
+    std::uint32_t retries = 0;  // extra reads issued by the retry ladder
+  };
+
+  /// Outcome of one host page read. Zero rates -> kOk with zero draws.
+  ReadFault on_read() {
+    if (!cfg_.armed()) return {};
+    const double r = rng_.next_double();
+    if (r < cfg_.read_unc_rate) {
+      // The ladder is exhausted before the controller gives up.
+      return {IoStatus::kUncorrectable, cfg_.retry_ladder_steps};
+    }
+    if (r < cfg_.read_unc_rate + cfg_.read_transient_rate) {
+      const std::uint32_t steps =
+          1 + static_cast<std::uint32_t>(rng_.next_below(
+                  cfg_.retry_ladder_steps > 0 ? cfg_.retry_ladder_steps : 1));
+      return {IoStatus::kRetried, steps};
+    }
+    return {};
+  }
+
+  /// True if this host program fails (bad-block growth).
+  bool on_program() {
+    if (!cfg_.armed() || cfg_.program_fail_rate <= 0) return false;
+    return rng_.chance(cfg_.program_fail_rate);
+  }
+
+  const NandFaultConfig& config() const { return cfg_; }
+
+ private:
+  NandFaultConfig cfg_;
+  Rng rng_;
+};
+
+/// Device-level fault plan for FaultyDevice.
+struct FaultPlan {
+  double read_unc_rate = 0;        // P[read returns kUncorrectable]
+  double read_transient_rate = 0;  // P[read needs a retry, then succeeds]
+  double write_fail_rate = 0;      // P[write returns kWriteFailed]
+  double latency_spike_rate = 0;   // P[op hits a latency spike]
+  Micros retry_latency = 500;      // added per transient retry
+  Micros unc_penalty = 4'000;      // added when a read is uncorrectable
+  Micros spike_latency = 50'000;   // added on a latency spike
+  std::uint64_t seed = 0xdeadull;
+
+  bool armed() const {
+    return read_unc_rate > 0 || read_transient_rate > 0 ||
+           write_fail_rate > 0 || latency_spike_rate > 0;
+  }
+};
+
+struct FaultyDeviceStats {
+  std::uint64_t read_uncs = 0;
+  std::uint64_t read_retries = 0;
+  std::uint64_t write_fails = 0;
+  std::uint64_t latency_spikes = 0;
+};
+
+/// Decorator injecting faults in front of any StorageDevice. The inner
+/// device still performs (and accounts) the physical access; the
+/// decorator layers error status and penalty latency on top and keeps
+/// its own DeviceStats, so both views stay visible.
+class FaultyDevice final : public StorageDevice {
+ public:
+  FaultyDevice(StorageDevice& inner, const FaultPlan& plan)
+      : inner_(inner), plan_(plan), rng_(plan.seed) {}
+
+  IoResult read(Lba lba, std::uint32_t sectors) override;
+  IoResult write(Lba lba, std::uint32_t sectors) override;
+  IoResult trim(Lba lba, std::uint64_t sectors) override {
+    return inner_.trim(lba, sectors);
+  }
+  Bytes capacity_bytes() const override { return inner_.capacity_bytes(); }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultyDeviceStats& fault_stats() const { return fstats_; }
+  StorageDevice& inner() { return inner_; }
+
+ private:
+  /// Roll for a spike; adds latency to `io` when it hits.
+  void maybe_spike(IoResult& io);
+
+  StorageDevice& inner_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultyDeviceStats fstats_;
+};
+
+}  // namespace ssdse

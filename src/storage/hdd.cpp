@@ -40,12 +40,12 @@ Micros HddModel::service(IoOp op, Lba lba, std::uint32_t sectors) {
   return t;
 }
 
-Micros HddModel::read(Lba lba, std::uint32_t sectors) {
-  return service(IoOp::kRead, lba, sectors);
+IoResult HddModel::read(Lba lba, std::uint32_t sectors) {
+  return {service(IoOp::kRead, lba, sectors), IoStatus::kOk, 0};
 }
 
-Micros HddModel::write(Lba lba, std::uint32_t sectors) {
-  return service(IoOp::kWrite, lba, sectors);
+IoResult HddModel::write(Lba lba, std::uint32_t sectors) {
+  return {service(IoOp::kWrite, lba, sectors), IoStatus::kOk, 0};
 }
 
 Micros HddModel::expected_latency(Lba from, Lba to,

@@ -23,8 +23,8 @@ class HddModel final : public StorageDevice {
  public:
   explicit HddModel(const HddConfig& cfg = {});
 
-  Micros read(Lba lba, std::uint32_t sectors) override;
-  Micros write(Lba lba, std::uint32_t sectors) override;
+  IoResult read(Lba lba, std::uint32_t sectors) override;
+  IoResult write(Lba lba, std::uint32_t sectors) override;
   Bytes capacity_bytes() const override { return cfg_.capacity; }
 
   const HddConfig& config() const { return cfg_; }

@@ -1,0 +1,58 @@
+// IoResult: the explicit error channel of the storage stack.
+//
+// Every device- and FTL-level I/O returns an IoResult instead of a bare
+// latency so callers must decide what a failed read means for them
+// (DESIGN.md §10). There is deliberately no implicit conversion to
+// Micros: when an API migrates from `Micros` to `IoResult` the compiler
+// enumerates every call site, and each one either handles the status or
+// visibly discards it via `.latency`.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/types.hpp"
+
+namespace ssdse {
+
+enum class IoStatus : std::uint8_t {
+  kOk = 0,            // clean success
+  kRetried,           // success after ECC read-retry (extra latency)
+  kUncorrectable,     // read failed beyond the retry ladder; no data
+  kWriteFailed,       // program failure surfaced to the caller
+};
+
+inline const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kRetried: return "retried";
+    case IoStatus::kUncorrectable: return "uncorrectable";
+    case IoStatus::kWriteFailed: return "write_failed";
+  }
+  return "?";
+}
+
+struct IoResult {
+  Micros latency = 0;
+  IoStatus status = IoStatus::kOk;
+  std::uint32_t retries = 0;  // ECC retry-ladder steps consumed
+
+  /// Data (or the write) was delivered, possibly after retries.
+  bool ok() const { return status <= IoStatus::kRetried; }
+
+  /// Merge a sub-operation: latencies and retries add, the most severe
+  /// status wins (enum order is severity order).
+  IoResult& operator+=(const IoResult& o) {
+    latency += o.latency;
+    retries += o.retries;
+    if (o.status > status) status = o.status;
+    return *this;
+  }
+  /// Add pure latency (CPU overheads, mapping costs) without touching
+  /// the status.
+  IoResult& operator+=(Micros extra) {
+    latency += extra;
+    return *this;
+  }
+};
+
+}  // namespace ssdse

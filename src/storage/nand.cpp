@@ -9,6 +9,7 @@ namespace ssdse {
 
 NandArray::NandArray(const NandConfig& cfg)
     : cfg_(cfg),
+      fault_(cfg.fault),
       tags_(cfg.total_pages(), kNandFreeTag),
       next_page_(cfg.num_blocks, 0),
       wear_(cfg.num_blocks, 0) {}

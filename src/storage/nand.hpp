@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/storage/fault.hpp"
+#include "src/storage/io_result.hpp"
 #include "src/util/types.hpp"
 
 namespace ssdse {
@@ -22,6 +24,7 @@ struct NandConfig {
   Micros page_read = 32.725;            // Table III
   Micros page_program = 101.475;        // Table III
   Micros block_erase = 1500.0;          // Table III
+  NandFaultConfig fault;                // DESIGN.md §10; inert by default
 
   Bytes block_bytes() const {
     return static_cast<Bytes>(page_bytes) * pages_per_block;
@@ -40,6 +43,10 @@ using Ppn = std::uint64_t;
 using Pbn = std::uint32_t;
 
 constexpr std::uint64_t kNandFreeTag = ~0ull;
+/// Poison tag stored by a failed program: the page is consumed (NAND
+/// programming is destructive even when it fails) but holds no host
+/// data. Distinct from kNandFreeTag and from any make_tag() product.
+constexpr std::uint64_t kNandBadTag = ~0ull - 1;
 
 struct NandStats {
   std::uint64_t page_reads = 0;
@@ -54,6 +61,7 @@ class NandArray {
 
   const NandConfig& config() const { return cfg_; }
   const NandStats& stats() const { return stats_; }
+  const NandFaultModel& fault_model() const { return fault_; }
 
   /// Read one page; returns latency. `tag_out` receives the stored host
   /// tag (kNandFreeTag if the page is erased). Inline: FTLs issue one
@@ -82,6 +90,42 @@ class NandArray {
     return cfg_.page_program;
   }
 
+  /// Host-path read with the fault model applied: ECC retries add whole
+  /// extra page reads; an uncorrectable outcome still charges the full
+  /// retry ladder. The tag is delivered regardless — the simulation is
+  /// latency-only, so "uncorrectable" is a control-flow signal for the
+  /// caller, not data corruption.
+  IoResult read_page_checked(Ppn ppn, std::uint64_t* tag_out = nullptr) {
+    if (ppn >= tags_.size()) throw_ppn_range("read_page", ppn);
+    if (tag_out) *tag_out = tags_[ppn];
+    const auto f = fault_.on_read();
+    const std::uint64_t reads = 1 + f.retries;
+    stats_.page_reads += reads;
+    const Micros t = cfg_.page_read * static_cast<double>(reads);
+    stats_.busy += t;
+    return {t, f.status, f.retries};
+  }
+
+  /// Host-path program with the fault model applied. On an injected
+  /// failure the page is consumed (poisoned with kNandBadTag, program
+  /// cursor advances — programming NAND is destructive even when it
+  /// fails) and kWriteFailed is returned; the FTL must remap.
+  IoResult program_page_checked(Ppn ppn, std::uint64_t tag) {
+    if (ppn >= tags_.size()) throw_ppn_range("program_page", ppn);
+    const Pbn blk = block_of(ppn);
+    const std::uint32_t pib = page_in_block(ppn);
+    if (tags_[ppn] != kNandFreeTag || pib != next_page_[blk]) {
+      throw_program_violation(ppn);
+    }
+    const bool fail = fault_.on_program();
+    tags_[ppn] = fail ? kNandBadTag : tag;
+    next_page_[blk] = pib + 1;
+    ++stats_.page_programs;
+    stats_.busy += cfg_.page_program;
+    return {cfg_.page_program,
+            fail ? IoStatus::kWriteFailed : IoStatus::kOk, 0};
+  }
+
   /// Erase a whole block; increments its wear counter.
   Micros erase_block(Pbn block);
 
@@ -103,6 +147,7 @@ class NandArray {
 
   NandConfig cfg_;
   NandStats stats_;
+  NandFaultModel fault_{};
   std::vector<std::uint64_t> tags_;         // per page; kNandFreeTag = erased
   std::vector<std::uint32_t> next_page_;    // per block: next programmable page
   std::vector<std::uint32_t> wear_;         // per block erase counts

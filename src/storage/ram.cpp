@@ -21,12 +21,12 @@ Micros RamDevice::service(IoOp op, Lba lba, std::uint32_t sectors) {
   return t;
 }
 
-Micros RamDevice::read(Lba lba, std::uint32_t sectors) {
-  return service(IoOp::kRead, lba, sectors);
+IoResult RamDevice::read(Lba lba, std::uint32_t sectors) {
+  return {service(IoOp::kRead, lba, sectors), IoStatus::kOk, 0};
 }
 
-Micros RamDevice::write(Lba lba, std::uint32_t sectors) {
-  return service(IoOp::kWrite, lba, sectors);
+IoResult RamDevice::write(Lba lba, std::uint32_t sectors) {
+  return {service(IoOp::kWrite, lba, sectors), IoStatus::kOk, 0};
 }
 
 }  // namespace ssdse

@@ -17,8 +17,8 @@ class RamDevice final : public StorageDevice {
  public:
   explicit RamDevice(const RamConfig& cfg = {});
 
-  Micros read(Lba lba, std::uint32_t sectors) override;
-  Micros write(Lba lba, std::uint32_t sectors) override;
+  IoResult read(Lba lba, std::uint32_t sectors) override;
+  IoResult write(Lba lba, std::uint32_t sectors) override;
   Bytes capacity_bytes() const override { return cfg_.capacity; }
 
   /// Cost of touching `bytes` of resident data (no LBA semantics),

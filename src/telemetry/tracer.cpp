@@ -13,6 +13,7 @@ const char* to_string(TraceStage stage) {
     case TraceStage::kDaatScore: return "daat_score";
     case TraceStage::kWriteBufferFlush: return "write_buffer_flush";
     case TraceStage::kFtlGc: return "ftl_gc";
+    case TraceStage::kBrokerMerge: return "broker_merge";
   }
   return "unknown";
 }

@@ -39,9 +39,10 @@ enum class TraceStage : std::uint8_t {
   kDaatScore,          // document-at-a-time scoring CPU time
   kWriteBufferFlush,   // background flash writes minus GC (flush cost)
   kFtlGc,              // FTL garbage-collection time the query triggered
+  kBrokerMerge,        // cluster broker: fan-out RTT + top-K merge
 };
 
-inline constexpr std::size_t kNumTraceStages = 7;
+inline constexpr std::size_t kNumTraceStages = 8;
 
 const char* to_string(TraceStage stage);
 

@@ -17,21 +17,22 @@ ReplayReport replay_trace(std::span<const IoRecord> trace,
       }
       lba = lba % (device_sectors - sectors);
     }
-    Micros t = 0;
+    IoResult io;
     switch (r.op) {
       case IoOp::kRead:
-        t = device.read(lba, sectors);
+        io = device.read(lba, sectors);
         ++report.reads;
         break;
       case IoOp::kWrite:
-        t = device.write(lba, sectors);
+        io = device.write(lba, sectors);
         ++report.writes;
         break;
       case IoOp::kTrim:
-        t = device.trim(lba, sectors);
+        io = device.trim(lba, sectors);
         ++report.trims;
         break;
     }
+    const Micros t = io.latency;
     ++report.ops;
     report.device_time += t;
     report.op_latency.add(t);

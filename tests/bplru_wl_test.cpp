@@ -51,7 +51,7 @@ TEST(BplruTest, BufferedReadsServedFromRam) {
   NandArray nand(small_nand());
   BplruFtl ftl(nand, std::make_unique<PageFtl>(nand));
   ftl.write(3);
-  const Micros t = ftl.read(3);
+  const Micros t = ftl.read(3).latency;
   EXPECT_LT(t, nand.config().page_read);  // RAM, not flash
   EXPECT_EQ(ftl.bplru_stats().buffer_read_hits, 1u);
 }
@@ -135,7 +135,7 @@ TEST(BplruTest, TrimDropsBufferedPage) {
   BplruFtl ftl(nand, std::make_unique<PageFtl>(nand));
   ftl.write(5);
   ftl.trim(5);
-  const Micros t = ftl.read(5);
+  const Micros t = ftl.read(5).latency;
   EXPECT_LT(t, nand.config().page_read);  // unmapped read via inner
   EXPECT_EQ(ftl.bplru_stats().buffer_read_hits, 0u);
 }

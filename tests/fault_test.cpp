@@ -1,0 +1,325 @@
+// Fault injection & graceful degradation (DESIGN.md §10): NAND error
+// model, FaultyDevice decorator, FTL bad-block management, SSD-cache
+// circuit breaker, and the headline robustness property — injected
+// faults change *latency and control flow only*, never query results.
+#include <cstring>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "src/cache/circuit_breaker.hpp"
+#include "src/ftl/page_ftl.hpp"
+#include "src/hybrid/cluster.hpp"
+#include "src/hybrid/search_system.hpp"
+#include "src/ssd/ssd.hpp"
+#include "src/storage/fault.hpp"
+#include "src/storage/hdd.hpp"
+
+namespace ssdse {
+namespace {
+
+NandConfig small_nand(std::uint32_t blocks = 64,
+                      std::uint32_t pages_per_block = 16) {
+  NandConfig cfg;
+  cfg.num_blocks = blocks;
+  cfg.pages_per_block = pages_per_block;
+  return cfg;
+}
+
+// --- FaultyDevice ----------------------------------------------------------
+
+TEST(FaultyDeviceTest, UnarmedPlanIsTransparent) {
+  HddModel a;
+  HddModel b;
+  FaultyDevice faulty(b, FaultPlan{});  // all rates zero
+  const IoResult plain = a.read(1'000, 64);
+  const IoResult wrapped = faulty.read(1'000, 64);
+  EXPECT_DOUBLE_EQ(plain.latency, wrapped.latency);
+  EXPECT_EQ(wrapped.status, IoStatus::kOk);
+  EXPECT_EQ(faulty.fault_stats().read_uncs, 0u);
+}
+
+TEST(FaultyDeviceTest, CertainUncAddsPenaltyAndStatus) {
+  HddModel a;
+  HddModel b;
+  FaultPlan plan;
+  plan.read_unc_rate = 1.0;
+  FaultyDevice faulty(b, plan);
+  const IoResult plain = a.read(1'000, 64);
+  const IoResult wrapped = faulty.read(1'000, 64);
+  EXPECT_EQ(wrapped.status, IoStatus::kUncorrectable);
+  EXPECT_GE(wrapped.latency, plain.latency + plan.unc_penalty);
+  EXPECT_EQ(faulty.fault_stats().read_uncs, 1u);
+}
+
+TEST(FaultyDeviceTest, CertainWriteFailure) {
+  HddModel inner;
+  FaultPlan plan;
+  plan.write_fail_rate = 1.0;
+  FaultyDevice faulty(inner, plan);
+  EXPECT_EQ(faulty.write(0, 64).status, IoStatus::kWriteFailed);
+  EXPECT_EQ(faulty.fault_stats().write_fails, 1u);
+}
+
+// --- NAND error model ------------------------------------------------------
+
+TEST(NandFaultTest, TransientRetriesCostExtraReads) {
+  NandConfig cfg = small_nand();
+  cfg.fault.read_transient_rate = 1.0;
+  NandArray nand(cfg);
+  nand.program_page(0, 42);
+  const auto reads0 = nand.stats().page_reads;
+  std::uint64_t tag = 0;
+  const IoResult io = nand.read_page_checked(0, &tag);
+  EXPECT_EQ(tag, 42u);  // retried reads still deliver the data
+  EXPECT_EQ(io.status, IoStatus::kRetried);
+  EXPECT_GE(io.retries, 1u);
+  EXPECT_EQ(nand.stats().page_reads, reads0 + 1 + io.retries);
+  EXPECT_GT(io.latency, cfg.page_read);  // ladder re-reads add latency
+}
+
+TEST(NandFaultTest, ZeroRatesDrawNothingAndStayOk) {
+  NandArray nand(small_nand());
+  nand.program_page(0, 7);
+  const IoResult io = nand.read_page_checked(0);
+  EXPECT_EQ(io.status, IoStatus::kOk);
+  EXPECT_EQ(io.retries, 0u);
+  EXPECT_DOUBLE_EQ(io.latency, nand.config().page_read);
+}
+
+// --- FTL bad-block management ---------------------------------------------
+
+TEST(BadBlockTest, RemapOnProgramFailurePreservesData) {
+  NandConfig cfg = small_nand(128, 16);
+  cfg.fault.program_fail_rate = 0.002;
+  NandArray nand(cfg);
+  FtlConfig fcfg;
+  // Generous spare pool: every grown bad block permanently shrinks it,
+  // so the spares must outlast the expected ~20 failures of this run.
+  fcfg.over_provisioning = 0.4;
+  PageFtl ftl(nand, fcfg);
+  Rng rng(321);
+  const Lpn n = ftl.logical_pages();
+  for (int i = 0; i < 10'000; ++i) {
+    ftl.write(rng.next_below(n));
+  }
+  const FtlStats& st = ftl.stats();
+  // Each failure retires the active block, remaps the write, and grows
+  // exactly one bad block.
+  EXPECT_GT(st.program_failures, 0u);
+  EXPECT_EQ(st.program_failures, st.remapped_writes);
+  EXPECT_EQ(st.program_failures, st.grown_bad_blocks);
+  // Every logical page written is still readable with the right tag
+  // (read verifies tags internally; a lost remap would throw).
+  for (Lpn p = 0; p < n; ++p) {
+    EXPECT_NO_THROW(ftl.read(p));
+  }
+}
+
+TEST(BadBlockTest, SchemesWithoutBbmRejectProgramFaults) {
+  SsdConfig cfg;
+  cfg.nand = small_nand();
+  cfg.nand.fault.program_fail_rate = 0.01;
+  cfg.ftl_scheme = "block";
+  EXPECT_THROW(Ssd{cfg}, std::invalid_argument);
+  cfg.ftl_scheme = "page";  // page mapping has BBM
+  EXPECT_NO_THROW(Ssd{cfg});
+}
+
+// --- Circuit breaker -------------------------------------------------------
+
+CircuitBreakerConfig small_breaker() {
+  CircuitBreakerConfig cfg;
+  cfg.window = 8;
+  cfg.threshold = 0.5;
+  cfg.min_samples = 4;
+  cfg.cooldown_ops = 4;
+  cfg.probes = 2;
+  return cfg;
+}
+
+TEST(CircuitBreakerTest, TripsHalfOpensAndRecloses) {
+  CircuitBreaker br(small_breaker());
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  for (int i = 0; i < 4; ++i) br.record(false);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.stats().trips, 1u);
+  // While open, operations are refused until the cooldown elapses.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(br.allow());
+  EXPECT_FALSE(br.allow());  // 4th bypass -> half-open for the *next* op
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(br.allow());
+  // Two successful probes re-close.
+  br.record(true);
+  br.record(true);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(br.stats().closes, 1u);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopens) {
+  CircuitBreaker br(small_breaker());
+  for (int i = 0; i < 4; ++i) br.record(false);
+  for (int i = 0; i < 4; ++i) br.allow();  // cooldown -> half-open
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  br.record(false);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.stats().reopens, 1u);
+}
+
+TEST(CircuitBreakerTest, InertWithoutErrors) {
+  CircuitBreaker br;  // default config
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(br.allow());
+    br.record(true);
+  }
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(br.stats().trips, 0u);
+}
+
+// --- System-level degradation ---------------------------------------------
+
+SystemConfig small_system(CachePolicy policy = CachePolicy::kCblru) {
+  SystemConfig cfg;
+  cfg.set_num_docs(400'000);
+  cfg.set_memory_budget(2 * MiB);
+  cfg.cache.policy = policy;
+  cfg.training_queries = 500;
+  return cfg;
+}
+
+/// Order-sensitive checksum over every query's result (doc ids +
+/// score bits): identical iff the result stream is bit-identical.
+std::uint64_t result_fingerprint(SearchSystem& sys, std::uint64_t queries) {
+  std::uint64_t checksum = 0;
+  for (std::uint64_t i = 0; i < queries; ++i) {
+    const auto out = sys.execute(sys.generator().next());
+    for (const ScoredDoc& d : out.result.docs) {
+      std::uint32_t bits;
+      std::memcpy(&bits, &d.score, sizeof bits);
+      checksum = checksum * 1099511628211ull + d.doc + bits;
+    }
+  }
+  return checksum;
+}
+
+// The headline robustness property: injected faults degrade latency and
+// hit ratios but never change what a query returns — the failed-read
+// path is result-equivalent to a cache miss.
+TEST(FaultEquivalenceTest, SsdFaultsNeverChangeResults) {
+  const std::uint64_t kQueries = 3'000;
+  SearchSystem clean(small_system());
+  const std::uint64_t baseline = result_fingerprint(clean, kQueries);
+
+  SystemConfig faulty_cfg = small_system();
+  faulty_cfg.cache_ssd.nand.fault.read_unc_rate = 0.05;
+  faulty_cfg.cache_ssd.nand.fault.read_transient_rate = 0.10;
+  faulty_cfg.cache_ssd.nand.fault.program_fail_rate = 0.001;
+  SearchSystem faulty(faulty_cfg);
+  EXPECT_EQ(result_fingerprint(faulty, kQueries), baseline);
+  // The faults really happened.
+  const FtlStats& fs = faulty.cache_ssd()->ftl().stats();
+  EXPECT_GT(fs.uncorrectable_reads + fs.read_retries, 0u);
+  EXPECT_GT(faulty.cache_manager().stats().ssd_read_errors, 0u);
+}
+
+TEST(FaultEquivalenceTest, HddFaultsNeverChangeResults) {
+  const std::uint64_t kQueries = 2'000;
+  SearchSystem clean(small_system());
+  const std::uint64_t baseline = result_fingerprint(clean, kQueries);
+
+  SystemConfig faulty_cfg = small_system();
+  faulty_cfg.hdd_faults.read_unc_rate = 0.02;
+  faulty_cfg.hdd_faults.read_transient_rate = 0.05;
+  faulty_cfg.hdd_faults.latency_spike_rate = 0.01;
+  SearchSystem faulty(faulty_cfg);
+  EXPECT_EQ(result_fingerprint(faulty, kQueries), baseline);
+  ASSERT_NE(faulty.faulty_hdd(), nullptr);
+  EXPECT_GT(faulty.faulty_hdd()->fault_stats().read_uncs, 0u);
+  EXPECT_GT(faulty.cache_manager().stats().hdd_read_errors, 0u);
+}
+
+TEST(FaultEquivalenceTest, LruBaselineAlsoUnchanged) {
+  const std::uint64_t kQueries = 2'000;
+  SearchSystem clean(small_system(CachePolicy::kLru));
+  const std::uint64_t baseline = result_fingerprint(clean, kQueries);
+
+  SystemConfig faulty_cfg = small_system(CachePolicy::kLru);
+  faulty_cfg.cache_ssd.nand.fault.read_unc_rate = 0.05;
+  SearchSystem faulty(faulty_cfg);
+  EXPECT_EQ(result_fingerprint(faulty, kQueries), baseline);
+}
+
+TEST(DegradationTest, BreakerTripsUnderSustainedSsdErrors) {
+  SystemConfig cfg = small_system();
+  cfg.cache_ssd.nand.fault.read_unc_rate = 1.0;  // every flash read fails
+  cfg.cache.breaker.window = 32;
+  cfg.cache.breaker.min_samples = 8;
+  cfg.cache.breaker.cooldown_ops = 64;
+  SearchSystem sys(cfg);
+  sys.run(4'000);
+  const CacheManager& cm = sys.cache_manager();
+  EXPECT_GT(cm.breaker().stats().trips, 0u);
+  EXPECT_GT(cm.stats().breaker_bypassed_probes, 0u);
+  EXPECT_GT(cm.stats().ssd_read_errors, 0u);
+  // With a 100 % error rate every half-open probe fails too.
+  EXPECT_GT(cm.breaker().stats().reopens, 0u);
+  EXPECT_EQ(cm.breaker().stats().closes, 0u);
+}
+
+// --- Cluster deadlines -----------------------------------------------------
+
+ClusterConfig small_cluster(std::uint32_t shards) {
+  ClusterConfig cfg;
+  cfg.num_shards = shards;
+  cfg.total_docs = 200'000;
+  cfg.shard_template.set_memory_budget(2 * MiB);
+  cfg.shard_template.training_queries = 200;
+  return cfg;
+}
+
+TEST(ShardDeadlineTest, NoDeadlineIncludesEveryShard) {
+  SearchCluster cluster(small_cluster(2));
+  const auto out = cluster.execute(cluster.generator().next());
+  EXPECT_EQ(out.shards_included, 2u);
+  EXPECT_EQ(out.shards_dropped, 0u);
+  EXPECT_DOUBLE_EQ(out.coverage, 1.0);
+}
+
+TEST(ShardDeadlineTest, ImpossibleDeadlineDropsAllShards) {
+  ClusterConfig cfg = small_cluster(2);
+  cfg.shard_deadline = 0.001;  // far below any shard's service time
+  SearchCluster cluster(cfg);
+  const auto out = cluster.execute(cluster.generator().next());
+  EXPECT_EQ(out.shards_included, 0u);
+  EXPECT_EQ(out.shards_dropped, 2u);
+  EXPECT_DOUBLE_EQ(out.coverage, 0.0);
+  EXPECT_TRUE(out.result.docs.empty());
+  // Broker stops waiting at the deadline: rtt only, no merge CPU.
+  EXPECT_DOUBLE_EQ(out.response, cfg.shard_deadline + cfg.network_rtt);
+}
+
+TEST(ShardDeadlineTest, PartialCoverageKeepsFastShards) {
+  ClusterConfig cfg = small_cluster(2);
+  SearchCluster probe(cfg);
+  // Find a deadline between the two shards' service times for a query
+  // where they differ; then a fresh cluster must drop exactly the slow
+  // one at that deadline.
+  Query q = probe.generator().next();
+  auto r0 = probe.shard(0).execute(q);
+  auto r1 = probe.shard(1).execute(q);
+  if (r0.response == r1.response) GTEST_SKIP() << "shards tied";
+  const Micros lo = std::min(r0.response, r1.response);
+  const Micros hi = std::max(r0.response, r1.response);
+  cfg.shard_deadline = (lo + hi) / 2;
+  SearchCluster cluster(cfg);
+  const auto out = cluster.execute(cluster.generator().next());
+  EXPECT_EQ(out.shards_included, 1u);
+  EXPECT_EQ(out.shards_dropped, 1u);
+  EXPECT_DOUBLE_EQ(out.coverage, 0.5);
+  EXPECT_FALSE(out.result.docs.empty());
+  EXPECT_DOUBLE_EQ(out.response, cfg.shard_deadline + cfg.network_rtt +
+                                     cfg.merge_cpu_per_shard);
+}
+
+}  // namespace
+}  // namespace ssdse

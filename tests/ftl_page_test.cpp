@@ -37,7 +37,7 @@ TEST(PageFtlTest, WriteThenReadVerifiesInternally) {
 TEST(PageFtlTest, UnwrittenReadIsCheap) {
   NandArray nand(small_nand());
   PageFtl ftl(nand);
-  const Micros t = ftl.read(3);
+  const Micros t = ftl.read(3).latency;
   EXPECT_LT(t, nand.config().page_read);  // controller overhead only
 }
 
@@ -108,7 +108,7 @@ TEST(PageFtlTest, TrimFreesAndInvalidates) {
   ftl.trim(7);
   EXPECT_EQ(ftl.stats().host_trims, 1u);
   // Post-trim read is an unmapped read (cheap, no tag check).
-  const Micros t = ftl.read(7);
+  const Micros t = ftl.read(7).latency;
   EXPECT_LT(t, nand.config().page_read);
 }
 
@@ -138,7 +138,7 @@ TEST(PageFtlTest, GcLatencyChargedToWrites) {
   const Lpn n = ftl.logical_pages();
   Micros max_write = 0;
   for (int i = 0; i < 5000; ++i) {
-    max_write = std::max(max_write, ftl.write(rng.next_below(n)));
+    max_write = std::max(max_write, ftl.write(rng.next_below(n)).latency);
   }
   // Some write must have absorbed an erase (1.5 ms).
   EXPECT_GT(max_write, nand.config().block_erase);

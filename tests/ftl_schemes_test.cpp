@@ -121,7 +121,7 @@ TEST(HybridFtlTest, TrimDropsLogAndDataCopies) {
   HybridLogFtl ftl(nand, hybrid_cfg());
   ftl.write(3);
   ftl.trim(3);
-  const Micros t = ftl.read(3);
+  const Micros t = ftl.read(3).latency;
   EXPECT_LT(t, nand.config().page_read);  // unmapped read
 }
 
@@ -163,9 +163,9 @@ TEST(DftlTest, MissCostsMoreThanHit) {
   for (Lpn p = 0; p < 64; ++p) ftl.write(p);
   const Micros hit = [&] {
     ftl.read(63);          // load into CMT
-    return ftl.read(63);   // now a CMT hit
+    return ftl.read(63).latency;  // now a CMT hit
   }();
-  const Micros miss = ftl.read(0);  // long evicted
+  const Micros miss = ftl.read(0).latency;  // long evicted
   EXPECT_GT(miss, hit);
 }
 

@@ -34,7 +34,7 @@ TEST_F(SsdCacheFileTest, AllocWriteTransitionsToNormal) {
   const auto cb = file_.alloc();
   ASSERT_TRUE(cb.has_value());
   EXPECT_EQ(file_.free_count(), 15u);
-  const Micros t = file_.write(*cb, file_.pages_per_block());
+  const Micros t = file_.write(*cb, file_.pages_per_block()).latency;
   EXPECT_GT(t, 0.0);
   EXPECT_EQ(file_.state(*cb), CbState::kNormal);
 }
@@ -89,7 +89,7 @@ TEST_F(SsdCacheFileTest, ReadChecksState) {
   EXPECT_THROW(file_.read(0, 0, 1), std::logic_error);  // free block
   const auto cb = *file_.alloc();
   file_.write(cb, 8);
-  EXPECT_GT(file_.read(cb, 0, 8), 0.0);
+  EXPECT_GT(file_.read(cb, 0, 8).latency, 0.0);
   EXPECT_THROW(file_.read(cb, 10, 10), std::invalid_argument);  // off end
 }
 
@@ -135,8 +135,8 @@ TEST(SsdCacheFileCtorTest, DisjointRegionsCoexist) {
   const auto cb = *b.alloc();
   a.write(ca, 16);
   b.write(cb, 16);
-  EXPECT_GT(a.read(ca, 0, 16), 0.0);
-  EXPECT_GT(b.read(cb, 0, 16), 0.0);
+  EXPECT_GT(a.read(ca, 0, 16).latency, 0.0);
+  EXPECT_GT(b.read(cb, 0, 16).latency, 0.0);
 }
 
 }  // namespace

@@ -46,16 +46,16 @@ TEST(SsdTest, OutOfRangeThrows) {
 
 TEST(SsdTest, WriteCostsMoreThanRead) {
   Ssd ssd(small_ssd());
-  const Micros w = ssd.write(0, 64);
-  const Micros r = ssd.read(0, 64);
+  const Micros w = ssd.write(0, 64).latency;
+  const Micros r = ssd.read(0, 64).latency;
   EXPECT_GT(w, r);
 }
 
 TEST(SsdTest, PageGranularHelpers) {
   Ssd ssd(small_ssd());
-  const Micros w = ssd.write_pages(10, 4);
+  const Micros w = ssd.write_pages(10, 4).latency;
   EXPECT_GT(w, 4 * 100.0);  // at least 4 programs
-  const Micros r = ssd.read_pages(10, 4);
+  const Micros r = ssd.read_pages(10, 4).latency;
   EXPECT_GT(r, 4 * 30.0);
   EXPECT_GT(ssd.trim_pages(10, 4), 0.0);
 }

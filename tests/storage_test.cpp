@@ -24,10 +24,10 @@ TEST(HddTest, SequentialCheaperThanRandom) {
   HddModel hdd;
   // Prime the head.
   hdd.read(0, 64);
-  const Micros seq = hdd.read(64, 64);  // continues at the head
+  const Micros seq = hdd.read(64, 64).latency;  // continues at the head
   HddModel hdd2;
   hdd2.read(0, 64);
-  const Micros rnd = hdd2.read(200'000'000, 64);  // far seek
+  const Micros rnd = hdd2.read(200'000'000, 64).latency;  // far seek
   EXPECT_LT(seq * 5, rnd);
 }
 
@@ -35,7 +35,7 @@ TEST(HddTest, SequentialRunHasNoSeek) {
   HddConfig cfg;
   HddModel hdd(cfg);
   hdd.read(0, 8);
-  const Micros t = hdd.read(8, 8);
+  const Micros t = hdd.read(8, 8).latency;
   // Controller overhead + transfer only: well under 1 ms.
   EXPECT_LT(t, 1000.0);
 }
@@ -196,8 +196,8 @@ TEST(RamTest, ReadWriteBoundsChecked) {
 TEST(RamTest, MuchFasterThanHdd) {
   RamDevice ram;
   HddModel hdd;
-  const Micros r = ram.read(0, 64);
-  const Micros h = hdd.read(1'000'000, 64);
+  const Micros r = ram.read(0, 64).latency;
+  const Micros h = hdd.read(1'000'000, 64).latency;
   EXPECT_LT(r * 100, h);
 }
 
