@@ -25,10 +25,10 @@ void BM_NandProgramErase(benchmark::State& state) {
   const auto ppb = nand.config().pages_per_block;
   std::uint64_t page = 0;
   for (auto _ : state) {
-    nand.program_page(page, page);
+    benchmark::DoNotOptimize(nand.program_page(page, page));
     if (++page % ppb == 0) {
       const Pbn blk = static_cast<Pbn>(page / ppb - 1);
-      nand.erase_block(blk);
+      benchmark::DoNotOptimize(nand.erase_block(blk));
       page -= ppb;
     }
   }
@@ -55,7 +55,7 @@ BENCHMARK_CAPTURE(BM_FtlWrite, dftl_random, "dftl", false);
 void BM_FtlRead(benchmark::State& state) {
   NandArray nand(bench_nand());
   PageFtl ftl(nand);
-  for (Lpn p = 0; p < 4096; ++p) ftl.write(p);
+  for (Lpn p = 0; p < 4096; ++p) benchmark::DoNotOptimize(ftl.write(p));
   Rng rng(8);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ftl.read(rng.next_below(4096)));

@@ -326,7 +326,7 @@ def check_telemetry(doc, path):
 
 def check_file(path):
     try:
-        with open(path) as f:
+        with open(path, encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {path}: {e}")

@@ -23,7 +23,7 @@ struct ArcStats {
   std::uint64_t ghost_b1_hits = 0;  // recency ghost hits (grow T1)
   std::uint64_t ghost_b2_hits = 0;  // frequency ghost hits (grow T2)
 
-  double hit_ratio() const {
+  [[nodiscard]] double hit_ratio() const {
     const auto total = hits + misses;
     return total ? static_cast<double>(hits) / static_cast<double>(total)
                  : 0.0;
@@ -97,12 +97,12 @@ class ArcCache {
   bool contains(const K& key) const {
     return t1_.contains(key) || t2_.contains(key);
   }
-  std::size_t size() const { return t1_.size() + t2_.size(); }
-  std::size_t capacity() const { return capacity_; }
-  std::size_t recency_size() const { return t1_.size(); }    // T1
-  std::size_t frequency_size() const { return t2_.size(); }  // T2
-  std::size_t p() const { return p_; }
-  const ArcStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return t1_.size() + t2_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t recency_size() const { return t1_.size(); }    // T1
+  [[nodiscard]] std::size_t frequency_size() const { return t2_.size(); }  // T2
+  [[nodiscard]] std::size_t p() const { return p_; }
+  [[nodiscard]] const ArcStats& stats() const { return stats_; }
 
  private:
   /// REPLACE from the paper: evict LRU of T1 into B1 or LRU of T2 into

@@ -52,20 +52,20 @@ struct CacheManagerStats {
   std::uint64_t breaker_bypassed_probes = 0;   // lookups skipped while open
   std::uint64_t breaker_bypassed_inserts = 0;  // evictions dropped, not flushed
 
-  double result_hit_ratio() const {
+  [[nodiscard]] double result_hit_ratio() const {
     return result_lookups ? static_cast<double>(result_hits_mem +
                                                 result_hits_ssd) /
                                 static_cast<double>(result_lookups)
                           : 0.0;
   }
-  double list_hit_ratio() const {
+  [[nodiscard]] double list_hit_ratio() const {
     return list_lookups ? static_cast<double>(list_hits_mem +
                                               list_hits_ssd) /
                               static_cast<double>(list_lookups)
                         : 0.0;
   }
   /// Combined hit ratio over all cacheable requests (Fig. 14 metric).
-  double hit_ratio() const {
+  [[nodiscard]] double hit_ratio() const {
     const auto lookups = result_lookups + list_lookups;
     const auto hits = result_hits_mem + result_hits_ssd + list_hits_mem +
                       list_hits_ssd;
@@ -113,52 +113,52 @@ class CacheManager {
   // Persistence & warm restart (src/recovery). Only the cost-based L2
   // machinery persists: the LRU baseline's entry-granular SSD writes
   // have no aligned-record invariant to journal against.
-  bool supports_persistence() const { return cfg_.l2 && cost_based(); }
+  [[nodiscard]] bool supports_persistence() const { return cfg_.l2 && cost_based(); }
   /// Register the journal sink on both SSD caches (null to detach).
   void set_journal_sink(CacheJournalSink* sink);
   /// Snapshot the full SSD cache metadata (both caches + TTL clock).
-  CacheImage export_image() const;
+  [[nodiscard]] CacheImage export_image() const;
   /// Warm restart: rebuild both SSD caches and the cache-file block
   /// states from a recovered image. Must be called before any traffic.
   /// Returns the adoption flash time (recovery work, not query time).
-  Micros restore_image(const CacheImage& image);
+  [[nodiscard]] Micros restore_image(const CacheImage& image);
 
   /// Advance the logical clock (one tick per query). Only needed when
   /// cfg.ttl_queries > 0 (the dynamic scenario of paper §IV.B).
   void advance_time() { ++now_; }
-  std::uint64_t now() const { return now_; }
+  [[nodiscard]] std::uint64_t now() const { return now_; }
 
-  const CacheManagerStats& stats() const { return stats_; }
-  const CacheConfig& config() const { return cfg_; }
-  CachePolicy policy() const { return cfg_.policy; }
+  [[nodiscard]] const CacheManagerStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] CachePolicy policy() const { return cfg_.policy; }
 
   /// SSD-cache circuit breaker (inert unless flash reads start failing).
-  const CircuitBreaker& breaker() const { return breaker_; }
+  [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
 
   // Introspection for tests / benches.
-  const MemResultCache& mem_results() const { return mem_rc_; }
-  const MemListCache& mem_lists() const { return mem_lc_; }
-  const SsdResultCache* ssd_results() const { return ssd_rc_.get(); }
-  const SsdListCache* ssd_lists() const { return ssd_lc_.get(); }
-  const LruSsdResultCache* lru_ssd_results() const { return lru_rc_.get(); }
-  const LruSsdListCache* lru_ssd_lists() const { return lru_lc_.get(); }
-  const WriteBuffer& write_buffer() const { return wb_; }
-  const IntersectionCache* intersections() const { return ic_.get(); }
-  const SieveFilter* sieve() const { return sieve_.get(); }
+  [[nodiscard]] const MemResultCache& mem_results() const { return mem_rc_; }
+  [[nodiscard]] const MemListCache& mem_lists() const { return mem_lc_; }
+  [[nodiscard]] const SsdResultCache* ssd_results() const { return ssd_rc_.get(); }
+  [[nodiscard]] const SsdListCache* ssd_lists() const { return ssd_lc_.get(); }
+  [[nodiscard]] const LruSsdResultCache* lru_ssd_results() const { return lru_rc_.get(); }
+  [[nodiscard]] const LruSsdListCache* lru_ssd_lists() const { return lru_lc_.get(); }
+  [[nodiscard]] const WriteBuffer& write_buffer() const { return wb_; }
+  [[nodiscard]] const IntersectionCache* intersections() const { return ic_.get(); }
+  [[nodiscard]] const SieveFilter* sieve() const { return sieve_.get(); }
 
  private:
-  bool cost_based() const { return cfg_.policy != CachePolicy::kLru; }
+  [[nodiscard]] bool cost_based() const { return cfg_.policy != CachePolicy::kLru; }
   /// TTL check against the logical clock (paper §IV.B).
   bool expired(std::uint64_t born) const {
     return cfg_.ttl_queries > 0 && now_ > born + cfg_.ttl_queries;
   }
   /// Drop every cached copy of a stale result / list.
   void expire_result(QueryId qid);
-  Micros expire_list(TermId term);
+  [[nodiscard]] Micros expire_list(TermId term);
   /// Expected bytes a query needs from a term's list (PU x SI).
   Bytes needed_bytes(const TermMeta& meta) const;
   /// HDD read of a list prefix with skipped-read segmentation (§III).
-  Micros read_list_from_hdd(TermId term, Bytes bytes);
+  [[nodiscard]] Micros read_list_from_hdd(TermId term, Bytes bytes);
   void route_result_evictions(std::vector<CachedResult> evicted);
   void route_list_evictions(std::vector<EvictedList> evicted);
   void flush_group(std::vector<CachedResult> group);

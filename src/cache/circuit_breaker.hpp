@@ -54,8 +54,8 @@ class CircuitBreaker {
   explicit CircuitBreaker(const CircuitBreakerConfig& cfg = {})
       : cfg_(cfg), window_(cfg.window, 0) {}
 
-  State state() const { return state_; }
-  const CircuitBreakerStats& stats() const { return stats_; }
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] const CircuitBreakerStats& stats() const { return stats_; }
 
   /// May the next SSD-cache operation proceed? While open this counts
   /// the bypass and advances the cooldown clock.

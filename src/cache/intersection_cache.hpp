@@ -48,10 +48,10 @@ class IntersectionCache {
   bool contains(TermId a, TermId b) const {
     return map_.contains(key(a, b));
   }
-  std::size_t size() const { return map_.size(); }
-  Bytes used_bytes() const { return used_; }
-  Bytes capacity() const { return capacity_; }
-  const IntersectionCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] Bytes used_bytes() const { return used_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] const IntersectionCacheStats& stats() const { return stats_; }
 
  private:
   Bytes capacity_;

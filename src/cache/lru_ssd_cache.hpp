@@ -41,13 +41,13 @@ class LruSsdResultCache {
                             Micros& time, std::uint64_t* born_out = nullptr,
                             IoStatus* io_status = nullptr);
   /// Insert one evicted entry; writes immediately. Returns flash time.
-  Micros insert(CachedResult entry);
+  [[nodiscard]] Micros insert(CachedResult entry);
   /// TTL expiry: drop the entry, freeing its slot.
   bool erase(QueryId qid);
 
   bool contains(QueryId qid) const { return map_.contains(qid); }
-  std::size_t size() const { return map_.size(); }
-  const LruSsdStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const LruSsdStats& stats() const { return stats_; }
 
  private:
   struct Slot {
@@ -75,10 +75,10 @@ class PageRunAllocator {
   bool alloc(std::uint64_t n, std::vector<std::pair<Lpn, std::uint64_t>>& out);
   void free(Lpn start, std::uint64_t len);
 
-  std::uint64_t free_pages() const { return free_pages_; }
-  std::uint64_t total_pages() const { return total_pages_; }
+  [[nodiscard]] std::uint64_t free_pages() const { return free_pages_; }
+  [[nodiscard]] std::uint64_t total_pages() const { return total_pages_; }
   /// Number of separate free runs (fragmentation gauge).
-  std::size_t fragments() const { return runs_.size(); }
+  [[nodiscard]] std::size_t fragments() const { return runs_.size(); }
 
  private:
   std::map<Lpn, std::uint64_t> runs_;  // start -> length, disjoint, sorted
@@ -106,15 +106,15 @@ class LruSsdListCache {
                       IoStatus* io_status = nullptr);
 
   /// Insert a list prefix of `bytes`; evicts LRU entries until it fits.
-  Micros insert(TermId term, Bytes bytes, std::uint64_t freq,
+  [[nodiscard]] Micros insert(TermId term, Bytes bytes, std::uint64_t freq,
                 std::uint64_t born = 0);
   /// TTL expiry: drop the entry, freeing its pages.
   bool erase(TermId term);
 
   bool contains(TermId term) const { return map_.contains(term); }
-  std::size_t size() const { return map_.size(); }
-  const LruSsdStats& stats() const { return stats_; }
-  const PageRunAllocator& allocator() const { return alloc_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const LruSsdStats& stats() const { return stats_; }
+  [[nodiscard]] const PageRunAllocator& allocator() const { return alloc_; }
 
  private:
   void evict_lru();

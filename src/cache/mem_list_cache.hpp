@@ -48,9 +48,9 @@ class MemListCache {
   bool erase(TermId term);
 
   bool contains(TermId term) const { return map_.contains(term); }
-  std::size_t size() const { return map_.size(); }
-  Bytes used_bytes() const { return used_; }
-  Bytes capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] Bytes used_bytes() const { return used_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
 
  private:
   /// Pick and remove one victim according to the policy. Returns false

@@ -47,10 +47,10 @@ class MemResultCache {
   bool erase(QueryId qid) { return map_.erase(qid).has_value(); }
 
   bool contains(QueryId qid) const { return map_.contains(qid); }
-  std::size_t size() const { return map_.size(); }
-  Bytes used_bytes() const { return map_.size() * kResultEntryBytes; }
-  Bytes capacity() const { return capacity_; }
-  std::size_t max_entries() const { return max_entries_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] Bytes used_bytes() const { return map_.size() * kResultEntryBytes; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
 
  private:
   Bytes capacity_;

@@ -101,7 +101,7 @@ struct CacheConfig {
   bool lru_whole_lists = true;
 
   /// Result entries assembled per 128 KiB result block (6 x 20 KiB).
-  std::uint32_t results_per_rb() const {
+  [[nodiscard]] std::uint32_t results_per_rb() const {
     return static_cast<std::uint32_t>(block_bytes / kResultEntrySlotBytes);
   }
   /// Slot pitch of one result entry inside an RB (20 KiB rounded to a

@@ -34,8 +34,8 @@ class SieveFilter {
   /// Current count for a key (0 if unknown / aged out).
   std::uint32_t count(std::uint64_t key) const;
 
-  std::size_t ghost_size() const { return ghost_.size(); }
-  const SieveStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t ghost_size() const { return ghost_.size(); }
+  [[nodiscard]] const SieveStats& stats() const { return stats_; }
 
  private:
   std::uint32_t threshold_;

@@ -33,15 +33,15 @@ class SsdCacheFile {
   /// (must be flash-block aligned).
   SsdCacheFile(Ssd& ssd, Lpn base_page, std::uint32_t num_blocks);
 
-  std::uint32_t num_blocks() const { return num_blocks_; }
-  std::uint32_t pages_per_block() const { return ppb_; }
-  Bytes block_bytes() const {
+  [[nodiscard]] std::uint32_t num_blocks() const { return num_blocks_; }
+  [[nodiscard]] std::uint32_t pages_per_block() const { return ppb_; }
+  [[nodiscard]] Bytes block_bytes() const {
     return static_cast<Bytes>(ppb_) * ssd_.config().nand.page_bytes;
   }
 
   CbState state(std::uint32_t cb) const { return states_[cb]; }
-  std::size_t free_count() const { return free_.size(); }
-  std::size_t replaceable_count() const { return replaceable_; }
+  [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+  [[nodiscard]] std::size_t replaceable_count() const { return replaceable_; }
 
   /// Take a free block (caller will write it). Returns nullopt when no
   /// free block remains — the caller then picks a victim to overwrite.
@@ -64,14 +64,14 @@ class SsdCacheFile {
   void mark_normal(std::uint32_t cb);
 
   /// Delete cold data: TRIM the block and return it to the free pool.
-  Micros trim(std::uint32_t cb);
+  [[nodiscard]] Micros trim(std::uint32_t cb);
 
   /// Warm-restart adoption (src/recovery): claim a free block whose
   /// content survived the restart on flash. Removes it from the free
   /// pool, sets its state, and re-seeds the (fresh) FTL mapping for its
   /// pages. The returned flash time is recovery work, not query
   /// traffic — the caller accounts it separately.
-  Micros adopt(std::uint32_t cb, CbState state);
+  [[nodiscard]] Micros adopt(std::uint32_t cb, CbState state);
 
  private:
   Lpn first_page(std::uint32_t cb) const {

@@ -60,15 +60,15 @@ class SsdListCache {
                              IoStatus* io_status = nullptr);
 
   /// Admit a partial list of `bytes` (=> SC blocks). Returns flash time.
-  Micros insert(TermId term, Bytes bytes, std::uint64_t freq,
+  [[nodiscard]] Micros insert(TermId term, Bytes bytes, std::uint64_t freq,
                 std::uint64_t born = 0);
 
   /// TTL expiry: drop the entry and TRIM its blocks (cold-data
   /// deletion). Returns the flash time spent.
-  Micros erase(TermId term);
+  [[nodiscard]] Micros erase(TermId term);
 
   /// Pin (term, bytes, freq) tuples as the static partition.
-  Micros preload_static(
+  [[nodiscard]] Micros preload_static(
       std::span<const std::tuple<TermId, Bytes, std::uint64_t>> entries);
 
   /// Persistence (src/recovery): durable mutations (installs, erases)
@@ -83,7 +83,7 @@ class SsdListCache {
   /// Warm restart: rebuild the map from a recovered image on a freshly
   /// constructed cache; adopts the image's blocks in the cache file.
   /// Returns the adoption (recovery) flash time.
-  Micros restore_image(const std::vector<ListEntryImage>& entries,
+  [[nodiscard]] Micros restore_image(const std::vector<ListEntryImage>& entries,
                        const std::vector<ListEntryImage>& static_entries);
 
   bool contains(TermId term) const {
@@ -91,13 +91,13 @@ class SsdListCache {
   }
   /// Pinned in the static partition (CBSLRU): no rewrite on re-eviction.
   bool is_static(TermId term) const { return static_map_.count(term) != 0; }
-  std::size_t entry_count() const {
+  [[nodiscard]] std::size_t entry_count() const {
     return map_.size() + static_map_.size();
   }
-  const SsdListCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const SsdListCacheStats& stats() const { return stats_; }
 
  private:
-  Bytes page_bytes() const {
+  [[nodiscard]] Bytes page_bytes() const {
     return file_.block_bytes() / file_.pages_per_block();
   }
   std::uint32_t blocks_for(Bytes bytes) const;
@@ -108,7 +108,7 @@ class SsdListCache {
                       Micros& time);
   void evict_entry(TermId term, std::vector<std::uint32_t>& pool);
   IoResult read_entry_pages(const SsdListEntry& e, Bytes bytes);
-  Micros write_entry_pages(const SsdListEntry& e);
+  [[nodiscard]] Micros write_entry_pages(const SsdListEntry& e);
 
   SsdCacheFile& file_;
   std::uint32_t window_;

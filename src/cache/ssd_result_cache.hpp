@@ -59,7 +59,7 @@ class SsdResultCache {
   /// Flush one assembled RB (up to results_per_rb entries). Returns the
   /// flash write time. Entries dropped by the overwrite are gone from
   /// the SSD (counted in stats).
-  Micros insert_rb(std::span<CachedResult> entries);
+  [[nodiscard]] Micros insert_rb(std::span<CachedResult> entries);
 
   /// Write-buffer cancellation: if `qid` is still present with its slot
   /// in the memory-resident (replaceable) state, revalidate it instead
@@ -68,7 +68,7 @@ class SsdResultCache {
 
   /// Pin `entries` as the static partition (CBSLRU preload). Call before
   /// any dynamic traffic. Returns flash write time.
-  Micros preload_static(std::span<CachedResult> entries);
+  [[nodiscard]] Micros preload_static(std::span<CachedResult> entries);
 
   /// Persistence (src/recovery): durable mutations (RB flushes,
   /// invalidations) are reported here write-ahead. May be null.
@@ -82,7 +82,7 @@ class SsdResultCache {
   /// Warm restart: rebuild the maps from a recovered image. Must be
   /// called on a freshly constructed cache; adopts the image's blocks
   /// in the cache file. Returns the adoption (recovery) flash time.
-  Micros restore_image(const std::vector<RbImage>& rbs,
+  [[nodiscard]] Micros restore_image(const std::vector<RbImage>& rbs,
                        const std::vector<RbImage>& static_rbs);
 
   bool contains(QueryId qid) const {
@@ -91,11 +91,11 @@ class SsdResultCache {
   /// Pinned in the static partition (CBSLRU): already on SSD forever, so
   /// evicting its memory copy must not trigger a rewrite.
   bool is_static(QueryId qid) const { return static_map_.count(qid) != 0; }
-  std::uint32_t results_per_rb() const { return slots_per_rb_; }
-  std::size_t entry_count() const {
+  [[nodiscard]] std::uint32_t results_per_rb() const { return slots_per_rb_; }
+  [[nodiscard]] std::size_t entry_count() const {
     return map_.size() + static_map_.size();
   }
-  const SsdResultCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const SsdResultCacheStats& stats() const { return stats_; }
 
  private:
   static constexpr Bytes kSlotBytes = CacheConfig::kResultEntrySlotBytes;
@@ -111,7 +111,7 @@ class SsdResultCache {
     std::uint32_t iren = 0;
   };
 
-  std::uint32_t pages_per_slot() const;
+  [[nodiscard]] std::uint32_t pages_per_slot() const;
   /// Choose the overwrite victim per Fig. 11; evicts its entries.
   std::optional<std::uint32_t> acquire_block();
   void drop_rb(std::uint32_t cb);

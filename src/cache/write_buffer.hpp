@@ -42,8 +42,8 @@ class WriteBuffer {
   std::vector<CachedResult> drain();
 
   bool contains(QueryId qid) const;
-  std::size_t size() const { return pending_.size(); }
-  const WriteBufferStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] const WriteBufferStats& stats() const { return stats_; }
 
  private:
   std::uint32_t group_size_;

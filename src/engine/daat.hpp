@@ -32,8 +32,8 @@ class DocSortedList {
   explicit DocSortedList(const PostingList& list,
                          std::uint32_t skip_interval = 64);
 
-  std::size_t size() const { return postings_.size(); }
-  bool empty() const { return postings_.empty(); }
+  [[nodiscard]] std::size_t size() const { return postings_.size(); }
+  [[nodiscard]] bool empty() const { return postings_.empty(); }
   const Posting& operator[](std::size_t i) const { return postings_[i]; }
 
   /// Smallest index i >= `from` with doc id >= `target`, or size() if
@@ -43,7 +43,7 @@ class DocSortedList {
   std::size_t advance(std::size_t from, DocId target,
                       std::uint64_t* skips_used = nullptr) const;
 
-  std::span<const Posting> postings() const { return postings_; }
+  [[nodiscard]] std::span<const Posting> postings() const { return postings_; }
 
  private:
   std::vector<Posting> postings_;  // doc-id ascending

@@ -24,7 +24,7 @@ struct ResultEntry {
   QueryId query = 0;
   std::vector<ScoredDoc> docs;  // descending score, at most kTopK
 
-  Bytes bytes() const { return kResultEntryBytes; }
+  [[nodiscard]] Bytes bytes() const { return kResultEntryBytes; }
 };
 
 }  // namespace ssdse

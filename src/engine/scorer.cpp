@@ -72,6 +72,7 @@ ScoreOutcome Scorer::score_materialized(MaterializedIndex& index,
   // intermediate full-size vector. The ranking order is total (ties
   // break on doc id), so this selects exactly what partial_sort did.
   TopKAccumulator top_docs(cfg_.top_k);
+  // ssdse-lint: allow(unordered-iter) TopKAccumulator imposes a total order (ties break on doc id), so visit order is irrelevant
   for (const auto& [doc, s] : acc) top_docs.push(ScoredDoc{doc, s});
   out.result.docs = top_docs.take_sorted();
   out.cpu_time = cfg_.cpu_fixed +

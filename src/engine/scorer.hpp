@@ -52,7 +52,7 @@ class Scorer {
   /// utilizations back into the index (via record_utilization).
   ScoreOutcome score(IndexView& index, const Query& query) const;
 
-  const ScorerConfig& config() const { return cfg_; }
+  [[nodiscard]] const ScorerConfig& config() const { return cfg_; }
 
  private:
   ScoreOutcome score_materialized(MaterializedIndex& index,

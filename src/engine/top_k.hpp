@@ -43,7 +43,7 @@ class TopKAccumulator {
     std::push_heap(heap_.begin(), heap_.end(), better);
   }
 
-  std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Extract the retained documents best-first. Empties the
   /// accumulator; the returned vector owns its storage.

@@ -18,13 +18,13 @@ class BlockFtl final : public Ftl {
  public:
   BlockFtl(NandArray& nand, const FtlConfig& cfg = {});
 
-  Lpn logical_pages() const override { return logical_pages_; }
+  [[nodiscard]] Lpn logical_pages() const override { return logical_pages_; }
   IoResult read(Lpn lpn) override;
   IoResult write(Lpn lpn) override;
-  Micros trim(Lpn lpn) override;
-  std::string name() const override { return "block"; }
+  [[nodiscard]] Micros trim(Lpn lpn) override;
+  [[nodiscard]] std::string name() const override { return "block"; }
 
-  std::size_t free_blocks() const { return free_blocks_.size(); }
+  [[nodiscard]] std::size_t free_blocks() const { return free_blocks_.size(); }
 
  private:
   static constexpr Pbn kUnmappedB = kInvalidU32;
@@ -35,7 +35,7 @@ class BlockFtl final : public Ftl {
   Pbn alloc_block();
   /// Rewrite logical block `lbn` into a fresh physical block with page
   /// `write_offset` replaced by new data (kInvalidU32 = pure copy).
-  Micros merge_block(std::uint32_t lbn, std::uint32_t write_offset);
+  [[nodiscard]] Micros merge_block(std::uint32_t lbn, std::uint32_t write_offset);
   void check_lpn(Lpn lpn) const;
 
   FtlConfig cfg_;

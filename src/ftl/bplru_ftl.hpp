@@ -41,19 +41,19 @@ class BplruFtl final : public Ftl {
   BplruFtl(NandArray& nand, std::unique_ptr<Ftl> inner,
            const BplruConfig& cfg = {});
 
-  Lpn logical_pages() const override { return inner_->logical_pages(); }
+  [[nodiscard]] Lpn logical_pages() const override { return inner_->logical_pages(); }
   IoResult read(Lpn lpn) override;
   IoResult write(Lpn lpn) override;
-  Micros trim(Lpn lpn) override;
-  bool supports_bad_blocks() const override {
+  [[nodiscard]] Micros trim(Lpn lpn) override;
+  [[nodiscard]] bool supports_bad_blocks() const override {
     return inner_->supports_bad_blocks();
   }
-  std::string name() const override { return "bplru+" + inner_->name(); }
+  [[nodiscard]] std::string name() const override { return "bplru+" + inner_->name(); }
 
   /// Flush every buffered block (shutdown barrier).
   IoResult flush_all();
 
-  const BplruStats& bplru_stats() const { return bstats_; }
+  [[nodiscard]] const BplruStats& bplru_stats() const { return bstats_; }
   Ftl& inner() { return *inner_; }
 
  private:

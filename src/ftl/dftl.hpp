@@ -31,7 +31,7 @@ struct DftlStats {
   std::uint64_t tpage_reads = 0;
   std::uint64_t tpage_writes = 0;
 
-  double hit_ratio() const {
+  [[nodiscard]] double hit_ratio() const {
     const auto total = cmt_hits + cmt_misses;
     return total ? static_cast<double>(cmt_hits) /
                        static_cast<double>(total)
@@ -43,19 +43,19 @@ class Dftl final : public Ftl {
  public:
   Dftl(NandArray& nand, const DftlConfig& cfg = {});
 
-  Lpn logical_pages() const override { return inner_.logical_pages(); }
+  [[nodiscard]] Lpn logical_pages() const override { return inner_.logical_pages(); }
   IoResult read(Lpn lpn) override;
   IoResult write(Lpn lpn) override;
-  Micros trim(Lpn lpn) override;
+  [[nodiscard]] Micros trim(Lpn lpn) override;
   /// Data path is a PageFtl, which absorbs program failures via BBM.
-  bool supports_bad_blocks() const override { return true; }
-  std::string name() const override { return "dftl"; }
+  [[nodiscard]] bool supports_bad_blocks() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "dftl"; }
 
-  const DftlStats& dftl_stats() const { return dstats_; }
+  [[nodiscard]] const DftlStats& dftl_stats() const { return dstats_; }
 
  private:
   /// Charge the translation cost of touching `lpn`'s mapping entry.
-  Micros cmt_access(Lpn lpn, bool dirtying);
+  [[nodiscard]] Micros cmt_access(Lpn lpn, bool dirtying);
 
   DftlConfig cfg_;
   PageFtl inner_;

@@ -45,7 +45,7 @@ struct FtlStats {
                      static_cast<double>(host_writes)
                : 0.0;
   }
-  Micros mean_access() const {
+  [[nodiscard]] Micros mean_access() const {
     const auto ops = host_reads + host_writes;
     return ops ? host_busy / static_cast<double>(ops) : 0.0;
   }
@@ -61,7 +61,7 @@ class Ftl {
 
   /// Logical capacity exported to the host (< physical capacity; the
   /// rest is over-provisioning).
-  virtual Lpn logical_pages() const = 0;
+  [[nodiscard]] virtual Lpn logical_pages() const = 0;
 
   /// Read a logical page. Reading a never-written/trimmed page is legal
   /// (returns erased-pattern cost). Returns latency + status: with the
@@ -95,18 +95,18 @@ class Ftl {
 
   /// Drop a logical page (SSD TRIM): unmap and invalidate. Pure mapping
   /// work — cannot fail, so it keeps the bare-latency signature.
-  virtual Micros trim(Lpn lpn) = 0;
+  [[nodiscard]] virtual Micros trim(Lpn lpn) = 0;
 
   /// Whether this scheme tolerates program failures via grown-bad-block
   /// management. Ssd's constructor rejects configs that inject program
   /// faults into a scheme that cannot absorb them.
-  virtual bool supports_bad_blocks() const { return false; }
+  [[nodiscard]] virtual bool supports_bad_blocks() const { return false; }
 
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
-  const FtlStats& stats() const { return stats_; }
+  [[nodiscard]] const FtlStats& stats() const { return stats_; }
   NandArray& nand() { return nand_; }
-  const NandArray& nand() const { return nand_; }
+  [[nodiscard]] const NandArray& nand() const { return nand_; }
 
  protected:
   static std::uint64_t make_tag(Lpn lpn, std::uint32_t version) {

@@ -26,13 +26,13 @@ class HybridLogFtl final : public Ftl {
  public:
   HybridLogFtl(NandArray& nand, const HybridFtlConfig& cfg = {});
 
-  Lpn logical_pages() const override { return logical_pages_; }
+  [[nodiscard]] Lpn logical_pages() const override { return logical_pages_; }
   IoResult read(Lpn lpn) override;
   IoResult write(Lpn lpn) override;
-  Micros trim(Lpn lpn) override;
-  std::string name() const override { return "hybrid-log"; }
+  [[nodiscard]] Micros trim(Lpn lpn) override;
+  [[nodiscard]] std::string name() const override { return "hybrid-log"; }
 
-  std::size_t active_log_blocks() const { return log_fifo_.size(); }
+  [[nodiscard]] std::size_t active_log_blocks() const { return log_fifo_.size(); }
 
  private:
   static constexpr Pbn kUnmappedB = kInvalidU32;
@@ -43,9 +43,9 @@ class HybridLogFtl final : public Ftl {
   Pbn alloc_block();
   /// Full-merge every logical block with live pages in the oldest log
   /// block, then erase it.
-  Micros merge_oldest_log();
-  Micros full_merge(std::uint32_t lbn);
-  Micros append_to_log(Lpn lpn);
+  [[nodiscard]] Micros merge_oldest_log();
+  [[nodiscard]] Micros full_merge(std::uint32_t lbn);
+  [[nodiscard]] Micros append_to_log(Lpn lpn);
   void check_lpn(Lpn lpn) const;
 
   HybridFtlConfig cfg_;

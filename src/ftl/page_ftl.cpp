@@ -282,11 +282,10 @@ Micros PageFtl::retire_active_block(int s) {
   const auto& nc = nand_.config();
   const Pbn b = active_[s];
   // Install the replacement first so relocation programs land in a
-  // different block than the one being retired.
-  if (free_blocks_.empty()) {
-    throw std::logic_error(
-        "PageFtl: free pool exhausted retiring bad block (spares gone)");
-  }
+  // different block than the one being retired. The caller (write)
+  // checks spare availability before retiring, so the pool cannot be
+  // empty here.
+  assert(!free_blocks_.empty());
   active_[s] = pop_free_block();
   state_[active_[s]] = BState::kActive;
   cursor_[s] = 0;
@@ -331,6 +330,17 @@ IoResult PageFtl::write(Lpn lpn) {
   ++version_[lpn];
   const std::uint64_t tag = make_tag(lpn, version_[lpn]);
   for (;;) {
+    if (!can_alloc_host_page()) {
+      // Spare-pool exhaustion (ROADMAP): grown bad blocks have eaten
+      // the over-provisioning, so there is no page left to remap onto.
+      // Surface a clean kWriteFailed instead of aborting the
+      // simulation; the logical page reads as unmapped afterwards
+      // (the data never reached flash).
+      map_[lpn] = kUnmappedP;
+      io.status = IoStatus::kWriteFailed;
+      stats_.host_busy += io.latency;
+      return io;
+    }
     const Ppn dst = alloc_page(/*gc_stream=*/false);
     const IoResult pr = nand_.program_page_checked(dst, tag);
     io += pr.latency;
@@ -342,8 +352,9 @@ IoResult PageFtl::write(Lpn lpn) {
     }
     // Grown bad block: the program consumed the page but stored nothing.
     // Retire the whole active block and retry in a fresh one — the
-    // failure never surfaces to the host.
+    // failure never surfaces to the host while spares remain.
     ++stats_.program_failures;
+    if (free_blocks_.empty()) continue;  // next loop surfaces the failure
     io += retire_active_block(/*s=*/0);  // program faults hit the host stream
     ++stats_.remapped_writes;
   }

@@ -16,18 +16,18 @@ class PageFtl final : public Ftl {
  public:
   PageFtl(NandArray& nand, const FtlConfig& cfg = {});
 
-  Lpn logical_pages() const override { return logical_pages_; }
+  [[nodiscard]] Lpn logical_pages() const override { return logical_pages_; }
   IoResult read(Lpn lpn) override;
   IoResult read_run(Lpn first, std::uint64_t count) override;
   IoResult write_run(Lpn first, std::uint64_t count) override;
   IoResult write(Lpn lpn) override;
-  Micros trim(Lpn lpn) override;
+  [[nodiscard]] Micros trim(Lpn lpn) override;
   /// Program failures are absorbed by grown-bad-block retirement +
   /// remap; the host write always succeeds (until spares exhaust).
-  bool supports_bad_blocks() const override { return true; }
-  std::string name() const override { return "page"; }
+  [[nodiscard]] bool supports_bad_blocks() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "page"; }
 
-  std::size_t free_blocks() const { return free_blocks_.size(); }
+  [[nodiscard]] std::size_t free_blocks() const { return free_blocks_.size(); }
 
  private:
   static constexpr Ppn kUnmappedP = ~0ull;
@@ -38,16 +38,23 @@ class PageFtl final : public Ftl {
 
   /// Run GC until the free pool is back above the watermark. Returns the
   /// accumulated latency (charged to the triggering host write).
-  Micros collect_garbage();
-  Micros gc_once();
+  [[nodiscard]] Micros collect_garbage();
+  [[nodiscard]] Micros gc_once();
   /// Grown-bad-block handling: retire stream `s`'s active block after a
   /// program failure — install a fresh active block, relocate the dying
   /// block's valid pages onto the GC stream, erase it once, and mark it
   /// kBad (never returned to the free pool). Returns the latency.
-  Micros retire_active_block(int s);
+  [[nodiscard]] Micros retire_active_block(int s);
   /// Allocate the next physical page on the given stream, pulling a new
   /// active block from the free pool when the current one fills.
   Ppn alloc_page(bool gc_stream);
+  /// Can the host stream allocate another page without violating the
+  /// free-pool invariant? False only when the active block is full and
+  /// the spare pool is exhausted (grown bad blocks ate it).
+  [[nodiscard]] bool can_alloc_host_page() const {
+    return cursor_[0] < nand_.config().pages_per_block ||
+           !free_blocks_.empty();
+  }
   Pbn pop_free_block();
   void push_free_block(Pbn b);
   void invalidate(Ppn ppn);

@@ -55,31 +55,31 @@ class SearchCluster {
   /// to run() — including all metrics — just faster on multicore hosts.
   void run_parallel(std::uint64_t n);
 
-  std::uint32_t num_shards() const {
+  [[nodiscard]] std::uint32_t num_shards() const {
     return static_cast<std::uint32_t>(shards_.size());
   }
   SearchSystem& shard(std::size_t i) { return *shards_[i]; }
-  const RunMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
 
   /// Fleet-wide telemetry: every shard's registry snapshot merged
   /// (counters sum, gauges become per-shard sample distributions,
   /// histograms merge bucket-wise).
-  telemetry::RegistrySnapshot telemetry_snapshot() const;
+  [[nodiscard]] telemetry::RegistrySnapshot telemetry_snapshot() const;
 
   /// Cluster throughput: every shard must execute every query
   /// (broadcast), so the fleet saturates at the *slowest* shard's
   /// aggregate work rate.
-  double throughput_qps() const;
+  [[nodiscard]] double throughput_qps() const;
 
   /// Shared query generator (shards see the same broadcast stream).
   QueryLogGenerator& generator() { return *gen_; }
 
   /// Broker-side tracing (kBrokerMerge spans) and counters
   /// (cluster.broker.queries, cluster.shards.dropped).
-  const telemetry::QueryTracer& broker_tracer() const {
+  [[nodiscard]] const telemetry::QueryTracer& broker_tracer() const {
     return broker_tracer_;
   }
-  const telemetry::MetricsRegistry& broker_registry() const {
+  [[nodiscard]] const telemetry::MetricsRegistry& broker_registry() const {
     return broker_registry_;
   }
 

@@ -53,11 +53,11 @@ struct WarmRestartReport {
 
   /// How far the recovered system's early window sits below the
   /// pre-restart steady state (the acceptance bar is <= 0.05).
-  double warm_vs_steady_gap() const {
+  [[nodiscard]] double warm_vs_steady_gap() const {
     return steady_hit_ratio - warm_hit_ratio;
   }
   /// How much of the cold-start cliff the warm restart recovered.
-  double warm_vs_cold_gain() const {
+  [[nodiscard]] double warm_vs_cold_gain() const {
     return warm_hit_ratio - cold_hit_ratio;
   }
 };
@@ -66,10 +66,10 @@ class RunMetrics {
  public:
   void record(Situation s, Micros response);
 
-  std::uint64_t queries() const { return responses_.count(); }
-  Micros mean_response() const { return responses_.mean(); }
-  const StreamingStats& responses() const { return responses_; }
-  const LatencyHistogram& histogram() const { return hist_; }
+  [[nodiscard]] std::uint64_t queries() const { return responses_.count(); }
+  [[nodiscard]] Micros mean_response() const { return responses_.mean(); }
+  [[nodiscard]] const StreamingStats& responses() const { return responses_; }
+  [[nodiscard]] const LatencyHistogram& histogram() const { return hist_; }
 
   std::uint64_t situation_count(Situation s) const {
     return counts_[static_cast<std::size_t>(s)];
@@ -78,11 +78,11 @@ class RunMetrics {
   Micros situation_mean_time(Situation s) const;
 
   /// Foreground time only; see throughput_qps for the full accounting.
-  Micros total_response_time() const { return responses_.sum(); }
+  [[nodiscard]] Micros total_response_time() const { return responses_.sum(); }
 
   /// Query-level cache hit ratio: fraction of queries answered without
   /// touching the HDD index store — i.e. situations S1-S5 of Table I.
-  double cache_served_fraction() const;
+  [[nodiscard]] double cache_served_fraction() const;
 
   /// Data-request coverage (the Fig. 14 metric): every query implies one
   /// result request plus one request per term; a result-cache hit covers
@@ -92,7 +92,7 @@ class RunMetrics {
     covered_requests_ += covered;
     implied_requests_ += implied;
   }
-  double request_coverage() const {
+  [[nodiscard]] double request_coverage() const {
     return implied_requests_
                ? static_cast<double>(covered_requests_) /
                      static_cast<double>(implied_requests_)

@@ -248,7 +248,14 @@ void SearchSystem::format_index_ssd() {
   const Lpn pages =
       std::min<Lpn>((index_->layout().total_bytes() + page - 1) / page,
                     index_ssd_->logical_pages());
-  index_ssd_->write_pages(0, pages);
+  // Formatting happens before any traffic; a program failure here means
+  // the flash index store is unusable from the start, so surface it
+  // instead of silently serving an unformatted device.
+  const IoResult io = index_ssd_->write_pages(0, pages);
+  if (io.status == IoStatus::kWriteFailed) {
+    throw std::runtime_error(
+        "SearchSystem: index SSD format failed (program failure)");
+  }
   index_ssd_->reset_stats();
 }
 

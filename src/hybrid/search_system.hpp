@@ -43,20 +43,20 @@ class SearchSystem {
   /// Pull `n` queries from the internal generator and execute them.
   void run(std::uint64_t n);
 
-  const RunMetrics& metrics() const { return metrics_; }
-  double throughput_qps() const {
+  [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] double throughput_qps() const {
     return metrics_.throughput_qps(cm_->stats().background_flash_time);
   }
-  Micros background_flash_time() const {
+  [[nodiscard]] Micros background_flash_time() const {
     return cm_->stats().background_flash_time;
   }
 
   CacheManager& cache_manager() { return *cm_; }
-  const CacheManager& cache_manager() const { return *cm_; }
+  [[nodiscard]] const CacheManager& cache_manager() const { return *cm_; }
   IndexView& index() { return *index_; }
   QueryLogGenerator& generator() { return *gen_; }
   Ssd* cache_ssd() { return cache_ssd_.get(); }
-  const Ssd* cache_ssd() const { return cache_ssd_.get(); }
+  [[nodiscard]] const Ssd* cache_ssd() const { return cache_ssd_.get(); }
   HddModel& hdd() { return *hdd_; }
   StorageDevice& index_store() {
     if (index_on_ssd_) return *index_ssd_;
@@ -65,17 +65,17 @@ class SearchSystem {
   }
   /// Fault decorator on the HDD index store; null unless
   /// cfg.hdd_faults.armed().
-  const FaultyDevice* faulty_hdd() const { return faulty_hdd_.get(); }
-  const SystemConfig& config() const { return cfg_; }
-  const std::optional<LogAnalysis>& log_analysis() const { return analysis_; }
+  [[nodiscard]] const FaultyDevice* faulty_hdd() const { return faulty_hdd_.get(); }
+  [[nodiscard]] const SystemConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::optional<LogAnalysis>& log_analysis() const { return analysis_; }
 
   /// Every stats struct in the system, registered under hierarchical
   /// names (cache.*, ssd.cache.*, query.*, trace.*, index.*).
-  const telemetry::MetricsRegistry& telemetry_registry() const {
+  [[nodiscard]] const telemetry::MetricsRegistry& telemetry_registry() const {
     return registry_;
   }
   telemetry::MetricsRegistry& telemetry_registry() { return registry_; }
-  const telemetry::QueryTracer& tracer() const { return tracer_; }
+  [[nodiscard]] const telemetry::QueryTracer& tracer() const { return tracer_; }
   telemetry::QueryTracer& tracer() { return tracer_; }
   /// Runtime switch; has no effect when spans are compiled out
   /// (SSDSE_TRACING=0).
@@ -88,9 +88,9 @@ class SearchSystem {
   /// and reset the journal. No-op (false) when recovery is disabled.
   bool checkpoint();
   /// Whether this system came up warm from recovered metadata.
-  bool warm_started() const { return warm_started_; }
+  [[nodiscard]] bool warm_started() const { return warm_started_; }
   /// Recovery accounting; null when recovery is disabled.
-  const recovery::RecoveryStats* recovery_stats() const {
+  [[nodiscard]] const recovery::RecoveryStats* recovery_stats() const {
     return persistence_ ? &persistence_->stats() : nullptr;
   }
 

@@ -45,7 +45,7 @@ class PostingCodec {
  public:
   virtual ~PostingCodec() = default;
 
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
   /// Encode postings (frequency-sorted order preserved).
   virtual std::vector<std::uint8_t> encode(
@@ -68,7 +68,7 @@ class PostingCodec {
 /// Fixed-width 8 B/posting (doc id + tf, uncompressed).
 class RawCodec final : public PostingCodec {
  public:
-  std::string name() const override { return "raw"; }
+  [[nodiscard]] std::string name() const override { return "raw"; }
   std::vector<std::uint8_t> encode(
       std::span<const Posting> postings) const override;
   std::vector<Posting> decode(
@@ -80,7 +80,7 @@ class RawCodec final : public PostingCodec {
 /// LEB128 varint: doc ids raw-varint, tf's as non-increasing deltas.
 class VarintCodec final : public PostingCodec {
  public:
-  std::string name() const override { return "varint"; }
+  [[nodiscard]] std::string name() const override { return "varint"; }
   std::vector<std::uint8_t> encode(
       std::span<const Posting> postings) const override;
   std::vector<Posting> decode(
@@ -92,7 +92,7 @@ class VarintCodec final : public PostingCodec {
 /// Group varint: groups of 4 values with a 1-byte length selector.
 class GroupVarintCodec final : public PostingCodec {
  public:
-  std::string name() const override { return "group-varint"; }
+  [[nodiscard]] std::string name() const override { return "group-varint"; }
   std::vector<std::uint8_t> encode(
       std::span<const Posting> postings) const override;
   std::vector<Posting> decode(

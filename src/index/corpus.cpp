@@ -12,6 +12,7 @@
 namespace ssdse {
 
 TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
+  // ssdse-lint: allow(nondeterminism) wall-clock build-time telemetry only; never enters simulated state
   const auto t0 = std::chrono::steady_clock::now();
   df_.resize(cfg.vocab_size);
   list_bytes_.resize(cfg.vocab_size);
@@ -62,6 +63,7 @@ TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
   }
   build_wall_ms_ =
       std::chrono::duration<double, std::milli>(
+          // ssdse-lint: allow(nondeterminism) wall-clock build-time telemetry only
           std::chrono::steady_clock::now() - t0)
           .count();
 }

@@ -43,9 +43,9 @@ class TermStatsModel {
  public:
   explicit TermStatsModel(const CorpusConfig& cfg);
 
-  std::uint32_t vocab_size() const { return static_cast<std::uint32_t>(df_.size()); }
-  std::uint64_t num_docs() const { return cfg_.num_docs; }
-  const CorpusConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint32_t vocab_size() const { return static_cast<std::uint32_t>(df_.size()); }
+  [[nodiscard]] std::uint64_t num_docs() const { return cfg_.num_docs; }
+  [[nodiscard]] const CorpusConfig& config() const { return cfg_; }
 
   /// Document frequency of the term with popularity rank == id (term ids
   /// are assigned in rank order: id 0 is the most frequent term).
@@ -54,11 +54,11 @@ class TermStatsModel {
   Bytes list_bytes(TermId t) const { return list_bytes_[t]; }
   /// Modelled utilization rate in (0, 1].
   double utilization(TermId t) const { return pu_[t]; }
-  std::uint64_t total_postings() const { return total_postings_; }
+  [[nodiscard]] std::uint64_t total_postings() const { return total_postings_; }
 
   /// Wall-clock time the constructor took (exposed as the telemetry
   /// gauge `index.model.build_ms`).
-  double build_wall_ms() const { return build_wall_ms_; }
+  [[nodiscard]] double build_wall_ms() const { return build_wall_ms_; }
 
  private:
   CorpusConfig cfg_;
@@ -74,9 +74,9 @@ class MaterializedCorpus {
  public:
   MaterializedCorpus(const CorpusConfig& cfg, Rng& rng);
 
-  std::uint64_t num_docs() const { return docs_.size(); }
-  std::uint32_t vocab_size() const { return cfg_.vocab_size; }
-  const CorpusConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t num_docs() const { return docs_.size(); }
+  [[nodiscard]] std::uint32_t vocab_size() const { return cfg_.vocab_size; }
+  [[nodiscard]] const CorpusConfig& config() const { return cfg_; }
 
   /// (term, tf) pairs of one document.
   const std::vector<std::pair<TermId, std::uint32_t>>& doc(DocId d) const {

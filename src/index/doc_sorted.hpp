@@ -40,14 +40,14 @@ class DocSortedView {
         skip_interval_(skip_interval),
         idf_(idf) {}
 
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
   const Posting& operator[](std::size_t i) const { return postings_[i]; }
-  std::span<const Posting> postings() const { return {postings_, size_}; }
-  std::span<const SkipEntry> skips() const { return {skips_, num_skips_}; }
-  std::uint32_t skip_interval() const { return skip_interval_; }
+  [[nodiscard]] std::span<const Posting> postings() const { return {postings_, size_}; }
+  [[nodiscard]] std::span<const SkipEntry> skips() const { return {skips_, num_skips_}; }
+  [[nodiscard]] std::uint32_t skip_interval() const { return skip_interval_; }
   /// Smoothed idf used by the DAAT scorer: log(1 + N / (df + 1)).
-  double idf() const { return idf_; }
+  [[nodiscard]] double idf() const { return idf_; }
 
   /// Smallest index i >= `from` with doc id >= `target`, or size() if
   /// none. Skip table first, then a scan; `skips_used` accumulates the
@@ -90,8 +90,8 @@ class DocSortedStore {
         idf_[t]);
   }
 
-  std::size_t num_terms() const { return idf_.size(); }
-  std::size_t total_postings() const { return postings_.size(); }
+  [[nodiscard]] std::size_t num_terms() const { return idf_.size(); }
+  [[nodiscard]] std::size_t total_postings() const { return postings_.size(); }
 
  private:
   std::vector<Posting> postings_;        // arena: all terms, doc-ascending

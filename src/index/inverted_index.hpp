@@ -34,10 +34,10 @@ class IndexView {
  public:
   virtual ~IndexView() = default;
 
-  virtual std::uint64_t num_docs() const = 0;
-  virtual std::uint32_t vocab_size() const = 0;
+  [[nodiscard]] virtual std::uint64_t num_docs() const = 0;
+  [[nodiscard]] virtual std::uint32_t vocab_size() const = 0;
   virtual TermMeta term_meta(TermId t) const = 0;
-  virtual const IndexLayout& layout() const = 0;
+  [[nodiscard]] virtual const IndexLayout& layout() const = 0;
 
   /// Materialized postings, or nullptr for analytic indexes.
   virtual const PostingList* postings(TermId /*t*/) const { return nullptr; }
@@ -73,12 +73,12 @@ class AnalyticIndex final : public IndexView {
  public:
   explicit AnalyticIndex(const CorpusConfig& cfg);
 
-  std::uint64_t num_docs() const override { return model_.num_docs(); }
-  std::uint32_t vocab_size() const override { return model_.vocab_size(); }
+  [[nodiscard]] std::uint64_t num_docs() const override { return model_.num_docs(); }
+  [[nodiscard]] std::uint32_t vocab_size() const override { return model_.vocab_size(); }
   TermMeta term_meta(TermId t) const override;
-  const IndexLayout& layout() const override { return layout_; }
+  [[nodiscard]] const IndexLayout& layout() const override { return layout_; }
 
-  const TermStatsModel& model() const { return model_; }
+  [[nodiscard]] const TermStatsModel& model() const { return model_; }
 
  private:
   TermStatsModel model_;
@@ -96,18 +96,18 @@ class MaterializedIndex final : public IndexView {
   /// (actual encoded bytes, not a model).
   explicit MaterializedIndex(const MaterializedCorpus& corpus);
 
-  std::uint64_t num_docs() const override { return num_docs_; }
-  std::uint32_t vocab_size() const override {
+  [[nodiscard]] std::uint64_t num_docs() const override { return num_docs_; }
+  [[nodiscard]] std::uint32_t vocab_size() const override {
     return static_cast<std::uint32_t>(lists_.size());
   }
   TermMeta term_meta(TermId t) const override;
-  const IndexLayout& layout() const override { return layout_; }
+  [[nodiscard]] const IndexLayout& layout() const override { return layout_; }
   const PostingList* postings(TermId t) const override { return &lists_[t]; }
 
   /// Borrow the precomputed doc-sorted projection of a term's list
   /// (immutable arena slice; no copy, no sort — DESIGN.md §8).
   DocSortedView doc_sorted(TermId t) const { return doc_sorted_.view(t); }
-  const DocSortedStore& doc_sorted_store() const { return doc_sorted_; }
+  [[nodiscard]] const DocSortedStore& doc_sorted_store() const { return doc_sorted_; }
 
   /// Called by the scorer after processing a list; keeps a running mean
   /// utilization per term (the paper's "computing during the process of

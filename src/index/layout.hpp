@@ -14,8 +14,8 @@ struct Extent {
   Bytes offset = 0;  // byte offset on the device
   Bytes length = 0;
 
-  Lba lba() const { return offset / kSectorSize; }
-  Bytes sectors() const { return bytes_to_sectors(length); }
+  [[nodiscard]] Lba lba() const { return offset / kSectorSize; }
+  [[nodiscard]] Bytes sectors() const { return bytes_to_sectors(length); }
 };
 
 class IndexLayout {
@@ -28,8 +28,8 @@ class IndexLayout {
                        Bytes align_bytes = 4 * KiB, Bytes base_offset = 0);
 
   const Extent& extent(TermId t) const { return extents_[t]; }
-  std::size_t terms() const { return extents_.size(); }
-  Bytes total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::size_t terms() const { return extents_.size(); }
+  [[nodiscard]] Bytes total_bytes() const { return total_bytes_; }
 
   /// Byte range of a *prefix* of the list (frequency-sorted lists are
   /// read from the front).

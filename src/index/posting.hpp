@@ -34,10 +34,10 @@ class PostingList {
   explicit PostingList(std::vector<Posting> postings,
                        std::uint32_t skip_interval = 128);
 
-  std::size_t size() const { return postings_.size(); }
-  bool empty() const { return postings_.empty(); }
-  Bytes bytes() const { return size() * kPostingBytes; }
-  std::span<const Posting> postings() const { return postings_; }
+  [[nodiscard]] std::size_t size() const { return postings_.size(); }
+  [[nodiscard]] bool empty() const { return postings_.empty(); }
+  [[nodiscard]] Bytes bytes() const { return size() * kPostingBytes; }
+  [[nodiscard]] std::span<const Posting> postings() const { return postings_; }
   const Posting& operator[](std::size_t i) const { return postings_[i]; }
 
   /// Prefix holding the `fraction` highest-tf postings (>= 1 posting for
@@ -46,8 +46,8 @@ class PostingList {
 
   /// Skip table: indices into the list every `skip_interval` postings,
   /// modelling Lucene's multi-level skip data (flattened to one level).
-  std::span<const std::uint32_t> skips() const { return skips_; }
-  std::uint32_t skip_interval() const { return skip_interval_; }
+  [[nodiscard]] std::span<const std::uint32_t> skips() const { return skips_; }
+  [[nodiscard]] std::uint32_t skip_interval() const { return skip_interval_; }
 
   /// First index whose tf < threshold (the early-termination frontier);
   /// postings_ is tf-descending so this is a binary search.

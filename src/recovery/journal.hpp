@@ -34,8 +34,8 @@ class JournalWriter {
   /// Truncate to empty (after a successful snapshot folds the records).
   void reset();
 
-  Bytes bytes_written() const { return offset_; }
-  const std::string& path() const { return path_; }
+  [[nodiscard]] Bytes bytes_written() const { return offset_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   std::string path_;

@@ -118,6 +118,7 @@ std::string PersistenceManager::journal_path() const {
 }
 
 std::optional<CacheImage> PersistenceManager::recover() {
+  // ssdse-lint: allow(nondeterminism) wall-clock recovery-duration telemetry; not simulated time
   const auto begin = std::chrono::steady_clock::now();
   stats_.attempted = true;
 
@@ -155,6 +156,7 @@ std::optional<CacheImage> PersistenceManager::recover() {
   // prefix (or a fresh file on cold start).
   journal_ = std::make_unique<JournalWriter>(journal_path());
 
+  // ssdse-lint: allow(nondeterminism) wall-clock recovery-duration telemetry; not simulated time
   const auto end = std::chrono::steady_clock::now();
   stats_.recovery_wall_ms =
       std::chrono::duration<double, std::milli>(end - begin).count();

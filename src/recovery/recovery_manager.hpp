@@ -70,9 +70,9 @@ class PersistenceManager final : public CacheJournalSink {
 
   void note_restore_flash_time(Micros t) { stats_.restore_flash_time = t; }
 
-  const RecoveryStats& stats() const { return stats_; }
-  std::string snapshot_path() const;
-  std::string journal_path() const;
+  [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
+  [[nodiscard]] std::string snapshot_path() const;
+  [[nodiscard]] std::string journal_path() const;
 
  private:
   std::string dir_;

@@ -51,7 +51,7 @@ class ByteWriter {
   void f32(float v);
   void bytes(const void* data, std::size_t len);
 
-  const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
 
  private:
@@ -71,9 +71,9 @@ class ByteReader {
   std::uint64_t u64();
   float f32();
 
-  bool ok() const { return ok_; }
-  bool at_end() const { return pos_ == size_; }
-  std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
  private:
   bool take(std::size_t n, const std::uint8_t** out);

@@ -25,26 +25,26 @@ class Ssd final : public StorageDevice {
   IoResult read(Lba lba, std::uint32_t sectors) override;
   IoResult write(Lba lba, std::uint32_t sectors) override;
   IoResult trim(Lba lba, std::uint64_t sectors) override;
-  Bytes capacity_bytes() const override;
+  [[nodiscard]] Bytes capacity_bytes() const override;
 
   /// Page-granular access (used by the cache layer, which thinks in
   /// flash pages/blocks). TRIM is pure mapping work and cannot fail.
   IoResult read_pages(Lpn first, std::uint64_t count);
   IoResult write_pages(Lpn first, std::uint64_t count);
-  Micros trim_pages(Lpn first, std::uint64_t count);
+  [[nodiscard]] Micros trim_pages(Lpn first, std::uint64_t count);
 
-  Lpn logical_pages() const { return ftl_->logical_pages(); }
-  std::uint32_t sectors_per_page() const { return sectors_per_page_; }
-  std::uint64_t block_erases() const { return nand_.stats().block_erases; }
+  [[nodiscard]] Lpn logical_pages() const { return ftl_->logical_pages(); }
+  [[nodiscard]] std::uint32_t sectors_per_page() const { return sectors_per_page_; }
+  [[nodiscard]] std::uint64_t block_erases() const { return nand_.stats().block_erases; }
 
-  const NandArray& nand() const { return nand_; }
+  [[nodiscard]] const NandArray& nand() const { return nand_; }
   Ftl& ftl() { return *ftl_; }
-  const Ftl& ftl() const { return *ftl_; }
-  const SsdConfig& config() const { return cfg_; }
+  [[nodiscard]] const Ftl& ftl() const { return *ftl_; }
+  [[nodiscard]] const SsdConfig& config() const { return cfg_; }
 
   /// Mean host access latency inside the SSD so far (Fig. 19b metric):
   /// FTL-charged busy time / host ops, GC stalls included.
-  Micros mean_flash_access() const { return ftl_->stats().mean_access(); }
+  [[nodiscard]] Micros mean_flash_access() const { return ftl_->stats().mean_access(); }
 
   /// Endurance: fraction of the rated erase budget consumed on average
   /// (the paper's lifetime concern: "in some cases less than one year").

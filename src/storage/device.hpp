@@ -21,9 +21,9 @@ struct DeviceStats {
   Micros busy_read = 0;
   Micros busy_write = 0;
 
-  Micros busy_total() const { return busy_read + busy_write; }
-  std::uint64_t ops_total() const { return read_ops + write_ops; }
-  Micros mean_access() const {
+  [[nodiscard]] Micros busy_total() const { return busy_read + busy_write; }
+  [[nodiscard]] std::uint64_t ops_total() const { return read_ops + write_ops; }
+  [[nodiscard]] Micros mean_access() const {
     return ops_total() ? busy_total() / static_cast<double>(ops_total()) : 0;
   }
 };
@@ -41,13 +41,13 @@ class StorageDevice {
   /// TRIM a sector range (no-op unless the device supports it).
   virtual IoResult trim(Lba /*lba*/, std::uint64_t /*sectors*/) { return {}; }
 
-  virtual Bytes capacity_bytes() const = 0;
+  [[nodiscard]] virtual Bytes capacity_bytes() const = 0;
 
-  const DeviceStats& stats() const { return stats_; }
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
   void reset_stats() { stats_ = DeviceStats{}; }
 
   TraceCollector& collector() { return collector_; }
-  const TraceCollector& collector() const { return collector_; }
+  [[nodiscard]] const TraceCollector& collector() const { return collector_; }
 
  protected:
   /// Shared accounting + tracing helper for subclasses. `now` is the

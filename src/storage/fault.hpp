@@ -30,7 +30,7 @@ struct NandFaultConfig {
   std::uint32_t retry_ladder_steps = 3;  // max ECC re-reads per page
   std::uint64_t seed = 0x5eed'fa17ull;
 
-  bool armed() const {
+  [[nodiscard]] bool armed() const {
     return read_transient_rate > 0 || read_unc_rate > 0 ||
            program_fail_rate > 0;
   }
@@ -70,7 +70,7 @@ class NandFaultModel {
     return rng_.chance(cfg_.program_fail_rate);
   }
 
-  const NandFaultConfig& config() const { return cfg_; }
+  [[nodiscard]] const NandFaultConfig& config() const { return cfg_; }
 
  private:
   NandFaultConfig cfg_;
@@ -88,7 +88,7 @@ struct FaultPlan {
   Micros spike_latency = 50'000;   // added on a latency spike
   std::uint64_t seed = 0xdeadull;
 
-  bool armed() const {
+  [[nodiscard]] bool armed() const {
     return read_unc_rate > 0 || read_transient_rate > 0 ||
            write_fail_rate > 0 || latency_spike_rate > 0;
   }
@@ -115,10 +115,10 @@ class FaultyDevice final : public StorageDevice {
   IoResult trim(Lba lba, std::uint64_t sectors) override {
     return inner_.trim(lba, sectors);
   }
-  Bytes capacity_bytes() const override { return inner_.capacity_bytes(); }
+  [[nodiscard]] Bytes capacity_bytes() const override { return inner_.capacity_bytes(); }
 
-  const FaultPlan& plan() const { return plan_; }
-  const FaultyDeviceStats& fault_stats() const { return fstats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultyDeviceStats& fault_stats() const { return fstats_; }
   StorageDevice& inner() { return inner_; }
 
  private:

@@ -25,17 +25,17 @@ class HddModel final : public StorageDevice {
 
   IoResult read(Lba lba, std::uint32_t sectors) override;
   IoResult write(Lba lba, std::uint32_t sectors) override;
-  Bytes capacity_bytes() const override { return cfg_.capacity; }
+  [[nodiscard]] Bytes capacity_bytes() const override { return cfg_.capacity; }
 
-  const HddConfig& config() const { return cfg_; }
+  [[nodiscard]] const HddConfig& config() const { return cfg_; }
 
   /// Deterministic expected latency for planning/tests: seek for the
   /// given distance + average rotational delay + transfer.
-  Micros expected_latency(Lba from, Lba to, std::uint32_t sectors) const;
+  [[nodiscard]] Micros expected_latency(Lba from, Lba to, std::uint32_t sectors) const;
 
  private:
-  Micros service(IoOp op, Lba lba, std::uint32_t sectors);
-  Micros seek_time(Lba from, Lba to) const;
+  [[nodiscard]] Micros service(IoOp op, Lba lba, std::uint32_t sectors);
+  [[nodiscard]] Micros seek_time(Lba from, Lba to) const;
 
   HddConfig cfg_;
   Lba head_ = 0;        // sector under the head (end of last transfer)

@@ -5,7 +5,9 @@
 // (DESIGN.md §10). There is deliberately no implicit conversion to
 // Micros: when an API migrates from `Micros` to `IoResult` the compiler
 // enumerates every call site, and each one either handles the status or
-// visibly discards it via `.latency`.
+// visibly discards it via `.latency`. The type itself is [[nodiscard]],
+// so a silently dropped result is a warning everywhere and a hard error
+// under -DSSDSE_WERROR=ON (DESIGN.md §11).
 #pragma once
 
 #include <cstdint>
@@ -14,7 +16,7 @@
 
 namespace ssdse {
 
-enum class IoStatus : std::uint8_t {
+enum class [[nodiscard]] IoStatus : std::uint8_t {
   kOk = 0,            // clean success
   kRetried,           // success after ECC read-retry (extra latency)
   kUncorrectable,     // read failed beyond the retry ladder; no data
@@ -31,13 +33,13 @@ inline const char* to_string(IoStatus s) {
   return "?";
 }
 
-struct IoResult {
+struct [[nodiscard]] IoResult {
   Micros latency = 0;
   IoStatus status = IoStatus::kOk;
   std::uint32_t retries = 0;  // ECC retry-ladder steps consumed
 
   /// Data (or the write) was delivered, possibly after retries.
-  bool ok() const { return status <= IoStatus::kRetried; }
+  [[nodiscard]] bool ok() const { return status <= IoStatus::kRetried; }
 
   /// Merge a sub-operation: latencies and retries add, the most severe
   /// status wins (enum order is severity order).

@@ -26,13 +26,13 @@ struct NandConfig {
   Micros block_erase = 1500.0;          // Table III
   NandFaultConfig fault;                // DESIGN.md §10; inert by default
 
-  Bytes block_bytes() const {
+  [[nodiscard]] Bytes block_bytes() const {
     return static_cast<Bytes>(page_bytes) * pages_per_block;
   }
-  std::uint64_t total_pages() const {
+  [[nodiscard]] std::uint64_t total_pages() const {
     return static_cast<std::uint64_t>(num_blocks) * pages_per_block;
   }
-  Bytes capacity_bytes() const {
+  [[nodiscard]] Bytes capacity_bytes() const {
     return static_cast<Bytes>(num_blocks) * block_bytes();
   }
 };
@@ -59,14 +59,14 @@ class NandArray {
  public:
   explicit NandArray(const NandConfig& cfg = {});
 
-  const NandConfig& config() const { return cfg_; }
-  const NandStats& stats() const { return stats_; }
-  const NandFaultModel& fault_model() const { return fault_; }
+  [[nodiscard]] const NandConfig& config() const { return cfg_; }
+  [[nodiscard]] const NandStats& stats() const { return stats_; }
+  [[nodiscard]] const NandFaultModel& fault_model() const { return fault_; }
 
   /// Read one page; returns latency. `tag_out` receives the stored host
   /// tag (kNandFreeTag if the page is erased). Inline: FTLs issue one
   /// call per page and the simulator's throughput is bounded by it.
-  Micros read_page(Ppn ppn, std::uint64_t* tag_out = nullptr) {
+  [[nodiscard]] Micros read_page(Ppn ppn, std::uint64_t* tag_out = nullptr) {
     if (ppn >= tags_.size()) throw_ppn_range("read_page", ppn);
     if (tag_out) *tag_out = tags_[ppn];
     ++stats_.page_reads;
@@ -76,7 +76,7 @@ class NandArray {
 
   /// Program one page with a host tag. Throws std::logic_error if the
   /// page is not erased or programming is out of order within the block.
-  Micros program_page(Ppn ppn, std::uint64_t tag) {
+  [[nodiscard]] Micros program_page(Ppn ppn, std::uint64_t tag) {
     if (ppn >= tags_.size()) throw_ppn_range("program_page", ppn);
     const Pbn blk = block_of(ppn);
     const std::uint32_t pib = page_in_block(ppn);
@@ -127,12 +127,12 @@ class NandArray {
   }
 
   /// Erase a whole block; increments its wear counter.
-  Micros erase_block(Pbn block);
+  [[nodiscard]] Micros erase_block(Pbn block);
 
   bool is_erased(Ppn ppn) const;
   std::uint32_t erase_count(Pbn block) const { return wear_[block]; }
-  std::uint32_t max_erase_count() const;
-  double mean_erase_count() const;
+  [[nodiscard]] std::uint32_t max_erase_count() const;
+  [[nodiscard]] double mean_erase_count() const;
 
   Pbn block_of(Ppn ppn) const {
     return static_cast<Pbn>(ppn / cfg_.pages_per_block);

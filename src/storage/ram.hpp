@@ -19,14 +19,14 @@ class RamDevice final : public StorageDevice {
 
   IoResult read(Lba lba, std::uint32_t sectors) override;
   IoResult write(Lba lba, std::uint32_t sectors) override;
-  Bytes capacity_bytes() const override { return cfg_.capacity; }
+  [[nodiscard]] Bytes capacity_bytes() const override { return cfg_.capacity; }
 
   /// Cost of touching `bytes` of resident data (no LBA semantics),
   /// usable without an address space.
-  Micros access_cost(Bytes bytes) const;
+  [[nodiscard]] Micros access_cost(Bytes bytes) const;
 
  private:
-  Micros service(IoOp op, Lba lba, std::uint32_t sectors);
+  [[nodiscard]] Micros service(IoOp op, Lba lba, std::uint32_t sectors);
   RamConfig cfg_;
   Micros us_per_byte_;
 };

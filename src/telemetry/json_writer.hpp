@@ -34,7 +34,7 @@ class JsonWriter {
   void value(const std::string& v);
   void value(const char* v) { value(std::string(v)); }
 
-  const std::string& str() const { return out_; }
+  [[nodiscard]] const std::string& str() const { return out_; }
 
  private:
   void maybe_comma();

@@ -49,7 +49,7 @@ class RegistrySnapshot {
 
   const MetricSnapshot* find(const std::string& name) const;
 
-  const std::vector<MetricSnapshot>& metrics() const { return metrics_; }
+  [[nodiscard]] const std::vector<MetricSnapshot>& metrics() const { return metrics_; }
 
  private:
   friend class MetricsRegistry;
@@ -81,10 +81,10 @@ class MetricsRegistry {
   /// (`name.mean`, `name.max`) plus a `name.count` counter.
   void stats(const std::string& name, const StreamingStats* source);
 
-  std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
   /// Read every registered metric. Sorted by name.
-  RegistrySnapshot snapshot() const;
+  [[nodiscard]] RegistrySnapshot snapshot() const;
 
  private:
   struct Entry {

@@ -65,7 +65,7 @@ class QueryTracer {
   explicit QueryTracer(std::size_t ring_capacity = 1024);
 
   void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
 
   void begin_query(QueryId qid);
 
@@ -78,7 +78,7 @@ class QueryTracer {
   /// trace into the ring buffer.
   void end_query(Micros total);
 
-  std::uint64_t queries_traced() const { return traced_; }
+  [[nodiscard]] std::uint64_t queries_traced() const { return traced_; }
 
   const LatencyHistogram& stage_hist(TraceStage s) const {
     return hists_[static_cast<std::size_t>(s)];
@@ -88,7 +88,7 @@ class QueryTracer {
   }
 
   /// Ring contents, oldest first. At most `ring_capacity` traces.
-  std::vector<QueryTrace> recent() const;
+  [[nodiscard]] std::vector<QueryTrace> recent() const;
 
   /// Fold another tracer's per-stage aggregates into this one
   /// (cross-shard report). Ring buffers are per-shard and not merged.

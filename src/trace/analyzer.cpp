@@ -55,6 +55,7 @@ TraceCharacteristics TraceAnalyzer::analyze(
   std::vector<std::uint64_t> counts;
   counts.reserve(granule_hits.size());
   std::uint64_t total_hits = 0;
+  // ssdse-lint: allow(unordered-iter) counts are sorted immediately below; sum is order-insensitive
   for (const auto& [g, cnt] : granule_hits) {
     counts.push_back(cnt);
     total_hits += cnt;

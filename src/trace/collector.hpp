@@ -18,7 +18,7 @@ class TraceCollector {
   explicit TraceCollector(bool enabled = true) : enabled_(enabled) {}
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
 
   /// Cap memory use for long runs; 0 means unlimited. Once the cap is
   /// reached further records are counted but not stored.
@@ -26,11 +26,11 @@ class TraceCollector {
 
   void record(Micros now, IoOp op, Lba lba, std::uint32_t sectors);
 
-  std::span<const IoRecord> records() const { return records_; }
-  std::uint64_t total_recorded() const { return total_; }
-  std::uint64_t reads() const { return reads_; }
-  std::uint64_t writes() const { return writes_; }
-  std::uint64_t trims() const { return trims_; }
+  [[nodiscard]] std::span<const IoRecord> records() const { return records_; }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t trims() const { return trims_; }
 
   void clear();
 

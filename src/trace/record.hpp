@@ -16,7 +16,7 @@ struct IoRecord {
   Lba lba = 0;           // starting sector
   std::uint32_t sectors = 0;
 
-  Lba end_lba() const { return lba + sectors; }
+  [[nodiscard]] Lba end_lba() const { return lba + sectors; }
 };
 
 inline const char* to_string(IoOp op) {

@@ -20,7 +20,7 @@ struct ReplayReport {
   Micros device_time = 0;                  // sum of service latencies
   StreamingStats op_latency;
 
-  Micros mean_latency() const { return op_latency.mean(); }
+  [[nodiscard]] Micros mean_latency() const { return op_latency.mean(); }
 };
 
 struct ReplayOptions {

@@ -14,7 +14,7 @@ class Bitmap {
   explicit Bitmap(std::size_t n, bool value = false);
 
   void resize(std::size_t n, bool value = false);
-  std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   bool test(std::size_t i) const;
   void set(std::size_t i);
@@ -22,16 +22,16 @@ class Bitmap {
   void assign(std::size_t i, bool value);
 
   /// Number of set bits (maintained incrementally, O(1)).
-  std::size_t popcount() const { return ones_; }
+  [[nodiscard]] std::size_t popcount() const { return ones_; }
 
   /// Index of the first clear bit, or size() if all set.
-  std::size_t first_clear() const;
+  [[nodiscard]] std::size_t first_clear() const;
 
   /// Set / clear all bits.
   void fill(bool value);
 
-  bool all() const { return ones_ == size_; }
-  bool none() const { return ones_ == 0; }
+  [[nodiscard]] bool all() const { return ones_ == size_; }
+  [[nodiscard]] bool none() const { return ones_ == 0; }
 
  private:
   std::vector<std::uint64_t> words_;

@@ -36,7 +36,7 @@ class Config {
   void merge(const Config& overrides);
 
   bool has(const std::string& key) const;
-  std::vector<std::string> keys() const;
+  [[nodiscard]] std::vector<std::string> keys() const;
 
   std::string get_string(const std::string& key,
                          const std::string& fallback) const;

@@ -40,7 +40,7 @@ class CrashInjector {
   void arm_byte(std::uint64_t offset);
 
   void disarm();
-  bool armed() const { return armed_; }
+  [[nodiscard]] bool armed() const { return armed_; }
 
   /// Site hook body (use SSDSE_CRASH_POINT). Throws when the armed site
   /// countdown reaches zero.

@@ -17,7 +17,7 @@ std::uint32_t crc32c(const void* data, std::size_t len);
 class Crc32c {
  public:
   Crc32c& update(const void* data, std::size_t len);
-  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
   void reset() { state_ = 0xFFFFFFFFu; }
 
  private:

@@ -26,8 +26,8 @@ class LruMap {
   using const_iterator = typename std::list<Entry>::const_iterator;
 
   bool contains(const K& key) const { return index_.count(key) != 0; }
-  std::size_t size() const { return list_.size(); }
-  bool empty() const { return list_.empty(); }
+  [[nodiscard]] std::size_t size() const { return list_.size(); }
+  [[nodiscard]] bool empty() const { return list_.empty(); }
 
   /// Find without touching recency.
   V* peek(const K& key) {
@@ -89,8 +89,8 @@ class LruMap {
   }
 
   /// Peek at the LRU entry without removing it.
-  const Entry* lru() const { return list_.empty() ? nullptr : &list_.back(); }
-  const Entry* mru() const { return list_.empty() ? nullptr : &list_.front(); }
+  [[nodiscard]] const Entry* lru() const { return list_.empty() ? nullptr : &list_.back(); }
+  [[nodiscard]] const Entry* mru() const { return list_.empty() ? nullptr : &list_.front(); }
 
   /// Erase by iterator (valid list iterator), returning the next one.
   iterator erase(iterator it) {
@@ -103,14 +103,14 @@ class LruMap {
   // MRU-first iteration.
   iterator begin() { return list_.begin(); }
   iterator end() { return list_.end(); }
-  const_iterator begin() const { return list_.begin(); }
-  const_iterator end() const { return list_.end(); }
+  [[nodiscard]] const_iterator begin() const { return list_.begin(); }
+  [[nodiscard]] const_iterator end() const { return list_.end(); }
 
   // LRU-first iteration (reverse), for Replace-First-Region scans.
   auto rbegin() { return list_.rbegin(); }
   auto rend() { return list_.rend(); }
-  auto rbegin() const { return list_.rbegin(); }
-  auto rend() const { return list_.rend(); }
+  [[nodiscard]] auto rbegin() const { return list_.rbegin(); }
+  [[nodiscard]] auto rend() const { return list_.rend(); }
 
   void clear() {
     list_.clear();

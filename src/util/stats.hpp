@@ -21,13 +21,13 @@ class StreamingStats {
   void merge(const StreamingStats& other);
   void reset();
 
-  std::uint64_t count() const { return n_; }
-  double sum() const { return sum_; }
-  double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  // population variance
-  double stddev() const;
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
 
  private:
   std::uint64_t n_ = 0;
@@ -47,9 +47,9 @@ class LatencyHistogram {
                             double growth = 1.15);
 
   void add(double x);
-  std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t count() const { return total_; }
   double quantile(double q) const;  // q in [0,1]
-  double mean() const {
+  [[nodiscard]] double mean() const {
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
   }
 
@@ -61,7 +61,7 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other);
 
   /// Render "p50=... p90=... p99=..." for reports.
-  std::string summary() const;
+  [[nodiscard]] std::string summary() const;
 
  private:
   std::size_t bucket_for(double x) const;
@@ -78,12 +78,12 @@ class LatencyHistogram {
 class Counter {
  public:
   void add(std::uint64_t key, std::uint64_t weight = 1);
-  std::uint64_t total() const { return total_; }
-  std::uint64_t distinct() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t distinct() const { return map_.size(); }
   std::uint64_t count_of(std::uint64_t key) const;
 
   /// (key, count) pairs sorted by descending count (ties by key).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted() const;
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted() const;
 
  private:
   std::unordered_map<std::uint64_t, std::uint64_t> map_;

@@ -20,7 +20,7 @@ class Table {
   static std::string percent(double fraction, int precision = 2);
 
   /// Render with column alignment; header separator included.
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 
   /// Print to stdout.
   void print() const;

@@ -26,8 +26,8 @@ class ZipfSampler {
   /// Probability mass of rank k (exact, O(1) after construction).
   double pmf(std::uint64_t k) const;
 
-  std::uint64_t n() const { return n_; }
-  double exponent() const { return s_; }
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double exponent() const { return s_; }
 
  private:
   double h(double x) const;

@@ -44,7 +44,7 @@ class QueryLogGenerator {
   /// used by log analysis and the CBSLRU static preload.
   Query query_for_rank(std::uint64_t rank) const;
 
-  const QueryLogConfig& config() const { return cfg_; }
+  [[nodiscard]] const QueryLogConfig& config() const { return cfg_; }
 
  private:
   QueryLogConfig cfg_;

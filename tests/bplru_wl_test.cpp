@@ -39,10 +39,10 @@ TEST(BplruTest, WritesAbsorbedUntilBufferOverflow) {
   const auto ppb = nand.config().pages_per_block;
   // Write into 4 distinct logical blocks: all buffered, nothing hits
   // flash yet.
-  for (std::uint64_t b = 0; b < 4; ++b) ftl.write(b * ppb);
+  for (std::uint64_t b = 0; b < 4; ++b) EXPECT_TRUE(ftl.write(b * ppb).ok());
   EXPECT_EQ(nand.stats().page_programs, 0u);
   // A fifth block evicts the LRU block set -> flash programs happen.
-  ftl.write(4 * ppb);
+  EXPECT_TRUE(ftl.write(4 * ppb).ok());
   EXPECT_GT(nand.stats().page_programs, 0u);
   EXPECT_EQ(ftl.bplru_stats().flushes, 1u);
 }
@@ -50,7 +50,7 @@ TEST(BplruTest, WritesAbsorbedUntilBufferOverflow) {
 TEST(BplruTest, BufferedReadsServedFromRam) {
   NandArray nand(small_nand());
   BplruFtl ftl(nand, std::make_unique<PageFtl>(nand));
-  ftl.write(3);
+  EXPECT_TRUE(ftl.write(3).ok());
   const Micros t = ftl.read(3).latency;
   EXPECT_LT(t, nand.config().page_read);  // RAM, not flash
   EXPECT_EQ(ftl.bplru_stats().buffer_read_hits, 1u);
@@ -59,11 +59,11 @@ TEST(BplruTest, BufferedReadsServedFromRam) {
 TEST(BplruTest, FlushAllDrains) {
   NandArray nand(small_nand());
   BplruFtl ftl(nand, std::make_unique<PageFtl>(nand));
-  for (Lpn p = 0; p < 20; ++p) ftl.write(p);
-  ftl.flush_all();
+  for (Lpn p = 0; p < 20; ++p) EXPECT_TRUE(ftl.write(p).ok());
+  EXPECT_TRUE(ftl.flush_all().ok());
   EXPECT_GE(ftl.bplru_stats().flushed_pages, 20u);
   // All data readable through the inner FTL path afterwards.
-  for (Lpn p = 0; p < 20; ++p) EXPECT_NO_THROW(ftl.read(p));
+  for (Lpn p = 0; p < 20; ++p) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 TEST(BplruTest, PaddingRewritesCleanPages) {
@@ -73,8 +73,8 @@ TEST(BplruTest, PaddingRewritesCleanPages) {
   cfg.page_padding = true;
   BplruFtl ftl(nand, std::make_unique<PageFtl>(nand), cfg);
   const auto ppb = nand.config().pages_per_block;
-  ftl.write(0);        // one dirty page in block 0
-  ftl.write(ppb);      // block 1 -> evicts block 0
+  EXPECT_TRUE(ftl.write(0).ok());        // one dirty page in block 0
+  EXPECT_TRUE(ftl.write(ppb).ok());      // block 1 -> evicts block 0
   // Block 0 flushed with padding: 1 dirty + (ppb-1) padded programs.
   EXPECT_EQ(ftl.bplru_stats().flushed_pages, 1u);
   EXPECT_EQ(ftl.bplru_stats().padded_pages, ppb - 1);
@@ -107,7 +107,7 @@ TEST(BplruTest, ReducesMergesOnHybridFtlUnderRandomWrites) {
       const Lpn block = rng.next_below(nblocks);
       const int burst = 4 + static_cast<int>(rng.next_below(8));
       for (int j = 0; j < burst; ++j) {
-        ftl->write(block * ppb + rng.next_below(ppb));
+        EXPECT_TRUE(ftl->write(block * ppb + rng.next_below(ppb)).ok());
       }
     }
     return nand.stats().block_erases;
@@ -124,7 +124,7 @@ TEST(BplruTest, PaddingIsPureOverheadOnPageFtl) {
     auto ftl = make_ftl(with_bplru ? "bplru+page" : "page", nand);
     Rng rng(78);
     const Lpn n = std::min<Lpn>(ftl->logical_pages(), 512);
-    for (int i = 0; i < 20'000; ++i) ftl->write(rng.next_below(n));
+    for (int i = 0; i < 20'000; ++i) EXPECT_TRUE(ftl->write(rng.next_below(n)).ok());
     return nand.stats().block_erases;
   };
   EXPECT_GT(run(true), run(false));
@@ -133,8 +133,8 @@ TEST(BplruTest, PaddingIsPureOverheadOnPageFtl) {
 TEST(BplruTest, TrimDropsBufferedPage) {
   NandArray nand(small_nand());
   BplruFtl ftl(nand, std::make_unique<PageFtl>(nand));
-  ftl.write(5);
-  ftl.trim(5);
+  EXPECT_TRUE(ftl.write(5).ok());
+  (void)ftl.trim(5);
   const Micros t = ftl.read(5).latency;
   EXPECT_LT(t, nand.config().page_read);  // unmapped read via inner
   EXPECT_EQ(ftl.bplru_stats().buffer_read_hits, 0u);
@@ -154,7 +154,7 @@ std::uint32_t wear_spread(bool wl) {
   for (int i = 0; i < 60'000; ++i) {
     const Lpn p = rng.chance(0.9) ? rng.next_below(n / 10 + 1)
                                   : rng.next_below(n);
-    ftl.write(p);
+    EXPECT_TRUE(ftl.write(p).ok());
   }
   std::uint32_t min_wear = ~0u;
   for (Pbn b = 0; b < nand.config().num_blocks; ++b) {
@@ -174,8 +174,8 @@ TEST(WearLevelingTest, CorrectnessUnchanged) {
   PageFtl ftl(nand, cfg);
   Rng rng(6);
   const Lpn n = ftl.logical_pages();
-  for (int i = 0; i < 10'000; ++i) ftl.write(rng.next_below(n));
-  for (Lpn p = 0; p < n; ++p) EXPECT_NO_THROW(ftl.read(p));
+  for (int i = 0; i < 10'000; ++i) EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
+  for (Lpn p = 0; p < n; ++p) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 // --- Trace replay -----------------------------------------------------------

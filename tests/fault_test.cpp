@@ -2,6 +2,7 @@
 // model, FaultyDevice decorator, FTL bad-block management, SSD-cache
 // circuit breaker, and the headline robustness property — injected
 // faults change *latency and control flow only*, never query results.
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -67,7 +68,7 @@ TEST(NandFaultTest, TransientRetriesCostExtraReads) {
   NandConfig cfg = small_nand();
   cfg.fault.read_transient_rate = 1.0;
   NandArray nand(cfg);
-  nand.program_page(0, 42);
+  (void)nand.program_page(0, 42);
   const auto reads0 = nand.stats().page_reads;
   std::uint64_t tag = 0;
   const IoResult io = nand.read_page_checked(0, &tag);
@@ -80,7 +81,7 @@ TEST(NandFaultTest, TransientRetriesCostExtraReads) {
 
 TEST(NandFaultTest, ZeroRatesDrawNothingAndStayOk) {
   NandArray nand(small_nand());
-  nand.program_page(0, 7);
+  (void)nand.program_page(0, 7);
   const IoResult io = nand.read_page_checked(0);
   EXPECT_EQ(io.status, IoStatus::kOk);
   EXPECT_EQ(io.retries, 0u);
@@ -101,7 +102,7 @@ TEST(BadBlockTest, RemapOnProgramFailurePreservesData) {
   Rng rng(321);
   const Lpn n = ftl.logical_pages();
   for (int i = 0; i < 10'000; ++i) {
-    ftl.write(rng.next_below(n));
+    EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
   }
   const FtlStats& st = ftl.stats();
   // Each failure retires the active block, remaps the write, and grows
@@ -112,8 +113,39 @@ TEST(BadBlockTest, RemapOnProgramFailurePreservesData) {
   // Every logical page written is still readable with the right tag
   // (read verifies tags internally; a lost remap would throw).
   for (Lpn p = 0; p < n; ++p) {
-    EXPECT_NO_THROW(ftl.read(p));
+    EXPECT_TRUE(ftl.read(p).ok());
   }
+}
+
+TEST(BadBlockTest, SparePoolExhaustionSurfacesWriteFailed) {
+  NandConfig cfg = small_nand(32, 8);
+  cfg.fault.program_fail_rate = 1.0;  // every host program fails
+  NandArray nand(cfg);
+  PageFtl ftl(nand);
+  // One write chews through the entire spare pool (each failure retires
+  // the active block) and must then fail cleanly instead of throwing.
+  const IoResult io = ftl.write(0);
+  EXPECT_EQ(io.status, IoStatus::kWriteFailed);
+  EXPECT_FALSE(io.ok());
+  EXPECT_GT(io.latency, 0.0);
+  EXPECT_GT(ftl.stats().grown_bad_blocks, 0u);
+  // The failed page reads back as unmapped (the data never reached
+  // flash) rather than tripping the tag verifier.
+  EXPECT_TRUE(ftl.read(0).ok());
+  // The device stays alive: later writes keep failing cleanly too.
+  for (Lpn p = 1; p < 4; ++p) {
+    EXPECT_EQ(ftl.write(p).status, IoStatus::kWriteFailed);
+  }
+}
+
+TEST(BadBlockTest, SparePoolExhaustionPropagatesThroughRuns) {
+  NandConfig cfg = small_nand(32, 8);
+  cfg.fault.program_fail_rate = 1.0;
+  NandArray nand(cfg);
+  PageFtl ftl(nand);
+  // A run merges statuses to the most severe: any failed page in the
+  // run must surface on the aggregate result.
+  EXPECT_EQ(ftl.write_run(0, 4).status, IoStatus::kWriteFailed);
 }
 
 TEST(BadBlockTest, SchemesWithoutBbmRejectProgramFaults) {
@@ -164,6 +196,63 @@ TEST(CircuitBreakerTest, FailedProbeReopens) {
   br.record(false);
   EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
   EXPECT_EQ(br.stats().reopens, 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenReTripRestartsProbeBudget) {
+  CircuitBreaker br(small_breaker());  // probes = 2, cooldown = 4
+  for (int i = 0; i < 4; ++i) br.record(false);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(br.allow());  // -> half-open
+  ASSERT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  // One successful probe, then a failure: re-trip, and the partial
+  // probe credit must not survive into the next half-open round.
+  br.record(true);
+  br.record(false);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.stats().reopens, 1u);
+  // The cooldown restarts from zero after a re-trip.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(br.allow());
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(br.allow());
+  ASSERT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  // A single success is not enough to close: the budget restarted.
+  br.record(true);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  br.record(true);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(br.stats().closes, 1u);
+}
+
+TEST(IoStatusTest, SeverityMergeIsAssociativeAndCommutative) {
+  const IoStatus all[] = {IoStatus::kOk, IoStatus::kRetried,
+                          IoStatus::kUncorrectable, IoStatus::kWriteFailed};
+  for (const IoStatus a : all) {
+    for (const IoStatus b : all) {
+      // Commutativity of the severity merge.
+      IoResult ab{1.0, a, 1};
+      ab += IoResult{2.0, b, 2};
+      IoResult ba{2.0, b, 2};
+      ba += IoResult{1.0, a, 1};
+      EXPECT_EQ(ab.status, ba.status);
+      EXPECT_DOUBLE_EQ(ab.latency, ba.latency);
+      EXPECT_EQ(ab.retries, ba.retries);
+      for (const IoStatus c : all) {
+        // Associativity: (a + b) + c == a + (b + c).
+        IoResult left{1.0, a, 1};
+        left += IoResult{2.0, b, 2};
+        left += IoResult{4.0, c, 4};
+        IoResult bc{2.0, b, 2};
+        bc += IoResult{4.0, c, 4};
+        IoResult right{1.0, a, 1};
+        right += bc;
+        EXPECT_EQ(left.status, right.status);
+        EXPECT_DOUBLE_EQ(left.latency, right.latency);
+        EXPECT_EQ(left.retries, right.retries);
+        // The merged status is exactly the max severity of the inputs.
+        const IoStatus expect = std::max(std::max(a, b), c);
+        EXPECT_EQ(left.status, expect);
+      }
+    }
+  }
 }
 
 TEST(CircuitBreakerTest, InertWithoutErrors) {

@@ -28,8 +28,8 @@ TEST(PageFtlTest, WriteThenReadVerifiesInternally) {
   NandArray nand(small_nand());
   PageFtl ftl(nand);
   // The FTL self-checks tags on read; no throw == data is intact.
-  ftl.write(5);
-  EXPECT_NO_THROW(ftl.read(5));
+  EXPECT_TRUE(ftl.write(5).ok());
+  EXPECT_TRUE(ftl.read(5).ok());
   EXPECT_EQ(ftl.stats().host_reads, 1u);
   EXPECT_EQ(ftl.stats().host_writes, 1u);
 }
@@ -44,19 +44,19 @@ TEST(PageFtlTest, UnwrittenReadIsCheap) {
 TEST(PageFtlTest, OverwriteInvalidatesOldCopy) {
   NandArray nand(small_nand());
   PageFtl ftl(nand);
-  ftl.write(1);
+  EXPECT_TRUE(ftl.write(1).ok());
   const auto programs_before = nand.stats().page_programs;
-  ftl.write(1);  // out-of-place rewrite
+  EXPECT_TRUE(ftl.write(1).ok());  // out-of-place rewrite
   EXPECT_EQ(nand.stats().page_programs, programs_before + 1);
-  EXPECT_NO_THROW(ftl.read(1));  // newest version readable
+  EXPECT_TRUE(ftl.read(1).ok());  // newest version readable
 }
 
 TEST(PageFtlTest, OutOfRangeThrows) {
   NandArray nand(small_nand());
   PageFtl ftl(nand);
-  EXPECT_THROW(ftl.read(ftl.logical_pages()), std::out_of_range);
-  EXPECT_THROW(ftl.write(ftl.logical_pages()), std::out_of_range);
-  EXPECT_THROW(ftl.trim(ftl.logical_pages()), std::out_of_range);
+  EXPECT_THROW((void)ftl.read(ftl.logical_pages()), std::out_of_range);
+  EXPECT_THROW((void)ftl.write(ftl.logical_pages()), std::out_of_range);
+  EXPECT_THROW((void)ftl.trim(ftl.logical_pages()), std::out_of_range);
 }
 
 TEST(PageFtlTest, SequentialOverwriteTriggersCheapGc) {
@@ -66,7 +66,7 @@ TEST(PageFtlTest, SequentialOverwriteTriggersCheapGc) {
   // Three full sequential passes: whole blocks become invalid, so GC
   // should erase without copying.
   for (int pass = 0; pass < 3; ++pass) {
-    for (Lpn p = 0; p < n; ++p) ftl.write(p);
+    for (Lpn p = 0; p < n; ++p) EXPECT_TRUE(ftl.write(p).ok());
   }
   EXPECT_GT(nand.stats().block_erases, 0u);
   EXPECT_EQ(ftl.stats().gc_page_copies, 0u);
@@ -80,7 +80,7 @@ TEST(PageFtlTest, RandomOverwriteCausesWriteAmplification) {
   Rng rng(9);
   const Lpn n = ftl.logical_pages();
   for (int i = 0; i < 20000; ++i) {
-    ftl.write(rng.next_below(n));
+    EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
   }
   EXPECT_GT(ftl.stats().gc_page_copies, 0u);
   EXPECT_GT(ftl.stats().write_amplification(nand.stats()), 1.01);
@@ -94,18 +94,18 @@ TEST(PageFtlTest, AllDataSurvivesGcChurn) {
   std::unordered_set<Lpn> written;
   for (int i = 0; i < 10000; ++i) {
     const Lpn p = rng.next_below(n);
-    ftl.write(p);
+    EXPECT_TRUE(ftl.write(p).ok());
     written.insert(p);
   }
   // Every written page must read back its newest version (self-checked).
-  for (Lpn p : written) EXPECT_NO_THROW(ftl.read(p));
+  for (Lpn p : written) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 TEST(PageFtlTest, TrimFreesAndInvalidates) {
   NandArray nand(small_nand());
   PageFtl ftl(nand);
-  ftl.write(7);
-  ftl.trim(7);
+  EXPECT_TRUE(ftl.write(7).ok());
+  (void)ftl.trim(7);
   EXPECT_EQ(ftl.stats().host_trims, 1u);
   // Post-trim read is an unmapped read (cheap, no tag check).
   const Micros t = ftl.read(7).latency;
@@ -119,13 +119,13 @@ TEST(PageFtlTest, TrimmedSpaceReducesGcWork) {
     NandArray nand(small_nand(32, 8));
     PageFtl ftl(nand);
     const Lpn n = ftl.logical_pages();
-    for (Lpn p = 0; p < n; ++p) ftl.write(p);
+    for (Lpn p = 0; p < n; ++p) EXPECT_TRUE(ftl.write(p).ok());
     if (trim_first) {
-      for (Lpn p = 0; p < n; ++p) ftl.trim(p);
+      for (Lpn p = 0; p < n; ++p) (void)ftl.trim(p);
     }
     // Random second pass (hostile to GC without TRIM).
     Rng rng(11);
-    for (Lpn i = 0; i < n; ++i) ftl.write(rng.next_below(n));
+    for (Lpn i = 0; i < n; ++i) EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
     return ftl.stats().gc_page_copies;
   };
   EXPECT_LE(run(true), run(false));
@@ -152,7 +152,7 @@ TEST(PageFtlTest, FreePoolNeverBelowWatermarkAfterWrite) {
   Rng rng(13);
   const Lpn n = ftl.logical_pages();
   for (int i = 0; i < 5000; ++i) {
-    ftl.write(rng.next_below(n));
+    EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
     EXPECT_GE(ftl.free_blocks(), cfg.gc_low_watermark);
   }
 }
@@ -165,8 +165,8 @@ TEST(PageFtlTest, TooSmallNandRejected) {
 TEST(PageFtlTest, MeanAccessPositiveAfterTraffic) {
   NandArray nand(small_nand());
   PageFtl ftl(nand);
-  ftl.write(0);
-  ftl.read(0);
+  EXPECT_TRUE(ftl.write(0).ok());
+  EXPECT_TRUE(ftl.read(0).ok());
   EXPECT_GT(ftl.stats().mean_access(), 0.0);
 }
 

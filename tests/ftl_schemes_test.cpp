@@ -28,42 +28,42 @@ NandConfig small_nand(std::uint32_t blocks = 64,
 TEST(BlockFtlTest, SequentialFillNoMerges) {
   NandArray nand(small_nand());
   BlockFtl ftl(nand);
-  for (Lpn p = 0; p < 64; ++p) ftl.write(p);
+  for (Lpn p = 0; p < 64; ++p) EXPECT_TRUE(ftl.write(p).ok());
   EXPECT_EQ(ftl.stats().gc_invocations, 0u);
   EXPECT_EQ(nand.stats().block_erases, 0u);
-  for (Lpn p = 0; p < 64; ++p) EXPECT_NO_THROW(ftl.read(p));
+  for (Lpn p = 0; p < 64; ++p) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 TEST(BlockFtlTest, OverwriteForcesCopyMerge) {
   NandArray nand(small_nand());
   BlockFtl ftl(nand);
-  for (Lpn p = 0; p < 16; ++p) ftl.write(p);  // fill block 0
+  for (Lpn p = 0; p < 16; ++p) EXPECT_TRUE(ftl.write(p).ok());  // fill block 0
   const auto erases_before = nand.stats().block_erases;
-  ftl.write(3);  // overwrite -> copy-merge + erase of old block
+  EXPECT_TRUE(ftl.write(3).ok());  // overwrite -> copy-merge + erase of old block
   EXPECT_EQ(nand.stats().block_erases, erases_before + 1);
   EXPECT_GT(ftl.stats().gc_page_copies, 0u);
-  for (Lpn p = 0; p < 16; ++p) EXPECT_NO_THROW(ftl.read(p));
+  for (Lpn p = 0; p < 16; ++p) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 TEST(BlockFtlTest, SkippedOffsetsPadded) {
   NandArray nand(small_nand());
   BlockFtl ftl(nand);
-  ftl.write(5);  // lbn 0, offset 5: pages 0..4 must be pad-programmed
+  EXPECT_TRUE(ftl.write(5).ok());  // lbn 0, offset 5: pages 0..4 must be pad-programmed
   EXPECT_EQ(nand.stats().page_programs, 6u);
-  EXPECT_NO_THROW(ftl.read(5));
+  EXPECT_TRUE(ftl.read(5).ok());
   // Unwritten neighbours stay unreadable-but-legal.
-  EXPECT_NO_THROW(ftl.read(4));
+  EXPECT_TRUE(ftl.read(4).ok());
 }
 
 TEST(BlockFtlTest, TrimWholeBlockFreesIt) {
   NandArray nand(small_nand());
   BlockFtl ftl(nand);
   const auto before = ftl.free_blocks();
-  ftl.write(0);
-  ftl.write(1);
+  EXPECT_TRUE(ftl.write(0).ok());
+  EXPECT_TRUE(ftl.write(1).ok());
   EXPECT_EQ(ftl.free_blocks(), before - 1);
-  ftl.trim(0);
-  ftl.trim(1);
+  (void)ftl.trim(0);
+  (void)ftl.trim(1);
   EXPECT_EQ(ftl.free_blocks(), before);  // erased + returned
 }
 
@@ -72,8 +72,8 @@ TEST(BlockFtlTest, RandomChurnKeepsDataIntact) {
   BlockFtl ftl(nand);
   Rng rng(21);
   const Lpn n = std::min<Lpn>(ftl.logical_pages(), 256);
-  for (int i = 0; i < 3000; ++i) ftl.write(rng.next_below(n));
-  for (Lpn p = 0; p < n; ++p) EXPECT_NO_THROW(ftl.read(p));
+  for (int i = 0; i < 3000; ++i) EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
+  for (Lpn p = 0; p < n; ++p) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 // --- HybridLogFtl ---------------------------------------------------------
@@ -87,9 +87,9 @@ HybridFtlConfig hybrid_cfg(std::uint32_t log_blocks = 4) {
 TEST(HybridFtlTest, WritesLandInLogWithoutImmediateMerge) {
   NandArray nand(small_nand());
   HybridLogFtl ftl(nand, hybrid_cfg());
-  for (Lpn p = 0; p < 10; ++p) ftl.write(p);
+  for (Lpn p = 0; p < 10; ++p) EXPECT_TRUE(ftl.write(p).ok());
   EXPECT_EQ(ftl.stats().gc_invocations, 0u);
-  for (Lpn p = 0; p < 10; ++p) EXPECT_NO_THROW(ftl.read(p));
+  for (Lpn p = 0; p < 10; ++p) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 TEST(HybridFtlTest, LogExhaustionTriggersFullMerge) {
@@ -97,7 +97,7 @@ TEST(HybridFtlTest, LogExhaustionTriggersFullMerge) {
   HybridLogFtl ftl(nand, hybrid_cfg(2));
   Rng rng(22);
   const Lpn n = std::min<Lpn>(ftl.logical_pages(), 128);
-  for (int i = 0; i < 200; ++i) ftl.write(rng.next_below(n));
+  for (int i = 0; i < 200; ++i) EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
   EXPECT_GT(ftl.stats().gc_invocations, 0u);
   EXPECT_LE(ftl.active_log_blocks(), 2u);
 }
@@ -110,17 +110,17 @@ TEST(HybridFtlTest, NewestVersionWinsAfterMerges) {
   Rng rng(23);
   const Lpn n = std::min<Lpn>(ftl.logical_pages(), 64);
   for (int i = 0; i < 500; ++i) {
-    ftl.write(7);
-    ftl.write(rng.next_below(n));
-    EXPECT_NO_THROW(ftl.read(7));
+    EXPECT_TRUE(ftl.write(7).ok());
+    EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
+    EXPECT_TRUE(ftl.read(7).ok());
   }
 }
 
 TEST(HybridFtlTest, TrimDropsLogAndDataCopies) {
   NandArray nand(small_nand());
   HybridLogFtl ftl(nand, hybrid_cfg());
-  ftl.write(3);
-  ftl.trim(3);
+  EXPECT_TRUE(ftl.write(3).ok());
+  (void)ftl.trim(3);
   const Micros t = ftl.read(3).latency;
   EXPECT_LT(t, nand.config().page_read);  // unmapped read
 }
@@ -136,8 +136,8 @@ DftlConfig dftl_cfg(std::size_t cmt = 64) {
 TEST(DftlTest, CmtHitsOnRepeatedAccess) {
   NandArray nand(small_nand());
   Dftl ftl(nand, dftl_cfg());
-  ftl.write(1);
-  for (int i = 0; i < 10; ++i) ftl.read(1);
+  EXPECT_TRUE(ftl.write(1).ok());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ftl.read(1).ok());
   EXPECT_GT(ftl.dftl_stats().cmt_hits, 8u);
   EXPECT_GT(ftl.dftl_stats().hit_ratio(), 0.8);
 }
@@ -146,23 +146,23 @@ TEST(DftlTest, ColdMissesCostTranslationReads) {
   NandArray nand(small_nand(256, 16));
   Dftl ftl(nand, dftl_cfg(16));
   // Touch many distinct pages: each miss charges a translation read.
-  for (Lpn p = 0; p < 200; ++p) ftl.write(p * 7 % ftl.logical_pages());
+  for (Lpn p = 0; p < 200; ++p) EXPECT_TRUE(ftl.write(p * 7 % ftl.logical_pages()).ok());
   EXPECT_GT(ftl.dftl_stats().tpage_reads, 100u);
 }
 
 TEST(DftlTest, DirtyEvictionsWriteTranslationPages) {
   NandArray nand(small_nand(256, 16));
   Dftl ftl(nand, dftl_cfg(8));
-  for (Lpn p = 0; p < 100; ++p) ftl.write(p);  // all dirtying, tiny CMT
+  for (Lpn p = 0; p < 100; ++p) EXPECT_TRUE(ftl.write(p).ok());  // all dirtying, tiny CMT
   EXPECT_GT(ftl.dftl_stats().tpage_writes, 50u);
 }
 
 TEST(DftlTest, MissCostsMoreThanHit) {
   NandArray nand(small_nand(256, 16));
   Dftl ftl(nand, dftl_cfg(4));
-  for (Lpn p = 0; p < 64; ++p) ftl.write(p);
+  for (Lpn p = 0; p < 64; ++p) EXPECT_TRUE(ftl.write(p).ok());
   const Micros hit = [&] {
-    ftl.read(63);          // load into CMT
+    EXPECT_TRUE(ftl.read(63).ok());          // load into CMT
     return ftl.read(63).latency;  // now a CMT hit
   }();
   const Micros miss = ftl.read(0).latency;  // long evicted
@@ -174,8 +174,8 @@ TEST(DftlTest, DataIntegrityUnderChurn) {
   Dftl ftl(nand, dftl_cfg(32));
   Rng rng(24);
   const Lpn n = std::min<Lpn>(ftl.logical_pages(), 256);
-  for (int i = 0; i < 5000; ++i) ftl.write(rng.next_below(n));
-  for (Lpn p = 0; p < n; ++p) EXPECT_NO_THROW(ftl.read(p));
+  for (int i = 0; i < 5000; ++i) EXPECT_TRUE(ftl.write(rng.next_below(n)).ok());
+  for (Lpn p = 0; p < n; ++p) EXPECT_TRUE(ftl.read(p).ok());
 }
 
 // --- Factory -----------------------------------------------------------------
@@ -217,14 +217,16 @@ TEST_P(FtlSweepTest, IntegrityAndAccountingInvariants) {
                                   : rng.next_below(n); break;
       default: p = rng.next_below(n); break;
     }
-    ftl->write(p);
+    EXPECT_TRUE(ftl->write(p).ok());
     if (param.workload == 3 && rng.chance(0.3)) {
-      ftl->trim(rng.next_below(n));
+      (void)ftl->trim(rng.next_below(n));
     }
-    if (rng.chance(0.2)) ftl->read(rng.next_below(n));  // self-verifying
+    if (rng.chance(0.2)) {
+      EXPECT_TRUE(ftl->read(rng.next_below(n)).ok());  // self-verifying
+    }
   }
   // Full read-back: every page either verifies or is legally unmapped.
-  for (Lpn p = 0; p < n; ++p) EXPECT_NO_THROW(ftl->read(p));
+  for (Lpn p = 0; p < n; ++p) EXPECT_TRUE(ftl->read(p).ok());
 
   // Accounting invariants.
   const auto& s = ftl->stats();

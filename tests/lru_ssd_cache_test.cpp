@@ -71,13 +71,13 @@ TEST(LruSsdResultCacheTest, InsertLookupEvict) {
   Ssd ssd(small_ssd());
   // Room for exactly 3 slots (10 pages each).
   LruSsdResultCache cache(ssd, 0, 30);
-  cache.insert(cached(1));
-  cache.insert(cached(2));
-  cache.insert(cached(3));
+  (void)cache.insert(cached(1));
+  (void)cache.insert(cached(2));
+  (void)cache.insert(cached(3));
   std::uint64_t freq;
   Micros t = 0;
   EXPECT_NE(cache.lookup(1, freq, t), nullptr);  // 1 promoted
-  cache.insert(cached(4));                       // evicts LRU (= 2)
+  (void)cache.insert(cached(4));                       // evicts LRU (= 2)
   EXPECT_EQ(cache.lookup(2, freq, t), nullptr);
   EXPECT_NE(cache.lookup(1, freq, t), nullptr);
   EXPECT_EQ(cache.stats().evictions, 1u);
@@ -86,9 +86,9 @@ TEST(LruSsdResultCacheTest, InsertLookupEvict) {
 TEST(LruSsdResultCacheTest, ReinsertOverwritesInPlace) {
   Ssd ssd(small_ssd());
   LruSsdResultCache cache(ssd, 0, 30);
-  cache.insert(cached(1));
+  (void)cache.insert(cached(1));
   const auto writes_before = ssd.ftl().stats().host_writes;
-  cache.insert(cached(1));  // same slot rewritten
+  (void)cache.insert(cached(1));  // same slot rewritten
   EXPECT_EQ(ssd.ftl().stats().host_writes, writes_before + 10);
   EXPECT_EQ(cache.size(), 1u);
 }
@@ -96,7 +96,7 @@ TEST(LruSsdResultCacheTest, ReinsertOverwritesInPlace) {
 TEST(LruSsdResultCacheTest, HitBumpsFrequency) {
   Ssd ssd(small_ssd());
   LruSsdResultCache cache(ssd, 0, 30);
-  cache.insert(cached(7));
+  (void)cache.insert(cached(7));
   std::uint64_t freq = 0;
   Micros t = 0;
   cache.lookup(7, freq, t);
@@ -117,7 +117,7 @@ TEST(LruSsdResultCacheTest, ZeroCapacityDropsInserts) {
 TEST(LruSsdListCacheTest, PrefixRuleGovernsHits) {
   Ssd ssd(small_ssd());
   LruSsdListCache cache(ssd, 0, 100);
-  cache.insert(1, 50 * KiB, 1);
+  (void)cache.insert(1, 50 * KiB, 1);
   Micros t = 0;
   EXPECT_NE(cache.lookup(1, 50 * KiB, t), nullptr);
   EXPECT_NE(cache.lookup(1, 10 * KiB, t), nullptr);
@@ -129,11 +129,11 @@ TEST(LruSsdListCacheTest, PrefixRuleGovernsHits) {
 TEST(LruSsdListCacheTest, EvictsLruUntilFit) {
   Ssd ssd(small_ssd());
   LruSsdListCache cache(ssd, 0, 50);  // 100 KiB of pages
-  cache.insert(1, 40 * KiB, 1);       // 20 pages
-  cache.insert(2, 40 * KiB, 1);       // 20 pages
+  (void)cache.insert(1, 40 * KiB, 1);       // 20 pages
+  (void)cache.insert(2, 40 * KiB, 1);       // 20 pages
   Micros t = 0;
   cache.lookup(1, 1, t);              // promote 1
-  cache.insert(3, 40 * KiB, 1);       // needs 20: evict LRU (= 2)
+  (void)cache.insert(3, 40 * KiB, 1);       // needs 20: evict LRU (= 2)
   EXPECT_FALSE(cache.contains(2));
   EXPECT_TRUE(cache.contains(1));
   EXPECT_TRUE(cache.contains(3));
@@ -157,7 +157,7 @@ TEST(LruSsdListCacheTest, ChurnScattersWritesAcrossRuns) {
   for (int i = 0; i < 600; ++i) {
     const TermId term = static_cast<TermId>(rng.next_below(60));
     const Bytes bytes = (1 + rng.next_below(50)) * 10 * KiB;
-    cache.insert(term, bytes, 1);
+    (void)cache.insert(term, bytes, 1);
   }
   EXPECT_GT(cache.allocator().fragments(), 1u);
   // The baseline's signature cost: write amplification inside the FTL
@@ -168,8 +168,8 @@ TEST(LruSsdListCacheTest, ChurnScattersWritesAcrossRuns) {
 TEST(LruSsdListCacheTest, ReinsertReleasesOldSpace) {
   Ssd ssd(small_ssd());
   LruSsdListCache cache(ssd, 0, 100);
-  cache.insert(1, 100 * KiB, 1);  // 50 pages
-  cache.insert(1, 20 * KiB, 1);   // shrink to 10 pages
+  (void)cache.insert(1, 100 * KiB, 1);  // 50 pages
+  (void)cache.insert(1, 20 * KiB, 1);   // shrink to 10 pages
   EXPECT_EQ(cache.allocator().free_pages(), 90u);
   EXPECT_EQ(cache.size(), 1u);
 }

@@ -53,7 +53,7 @@ TEST(SsdWearTest, WearFractionsTrackErases) {
   EXPECT_EQ(ssd.worst_wear_fraction(), 0.0);
   Rng rng(4);
   for (int i = 0; i < 4000; ++i) {
-    ssd.write_pages(rng.next_below(ssd.logical_pages()), 1);
+    EXPECT_TRUE(ssd.write_pages(rng.next_below(ssd.logical_pages()), 1).ok());
   }
   ASSERT_GT(ssd.block_erases(), 0u);
   EXPECT_GT(ssd.wear_fraction(), 0.0);

@@ -1,0 +1,150 @@
+// Parallel-broker stress coverage: many shards x many queries x shard
+// deadlines, asserting run_parallel() stays bit-identical to run() and
+// giving TSan a workload with real thread churn (the CI thread-sanitizer
+// leg runs this binary; see .github/workflows/ci.yml).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hybrid/cluster.hpp"
+
+namespace ssdse {
+namespace {
+
+ClusterConfig stress_cluster(std::uint32_t shards, Micros deadline = 0) {
+  ClusterConfig cfg;
+  cfg.num_shards = shards;
+  cfg.total_docs = 400'000;
+  cfg.shard_template.set_memory_budget(4 * MiB);
+  cfg.shard_template.training_queries = 500;
+  cfg.shard_deadline = deadline;
+  return cfg;
+}
+
+/// A deadline that provably drops some-but-not-all shard replies:
+/// the median slowest-shard time over a short calibration run. The
+/// simulation is deterministic, so the calibrated value is stable.
+Micros calibrated_deadline(std::uint32_t shards) {
+  SearchCluster probe(stress_cluster(shards));
+  std::vector<Micros> slowest;
+  for (int i = 0; i < 60; ++i) {
+    slowest.push_back(probe.execute(probe.generator().next()).slowest_shard);
+  }
+  std::nth_element(slowest.begin(), slowest.begin() + slowest.size() / 2,
+                   slowest.end());
+  return slowest[slowest.size() / 2];
+}
+
+/// Fold the full merged telemetry of both clusters and require exact
+/// agreement metric-by-metric. Wall-clock gauges (host build times) are
+/// the one legitimate difference between two otherwise identical runs.
+void expect_identical_telemetry(const SearchCluster& a,
+                                const SearchCluster& b) {
+  const auto sa = a.telemetry_snapshot();
+  const auto sb = b.telemetry_snapshot();
+  ASSERT_EQ(sa.metrics().size(), sb.metrics().size());
+  for (std::size_t i = 0; i < sa.metrics().size(); ++i) {
+    const auto& ma = sa.metrics()[i];
+    const auto& mb = sb.metrics()[i];
+    ASSERT_EQ(ma.name, mb.name);
+    ASSERT_EQ(ma.kind, mb.kind);
+    if (ma.name.find("build_ms") != std::string::npos) continue;
+    switch (ma.kind) {
+      case telemetry::MetricKind::kCounter:
+        EXPECT_EQ(ma.counter, mb.counter) << ma.name;
+        break;
+      case telemetry::MetricKind::kGauge:
+        EXPECT_EQ(ma.gauge.count(), mb.gauge.count()) << ma.name;
+        EXPECT_DOUBLE_EQ(ma.gauge.sum(), mb.gauge.sum()) << ma.name;
+        break;
+      case telemetry::MetricKind::kHistogram:
+        EXPECT_EQ(ma.hist.count(), mb.hist.count()) << ma.name;
+        EXPECT_DOUBLE_EQ(ma.hist.mean(), mb.hist.mean()) << ma.name;
+        break;
+    }
+  }
+}
+
+void expect_identical_runs(const SearchCluster& a, const SearchCluster& b) {
+  ASSERT_EQ(a.metrics().queries(), b.metrics().queries());
+  EXPECT_DOUBLE_EQ(a.metrics().mean_response(), b.metrics().mean_response());
+  EXPECT_DOUBLE_EQ(a.metrics().total_response_time(),
+                   b.metrics().total_response_time());
+  EXPECT_DOUBLE_EQ(a.metrics().request_coverage(),
+                   b.metrics().request_coverage());
+  for (std::size_t i = 0; i < kNumSituations; ++i) {
+    const auto s = static_cast<Situation>(i);
+    EXPECT_EQ(a.metrics().situation_count(s), b.metrics().situation_count(s))
+        << to_string(s);
+  }
+  const auto broker_a = a.broker_registry().snapshot();
+  const auto broker_b = b.broker_registry().snapshot();
+  const auto* da = broker_a.find("cluster.shards.dropped");
+  const auto* db = broker_b.find("cluster.shards.dropped");
+  ASSERT_NE(da, nullptr);
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(da->counter, db->counter);
+  expect_identical_telemetry(a, b);
+}
+
+// The headline contract: with deadlines dropping roughly half the shard
+// replies, the parallel broker still produces exactly the sequential
+// result — responses, situation census, drop counters, and the merged
+// telemetry of every shard.
+TEST(ParallelStressTest, DeadlineRunMatchesSequentialExactly) {
+  const Micros deadline = calibrated_deadline(8);
+  ASSERT_GT(deadline, 0.0);
+  SearchCluster seq(stress_cluster(8, deadline));
+  SearchCluster par(stress_cluster(8, deadline));
+  seq.run(1200);
+  par.run_parallel(1200);
+  expect_identical_runs(seq, par);
+
+  // The calibrated deadline must actually have bitten: queries ran with
+  // partial coverage on both paths.
+  const auto broker = par.broker_registry().snapshot();
+  const auto* dropped = broker.find("cluster.shards.dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GT(dropped->counter, 0u);
+}
+
+// Two parallel runs of the same config are bit-identical to each other:
+// the parallel path itself introduces no scheduling-dependent state.
+TEST(ParallelStressTest, ParallelRunIsSelfDeterministic) {
+  const Micros deadline = calibrated_deadline(4);
+  SearchCluster a(stress_cluster(4, deadline));
+  SearchCluster b(stress_cluster(4, deadline));
+  a.run_parallel(800);
+  b.run_parallel(800);
+  expect_identical_runs(a, b);
+}
+
+// Wide fan-out: 16 shard threads replaying concurrently, repeated so
+// threads are created and torn down several times. Primarily TSan food;
+// the assertions pin the broadcast invariants.
+TEST(ParallelStressTest, ManyShardsManyQueriesUnderDeadline) {
+  const Micros deadline = calibrated_deadline(16);
+  SearchCluster cluster(stress_cluster(16, deadline));
+  std::uint64_t total = 0;
+  for (int round = 0; round < 3; ++round) {
+    cluster.run_parallel(400);
+    total += 400;
+    ASSERT_EQ(cluster.metrics().queries(), total);
+    for (std::uint32_t s = 0; s < cluster.num_shards(); ++s) {
+      ASSERT_EQ(cluster.shard(s).metrics().queries(), total);
+    }
+  }
+  EXPECT_GT(cluster.metrics().mean_response(), 0.0);
+  EXPECT_TRUE(std::isfinite(cluster.metrics().mean_response()));
+  const auto snap = cluster.telemetry_snapshot();
+  const auto broker = cluster.broker_registry().snapshot();
+  const auto* queries = broker.find("cluster.broker.queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->counter, total);
+  EXPECT_FALSE(snap.metrics().empty());
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -46,16 +46,16 @@ TEST_F(SsdCacheFileTest, AllocExhaustionReturnsNullopt) {
 
 TEST_F(SsdCacheFileTest, Fig9StateMachine) {
   const auto cb = *file_.alloc();
-  file_.write(cb, 4);                       // free -> normal
+  EXPECT_TRUE(file_.write(cb, 4).ok());                       // free -> normal
   EXPECT_EQ(file_.state(cb), CbState::kNormal);
   file_.mark_replaceable(cb);               // normal -> replaceable
   EXPECT_EQ(file_.state(cb), CbState::kReplaceable);
   EXPECT_EQ(file_.replaceable_count(), 1u);
-  file_.write(cb, 4);                       // overwrite -> normal again
+  EXPECT_TRUE(file_.write(cb, 4).ok());                       // overwrite -> normal again
   EXPECT_EQ(file_.state(cb), CbState::kNormal);
   EXPECT_EQ(file_.replaceable_count(), 0u);
   file_.mark_replaceable(cb);
-  file_.trim(cb);                           // delete -> free
+  (void)file_.trim(cb);                           // delete -> free
   EXPECT_EQ(file_.state(cb), CbState::kFree);
   EXPECT_EQ(file_.free_count(), 16u);
   EXPECT_EQ(file_.replaceable_count(), 0u);
@@ -66,7 +66,7 @@ TEST_F(SsdCacheFileTest, MarkReplaceableOnlyAffectsNormal) {
   // Never-written block stays free even if marked.
   file_.mark_replaceable(cb);
   EXPECT_EQ(file_.state(cb), CbState::kFree);
-  file_.write(cb, 1);
+  EXPECT_TRUE(file_.write(cb, 1).ok());
   file_.mark_replaceable(cb);
   file_.mark_replaceable(cb);  // idempotent
   EXPECT_EQ(file_.replaceable_count(), 1u);
@@ -74,7 +74,7 @@ TEST_F(SsdCacheFileTest, MarkReplaceableOnlyAffectsNormal) {
 
 TEST_F(SsdCacheFileTest, MarkNormalResurrection) {
   const auto cb = *file_.alloc();
-  file_.write(cb, 1);
+  EXPECT_TRUE(file_.write(cb, 1).ok());
   file_.mark_replaceable(cb);
   file_.mark_normal(cb);
   EXPECT_EQ(file_.state(cb), CbState::kNormal);
@@ -86,19 +86,19 @@ TEST_F(SsdCacheFileTest, MarkNormalOnFreeThrows) {
 }
 
 TEST_F(SsdCacheFileTest, ReadChecksState) {
-  EXPECT_THROW(file_.read(0, 0, 1), std::logic_error);  // free block
+  EXPECT_THROW((void)file_.read(0, 0, 1), std::logic_error);  // free block
   const auto cb = *file_.alloc();
-  file_.write(cb, 8);
+  EXPECT_TRUE(file_.write(cb, 8).ok());
   EXPECT_GT(file_.read(cb, 0, 8).latency, 0.0);
-  EXPECT_THROW(file_.read(cb, 10, 10), std::invalid_argument);  // off end
+  EXPECT_THROW((void)file_.read(cb, 10, 10), std::invalid_argument);  // off end
 }
 
 TEST_F(SsdCacheFileTest, WriteValidation) {
   const auto cb = *file_.alloc();
-  EXPECT_THROW(file_.write(cb, 0), std::invalid_argument);
-  EXPECT_THROW(file_.write(cb, file_.pages_per_block() + 1),
+  EXPECT_THROW((void)file_.write(cb, 0), std::invalid_argument);
+  EXPECT_THROW((void)file_.write(cb, file_.pages_per_block() + 1),
                std::invalid_argument);
-  EXPECT_THROW(file_.write(99, 1), std::out_of_range);
+  EXPECT_THROW((void)file_.write(99, 1), std::out_of_range);
 }
 
 TEST_F(SsdCacheFileTest, TrimFreeBlockIsNoop) {
@@ -112,7 +112,7 @@ TEST_F(SsdCacheFileTest, OverwriteInvalidatesWholeFlashBlock) {
   const auto cb = *file_.alloc();
   const auto ppb = file_.pages_per_block();
   for (int round = 0; round < 50; ++round) {
-    file_.write(cb, ppb);
+    EXPECT_TRUE(file_.write(cb, ppb).ok());
   }
   EXPECT_EQ(ssd_.ftl().stats().gc_page_copies, 0u);
 }
@@ -133,8 +133,8 @@ TEST(SsdCacheFileCtorTest, DisjointRegionsCoexist) {
   SsdCacheFile b(ssd, 8 * 16, 8);
   const auto ca = *a.alloc();
   const auto cb = *b.alloc();
-  a.write(ca, 16);
-  b.write(cb, 16);
+  EXPECT_TRUE(a.write(ca, 16).ok());
+  EXPECT_TRUE(b.write(cb, 16).ok());
   EXPECT_GT(a.read(ca, 0, 16).latency, 0.0);
   EXPECT_GT(b.read(cb, 0, 16).latency, 0.0);
 }

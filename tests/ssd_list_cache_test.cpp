@@ -39,14 +39,14 @@ TEST_F(SsdListCacheTest, InsertThenPrefixLookup) {
 }
 
 TEST_F(SsdListCacheTest, HitMarksEntryAndBlocksReplaceable) {
-  cache_.insert(1, 2 * kBlk, 1);
+  (void)cache_.insert(1, 2 * kBlk, 1);
   Micros t = 0;
   cache_.lookup(1, kBlk, t);
   EXPECT_EQ(file_.replaceable_count(), 2u);  // both blocks of the entry
 }
 
 TEST_F(SsdListCacheTest, ResurrectionAvoidsRewrite) {
-  cache_.insert(1, 2 * kBlk, 1);
+  (void)cache_.insert(1, 2 * kBlk, 1);
   Micros t = 0;
   cache_.lookup(1, kBlk, t);  // replaceable now
   const auto writes_before = cache_.stats().blocks_written;
@@ -58,9 +58,9 @@ TEST_F(SsdListCacheTest, ResurrectionAvoidsRewrite) {
 }
 
 TEST_F(SsdListCacheTest, GrowingPrefixForcesRewrite) {
-  cache_.insert(1, kBlk, 1);
+  (void)cache_.insert(1, kBlk, 1);
   const auto writes_before = cache_.stats().blocks_written;
-  cache_.insert(1, 3 * kBlk, 1);  // longer prefix than cached
+  (void)cache_.insert(1, 3 * kBlk, 1);  // longer prefix than cached
   EXPECT_GT(cache_.stats().blocks_written, writes_before);
   Micros t = 0;
   EXPECT_NE(cache_.lookup(1, 3 * kBlk, t), nullptr);
@@ -68,36 +68,36 @@ TEST_F(SsdListCacheTest, GrowingPrefixForcesRewrite) {
 
 TEST_F(SsdListCacheTest, ReplaceableEvictedFirstInWindow) {
   // Fill the 10-block region with 5 entries of 2 blocks.
-  for (TermId term = 1; term <= 5; ++term) cache_.insert(term, 2 * kBlk, 1);
+  for (TermId term = 1; term <= 5; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
   Micros t = 0;
   // Make term 2 (inside the W=3 LRU window: entries 1,2,3) replaceable.
   cache_.lookup(2, kBlk, t);
-  cache_.insert(6, 2 * kBlk, 1);
+  (void)cache_.insert(6, 2 * kBlk, 1);
   EXPECT_FALSE(cache_.contains(2));  // replaceable victim chosen first
   EXPECT_TRUE(cache_.contains(1));   // plain LRU survivor
 }
 
 TEST_F(SsdListCacheTest, ExactSizeMatchPreferredOverAssembly) {
   // Entries: sizes 1,3,1,1,1 blocks -> region 10 blocks, 3 free.
-  cache_.insert(1, kBlk, 1);
-  cache_.insert(2, 3 * kBlk, 1);
-  cache_.insert(3, kBlk, 1);
-  cache_.insert(4, kBlk, 1);
-  cache_.insert(5, kBlk, 1);
+  (void)cache_.insert(1, kBlk, 1);
+  (void)cache_.insert(2, 3 * kBlk, 1);
+  (void)cache_.insert(3, kBlk, 1);
+  (void)cache_.insert(4, kBlk, 1);
+  (void)cache_.insert(5, kBlk, 1);
   EXPECT_EQ(file_.free_count(), 3u);
   // Need 4 blocks: 3 free + 1 more. Window (LRU end) holds 1,2,3; the
   // shortfall is exactly 1 block, and term 1 matches it exactly.
-  cache_.insert(6, 4 * kBlk, 1);
+  (void)cache_.insert(6, 4 * kBlk, 1);
   EXPECT_FALSE(cache_.contains(1));
   EXPECT_TRUE(cache_.contains(2));  // 3-block entry untouched
   EXPECT_TRUE(cache_.contains(6));
 }
 
 TEST_F(SsdListCacheTest, AssemblySpansSeveralWindowEntries) {
-  for (TermId term = 1; term <= 5; ++term) cache_.insert(term, 2 * kBlk, 1);
+  for (TermId term = 1; term <= 5; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
   // Need 4 blocks, no free, no exact-size (needing 4, entries are 2):
   // two LRU-window entries are assembled.
-  cache_.insert(6, 4 * kBlk, 1);
+  (void)cache_.insert(6, 4 * kBlk, 1);
   EXPECT_FALSE(cache_.contains(1));
   EXPECT_FALSE(cache_.contains(2));
   EXPECT_TRUE(cache_.contains(3));
@@ -107,13 +107,13 @@ TEST_F(SsdListCacheTest, AssemblySpansSeveralWindowEntries) {
 TEST_F(SsdListCacheTest, WorstCaseWholeListScan) {
   // One huge entry beyond the window plus small window entries; a write
   // bigger than the whole window must reach into the working region.
-  cache_.insert(1, kBlk, 1);      // LRU end after later inserts
-  cache_.insert(2, kBlk, 1);
-  cache_.insert(3, kBlk, 1);
-  cache_.insert(4, kBlk, 1);
-  cache_.insert(5, 6 * kBlk, 1);  // MRU, outside W=3 window
+  (void)cache_.insert(1, kBlk, 1);      // LRU end after later inserts
+  (void)cache_.insert(2, kBlk, 1);
+  (void)cache_.insert(3, kBlk, 1);
+  (void)cache_.insert(4, kBlk, 1);
+  (void)cache_.insert(5, 6 * kBlk, 1);  // MRU, outside W=3 window
   // Need 8 blocks; window holds 3 small entries + 0 free -> pass 4.
-  cache_.insert(6, 8 * kBlk, 1);
+  (void)cache_.insert(6, 8 * kBlk, 1);
   EXPECT_TRUE(cache_.contains(6));
   EXPECT_FALSE(cache_.contains(5));  // working-region entry sacrificed
 }
@@ -127,10 +127,10 @@ TEST_F(SsdListCacheTest, TooLargeRejected) {
 
 TEST_F(SsdListCacheTest, ExcessVictimBlocksTrimmed) {
   // Evicting a 3-block victim for a 1-block shortfall trims the excess.
-  cache_.insert(1, 3 * kBlk, 1);
-  for (TermId term = 2; term <= 4; ++term) cache_.insert(term, 2 * kBlk, 1);
+  (void)cache_.insert(1, 3 * kBlk, 1);
+  for (TermId term = 2; term <= 4; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
   EXPECT_EQ(file_.free_count(), 1u);
-  cache_.insert(5, 2 * kBlk, 1);  // needs 1 extra block; victim is term 1
+  (void)cache_.insert(5, 2 * kBlk, 1);  // needs 1 extra block; victim is term 1
   EXPECT_FALSE(cache_.contains(1));
   EXPECT_TRUE(cache_.contains(5));
   // Two of the victim's three blocks were not needed: back to free.
@@ -142,14 +142,14 @@ TEST_F(SsdListCacheTest, StaticPreloadPinnedAndUnevictable) {
       {100, 2 * kBlk, 50},
       {101, 2 * kBlk, 40},
   };
-  cache_.preload_static(pinned);
+  (void)cache_.preload_static(pinned);
   EXPECT_TRUE(cache_.is_static(100));
   Micros t = 0;
   const SsdListEntry* e = cache_.lookup(100, kBlk, t);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->freq, 51u);
   // Dynamic churn cannot evict static entries.
-  for (TermId term = 1; term <= 30; ++term) cache_.insert(term, 2 * kBlk, 1);
+  for (TermId term = 1; term <= 30; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
   EXPECT_TRUE(cache_.contains(100));
   EXPECT_TRUE(cache_.contains(101));
   // Inserting a static term is a no-op (already pinned).
@@ -157,7 +157,7 @@ TEST_F(SsdListCacheTest, StaticPreloadPinnedAndUnevictable) {
 }
 
 TEST_F(SsdListCacheTest, StatsAccounting) {
-  cache_.insert(1, 2 * kBlk, 1);
+  (void)cache_.insert(1, 2 * kBlk, 1);
   Micros t = 0;
   cache_.lookup(1, 1, t);
   cache_.lookup(2, 1, t);

@@ -58,7 +58,7 @@ TEST_F(SsdResultCacheTest, InsertThenLookup) {
 
 TEST_F(SsdResultCacheTest, HitMarksBlockReplaceable) {
   auto g = group(0, 6);
-  cache_.insert_rb(g);
+  (void)cache_.insert_rb(g);
   std::uint64_t freq;
   Micros t = 0;
   cache_.lookup(3, freq, t);
@@ -70,7 +70,7 @@ TEST_F(SsdResultCacheTest, HitMarksBlockReplaceable) {
 
 TEST_F(SsdResultCacheTest, ResurrectCancelsRewrite) {
   auto g = group(0, 6);
-  cache_.insert_rb(g);
+  (void)cache_.insert_rb(g);
   std::uint64_t freq;
   Micros t = 0;
   cache_.lookup(2, freq, t);  // slot now memory-resident
@@ -86,10 +86,10 @@ TEST_F(SsdResultCacheTest, VictimIsMaxIrenInWindow) {
   // Fill all 8 RBs.
   for (QueryId base = 0; base < 48; base += 6) {
     auto g = group(base, 6);
-    cache_.insert_rb(g);
+    (void)cache_.insert_rb(g);
   }
   auto g2 = group(100, 6);
-  cache_.insert_rb(g2);  // 8 blocks total in the region: one must go
+  (void)cache_.insert_rb(g2);  // 8 blocks total in the region: one must go
   // Read back 3 entries of the second-oldest RB (queries 6..11) to give
   // it the largest IREN.
   std::uint64_t freq;
@@ -100,7 +100,7 @@ TEST_F(SsdResultCacheTest, VictimIsMaxIrenInWindow) {
   SsdResultCache cache2(file2, /*W=*/2);
   for (QueryId base = 0; base < 24; base += 6) {
     auto g3 = group(base, 6);
-    cache2.insert_rb(g3);
+    (void)cache2.insert_rb(g3);
   }
   // LRU order of RBs (old->new): [0..5], [6..11], [12..17], [18..23].
   // Window W=2 covers the two oldest. Give the second-oldest more IREN.
@@ -108,7 +108,7 @@ TEST_F(SsdResultCacheTest, VictimIsMaxIrenInWindow) {
   cache2.lookup(7, freq, t);
   // Insert a new RB: victim must be the RB holding 6..11.
   auto g4 = group(200, 6);
-  cache2.insert_rb(g4);
+  (void)cache2.insert_rb(g4);
   const ResultEntry* survivor = cache2.lookup(0, freq, t);
   EXPECT_NE(survivor, nullptr);  // oldest RB survived (lower IREN)
   EXPECT_EQ(cache2.lookup(8, freq, t), nullptr);  // dropped with its RB
@@ -117,11 +117,11 @@ TEST_F(SsdResultCacheTest, VictimIsMaxIrenInWindow) {
 
 TEST_F(SsdResultCacheTest, RewriteInvalidatesOldSlot) {
   auto g = group(0, 6);
-  cache_.insert_rb(g);
+  (void)cache_.insert_rb(g);
   // Re-insert query 0 in a later RB; old slot must be invalidated, and
   // the lookup must find the new copy.
   auto g2 = group(0, 1);
-  cache_.insert_rb(g2);
+  (void)cache_.insert_rb(g2);
   std::uint64_t freq;
   Micros t = 0;
   EXPECT_NE(cache_.lookup(0, freq, t), nullptr);
@@ -130,7 +130,7 @@ TEST_F(SsdResultCacheTest, RewriteInvalidatesOldSlot) {
 
 TEST_F(SsdResultCacheTest, PartialGroupsSupported) {
   auto g = group(0, 3);
-  cache_.insert_rb(g);
+  (void)cache_.insert_rb(g);
   EXPECT_EQ(cache_.entry_count(), 3u);
   std::uint64_t freq;
   Micros t = 0;
@@ -140,7 +140,7 @@ TEST_F(SsdResultCacheTest, PartialGroupsSupported) {
 TEST_F(SsdResultCacheTest, StaticPreloadPinnedAndHit) {
   std::vector<CachedResult> hot;
   for (QueryId q = 500; q < 512; ++q) hot.push_back(cached(q, 10));
-  cache_.preload_static(hot);
+  (void)cache_.preload_static(hot);
   EXPECT_TRUE(cache_.is_static(505));
   EXPECT_FALSE(cache_.is_static(5));
   std::uint64_t freq;
@@ -155,11 +155,11 @@ TEST_F(SsdResultCacheTest, StaticPreloadPinnedAndHit) {
 TEST_F(SsdResultCacheTest, StaticSurvivesDynamicChurn) {
   std::vector<CachedResult> hot;
   for (QueryId q = 500; q < 506; ++q) hot.push_back(cached(q, 10));
-  cache_.preload_static(hot);
+  (void)cache_.preload_static(hot);
   // Churn far more dynamic RBs than the region holds.
   for (QueryId base = 0; base < 600; base += 6) {
     auto g = group(base, 6);
-    cache_.insert_rb(g);
+    (void)cache_.insert_rb(g);
   }
   std::uint64_t freq;
   Micros t = 0;
@@ -168,7 +168,7 @@ TEST_F(SsdResultCacheTest, StaticSurvivesDynamicChurn) {
 
 TEST_F(SsdResultCacheTest, StatsCountWrites) {
   auto g = group(0, 6);
-  cache_.insert_rb(g);
+  (void)cache_.insert_rb(g);
   EXPECT_EQ(cache_.stats().rb_writes, 1u);
   EXPECT_EQ(cache_.stats().entries_written, 6u);
 }

@@ -28,20 +28,20 @@ TEST(SsdTest, SectorToPageMapping) {
   Ssd ssd(small_ssd());
   EXPECT_EQ(ssd.sectors_per_page(), 4u);  // 2 KiB page / 512 B sector
   // Reading 1 sector touches exactly 1 page.
-  ssd.write(0, 4);
+  EXPECT_TRUE(ssd.write(0, 4).ok());
   const auto reads_before = ssd.ftl().stats().host_reads;
-  ssd.read(0, 1);
+  EXPECT_TRUE(ssd.read(0, 1).ok());
   EXPECT_EQ(ssd.ftl().stats().host_reads, reads_before + 1);
   // Reading 5 sectors straddling a page boundary touches 2 pages.
-  ssd.read(2, 5);
+  EXPECT_TRUE(ssd.read(2, 5).ok());
   EXPECT_EQ(ssd.ftl().stats().host_reads, reads_before + 3);
 }
 
 TEST(SsdTest, OutOfRangeThrows) {
   Ssd ssd(small_ssd());
   const Lba max_sector = ssd.capacity_bytes() / kSectorSize;
-  EXPECT_THROW(ssd.read(max_sector, 1), std::out_of_range);
-  EXPECT_THROW(ssd.write(max_sector - 1, 2), std::out_of_range);
+  EXPECT_THROW((void)ssd.read(max_sector, 1), std::out_of_range);
+  EXPECT_THROW((void)ssd.write(max_sector - 1, 2), std::out_of_range);
 }
 
 TEST(SsdTest, WriteCostsMoreThanRead) {
@@ -62,12 +62,12 @@ TEST(SsdTest, PageGranularHelpers) {
 
 TEST(SsdTest, TrimOnlyCoversWholePages) {
   Ssd ssd(small_ssd());
-  ssd.write(0, 8);  // pages 0 and 1
+  EXPECT_TRUE(ssd.write(0, 8).ok());  // pages 0 and 1
   const auto trims_before = ssd.ftl().stats().host_trims;
-  ssd.trim(1, 4);  // sectors 1..4: no whole page covered -> page 1 only? no:
+  EXPECT_TRUE(ssd.trim(1, 4).ok());  // sectors 1..4: no whole page covered -> page 1 only? no:
   // pages fully inside [1,5) : page 0 is [0,4), page 1 is [4,8) -> none.
   EXPECT_EQ(ssd.ftl().stats().host_trims, trims_before);
-  ssd.trim(0, 8);  // pages 0 and 1 fully covered
+  EXPECT_TRUE(ssd.trim(0, 8).ok());  // pages 0 and 1 fully covered
   EXPECT_EQ(ssd.ftl().stats().host_trims, trims_before + 2);
 }
 
@@ -76,7 +76,7 @@ TEST(SsdTest, EraseCountSurfacesFromNand) {
   Rng rng(5);
   const Lpn n = ssd.logical_pages();
   for (int i = 0; i < 5000; ++i) {
-    ssd.write_pages(rng.next_below(n), 1);
+    EXPECT_TRUE(ssd.write_pages(rng.next_below(n), 1).ok());
   }
   EXPECT_GT(ssd.block_erases(), 0u);
   EXPECT_EQ(ssd.block_erases(), ssd.nand().stats().block_erases);
@@ -84,16 +84,16 @@ TEST(SsdTest, EraseCountSurfacesFromNand) {
 
 TEST(SsdTest, MeanFlashAccessTracksFtl) {
   Ssd ssd(small_ssd());
-  ssd.write_pages(0, 10);
-  ssd.read_pages(0, 10);
+  EXPECT_TRUE(ssd.write_pages(0, 10).ok());
+  EXPECT_TRUE(ssd.read_pages(0, 10).ok());
   EXPECT_GT(ssd.mean_flash_access(), 0.0);
   EXPECT_DOUBLE_EQ(ssd.mean_flash_access(), ssd.ftl().stats().mean_access());
 }
 
 TEST(SsdTest, DeviceStatsAccumulate) {
   Ssd ssd(small_ssd());
-  ssd.write(0, 8);
-  ssd.read(0, 8);
+  EXPECT_TRUE(ssd.write(0, 8).ok());
+  EXPECT_TRUE(ssd.read(0, 8).ok());
   EXPECT_EQ(ssd.stats().write_ops, 1u);
   EXPECT_EQ(ssd.stats().read_ops, 1u);
   EXPECT_EQ(ssd.stats().sectors_written, 8u);
@@ -103,16 +103,16 @@ TEST(SsdTest, WorksWithEveryFtlScheme) {
   for (const std::string scheme : {"page", "block", "hybrid-log", "dftl"}) {
     Ssd ssd(small_ssd(64, scheme));
     EXPECT_EQ(ssd.ftl().name(), scheme);
-    ssd.write(0, 64);
-    EXPECT_NO_THROW(ssd.read(0, 64));
+    EXPECT_TRUE(ssd.write(0, 64).ok());
+    EXPECT_TRUE(ssd.read(0, 64).ok());
   }
 }
 
 TEST(SsdTest, CollectorCapturesHostOps) {
   Ssd ssd(small_ssd());
   ssd.collector().set_enabled(true);
-  ssd.write(8, 4);
-  ssd.read(8, 4);
+  EXPECT_TRUE(ssd.write(8, 4).ok());
+  EXPECT_TRUE(ssd.read(8, 4).ok());
   ASSERT_EQ(ssd.collector().records().size(), 2u);
   EXPECT_EQ(ssd.collector().records()[0].op, IoOp::kWrite);
   EXPECT_EQ(ssd.collector().records()[1].op, IoOp::kRead);

@@ -15,18 +15,18 @@ TEST(HddTest, OutOfRangeThrows) {
   HddConfig cfg;
   cfg.capacity = 1 * MiB;
   HddModel hdd(cfg);
-  EXPECT_THROW(hdd.read(10'000, 8), std::out_of_range);
-  EXPECT_THROW(hdd.write(2047, 2), std::out_of_range);
-  EXPECT_NO_THROW(hdd.read(0, 8));
+  EXPECT_THROW((void)hdd.read(10'000, 8), std::out_of_range);
+  EXPECT_THROW((void)hdd.write(2047, 2), std::out_of_range);
+  EXPECT_TRUE(hdd.read(0, 8).ok());
 }
 
 TEST(HddTest, SequentialCheaperThanRandom) {
   HddModel hdd;
   // Prime the head.
-  hdd.read(0, 64);
+  EXPECT_TRUE(hdd.read(0, 64).ok());
   const Micros seq = hdd.read(64, 64).latency;  // continues at the head
   HddModel hdd2;
-  hdd2.read(0, 64);
+  EXPECT_TRUE(hdd2.read(0, 64).ok());
   const Micros rnd = hdd2.read(200'000'000, 64).latency;  // far seek
   EXPECT_LT(seq * 5, rnd);
 }
@@ -34,7 +34,7 @@ TEST(HddTest, SequentialCheaperThanRandom) {
 TEST(HddTest, SequentialRunHasNoSeek) {
   HddConfig cfg;
   HddModel hdd(cfg);
-  hdd.read(0, 8);
+  EXPECT_TRUE(hdd.read(0, 8).ok());
   const Micros t = hdd.read(8, 8).latency;
   // Controller overhead + transfer only: well under 1 ms.
   EXPECT_LT(t, 1000.0);
@@ -56,8 +56,8 @@ TEST(HddTest, TransferScalesWithSize) {
 
 TEST(HddTest, StatsAccumulate) {
   HddModel hdd;
-  hdd.read(0, 8);
-  hdd.write(100'000, 16);
+  EXPECT_TRUE(hdd.read(0, 8).ok());
+  EXPECT_TRUE(hdd.write(100'000, 16).ok());
   EXPECT_EQ(hdd.stats().read_ops, 1u);
   EXPECT_EQ(hdd.stats().write_ops, 1u);
   EXPECT_EQ(hdd.stats().sectors_read, 8u);
@@ -69,7 +69,7 @@ TEST(HddTest, StatsAccumulate) {
 TEST(HddTest, CollectorSeesOps) {
   HddModel hdd;
   hdd.collector().set_enabled(true);
-  hdd.read(42, 8);
+  EXPECT_TRUE(hdd.read(42, 8).ok());
   ASSERT_EQ(hdd.collector().records().size(), 1u);
   EXPECT_EQ(hdd.collector().records()[0].lba, 42u);
   EXPECT_EQ(hdd.collector().records()[0].op, IoOp::kRead);
@@ -86,51 +86,51 @@ NandConfig tiny_nand() {
 
 TEST(NandTest, ProgramReadRoundTrip) {
   NandArray nand(tiny_nand());
-  nand.program_page(0, 0xDEADBEEF);
+  (void)nand.program_page(0, 0xDEADBEEF);
   std::uint64_t tag = 0;
-  nand.read_page(0, &tag);
+  (void)nand.read_page(0, &tag);
   EXPECT_EQ(tag, 0xDEADBEEFu);
 }
 
 TEST(NandTest, ErasedPageReadsFreeTag) {
   NandArray nand(tiny_nand());
   std::uint64_t tag = 0;
-  nand.read_page(5, &tag);
+  (void)nand.read_page(5, &tag);
   EXPECT_EQ(tag, kNandFreeTag);
   EXPECT_TRUE(nand.is_erased(5));
 }
 
 TEST(NandTest, EraseBeforeWriteEnforced) {
   NandArray nand(tiny_nand());
-  nand.program_page(0, 1);
-  EXPECT_THROW(nand.program_page(0, 2), std::logic_error);
-  nand.erase_block(0);
-  EXPECT_NO_THROW(nand.program_page(0, 2));
+  (void)nand.program_page(0, 1);
+  EXPECT_THROW((void)nand.program_page(0, 2), std::logic_error);
+  (void)nand.erase_block(0);
+  EXPECT_NO_THROW((void)nand.program_page(0, 2));
 }
 
 TEST(NandTest, InOrderProgramEnforced) {
   NandArray nand(tiny_nand());
   // Page 2 of block 0 cannot be programmed before pages 0 and 1.
-  EXPECT_THROW(nand.program_page(2, 1), std::logic_error);
-  nand.program_page(0, 1);
-  nand.program_page(1, 2);
-  EXPECT_NO_THROW(nand.program_page(2, 3));
+  EXPECT_THROW((void)nand.program_page(2, 1), std::logic_error);
+  (void)nand.program_page(0, 1);
+  (void)nand.program_page(1, 2);
+  EXPECT_NO_THROW((void)nand.program_page(2, 3));
 }
 
 TEST(NandTest, EraseClearsWholeBlockOnly) {
   NandArray nand(tiny_nand());
-  for (Ppn p = 0; p < 4; ++p) nand.program_page(p, p + 1);
-  nand.program_page(4, 99);  // block 1, page 0
-  nand.erase_block(0);
+  for (Ppn p = 0; p < 4; ++p) (void)nand.program_page(p, p + 1);
+  (void)nand.program_page(4, 99);  // block 1, page 0
+  (void)nand.erase_block(0);
   for (Ppn p = 0; p < 4; ++p) EXPECT_TRUE(nand.is_erased(p));
   EXPECT_FALSE(nand.is_erased(4));
 }
 
 TEST(NandTest, WearCountsPerBlock) {
   NandArray nand(tiny_nand());
-  nand.erase_block(3);
-  nand.erase_block(3);
-  nand.erase_block(1);
+  (void)nand.erase_block(3);
+  (void)nand.erase_block(3);
+  (void)nand.erase_block(1);
   EXPECT_EQ(nand.erase_count(3), 2u);
   EXPECT_EQ(nand.erase_count(1), 1u);
   EXPECT_EQ(nand.erase_count(0), 0u);
@@ -148,11 +148,11 @@ TEST(NandTest, LatenciesMatchTableIII) {
 
 TEST(NandTest, StatsTrackOps) {
   NandArray nand(tiny_nand());
-  nand.program_page(0, 1);
+  (void)nand.program_page(0, 1);
   std::uint64_t tag;
-  nand.read_page(0, &tag);
-  nand.read_page(1, &tag);
-  nand.erase_block(0);
+  (void)nand.read_page(0, &tag);
+  (void)nand.read_page(1, &tag);
+  (void)nand.erase_block(0);
   EXPECT_EQ(nand.stats().page_programs, 1u);
   EXPECT_EQ(nand.stats().page_reads, 2u);
   EXPECT_EQ(nand.stats().block_erases, 1u);
@@ -161,9 +161,9 @@ TEST(NandTest, StatsTrackOps) {
 
 TEST(NandTest, OutOfRangeThrows) {
   NandArray nand(tiny_nand());
-  EXPECT_THROW(nand.read_page(32), std::out_of_range);
-  EXPECT_THROW(nand.program_page(32, 1), std::out_of_range);
-  EXPECT_THROW(nand.erase_block(8), std::out_of_range);
+  EXPECT_THROW((void)nand.read_page(32), std::out_of_range);
+  EXPECT_THROW((void)nand.program_page(32, 1), std::out_of_range);
+  EXPECT_THROW((void)nand.erase_block(8), std::out_of_range);
 }
 
 TEST(NandTest, GeometryHelpers) {
@@ -189,8 +189,8 @@ TEST(RamTest, ReadWriteBoundsChecked) {
   RamConfig cfg;
   cfg.capacity = 1 * MiB;
   RamDevice ram(cfg);
-  EXPECT_NO_THROW(ram.read(0, 8));
-  EXPECT_THROW(ram.read(3000, 8), std::out_of_range);
+  EXPECT_TRUE(ram.read(0, 8).ok());
+  EXPECT_THROW((void)ram.read(3000, 8), std::out_of_range);
 }
 
 TEST(RamTest, MuchFasterThanHdd) {
