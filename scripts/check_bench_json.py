@@ -3,16 +3,22 @@
 
 Usage: check_bench_json.py <file.json> [more.json ...]
 
-Three document shapes are recognized:
+Four document shapes are recognized:
   * perf_driver bench files ("bench": "perf_driver") — phase timings,
     fingerprints and the zero-overhead trace guard;
   * fault-injection bench files ("bench": "ext_faults") — DESIGN.md §10:
     per-cell fault/breaker accounting, with the two robustness gates
     (fingerprints bit-identical across fault rates; the breaker tripped
     and recovered in the demo cell);
+  * live-index churn bench files ("bench": "ext_ingest") — DESIGN.md
+    §12: per-cell churn/coherence accounting, with the two liveness
+    gates (an idle live system fingerprints identically to a frozen
+    one; churned results match a rebuild-from-scratch oracle both
+    mid-segment and post-merge);
   * telemetry run reports ("report": "telemetry") — DESIGN.md §9: the
     registry dump, per-stage trace quantiles, situation census, per-tier
-    cache accounting, flash counters and the fault/breaker section.
+    cache accounting, flash counters, the fault/breaker section and the
+    ingest/coherence section when the live index is enabled.
 
 Exits non-zero (with a message) on any missing key, wrong type, or
 implausible value — CI runs this after the perf_driver smoke so a
@@ -28,6 +34,7 @@ EXPECTED_PHASES = ["daat", "cache", "ssd"]
 TRACE_STAGES = {
     "result_probe", "list_fetch_mem", "list_fetch_ssd", "list_fetch_hdd",
     "daat_score", "write_buffer_flush", "ftl_gc", "broker_merge",
+    "ingest_apply", "segment_merge",
 }
 
 
@@ -231,6 +238,97 @@ def check_ext_faults(doc, path):
           f"recovered {demo['closes']}x)")
 
 
+STALE_KEYS = ("result_invalidations", "list_invalidations",
+              "ssd_result_misses", "ssd_list_misses", "ssd_list_marks")
+
+
+def check_stale(stale, ctx):
+    require(isinstance(stale, dict), f"{ctx}: must be an object")
+    for key in STALE_KEYS:
+        require(isinstance(stale.get(key), int) and stale[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+
+
+def check_ext_ingest(doc, path):
+    require(doc.get("schema_version") == 1,
+            f"unsupported schema_version {doc.get('schema_version')!r}")
+    queries = doc.get("queries")
+    require(isinstance(queries, int) and queries > 0,
+            "'queries' must be a positive integer")
+
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and len(cells) >= 4,
+            "'cells' must list the disabled/idle baselines plus at "
+            "least two churn mixes")
+    by_name = {}
+    for c in cells:
+        ctx = f"cell '{c.get('name')}'"
+        require(isinstance(c.get("name"), str) and c["name"],
+                f"{ctx}: 'name' must be a non-empty string")
+        by_name[c["name"]] = c
+        require(isinstance(c.get("fingerprint"), int)
+                and c["fingerprint"] > 0,
+                f"{ctx}: 'fingerprint' must be a positive integer")
+        require(is_num(c.get("mean_response_ms"))
+                and c["mean_response_ms"] > 0,
+                f"{ctx}: 'mean_response_ms' must be positive")
+        require(is_num(c.get("hit_ratio")) and 0.0 <= c["hit_ratio"] <= 1.0,
+                f"{ctx}: 'hit_ratio' must be in [0, 1]")
+        require(isinstance(c.get("result_probes"), int)
+                and c["result_probes"] >= 0,
+                f"{ctx}: 'result_probes' must be a non-negative integer")
+        check_stale(c.get("stale"), f"{ctx}.stale")
+        # A result entry must be probed before it can be found stale.
+        require(c["stale"]["result_invalidations"] <= c["result_probes"],
+                f"{ctx}: more stale result invalidations than probes")
+        ing = c.get("ingest")
+        require(isinstance(ing, dict), f"{ctx}.ingest: must be an object")
+        for key in ("docs", "deletes", "merges", "merged_postings",
+                    "segment_postings", "deleted_docs"):
+            require(isinstance(ing.get(key), int) and ing[key] >= 0,
+                    f"{ctx}.ingest: '{key}' must be a non-negative integer")
+        require(ing["deleted_docs"] <= ing["deletes"],
+                f"{ctx}.ingest: deleted_docs exceeds deletes issued")
+        if ing["merges"] == 0 and ing["docs"] == 0:
+            require(ing["segment_postings"] == 0,
+                    f"{ctx}.ingest: segment postings without any ingest")
+
+    for name in ("disabled", "enabled_idle"):
+        require(name in by_name, f"missing baseline cell '{name}'")
+        frozen = by_name[name]
+        require(frozen["ingest"]["docs"] == 0
+                and frozen["ingest"]["deletes"] == 0
+                and frozen["stale"]["result_invalidations"] == 0,
+                f"cell '{name}': baseline cell performed mutations")
+    churned = [c for c in cells if c["ingest"]["docs"] > 0]
+    require(churned, "no churn cell actually ingested documents")
+    require(any(c["ingest"]["merges"] > 0 for c in churned),
+            "no churn cell reached a segment merge")
+
+    # Liveness gate 1: an idle live system is bit-identical to a frozen
+    # one (the zero-churn invariant).
+    require(doc.get("idle_matches_disabled") is True,
+            "idle_matches_disabled is not true: enabling the ingest "
+            "subsystem changed a churn-free run")
+    require(by_name["disabled"]["fingerprint"]
+            == by_name["enabled_idle"]["fingerprint"],
+            "disabled and enabled_idle fingerprints differ")
+    # Liveness gate 2: churned results match the rebuild-from-scratch
+    # oracle, mid-segment and after a forced merge.
+    oracle = doc.get("oracle")
+    require(isinstance(oracle, dict), "'oracle' must be an object")
+    require(isinstance(oracle.get("probes"), int) and oracle["probes"] > 0,
+            "oracle: 'probes' must be a positive integer")
+    require(oracle.get("pre_merge_match") is True,
+            "oracle: mid-segment results diverged from the oracle")
+    require(oracle.get("post_merge_match") is True,
+            "oracle: post-merge results diverged from the oracle")
+
+    print(f"check_bench_json: OK ({path}: ext_ingest, "
+          f"{len(cells)} cells x {queries} queries, idle fingerprint "
+          f"identical, oracle exact over {oracle['probes']} probes)")
+
+
 def check_telemetry(doc, path):
     require(doc.get("schema_version") == 1,
             f"unsupported schema_version {doc.get('schema_version')!r}")
@@ -315,6 +413,31 @@ def check_telemetry(doc, path):
     if "faults" in doc:
         check_faults(doc["faults"])
 
+    if "ingest" in doc:
+        ing = doc["ingest"]
+        require(isinstance(ing, dict), "'ingest' must be an object")
+        for key in ("docs", "deletes", "delete_misses", "merges",
+                    "merged_terms", "merged_postings", "replayed_records",
+                    "replay_torn_bytes", "segment_postings",
+                    "segment_arena_bytes", "deleted_docs"):
+            require(isinstance(ing.get(key), int) and ing[key] >= 0,
+                    f"ingest: '{key}' must be a non-negative integer")
+        for key in ("apply_us", "merge_us"):
+            require(is_num(ing.get(key)) and ing[key] >= 0,
+                    f"ingest: '{key}' must be non-negative")
+        require(ing["deleted_docs"] <= ing["deletes"] + ing["docs"],
+                "ingest: more tombstones than documents ever touched")
+        if ing["merges"] == 0:
+            require(ing["merged_postings"] == 0,
+                    "ingest: merged postings without any merge")
+        check_stale(ing.get("stale"), "ingest.stale")
+        # Stale results are found by probing; the probe totals bound it.
+        cache = doc.get("cache", {})
+        result_probes = cache.get("result", {}).get("probes", 0)
+        require(ing["stale"]["result_invalidations"] <= result_probes,
+                "ingest.stale: more result invalidations than result "
+                "probes")
+
     metrics = doc.get("metrics")
     require(isinstance(metrics, dict) and metrics,
             "'metrics' must be a non-empty object (registry dump)")
@@ -337,9 +460,11 @@ def check_file(path):
         check_bench(doc, path)
     elif doc.get("bench") == "ext_faults":
         check_ext_faults(doc, path)
+    elif doc.get("bench") == "ext_ingest":
+        check_ext_ingest(doc, path)
     else:
-        fail(f"{path}: not a perf_driver/ext_faults bench file or a "
-             "telemetry report")
+        fail(f"{path}: not a perf_driver/ext_faults/ext_ingest bench "
+             "file or a telemetry report")
 
 
 def main():

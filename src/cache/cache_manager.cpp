@@ -72,8 +72,7 @@ Bytes CacheManager::needed_bytes(const TermMeta& meta) const {
                            meta.list_bytes);
 }
 
-void CacheManager::expire_result(QueryId qid) {
-  ++stats_.results_expired;
+void CacheManager::drop_result_copies(QueryId qid) {
   mem_rc_.erase(qid);
   wb_.cancel(qid);
   if (!cfg_.l2) return;
@@ -84,14 +83,43 @@ void CacheManager::expire_result(QueryId qid) {
   }
 }
 
-const ResultEntry* CacheManager::lookup_result(QueryId qid, Tier* tier_out,
-                                               Micros* time) {
+void CacheManager::expire_result(QueryId qid) {
+  ++stats_.results_expired;
+  drop_result_copies(qid);
+}
+
+void CacheManager::note_term_mutations(std::span<const TermId> terms,
+                                       std::uint64_t tick) {
+  if (terms.empty()) return;
+  coherence_ = true;
+  for (const TermId t : terms) {
+    auto& epoch = term_epoch_[t];
+    if (tick > epoch) epoch = tick;
+  }
+}
+
+void CacheManager::note_doc_count_change(std::uint64_t tick) {
+  coherence_ = true;
+  doc_count_armed_ = true;
+  if (tick > doc_count_epoch_) doc_count_epoch_ = tick;
+}
+
+const ResultEntry* CacheManager::lookup_result(QueryId qid,
+                                               std::span<const TermId> terms,
+                                               Tier* tier_out, Micros* time) {
   if (!cfg_.result_cache) return nullptr;
   ++stats_.result_lookups;
   // L1.
   if (const CachedResult* hit = mem_rc_.lookup(qid)) {
     if (expired(hit->born)) {
       expire_result(qid);
+      return nullptr;
+    }
+    if (stale_result(terms, hit->born)) {
+      // Coherence: an involved term mutated since this result was
+      // computed. Every copy goes (they are all at least as old).
+      ++stats_.stale_result_invalidations;
+      drop_result_copies(qid);
       return nullptr;
     }
     ++stats_.result_hits_mem;
@@ -103,6 +131,11 @@ const ResultEntry* CacheManager::lookup_result(QueryId qid, Tier* tier_out,
   if (auto buffered = wb_.take(qid)) {
     if (expired(buffered->born)) {
       expire_result(qid);
+      return nullptr;
+    }
+    if (stale_result(terms, buffered->born)) {
+      ++stats_.stale_result_invalidations;
+      drop_result_copies(qid);
       return nullptr;
     }
     ++stats_.result_hits_mem;
@@ -143,6 +176,16 @@ const ResultEntry* CacheManager::lookup_result(QueryId qid, Tier* tier_out,
   if (ssd_hit) {
     if (expired(born)) {
       expire_result(qid);
+      return nullptr;
+    }
+    if (stale_result(terms, born)) {
+      // The flash read happened and its latency is real; the content is
+      // not servable. Falls through exactly like a miss (§10-style
+      // degradation accounting: a stale hit is never a hit).
+      *time += flash;
+      ++stats_.stale_result_invalidations;
+      ++stats_.stale_ssd_result_misses;
+      drop_result_copies(qid);
       return nullptr;
     }
     ++stats_.result_hits_ssd;
@@ -235,6 +278,11 @@ Tier CacheManager::fetch_list(TermId term, Micros* time) {
   if (const CachedList* hit = mem_lc_.lookup(term, needed)) {
     if (expired(hit->born)) {
       stats_.background_flash_time += expire_list(term);
+    } else if (stale_list(term, hit->born)) {
+      // Coherence: drop only the L1 copy and keep probing — the SSD
+      // copy has its own birth tick and is judged on its own below.
+      ++stats_.stale_list_invalidations;
+      mem_lc_.erase(term);
     } else {
       ++stats_.list_hits_mem;
       *time += ram_.access_cost(needed);
@@ -258,6 +306,15 @@ Tier CacheManager::fetch_list(TermId term, Micros* time) {
                 ssd_lc_->lookup(term, needed, flash, &st)) {
           if (expired(e->born)) {
             stats_.background_flash_time += expire_list(term);
+          } else if (stale_list(term, e->born)) {
+            // Stale flash content: charge the probe's read latency,
+            // flag the entry as a preferred eviction victim, and fall
+            // through to the HDD exactly like a miss — the fresh list
+            // re-enters through the normal promote/evict cycle.
+            *time += flash;
+            ++stats_.stale_list_invalidations;
+            ++stats_.stale_ssd_list_misses;
+            ssd_lc_->mark_stale(term);
           } else {
             ssd_hit = true;
             promoted_freq = e->freq;
@@ -269,6 +326,11 @@ Tier CacheManager::fetch_list(TermId term, Micros* time) {
         if (const auto* e = lru_lc_->lookup(term, needed, flash, &st)) {
           if (expired(e->born)) {
             stats_.background_flash_time += expire_list(term);
+          } else if (stale_list(term, e->born)) {
+            *time += flash;
+            ++stats_.stale_list_invalidations;
+            ++stats_.stale_ssd_list_misses;
+            lru_lc_->erase(term);
           } else {
             ssd_hit = true;
             promoted_freq = e->freq;

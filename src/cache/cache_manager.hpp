@@ -13,6 +13,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
+#include <unordered_map>
 
 #include "src/cache/circuit_breaker.hpp"
 #include "src/cache/intersection_cache.hpp"
@@ -52,6 +54,15 @@ struct CacheManagerStats {
   std::uint64_t breaker_bypassed_probes = 0;   // lookups skipped while open
   std::uint64_t breaker_bypassed_inserts = 0;  // evictions dropped, not flushed
 
+  // Live-index coherence (DESIGN.md §12): cached copies born at or
+  // before a term's last mutation epoch are stale; a stale hit is NOT a
+  // hit — it is dropped (or flash-marked) and the query falls through
+  // exactly like a miss, so per-tier hits never exceed probes.
+  std::uint64_t stale_result_invalidations = 0;  // dropped, any tier
+  std::uint64_t stale_list_invalidations = 0;
+  std::uint64_t stale_ssd_result_misses = 0;  // subset found on flash
+  std::uint64_t stale_ssd_list_misses = 0;
+
   [[nodiscard]] double result_hit_ratio() const {
     return result_lookups ? static_cast<double>(result_hits_mem +
                                                 result_hits_ssd) /
@@ -84,7 +95,29 @@ class CacheManager {
 
   /// QM, result side. On a hit `*tier_out` says where it came from and
   /// `time` accumulates the access cost. SSD hits are promoted into L1.
-  const ResultEntry* lookup_result(QueryId qid, Tier* tier_out, Micros* time);
+  /// `terms` are the query's terms, used for live-index coherence: a
+  /// cached result born at or before any term's mutation epoch is stale
+  /// and treated as a miss. Pass an empty span for churn-free callers.
+  const ResultEntry* lookup_result(QueryId qid, std::span<const TermId> terms,
+                                   Tier* tier_out, Micros* time);
+  const ResultEntry* lookup_result(QueryId qid, Tier* tier_out,
+                                   Micros* time) {
+    return lookup_result(qid, {}, tier_out, time);
+  }
+
+  /// Live-index coherence: record that `terms` mutated at logical time
+  /// `tick`. Cached results/lists born at or before the max recorded
+  /// tick of any involved term become stale. Idempotent and monotone;
+  /// the first call arms the (otherwise free) staleness checks.
+  void note_term_mutations(std::span<const TermId> terms, std::uint64_t tick);
+
+  /// Live-index coherence: record that the corpus doc count changed at
+  /// logical time `tick` (an ingest; tombstone deletes keep doc slots,
+  /// so N is stable). A doc-count change re-weights every term's idf,
+  /// so ALL cached result scores computed at or before `tick` are stale
+  /// — term epochs cannot see this, hence the separate global epoch.
+  /// List caches are unaffected: postings do not depend on N.
+  void note_doc_count_change(std::uint64_t tick);
 
   /// QM, list side: returns the tier that served the (partial) list and
   /// accumulates the access cost; misses read the HDD index and promote.
@@ -155,6 +188,27 @@ class CacheManager {
   /// Drop every cached copy of a stale result / list.
   void expire_result(QueryId qid);
   [[nodiscard]] Micros expire_list(TermId term);
+  /// Coherence staleness: the copy was born at or before the term's
+  /// last mutation epoch. `<=` (not `<`) — a mutation and an insert at
+  /// the same tick conservatively invalidate, keeping replay exact.
+  [[nodiscard]] bool stale_list(TermId term, std::uint64_t born) const {
+    if (!coherence_) return false;
+    const auto it = term_epoch_.find(term);
+    return it != term_epoch_.end() && born <= it->second;
+  }
+  [[nodiscard]] bool stale_result(std::span<const TermId> terms,
+                                  std::uint64_t born) const {
+    if (!coherence_) return false;
+    // Ingests change N and therefore every idf; any result computed at
+    // or before the last doc-count change is stale regardless of terms.
+    if (doc_count_armed_ && born <= doc_count_epoch_) return true;
+    for (const TermId t : terms) {
+      if (stale_list(t, born)) return true;
+    }
+    return false;
+  }
+  /// Drop every cached copy of `qid` without counting a TTL expiry.
+  void drop_result_copies(QueryId qid);
   /// Expected bytes a query needs from a term's list (PU x SI).
   Bytes needed_bytes(const TermMeta& meta) const;
   /// HDD read of a list prefix with skipped-read segmentation (§III).
@@ -194,6 +248,16 @@ class CacheManager {
   CircuitBreaker breaker_;
 
   std::uint64_t now_ = 0;  // logical clock (queries)
+  // Live-index coherence epochs: term -> logical time of its last
+  // mutation. Never iterated (point lookups only), so unordered is
+  // determinism-safe. Empty (and skipped entirely) until the first
+  // note_term_mutations call.
+  bool coherence_ = false;
+  std::unordered_map<TermId, std::uint64_t> term_epoch_;
+  // Tick of the last doc-count change (ingest). Armed separately so a
+  // born==0 entry is not spuriously stale before the first ingest.
+  bool doc_count_armed_ = false;
+  std::uint64_t doc_count_epoch_ = 0;
   /// Serving copy for promotions the degenerate (zero-entry) L1 bounced;
   /// valid until the next promote_result call.
   ResultEntry promoted_scratch_;

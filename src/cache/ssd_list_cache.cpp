@@ -171,6 +171,30 @@ bool SsdListCache::acquire_blocks(std::uint32_t needed,
   return shortfall() == 0;
 }
 
+void SsdListCache::mark_stale(TermId term) {
+  if (auto sit = static_map_.find(term); sit != static_map_.end()) {
+    // Pinned blocks cannot be released or overwritten; the mapping
+    // stays, the manager's epoch check keeps rejecting it. Count the
+    // transition only.
+    if (!sit->second.stale) {
+      sit->second.stale = true;
+      ++stats_.stale_marks;
+    }
+    return;
+  }
+  SsdListEntry* e = map_.peek(term);
+  if (e == nullptr || e->stale) return;
+  e->stale = true;
+  ++stats_.stale_marks;
+  // IREN-style preference: invalidated flash content is the cheapest
+  // thing to overwrite, so the entry's blocks go replaceable at once
+  // and pass 1 of the Fig. 13 cascade picks them up first.
+  if (!e->replaceable) {
+    e->replaceable = true;
+    for (std::uint32_t cb : e->blocks) file_.mark_replaceable(cb);
+  }
+}
+
 Micros SsdListCache::erase(TermId term) {
   Micros t = 0;
   if (auto sit = static_map_.find(term); sit != static_map_.end()) {
@@ -199,9 +223,10 @@ Micros SsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
   }
   // Cancellation (replaceable -> normal, Fig. 9): the SSD still holds a
   // prefix at least as long as what we would write, so revalidate it
-  // instead of rewriting.
+  // instead of rewriting. Never for a stale entry — its flash content
+  // predates a mutation; it must take the erase+rewrite path below.
   if (SsdListEntry* existing = map_.touch(term)) {
-    if (existing->cached_bytes >= bytes) {
+    if (!existing->stale && existing->cached_bytes >= bytes) {
       existing->freq = std::max(existing->freq, freq);
       existing->ev = formula_ev(existing->freq, existing->sc_blocks);
       existing->born = std::max(existing->born, born);
@@ -278,7 +303,10 @@ Micros SsdListCache::restore_image(
     e.ev = formula_ev(image.freq, std::max(image.sc_blocks, 1u));
     // The L1 copy died with the process, so the SSD copy is current
     // again — replaceable marks are not carried across a restart.
+    // Stale marks aren't either: replayed ingest records re-arm the
+    // epochs, which re-derive staleness from born ticks.
     e.replaceable = false;
+    e.stale = false;
     e.born = image.born;
     return e;
   };

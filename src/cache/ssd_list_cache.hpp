@@ -34,6 +34,7 @@ struct SsdListCacheStats {
   std::uint64_t blocks_written = 0;
   std::uint64_t resurrections = 0;  // rewrites cancelled (Fig. 9)
   std::uint64_t read_errors = 0;    // uncorrectable flash reads -> miss
+  std::uint64_t stale_marks = 0;    // live-index coherence invalidations
 };
 
 struct SsdListEntry {
@@ -43,6 +44,10 @@ struct SsdListEntry {
   std::uint32_t sc_blocks = 0;
   double ev = 0;
   bool replaceable = false;  // read back to memory since last write
+  /// Live-index coherence: the flash content predates a mutation of the
+  /// term. A stale entry is never served or resurrected — it only waits
+  /// to be overwritten (preferred victim) or rewritten fresh.
+  bool stale = false;
   std::uint64_t born = 0;    // freshness anchor for TTL (paper §IV.B)
 };
 
@@ -66,6 +71,15 @@ class SsdListCache {
   /// TTL expiry: drop the entry and TRIM its blocks (cold-data
   /// deletion). Returns the flash time spent.
   [[nodiscard]] Micros erase(TermId term);
+
+  /// Live-index coherence: flag the entry's flash content as stale.
+  /// Dynamic entries turn replaceable immediately — preferred eviction
+  /// victims under the Fig. 13 cascade (IREN-style: invalidated data is
+  /// the cheapest to overwrite) — and insert() will never resurrect
+  /// them. Static-partition entries only count the mark: their blocks
+  /// are pinned, so a stale static list misses until a restart rebuilds
+  /// the partition (documented degradation, DESIGN.md §12).
+  void mark_stale(TermId term);
 
   /// Pin (term, bytes, freq) tuples as the static partition.
   [[nodiscard]] Micros preload_static(

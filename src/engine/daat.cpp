@@ -17,6 +17,18 @@ DocSortedList::DocSortedList(const PostingList& list,
   }
 }
 
+DocSortedList::DocSortedList(std::vector<Posting> postings,
+                             std::uint32_t skip_interval)
+    : postings_(std::move(postings)) {
+  std::sort(postings_.begin(), postings_.end(),
+            [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+  skip_interval_ = std::max(skip_interval, 1u);
+  for (std::uint32_t i = 0; i < postings_.size(); i += skip_interval_) {
+    skip_index_.push_back(i);
+    skip_doc_.push_back(postings_[i].doc);
+  }
+}
+
 std::size_t DocSortedList::advance(std::size_t from, DocId target,
                                    std::uint64_t* skips_used) const {
   if (from >= postings_.size()) return postings_.size();
@@ -56,7 +68,36 @@ ResultEntry DaatProcessor::intersect(const MaterializedIndex& index,
   // shortest list drives the loop.
   const std::size_t n = query.terms.size();
   views_.clear();
-  for (TermId t : query.terms) views_.push_back(index.doc_sorted(t));
+  const LiveOverlay* overlay = index.overlay();
+  if (overlay == nullptr || overlay->clean()) {
+    // Zero-churn fast path: bit-identical to a build with no overlay.
+    for (TermId t : query.terms) views_.push_back(index.doc_sorted(t));
+  } else {
+    // Churn path: dirty terms get their current postings materialized
+    // into scratch (skip-less views — a pure scan advances to the same
+    // positions a skip table would, so results match the rebuilt-index
+    // oracle; only skip_hops differs). Clean terms keep their arena
+    // slice and skip table but need the idf refreshed, since N already
+    // counts the live doc slots.
+    const double n_docs = static_cast<double>(index.num_docs());
+    if (scratch_.size() < n) scratch_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TermId t = query.terms[i];
+      if (index.live_doc_sorted(t, scratch_[i])) {
+        const std::vector<Posting>& s = scratch_[i];
+        views_.emplace_back(
+            s.data(), static_cast<std::uint32_t>(s.size()), nullptr, 0, 1,
+            std::log(1.0 + n_docs / (static_cast<double>(s.size()) + 1.0)));
+      } else {
+        const DocSortedView v = index.doc_sorted(t);
+        views_.emplace_back(
+            v.postings().data(), static_cast<std::uint32_t>(v.size()),
+            v.skips().data(), static_cast<std::uint32_t>(v.skips().size()),
+            v.skip_interval(),
+            std::log(1.0 + n_docs / (static_cast<double>(v.size()) + 1.0)));
+      }
+    }
+  }
   order_.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
   std::sort(order_.begin(), order_.end(),
@@ -123,15 +164,26 @@ ResultEntry NaiveDaatProcessor::intersect(const MaterializedIndex& index,
   if (query.terms.empty()) return out;
 
   // Build doc-sorted copies, shortest list first (drives the loop).
+  // num_docs() and live_doc_sorted() are overlay-aware, so the naive
+  // processor scores the churned index the way a rebuilt one would —
+  // the equivalence suite leans on that under ingestion.
   std::vector<DocSortedList> lists;
   lists.reserve(query.terms.size());
   std::vector<double> idf;
   const double n_docs = static_cast<double>(index.num_docs());
+  std::vector<Posting> live;
   for (TermId t : query.terms) {
-    const PostingList* pl = index.postings(t);
-    lists.emplace_back(*pl);
-    idf.push_back(
-        std::log(1.0 + n_docs / (static_cast<double>(pl->size()) + 1.0)));
+    if (index.live_doc_sorted(t, live)) {
+      idf.push_back(
+          std::log(1.0 + n_docs / (static_cast<double>(live.size()) + 1.0)));
+      lists.emplace_back(std::move(live));
+      live.clear();
+    } else {
+      const PostingList* pl = index.postings(t);
+      lists.emplace_back(*pl);
+      idf.push_back(
+          std::log(1.0 + n_docs / (static_cast<double>(pl->size()) + 1.0)));
+    }
   }
   std::vector<std::size_t> order(lists.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;

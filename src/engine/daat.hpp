@@ -31,6 +31,11 @@ class DocSortedList {
   DocSortedList() = default;
   explicit DocSortedList(const PostingList& list,
                          std::uint32_t skip_interval = 64);
+  /// From raw postings (any order); used by the live-index equivalence
+  /// paths, where a term's current postings come from an overlay merge
+  /// rather than a stored PostingList.
+  explicit DocSortedList(std::vector<Posting> postings,
+                         std::uint32_t skip_interval = 64);
 
   [[nodiscard]] std::size_t size() const { return postings_.size(); }
   [[nodiscard]] bool empty() const { return postings_.empty(); }
@@ -77,6 +82,10 @@ class DaatProcessor {
   std::vector<DocSortedView> views_;
   std::vector<std::size_t> cursor_;
   std::vector<std::uint32_t> order_;
+  // Churn path only: per-term materialized postings (base minus
+  // tombstones plus live segment) that the views borrow. Untouched —
+  // and unallocated — while the attached overlay is clean.
+  std::vector<std::vector<Posting>> scratch_;
   TopKAccumulator top_docs_;
 };
 

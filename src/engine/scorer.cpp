@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "src/engine/top_k.hpp"
@@ -35,13 +36,31 @@ ScoreOutcome Scorer::score_materialized(MaterializedIndex& index,
   out.terms.reserve(query.terms.size());
   std::unordered_map<DocId, float> acc;
 
+  // Live-index churn: dirty terms fold their overlay postings into a
+  // local frequency-sorted list, and every term's idf is recomputed
+  // against the current N (the stored TermMeta::idf predates the live
+  // doc slots). With a clean (or absent) overlay this block is inert
+  // and the function is bit-identical to the read-only build.
+  const LiveOverlay* overlay = index.overlay();
+  const bool churned = overlay != nullptr && !overlay->clean();
+  const double n_docs =
+      churned ? static_cast<double>(index.num_docs()) : 0.0;
+  std::vector<Posting> live;
+
   for (TermId t : query.terms) {
-    const PostingList& list = *index.postings(t);
+    std::optional<PostingList> live_list;
+    if (churned && index.live_doc_sorted(t, live)) {
+      live_list.emplace(live);  // re-sorts (tf desc, doc asc)
+    }
+    const PostingList& list = live_list ? *live_list : *index.postings(t);
     TermScoreInfo info{t, 0, 1.0};
     if (!list.empty()) {
       // idf precomputed at index build (TermMeta::idf) — no per-query
       // std::log for list weighting.
-      const double idf = index.term_meta_fast(t).idf;
+      const double idf =
+          churned
+              ? std::log(1.0 + n_docs / static_cast<double>(list.size()))
+              : index.term_meta_fast(t).idf;
       const auto tf_top = list[0].tf;
       const auto tf_floor = static_cast<std::uint32_t>(
           std::ceil(cfg_.tf_cutoff * static_cast<double>(tf_top)));

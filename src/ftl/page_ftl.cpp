@@ -98,12 +98,23 @@ void PageFtl::compact_candidates() {
   for (const Pbn b : dirty_) is_dirty_[b] = 0;
   dirty_.clear();
   candidates_.clear();
+  // The compaction scan already walks every Used block, so piggyback
+  // the wear histogram here: bucket = floor(log2(erases + 1)), last
+  // bucket absorbs the tail. Snapshot semantics — each compaction
+  // replaces the previous distribution.
+  wear_buckets_.fill(0);
   for (Pbn b = 0; b < state_.size(); ++b) {
     if (state_[b] == BState::kUsed) {
       candidates_.emplace_back(valid_[b], seal_wear_[b], b);
+      std::size_t bucket = 0;
+      for (std::uint64_t w = nand_.erase_count(b) + 1; w > 1; w >>= 1) {
+        ++bucket;
+      }
+      ++wear_buckets_[std::min(bucket, kWearBuckets - 1)];
     }
   }
   std::make_heap(candidates_.begin(), candidates_.end(), std::greater<>{});
+  ++heap_compactions_;
 }
 
 Pbn PageFtl::pop_free_block() {

@@ -5,6 +5,7 @@
 // picks, hot/cold separation between host and GC write streams.
 #pragma once
 
+#include <array>
 #include <tuple>
 #include <vector>
 
@@ -28,6 +29,21 @@ class PageFtl final : public Ftl {
   [[nodiscard]] std::string name() const override { return "page"; }
 
   [[nodiscard]] std::size_t free_blocks() const { return free_blocks_.size(); }
+
+  /// Wear histogram of the Used blocks scanned by the most recent
+  /// candidate-heap compaction: bucket i counts blocks with erase count
+  /// in [2^i - 1, 2^(i+1) - 1) (log2 binning; the last bucket absorbs
+  /// the tail). All zero until lazy deletion first forces a compaction.
+  static constexpr std::size_t kWearBuckets = 8;
+  [[nodiscard]] const std::array<std::uint64_t, kWearBuckets>& wear_buckets()
+      const {
+    return wear_buckets_;
+  }
+  /// Total candidate-heap compactions (lazy-deletion growth + explicit
+  /// rebuilds).
+  [[nodiscard]] std::uint64_t heap_compactions() const {
+    return heap_compactions_;
+  }
 
  private:
   static constexpr Ppn kUnmappedP = ~0ull;
@@ -88,6 +104,8 @@ class PageFtl final : public Ftl {
   // The wear component is 0 unless wear_leveling.
   std::vector<std::tuple<std::uint32_t, std::uint32_t, Pbn>> candidates_;
   std::size_t compact_limit_ = 0;  // heap size that triggers compaction
+  std::array<std::uint64_t, kWearBuckets> wear_buckets_{};
+  std::uint64_t heap_compactions_ = 0;
   // Invalidation defers the heap push: a block is marked dirty on its
   // first invalidation since the last GC, and all dirty keys are pushed
   // in one batch when a victim is next needed — many overwrites of the

@@ -253,6 +253,54 @@ std::string render_run_report(const SearchSystem& sys,
   }
   w.end_object();
 
+  // Live index (DESIGN.md §12). Present only when cfg.ingest.enabled.
+  if (const ingest::LiveIndex* li = sys.live_index()) {
+    const IngestStats& is = sys.ingest_stats();
+    w.key("ingest");
+    w.begin_object();
+    w.key("docs");
+    w.value(is.docs);
+    w.key("deletes");
+    w.value(is.deletes);
+    w.key("delete_misses");
+    w.value(is.delete_misses);
+    w.key("merges");
+    w.value(is.merges);
+    w.key("merged_terms");
+    w.value(is.merged_terms);
+    w.key("merged_postings");
+    w.value(is.merged_postings);
+    w.key("replayed_records");
+    w.value(is.replayed_records);
+    w.key("replay_torn_bytes");
+    w.value(is.replay_torn_bytes);
+    w.key("apply_us");
+    w.value(is.apply_time);
+    w.key("merge_us");
+    w.value(is.merge_time);
+    w.key("segment_postings");
+    w.value(li->segment().total_postings());
+    w.key("segment_arena_bytes");
+    w.value(li->segment().arena_bytes());
+    w.key("deleted_docs");
+    w.value(li->deleted_docs());
+    w.key("stale");
+    w.begin_object();
+    w.key("result_invalidations");
+    w.value(cs.stale_result_invalidations);
+    w.key("list_invalidations");
+    w.value(cs.stale_list_invalidations);
+    w.key("ssd_result_misses");
+    w.value(cs.stale_ssd_result_misses);
+    w.key("ssd_list_misses");
+    w.value(cs.stale_ssd_list_misses);
+    const SsdListCache* slc = sys.cache_manager().ssd_lists();
+    w.key("ssd_list_marks");
+    w.value(slc != nullptr ? slc->stats().stale_marks : std::uint64_t{0});
+    w.end_object();
+    w.end_object();
+  }
+
   w.key("metrics");
   append_registry_json(w, sys.telemetry_registry().snapshot());
 

@@ -11,6 +11,13 @@ namespace {
 /// CPU cost of serving an already-computed result (lookup + transmit).
 constexpr Micros kResultServeCpu = 50.0;
 
+/// Modelled CPU of live-index mutations: fixed dispatch plus per-posting
+/// segment-append / list-rewrite work. Deterministic constants (no
+/// clocks) so churn runs stay reproducible.
+constexpr Micros kIngestApplyCpu = 2.0;
+constexpr Micros kIngestPerPosting = 0.01;
+constexpr Micros kMergePerPosting = 0.02;
+
 /// Size a NAND array so its post-OP logical space covers `logical_bytes`.
 NandConfig size_nand(NandConfig nand, Bytes logical_bytes, double op) {
   const Bytes block = nand.block_bytes();
@@ -32,6 +39,12 @@ SearchSystem::SearchSystem(const SystemConfig& cfg) : cfg_(cfg) {
 
 SearchSystem::SearchSystem(const SystemConfig& cfg, IndexView& index)
     : cfg_(cfg) {
+  build(&index);
+}
+
+SearchSystem::SearchSystem(const SystemConfig& cfg, MaterializedIndex& index,
+                           const MaterializedCorpus& corpus)
+    : cfg_(cfg), corpus_(&corpus) {
   build(&index);
 }
 
@@ -122,6 +135,26 @@ void SearchSystem::build(IndexView* external_index) {
     }
   }
 
+  // Live index: overlay + (with recovery) ingest-log replay. Runs after
+  // the cache restore so replayed mutation epochs are judged against the
+  // recovered entries' birth ticks, and before the static preload so
+  // preloaded results are computed from the reconverged index.
+  if (cfg_.ingest.enabled) {
+    auto* mat = dynamic_cast<MaterializedIndex*>(index_);
+    if (mat == nullptr || corpus_ == nullptr) {
+      throw std::invalid_argument(
+          "SearchSystem: cfg.ingest.enabled needs the materialized "
+          "index + corpus constructor");
+    }
+    live_ = std::make_unique<ingest::LiveIndex>(*mat, *corpus_, cfg_.ingest);
+    mat->attach_overlay(live_.get());
+    if (cfg_.recovery.enabled && !cfg_.recovery.dir.empty()) {
+      const std::string log_path = cfg_.recovery.dir + "/ingest.ssdse";
+      replay_ingest_log(log_path);
+      ingest_log_ = std::make_unique<ingest::IngestLog>(log_path);
+    }
+  }
+
   if (!warm_started_ && cfg_.use_cache &&
       cc.policy == CachePolicy::kCbslru && analysis_) {
     cm_->preload_static(*analysis_, [this](QueryId qid) {
@@ -155,6 +188,12 @@ void SearchSystem::register_telemetry() {
   r.counter("cache.list.discarded", &cs->lists_discarded);
   r.counter("cache.result.expired", &cs->results_expired);
   r.counter("cache.list.expired", &cs->lists_expired);
+  // Live-index coherence (DESIGN.md §12). All zero without churn.
+  r.counter("cache.stale.result_invalidations",
+            &cs->stale_result_invalidations);
+  r.counter("cache.stale.list_invalidations", &cs->stale_list_invalidations);
+  r.counter("cache.stale.ssd_result_misses", &cs->stale_ssd_result_misses);
+  r.counter("cache.stale.ssd_list_misses", &cs->stale_ssd_list_misses);
   r.gauge("cache.background.flash_us",
           [cs] { return cs->background_flash_time; });
   r.gauge("cache.result.hit_ratio", [cs] { return cs->result_hit_ratio(); });
@@ -217,6 +256,34 @@ void SearchSystem::register_telemetry() {
     r.counter("ssd.cache.faults.program_failures", &fs->program_failures);
     r.counter("ssd.cache.faults.remapped_writes", &fs->remapped_writes);
     r.counter("ssd.cache.faults.grown_bad_blocks", &fs->grown_bad_blocks);
+  }
+
+  if (live_) {
+    const IngestStats* is = &ingest_stats_;
+    r.counter("ingest.docs", &is->docs);
+    r.counter("ingest.deletes", &is->deletes);
+    r.counter("ingest.delete_misses", &is->delete_misses);
+    r.counter("ingest.merges", &is->merges);
+    r.counter("ingest.merged_terms", &is->merged_terms);
+    r.counter("ingest.merged_postings", &is->merged_postings);
+    r.counter("ingest.replayed_records", &is->replayed_records);
+    r.counter("ingest.replay_torn_bytes", &is->replay_torn_bytes);
+    r.gauge("ingest.apply_us", [is] { return is->apply_time; });
+    r.gauge("ingest.merge_us", [is] { return is->merge_time; });
+    const ingest::LiveIndex* li = live_.get();
+    r.gauge("ingest.segment.postings", [li] {
+      return static_cast<double>(li->segment().total_postings());
+    });
+    r.gauge("ingest.segment.arena_bytes", [li] {
+      return static_cast<double>(li->segment().arena_bytes());
+    });
+    r.gauge("ingest.deleted_docs", [li] {
+      return static_cast<double>(li->deleted_docs());
+    });
+    if (cm_->ssd_lists() != nullptr) {
+      r.counter("ssd.cache.lists.stale_marks",
+                &cm_->ssd_lists()->stats().stale_marks);
+    }
   }
 
   if (owned_index_) {
@@ -290,7 +357,7 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
 #if SSDSE_TRACING
   const Micros trace_probe0 = t;
 #endif
-  const ResultEntry* hit = cm_->lookup_result(q.id, &rtier, &t);
+  const ResultEntry* hit = cm_->lookup_result(q.id, q.terms, &rtier, &t);
 #if SSDSE_TRACING
   tracer_.add_span(TraceStage::kResultProbe, t - trace_probe0);
 #endif
@@ -412,6 +479,172 @@ void SearchSystem::maybe_checkpoint() {
   if (!persistence_ || cfg_.recovery.snapshot_every == 0) return;
   if (++queries_since_checkpoint_ < cfg_.recovery.snapshot_every) return;
   checkpoint();
+}
+
+namespace {
+
+/// Canonical form of a document bag: term-ascending, duplicate terms
+/// coalesced, zero tfs dropped. Both the live apply and the log replay
+/// see the same canonical bag, so replay reconverges bit-identically.
+ingest::DocBag normalize_bag(ingest::DocBag bag, std::uint32_t vocab) {
+  std::sort(bag.begin(), bag.end());
+  ingest::DocBag norm;
+  norm.reserve(bag.size());
+  for (const auto& [term, tf] : bag) {
+    if (term >= vocab) {
+      throw std::out_of_range("ingest_document: term beyond vocabulary");
+    }
+    if (tf == 0) continue;
+    if (!norm.empty() && norm.back().first == term) {
+      norm.back().second += tf;
+    } else {
+      norm.emplace_back(term, tf);
+    }
+  }
+  return norm;
+}
+
+}  // namespace
+
+DocId SearchSystem::ingest_document(
+    std::vector<std::pair<TermId, std::uint32_t>> bag) {
+  if (!live_) {
+    throw std::logic_error("ingest_document: cfg.ingest.enabled is off");
+  }
+  ingest::DocBag norm = normalize_bag(std::move(bag), index_->vocab_size());
+  const auto id = static_cast<DocId>(index_->num_docs());
+  const std::uint64_t tick = cm_->now();
+  // Write-ahead: the log record lands before the in-memory apply, so a
+  // crash between the two replays the mutation instead of losing it.
+  if (ingest_log_) ingest_log_->append_ingest(id, tick, norm);
+  const std::size_t postings = norm.size();
+  std::vector<TermId> terms;
+  terms.reserve(norm.size());
+  for (const auto& [term, tf] : norm) {
+    (void)tf;
+    terms.push_back(term);
+  }
+  const DocId assigned = live_->ingest(std::move(norm));
+  if (assigned != id) {
+    throw std::logic_error("ingest_document: doc id assignment diverged");
+  }
+  cm_->note_term_mutations(terms, tick);
+  // A new doc slot changes N — and with it every term's idf — so all
+  // result scores cached before this tick go stale, not just this
+  // bag's terms. Deletes keep their slot (N stable) and skip this.
+  cm_->note_doc_count_change(tick);
+  ++ingest_stats_.docs;
+  const Micros cost =
+      kIngestApplyCpu + kIngestPerPosting * static_cast<double>(postings);
+  ingest_stats_.apply_time += cost;
+#if SSDSE_TRACING
+  tracer_.begin_query(static_cast<QueryId>(id));
+  tracer_.add_span(telemetry::TraceStage::kIngestApply, cost);
+  tracer_.end_query(cost);
+#endif
+  if (live_->should_merge()) merge_now();
+  return assigned;
+}
+
+bool SearchSystem::delete_document(DocId doc) {
+  if (!live_) {
+    throw std::logic_error("delete_document: cfg.ingest.enabled is off");
+  }
+  // Pre-check so misses leave no journal record: replaying a no-op
+  // delete would be harmless but would skew replayed-record accounting.
+  if (doc >= index_->num_docs() || live_->is_deleted(doc)) {
+    ++ingest_stats_.delete_misses;
+    return false;
+  }
+  const std::uint64_t tick = cm_->now();
+  if (ingest_log_) ingest_log_->append_delete(doc, tick);
+  std::vector<TermId> terms;
+  if (!live_->erase(doc, &terms)) {
+    throw std::logic_error("delete_document: erase diverged from pre-check");
+  }
+  cm_->note_term_mutations(terms, tick);
+  ++ingest_stats_.deletes;
+  const Micros cost =
+      kIngestApplyCpu + kIngestPerPosting * static_cast<double>(terms.size());
+  ingest_stats_.apply_time += cost;
+#if SSDSE_TRACING
+  tracer_.begin_query(static_cast<QueryId>(doc));
+  tracer_.add_span(telemetry::TraceStage::kIngestApply, cost);
+  tracer_.end_query(cost);
+#endif
+  if (live_->should_merge()) merge_now();
+  return true;
+}
+
+void SearchSystem::merge_now() {
+  if (!live_ || live_->clean()) return;
+  const std::uint64_t tick = cm_->now();
+  // Seal before folding: replay re-runs the merge at the same point in
+  // the mutation stream. A torn seal record replays to the pre-merge
+  // state, which is query-identical (merging is content-transparent).
+  if (ingest_log_) {
+    ingest_log_->append_merge_seal(index_->num_docs(), tick);
+  }
+  const ingest::MergeOutcome outcome = live_->merge();
+  ++ingest_stats_.merges;
+  ingest_stats_.merged_terms += outcome.terms_rebuilt;
+  ingest_stats_.merged_postings += outcome.postings_rewritten;
+  const Micros cost =
+      kMergePerPosting * static_cast<double>(outcome.postings_rewritten);
+  ingest_stats_.merge_time += cost;
+#if SSDSE_TRACING
+  tracer_.begin_query(static_cast<QueryId>(ingest_stats_.merges));
+  tracer_.add_span(telemetry::TraceStage::kSegmentMerge, cost);
+  tracer_.end_query(cost);
+#endif
+}
+
+void SearchSystem::replay_ingest_log(const std::string& log_path) {
+  ingest::IngestLog::Scan scan = ingest::IngestLog::scan(log_path);
+  if (scan.torn_bytes > 0) {
+    // Truncate the torn tail so the next append starts on a frame
+    // boundary (same repair discipline as the cache journal).
+    ingest::IngestLog::repair(log_path, scan.valid_bytes);
+    ingest_stats_.replay_torn_bytes += scan.torn_bytes;
+  }
+  std::vector<TermId> terms;
+  for (ingest::LogRecord& rec : scan.records) {
+    switch (rec.type) {
+      case recovery::RecordType::kIngest: {
+        terms.clear();
+        for (const auto& [term, tf] : rec.bag) {
+          (void)tf;
+          terms.push_back(term);
+        }
+        live_->ingest(std::move(rec.bag));
+        cm_->note_term_mutations(terms, rec.tick);
+        cm_->note_doc_count_change(rec.tick);
+        ++ingest_stats_.docs;
+        break;
+      }
+      case recovery::RecordType::kDelete: {
+        terms.clear();
+        if (live_->erase(rec.doc, &terms)) {
+          cm_->note_term_mutations(terms, rec.tick);
+          ++ingest_stats_.deletes;
+        }
+        break;
+      }
+      case recovery::RecordType::kMergeSeal: {
+        // Merges replay only where a seal record committed; pending
+        // segment state past the last seal stays live (deterministic —
+        // replay never invents merge points the original run didn't).
+        const ingest::MergeOutcome outcome = live_->merge();
+        ++ingest_stats_.merges;
+        ingest_stats_.merged_terms += outcome.terms_rebuilt;
+        ingest_stats_.merged_postings += outcome.postings_rewritten;
+        break;
+      }
+      default:
+        break;
+    }
+    ++ingest_stats_.replayed_records;
+  }
 }
 
 }  // namespace ssdse

@@ -10,12 +10,28 @@
 #include "src/hybrid/metrics.hpp"
 #include "src/hybrid/system_config.hpp"
 #include "src/index/inverted_index.hpp"
+#include "src/ingest/ingest_log.hpp"
+#include "src/ingest/live_index.hpp"
 #include "src/recovery/recovery_manager.hpp"
 #include "src/telemetry/registry.hpp"
 #include "src/telemetry/tracer.hpp"
 #include "src/workload/query_log.hpp"
 
 namespace ssdse {
+
+/// Live-index accounting (run report "ingest" section).
+struct IngestStats {
+  std::uint64_t docs = 0;          // documents ingested
+  std::uint64_t deletes = 0;       // documents tombstoned
+  std::uint64_t delete_misses = 0;  // delete of unknown/deleted id
+  std::uint64_t merges = 0;
+  std::uint64_t merged_terms = 0;      // term lists rebuilt across merges
+  std::uint64_t merged_postings = 0;   // postings rewritten across merges
+  std::uint64_t replayed_records = 0;  // warm-restart log replay
+  std::uint64_t replay_torn_bytes = 0;  // truncated tail at recovery
+  Micros apply_time = 0;  // modelled CPU of ingest/delete applies
+  Micros merge_time = 0;  // modelled CPU of segment merges
+};
 
 class SearchSystem {
  public:
@@ -24,6 +40,11 @@ class SearchSystem {
   /// Uses a caller-provided index (e.g. MaterializedIndex for
   /// correctness experiments). The index must outlive the system.
   SearchSystem(const SystemConfig& cfg, IndexView& index);
+  /// Live-index form: materialized index + its corpus (both must
+  /// outlive the system). Required when cfg.ingest.enabled — deletes
+  /// need the corpus to resolve a base document's term bag.
+  SearchSystem(const SystemConfig& cfg, MaterializedIndex& index,
+               const MaterializedCorpus& corpus);
 
   // The telemetry registry holds raw pointers into this object's stats
   // accumulators; pinning the address keeps them valid for its lifetime.
@@ -42,6 +63,27 @@ class SearchSystem {
 
   /// Pull `n` queries from the internal generator and execute them.
   void run(std::uint64_t n);
+
+  // Live index (cfg.ingest.enabled + the three-argument constructor;
+  // throws std::logic_error otherwise).
+  /// Ingest one document (any (term, tf) order; duplicates coalesce,
+  /// zero tfs drop). Write-ahead logged when recovery is configured;
+  /// returns the assigned doc id. May trigger a background merge.
+  DocId ingest_document(std::vector<std::pair<TermId, std::uint32_t>> bag);
+  /// Tombstone a document. False (and no log record) when the id is
+  /// unknown or already deleted. May trigger a background merge.
+  bool delete_document(DocId doc);
+  /// Fold the live segment into the materialized index now. No-op when
+  /// the segment is clean. Merging is content-transparent: queries see
+  /// bit-identical results before and after, so no cache entries are
+  /// invalidated by this call.
+  void merge_now();
+  [[nodiscard]] const ingest::LiveIndex* live_index() const {
+    return live_.get();
+  }
+  [[nodiscard]] const IngestStats& ingest_stats() const {
+    return ingest_stats_;
+  }
 
   [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
   [[nodiscard]] double throughput_qps() const {
@@ -96,6 +138,9 @@ class SearchSystem {
 
  private:
   void build(IndexView* external_index);
+  /// Warm restart: replay the ingest log's consistent prefix (repairing
+  /// a torn tail first) so the live index reconverges bit-identically.
+  void replay_ingest_log(const std::string& log_path);
   /// Register every component's stats struct into registry_ (end of
   /// build(), once all components have their final addresses).
   void register_telemetry();
@@ -125,6 +170,12 @@ class SearchSystem {
   std::unique_ptr<recovery::PersistenceManager> persistence_;
   bool warm_started_ = false;
   std::uint64_t queries_since_checkpoint_ = 0;
+
+  // Live index (null unless cfg.ingest.enabled).
+  const MaterializedCorpus* corpus_ = nullptr;
+  std::unique_ptr<ingest::LiveIndex> live_;
+  std::unique_ptr<ingest::IngestLog> ingest_log_;
+  IngestStats ingest_stats_;
 
   RunMetrics metrics_;
   telemetry::MetricsRegistry registry_;

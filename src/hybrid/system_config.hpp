@@ -8,6 +8,7 @@
 #include "src/cache/policy.hpp"
 #include "src/engine/scorer.hpp"
 #include "src/index/corpus.hpp"
+#include "src/ingest/live_index.hpp"
 #include "src/ssd/ssd.hpp"
 #include "src/storage/fault.hpp"
 #include "src/storage/hdd.hpp"
@@ -49,6 +50,11 @@ struct SystemConfig {
   FaultPlan hdd_faults;
   /// Warm-restart persistence of the SSD cache metadata.
   RecoveryConfig recovery;
+  /// Live index: incremental ingestion/deletes (DESIGN.md §12). Needs a
+  /// materialized index + corpus (the three-argument SearchSystem
+  /// constructor). Default off — disabled runs are bit-identical to a
+  /// build without the subsystem.
+  IngestConfig ingest;
   /// Training prefix replayed for log analysis (TEV + CBSLRU preload).
   std::uint64_t training_queries = 20'000;
 

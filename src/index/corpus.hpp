@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/rng.hpp"
@@ -73,6 +74,15 @@ class TermStatsModel {
 class MaterializedCorpus {
  public:
   MaterializedCorpus(const CorpusConfig& cfg, Rng& rng);
+
+  /// Explicit-document corpus: wraps pre-built term bags verbatim (each
+  /// bag sorted by term id; empty bags model deleted documents). Used by
+  /// the live-index tests to build the rebuild-from-scratch oracle after
+  /// a churn episode.
+  MaterializedCorpus(
+      const CorpusConfig& cfg,
+      std::vector<std::vector<std::pair<TermId, std::uint32_t>>> docs)
+      : cfg_(cfg), docs_(std::move(docs)) {}
 
   [[nodiscard]] std::uint64_t num_docs() const { return docs_.size(); }
   [[nodiscard]] std::uint32_t vocab_size() const { return cfg_.vocab_size; }

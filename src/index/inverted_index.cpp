@@ -39,7 +39,7 @@ TermMeta AnalyticIndex::term_meta(TermId t) const {
 }
 
 MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
-    : num_docs_(corpus.num_docs()) {
+    : num_docs_(corpus.num_docs()), codec_name_(corpus.config().codec) {
   std::vector<std::vector<Posting>> raw(corpus.vocab_size());
   for (DocId d = 0; d < corpus.num_docs(); ++d) {
     for (const auto& [term, tf] : corpus.doc(d)) {
@@ -99,6 +99,77 @@ TermMeta MaterializedIndex::term_meta(TermId t) const {
     throw std::out_of_range("MaterializedIndex: term id out of range");
   }
   return metas_[t];
+}
+
+bool MaterializedIndex::live_doc_sorted(TermId t,
+                                        std::vector<Posting>& scratch) const {
+  if (overlay_ == nullptr || !overlay_->term_dirty(t)) return false;
+  if (t >= lists_.size()) {
+    throw std::out_of_range("MaterializedIndex: term id out of range");
+  }
+  scratch.clear();
+  const DocSortedView v = doc_sorted_.view(t);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!overlay_->is_deleted(v[i].doc)) scratch.push_back(v[i]);
+  }
+  // Live ids are all >= base_docs() and the segment stores them
+  // doc-ascending, so appending preserves doc order.
+  overlay_->collect_live(t, scratch);
+  return true;
+}
+
+void MaterializedIndex::rebuild_lists(
+    std::uint64_t new_num_docs,
+    const std::vector<std::pair<TermId, std::vector<Posting>>>&
+        replacements) {
+  const double n_docs = static_cast<double>(new_num_docs);
+  const std::size_t vocab = lists_.size();
+  std::size_t total = doc_sorted_.total_postings();
+  for (const auto& [t, repl] : replacements) {
+    total += repl.size();
+    total -= doc_sorted_.view(t).size();
+  }
+  // Rebuild the doc-sorted arenas wholesale: slices are contiguous and
+  // index-ordered, so a churned term in the middle cannot be patched in
+  // place. The frequency-sorted lists and metas are per-term and ARE
+  // patched in place — metas_ never reallocates, keeping the registered
+  // meta table valid.
+  DocSortedStore fresh;
+  fresh.reserve(vocab, total);
+  const auto codec = make_codec(codec_name_);
+  std::vector<Bytes> sizes(vocab);
+  std::size_t r = 0;
+  for (TermId t = 0; t < vocab; ++t) {
+    if (r < replacements.size() && replacements[r].first == t) {
+      const std::vector<Posting>& repl = replacements[r].second;
+      ++r;
+      const double daat_idf = std::log(
+          1.0 + n_docs / (static_cast<double>(repl.size()) + 1.0));
+      fresh.add_list(repl, daat_idf);
+      lists_[t] = PostingList(repl);
+      const Bytes encoded =
+          lists_[t].empty() ? 0 : codec->encoded_bytes(lists_[t].postings());
+      metas_[t].df = lists_[t].size();
+      metas_[t].list_bytes = std::max<Bytes>(encoded, 1);
+      metas_[t].utilization = 1.0;
+      pu_mean_[t] = 1.0f;
+      pu_samples_[t] = 0;
+    } else {
+      const DocSortedView v = doc_sorted_.view(t);
+      const double daat_idf = std::log(
+          1.0 + n_docs / (static_cast<double>(v.size()) + 1.0));
+      fresh.add_list(v.postings(), daat_idf);
+    }
+    // N changed for everyone: refresh the scoring idf of every term.
+    metas_[t].idf =
+        metas_[t].df == 0
+            ? 0.0
+            : std::log(1.0 + n_docs / static_cast<double>(metas_[t].df));
+    sizes[t] = metas_[t].list_bytes;
+  }
+  num_docs_ = new_num_docs;
+  doc_sorted_ = std::move(fresh);
+  layout_ = layout_from_sizes(std::move(sizes));
 }
 
 void MaterializedIndex::record_utilization(TermId t, double pu) {

@@ -12,11 +12,14 @@
 
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/index/corpus.hpp"
 #include "src/index/doc_sorted.hpp"
 #include "src/index/layout.hpp"
+#include "src/index/live_view.hpp"
 #include "src/index/posting.hpp"
 
 namespace ssdse {
@@ -96,7 +99,14 @@ class MaterializedIndex final : public IndexView {
   /// (actual encoded bytes, not a model).
   explicit MaterializedIndex(const MaterializedCorpus& corpus);
 
-  [[nodiscard]] std::uint64_t num_docs() const override { return num_docs_; }
+  /// Total document slots: base arena docs plus live-segment slots. The
+  /// overlay keeps deleted docs' slots (empty bags), so N here matches a
+  /// rebuild-from-scratch oracle at every point in the churn timeline.
+  [[nodiscard]] std::uint64_t num_docs() const override {
+    return num_docs_ + (overlay_ != nullptr ? overlay_->live_doc_slots() : 0);
+  }
+  /// Docs materialized into the arenas (excludes the live segment).
+  [[nodiscard]] std::uint64_t base_docs() const { return num_docs_; }
   [[nodiscard]] std::uint32_t vocab_size() const override {
     return static_cast<std::uint32_t>(lists_.size());
   }
@@ -114,8 +124,33 @@ class MaterializedIndex final : public IndexView {
   /// retrieval" option for obtaining PU).
   void record_utilization(TermId t, double pu);
 
+  /// Attach (or detach, with nullptr) the live-ingest overlay. The
+  /// overlay must outlive the index or be detached first.
+  void attach_overlay(const LiveOverlay* overlay) { overlay_ = overlay; }
+  [[nodiscard]] const LiveOverlay* overlay() const { return overlay_; }
+
+  /// Materialize the *current* doc-sorted postings of a churned term
+  /// into `scratch`: arena postings minus tombstones, plus live-segment
+  /// postings (doc-ascending by the monotone-id invariant). Returns
+  /// false — leaving `scratch` untouched — when the term is clean, in
+  /// which case doc_sorted(t) is already exact.
+  bool live_doc_sorted(TermId t, std::vector<Posting>& scratch) const;
+
+  /// Fold a merge into the materialized state: `replacements` holds the
+  /// full new doc-sorted postings for every churned term (TermId
+  /// ascending); every other term keeps its postings. All arenas, skip
+  /// tables, frequency-sorted lists, metas (df, encoded bytes, idf) and
+  /// the layout are rebuilt so the result is bit-identical to an index
+  /// constructed from the equivalent corpus with `new_num_docs` docs.
+  /// Rebuilt terms restart PU tracking at the optimistic 1.0 default.
+  void rebuild_lists(
+      std::uint64_t new_num_docs,
+      const std::vector<std::pair<TermId, std::vector<Posting>>>& replacements);
+
  private:
   std::uint64_t num_docs_;
+  std::string codec_name_;  // kept for merge-time re-encoding
+  const LiveOverlay* overlay_ = nullptr;
   std::vector<PostingList> lists_;
   IndexLayout layout_;
   DocSortedStore doc_sorted_;  // build-once doc-ordered projections

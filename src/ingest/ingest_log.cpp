@@ -1,0 +1,94 @@
+#include "src/ingest/ingest_log.hpp"
+
+namespace ssdse::ingest {
+
+namespace {
+
+// Frame overhead: u32 magic + u8 type + u32 length + u32 CRC.
+constexpr Bytes kFrameOverhead = 13;
+
+bool decode_record(const recovery::Frame& f, LogRecord& out) {
+  recovery::ByteReader r(f.payload.data(), f.payload.size());
+  out.type = f.type;
+  out.bag.clear();
+  switch (f.type) {
+    case recovery::RecordType::kIngest: {
+      out.doc = r.u32();
+      out.tick = r.u64();
+      const std::uint32_t n = r.u32();
+      if (!r.ok() || r.remaining() != static_cast<std::size_t>(n) * 8) {
+        return false;
+      }
+      out.bag.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const TermId term = r.u32();
+        const std::uint32_t tf = r.u32();
+        out.bag.emplace_back(term, tf);
+      }
+      return r.ok() && r.at_end();
+    }
+    case recovery::RecordType::kDelete:
+      out.doc = r.u32();
+      out.tick = r.u64();
+      return r.ok() && r.at_end();
+    case recovery::RecordType::kMergeSeal:
+      out.doc_count = r.u64();
+      out.tick = r.u64();
+      return r.ok() && r.at_end();
+    default:
+      return false;  // foreign record type: treated as corruption
+  }
+}
+
+}  // namespace
+
+void IngestLog::append_ingest(
+    DocId doc, std::uint64_t tick,
+    const std::vector<std::pair<TermId, std::uint32_t>>& bag) {
+  recovery::ByteWriter w;
+  w.u32(doc);
+  w.u64(tick);
+  w.u32(static_cast<std::uint32_t>(bag.size()));
+  for (const auto& [term, tf] : bag) {
+    w.u32(term);
+    w.u32(tf);
+  }
+  writer_.append(recovery::RecordType::kIngest, w.data());
+}
+
+void IngestLog::append_delete(DocId doc, std::uint64_t tick) {
+  recovery::ByteWriter w;
+  w.u32(doc);
+  w.u64(tick);
+  writer_.append(recovery::RecordType::kDelete, w.data());
+}
+
+void IngestLog::append_merge_seal(std::uint64_t doc_count,
+                                  std::uint64_t tick) {
+  recovery::ByteWriter w;
+  w.u64(doc_count);
+  w.u64(tick);
+  writer_.append(recovery::RecordType::kMergeSeal, w.data());
+}
+
+IngestLog::Scan IngestLog::scan(const std::string& path) {
+  const recovery::JournalScan raw = recovery::read_journal(path);
+  Scan out;
+  out.records.reserve(raw.records.size());
+  Bytes offset = 0;
+  for (const recovery::Frame& f : raw.records) {
+    LogRecord rec;
+    if (!decode_record(f, rec)) break;  // semantic tear: prefix ends here
+    offset += kFrameOverhead + f.payload.size();
+    out.records.push_back(std::move(rec));
+  }
+  out.valid_bytes = offset;
+  out.torn_bytes = raw.valid_bytes - offset + raw.torn_bytes;
+  return out;
+}
+
+bool IngestLog::repair(const std::string& path, Bytes valid_bytes) {
+  return recovery::truncate_journal(path, valid_bytes);
+}
+
+}  // namespace ssdse::ingest

@@ -1,0 +1,90 @@
+#include "src/ingest/live_index.hpp"
+
+#include <algorithm>
+
+namespace ssdse::ingest {
+
+LiveIndex::LiveIndex(MaterializedIndex& index,
+                     const MaterializedCorpus& corpus,
+                     const IngestConfig& cfg)
+    : index_(index),
+      corpus_(corpus),
+      cfg_(cfg),
+      segment_(index.vocab_size(), cfg.segment_block_postings),
+      base0_(corpus.num_docs()),
+      deleted_df_(index.vocab_size(), 0) {}
+
+DocId LiveIndex::ingest(DocBag bag) {
+  const auto id = static_cast<DocId>(base0_ + all_live_bags_.size());
+  for (const auto& [term, tf] : bag) {
+    segment_.append(term, Posting{id, tf});
+  }
+  all_live_bags_.push_back(std::move(bag));
+  ++ops_since_merge_;
+  return id;
+}
+
+bool LiveIndex::erase(DocId d, std::vector<TermId>* affected_terms) {
+  if (d >= base0_ + all_live_bags_.size()) return false;
+  if (is_deleted(d)) return false;
+  if (tombstones_.size() <= d) tombstones_.resize(d + 1);
+  tombstones_.set(d);
+  const DocBag& bag =
+      d < base0_ ? corpus_.doc(d) : all_live_bags_[d - base0_];
+  for (const auto& [term, tf] : bag) {
+    (void)tf;
+    // Marks the term dirty even when its tombstoned postings still sit
+    // in the segment (harmless: term_dirty was already true) — what
+    // matters is covering postings already merged into the arenas.
+    ++deleted_df_[term];
+    if (affected_terms != nullptr) affected_terms->push_back(term);
+  }
+  ++ops_since_merge_;
+  return true;
+}
+
+void LiveIndex::collect_live(TermId t, std::vector<Posting>& out) const {
+  const std::size_t start = out.size();
+  segment_.collect(t, out);
+  // Drop postings of live docs tombstoned before this merge window
+  // closed; the survivors keep their doc-ascending order.
+  out.erase(std::remove_if(out.begin() + static_cast<std::ptrdiff_t>(start),
+                           out.end(),
+                           [this](const Posting& p) {
+                             return is_deleted(p.doc);
+                           }),
+            out.end());
+}
+
+bool LiveIndex::should_merge() const {
+  if (cfg_.merge_segment_postings > 0 &&
+      segment_.total_postings() >= cfg_.merge_segment_postings) {
+    return true;
+  }
+  return cfg_.merge_segment_ops > 0 &&
+         ops_since_merge_ >= cfg_.merge_segment_ops;
+}
+
+MergeOutcome LiveIndex::merge() {
+  MergeOutcome out;
+  if (clean()) return out;
+  std::vector<std::pair<TermId, std::vector<Posting>>> replacements;
+  std::vector<Posting> scratch;
+  for (TermId t = 0; t < index_.vocab_size(); ++t) {
+    if (!term_dirty(t)) continue;
+    // live_doc_sorted consults this overlay: base postings minus
+    // tombstones, then surviving segment postings.
+    if (!index_.live_doc_sorted(t, scratch)) continue;
+    out.postings_rewritten += scratch.size();
+    replacements.emplace_back(t, scratch);
+  }
+  out.terms_rebuilt = replacements.size();
+  index_.rebuild_lists(base0_ + all_live_bags_.size(), replacements);
+  merged_count_ = all_live_bags_.size();
+  segment_.clear();
+  std::fill(deleted_df_.begin(), deleted_df_.end(), 0);
+  ops_since_merge_ = 0;
+  return out;
+}
+
+}  // namespace ssdse::ingest

@@ -41,6 +41,11 @@ enum class RecordType : std::uint8_t {
   kJournalResultInvalidate = 17,
   kJournalListInstall = 18,
   kJournalListErase = 19,
+  // Live-index ingest log records (separate ingest.ssdse file; the
+  // cache journal's replay rejects them as corruption by design).
+  kIngest = 32,     // one ingested document: id, tick, (term, tf) bag
+  kDelete = 33,     // one tombstoned document: id, tick
+  kMergeSeal = 34,  // segment sealed and folded into the index
 };
 
 class ByteWriter {

@@ -14,6 +14,8 @@ const char* to_string(TraceStage stage) {
     case TraceStage::kWriteBufferFlush: return "write_buffer_flush";
     case TraceStage::kFtlGc: return "ftl_gc";
     case TraceStage::kBrokerMerge: return "broker_merge";
+    case TraceStage::kIngestApply: return "ingest_apply";
+    case TraceStage::kSegmentMerge: return "segment_merge";
   }
   return "unknown";
 }

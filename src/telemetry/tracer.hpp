@@ -40,9 +40,11 @@ enum class TraceStage : std::uint8_t {
   kWriteBufferFlush,   // background flash writes minus GC (flush cost)
   kFtlGc,              // FTL garbage-collection time the query triggered
   kBrokerMerge,        // cluster broker: fan-out RTT + top-K merge
+  kIngestApply,        // live-index ingest/delete apply (segment + log)
+  kSegmentMerge,       // live-segment fold into the materialized index
 };
 
-inline constexpr std::size_t kNumTraceStages = 8;
+inline constexpr std::size_t kNumTraceStages = 10;
 
 const char* to_string(TraceStage stage);
 

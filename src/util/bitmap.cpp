@@ -8,12 +8,21 @@ namespace ssdse {
 Bitmap::Bitmap(std::size_t n, bool value) { resize(n, value); }
 
 void Bitmap::resize(std::size_t n, bool value) {
+  const std::size_t old_size = size_;
+  words_.resize((n + 63) / 64, value ? ~0ull : 0ull);
   size_ = n;
-  words_.assign((n + 63) / 64, value ? ~0ull : 0ull);
-  if (value && n % 64 != 0) {
-    words_.back() &= (1ull << (n % 64)) - 1;
+  if (n > old_size && value && old_size % 64 != 0) {
+    // The previously-partial last word keeps its spare bits clear as an
+    // invariant, so growing with value=true must fill its tail by hand.
+    words_[old_size >> 6] |= ~((1ull << (old_size % 64)) - 1);
   }
-  ones_ = value ? n : 0;
+  if (n % 64 != 0) {
+    words_.back() &= (1ull << (n % 64)) - 1;  // keep spare bits clear
+  }
+  ones_ = 0;
+  for (const std::uint64_t w : words_) {
+    ones_ += static_cast<std::size_t>(std::popcount(w));
+  }
 }
 
 bool Bitmap::test(std::size_t i) const {
@@ -60,6 +69,12 @@ std::size_t Bitmap::first_clear() const {
   return size_;
 }
 
-void Bitmap::fill(bool value) { resize(size_, value); }
+void Bitmap::fill(bool value) {
+  words_.assign(words_.size(), value ? ~0ull : 0ull);
+  if (value && size_ % 64 != 0) {
+    words_.back() &= (1ull << (size_ % 64)) - 1;
+  }
+  ones_ = value ? size_ : 0;
+}
 
 }  // namespace ssdse

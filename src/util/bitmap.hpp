@@ -13,6 +13,8 @@ class Bitmap {
   Bitmap() = default;
   explicit Bitmap(std::size_t n, bool value = false);
 
+  /// Grow or shrink to n bits. Bits below min(old, n) are preserved;
+  /// bits gained on growth take `value` (tombstone maps grow lazily).
   void resize(std::size_t n, bool value = false);
   [[nodiscard]] std::size_t size() const { return size_; }
 

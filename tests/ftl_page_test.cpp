@@ -170,5 +170,61 @@ TEST(PageFtlTest, MeanAccessPositiveAfterTraffic) {
   EXPECT_GT(ftl.stats().mean_access(), 0.0);
 }
 
+TEST(PageFtlTest, WearBucketsZeroBeforeFirstCompaction) {
+  NandArray nand(small_nand());
+  PageFtl ftl(nand);
+  EXPECT_EQ(ftl.heap_compactions(), 0u);
+  for (const std::uint64_t c : ftl.wear_buckets()) EXPECT_EQ(c, 0u);
+}
+
+TEST(PageFtlTest, WearBucketsTrackCompactionScan) {
+  // Random overwrites grow the lazy-deletion heap past its compaction
+  // limit; the rebuild scan bins every Used block's erase count.
+  NandArray nand(small_nand(32, 8));
+  PageFtl ftl(nand);
+  Rng rng(21);
+  const Lpn n = ftl.logical_pages();
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(ftl.write(rng.next_below(n)).ok());
+  }
+  ASSERT_GT(ftl.heap_compactions(), 0u);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : ftl.wear_buckets()) total += c;
+  // Snapshot of the last compaction: one bin entry per Used block.
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, nand.config().num_blocks);
+  // Binning is log2(erases + 1); no block can have erased more often
+  // than the total erase count, so buckets past that log are empty.
+  std::uint64_t max_bucket = 0;
+  for (std::uint64_t w = nand.stats().block_erases + 1; w > 1; w >>= 1) {
+    ++max_bucket;
+  }
+  const auto& buckets = ftl.wear_buckets();
+  for (std::size_t i = max_bucket + 1; i < PageFtl::kWearBuckets; ++i) {
+    EXPECT_EQ(buckets[i], 0u) << "bucket " << i;
+  }
+}
+
+TEST(PageFtlTest, WearBucketsDeterministicAcrossRuns) {
+  std::array<std::uint64_t, PageFtl::kWearBuckets> first{};
+  std::uint64_t first_compactions = 0;
+  for (int run = 0; run < 2; ++run) {
+    NandArray nand(small_nand(32, 8));
+    PageFtl ftl(nand);
+    Rng rng(22);
+    const Lpn n = ftl.logical_pages();
+    for (int i = 0; i < 20'000; ++i) {
+      ASSERT_TRUE(ftl.write(rng.next_below(n)).ok());
+    }
+    if (run == 0) {
+      first = ftl.wear_buckets();
+      first_compactions = ftl.heap_compactions();
+    } else {
+      EXPECT_EQ(ftl.wear_buckets(), first);
+      EXPECT_EQ(ftl.heap_compactions(), first_compactions);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ssdse

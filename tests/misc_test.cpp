@@ -92,14 +92,34 @@ TEST(LruMapEdgeTest, ClearEmptiesEverything) {
 
 // --- Bitmap resize -----------------------------------------------------------
 
-TEST(BitmapEdgeTest, ResizeResetsContents) {
+TEST(BitmapEdgeTest, ResizePreservesExistingBits) {
+  // Tombstone maps grow one doc at a time; growth must not drop bits
+  // set earlier (and shrink must recount what survives the cut).
   Bitmap b(10);
   b.set(3);
   b.resize(20, true);
   EXPECT_EQ(b.size(), 20u);
-  EXPECT_EQ(b.popcount(), 20u);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_FALSE(b.test(4));  // old bits keep their old value...
+  EXPECT_TRUE(b.test(10));  // ...new bits take `value`
+  EXPECT_EQ(b.popcount(), 11u);
   b.resize(7, false);
-  EXPECT_EQ(b.popcount(), 0u);
+  EXPECT_EQ(b.size(), 7u);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_EQ(b.popcount(), 1u);
+}
+
+TEST(BitmapEdgeTest, ResizeAcrossWordBoundaries) {
+  Bitmap b(60);
+  b.set(59);
+  b.resize(130, true);  // partial word tail + two fresh words
+  EXPECT_TRUE(b.test(59));
+  EXPECT_FALSE(b.test(0));
+  for (std::size_t i = 60; i < 130; ++i) EXPECT_TRUE(b.test(i));
+  EXPECT_EQ(b.popcount(), 71u);
+  b.resize(64);  // shrink to an exact word boundary
+  EXPECT_EQ(b.popcount(), 5u);  // 59..63 survive
+  EXPECT_EQ(b.first_clear(), 0u);
 }
 
 TEST(BitmapEdgeTest, ExactWordBoundary) {
