@@ -1,11 +1,84 @@
 // Ablation: posting-list compression codec. Compression shrinks on-disk
 // list sizes, which shrinks SC (Formula 1), raises EV (Formula 2) and
 // lets every cache level hold more lists — compounding with the paper's
-// policies.
+// policies. A second section ablates block-max pruning on a
+// materialized index (DESIGN.md §13): exhaustive vs pruned DAAT,
+// per-codec, with the bit-identical-results verdict in the table.
+#include <algorithm>
+#include <chrono>
+
 #include "bench/bench_common.hpp"
+#include "src/engine/daat.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/query_log.hpp"
 
 using namespace ssdse;
 using namespace ssdse::bench;
+
+namespace {
+
+/// Exhaustive-vs-pruned cells on a materialized corpus built with
+/// `codec`. Returns rows for both pruning settings.
+void pruning_cells(const std::string& codec, std::uint64_t queries,
+                   Table& t) {
+  CorpusConfig cc;
+  cc.num_docs = 40'000;
+  cc.vocab_size = 2'000;
+  cc.terms_per_doc = 60;
+  cc.max_df_fraction = 0.10;
+  cc.seed = 2012;
+  cc.codec = codec;
+  Rng rng(99);
+  MaterializedCorpus corpus(cc, rng);
+  MaterializedIndex index(corpus);
+
+  QueryLogConfig qc;
+  qc.distinct_queries = 50'000;
+  qc.vocab_size = cc.vocab_size;
+  qc.min_terms = 2;
+  qc.max_terms = 3;
+  qc.seed = 17;
+  QueryLogGenerator gen(qc);
+  std::vector<Query> batch;
+  batch.reserve(queries);
+  for (std::uint64_t i = 0; i < queries; ++i) batch.push_back(gen.next());
+
+  using Clock = std::chrono::steady_clock;
+  DaatProcessor oracle(kTopK);
+  std::vector<ResultEntry> reference;
+  reference.reserve(batch.size());
+  auto t0 = Clock::now();
+  for (const Query& q : batch) {
+    reference.push_back(oracle.intersect(index, q));
+  }
+  const double oracle_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  MaxScoreDaatProcessor pruned(kTopK);
+  bool identical = true;
+  t0 = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ResultEntry r = pruned.intersect(index, batch[i]);
+    identical &= r.docs == reference[i].docs;
+  }
+  const double pruned_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  const double encoded_mib =
+      static_cast<double>(index.block_store().encoded_bytes()) / MiB;
+  t.add_row({codec, "off",
+             Table::num(encoded_mib, 1),
+             Table::num(1000.0 * static_cast<double>(queries) / oracle_ms, 0),
+             Table::integer(0), "n/a"});
+  t.add_row({codec, "on",
+             Table::num(encoded_mib, 1),
+             Table::num(1000.0 * static_cast<double>(queries) / pruned_ms, 0),
+             Table::integer(
+                 static_cast<long long>(pruned.pruning().prune_jumps)),
+             identical ? "identical" : "DIVERGED"});
+}
+
+}  // namespace
 
 int main() {
   print_environment("Ablation — posting-list compression codec");
@@ -15,7 +88,8 @@ int main() {
            "HDD list reads", "block erases"});
   for (const std::string& codec :
        {std::string("raw"), std::string("group-varint"),
-        std::string("varint")}) {
+        std::string("varint"), std::string("block-packed"),
+        std::string("stream-vbyte")}) {
     SystemConfig cfg = paper_system(CachePolicy::kCblru, 2'000'000, 6 * MiB);
     cfg.corpus.codec = codec;
     SearchSystem system(cfg);
@@ -38,5 +112,17 @@ int main() {
       "\nexpected: compressed postings (varint ~%0.0f%% of raw) raise hit\n"
       "ratios and cut index-store traffic at identical cache budgets.\n",
       100.0 * 5.0 / 8.0);
+
+  // Block-max pruning on/off, per block codec, on the perf_driver daat
+  // corpus. The "top-K" column is the safety verdict: pruning must be
+  // a pure speedup, never a result change.
+  std::printf("\n");
+  const auto daat_queries =
+      std::min<std::uint64_t>(queries, default_queries(10'000));
+  Table p({"codec", "pruning", "encoded (MiB)", "q/s", "prune jumps",
+           "top-K"});
+  pruning_cells("block-packed", daat_queries, p);
+  pruning_cells("stream-vbyte", daat_queries, p);
+  p.print();
   return 0;
 }

@@ -17,6 +17,10 @@
 // oracle system over the rebuilt document set, both mid-segment and
 // after a forced merge. Gate 2: results bit-identical at both points
 // (cache coherence + overlay scoring are exact, not approximate).
+// Gate 3 (PR 7): block-max DAAT over the same churned index — where
+// ingests and deletes have invalidated the stored per-block maxima —
+// must stay bit-identical to the exhaustive processor, mid-segment and
+// post-merge (dirty terms bypass stale block-max; DESIGN.md §13).
 //
 // SSDSE_QUERIES scales the run; SSDSE_BENCH_OUT emits the JSON
 // artifact (validated by scripts/check_bench_json.py); the heavy cell
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/engine/daat.hpp"
 #include "src/ingest/live_index.hpp"
 
 using namespace ssdse;
@@ -223,10 +228,41 @@ bool oracle_probe(ChurnedState& churned, const MaterializedIndex& oracle,
   return true;
 }
 
+/// Gate 3: pruned vs exhaustive DAAT directly over the churned index
+/// (pure reads — the system's caches and RNG stream are untouched).
+/// Churn has gone stale on every touched term's stored block maxima;
+/// the pruned path must bypass them and match bit-for-bit.
+bool pruned_probe(const ChurnedState& churned, std::uint64_t probes,
+                  const char* ctx) {
+  DaatProcessor oracle(kTopK);
+  MaxScoreDaatProcessor pruned(kTopK);
+  for (std::uint64_t r = 0; r < probes; ++r) {
+    const Query q = churned.sys->generator().query_for_rank(r);
+    const ResultEntry want = oracle.intersect(*churned.index, q);
+    const ResultEntry got = pruned.intersect(*churned.index, q);
+    if (got.docs.size() != want.docs.size()) {
+      std::fprintf(stderr, "%s: probe %llu size mismatch\n", ctx,
+                   static_cast<unsigned long long>(r));
+      return false;
+    }
+    for (std::size_t i = 0; i < got.docs.size(); ++i) {
+      if (got.docs[i].doc != want.docs[i].doc ||
+          std::bit_cast<std::uint32_t>(got.docs[i].score) !=
+              std::bit_cast<std::uint32_t>(want.docs[i].score)) {
+        std::fprintf(stderr, "%s: probe %llu rank %zu diverges\n", ctx,
+                     static_cast<unsigned long long>(r), i);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 void write_json(const char* path, std::uint64_t queries,
                 const std::vector<CellResult>& cells,
                 bool idle_matches_disabled, std::uint64_t oracle_probes,
-                bool oracle_pre_merge, bool oracle_post_merge) {
+                bool oracle_pre_merge, bool oracle_post_merge,
+                bool pruned_pre_merge, bool pruned_post_merge) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -268,11 +304,14 @@ void write_json(const char* path, std::uint64_t queries,
   std::fprintf(f,
                "  ],\n  \"idle_matches_disabled\": %s,\n"
                "  \"oracle\": {\"probes\": %llu, \"pre_merge_match\": %s, "
-               "\"post_merge_match\": %s}\n}\n",
+               "\"post_merge_match\": %s, \"pruned_pre_merge_match\": %s, "
+               "\"pruned_post_merge_match\": %s}\n}\n",
                idle_matches_disabled ? "true" : "false",
                static_cast<unsigned long long>(oracle_probes),
                oracle_pre_merge ? "true" : "false",
-               oracle_post_merge ? "true" : "false");
+               oracle_post_merge ? "true" : "false",
+               pruned_pre_merge ? "true" : "false",
+               pruned_post_merge ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -307,9 +346,13 @@ int main() {
   MaterializedIndex oracle_index(oracle_corpus);
   const bool pre_ok =
       oracle_probe(heavy, oracle_index, probes, "pre-merge");
+  const bool pruned_pre_ok =
+      pruned_probe(heavy, probes, "pruned pre-merge");
   heavy.sys->merge_now();
   const bool post_ok =
       oracle_probe(heavy, oracle_index, probes, "post-merge");
+  const bool pruned_post_ok =
+      pruned_probe(heavy, probes, "pruned post-merge");
   maybe_write_report(*heavy.sys, "ext_ingest");
 
   Table t({"cell", "fingerprint", "mean (ms)", "HR", "docs", "dels",
@@ -326,12 +369,18 @@ int main() {
   t.print();
   std::printf(
       "\nzero-churn fingerprint: %s; oracle equivalence: pre-merge %s, "
+      "post-merge %s; block-max vs exhaustive: pre-merge %s, "
       "post-merge %s\n",
       idle_ok ? "identical" : "DIVERGED", pre_ok ? "exact" : "DIVERGED",
-      post_ok ? "exact" : "DIVERGED");
+      post_ok ? "exact" : "DIVERGED",
+      pruned_pre_ok ? "exact" : "DIVERGED",
+      pruned_post_ok ? "exact" : "DIVERGED");
 
   if (const char* out = std::getenv("SSDSE_BENCH_OUT")) {
-    write_json(out, queries, cells, idle_ok, probes, pre_ok, post_ok);
+    write_json(out, queries, cells, idle_ok, probes, pre_ok, post_ok,
+               pruned_pre_ok, pruned_post_ok);
   }
-  return idle_ok && pre_ok && post_ok ? 0 : 1;
+  return idle_ok && pre_ok && post_ok && pruned_pre_ok && pruned_post_ok
+             ? 0
+             : 1;
 }

@@ -16,7 +16,8 @@
 // only*, never output.
 //
 // Override query counts with SSDSE_QUERIES (system phases) and
-// SSDSE_DAAT_QUERIES; output path with SSDSE_BENCH_OUT.
+// SSDSE_DAAT_QUERIES; output path with SSDSE_BENCH_OUT; the daat-phase
+// processor with SSDSE_DAAT_MODE ("exhaustive" | "block-max").
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -118,8 +119,32 @@ std::uint64_t daat_loop(const DaatWorkload& w,
 /// Phase 1: the DAAT engine on a materialized index. Build cost (the
 /// one-time doc-sorted materialization) is excluded: the simulator
 /// builds once and serves millions of queries.
-PhaseResult run_daat_phase(std::uint64_t queries) {
+///
+/// SSDSE_DAAT_MODE selects the processor ("exhaustive" default,
+/// "block-max" for the pruned path). Exhaustive stays the default: the
+/// pinned fingerprint folds DaatStats, which pruning legitimately
+/// changes (the results never do — BENCH_PR7.json gates that).
+PhaseResult run_daat_phase(std::uint64_t queries, DaatMode mode) {
   DaatWorkload w(queries);
+  if (mode == DaatMode::kBlockMax) {
+    MaxScoreDaatProcessor daat(/*top_k=*/kTopK);
+    const auto t0 = Clock::now();
+    std::uint64_t checksum = 0;
+    for (const Query& q : w.batch) {
+      DaatStats stats;
+      const ResultEntry r = daat.intersect(*w.index, q, &stats);
+      checksum += stats.docs_scored + stats.postings_touched;
+      for (const ScoredDoc& d : r.docs) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &d.score, sizeof bits);
+        checksum = checksum * 1099511628211ull + d.doc + bits;
+      }
+    }
+    const double wall = ms_since(t0);
+    return PhaseResult{"daat", queries, wall,
+                       1000.0 * static_cast<double>(queries) / wall,
+                       checksum};
+  }
   const auto t0 = Clock::now();
   const std::uint64_t checksum = daat_loop<false>(w, nullptr);
   const double wall = ms_since(t0);
@@ -262,8 +287,12 @@ int main() {
   const char* telemetry_out = std::getenv("SSDSE_TELEMETRY_OUT");
   if (!telemetry_out) telemetry_out = "TELEMETRY.json";
 
+  const char* mode_name = std::getenv("SSDSE_DAAT_MODE");
+  const DaatMode mode =
+      mode_name != nullptr ? daat_mode(mode_name) : DaatMode::kExhaustive;
+
   std::vector<PhaseResult> phases;
-  phases.push_back(run_daat_phase(daat_queries));
+  phases.push_back(run_daat_phase(daat_queries, mode));
   std::printf("  daat : %8.1f q/s  (%.0f ms, fingerprint %llu)\n",
               phases.back().qps, phases.back().wall_ms,
               static_cast<unsigned long long>(phases.back().fingerprint));

@@ -1,0 +1,413 @@
+// PR 7 gate bench: compressed posting blocks + block-max pruning
+// (DESIGN.md §13), emitted as BENCH_PR7.json and validated by
+// scripts/check_bench_json.py in CI.
+//
+// Four sections, each a hard gate:
+//  * compression — encoded vs raw posting bytes on the perf_driver daat
+//    corpus; the block-packed ratio must be >= 2.5x;
+//  * pruning     — the exhaustive DaatProcessor must reproduce the
+//    pinned PR 2 fingerprint (at the full 20k-query count), the pruned
+//    MaxScoreDaatProcessor must return bit-identical top-K per query,
+//    and its q/s must beat the PR 2 baseline floor (Release builds);
+//  * lru_map     — LruMap vs FlatLruMap micro-bench on the MemListCache
+//    op mix; eviction order must match exactly;
+//  * a daat_skip trace span + daat.pruning.* registry counters give the
+//    new observability surfaces a live producer.
+//
+// Override the query count with SSDSE_DAAT_QUERIES; output with
+// SSDSE_BENCH_OUT.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.hpp"
+#include "src/engine/daat.hpp"
+#include "src/index/block_postings.hpp"
+#include "src/telemetry/registry.hpp"
+#include "src/telemetry/tracer.hpp"
+#include "src/util/flat_lru_map.hpp"
+#include "src/util/lru_map.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/query_log.hpp"
+
+using namespace ssdse;
+using namespace ssdse::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// PR 2 daat-phase baseline on the reference machine; the pruned path
+/// must beat it outright, decode cost included.
+constexpr double kBaselineQps = 2413.0;
+/// The daat fingerprint pinned since PR 2 (20k queries).
+constexpr std::uint64_t kPinnedFingerprint = 9983495460346675520ull;
+constexpr std::uint64_t kFullQueries = 20'000;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+std::uint64_t env_count(const char* name, std::uint64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const auto v = std::strtoull(env, nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// The perf_driver daat workload, bit-for-bit (same corpus seed, same
+/// query log), so fingerprints and baselines carry over.
+struct DaatWorkload {
+  explicit DaatWorkload(std::uint64_t queries) {
+    CorpusConfig cc;
+    cc.num_docs = 40'000;
+    cc.vocab_size = 2'000;
+    cc.terms_per_doc = 60;
+    cc.max_df_fraction = 0.10;
+    cc.seed = 2012;
+    Rng rng(99);
+    corpus = std::make_unique<MaterializedCorpus>(cc, rng);
+    index = std::make_unique<MaterializedIndex>(*corpus);
+
+    QueryLogConfig qc;
+    qc.distinct_queries = 50'000;
+    qc.vocab_size = cc.vocab_size;
+    qc.min_terms = 2;
+    qc.max_terms = 3;
+    qc.seed = 17;
+    QueryLogGenerator gen(qc);
+    batch.reserve(queries);
+    for (std::uint64_t i = 0; i < queries; ++i) batch.push_back(gen.next());
+  }
+
+  std::unique_ptr<MaterializedCorpus> corpus;
+  std::unique_ptr<MaterializedIndex> index;
+  std::vector<Query> batch;
+};
+
+struct CompressionResult {
+  Bytes raw_bytes = 0;
+  Bytes packed_bytes = 0;
+  Bytes svb_bytes = 0;
+  double packed_ratio = 0;
+  double svb_ratio = 0;
+  std::uint64_t blocks = 0;
+  bool pass = false;
+};
+
+CompressionResult run_compression(const MaterializedIndex& index) {
+  CompressionResult c;
+  c.raw_bytes = index.raw_posting_bytes();
+  // The index's own store is block-packed (raw corpus codec falls back
+  // to it); encode the stream-vbyte variant side by side.
+  c.packed_bytes = index.block_store().encoded_bytes();
+  c.blocks = index.block_store().total_blocks();
+  BlockPostingStore svb(CodecKind::kStreamVByte);
+  svb.reserve(index.vocab_size(), index.block_store().total_postings());
+  for (TermId t = 0; t < index.vocab_size(); ++t) {
+    const DocSortedView v = index.doc_sorted(t);
+    svb.add_list(v.postings(), v.idf());
+  }
+  c.svb_bytes = svb.encoded_bytes();
+  c.packed_ratio = static_cast<double>(c.raw_bytes) /
+                   static_cast<double>(c.packed_bytes);
+  c.svb_ratio =
+      static_cast<double>(c.raw_bytes) / static_cast<double>(c.svb_bytes);
+  c.pass = c.packed_ratio >= 2.5;
+  return c;
+}
+
+struct PruningResult {
+  std::uint64_t queries = 0;
+  double oracle_wall_ms = 0;
+  double oracle_qps = 0;
+  std::uint64_t oracle_fingerprint = 0;
+  bool fingerprint_reference = false;  // full query count: pin applies
+  double pruned_wall_ms = 0;
+  double pruned_qps = 0;
+  bool results_identical = false;
+  bool enforced = false;  // qps floor gated (Release + full queries)
+  PruningStats stats;
+  double postings_pruned_fraction = 0;
+  bool pass = false;
+};
+
+/// perf_driver's daat checksum, bit-for-bit (docs_scored +
+/// postings_touched folded per query, then FNV-style doc/score mix).
+std::uint64_t fold_checksum(std::uint64_t checksum, const DaatStats& stats,
+                            const ResultEntry& r) {
+  checksum += stats.docs_scored + stats.postings_touched;
+  for (const ScoredDoc& d : r.docs) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &d.score, sizeof bits);
+    checksum = checksum * 1099511628211ull + d.doc + bits;
+  }
+  return checksum;
+}
+
+PruningResult run_pruning(const DaatWorkload& w,
+                          telemetry::QueryTracer& tracer) {
+  PruningResult p;
+  p.queries = w.batch.size();
+
+  // Oracle pass: exhaustive processor, pinned fingerprint.
+  DaatProcessor oracle(kTopK);
+  std::vector<ResultEntry> oracle_results;
+  oracle_results.reserve(w.batch.size());
+  auto t0 = Clock::now();
+  std::uint64_t checksum = 0;
+  for (const Query& q : w.batch) {
+    DaatStats stats;
+    oracle_results.push_back(oracle.intersect(*w.index, q, &stats));
+    checksum = fold_checksum(checksum, stats, oracle_results.back());
+  }
+  p.oracle_wall_ms = ms_since(t0);
+  p.oracle_qps =
+      1000.0 * static_cast<double>(p.queries) / p.oracle_wall_ms;
+  p.oracle_fingerprint = checksum;
+  p.fingerprint_reference = p.queries == kFullQueries;
+
+  // Pruned pass: block-max processor, per-query bit-identical check.
+  // Each query gets a daat_skip span charging the postings the bound
+  // checks proved irrelevant (at the scorer's nominal ns/posting).
+  MaxScoreDaatProcessor pruned(kTopK);
+  bool identical = true;
+  std::uint64_t total_postings = 0;
+  t0 = Clock::now();
+  for (std::size_t i = 0; i < w.batch.size(); ++i) {
+    const auto before = pruned.pruning().postings_pruned;
+    tracer.begin_query(w.batch[i].id);
+    DaatStats stats;
+    const ResultEntry r = pruned.intersect(*w.index, w.batch[i], &stats);
+    const auto saved =
+        static_cast<Micros>(pruned.pruning().postings_pruned - before);
+    tracer.add_span(telemetry::TraceStage::kDaatSkip, saved * 0.008);
+    tracer.end_query(saved * 0.008);
+    total_postings += stats.postings_touched;
+    const ResultEntry& o = oracle_results[i];
+    if (r.docs.size() != o.docs.size()) {
+      identical = false;
+      continue;
+    }
+    for (std::size_t k = 0; k < r.docs.size(); ++k) {
+      std::uint32_t rb;
+      std::uint32_t ob;
+      std::memcpy(&rb, &r.docs[k].score, sizeof rb);
+      std::memcpy(&ob, &o.docs[k].score, sizeof ob);
+      identical &= r.docs[k].doc == o.docs[k].doc && rb == ob;
+    }
+  }
+  p.pruned_wall_ms = ms_since(t0);
+  p.pruned_qps =
+      1000.0 * static_cast<double>(p.queries) / p.pruned_wall_ms;
+  p.results_identical = identical;
+  p.stats = pruned.pruning();
+  const double denom = static_cast<double>(total_postings) +
+                       static_cast<double>(p.stats.postings_pruned);
+  p.postings_pruned_fraction =
+      denom > 0 ? static_cast<double>(p.stats.postings_pruned) / denom : 0;
+  // The throughput floor only means something at the full query count
+  // on an optimized build; short CI smokes report but don't gate.
+#ifdef NDEBUG
+  p.enforced = p.fingerprint_reference;
+#endif
+  p.pass = p.results_identical &&
+           (!p.fingerprint_reference ||
+            p.oracle_fingerprint == kPinnedFingerprint) &&
+           (!p.enforced || p.pruned_qps > kBaselineQps);
+  return p;
+}
+
+struct LruBenchResult {
+  std::uint64_t ops = 0;
+  double chained_wall_ms = 0;  // LruMap (list + unordered_map)
+  double flat_wall_ms = 0;     // FlatLruMap (open addressing)
+  double speedup = 0;
+  bool order_match = false;
+};
+
+/// The MemListCache op mix: insert-heavy churn with touches and LRU
+/// pops, over a working set that overflows a bounded map. Both
+/// containers run the identical op stream; the eviction-order
+/// fingerprint (folded over every pop_lru) must match exactly.
+template <typename Map>
+std::pair<double, std::uint64_t> lru_run(std::uint64_t ops) {
+  Map map;
+  Rng rng(2012);
+  std::uint64_t fp = 0;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const auto key = static_cast<TermId>(rng.next_below(60'000));
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // insert / refresh
+        map.insert(key, i);
+        break;
+      }
+      case 4:
+      case 5: {  // recency bump
+        if (auto* v = map.touch(key)) fp += *v;
+        break;
+      }
+      case 6: {  // targeted drop
+        if (auto v = map.erase(key)) fp += *v;
+        break;
+      }
+      case 7: {  // capacity-style eviction
+        if (map.size() > 40'000) {
+          if (auto e = map.pop_lru()) {
+            fp = fp * 1099511628211ull + e->first + e->second;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return {ms_since(t0), fp};
+}
+
+LruBenchResult run_lru_bench(std::uint64_t ops) {
+  LruBenchResult r;
+  r.ops = ops;
+  // Min-of-3 each, interleaved, with the fingerprints compared across
+  // container types.
+  std::uint64_t fp_chained = 0;
+  std::uint64_t fp_flat = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto [cm, cf] = lru_run<LruMap<TermId, std::uint64_t>>(ops);
+    const auto [fm, ff] = lru_run<FlatLruMap<TermId, std::uint64_t>>(ops);
+    if (rep == 0 || cm < r.chained_wall_ms) r.chained_wall_ms = cm;
+    if (rep == 0 || fm < r.flat_wall_ms) r.flat_wall_ms = fm;
+    fp_chained = cf;
+    fp_flat = ff;
+  }
+  r.speedup = r.chained_wall_ms / r.flat_wall_ms;
+  r.order_match = fp_chained == fp_flat;
+  return r;
+}
+
+void write_json(const char* path, const CompressionResult& c,
+                const PruningResult& p, const LruBenchResult& l) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "pr7_codec_pruning: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pr7_codec_pruning\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(
+      f,
+      "  \"compression\": {\"raw_bytes\": %llu, \"packed_bytes\": %llu, "
+      "\"svb_bytes\": %llu, \"packed_ratio\": %.3f, \"svb_ratio\": %.3f, "
+      "\"blocks\": %llu, \"pass\": %s},\n",
+      static_cast<unsigned long long>(c.raw_bytes),
+      static_cast<unsigned long long>(c.packed_bytes),
+      static_cast<unsigned long long>(c.svb_bytes), c.packed_ratio,
+      c.svb_ratio, static_cast<unsigned long long>(c.blocks),
+      c.pass ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"pruning\": {\"queries\": %llu, \"oracle_qps\": %.1f, "
+      "\"oracle_wall_ms\": %.3f, \"oracle_fingerprint\": %llu, "
+      "\"fingerprint_reference\": %s, \"pruned_qps\": %.1f, "
+      "\"pruned_wall_ms\": %.3f, \"baseline_qps\": %.1f, "
+      "\"results_identical\": %s, \"enforced\": %s, "
+      "\"blocks_decoded\": %llu, \"blocks_skipped\": %llu, "
+      "\"prune_jumps\": %llu, \"postings_pruned\": %llu, "
+      "\"postings_pruned_fraction\": %.4f, \"pass\": %s},\n",
+      static_cast<unsigned long long>(p.queries), p.oracle_qps,
+      p.oracle_wall_ms,
+      static_cast<unsigned long long>(p.oracle_fingerprint),
+      p.fingerprint_reference ? "true" : "false", p.pruned_qps,
+      p.pruned_wall_ms, kBaselineQps,
+      p.results_identical ? "true" : "false",
+      p.enforced ? "true" : "false",
+      static_cast<unsigned long long>(p.stats.blocks_decoded),
+      static_cast<unsigned long long>(p.stats.blocks_skipped),
+      static_cast<unsigned long long>(p.stats.prune_jumps),
+      static_cast<unsigned long long>(p.stats.postings_pruned),
+      p.postings_pruned_fraction, p.pass ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"lru_map\": {\"ops\": %llu, \"chained_wall_ms\": %.3f, "
+      "\"flat_wall_ms\": %.3f, \"speedup\": %.3f, \"order_match\": %s},\n",
+      static_cast<unsigned long long>(l.ops), l.chained_wall_ms,
+      l.flat_wall_ms, l.speedup, l.order_match ? "true" : "false");
+  std::fprintf(f, "  \"pass\": %s\n}\n",
+               c.pass && p.pass && l.order_match ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  print_environment(
+      "PR 7 gate — compressed posting blocks + block-max pruning");
+  const auto queries = env_count("SSDSE_DAAT_QUERIES", kFullQueries);
+  const char* out = std::getenv("SSDSE_BENCH_OUT");
+  if (!out) out = "BENCH_PR7.json";
+
+  DaatWorkload w(queries);
+  const CompressionResult c = run_compression(*w.index);
+  std::printf(
+      "  compression: raw %.1f MiB -> packed %.1f MiB (%.2fx), "
+      "svb %.1f MiB (%.2fx) %s\n",
+      static_cast<double>(c.raw_bytes) / MiB,
+      static_cast<double>(c.packed_bytes) / MiB, c.packed_ratio,
+      static_cast<double>(c.svb_bytes) / MiB, c.svb_ratio,
+      c.pass ? "[pass]" : "[FAIL: ratio < 2.5]");
+
+  // The pruning counters publish through the registry under the same
+  // naming conventions the lint enforces.
+  telemetry::QueryTracer tracer;
+  const PruningResult p = run_pruning(w, tracer);
+  telemetry::MetricsRegistry registry;
+  registry.counter("daat.pruning.blocks_decoded", &p.stats.blocks_decoded);
+  registry.counter("daat.pruning.blocks_skipped", &p.stats.blocks_skipped);
+  registry.counter("daat.pruning.prune_jumps", &p.stats.prune_jumps);
+  registry.counter("daat.pruning.postings_pruned",
+                   &p.stats.postings_pruned);
+  std::printf(
+      "  oracle : %8.1f q/s  (fingerprint %llu%s)\n",
+      p.oracle_qps, static_cast<unsigned long long>(p.oracle_fingerprint),
+      p.fingerprint_reference
+          ? (p.oracle_fingerprint == kPinnedFingerprint
+                 ? ", matches PR 2 pin"
+                 : ", DIVERGES from PR 2 pin")
+          : ", reduced query count: pin not applicable");
+  std::printf(
+      "  pruned : %8.1f q/s  vs %.0f baseline floor%s — results %s\n",
+      p.pruned_qps, kBaselineQps,
+      p.enforced ? "" : " [floor not enforced on this run]",
+      p.results_identical ? "bit-identical" : "DIVERGED");
+  std::printf(
+      "  pruning: %llu jumps, %llu blocks skipped, %llu blocks decoded, "
+      "%.1f%% of postings pruned (daat_skip span total %.0f us, "
+      "%zu registry metrics)\n",
+      static_cast<unsigned long long>(p.stats.prune_jumps),
+      static_cast<unsigned long long>(p.stats.blocks_skipped),
+      static_cast<unsigned long long>(p.stats.blocks_decoded),
+      100.0 * p.postings_pruned_fraction,
+      tracer.stage_stats(telemetry::TraceStage::kDaatSkip).sum(),
+      registry.size());
+
+  const LruBenchResult l = run_lru_bench(queries * 50);
+  std::printf(
+      "  lru_map: chained %.1f ms -> flat %.1f ms (%.2fx), eviction "
+      "order %s\n",
+      l.chained_wall_ms, l.flat_wall_ms, l.speedup,
+      l.order_match ? "identical" : "DIVERGED");
+
+  write_json(out, c, p, l);
+  std::printf("wrote %s\n", out);
+
+  if (!(c.pass && p.pass && l.order_match)) {
+    std::fprintf(stderr, "pr7_codec_pruning: gate FAILED\n");
+    return 1;
+  }
+  return 0;
+}

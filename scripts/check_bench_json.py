@@ -34,7 +34,7 @@ EXPECTED_PHASES = ["daat", "cache", "ssd"]
 TRACE_STAGES = {
     "result_probe", "list_fetch_mem", "list_fetch_ssd", "list_fetch_hdd",
     "daat_score", "write_buffer_flush", "ftl_gc", "broker_merge",
-    "ingest_apply", "segment_merge",
+    "ingest_apply", "segment_merge", "daat_skip",
 }
 
 
@@ -323,10 +323,106 @@ def check_ext_ingest(doc, path):
             "oracle: mid-segment results diverged from the oracle")
     require(oracle.get("post_merge_match") is True,
             "oracle: post-merge results diverged from the oracle")
+    # Liveness gate 3 (PR 7): block-max pruning over the churned index
+    # must stay bit-identical to exhaustive DAAT — dirty terms bypass
+    # stale stored block maxima rather than pruning against them.
+    require(oracle.get("pruned_pre_merge_match") is True,
+            "oracle: mid-segment block-max results diverged from "
+            "exhaustive DAAT")
+    require(oracle.get("pruned_post_merge_match") is True,
+            "oracle: post-merge block-max results diverged from "
+            "exhaustive DAAT")
 
     print(f"check_bench_json: OK ({path}: ext_ingest, "
           f"{len(cells)} cells x {queries} queries, idle fingerprint "
           f"identical, oracle exact over {oracle['probes']} probes)")
+
+
+PR7_PINNED_FINGERPRINT = 9983495460346675520
+PR7_MIN_RATIO = 2.5
+
+
+def check_pr7(doc, path):
+    require(doc.get("schema_version") == 1,
+            f"unsupported schema_version {doc.get('schema_version')!r}")
+
+    comp = doc.get("compression")
+    require(isinstance(comp, dict), "'compression' must be an object")
+    for key in ("raw_bytes", "packed_bytes", "svb_bytes", "blocks"):
+        require(isinstance(comp.get(key), int) and comp[key] > 0,
+                f"compression: '{key}' must be a positive integer")
+    for key, denom in (("packed_ratio", "packed_bytes"),
+                       ("svb_ratio", "svb_bytes")):
+        require(is_num(comp.get(key)) and comp[key] > 0,
+                f"compression: '{key}' must be positive")
+        derived = comp["raw_bytes"] / comp[denom]
+        require(abs(derived - comp[key]) <= 0.01 * derived,
+                f"compression: {key} {comp[key]} inconsistent with "
+                f"byte counts ({derived:.3f})")
+    # Gate: the block-packed index must be several-fold smaller.
+    require(comp["packed_ratio"] >= PR7_MIN_RATIO,
+            f"compression: packed_ratio {comp['packed_ratio']} below "
+            f"the {PR7_MIN_RATIO}x gate")
+    require(comp.get("pass") is True, "compression: gate did not pass")
+
+    pr = doc.get("pruning")
+    require(isinstance(pr, dict), "'pruning' must be an object")
+    require(isinstance(pr.get("queries"), int) and pr["queries"] > 0,
+            "pruning: 'queries' must be a positive integer")
+    for key in ("oracle_qps", "pruned_qps", "baseline_qps",
+                "oracle_wall_ms", "pruned_wall_ms"):
+        require(is_num(pr.get(key)) and pr[key] > 0,
+                f"pruning: '{key}' must be positive")
+    for key in ("blocks_decoded", "blocks_skipped", "prune_jumps",
+                "postings_pruned"):
+        require(isinstance(pr.get(key), int) and pr[key] >= 0,
+                f"pruning: '{key}' must be a non-negative integer")
+    frac = pr.get("postings_pruned_fraction")
+    require(is_num(frac) and 0.0 <= frac <= 1.0,
+            "pruning: 'postings_pruned_fraction' must be in [0, 1]")
+    # Gate 1: the pruned top-K is bit-identical to the exhaustive
+    # oracle on every query.
+    require(pr.get("results_identical") is True,
+            "pruning: pruned results diverged from the oracle")
+    # Gate 2: the exhaustive oracle still reproduces the PR 2
+    # fingerprint (only pinned at the full query count).
+    require(isinstance(pr.get("fingerprint_reference"), bool),
+            "pruning: 'fingerprint_reference' must be a bool")
+    if pr["fingerprint_reference"]:
+        require(pr.get("oracle_fingerprint") == PR7_PINNED_FINGERPRINT,
+                f"pruning: oracle fingerprint "
+                f"{pr.get('oracle_fingerprint')} does not match the "
+                f"PR 2 pin {PR7_PINNED_FINGERPRINT}")
+    # Gate 3 (Release builds): pruned throughput beats the PR 2
+    # baseline floor outright, decode cost included.
+    require(isinstance(pr.get("enforced"), bool),
+            "pruning: 'enforced' must be a bool")
+    if pr["enforced"]:
+        require(pr["pruned_qps"] > pr["baseline_qps"],
+                f"pruning: pruned_qps {pr['pruned_qps']} does not beat "
+                f"the baseline floor {pr['baseline_qps']}")
+    # The mechanism must demonstrably fire: a pass with zero jumps
+    # would validate nothing.
+    require(pr["prune_jumps"] > 0, "pruning: no prune jumps recorded")
+    require(pr.get("pass") is True, "pruning: gate did not pass")
+
+    lm = doc.get("lru_map")
+    require(isinstance(lm, dict), "'lru_map' must be an object")
+    require(isinstance(lm.get("ops"), int) and lm["ops"] > 0,
+            "lru_map: 'ops' must be a positive integer")
+    for key in ("chained_wall_ms", "flat_wall_ms", "speedup"):
+        require(is_num(lm.get(key)) and lm[key] > 0,
+                f"lru_map: '{key}' must be positive")
+    require(lm.get("order_match") is True,
+            "lru_map: open-addressing eviction order diverged from the "
+            "chained reference")
+
+    require(doc.get("pass") is True, "pr7 gate did not pass")
+
+    print(f"check_bench_json: OK ({path}: pr7_codec_pruning, "
+          f"ratio {comp['packed_ratio']}x, pruned "
+          f"{pr['pruned_qps']:.1f} q/s vs floor {pr['baseline_qps']:.0f}, "
+          f"results identical over {pr['queries']} queries)")
 
 
 def check_telemetry(doc, path):
@@ -462,9 +558,11 @@ def check_file(path):
         check_ext_faults(doc, path)
     elif doc.get("bench") == "ext_ingest":
         check_ext_ingest(doc, path)
+    elif doc.get("bench") == "pr7_codec_pruning":
+        check_pr7(doc, path)
     else:
-        fail(f"{path}: not a perf_driver/ext_faults/ext_ingest bench "
-             "file or a telemetry report")
+        fail(f"{path}: not a perf_driver/ext_faults/ext_ingest/"
+             "pr7_codec_pruning bench file or a telemetry report")
 
 
 def main():

@@ -1,7 +1,6 @@
 #include "src/cache/mem_list_cache.hpp"
 
 #include <algorithm>
-#include <iterator>
 
 namespace ssdse {
 
@@ -29,19 +28,22 @@ bool MemListCache::evict_one(std::vector<EvictedList>& out) {
     return true;
   }
   // CBLRU/CBSLRU: minimum EV inside the Replace-First Region (the last
-  // `window_` entries of the LRU list), Fig. 12.
-  auto best = map_.rbegin();
+  // `window_` entries of the LRU list), Fig. 12. Strict `<` keeps the
+  // entry closest to the LRU end on EV ties — the same victim the
+  // iterator-based scan picked, so eviction order is unchanged.
+  auto best = map_.lru_handle();
   std::uint32_t scanned = 0;
-  for (auto it = map_.rbegin(); it != map_.rend() && scanned < window_;
-       ++it, ++scanned) {
-    if (it->second.ev < best->second.ev) best = it;
+  for (auto h = map_.lru_handle();
+       h != decltype(map_)::npos && scanned < window_;
+       h = map_.more_recent(h), ++scanned) {
+    if (map_.value_at(h).ev < map_.value_at(best).ev) best = h;
   }
-  // Erase through the list iterator the scan already holds — no second
-  // hash walk to re-find the victim by key.
-  const auto victim = std::prev(best.base());
-  used_ -= victim->second.cached_bytes;
-  out.push_back(EvictedList{victim->first, std::move(victim->second)});
-  map_.erase(victim);
+  // Erase through the handle the scan already holds — no second hash
+  // walk to re-find the victim by key.
+  const TermId term = map_.key_at(best);
+  CachedList info = map_.erase_handle(best);
+  used_ -= info.cached_bytes;
+  out.push_back(EvictedList{term, std::move(info)});
   return true;
 }
 

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "src/cache/policy.hpp"
-#include "src/util/lru_map.hpp"
+#include "src/util/flat_lru_map.hpp"
 
 namespace ssdse {
 
@@ -61,7 +61,11 @@ class MemListCache {
   CachePolicy policy_;
   std::uint32_t window_;
   Bytes used_ = 0;
-  LruMap<TermId, CachedList> map_;
+  // Open-addressing backing store (DESIGN.md §13): recency semantics —
+  // and therefore eviction order and fingerprints — identical to the
+  // LruMap it replaced; probes are one flat-array walk instead of
+  // unordered_map bucket chains plus list-node hops.
+  FlatLruMap<TermId, CachedList> map_;
 };
 
 }  // namespace ssdse

@@ -13,6 +13,15 @@
 // on, the codec layer encodes *frequency-ordered* postings with raw doc
 // ids varint-packed and tf's delta-packed (tf is non-increasing in that
 // order, so deltas are small) — see encode() for the exact layout.
+//
+// Two block codecs back the compressed posting-block layer (DESIGN.md
+// §13), cutting lists into 128-posting blocks with doc-id deltas taken
+// modulo 2^32 (tiny for the doc-sorted arenas, still lossless for
+// frequency order):
+//   * BlockPackedCodec  — per-block bit widths, deltas and tf's packed
+//     LSB-first ("block-packed");
+//   * StreamVByteCodec  — byte-aligned, 2-bit length selectors in
+//     separate control runs ("stream-vbyte").
 #pragma once
 
 #include <cstdint>
@@ -28,16 +37,32 @@ namespace ssdse {
 /// Codec identity resolved once from the config string, so size-model
 /// hot loops (TermStatsModel builds one entry per vocabulary term) never
 /// pay a virtual call or string compare per posting.
-enum class CodecKind : std::uint8_t { kRaw, kVarint, kGroupVarint };
+enum class CodecKind : std::uint8_t {
+  kRaw,
+  kVarint,
+  kGroupVarint,
+  kBlockPacked,
+  kStreamVByte,
+};
 
-/// Resolve a codec name ("raw", "varint", "group-varint"); throws
-/// std::invalid_argument on unknown names.
+/// Resolve a codec name ("raw", "varint", "group-varint",
+/// "block-packed", "stream-vbyte"); throws std::invalid_argument on
+/// unknown names.
 CodecKind codec_kind(const std::string& name);
 
+/// True for block codecs whose size model depends on list density
+/// (delta widths shrink as df grows); callers hoisting the model out of
+/// per-term loops must re-evaluate it per term for these kinds.
+bool model_is_df_dependent(CodecKind kind);
+
+/// Whether the kind is one of the block codecs (the compressed
+/// posting-block layer of DESIGN.md §13).
+bool is_block_codec(CodecKind kind);
+
 /// Analytic size model: expected bytes per posting for a list of `df`
-/// postings over `num_docs` documents. All current codecs are
+/// postings over `num_docs` documents. The classic codecs are
 /// df-independent, which lets callers hoist the value out of per-term
-/// loops; `df` stays in the signature for codecs whose model may use it.
+/// loops; the block codecs use `df` (check model_is_df_dependent).
 double model_bytes_per_posting(CodecKind kind, std::uint64_t df,
                                std::uint64_t num_docs);
 
@@ -101,7 +126,34 @@ class GroupVarintCodec final : public PostingCodec {
                            std::uint64_t num_docs) const override;
 };
 
-/// Factory by name ("raw", "varint", "group-varint").
+/// Block-wise bit packing: 128-posting blocks, per-block delta / tf bit
+/// widths (see src/index/block_postings.hpp for the block format).
+class BlockPackedCodec final : public PostingCodec {
+ public:
+  [[nodiscard]] std::string name() const override { return "block-packed"; }
+  std::vector<std::uint8_t> encode(
+      std::span<const Posting> postings) const override;
+  std::vector<Posting> decode(
+      std::span<const std::uint8_t> bytes) const override;
+  double bytes_per_posting(std::uint64_t df,
+                           std::uint64_t num_docs) const override;
+};
+
+/// StreamVByte-style byte-aligned blocks: 2-bit length selectors in a
+/// control run, then the 1–4-byte values.
+class StreamVByteCodec final : public PostingCodec {
+ public:
+  [[nodiscard]] std::string name() const override { return "stream-vbyte"; }
+  std::vector<std::uint8_t> encode(
+      std::span<const Posting> postings) const override;
+  std::vector<Posting> decode(
+      std::span<const std::uint8_t> bytes) const override;
+  double bytes_per_posting(std::uint64_t df,
+                           std::uint64_t num_docs) const override;
+};
+
+/// Factory by name ("raw", "varint", "group-varint", "block-packed",
+/// "stream-vbyte").
 std::unique_ptr<PostingCodec> make_codec(const std::string& name);
 
 // Low-level varint helpers (shared by codecs and tested directly).

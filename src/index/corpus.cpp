@@ -18,13 +18,17 @@ TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
   list_bytes_.resize(cfg.vocab_size);
   pu_.resize(cfg.vocab_size);
   Rng rng(cfg.seed);
-  // Resolve the codec once; all current size models are df-independent,
-  // so the per-posting constant hoists out of the per-term loop (the old
-  // code paid a virtual call through a freshly heap-allocated codec for
-  // every one of the ~1M vocabulary terms).
+  // Resolve the codec once. The classic size models are df-independent,
+  // so their per-posting constant hoists out of the per-term loop (the
+  // old code paid a virtual call through a freshly heap-allocated codec
+  // for every one of the ~1M vocabulary terms); the block codecs' delta
+  // widths depend on list density, so they re-evaluate per term — still
+  // just a log2, no allocation.
   const CodecKind kind = codec_kind(cfg.codec);
-  const double bytes_per_posting =
-      model_bytes_per_posting(kind, /*df=*/1, cfg.num_docs);
+  const bool df_dependent = model_is_df_dependent(kind);
+  const double hoisted_bytes_per_posting =
+      df_dependent ? 0.0 : model_bytes_per_posting(kind, /*df=*/1,
+                                                   cfg.num_docs);
 
   // Target total postings; distribute over ranks by the Zipf law, capped
   // at num_docs (a term cannot appear in more documents than exist).
@@ -43,6 +47,9 @@ TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
     df = std::max<std::uint64_t>(df, 1);
     df_[r] = df;
     total_postings_ += df;
+    const double bytes_per_posting =
+        df_dependent ? model_bytes_per_posting(kind, df, cfg.num_docs)
+                     : hoisted_bytes_per_posting;
     list_bytes_[r] = std::max<Bytes>(
         static_cast<Bytes>(
             std::ceil(static_cast<double>(df) * bytes_per_posting)),

@@ -46,6 +46,7 @@ MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
       raw[term].push_back(Posting{d, tf});
     }
   }
+  const CodecKind kind = codec_kind(corpus.config().codec);
   const auto codec = make_codec(corpus.config().codec);
   lists_.reserve(raw.size());
   metas_.reserve(raw.size());
@@ -54,6 +55,13 @@ MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
   std::size_t total_postings = 0;
   for (const auto& postings : raw) total_postings += postings.size();
   doc_sorted_.reserve(raw.size(), total_postings);
+  // The block store always exists (the block-max DAAT path needs it);
+  // when the corpus codec itself is a block codec it doubles as the
+  // on-disk size authority, so meta.list_bytes charges the slice's
+  // actual encoded bytes.
+  blocks_ = BlockPostingStore(is_block_codec(kind) ? kind
+                                                   : CodecKind::kBlockPacked);
+  blocks_.reserve(raw.size(), total_postings);
   const double n_docs = static_cast<double>(num_docs_);
   for (auto& postings : raw) {
     // The corpus emits postings in ascending doc order, so the raw list
@@ -66,6 +74,7 @@ MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
         [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
     if (sorted) {
       doc_sorted_.add_list(postings, daat_idf);
+      blocks_.add_list(postings, daat_idf);
     } else {  // future-proofing: corpora built from unordered sources
       std::vector<Posting> by_doc(postings);
       std::sort(by_doc.begin(), by_doc.end(),
@@ -73,16 +82,19 @@ MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
                   return a.doc < b.doc;
                 });
       doc_sorted_.add_list(by_doc, daat_idf);
+      blocks_.add_list(by_doc, daat_idf);
     }
     const double scoring_idf =
         postings.empty()
             ? 0.0
             : std::log(1.0 + n_docs / static_cast<double>(postings.size()));
     lists_.emplace_back(std::move(postings));
-    const Bytes encoded = lists_.back().empty()
-                              ? 0
-                              : codec->encoded_bytes(
-                                    lists_.back().postings());
+    const Bytes encoded =
+        lists_.back().empty()
+            ? 0
+            : (is_block_codec(kind)
+                   ? blocks_.term_bytes(blocks_.num_terms() - 1)
+                   : codec->encoded_bytes(lists_.back().postings()));
     metas_.push_back(TermMeta{lists_.back().size(),
                               std::max<Bytes>(encoded, 1),
                               /*utilization=*/1.0, scoring_idf});
@@ -136,6 +148,16 @@ void MaterializedIndex::rebuild_lists(
   // meta table valid.
   DocSortedStore fresh;
   fresh.reserve(vocab, total);
+  // The block store is rebuilt in the same pass, straight from the
+  // replacement spans / arena slices — compressed blocks (and their
+  // skip + block-max metadata) come out of the merge directly, with no
+  // uncompressed intermediate arena. Stale block-max entries cannot
+  // survive: a churned term's metadata is recomputed from its new
+  // postings here, and until the merge lands the block-max scorer
+  // bypasses dirty terms entirely (their blocks are no longer exact).
+  BlockPostingStore fresh_blocks(blocks_.kind());
+  fresh_blocks.reserve(vocab, total);
+  const CodecKind kind = codec_kind(codec_name_);
   const auto codec = make_codec(codec_name_);
   std::vector<Bytes> sizes(vocab);
   std::size_t r = 0;
@@ -146,9 +168,14 @@ void MaterializedIndex::rebuild_lists(
       const double daat_idf = std::log(
           1.0 + n_docs / (static_cast<double>(repl.size()) + 1.0));
       fresh.add_list(repl, daat_idf);
+      fresh_blocks.add_list(repl, daat_idf);
       lists_[t] = PostingList(repl);
       const Bytes encoded =
-          lists_[t].empty() ? 0 : codec->encoded_bytes(lists_[t].postings());
+          lists_[t].empty()
+              ? 0
+              : (is_block_codec(kind)
+                     ? fresh_blocks.term_bytes(t)
+                     : codec->encoded_bytes(lists_[t].postings()));
       metas_[t].df = lists_[t].size();
       metas_[t].list_bytes = std::max<Bytes>(encoded, 1);
       metas_[t].utilization = 1.0;
@@ -159,6 +186,7 @@ void MaterializedIndex::rebuild_lists(
       const double daat_idf = std::log(
           1.0 + n_docs / (static_cast<double>(v.size()) + 1.0));
       fresh.add_list(v.postings(), daat_idf);
+      fresh_blocks.add_list(v.postings(), daat_idf);
     }
     // N changed for everyone: refresh the scoring idf of every term.
     metas_[t].idf =
@@ -169,6 +197,7 @@ void MaterializedIndex::rebuild_lists(
   }
   num_docs_ = new_num_docs;
   doc_sorted_ = std::move(fresh);
+  blocks_ = std::move(fresh_blocks);
   layout_ = layout_from_sizes(std::move(sizes));
 }
 

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/index/block_postings.hpp"
 #include "src/index/corpus.hpp"
 #include "src/index/doc_sorted.hpp"
 #include "src/index/layout.hpp"
@@ -119,6 +120,20 @@ class MaterializedIndex final : public IndexView {
   DocSortedView doc_sorted(TermId t) const { return doc_sorted_.view(t); }
   [[nodiscard]] const DocSortedStore& doc_sorted_store() const { return doc_sorted_; }
 
+  /// Borrow the compressed posting blocks of a term (skip + block-max
+  /// metadata included — DESIGN.md §13). Built once per index, rebuilt
+  /// on merge; the block codec follows the corpus codec when that is a
+  /// block codec, otherwise defaults to block-packed.
+  BlockPostingView block_postings(TermId t) const { return blocks_.view(t); }
+  [[nodiscard]] const BlockPostingStore& block_store() const { return blocks_; }
+
+  /// Uncompressed footprint of the doc-sorted arena (8 B/posting); the
+  /// numerator of the `index.codec.ratio` telemetry gauge whose
+  /// denominator is block_store().encoded_bytes().
+  [[nodiscard]] Bytes raw_posting_bytes() const {
+    return doc_sorted_.total_postings() * kPostingBytes;
+  }
+
   /// Called by the scorer after processing a list; keeps a running mean
   /// utilization per term (the paper's "computing during the process of
   /// retrieval" option for obtaining PU).
@@ -154,6 +169,7 @@ class MaterializedIndex final : public IndexView {
   std::vector<PostingList> lists_;
   IndexLayout layout_;
   DocSortedStore doc_sorted_;  // build-once doc-ordered projections
+  BlockPostingStore blocks_;   // compressed blocks + skip/max metadata
   // Contiguous TermMeta table (df, encoded bytes, running-mean PU, idf)
   // backing term_meta_fast(); record_utilization keeps the utilization
   // field in step with pu_mean_.

@@ -16,6 +16,7 @@ const char* to_string(TraceStage stage) {
     case TraceStage::kBrokerMerge: return "broker_merge";
     case TraceStage::kIngestApply: return "ingest_apply";
     case TraceStage::kSegmentMerge: return "segment_merge";
+    case TraceStage::kDaatSkip: return "daat_skip";
   }
   return "unknown";
 }

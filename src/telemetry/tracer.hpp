@@ -42,9 +42,10 @@ enum class TraceStage : std::uint8_t {
   kBrokerMerge,        // cluster broker: fan-out RTT + top-K merge
   kIngestApply,        // live-index ingest/delete apply (segment + log)
   kSegmentMerge,       // live-segment fold into the materialized index
+  kDaatSkip,           // scoring time saved by block-max prune jumps
 };
 
-inline constexpr std::size_t kNumTraceStages = 10;
+inline constexpr std::size_t kNumTraceStages = 11;
 
 const char* to_string(TraceStage stage);
 

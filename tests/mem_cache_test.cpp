@@ -2,6 +2,10 @@
 
 #include "src/cache/mem_list_cache.hpp"
 #include "src/cache/mem_result_cache.hpp"
+#include "src/index/inverted_index.hpp"
+#include "src/util/flat_lru_map.hpp"
+#include "src/util/lru_map.hpp"
+#include "src/util/rng.hpp"
 
 namespace ssdse {
 namespace {
@@ -187,6 +191,153 @@ TEST(MemListCacheTest, MultipleEvictionsUntilFit) {
   EXPECT_EQ(evicted.size(), 2u);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_TRUE(cache.contains(3));
+}
+
+// --- FlatLruMap vs LruMap shadow equivalence ----------------------------
+// The open-addressing swap (DESIGN.md §13) is only legal because recency
+// semantics are identical. Drive both containers through the same
+// randomized op stream and demand identical observable behaviour at
+// every step, including full LRU-order drains at checkpoints.
+
+TEST(FlatLruMapTest, ShadowsLruMapUnderRandomizedChurn) {
+  LruMap<TermId, std::uint64_t> ref;
+  FlatLruMap<TermId, std::uint64_t> flat;
+  Rng rng(4242);
+  for (int step = 0; step < 20'000; ++step) {
+    const auto key = static_cast<TermId>(rng.next_below(200));
+    switch (rng.next_below(4)) {
+      case 0: {
+        const std::uint64_t v = rng.next_u64();
+        ref.insert(key, v);
+        flat.insert(key, v);
+        break;
+      }
+      case 1: {
+        auto* rv = ref.touch(key);
+        auto* fv = flat.touch(key);
+        ASSERT_EQ(rv == nullptr, fv == nullptr) << "step " << step;
+        if (rv) {
+          ASSERT_EQ(*rv, *fv) << "step " << step;
+        }
+        break;
+      }
+      case 2: {
+        const auto re = ref.erase(key);
+        const auto fe = flat.erase(key);
+        ASSERT_EQ(re.has_value(), fe.has_value()) << "step " << step;
+        if (re) {
+          ASSERT_EQ(*re, *fe) << "step " << step;
+        }
+        break;
+      }
+      case 3: {
+        const auto rp = ref.pop_lru();
+        const auto fp = flat.pop_lru();
+        ASSERT_EQ(rp.has_value(), fp.has_value()) << "step " << step;
+        if (rp) {
+          ASSERT_EQ(rp->first, fp->first) << "step " << step;
+          ASSERT_EQ(rp->second, fp->second) << "step " << step;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(ref.size(), flat.size()) << "step " << step;
+    ASSERT_EQ(ref.contains(key), flat.contains(key)) << "step " << step;
+    if (step % 4'000 == 3'999) {
+      // Checkpoint: the full LRU->MRU orders must match exactly.
+      auto h = flat.lru_handle();
+      for (auto it = ref.rbegin(); it != ref.rend(); ++it) {
+        ASSERT_NE(h, (FlatLruMap<TermId, std::uint64_t>::npos))
+            << "order walk at step " << step;
+        ASSERT_EQ(flat.key_at(h), it->first) << "order walk at step " << step;
+        ASSERT_EQ(flat.value_at(h), it->second)
+            << "order walk at step " << step;
+        h = flat.more_recent(h);
+      }
+      ASSERT_EQ(h, (FlatLruMap<TermId, std::uint64_t>::npos));
+    }
+  }
+}
+
+TEST(FlatLruMapTest, HandleScanMatchesReverseIteration) {
+  LruMap<TermId, int> ref;
+  FlatLruMap<TermId, int> flat;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const auto key = static_cast<TermId>(rng.next_below(100));
+    const int v = static_cast<int>(rng.next_below(1'000));
+    ref.insert(key, v);
+    flat.insert(key, v);
+    if (rng.chance(0.3)) {
+      const auto t = static_cast<TermId>(rng.next_below(100));
+      ref.touch(t);
+      flat.touch(t);
+    }
+  }
+  // Walk LRU -> MRU through both interfaces.
+  auto h = flat.lru_handle();
+  for (auto it = ref.rbegin(); it != ref.rend(); ++it) {
+    ASSERT_NE(h, (FlatLruMap<TermId, int>::npos));
+    EXPECT_EQ(flat.key_at(h), it->first);
+    EXPECT_EQ(flat.value_at(h), it->second);
+    h = flat.more_recent(h);
+  }
+  EXPECT_EQ(h, (FlatLruMap<TermId, int>::npos));
+}
+
+// --- encoded-byte cached-size accounting --------------------------------
+// The satellite regression: TermMeta::list_bytes (what MemListCache
+// charges) must reflect the *encoded* posting-block size, so a
+// compressed index fits several-fold more lists into the same capacity —
+// observable as a change in capacity-based eviction counts.
+
+TEST(MemListCacheTest, EncodedSizeAccountingChangesEvictionCounts) {
+  CorpusConfig cfg;
+  cfg.num_docs = 4'000;
+  cfg.vocab_size = 200;
+  cfg.terms_per_doc = 30;
+  cfg.max_df_fraction = 0.4;
+  cfg.seed = 55;
+  cfg.codec = "raw";
+  Rng rng_raw(cfg.seed);
+  MaterializedCorpus raw_corpus(cfg, rng_raw);
+  MaterializedIndex raw_index(raw_corpus);
+
+  CorpusConfig packed_cfg = cfg;
+  packed_cfg.codec = "block-packed";
+  Rng rng_packed(cfg.seed);
+  MaterializedCorpus packed_corpus(packed_cfg, rng_packed);
+  MaterializedIndex packed_index(packed_corpus);
+
+  // Same postings, different accounting: the packed index's charged
+  // bytes are the encoded slice sizes, several-fold below raw.
+  Bytes raw_total = 0;
+  Bytes packed_total = 0;
+  for (TermId t = 0; t < cfg.vocab_size; ++t) {
+    ASSERT_EQ(raw_index.doc_sorted(t).size(), packed_index.doc_sorted(t).size());
+    raw_total += raw_index.term_meta_fast(t).list_bytes;
+    packed_total += packed_index.term_meta_fast(t).list_bytes;
+    EXPECT_EQ(packed_index.term_meta_fast(t).list_bytes,
+              packed_index.block_store().term_bytes(t));
+  }
+  EXPECT_LT(packed_total * 5 / 2, raw_total);
+
+  // Identical insertion sequence at a fixed capacity: encoded-byte
+  // charging must strictly reduce capacity-based evictions.
+  const Bytes capacity = raw_total / 4;
+  const auto evictions = [&](const MaterializedIndex& index) {
+    MemListCache cache(capacity, CachePolicy::kLru, 4);
+    std::size_t evicted = 0;
+    for (TermId t = 0; t < cfg.vocab_size; ++t) {
+      const Bytes bytes = index.term_meta_fast(t).list_bytes;
+      evicted += cache.insert(t, list_info(bytes, bytes)).size();
+    }
+    return evicted;
+  };
+  const std::size_t raw_evictions = evictions(raw_index);
+  const std::size_t packed_evictions = evictions(packed_index);
+  EXPECT_GT(raw_evictions, 0u);
+  EXPECT_LT(packed_evictions, raw_evictions);
 }
 
 }  // namespace
