@@ -43,6 +43,7 @@ void pruning_cells(const std::string& codec, std::uint64_t queries,
   batch.reserve(queries);
   for (std::uint64_t i = 0; i < queries; ++i) batch.push_back(gen.next());
 
+  // ssdse-lint: allow(nondeterminism) wall-clock measures real throughput only
   using Clock = std::chrono::steady_clock;
   DaatProcessor oracle(kTopK);
   std::vector<ResultEntry> reference;

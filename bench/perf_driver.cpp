@@ -34,6 +34,7 @@ using namespace ssdse::bench;
 
 namespace {
 
+// ssdse-lint: allow(nondeterminism) wall-clock measures real throughput only
 using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {

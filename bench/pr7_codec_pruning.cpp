@@ -35,6 +35,7 @@ using namespace ssdse::bench;
 
 namespace {
 
+// ssdse-lint: allow(nondeterminism) wall-clock measures real throughput only
 using Clock = std::chrono::steady_clock;
 
 /// PR 2 daat-phase baseline on the reference machine; the pruned path

@@ -15,10 +15,15 @@ Four document shapes are recognized:
     gates (an idle live system fingerprints identically to a frozen
     one; churned results match a rebuild-from-scratch oracle both
     mid-segment and post-merge);
+  * open-loop traffic bench files ("bench": "ext_traffic") — DESIGN.md
+    §14: calibration, the offered-load sweep cells with SLO verdicts and
+    tail attribution, plus the determinism and zero-traffic gates;
   * telemetry run reports ("report": "telemetry") — DESIGN.md §9: the
     registry dump, per-stage trace quantiles, situation census, per-tier
-    cache accounting, flash counters, the fault/breaker section and the
-    ingest/coherence section when the live index is enabled.
+    cache accounting, flash counters, the fault/breaker section, the
+    ingest/coherence section when the live index is enabled, and the
+    traffic/windows/slo/attribution sections when the run was driven by
+    the open-loop harness.
 
 Exits non-zero (with a message) on any missing key, wrong type, or
 implausible value — CI runs this after the perf_driver smoke so a
@@ -36,6 +41,12 @@ TRACE_STAGES = {
     "daat_score", "write_buffer_flush", "ftl_gc", "broker_merge",
     "ingest_apply", "segment_merge", "daat_skip",
 }
+
+# Tail-attribution axis: tracer stages plus the harness pseudo-stages
+# (admission-queue delay and untraced service time).
+ATTR_STAGES = TRACE_STAGES | {"queue_wait", "other"}
+
+SLO_STATES = {"ok", "warn", "breach"}
 
 
 def fail(msg):
@@ -425,6 +436,322 @@ def check_pr7(doc, path):
           f"results identical over {pr['queries']} queries)")
 
 
+def check_slo_entry(s, ctx):
+    require(isinstance(s.get("name"), str) and s["name"],
+            f"{ctx}: 'name' must be a non-empty string")
+    require(s.get("state") in SLO_STATES,
+            f"{ctx}: state must be one of {sorted(SLO_STATES)}")
+    require(isinstance(s.get("windows"), int) and s["windows"] > 0,
+            f"{ctx}: 'windows' must be a positive integer")
+    require(isinstance(s.get("breach_windows"), int)
+            and 0 <= s["breach_windows"] <= s["windows"],
+            f"{ctx}: 'breach_windows' must be in [0, windows]")
+    fb = s.get("first_breach_window")
+    require(isinstance(fb, int) and -1 <= fb < s["windows"],
+            f"{ctx}: 'first_breach_window' must be -1 or a window ordinal")
+    require((fb == -1) == (s["breach_windows"] == 0),
+            f"{ctx}: first_breach_window {fb} inconsistent with "
+            f"breach_windows {s['breach_windows']}")
+    for key in ("burn_slow", "max_burn_fast"):
+        require(is_num(s.get(key)) and s[key] >= 0,
+                f"{ctx}: '{key}' must be non-negative")
+
+
+def check_slo_full(s, ctx):
+    """The run report carries the full error-budget arithmetic."""
+    check_slo_entry(s, ctx)
+    require(is_num(s.get("quantile")) and 0.0 < s["quantile"] < 1.0,
+            f"{ctx}: 'quantile' must be in (0, 1)")
+    require(is_num(s.get("threshold_us")) and s["threshold_us"] >= 0,
+            f"{ctx}: 'threshold_us' must be non-negative")
+    require(isinstance(s.get("compliance_windows"), int)
+            and s["compliance_windows"] > 0,
+            f"{ctx}: 'compliance_windows' must be a positive integer")
+    for key in ("good", "bad", "trailing_events", "trailing_bad"):
+        require(isinstance(s.get(key), int) and s[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+    require(s["trailing_bad"] <= s["trailing_events"],
+            f"{ctx}: trailing_bad exceeds trailing_events")
+    require(isinstance(s.get("transitions"), int) and s["transitions"] >= 0,
+            f"{ctx}: 'transitions' must be a non-negative integer")
+    # Error-budget arithmetic: budget = (1 - q) * trailing events, so it
+    # can never exceed the trailing window's event count.
+    budget = s.get("budget_events")
+    require(is_num(budget) and 0 <= budget <= s["trailing_events"],
+            f"{ctx}: budget_events {budget} outside "
+            f"[0, trailing_events={s['trailing_events']}]")
+    derived = (1.0 - s["quantile"]) * s["trailing_events"]
+    require(abs(budget - derived) <= 1e-6 * max(derived, 1.0),
+            f"{ctx}: budget_events {budget} inconsistent with "
+            f"(1-q)*trailing_events ({derived:.6f})")
+
+
+def check_latency_block(obj, ctx):
+    require(isinstance(obj, dict), f"{ctx}: must be an object")
+    require(is_num(obj.get("mean_us")) and obj["mean_us"] >= 0,
+            f"{ctx}: 'mean_us' must be non-negative")
+    check_quantiles(obj, ctx)
+    require(is_num(obj.get("p999_us")) and obj["p999_us"] >= obj["p99_us"],
+            f"{ctx}: quantiles must be ordered p99 <= p999")
+
+
+def check_traffic_sections(doc, ctx="traffic"):
+    """The run report's traffic/windows/slo/attribution sections."""
+    tr = doc["traffic"]
+    require(isinstance(tr, dict), f"'{ctx}' must be an object")
+    for key in ("offered", "served", "shed", "outliers"):
+        require(isinstance(tr.get(key), int) and tr[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+    require(tr["served"] + tr["shed"] == tr["offered"],
+            f"{ctx}: served ({tr['served']}) + shed ({tr['shed']}) "
+            f"!= offered ({tr['offered']})")
+    require(isinstance(tr.get("servers"), int) and tr["servers"] >= 1,
+            f"{ctx}: 'servers' must be a positive integer")
+    require(isinstance(tr.get("queue_capacity"), int)
+            and tr["queue_capacity"] >= 0,
+            f"{ctx}: 'queue_capacity' must be a non-negative integer")
+    require(is_num(tr.get("horizon_us")) and tr["horizon_us"] >= 0,
+            f"{ctx}: 'horizon_us' must be non-negative")
+    for key in ("response", "queue_wait", "service"):
+        check_latency_block(tr.get(key), f"{ctx}.{key}")
+
+    win = doc.get("windows")
+    require(isinstance(win, dict), "'windows' must be an object")
+    require(is_num(win.get("width_us")) and win["width_us"] > 0,
+            "windows: 'width_us' must be positive")
+    for key in ("count", "emitted", "total_samples"):
+        require(isinstance(win.get(key), int) and win[key] >= 0,
+                f"windows: '{key}' must be a non-negative integer")
+    require(win["emitted"] <= win["count"],
+            "windows: emitted exceeds count (truncation must only shrink)")
+    series = win.get("series")
+    require(isinstance(series, list) and len(series) == win["emitted"],
+            "windows: 'series' length must equal 'emitted'")
+    prev_index = -1
+    completed_sum = 0
+    for i, cell in enumerate(series):
+        wctx = f"windows.series[{i}]"
+        require(isinstance(cell.get("index"), int)
+                and cell["index"] > prev_index,
+                f"{wctx}: window indices must be strictly increasing")
+        prev_index = cell["index"]
+        for key in ("offered", "shed", "completed"):
+            require(isinstance(cell.get(key), int) and cell[key] >= 0,
+                    f"{wctx}: '{key}' must be a non-negative integer")
+        require(cell["shed"] <= cell["offered"],
+                f"{wctx}: shed exceeds offered in this window")
+        require(cell["completed"] > 0,
+                f"{wctx}: an emitted window must have completions "
+                "(empty windows are gaps, not cells)")
+        completed_sum += cell["completed"]
+        check_latency_block(cell, wctx)
+    if win["emitted"] == win["count"]:
+        require(completed_sum == win["total_samples"],
+                f"windows: per-window completions sum to {completed_sum}, "
+                f"expected total_samples {win['total_samples']}")
+        require(completed_sum == tr["served"],
+                f"windows: completions ({completed_sum}) != served "
+                f"({tr['served']})")
+
+    slos = doc.get("slo")
+    require(isinstance(slos, list), "'slo' must be a list")
+    for s in slos:
+        check_slo_full(s, f"slo '{s.get('name')}'")
+
+    attr = doc.get("attribution")
+    require(isinstance(attr, dict), "'attribution' must be an object")
+    samples = attr.get("samples")
+    require(isinstance(samples, int) and samples >= 0,
+            "attribution: 'samples' must be a non-negative integer")
+    guilty = attr.get("guilty_stage")
+    require(isinstance(guilty, str), "attribution: 'guilty_stage' missing")
+    if samples > 0:
+        require(guilty in ATTR_STAGES,
+                f"attribution: unknown guilty stage {guilty!r}")
+    stages = attr.get("stages")
+    require(isinstance(stages, list), "attribution: 'stages' must be a list")
+    for st in stages:
+        sctx = f"attribution stage '{st.get('stage')}'"
+        require(st.get("stage") in ATTR_STAGES,
+                f"attribution: unknown stage {st.get('stage')!r}")
+        require(isinstance(st.get("count"), int) and st["count"] > 0,
+                f"{sctx}: 'count' must be a positive integer")
+        check_latency_block(st, sctx)
+    worst = attr.get("worst")
+    require(isinstance(worst, list) and len(worst) <= min(samples, 8),
+            "attribution: 'worst' must be a list of at most "
+            "min(samples, 8) entries")
+    prev_response = None
+    for i, s in enumerate(worst):
+        wctx = f"attribution.worst[{i}]"
+        require(isinstance(s.get("query"), int) and s["query"] >= 0,
+                f"{wctx}: 'query' must be a non-negative integer")
+        require(isinstance(s.get("outlier"), bool),
+                f"{wctx}: 'outlier' must be a bool")
+        for key in ("arrival_us", "wait_us", "service_us", "response_us"):
+            require(is_num(s.get(key)) and s[key] >= 0,
+                    f"{wctx}: '{key}' must be non-negative")
+        derived = s["wait_us"] + s["service_us"]
+        require(abs(s["response_us"] - derived)
+                <= 0.01 * max(derived, 1.0) + 0.1,
+                f"{wctx}: response_us {s['response_us']} != wait + service "
+                f"({derived:.1f})")
+        if prev_response is not None:
+            require(s["response_us"] <= prev_response + 1e-6,
+                    f"{wctx}: worst list must be sorted by descending "
+                    "response")
+        prev_response = s["response_us"]
+        spans = s.get("stages")
+        require(isinstance(spans, dict), f"{wctx}: 'stages' must be an object")
+        for name, us in spans.items():
+            require(name in ATTR_STAGES,
+                    f"{wctx}: unknown span stage {name!r}")
+            require(is_num(us) and us > 0,
+                    f"{wctx}: span '{name}' must be positive")
+
+
+EXT_TRAFFIC_EXPECTS = {"met", "breach", "none"}
+EXT_TRAFFIC_GATES = ("slo_met_at_1x", "breach_at_2x",
+                     "attributed_queue_wait_at_2x", "conservation",
+                     "determinism", "zero_traffic")
+
+
+def check_ext_traffic(doc, path):
+    require(doc.get("schema_version") == 1,
+            f"unsupported schema_version {doc.get('schema_version')!r}")
+    require(isinstance(doc.get("offered_per_cell"), int)
+            and doc["offered_per_cell"] > 0,
+            "'offered_per_cell' must be a positive integer")
+    require(isinstance(doc.get("servers"), int) and doc["servers"] >= 1,
+            "'servers' must be a positive integer")
+    require(isinstance(doc.get("queue_capacity"), int)
+            and doc["queue_capacity"] >= 0,
+            "'queue_capacity' must be a non-negative integer")
+    require(is_num(doc.get("window_us")) and doc["window_us"] > 0,
+            "'window_us' must be positive")
+
+    cal = doc.get("calibration")
+    require(isinstance(cal, dict), "'calibration' must be an object")
+    require(isinstance(cal.get("queries"), int) and cal["queries"] > 0,
+            "calibration: 'queries' must be a positive integer")
+    for key in ("mean_service_us", "p99_service_us", "capacity_qps"):
+        require(is_num(cal.get(key)) and cal[key] > 0,
+                f"calibration: '{key}' must be positive")
+    require(cal["p99_service_us"] >= cal["mean_service_us"] * 0.5,
+            "calibration: p99 service implausibly below the mean")
+    require(is_num(cal.get("utilization_target"))
+            and 0.0 < cal["utilization_target"] <= 1.0,
+            "calibration: 'utilization_target' must be in (0, 1]")
+
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and len(cells) >= 3,
+            "'cells' must sweep at least under-capacity, at-capacity "
+            "and over-capacity")
+    for c in cells:
+        ctx = f"cell '{c.get('name')}'"
+        require(isinstance(c.get("name"), str) and c["name"],
+                f"{ctx}: 'name' must be a non-empty string")
+        require(is_num(c.get("multiplier")) and c["multiplier"] > 0,
+                f"{ctx}: 'multiplier' must be positive")
+        require(c.get("expect") in EXT_TRAFFIC_EXPECTS,
+                f"{ctx}: 'expect' must be one of "
+                f"{sorted(EXT_TRAFFIC_EXPECTS)}")
+        for key in ("offered", "served", "shed", "outliers"):
+            require(isinstance(c.get(key), int) and c[key] >= 0,
+                    f"{ctx}: '{key}' must be a non-negative integer")
+        require(c.get("conservation") is True,
+                f"{ctx}: conservation gate failed")
+        require(c["served"] + c["shed"] == c["offered"],
+                f"{ctx}: served + shed != offered "
+                f"({c['served']} + {c['shed']} != {c['offered']})")
+        require(isinstance(c.get("windows"), int) and c["windows"] > 0,
+                f"{ctx}: 'windows' must be a positive integer")
+        p50 = c.get("response_p50_us")
+        p99 = c.get("response_p99_us")
+        p999 = c.get("response_p999_us")
+        for key, v in (("response_p50_us", p50), ("response_p99_us", p99),
+                       ("response_p999_us", p999)):
+            require(is_num(v) and v >= 0,
+                    f"{ctx}: '{key}' must be non-negative")
+        require(p50 <= p99 <= p999,
+                f"{ctx}: response quantiles must be ordered "
+                f"p50 <= p99 <= p999 ({p50}, {p99}, {p999})")
+        require(is_num(c.get("wait_p99_us")) and c["wait_p99_us"] >= 0,
+                f"{ctx}: 'wait_p99_us' must be non-negative")
+        require(c.get("guilty_stage") in ATTR_STAGES,
+                f"{ctx}: unknown guilty stage {c.get('guilty_stage')!r}")
+        require(isinstance(c.get("fingerprint"), int)
+                and c["fingerprint"] > 0,
+                f"{ctx}: 'fingerprint' must be a positive integer")
+        slos = c.get("slo")
+        require(isinstance(slos, list) and slos,
+                f"{ctx}: 'slo' must be a non-empty list")
+        for s in slos:
+            check_slo_entry(s, f"{ctx}.slo '{s.get('name')}'")
+        breached = any(s["breach_windows"] > 0 for s in slos)
+        if c["expect"] == "met":
+            require(not breached,
+                    f"{ctx}: expected the SLO met but found breach "
+                    "windows")
+            require(all(s["state"] != "breach" for s in slos),
+                    f"{ctx}: expected the SLO met but a spec ended in "
+                    "breach")
+        elif c["expect"] == "breach":
+            require(breached,
+                    f"{ctx}: expected a breach but no window breached")
+            require(c["guilty_stage"] == "queue_wait",
+                    f"{ctx}: overload breach must be attributed to "
+                    f"queue_wait, got {c.get('guilty_stage')!r}")
+        require(c.get("pass") is True, f"{ctx}: cell verdict failed")
+
+    det = doc.get("determinism")
+    require(isinstance(det, dict), "'determinism' must be an object")
+    require(isinstance(det.get("cell"), str) and det["cell"],
+            "determinism: 'cell' must name the repeated cell")
+    for key in ("fingerprint_a", "fingerprint_b"):
+        require(isinstance(det.get(key), int) and det[key] > 0,
+                f"determinism: '{key}' must be a positive integer")
+    require(det.get("match") is True
+            and det["fingerprint_a"] == det["fingerprint_b"],
+            "determinism: repeated run fingerprints differ")
+
+    zt = doc.get("zero_traffic")
+    require(isinstance(zt, dict), "'zero_traffic' must be an object")
+    require(isinstance(zt.get("enforced"), bool),
+            "zero_traffic: 'enforced' must be a bool")
+    phases = zt.get("phases")
+    require(isinstance(phases, list) and
+            [p.get("name") for p in phases] == EXPECTED_PHASES,
+            f"zero_traffic: phases must be {EXPECTED_PHASES}")
+    for p in phases:
+        ctx = f"zero_traffic phase '{p.get('name')}'"
+        for key in ("fingerprint", "expected"):
+            require(isinstance(p.get(key), int) and p[key] > 0,
+                    f"{ctx}: '{key}' must be a positive integer")
+        require(isinstance(p.get("match"), bool),
+                f"{ctx}: 'match' must be a bool")
+        if zt["enforced"]:
+            require(p["match"] and p["fingerprint"] == p["expected"],
+                    f"{ctx}: fingerprint {p['fingerprint']} does not "
+                    f"match the pin {p['expected']}")
+
+    gates = doc.get("gates")
+    require(isinstance(gates, dict), "'gates' must be an object")
+    for key in EXT_TRAFFIC_GATES:
+        require(isinstance(gates.get(key), bool),
+                f"gates: '{key}' must be a bool")
+    require(gates.get("pass") is True, "gates: overall verdict failed")
+    require(gates["pass"] == all(gates[k] for k in EXT_TRAFFIC_GATES),
+            "gates: 'pass' inconsistent with the individual gates")
+
+    breach_cells = [c for c in cells if c["expect"] == "breach"]
+    print(f"check_bench_json: OK ({path}: ext_traffic, "
+          f"{len(cells)} cells x {doc['offered_per_cell']} offered, "
+          f"capacity {cal['capacity_qps']:.0f} q/s, "
+          f"{len(breach_cells)} breach cell(s) attributed, "
+          f"all gates pass)")
+
+
 def check_telemetry(doc, path):
     require(doc.get("schema_version") == 1,
             f"unsupported schema_version {doc.get('schema_version')!r}")
@@ -534,6 +861,16 @@ def check_telemetry(doc, path):
                 "ingest.stale: more result invalidations than result "
                 "probes")
 
+    # Optional open-loop traffic sections (runs driven by run_traffic):
+    # all four travel together.
+    traffic_keys = [k for k in ("traffic", "windows", "slo", "attribution")
+                    if k in doc]
+    if traffic_keys:
+        require(len(traffic_keys) == 4,
+                f"traffic sections must travel together; found only "
+                f"{traffic_keys}")
+        check_traffic_sections(doc)
+
     metrics = doc.get("metrics")
     require(isinstance(metrics, dict) and metrics,
             "'metrics' must be a non-empty object (registry dump)")
@@ -560,9 +897,12 @@ def check_file(path):
         check_ext_ingest(doc, path)
     elif doc.get("bench") == "pr7_codec_pruning":
         check_pr7(doc, path)
+    elif doc.get("bench") == "ext_traffic":
+        check_ext_traffic(doc, path)
     else:
         fail(f"{path}: not a perf_driver/ext_faults/ext_ingest/"
-             "pr7_codec_pruning bench file or a telemetry report")
+             "pr7_codec_pruning/ext_traffic bench file or a telemetry "
+             "report")
 
 
 def main():

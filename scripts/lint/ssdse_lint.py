@@ -220,10 +220,12 @@ class Linter:
         self.violations: list[tuple[Path, int, str, str]] = []
         self.bad_allows: list[tuple[Path, int, str]] = []
 
-    def collect_files(self) -> dict[Path, list[str]]:
+    def collect_tree(self, subdir: str) -> dict[Path, list[str]]:
         files: dict[Path, list[str]] = {}
-        src = self.root / "src"
-        for p in sorted(src.rglob("*")):
+        tree = self.root / subdir
+        if not tree.is_dir():
+            return files
+        for p in sorted(tree.rglob("*")):
             if p.suffix in CPP_SUFFIXES | HDR_SUFFIXES:
                 files[p] = p.read_text(encoding="utf-8").splitlines()
         return files
@@ -238,7 +240,13 @@ class Linter:
         return False
 
     def run(self) -> int:
-        files = self.collect_files()
+        src_files = self.collect_tree("src")
+        # bench/ binaries measure real wall time by design, so only the
+        # nondeterminism rule applies there — and every wall-clock read
+        # must carry a justified allow naming what it measures. Results
+        # and fingerprints must never depend on it.
+        bench_files = self.collect_tree("bench")
+        files = {**src_files, **bench_files}
 
         def report(path: Path, row: int, rule: str, msg: str) -> None:
             if self.allowed(files[path], row, rule):
@@ -247,14 +255,15 @@ class Linter:
 
         for path, lines in sorted(files.items()):
             check_nondeterminism(path, lines, report)
-            check_unordered_iter(path, lines, report)
-            check_headers(path, lines, report)
             # Allow annotations must carry a justification.
             for i, line in enumerate(lines):
                 m = ALLOW_RE.search(line)
                 if m and not m.group(2).strip():
                     self.bad_allows.append((path, i + 1, m.group(1)))
-        check_metrics(files, report)
+        for path, lines in sorted(src_files.items()):
+            check_unordered_iter(path, lines, report)
+            check_headers(path, lines, report)
+        check_metrics(src_files, report)
 
         for path, row, rule, msg in self.violations:
             rel = path.relative_to(self.root)
@@ -329,16 +338,28 @@ inline int sum() {
 }
 """
 
+BENCH_ANNOTATED = """
+#include <chrono>
+int main() {
+  // ssdse-lint: allow(nondeterminism) wall-clock throughput only
+  using Clock = std::chrono::steady_clock;
+  return Clock::now().time_since_epoch().count() == 0 ? 1 : 0;
+}
+"""
+
 
 def self_test() -> int:
     failures = []
 
     def run_tree(spec: dict[str, str]) -> list[tuple[str, str]]:
+        """spec maps root-relative paths (src/... or bench/...) to
+        contents; returns (rule, filename) per violation."""
         with tempfile.TemporaryDirectory() as tmp:
             root = Path(tmp)
-            (root / "src").mkdir()
             for name, content in spec.items():
-                (root / "src" / name).write_text(content, encoding="utf-8")
+                dest = root / name
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                dest.write_text(content, encoding="utf-8")
             linter = Linter(root)
             # Mute the detailed report while probing.
             with contextlib.redirect_stdout(io.StringIO()):
@@ -347,16 +368,33 @@ def self_test() -> int:
 
     for rule, content in SEEDED.items():
         suffix = ".cpp" if rule.startswith("metric") else ".hpp"
-        found = run_tree({f"seeded{suffix}": content})
+        found = run_tree({f"src/seeded{suffix}": content})
         if not any(r == rule for r, _ in found):
             failures.append(f"rule '{rule}' did not fire on seeded violation "
                             f"(got {found})")
 
-    clean_found = run_tree({"clean.hpp": CLEAN})
+    # bench/ is covered by the nondeterminism rule only: an unjustified
+    # wall-clock read fires; the src-only hygiene rules (header-pragma,
+    # metric-name, ...) stay silent there.
+    bench_found = run_tree({"bench/seeded.cpp": SEEDED["nondeterminism"]})
+    if not any(r == "nondeterminism" for r, _ in bench_found):
+        failures.append("nondeterminism did not fire in bench/ "
+                        f"(got {bench_found})")
+    bench_scoped = run_tree({"bench/hygiene.hpp": SEEDED["header-using"],
+                             "bench/metric.cpp": SEEDED["metric-name"]})
+    if bench_scoped:
+        failures.append("src-only rules leaked into bench/ "
+                        f"({bench_scoped})")
+    bench_annotated = run_tree({"bench/timed.cpp": BENCH_ANNOTATED})
+    if bench_annotated:
+        failures.append("justified bench wall-clock allow was not "
+                        f"honoured: {bench_annotated}")
+
+    clean_found = run_tree({"src/clean.hpp": CLEAN})
     if clean_found:
         failures.append(f"clean tree reported violations: {clean_found}")
 
-    annotated_found = run_tree({"annotated.hpp": ANNOTATED})
+    annotated_found = run_tree({"src/annotated.hpp": ANNOTATED})
     if annotated_found:
         failures.append(
             f"annotated allow was not honoured: {annotated_found}")

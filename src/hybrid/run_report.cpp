@@ -1,5 +1,6 @@
 #include "src/hybrid/run_report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace ssdse {
@@ -30,6 +31,192 @@ void append_quantiles(telemetry::JsonWriter& w, const LatencyHistogram& h) {
   w.value(h.quantile(0.90));
   w.key("p99_us");
   w.value(h.quantile(0.99));
+}
+
+// Open-loop traffic sections (DESIGN.md §14). Emitted only when the
+// run came from the arrival harness.
+void append_traffic_json(telemetry::JsonWriter& w, const TrafficResult& t) {
+  w.key("traffic");
+  w.begin_object();
+  w.key("offered");
+  w.value(t.offered);
+  w.key("served");
+  w.value(t.served);
+  w.key("shed");
+  w.value(t.shed);
+  w.key("outliers");
+  w.value(t.outliers);
+  w.key("servers");
+  w.value(static_cast<std::uint64_t>(t.servers));
+  w.key("queue_capacity");
+  w.value(static_cast<std::uint64_t>(t.queue_capacity));
+  w.key("horizon_us");
+  w.value(t.horizon);
+  w.key("response");
+  w.begin_object();
+  w.key("mean_us");
+  w.value(t.response_hist.mean());
+  append_quantiles(w, t.response_hist);
+  w.key("p999_us");
+  w.value(t.response_hist.quantile(0.999));
+  w.end_object();
+  w.key("queue_wait");
+  w.begin_object();
+  w.key("mean_us");
+  w.value(t.wait_hist.mean());
+  append_quantiles(w, t.wait_hist);
+  w.key("p999_us");
+  w.value(t.wait_hist.quantile(0.999));
+  w.end_object();
+  w.key("service");
+  w.begin_object();
+  w.key("mean_us");
+  w.value(t.service_hist.mean());
+  append_quantiles(w, t.service_hist);
+  w.key("p999_us");
+  w.value(t.service_hist.quantile(0.999));
+  w.end_object();
+  w.end_object();
+
+  // Per-window quantile series. Long runs are capped; "emitted" vs
+  // "count" records the truncation explicitly (no silent caps).
+  constexpr std::size_t kMaxWindowsEmitted = 512;
+  const auto& cells = t.response_windows.cells();
+  const std::size_t emitted = std::min(cells.size(), kMaxWindowsEmitted);
+  w.key("windows");
+  w.begin_object();
+  w.key("width_us");
+  w.value(t.response_windows.width());
+  w.key("count");
+  w.value(static_cast<std::uint64_t>(cells.size()));
+  w.key("emitted");
+  w.value(static_cast<std::uint64_t>(emitted));
+  w.key("total_samples");
+  w.value(t.response_windows.total());
+  w.key("series");
+  w.begin_array();
+  for (std::size_t i = 0; i < emitted; ++i) {
+    const telemetry::WindowCell& c = cells[i];
+    w.begin_object();
+    w.key("index");
+    w.value(c.index);
+    w.key("offered");
+    w.value(t.offered_windows.at(c.index));
+    w.key("shed");
+    w.value(t.shed_windows.at(c.index));
+    w.key("completed");
+    w.value(c.hist.count());
+    w.key("mean_us");
+    w.value(c.hist.mean());
+    append_quantiles(w, c.hist);
+    w.key("p999_us");
+    w.value(c.hist.quantile(0.999));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  w.key("slo");
+  w.begin_array();
+  for (const SloReport& s : t.slo) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.spec.name);
+    w.key("quantile");
+    w.value(s.spec.quantile);
+    w.key("threshold_us");
+    w.value(s.spec.threshold_us);
+    w.key("compliance_windows");
+    w.value(static_cast<std::uint64_t>(s.spec.compliance_windows));
+    w.key("state");
+    w.value(telemetry::to_string(s.state));
+    w.key("windows");
+    w.value(s.windows);
+    w.key("good");
+    w.value(s.good);
+    w.key("bad");
+    w.value(s.bad);
+    w.key("trailing_events");
+    w.value(s.trailing_events);
+    w.key("trailing_bad");
+    w.value(s.trailing_bad);
+    w.key("budget_events");
+    w.value(s.budget_events);
+    w.key("burn_slow");
+    w.value(s.burn_slow);
+    w.key("max_burn_fast");
+    w.value(s.max_burn_fast);
+    w.key("breach_windows");
+    w.value(s.breach_windows);
+    w.key("first_breach_window");
+    w.value(s.first_breach_window);
+    w.key("transitions");
+    w.value(s.transitions);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Tail attribution: per-stage distribution over served queries plus
+  // the worst-N reservoir (capped for the report; "samples" is the
+  // full reservoir size).
+  w.key("attribution");
+  w.begin_object();
+  w.key("guilty_stage");
+  w.value(t.guilty_stage);
+  w.key("samples");
+  w.value(static_cast<std::uint64_t>(t.worst.size()));
+  w.key("stages");
+  w.begin_array();
+  for (std::size_t i = 0; i < kNumAttrStages; ++i) {
+    if (t.stage_counts[i] == 0) continue;
+    w.begin_object();
+    w.key("stage");
+    w.value(attr_stage_name(i));
+    w.key("count");
+    w.value(t.stage_counts[i]);
+    w.key("mean_us");
+    w.value(t.stage_hists[i].mean());
+    append_quantiles(w, t.stage_hists[i]);
+    w.key("p999_us");
+    w.value(t.stage_hists[i].quantile(0.999));
+    w.end_object();
+  }
+  w.end_array();
+  constexpr std::size_t kMaxWorstEmitted = 8;
+  w.key("worst");
+  w.begin_array();
+  for (std::size_t i = 0; i < std::min(t.worst.size(), kMaxWorstEmitted);
+       ++i) {
+    const TailSample& s = t.worst[i];
+    w.begin_object();
+    w.key("query");
+    w.value(s.query);
+    w.key("outlier");
+    w.value(s.outlier);
+    w.key("arrival_us");
+    w.value(s.arrival);
+    w.key("wait_us");
+    w.value(s.wait);
+    w.key("service_us");
+    w.value(s.service);
+    w.key("response_us");
+    w.value(s.response);
+    w.key("stages");
+    w.begin_object();
+    for (std::size_t j = 0; j < telemetry::kNumTraceStages; ++j) {
+      if (s.stage_us[j] <= 0) continue;
+      w.key(attr_stage_name(j));
+      w.value(s.stage_us[j]);
+    }
+    if (s.untraced > 0) {
+      w.key("other");
+      w.value(s.untraced);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 }  // namespace
@@ -75,7 +262,8 @@ void append_registry_json(telemetry::JsonWriter& w,
 }
 
 std::string render_run_report(const SearchSystem& sys,
-                              const std::string& run_name) {
+                              const std::string& run_name,
+                              const TrafficResult* traffic) {
   using telemetry::TraceStage;
   telemetry::JsonWriter w;
   const RunMetrics& rm = sys.metrics();
@@ -301,6 +489,8 @@ std::string render_run_report(const SearchSystem& sys,
     w.end_object();
   }
 
+  if (traffic != nullptr) append_traffic_json(w, *traffic);
+
   w.key("metrics");
   append_registry_json(w, sys.telemetry_registry().snapshot());
 
@@ -309,8 +499,8 @@ std::string render_run_report(const SearchSystem& sys,
 }
 
 bool write_run_report(const SearchSystem& sys, const std::string& run_name,
-                      const std::string& path) {
-  const std::string json = render_run_report(sys, run_name);
+                      const std::string& path, const TrafficResult* traffic) {
+  const std::string json = render_run_report(sys, run_name, traffic);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();

@@ -13,6 +13,7 @@
 #include "src/hybrid/search_system.hpp"
 #include "src/telemetry/json_writer.hpp"
 #include "src/telemetry/registry.hpp"
+#include "src/workload/arrival.hpp"
 
 namespace ssdse {
 
@@ -22,13 +23,19 @@ namespace ssdse {
 void append_registry_json(telemetry::JsonWriter& w,
                           const telemetry::RegistrySnapshot& snap);
 
-/// Render the full telemetry report for one system.
+/// Render the full telemetry report for one system. When `traffic` is
+/// non-null the report gains the open-loop sections (DESIGN.md §14):
+/// "traffic" (offered/served/shed conservation), "windows" (per-window
+/// quantile series), "slo" (per-spec verdicts), and "attribution"
+/// (per-stage tail table + worst-N samples).
 std::string render_run_report(const SearchSystem& sys,
-                              const std::string& run_name);
+                              const std::string& run_name,
+                              const TrafficResult* traffic = nullptr);
 
 /// Write render_run_report() output to `path`; returns false on I/O
 /// failure.
 bool write_run_report(const SearchSystem& sys, const std::string& run_name,
-                      const std::string& path);
+                      const std::string& path,
+                      const TrafficResult* traffic = nullptr);
 
 }  // namespace ssdse

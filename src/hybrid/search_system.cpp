@@ -314,6 +314,17 @@ void SearchSystem::register_telemetry() {
     });
   }
 
+  // Sampling loss across every device's I/O trace collector: records
+  // counted but not stored once a capacity cap is hit. Zero unless a
+  // bench enables collectors and caps them.
+  r.counter_fn("telemetry.trace.dropped", [this] {
+    std::uint64_t d = hdd_->collector().dropped() + ram_->collector().dropped();
+    if (faulty_hdd_) d += faulty_hdd_->collector().dropped();
+    if (cache_ssd_) d += cache_ssd_->collector().dropped();
+    if (index_ssd_) d += index_ssd_->collector().dropped();
+    return d;
+  });
+
   metrics_.register_into(r, "query");
 
 #if SSDSE_TRACING

@@ -1,0 +1,56 @@
+#include "src/hybrid/traffic.hpp"
+
+namespace ssdse {
+
+Micros SystemTrafficTarget::serve(const Query& q) {
+  const auto out = sys_.execute(q);
+  const Micros background_now = sys_.background_flash_time();
+  const Micros service = out.response + (background_now - background_prev_);
+  background_prev_ = background_now;
+  return service;
+}
+
+ClusterTrafficTarget::ClusterTrafficTarget(SearchCluster& cluster)
+    : cluster_(cluster), background_prev_(background_total()) {}
+
+Micros ClusterTrafficTarget::background_total() const {
+  Micros total = 0;
+  for (std::uint32_t s = 0; s < cluster_.num_shards(); ++s) {
+    total += cluster_.shard(s).background_flash_time();
+  }
+  return total;
+}
+
+Micros ClusterTrafficTarget::serve(const Query& q) {
+  const auto out = cluster_.execute(q);
+  const Micros background_now = background_total();
+  const Micros service = out.response + (background_now - background_prev_);
+  background_prev_ = background_now;
+
+  // Critical path = slowest shard + broker merge. Pick the shard whose
+  // per-query trace has the largest total; with tracing compiled out
+  // or disabled no shard has a trace and attribution degrades to the
+  // harness pseudo-stages.
+  have_trace_ = false;
+  const telemetry::QueryTrace* slowest = nullptr;
+  for (std::uint32_t s = 0; s < cluster_.num_shards(); ++s) {
+    const telemetry::QueryTrace* t = cluster_.shard(s).tracer().last();
+    if (t != nullptr && (slowest == nullptr || t->total > slowest->total)) {
+      slowest = t;
+    }
+  }
+  if (slowest != nullptr) {
+    combined_ = *slowest;
+    if (const telemetry::QueryTrace* b = cluster_.broker_tracer().last()) {
+      const auto merge_idx =
+          static_cast<std::size_t>(telemetry::TraceStage::kBrokerMerge);
+      combined_.stage_us[merge_idx] += b->stage_us[merge_idx];
+      combined_.touched |= 1u << merge_idx;
+    }
+    combined_.total = out.response;
+    have_trace_ = true;
+  }
+  return service;
+}
+
+}  // namespace ssdse

@@ -1,0 +1,82 @@
+#include "src/telemetry/slo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssdse::telemetry {
+
+const char* to_string(SloState s) {
+  switch (s) {
+    case SloState::kOk: return "ok";
+    case SloState::kWarn: return "warn";
+    case SloState::kBreach: return "breach";
+  }
+  return "?";
+}
+
+SloTracker::SloTracker(const SloSpec& spec) : spec_(spec) {
+  if (spec_.quantile <= 0.0 || spec_.quantile >= 1.0) {
+    throw std::invalid_argument("SloTracker: quantile must be in (0,1)");
+  }
+  if (spec_.compliance_windows == 0) {
+    throw std::invalid_argument(
+        "SloTracker: compliance_windows must be positive");
+  }
+}
+
+double SloTracker::budget_events() const {
+  return (1.0 - spec_.quantile) *
+         static_cast<double>(trailing_good_ + trailing_bad_);
+}
+
+double SloTracker::burn_slow() const {
+  const double budget = budget_events();
+  if (budget <= 0.0) return 0.0;
+  return static_cast<double>(trailing_bad_) / budget;
+}
+
+void SloTracker::close_window(std::uint64_t good, std::uint64_t bad) {
+  trailing_.push_back(WindowCounts{good, bad});
+  trailing_good_ += good;
+  trailing_bad_ += bad;
+  if (trailing_.size() > spec_.compliance_windows) {
+    trailing_good_ -= trailing_.front().good;
+    trailing_bad_ -= trailing_.front().bad;
+    trailing_.pop_front();
+  }
+  good_total_ += good;
+  bad_total_ += bad;
+
+  const std::uint64_t events = good + bad;
+  burn_fast_ = events == 0
+                   ? 0.0
+                   : (static_cast<double>(bad) /
+                      static_cast<double>(events)) /
+                         (1.0 - spec_.quantile);
+  max_burn_fast_ = std::max(max_burn_fast_, burn_fast_);
+
+  // Strictly-over-budget test with a relative epsilon: (1-q) is not
+  // exactly representable, so "bad events landing exactly on budget"
+  // can round a hair past 1.0 for some quantiles (q=0.999 rounds 1-q
+  // down). The margin is far above that noise and far below the
+  // smallest real overspend (one extra bad event).
+  const double slow = burn_slow();
+  SloState next = SloState::kOk;
+  if (slow > 1.0 + 1e-9 || burn_fast_ >= spec_.fast_burn) {
+    next = SloState::kBreach;
+  } else if (slow >= spec_.warn_fraction ||
+             burn_fast_ >= spec_.fast_burn / 2.0) {
+    next = SloState::kWarn;
+  }
+  if (next != state_) ++transitions_;
+  state_ = next;
+  if (state_ == SloState::kBreach) {
+    ++breach_windows_;
+    if (first_breach_window_ < 0) {
+      first_breach_window_ = static_cast<std::int64_t>(windows_);
+    }
+  }
+  ++windows_;
+}
+
+}  // namespace ssdse::telemetry

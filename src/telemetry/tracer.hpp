@@ -93,6 +93,14 @@ class QueryTracer {
   /// Ring contents, oldest first. At most `ring_capacity` traces.
   [[nodiscard]] std::vector<QueryTrace> recent() const;
 
+  /// The most recently completed trace, or nullptr when none has been
+  /// recorded (tracing disabled, or no query ended yet). The pointer is
+  /// invalidated by the next end_query()/clear().
+  [[nodiscard]] const QueryTrace* last() const {
+    if (ring_.empty()) return nullptr;
+    return &ring_[(ring_next_ + ring_.size() - 1) % ring_.size()];
+  }
+
   /// Fold another tracer's per-stage aggregates into this one
   /// (cross-shard report). Ring buffers are per-shard and not merged.
   void merge_aggregates(const QueryTracer& other);

@@ -13,12 +13,14 @@ void TraceCollector::record(Micros now, IoOp op, Lba lba,
   }
   if (max_records_ == 0 || records_.size() < max_records_) {
     records_.push_back(IoRecord{now, op, lba, sectors});
+  } else {
+    ++dropped_;
   }
 }
 
 void TraceCollector::clear() {
   records_.clear();
-  total_ = reads_ = writes_ = trims_ = 0;
+  total_ = reads_ = writes_ = trims_ = dropped_ = 0;
 }
 
 }  // namespace ssdse

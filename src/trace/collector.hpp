@@ -28,6 +28,9 @@ class TraceCollector {
 
   [[nodiscard]] std::span<const IoRecord> records() const { return records_; }
   [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Records counted but not stored because the capacity cap was hit —
+  /// the sampling loss a capped trace carries (telemetry.trace.dropped).
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
   [[nodiscard]] std::uint64_t writes() const { return writes_; }
   [[nodiscard]] std::uint64_t trims() const { return trims_; }
@@ -39,6 +42,7 @@ class TraceCollector {
   std::size_t max_records_ = 0;
   std::vector<IoRecord> records_;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t trims_ = 0;

@@ -1,0 +1,238 @@
+// Open-loop traffic harness (DESIGN.md §14).
+//
+// Every earlier bench is closed-loop: the next query waits for the
+// last, so the system never queues and tail latency is just service
+// time. Real search frontends are open-loop — users do not coordinate
+// — so response time = queueing delay + service time, and overload
+// shows up as an exploding queue, not a slower loop. This module
+// provides:
+//
+//  * ArrivalProcess — a seeded, deterministic arrival-time generator
+//    over simulated Micros: Poisson base rate x diurnal curve x
+//    flash-crowd bursts (Lewis-Shedler thinning against the peak
+//    rate), with heavy-tailed "query of death" outliers (many rare
+//    terms => HDD seeks on every list) mixed in at a configured rate.
+//  * run_traffic() — an event-driven open-loop simulation of k
+//    identical servers behind one bounded FIFO admission queue.
+//    Arrivals past the queue cap are shed (tail drop) and reported;
+//    each served query records explicit arrival / dispatch /
+//    completion timestamps so queueing delay is separated from
+//    service time.
+//  * TrafficResult — per-window latency/throughput series
+//    (telemetry::WindowedSeries), SLO verdicts (telemetry::SloTracker,
+//    one per spec; shed queries count as bad events), and tail
+//    attribution: a worst-N reservoir of full per-query span
+//    breakdowns plus per-stage p50-vs-p99.9 histograms, extended with
+//    two pseudo-stages — queue_wait (admission delay) and other
+//    (service time no span claimed) — so a breach names the guilty
+//    stage.
+//
+// The harness drives any TrafficTarget; adapters for SearchSystem and
+// SearchCluster live in src/hybrid/traffic.hpp (this layer cannot
+// depend on hybrid).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/query.hpp"
+#include "src/telemetry/slo.hpp"
+#include "src/telemetry/tracer.hpp"
+#include "src/telemetry/windowed.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/query_log.hpp"
+
+namespace ssdse {
+
+/// A flash crowd: the arrival rate multiplies by `multiplier` for
+/// `duration` starting at `start` (simulated time).
+struct FlashCrowd {
+  Micros start = 0;
+  Micros duration = 0;
+  double multiplier = 1.0;
+};
+
+struct ArrivalConfig {
+  /// Long-run mean arrival rate, queries per simulated second.
+  double base_qps = 100.0;
+  /// Diurnal modulation: rate(t) = base * (1 + a * sin(2*pi*t/period)).
+  /// 0 disables; must stay in [0, 1).
+  double diurnal_amplitude = 0.0;
+  Micros diurnal_period = 60 * kSecond;
+  std::vector<FlashCrowd> flash_crowds;
+  /// Probability an arrival is a query-of-death outlier: a bag of
+  /// `outlier_terms` rare terms (upper half of the vocabulary), each a
+  /// near-certain cache miss, most an HDD seek — the heavy service
+  /// tail.
+  double outlier_probability = 0.0;
+  std::uint32_t outlier_terms = 8;
+  std::uint64_t seed = 2024;
+};
+
+/// Deterministic open-loop arrival stream: time-varying Poisson via
+/// Lewis-Shedler thinning, queries drawn from a QueryLogGenerator.
+class ArrivalProcess {
+ public:
+  struct Arrival {
+    Micros time = 0;
+    Query query;
+    bool outlier = false;
+  };
+
+  ArrivalProcess(const ArrivalConfig& cfg, QueryLogGenerator& gen);
+
+  /// Next arrival; times are strictly increasing.
+  Arrival next();
+
+  /// Instantaneous arrival rate (qps) at simulated time t.
+  [[nodiscard]] double rate_at(Micros t) const;
+  /// Upper bound on rate_at over all t (the thinning envelope).
+  [[nodiscard]] double peak_qps() const { return peak_qps_; }
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+  [[nodiscard]] std::uint64_t outliers() const { return outliers_; }
+
+ private:
+  Query make_outlier_query();
+
+  ArrivalConfig cfg_;
+  QueryLogGenerator& gen_;
+  Rng rng_;
+  Micros now_ = 0;
+  double peak_qps_ = 0.0;
+  std::uint64_t generated_ = 0;
+  std::uint64_t outliers_ = 0;
+};
+
+/// Anything that can serve one query and report its simulated service
+/// time. Adapters over SearchSystem / SearchCluster are in
+/// src/hybrid/traffic.hpp.
+class TrafficTarget {
+ public:
+  virtual ~TrafficTarget() = default;
+
+  /// Execute one query; returns its simulated service time, including
+  /// any background device work the query triggered (the device is
+  /// shared, so under open-loop load that time must be paid).
+  virtual Micros serve(const Query& q) = 0;
+
+  /// Per-stage breakdown of the most recent serve(); nullptr when
+  /// tracing is compiled out or disabled. Invalidated by the next
+  /// serve().
+  [[nodiscard]] virtual const telemetry::QueryTrace* last_trace() const {
+    return nullptr;
+  }
+};
+
+// Tail-attribution stage axis: the tracer's stages plus two
+// harness-level pseudo-stages.
+inline constexpr std::size_t kAttrQueueWait = telemetry::kNumTraceStages;
+inline constexpr std::size_t kAttrOther = telemetry::kNumTraceStages + 1;
+inline constexpr std::size_t kNumAttrStages = telemetry::kNumTraceStages + 2;
+
+/// Name of an attribution stage (trace stage name, "queue_wait", or
+/// "other").
+const char* attr_stage_name(std::size_t stage);
+
+/// One worst-N reservoir entry: a full span breakdown of one slow
+/// query.
+struct TailSample {
+  QueryId query = 0;
+  bool outlier = false;
+  Micros arrival = 0;
+  Micros wait = 0;      // dispatch - arrival (queueing delay)
+  Micros service = 0;   // completion - dispatch
+  Micros response = 0;  // completion - arrival
+  /// Per-stage span times (tracer stages; pseudo-stages are derived:
+  /// queue_wait = wait, other = untraced).
+  std::array<Micros, telemetry::kNumTraceStages> stage_us{};
+  Micros untraced = 0;  // service time no tracer span claimed
+};
+
+/// Per-spec SLO verdict after the deterministic post-pass.
+struct SloReport {
+  telemetry::SloSpec spec;
+  telemetry::SloState state = telemetry::SloState::kOk;
+  std::uint64_t windows = 0;
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  std::uint64_t trailing_events = 0;
+  std::uint64_t trailing_bad = 0;
+  double budget_events = 0.0;
+  double burn_slow = 0.0;
+  double max_burn_fast = 0.0;
+  std::uint64_t breach_windows = 0;
+  std::int64_t first_breach_window = -1;
+  std::uint64_t transitions = 0;
+};
+
+struct TrafficConfig {
+  ArrivalConfig arrival;
+  /// Arrivals to offer (served + shed == offered).
+  std::uint64_t offered = 10'000;
+  /// Identical servers draining one shared FIFO queue.
+  std::uint32_t servers = 1;
+  /// Waiting-room cap; an arrival finding the queue full is shed
+  /// (tail drop). 0 = unbounded.
+  std::size_t queue_capacity = 64;
+  /// Telemetry window width (simulated).
+  Micros window = kSecond;
+  std::vector<telemetry::SloSpec> slos;
+  /// Worst-N reservoir size for tail attribution.
+  std::size_t worst_n = 32;
+};
+
+struct TrafficResult {
+  explicit TrafficResult(Micros window_width);
+
+  // Conservation: offered == served + shed, always.
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t outliers = 0;
+  std::uint32_t servers = 1;
+  std::size_t queue_capacity = 64;
+  Micros horizon = 0;  // end of simulation (last completion or arrival)
+
+  // Run-level distributions.
+  LatencyHistogram response_hist;  // completion - arrival
+  LatencyHistogram wait_hist;      // dispatch - arrival
+  LatencyHistogram service_hist;   // completion - dispatch
+
+  // Per-window series (responses/waits keyed by completion window;
+  // offered/shed keyed by arrival window).
+  telemetry::WindowedSeries response_windows;
+  telemetry::WindowedSeries wait_windows;
+  telemetry::WindowedCounter offered_windows;
+  telemetry::WindowedCounter shed_windows;
+
+  std::vector<SloReport> slo;
+
+  // Tail attribution: per-stage distributions over served queries
+  // (tracer stages + queue_wait + other) and the worst-N reservoir,
+  // sorted by descending response.
+  std::array<LatencyHistogram, kNumAttrStages> stage_hists;
+  std::array<std::uint64_t, kNumAttrStages> stage_counts{};
+  std::vector<TailSample> worst;
+  /// Stage with the largest summed contribution across the worst-N
+  /// (empty when nothing was served).
+  std::string guilty_stage;
+
+  /// Whether any spec's verdict is kBreach.
+  [[nodiscard]] bool breached() const;
+
+  /// Deterministic fingerprint over the windowed series and SLO
+  /// verdicts: same seed => same fingerprint, bit for bit.
+  [[nodiscard]] std::uint64_t series_fingerprint() const;
+};
+
+/// Drive `cfg.offered` open-loop arrivals through `target`:
+/// event-driven k-server queueing simulation, windowed telemetry, SLO
+/// post-pass, tail attribution. Deterministic for a fixed
+/// (cfg, target) — all randomness comes from cfg.arrival.seed and the
+/// generator.
+TrafficResult run_traffic(TrafficTarget& target, QueryLogGenerator& gen,
+                          const TrafficConfig& cfg);
+
+}  // namespace ssdse

@@ -42,6 +42,29 @@ TEST(CollectorTest, CapacityCapStopsStorageNotCounting) {
   EXPECT_EQ(c.total_recorded(), 5u);
 }
 
+TEST(CollectorTest, DroppedCountsCapacityOverflowExactly) {
+  // The `telemetry.trace.dropped` counter (run report) is fed by this:
+  // every record past the storage cap increments dropped(), so lost
+  // trace coverage is visible instead of silent.
+  TraceCollector c;
+  c.set_capacity(3);
+  EXPECT_EQ(c.dropped(), 0u);
+  for (int i = 0; i < 3; ++i) c.record(i, IoOp::kRead, i, 1);
+  EXPECT_EQ(c.dropped(), 0u);  // at capacity, nothing lost yet
+  for (int i = 0; i < 7; ++i) c.record(3 + i, IoOp::kWrite, i, 1);
+  EXPECT_EQ(c.dropped(), 7u);
+  EXPECT_EQ(c.records().size(), 3u);
+  EXPECT_EQ(c.total_recorded(), 10u);  // dropped still counted as recorded
+  // A disabled collector drops nothing: records are refused, not lost.
+  TraceCollector off(/*enabled=*/false);
+  off.set_capacity(1);
+  for (int i = 0; i < 5; ++i) off.record(i, IoOp::kRead, i, 1);
+  EXPECT_EQ(off.dropped(), 0u);
+  // clear() resets the dropped count with the rest of the accounting.
+  c.clear();
+  EXPECT_EQ(c.dropped(), 0u);
+}
+
 TEST(CollectorTest, ClearResets) {
   TraceCollector c;
   c.record(1.0, IoOp::kRead, 1, 1);
