@@ -55,9 +55,10 @@ inline std::string fmt_ms(Micros us) { return Table::num(us / kMillisecond, 2); 
 /// emits; see DESIGN.md §9 for the schema).
 inline void maybe_write_report(const SearchSystem& sys,
                                const std::string& run_name,
-                               const TrafficResult* traffic = nullptr) {
+                               const TrafficResult* traffic = nullptr,
+                               const ReplicationSnapshot* replication = nullptr) {
   if (const char* path = std::getenv("SSDSE_TELEMETRY_OUT")) {
-    if (write_run_report(sys, run_name, path, traffic)) {
+    if (write_run_report(sys, run_name, path, traffic, replication)) {
       std::printf("wrote telemetry report %s (%s)\n", path,
                   run_name.c_str());
     } else {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "src/hybrid/cluster.hpp"
 
 using namespace ssdse;
 using namespace ssdse::bench;
@@ -105,9 +106,66 @@ CellResult run_cell(const FaultCell& c, std::uint64_t queries,
   return r;
 }
 
+// ---- Cluster cell: broker fault accounting over a sharded fleet ------
+//
+// One shard's HDD index store misbehaves; the clean shard does not. The
+// broker's observed_faults (per-attempt counter deltas summed at the
+// ReplicaGroup) must balance the shard-side fault counters exactly, and
+// with no deadline the faults cost latency only: coverage stays 1.0 and
+// nothing is dropped (graceful degradation, DESIGN.md §10/§15).
+struct ClusterCellResult {
+  std::uint64_t queries = 0;
+  std::uint64_t broker_observed_faults = 0;
+  std::uint64_t shard_side_faults = 0;
+  std::uint64_t faulty_shard_errors = 0;
+  std::uint64_t clean_shard_errors = 0;
+  std::uint64_t shards_dropped = 0;
+  double coverage_mean = 0;
+  bool books_balance = false;
+  bool full_coverage = false;
+};
+
+ClusterCellResult run_cluster_cell(std::uint64_t queries) {
+  ClusterConfig cfg;
+  cfg.num_shards = 2;
+  cfg.total_docs = 400'000;
+  cfg.shard_template.set_memory_budget(4 * MiB);
+  cfg.shard_template.training_queries = 500;
+  ReplicaFaultOverride faulty;
+  faulty.shard = 1;
+  faulty.replica = 0;
+  faulty.hdd.read_unc_rate = 0.05;
+  faulty.hdd.latency_spike_rate = 0.01;
+  cfg.replica_faults.push_back(faulty);
+
+  SearchCluster cluster(cfg);
+  cluster.run(queries);
+
+  ClusterCellResult r;
+  r.queries = queries;
+  const auto snap = cluster.replication_snapshot();
+  r.broker_observed_faults = snap.observed_faults;
+  r.coverage_mean = snap.coverage_mean;
+  r.shards_dropped = snap.shards_dropped;
+  for (std::uint32_t s = 0; s < cluster.num_shards(); ++s) {
+    const SearchSystem& sys = cluster.shard(s);
+    const CacheManagerStats& cm = sys.cache_manager().stats();
+    std::uint64_t errs = cm.ssd_read_errors + cm.hdd_read_errors;
+    if (const FaultyDevice* hdd = sys.faulty_hdd()) {
+      errs += hdd->fault_stats().write_fails;
+    }
+    r.shard_side_faults += errs;
+    (s == 1 ? r.faulty_shard_errors : r.clean_shard_errors) = errs;
+  }
+  r.books_balance = r.broker_observed_faults == r.shard_side_faults &&
+                    r.faulty_shard_errors > 0 && r.clean_shard_errors == 0;
+  r.full_coverage = r.coverage_mean == 1.0 && r.shards_dropped == 0;
+  return r;
+}
+
 void write_json(const char* path, const std::vector<CellResult>& cells,
                 std::uint64_t queries, bool fingerprint_match,
-                const CellResult& severe) {
+                const CellResult& severe, const ClusterCellResult& cluster) {
   FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "ext_faults: cannot write %s\n", path);
@@ -146,11 +204,26 @@ void write_json(const char* path, const std::vector<CellResult>& cells,
   std::fprintf(
       f,
       "  \"breaker_demo\": {\"trips\": %llu, \"closes\": %llu, "
-      "\"recovered\": %s}\n}\n",
+      "\"recovered\": %s},\n",
       static_cast<unsigned long long>(severe.breaker_trips),
       static_cast<unsigned long long>(severe.breaker_closes),
       severe.breaker_trips > 0 && severe.breaker_closes > 0 ? "true"
                                                             : "false");
+  std::fprintf(
+      f,
+      "  \"cluster\": {\"queries\": %llu, \"broker_observed_faults\": %llu, "
+      "\"shard_side_faults\": %llu, \"faulty_shard_errors\": %llu, "
+      "\"clean_shard_errors\": %llu, \"shards_dropped\": %llu, "
+      "\"coverage_mean\": %.6f, \"books_balance\": %s, "
+      "\"full_coverage\": %s}\n}\n",
+      static_cast<unsigned long long>(cluster.queries),
+      static_cast<unsigned long long>(cluster.broker_observed_faults),
+      static_cast<unsigned long long>(cluster.shard_side_faults),
+      static_cast<unsigned long long>(cluster.faulty_shard_errors),
+      static_cast<unsigned long long>(cluster.clean_shard_errors),
+      static_cast<unsigned long long>(cluster.shards_dropped),
+      cluster.coverage_mean, cluster.books_balance ? "true" : "false",
+      cluster.full_coverage ? "true" : "false");
   std::fclose(f);
 }
 
@@ -204,6 +277,26 @@ int main() {
   const CellResult& severe = results.back();
   const bool breaker_ok = severe.breaker_trips > 0 && severe.breaker_closes > 0;
 
+  // Cluster cell: one faulty HDD in a two-shard fleet; the broker's
+  // fault books must balance the shard counters and coverage must hold.
+  std::printf("\nrunning cluster cell (faulty HDD on shard 1)...\n");
+  const ClusterCellResult cluster =
+      run_cluster_cell(std::max<std::uint64_t>(queries / 10, 1'000));
+  std::printf(
+      "  broker observed %llu faults, shards report %llu "
+      "(faulty shard %llu, clean shard %llu): books %s\n"
+      "  coverage %.4f with %llu drops: %s\n",
+      static_cast<unsigned long long>(cluster.broker_observed_faults),
+      static_cast<unsigned long long>(cluster.shard_side_faults),
+      static_cast<unsigned long long>(cluster.faulty_shard_errors),
+      static_cast<unsigned long long>(cluster.clean_shard_errors),
+      cluster.books_balance ? "balance" : "DO NOT BALANCE",
+      cluster.coverage_mean,
+      static_cast<unsigned long long>(cluster.shards_dropped),
+      cluster.full_coverage ? "graceful degradation held"
+                            : "COVERAGE LOST");
+  const bool cluster_ok = cluster.books_balance && cluster.full_coverage;
+
   std::printf(
       "\nresult integrity: every cell's fingerprint %s the fault-free\n"
       "baseline — injected faults cost latency, never answers.\n"
@@ -217,8 +310,8 @@ int main() {
 
   const char* out = std::getenv("SSDSE_BENCH_OUT");
   if (!out) out = "BENCH_FAULTS.json";
-  write_json(out, results, queries, match, severe);
+  write_json(out, results, queries, match, severe, cluster);
   std::printf("wrote %s\n", out);
 
-  return match && breaker_ok ? 0 : 1;
+  return match && breaker_ok && cluster_ok ? 0 : 1;
 }

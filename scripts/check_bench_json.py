@@ -18,12 +18,18 @@ Four document shapes are recognized:
   * open-loop traffic bench files ("bench": "ext_traffic") — DESIGN.md
     §14: calibration, the offered-load sweep cells with SLO verdicts and
     tail attribution, plus the determinism and zero-traffic gates;
+  * replication bench files ("bench": "ext_replica") — DESIGN.md §15:
+    the replication-factor x fault x load sweep with per-cell broker
+    accounting (retries + hedges <= dispatches, coverage in [0, 1]),
+    the monotone capped backoff schedule, and the three tail-tolerance
+    gates (hedging cuts p99, retries restore coverage, failover keeps
+    the SLO);
   * telemetry run reports ("report": "telemetry") — DESIGN.md §9: the
     registry dump, per-stage trace quantiles, situation census, per-tier
     cache accounting, flash counters, the fault/breaker section, the
-    ingest/coherence section when the live index is enabled, and the
+    ingest/coherence section when the live index is enabled, the
     traffic/windows/slo/attribution sections when the run was driven by
-    the open-loop harness.
+    the open-loop harness, and the replication section on cluster runs.
 
 Exits non-zero (with a message) on any missing key, wrong type, or
 implausible value — CI runs this after the perf_driver smoke so a
@@ -39,7 +45,7 @@ EXPECTED_PHASES = ["daat", "cache", "ssd"]
 TRACE_STAGES = {
     "result_probe", "list_fetch_mem", "list_fetch_ssd", "list_fetch_hdd",
     "daat_score", "write_buffer_flush", "ftl_gc", "broker_merge",
-    "ingest_apply", "segment_merge", "daat_skip",
+    "ingest_apply", "segment_merge", "daat_skip", "broker_retry",
 }
 
 # Tail-attribution axis: tracer stages plus the harness pseudo-stages
@@ -243,10 +249,41 @@ def check_ext_faults(doc, path):
     require(demo.get("recovered") is True,
             "breaker_demo: 'recovered' must be true")
 
+    # Cluster cell (DESIGN.md §15): a faulty HDD on one shard must be
+    # observed identically by the broker and the shard-side counters,
+    # stay confined to the faulty shard, and never cost coverage.
+    cl = doc.get("cluster")
+    require(isinstance(cl, dict), "'cluster' must be an object")
+    for key in ("queries", "broker_observed_faults", "shard_side_faults",
+                "faulty_shard_errors", "clean_shard_errors",
+                "shards_dropped"):
+        require(isinstance(cl.get(key), int) and cl[key] >= 0,
+                f"cluster: '{key}' must be a non-negative integer")
+    require(cl["queries"] > 0, "cluster: 'queries' must be positive")
+    require(cl["broker_observed_faults"] == cl["shard_side_faults"],
+            f"cluster: broker observed {cl['broker_observed_faults']} "
+            f"faults but shards report {cl['shard_side_faults']}")
+    require(cl["faulty_shard_errors"] > 0,
+            "cluster: faulty shard reported no errors — the injected "
+            "fault never fired")
+    require(cl["clean_shard_errors"] == 0,
+            f"cluster: clean shard reported "
+            f"{cl['clean_shard_errors']} errors; faults leaked across "
+            "shards")
+    require(is_num(cl.get("coverage_mean"))
+            and 0.0 <= cl["coverage_mean"] <= 1.0,
+            "cluster: 'coverage_mean' must be in [0, 1]")
+    require(cl.get("books_balance") is True,
+            "cluster: broker/shard fault books do not balance")
+    require(cl.get("full_coverage") is True,
+            "cluster: expected full coverage (coverage_mean == 1, no "
+            "dropped shards) despite the faulty HDD")
+
     print(f"check_bench_json: OK ({path}: ext_faults, "
           f"{len(cells)} cells x {doc['queries']} queries, "
           f"fingerprints identical, breaker tripped {demo['trips']}x / "
-          f"recovered {demo['closes']}x)")
+          f"recovered {demo['closes']}x, cluster books balance "
+          f"({cl['broker_observed_faults']} faults))")
 
 
 STALE_KEYS = ("result_invalidations", "list_invalidations",
@@ -752,6 +789,241 @@ def check_ext_traffic(doc, path):
           f"all gates pass)")
 
 
+def check_backoff_schedule(sched, ctx):
+    require(isinstance(sched, list),
+            f"{ctx}: must be a list of pause durations")
+    for i, pause in enumerate(sched):
+        require(is_num(pause) and pause >= 0,
+                f"{ctx}[{i}]: must be a non-negative number")
+    for i in range(1, len(sched)):
+        require(sched[i] >= sched[i - 1],
+                f"{ctx}: schedule must be monotone non-decreasing "
+                f"({sched[i - 1]} -> {sched[i]} at index {i})")
+
+
+REPLICA_COUNTERS = ("dispatches", "retries", "hedges", "hedge_wins",
+                    "failovers")
+
+
+def check_replica_counters(obj, ctx):
+    for key in REPLICA_COUNTERS:
+        require(isinstance(obj.get(key), int) and obj[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+    require(obj["retries"] + obj["hedges"] <= obj["dispatches"],
+            f"{ctx}: retries ({obj['retries']}) + hedges "
+            f"({obj['hedges']}) exceed dispatches ({obj['dispatches']}); "
+            "every retry and hedge is itself a dispatch")
+    require(obj["hedge_wins"] <= obj["hedges"],
+            f"{ctx}: hedge_wins ({obj['hedge_wins']}) exceed hedges "
+            f"({obj['hedges']})")
+    require(is_num(obj.get("coverage_mean"))
+            and 0.0 <= obj["coverage_mean"] <= 1.0,
+            f"{ctx}: 'coverage_mean' must be in [0, 1]")
+
+
+def check_replication_section(rep):
+    ctx = "replication"
+    require(isinstance(rep, dict), f"'{ctx}' must be an object")
+    for key in ("groups", "replication_factor", "queries"):
+        require(isinstance(rep.get(key), int) and rep[key] > 0,
+                f"{ctx}: '{key}' must be a positive integer")
+    require(isinstance(rep.get("policy_active"), bool),
+            f"{ctx}: 'policy_active' must be a bool")
+    for key in ("shards_dropped", "shards_failed", "observed_faults"):
+        require(isinstance(rep.get(key), int) and rep[key] >= 0,
+                f"{ctx}: '{key}' must be a non-negative integer")
+    check_replica_counters(rep, ctx)
+    require(rep["dispatches"] >= rep["queries"],
+            f"{ctx}: dispatches ({rep['dispatches']}) below queries "
+            f"({rep['queries']}); every query dispatches each group at "
+            "least once")
+    check_backoff_schedule(rep.get("backoff_schedule_us"),
+                           f"{ctx}.backoff_schedule_us")
+    slots = rep.get("replicas")
+    require(isinstance(slots, list)
+            and len(slots) == rep["replication_factor"],
+            f"{ctx}: 'replicas' must list one slot per replica "
+            f"(factor {rep['replication_factor']})")
+    attempts = 0
+    for i, slot in enumerate(slots):
+        sctx = f"{ctx}.replicas[{i}]"
+        require(slot.get("slot") == i, f"{sctx}: 'slot' must be {i}")
+        for key in ("attempts", "faults", "breaker_trips",
+                    "breaker_reopens", "breaker_closes", "breakers_open"):
+            require(isinstance(slot.get(key), int) and slot[key] >= 0,
+                    f"{sctx}: '{key}' must be a non-negative integer")
+        require(is_num(slot.get("ewma_us_mean"))
+                and slot["ewma_us_mean"] >= 0,
+                f"{sctx}: 'ewma_us_mean' must be non-negative")
+        attempts += slot["attempts"]
+    require(attempts == rep["dispatches"],
+            f"{ctx}: per-slot attempts sum to {attempts}, expected "
+            f"dispatches ({rep['dispatches']})")
+
+
+EXT_REPLICA_GATES = ("hedge_cuts_p99", "retries_restore_coverage",
+                     "failover_keeps_slo")
+
+
+def check_ext_replica(doc, path):
+    require(doc.get("schema_version") == 1,
+            f"unsupported schema_version {doc.get('schema_version')!r}")
+    require(isinstance(doc.get("offered_per_cell"), int)
+            and doc["offered_per_cell"] > 0,
+            "'offered_per_cell' must be a positive integer")
+    require(isinstance(doc.get("servers"), int) and doc["servers"] > 0,
+            "'servers' must be a positive integer")
+    require(is_num(doc.get("window_us")) and doc["window_us"] > 0,
+            "'window_us' must be positive")
+
+    cal = doc.get("calibration")
+    require(isinstance(cal, dict), "'calibration' must be an object")
+    require(isinstance(cal.get("queries"), int) and cal["queries"] > 0,
+            "calibration: 'queries' must be a positive integer")
+    for key in ("mean_service_us", "p99_service_us",
+                "median_slowest_shard_us", "capacity_qps",
+                "fault_spike_us"):
+        require(is_num(cal.get(key)) and cal[key] > 0,
+                f"calibration: '{key}' must be positive")
+    require(cal["mean_service_us"] <= cal["p99_service_us"],
+            "calibration: mean service exceeds its own p99")
+
+    check_backoff_schedule(doc.get("backoff_schedule_us"),
+                           "backoff_schedule_us")
+    require(len(doc["backoff_schedule_us"]) > 0,
+            "backoff_schedule_us: retry policy must publish a non-empty "
+            "schedule")
+
+    cells = doc.get("cells")
+    require(isinstance(cells, list) and len(cells) >= 6,
+            "'cells' must sweep replication factor x fault x load "
+            "(at least 6 cells)")
+    by_name = {}
+    for c in cells:
+        ctx = f"cell '{c.get('name')}'"
+        require(isinstance(c.get("name"), str) and c["name"],
+                f"{ctx}: 'name' must be a non-empty string")
+        by_name[c["name"]] = c
+        require(isinstance(c.get("replication_factor"), int)
+                and c["replication_factor"] >= 1,
+                f"{ctx}: 'replication_factor' must be >= 1")
+        require(isinstance(c.get("faulty"), bool),
+                f"{ctx}: 'faulty' must be a bool")
+        require(is_num(c.get("multiplier")) and c["multiplier"] > 0,
+                f"{ctx}: 'multiplier' must be positive")
+        for key in ("offered", "served", "shed", "shards_failed",
+                    "breach_windows"):
+            require(isinstance(c.get(key), int) and c[key] >= 0,
+                    f"{ctx}: '{key}' must be a non-negative integer")
+        require(c.get("conservation") is True,
+                f"{ctx}: offered != served + shed")
+        require(c["served"] + c["shed"] == c["offered"],
+                f"{ctx}: served ({c['served']}) + shed ({c['shed']}) "
+                f"!= offered ({c['offered']})")
+        for key in ("response_p50_us", "response_p99_us"):
+            require(is_num(c.get(key)) and c[key] >= 0,
+                    f"{ctx}: '{key}' must be non-negative")
+        require(c["response_p50_us"] <= c["response_p99_us"],
+                f"{ctx}: p50 exceeds p99")
+        check_replica_counters(c, ctx)
+        require(c.get("slo_state") in SLO_STATES,
+                f"{ctx}: 'slo_state' must be one of {sorted(SLO_STATES)}")
+        require(isinstance(c.get("fingerprint"), int)
+                and c["fingerprint"] > 0,
+                f"{ctx}: 'fingerprint' must be a positive integer")
+        if c["replication_factor"] == 1:
+            require(c["hedges"] == 0 and c["failovers"] == 0,
+                    f"{ctx}: hedges/failovers recorded with a single "
+                    "replica")
+
+    det = doc.get("determinism")
+    require(isinstance(det, dict), "'determinism' must be an object")
+    require(isinstance(det.get("cell"), str) and det["cell"] in by_name,
+            "determinism: 'cell' must name a swept cell")
+    for key in ("fingerprint_a", "fingerprint_b"):
+        require(isinstance(det.get(key), int) and det[key] > 0,
+                f"determinism: '{key}' must be a positive integer")
+    require(det.get("match") is True
+            and det["fingerprint_a"] == det["fingerprint_b"],
+            "determinism: repeat run fingerprints diverged")
+    require(det["fingerprint_a"] == by_name[det["cell"]]["fingerprint"],
+            "determinism: repeat fingerprint differs from the swept "
+            "cell's fingerprint")
+
+    gates = doc.get("gates")
+    require(isinstance(gates, dict), "'gates' must be an object")
+    hg = gates.get("hedge_cuts_p99")
+    require(isinstance(hg, dict), "gates: 'hedge_cuts_p99' must be an "
+            "object")
+    for key in ("p99_no_hedge_us", "p99_hedge_us"):
+        require(is_num(hg.get(key)) and hg[key] > 0,
+                f"gates.hedge_cuts_p99: '{key}' must be positive")
+    for key in ("hedges", "hedge_wins"):
+        require(isinstance(hg.get(key), int) and hg[key] >= 0,
+                f"gates.hedge_cuts_p99: '{key}' must be a non-negative "
+                "integer")
+    if hg.get("pass"):
+        require(hg["p99_hedge_us"] < hg["p99_no_hedge_us"],
+                "gates.hedge_cuts_p99: passed without actually cutting "
+                "p99")
+        require(hg["hedges"] > 0 and hg["hedge_wins"] > 0,
+                "gates.hedge_cuts_p99: passed without any hedge firing "
+                "and winning")
+    rg = gates.get("retries_restore_coverage")
+    require(isinstance(rg, dict),
+            "gates: 'retries_restore_coverage' must be an object")
+    require(is_num(rg.get("deadline_us")) and rg["deadline_us"] > 0,
+            "gates.retries_restore_coverage: 'deadline_us' must be "
+            "positive")
+    for key in ("coverage_no_retry", "coverage_retry"):
+        require(is_num(rg.get(key)) and 0.0 <= rg[key] <= 1.0,
+                f"gates.retries_restore_coverage: '{key}' must be in "
+                "[0, 1]")
+    require(isinstance(rg.get("retries"), int) and rg["retries"] >= 0,
+            "gates.retries_restore_coverage: 'retries' must be a "
+            "non-negative integer")
+    if rg.get("pass"):
+        require(rg["coverage_no_retry"] < 1.0,
+                "gates.retries_restore_coverage: passed but the "
+                "no-retry arm never lost coverage")
+        require(rg["coverage_retry"] == 1.0 and rg["retries"] > 0,
+                "gates.retries_restore_coverage: passed without retries "
+                "restoring full coverage")
+    fg = gates.get("failover_keeps_slo")
+    require(isinstance(fg, dict),
+            "gates: 'failover_keeps_slo' must be an object")
+    for key in ("primary_only_state", "failover_state"):
+        require(fg.get(key) in SLO_STATES,
+                f"gates.failover_keeps_slo: '{key}' must be one of "
+                f"{sorted(SLO_STATES)}")
+    for key in ("primary_only_breach_windows", "failover_breach_windows",
+                "failovers"):
+        require(isinstance(fg.get(key), int) and fg[key] >= 0,
+                f"gates.failover_keeps_slo: '{key}' must be a "
+                "non-negative integer")
+    if fg.get("pass"):
+        require(fg["primary_only_state"] == "breach"
+                and fg["failover_state"] != "breach"
+                and fg["failovers"] > 0,
+                "gates.failover_keeps_slo: passed without the "
+                "primary-only arm breaching and failover holding")
+    for key in EXT_REPLICA_GATES:
+        require(isinstance(gates[key].get("pass"), bool),
+                f"gates.{key}: 'pass' must be a bool")
+    for key in ("conservation", "determinism"):
+        require(isinstance(gates.get(key), bool),
+                f"gates: '{key}' must be a bool")
+    require(gates.get("pass") is True, "gates: overall verdict failed")
+    require(gates["pass"] == (
+        all(gates[k]["pass"] for k in EXT_REPLICA_GATES)
+        and gates["conservation"] and gates["determinism"]),
+            "gates: 'pass' inconsistent with the individual gates")
+
+    print(f"check_bench_json: OK ({path}: ext_replica, "
+          f"{len(cells)} cells x {doc['offered_per_cell']} offered, "
+          f"capacity {cal['capacity_qps']:.0f} q/s, all gates pass)")
+
+
 def check_telemetry(doc, path):
     require(doc.get("schema_version") == 1,
             f"unsupported schema_version {doc.get('schema_version')!r}")
@@ -871,6 +1143,10 @@ def check_telemetry(doc, path):
                 f"{traffic_keys}")
         check_traffic_sections(doc)
 
+    # Optional replication section (cluster runs; DESIGN.md §15).
+    if "replication" in doc:
+        check_replication_section(doc["replication"])
+
     metrics = doc.get("metrics")
     require(isinstance(metrics, dict) and metrics,
             "'metrics' must be a non-empty object (registry dump)")
@@ -899,10 +1175,12 @@ def check_file(path):
         check_pr7(doc, path)
     elif doc.get("bench") == "ext_traffic":
         check_ext_traffic(doc, path)
+    elif doc.get("bench") == "ext_replica":
+        check_ext_replica(doc, path)
     else:
         fail(f"{path}: not a perf_driver/ext_faults/ext_ingest/"
-             "pr7_codec_pruning/ext_traffic bench file or a telemetry "
-             "report")
+             "pr7_codec_pruning/ext_traffic/ext_replica bench file or a "
+             "telemetry report")
 
 
 def main():

@@ -1,22 +1,38 @@
 // SearchCluster: document-partitioned scale-out, the deployment shape
 // the paper's introduction assumes ("large search engines need to
 // process hundreds of queries per second ... massively parallel
-// processing"). A broker broadcasts each query to every index-server
-// shard (each a full SearchSystem with its own two-level cache and
-// devices) and merges the per-shard top-K.
+// processing"). A broker broadcasts each query to every logical shard
+// — a ReplicaGroup of R independent SearchSystem replicas over the
+// same document partition (DESIGN.md §15) — and merges the per-shard
+// top-K. The broker's tail-tolerance policy stack (retries with capped
+// backoff + jitter, hedged requests, health-driven failover, honest
+// partial-coverage accounting) lives in src/hybrid/replica_group.hpp.
 //
 // Timing model: shards serve the query in parallel, so the broker sees
-// max(shard response) plus one network round trip and a per-shard merge
-// cost. Shard documents are disjoint: shard-local doc d on shard s is
-// global doc d * num_shards + s.
+// max(group response) plus one network round trip and a per-shard merge
+// cost; retry waits, backoff pauses, and hedge delays are inside the
+// group response. Shard documents are disjoint: shard-local doc d on
+// shard s is global doc d * num_shards + s.
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "src/hybrid/replica_group.hpp"
 #include "src/hybrid/search_system.hpp"
 
 namespace ssdse {
+
+/// Per-replica HDD fault-plan override: replica `replica` of shard
+/// `shard` gets `hdd` instead of the template plan. This is how a
+/// bench injects one sick or slow replica without arming the rest of
+/// the fleet.
+struct ReplicaFaultOverride {
+  std::uint32_t shard = 0;
+  std::uint32_t replica = 0;
+  FaultPlan hdd;
+};
 
 struct ClusterConfig {
   std::uint32_t num_shards = 4;
@@ -29,8 +45,46 @@ struct ClusterConfig {
   /// Per-shard soft deadline at the broker (simulated µs). Shards whose
   /// service time exceeds it are dropped from the merge: the broker
   /// stops waiting at the deadline and returns partial coverage
-  /// (graceful degradation, DESIGN.md §10). 0 = wait for every shard.
+  /// (graceful degradation, DESIGN.md §10). With retries enabled a
+  /// deadline expiry is retried before the shard is given up on. 0 =
+  /// wait for every shard.
   Micros shard_deadline = 0;
+  /// Replication + broker tail-tolerance policies (DESIGN.md §15).
+  /// Defaults keep it entirely off: R=1, no retries, no hedging, no
+  /// failover — the exact pre-replication broker.
+  ReplicationConfig replication;
+  /// Targeted fault injection for benches/tests (see above).
+  std::vector<ReplicaFaultOverride> replica_faults;
+};
+
+/// Point-in-time view of the replication policy stack for run reports
+/// (`replication` section) and bench gates.
+struct ReplicationSnapshot {
+  std::uint32_t groups = 0;
+  std::uint32_t replication_factor = 1;
+  bool policy_active = false;
+  std::uint64_t queries = 0;
+  std::uint64_t dispatches = 0;  // replica attempts, incl. retries+hedges
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t shards_dropped = 0;
+  std::uint64_t shards_failed = 0;  // dropped with a fault-classified reply
+  std::uint64_t observed_faults = 0;
+  double coverage_mean = 1.0;
+  /// Deterministic (pre-jitter) backoff pauses, one per budgeted retry.
+  std::vector<Micros> backoff_schedule;
+  struct Slot {  // per replica index, aggregated across groups
+    std::uint64_t attempts = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t breaker_trips = 0;
+    std::uint64_t breaker_reopens = 0;
+    std::uint64_t breaker_closes = 0;
+    std::uint32_t breakers_open = 0;  // groups whose slot breaker is open
+    double ewma_us_mean = 0.0;        // mean EWMA across groups
+  };
+  std::vector<Slot> slots;
 };
 
 class SearchCluster {
@@ -39,9 +93,14 @@ class SearchCluster {
 
   struct ClusterOutcome {
     Micros response = 0;       // broker-observed latency
-    Micros slowest_shard = 0;  // max per-shard service time (incl. late)
+    Micros slowest_shard = 0;  // max per-group service time (incl. late)
     std::uint32_t shards_included = 0;  // answered within the deadline
     std::uint32_t shards_dropped = 0;   // late, excluded from the merge
+    std::uint32_t shards_failed = 0;    // dropped with faults after retries
+    std::uint32_t retries = 0;          // extra attempts this query
+    std::uint32_t hedges = 0;
+    std::uint32_t hedge_wins = 0;
+    std::uint32_t failovers = 0;        // groups served by a non-0 primary
     double coverage = 1.0;     // shards_included / num_shards
     ResultEntry result;        // merged global top-K (included shards)
   };
@@ -49,33 +108,41 @@ class SearchCluster {
   ClusterOutcome execute(const Query& q);
   void run(std::uint64_t n);
 
-  /// Parallel run: one thread per shard replays the same broadcast
-  /// stream (shards are fully independent simulations), then the broker
-  /// merge happens query-by-query on the caller's thread. Bit-identical
-  /// to run() — including all metrics — just faster on multicore hosts.
+  /// Parallel run: one thread per shard group replays the same
+  /// broadcast stream through the full policy stack (groups are fully
+  /// independent simulations — replicas, health state, and the
+  /// per-group policy Rng are all group-confined), then the broker
+  /// merge happens query-by-query on the caller's thread.
+  /// Bit-identical to run() — including all metrics and retry/hedge
+  /// counters — just faster on multicore hosts.
   void run_parallel(std::uint64_t n);
 
   [[nodiscard]] std::uint32_t num_shards() const {
-    return static_cast<std::uint32_t>(shards_.size());
+    return static_cast<std::uint32_t>(groups_.size());
   }
-  SearchSystem& shard(std::size_t i) { return *shards_[i]; }
+  /// Primary replica of shard i (the only replica when R=1).
+  SearchSystem& shard(std::size_t i) { return groups_[i]->replica(0); }
+  ReplicaGroup& group(std::size_t i) { return *groups_[i]; }
+  [[nodiscard]] const ReplicaGroup& group(std::size_t i) const {
+    return *groups_[i];
+  }
   [[nodiscard]] const RunMetrics& metrics() const { return metrics_; }
 
-  /// Fleet-wide telemetry: every shard's registry snapshot merged
+  /// Fleet-wide telemetry: every replica's registry snapshot merged
   /// (counters sum, gauges become per-shard sample distributions,
-  /// histograms merge bucket-wise).
+  /// histograms merge bucket-wise), plus the broker registry.
   [[nodiscard]] telemetry::RegistrySnapshot telemetry_snapshot() const;
 
   /// Cluster throughput: every shard must execute every query
-  /// (broadcast), so the fleet saturates at the *slowest* shard's
+  /// (broadcast), so the fleet saturates at the *slowest* replica's
   /// aggregate work rate.
   [[nodiscard]] double throughput_qps() const;
 
   /// Shared query generator (shards see the same broadcast stream).
   QueryLogGenerator& generator() { return *gen_; }
 
-  /// Broker-side tracing (kBrokerMerge spans) and counters
-  /// (cluster.broker.queries, cluster.shards.dropped).
+  /// Broker-side tracing (kBrokerMerge / kBrokerRetry spans) and
+  /// counters (cluster.broker.*, cluster.shards.*, cluster.replica.*).
   [[nodiscard]] const telemetry::QueryTracer& broker_tracer() const {
     return broker_tracer_;
   }
@@ -83,20 +150,17 @@ class SearchCluster {
     return broker_registry_;
   }
 
+  /// Replication policy state for reports + gates (DESIGN.md §15).
+  [[nodiscard]] ReplicationSnapshot replication_snapshot() const;
+
  private:
-  /// One shard's answer as seen by the broker.
-  struct ShardReply {
-    Micros response = 0;
-    Situation situation = Situation::kS1_ResultMemory;
-    std::vector<ScoredDoc> docs;
-  };
-  /// The broker phase for one query: deadline filtering, global top-K
-  /// merge, response-time assembly, metrics. Shared by run() and
+  /// The broker phase for one query: deadline/failure filtering, global
+  /// top-K merge, response-time assembly, metrics. Shared by run() and
   /// run_parallel() so the two stay bit-identical.
-  ClusterOutcome merge_replies(QueryId qid, std::vector<ShardReply> replies);
+  ClusterOutcome merge_replies(QueryId qid, std::vector<GroupReply> replies);
 
   ClusterConfig cfg_;
-  std::vector<std::unique_ptr<SearchSystem>> shards_;
+  std::vector<std::unique_ptr<ReplicaGroup>> groups_;
   std::unique_ptr<QueryLogGenerator> gen_;
   RunMetrics metrics_;
 
@@ -104,6 +168,13 @@ class SearchCluster {
   telemetry::MetricsRegistry broker_registry_;
   std::uint64_t broker_queries_ = 0;
   std::uint64_t shards_dropped_total_ = 0;
+  std::uint64_t shards_failed_total_ = 0;
+  std::uint64_t retries_total_ = 0;
+  std::uint64_t hedges_total_ = 0;
+  std::uint64_t hedge_wins_total_ = 0;
+  std::uint64_t failovers_total_ = 0;
+  std::uint64_t backoff_us_total_ = 0;
+  std::uint64_t coverage_ppm_sum_ = 0;  // per-query coverage, ppm
 };
 
 }  // namespace ssdse

@@ -46,6 +46,8 @@ void append_traffic_json(telemetry::JsonWriter& w, const TrafficResult& t) {
   w.value(t.shed);
   w.key("outliers");
   w.value(t.outliers);
+  w.key("partial");
+  w.value(t.partial);
   w.key("servers");
   w.value(static_cast<std::uint64_t>(t.servers));
   w.key("queue_capacity");
@@ -219,6 +221,71 @@ void append_traffic_json(telemetry::JsonWriter& w, const TrafficResult& t) {
   w.end_object();
 }
 
+// Replication + tail-tolerance section (DESIGN.md §15). Emitted only
+// for cluster runs; the validator cross-checks the accounting
+// (retries + hedges <= dispatches, coverage in [0,1], monotone backoff
+// schedule).
+void append_replication_json(telemetry::JsonWriter& w,
+                             const ReplicationSnapshot& rs) {
+  w.key("replication");
+  w.begin_object();
+  w.key("groups");
+  w.value(static_cast<std::uint64_t>(rs.groups));
+  w.key("replication_factor");
+  w.value(static_cast<std::uint64_t>(rs.replication_factor));
+  w.key("policy_active");
+  w.value(rs.policy_active);
+  w.key("queries");
+  w.value(rs.queries);
+  w.key("dispatches");
+  w.value(rs.dispatches);
+  w.key("retries");
+  w.value(rs.retries);
+  w.key("hedges");
+  w.value(rs.hedges);
+  w.key("hedge_wins");
+  w.value(rs.hedge_wins);
+  w.key("failovers");
+  w.value(rs.failovers);
+  w.key("shards_dropped");
+  w.value(rs.shards_dropped);
+  w.key("shards_failed");
+  w.value(rs.shards_failed);
+  w.key("observed_faults");
+  w.value(rs.observed_faults);
+  w.key("coverage_mean");
+  w.value(rs.coverage_mean);
+  w.key("backoff_schedule_us");
+  w.begin_array();
+  for (const Micros pause : rs.backoff_schedule) w.value(pause);
+  w.end_array();
+  w.key("replicas");
+  w.begin_array();
+  for (std::size_t r = 0; r < rs.slots.size(); ++r) {
+    const ReplicationSnapshot::Slot& slot = rs.slots[r];
+    w.begin_object();
+    w.key("slot");
+    w.value(static_cast<std::uint64_t>(r));
+    w.key("attempts");
+    w.value(slot.attempts);
+    w.key("faults");
+    w.value(slot.faults);
+    w.key("breaker_trips");
+    w.value(slot.breaker_trips);
+    w.key("breaker_reopens");
+    w.value(slot.breaker_reopens);
+    w.key("breaker_closes");
+    w.value(slot.breaker_closes);
+    w.key("breakers_open");
+    w.value(static_cast<std::uint64_t>(slot.breakers_open));
+    w.key("ewma_us_mean");
+    w.value(slot.ewma_us_mean);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 }  // namespace
 
 void append_registry_json(telemetry::JsonWriter& w,
@@ -263,7 +330,8 @@ void append_registry_json(telemetry::JsonWriter& w,
 
 std::string render_run_report(const SearchSystem& sys,
                               const std::string& run_name,
-                              const TrafficResult* traffic) {
+                              const TrafficResult* traffic,
+                              const ReplicationSnapshot* replication) {
   using telemetry::TraceStage;
   telemetry::JsonWriter w;
   const RunMetrics& rm = sys.metrics();
@@ -490,6 +558,7 @@ std::string render_run_report(const SearchSystem& sys,
   }
 
   if (traffic != nullptr) append_traffic_json(w, *traffic);
+  if (replication != nullptr) append_replication_json(w, *replication);
 
   w.key("metrics");
   append_registry_json(w, sys.telemetry_registry().snapshot());
@@ -499,8 +568,10 @@ std::string render_run_report(const SearchSystem& sys,
 }
 
 bool write_run_report(const SearchSystem& sys, const std::string& run_name,
-                      const std::string& path, const TrafficResult* traffic) {
-  const std::string json = render_run_report(sys, run_name, traffic);
+                      const std::string& path, const TrafficResult* traffic,
+                      const ReplicationSnapshot* replication) {
+  const std::string json =
+      render_run_report(sys, run_name, traffic, replication);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();

@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "src/hybrid/cluster.hpp"
 #include "src/hybrid/search_system.hpp"
 #include "src/telemetry/json_writer.hpp"
 #include "src/telemetry/registry.hpp"
@@ -27,15 +28,20 @@ void append_registry_json(telemetry::JsonWriter& w,
 /// non-null the report gains the open-loop sections (DESIGN.md §14):
 /// "traffic" (offered/served/shed conservation), "windows" (per-window
 /// quantile series), "slo" (per-spec verdicts), and "attribution"
-/// (per-stage tail table + worst-N samples).
+/// (per-stage tail table + worst-N samples). When `replication` is
+/// non-null (cluster runs) the report gains the "replication" section
+/// (DESIGN.md §15): policy knobs + retry/hedge/failover accounting,
+/// the deterministic backoff schedule, and per-replica-slot health.
 std::string render_run_report(const SearchSystem& sys,
                               const std::string& run_name,
-                              const TrafficResult* traffic = nullptr);
+                              const TrafficResult* traffic = nullptr,
+                              const ReplicationSnapshot* replication = nullptr);
 
 /// Write render_run_report() output to `path`; returns false on I/O
 /// failure.
 bool write_run_report(const SearchSystem& sys, const std::string& run_name,
                       const std::string& path,
-                      const TrafficResult* traffic = nullptr);
+                      const TrafficResult* traffic = nullptr,
+                      const ReplicationSnapshot* replication = nullptr);
 
 }  // namespace ssdse

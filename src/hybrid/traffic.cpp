@@ -16,7 +16,10 @@ ClusterTrafficTarget::ClusterTrafficTarget(SearchCluster& cluster)
 Micros ClusterTrafficTarget::background_total() const {
   Micros total = 0;
   for (std::uint32_t s = 0; s < cluster_.num_shards(); ++s) {
-    total += cluster_.shard(s).background_flash_time();
+    const ReplicaGroup& g = cluster_.group(s);
+    for (std::size_t r = 0; r < g.num_replicas(); ++r) {
+      total += g.replica(r).background_flash_time();
+    }
   }
   return total;
 }
@@ -26,26 +29,35 @@ Micros ClusterTrafficTarget::serve(const Query& q) {
   const Micros background_now = background_total();
   const Micros service = out.response + (background_now - background_prev_);
   background_prev_ = background_now;
+  last_coverage_ = out.coverage;
 
-  // Critical path = slowest shard + broker merge. Pick the shard whose
+  // Critical path = slowest replica + broker merge (+ retry/hedge
+  // overhead when the policy stack fired). Pick the replica whose
   // per-query trace has the largest total; with tracing compiled out
-  // or disabled no shard has a trace and attribution degrades to the
+  // or disabled no replica has a trace and attribution degrades to the
   // harness pseudo-stages.
   have_trace_ = false;
   const telemetry::QueryTrace* slowest = nullptr;
   for (std::uint32_t s = 0; s < cluster_.num_shards(); ++s) {
-    const telemetry::QueryTrace* t = cluster_.shard(s).tracer().last();
-    if (t != nullptr && (slowest == nullptr || t->total > slowest->total)) {
-      slowest = t;
+    const ReplicaGroup& g = cluster_.group(s);
+    for (std::size_t r = 0; r < g.num_replicas(); ++r) {
+      const telemetry::QueryTrace* t = g.replica(r).tracer().last();
+      if (t != nullptr &&
+          (slowest == nullptr || t->total > slowest->total)) {
+        slowest = t;
+      }
     }
   }
   if (slowest != nullptr) {
     combined_ = *slowest;
     if (const telemetry::QueryTrace* b = cluster_.broker_tracer().last()) {
-      const auto merge_idx =
-          static_cast<std::size_t>(telemetry::TraceStage::kBrokerMerge);
-      combined_.stage_us[merge_idx] += b->stage_us[merge_idx];
-      combined_.touched |= 1u << merge_idx;
+      for (const auto stage : {telemetry::TraceStage::kBrokerMerge,
+                               telemetry::TraceStage::kBrokerRetry}) {
+        const auto i = static_cast<std::size_t>(stage);
+        if (!(b->touched & (1u << i))) continue;
+        combined_.stage_us[i] += b->stage_us[i];
+        combined_.touched |= 1u << i;
+      }
     }
     combined_.total = out.response;
     have_trace_ = true;

@@ -33,9 +33,12 @@ class SystemTrafficTarget final : public TrafficTarget {
 
 /// A sharded cluster as an open-loop traffic target. Service time is
 /// the broker-observed response plus the summed background flash delta
-/// across all shards. The reported trace is the slowest shard's span
-/// breakdown plus the broker's merge span, so tail attribution sees
-/// the whole critical path.
+/// across all replicas of all shards (hedges and retries burn device
+/// time on whichever replica served them). The reported trace is the
+/// slowest replica's span breakdown plus the broker's merge and
+/// retry/hedge spans, so tail attribution sees the whole critical
+/// path. Coverage of the last broker merge feeds coverage-floored
+/// SLOs (partial results burn error budget, DESIGN.md §15).
 class ClusterTrafficTarget final : public TrafficTarget {
  public:
   explicit ClusterTrafficTarget(SearchCluster& cluster);
@@ -46,6 +49,10 @@ class ClusterTrafficTarget final : public TrafficTarget {
     return have_trace_ ? &combined_ : nullptr;
   }
 
+  [[nodiscard]] double last_coverage() const override {
+    return last_coverage_;
+  }
+
  private:
   [[nodiscard]] Micros background_total() const;
 
@@ -53,6 +60,7 @@ class ClusterTrafficTarget final : public TrafficTarget {
   Micros background_prev_;
   telemetry::QueryTrace combined_;
   bool have_trace_ = false;
+  double last_coverage_ = 1.0;
 };
 
 }  // namespace ssdse

@@ -50,11 +50,24 @@ struct SloSpec {
   double fast_burn = 14.4;
   /// burn_slow at or above this fraction of budget is a warning.
   double warn_fraction = 0.5;
+  /// Minimum acceptable result coverage (shards merged / shards asked).
+  /// A served response below the floor is a bad event even when it is
+  /// fast — partial results burn error budget instead of silently
+  /// counting as good. 0 disables the check (the PR 8 behavior).
+  double coverage_floor = 0.0;
 
   /// Good iff at or below threshold — an exactly-on-threshold response
   /// meets the SLO (tested in traffic_test).
   [[nodiscard]] bool good(double response_us) const {
     return response_us <= threshold_us;
+  }
+
+  /// Full event classification: latency good *and* coverage at or
+  /// above the floor. Exactly-on-floor meets the SLO, mirroring the
+  /// exactly-on-threshold convention (tested in traffic_test).
+  [[nodiscard]] bool good_event(double response_us, double coverage) const {
+    return good(response_us) &&
+           (coverage_floor <= 0.0 || coverage >= coverage_floor);
   }
 };
 

@@ -17,6 +17,7 @@ const char* to_string(TraceStage stage) {
     case TraceStage::kIngestApply: return "ingest_apply";
     case TraceStage::kSegmentMerge: return "segment_merge";
     case TraceStage::kDaatSkip: return "daat_skip";
+    case TraceStage::kBrokerRetry: return "broker_retry";
   }
   return "unknown";
 }

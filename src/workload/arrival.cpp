@@ -134,6 +134,7 @@ std::uint64_t TrafficResult::series_fingerprint() const {
   fnv_mix(h, served);
   fnv_mix(h, shed);
   fnv_mix(h, outliers);
+  fnv_mix(h, partial);
   for (const telemetry::WindowCell& c : response_windows.cells()) {
     fnv_mix(h, c.index);
     fnv_mix(h, c.hist.count());
@@ -221,9 +222,12 @@ TrafficResult run_traffic(TrafficTarget& target, QueryLogGenerator& gen,
     r.service_hist.add(service);
     r.response_windows.add(completion, response);
     r.wait_windows.add(completion, wait);
+    const double coverage = target.last_coverage();
+    if (coverage < 1.0) ++r.partial;
     for (std::size_t i = 0; i < cfg.slos.size(); ++i) {
-      (cfg.slos[i].good(response) ? good_events : bad_events)[i].add(
-          completion, 1);
+      (cfg.slos[i].good_event(response, coverage) ? good_events
+                                                  : bad_events)[i]
+          .add(completion, 1);
     }
 
     // Tail attribution. kDaatSkip measures scoring time *saved* by

@@ -123,6 +123,12 @@ class TrafficTarget {
   [[nodiscard]] virtual const telemetry::QueryTrace* last_trace() const {
     return nullptr;
   }
+
+  /// Result coverage of the most recent serve() in [0, 1] (shards
+  /// merged / shards asked). Single-node targets are always complete;
+  /// a cluster target reports partial coverage when shards were
+  /// dropped, which coverage-floored SLOs count as bad events.
+  [[nodiscard]] virtual double last_coverage() const { return 1.0; }
 };
 
 // Tail-attribution stage axis: the tracer's stages plus two
@@ -191,6 +197,8 @@ struct TrafficResult {
   std::uint64_t served = 0;
   std::uint64_t shed = 0;
   std::uint64_t outliers = 0;
+  /// Served responses with coverage < 1 (partial merges).
+  std::uint64_t partial = 0;
   std::uint32_t servers = 1;
   std::size_t queue_capacity = 64;
   Micros horizon = 0;  // end of simulation (last completion or arrival)

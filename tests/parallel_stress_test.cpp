@@ -146,5 +146,59 @@ TEST(ParallelStressTest, ManyShardsManyQueriesUnderDeadline) {
   EXPECT_FALSE(snap.metrics().empty());
 }
 
+// Full policy stack under thread churn: R=2 with retries, hedging, and
+// health-driven failover, plus a sick primary replica on every shard so
+// all three policies actually fire. run_parallel() must still be
+// bit-identical to run() — down to the merged telemetry including the
+// broker's retry/hedge/failover counters (all policy state is
+// group-confined, so shard threads never share mutable state).
+TEST(ParallelStressTest, ReplicatedPolicyRunMatchesSequentialExactly) {
+  const Micros deadline = calibrated_deadline(4);
+  ASSERT_GT(deadline, 0.0);
+  ClusterConfig cfg = stress_cluster(4, deadline);
+  cfg.replication.replication_factor = 2;
+  cfg.replication.retry_budget = 2;
+  cfg.replication.hedge_delay = deadline / 2;
+  cfg.replication.failover = true;
+  for (std::uint32_t s = 0; s < cfg.num_shards; ++s) {
+    ReplicaFaultOverride sick;
+    sick.shard = s;
+    sick.replica = 0;
+    sick.hdd.read_unc_rate = 0.02;
+    sick.hdd.latency_spike_rate = 0.05;
+    sick.hdd.seed = 0xfee1'bad0ull + s;
+    cfg.replica_faults.push_back(sick);
+  }
+
+  SearchCluster seq(cfg);
+  SearchCluster par(cfg);
+  seq.run(600);
+  par.run_parallel(600);
+  expect_identical_runs(seq, par);
+
+  // The config must have exercised the whole stack, and the parallel
+  // path must agree on every policy counter, not just the responses.
+  const auto broker_seq = seq.broker_registry().snapshot();
+  const auto broker_par = par.broker_registry().snapshot();
+  for (const char* name :
+       {"cluster.broker.retries", "cluster.broker.hedges",
+        "cluster.broker.failovers", "cluster.replica.dispatches",
+        "cluster.replica.observed_faults"}) {
+    const auto* ms = broker_seq.find(name);
+    const auto* mp = broker_par.find(name);
+    ASSERT_NE(ms, nullptr) << name;
+    ASSERT_NE(mp, nullptr) << name;
+    EXPECT_EQ(ms->counter, mp->counter) << name;
+    EXPECT_GT(ms->counter, 0u) << name;
+  }
+  const auto snap_seq = seq.replication_snapshot();
+  const auto snap_par = par.replication_snapshot();
+  EXPECT_EQ(snap_seq.retries, snap_par.retries);
+  EXPECT_EQ(snap_seq.hedges, snap_par.hedges);
+  EXPECT_EQ(snap_seq.failovers, snap_par.failovers);
+  EXPECT_EQ(snap_seq.dispatches, snap_par.dispatches);
+  EXPECT_DOUBLE_EQ(snap_seq.coverage_mean, snap_par.coverage_mean);
+}
+
 }  // namespace
 }  // namespace ssdse

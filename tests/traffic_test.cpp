@@ -444,6 +444,77 @@ TEST(TrafficTest, MoreServersDrainTheQueue) {
   EXPECT_LT(r4.wait_hist.quantile(0.99), r1.wait_hist.quantile(0.99));
 }
 
+// --- Coverage-aware SLOs (DESIGN.md §15) -------------------------------
+
+/// Stub reporting a fixed coverage for every serve(): models a cluster
+/// that keeps dropping the same shard.
+class PartialCoverageTarget : public TrafficTarget {
+ public:
+  PartialCoverageTarget(Micros service, double coverage)
+      : service_(service), coverage_(coverage) {}
+  Micros serve(const Query&) override { return service_; }
+  [[nodiscard]] double last_coverage() const override { return coverage_; }
+
+ private:
+  Micros service_;
+  double coverage_;
+};
+
+TEST(TrafficTest, CoverageBelowFloorBurnsErrorBudget) {
+  // Fast responses with 50% coverage: without a floor they count as
+  // good; with a 0.75 floor every served query is a bad event and the
+  // budget burns to breach.
+  QueryLogGenerator gen(small_log());
+  auto cfg = stub_cfg(/*qps=*/100.0);
+  PartialCoverageTarget half(1 * kMillisecond, 0.5);
+  const auto lenient = run_traffic(half, gen, cfg);
+  EXPECT_FALSE(lenient.breached());
+  EXPECT_EQ(lenient.partial, lenient.served);
+
+  cfg.slos[0].coverage_floor = 0.75;
+  QueryLogGenerator gen2(small_log());
+  PartialCoverageTarget half2(1 * kMillisecond, 0.5);
+  const auto floored = run_traffic(half2, gen2, cfg);
+  EXPECT_TRUE(floored.breached());
+  ASSERT_EQ(floored.slo.size(), 1u);
+  // Every evaluated event is bad (the trailing partial window is
+  // excluded from the totals, so bad <= served).
+  EXPECT_EQ(floored.slo[0].good, 0u);
+  EXPECT_GT(floored.slo[0].bad, 0u);
+  EXPECT_LE(floored.slo[0].bad, floored.served);
+}
+
+TEST(TrafficTest, CoverageExactlyOnFloorIsGood) {
+  // Boundary convention matches exactly-on-threshold latency (PR 8):
+  // coverage landing exactly on the floor meets the SLO; a hair below
+  // does not.
+  SloSpec spec;
+  spec.name = "p99_with_coverage";
+  spec.quantile = 0.99;
+  spec.threshold_us = 50 * kMillisecond;
+  spec.coverage_floor = 0.75;
+  EXPECT_TRUE(spec.good_event(1 * kMillisecond, 0.75));
+  EXPECT_FALSE(spec.good_event(1 * kMillisecond,
+                               0.75 - 1e-9));
+  // The floor never rescues a slow response.
+  EXPECT_FALSE(spec.good_event(60 * kMillisecond, 1.0));
+  // Floor 0 = the PR 8 behavior: coverage is ignored entirely.
+  spec.coverage_floor = 0.0;
+  EXPECT_TRUE(spec.good_event(1 * kMillisecond, 0.0));
+
+  // End-to-end: a target that always reports exactly-on-floor coverage
+  // never burns budget.
+  QueryLogGenerator gen(small_log());
+  auto cfg = stub_cfg(/*qps=*/100.0);
+  cfg.slos[0].coverage_floor = 0.75;
+  PartialCoverageTarget on_floor(1 * kMillisecond, 0.75);
+  const auto r = run_traffic(on_floor, gen, cfg);
+  EXPECT_FALSE(r.breached());
+  ASSERT_EQ(r.slo.size(), 1u);
+  EXPECT_EQ(r.slo[0].bad, 0u);
+  EXPECT_EQ(r.partial, r.served);  // partial is coverage < 1, floor-agnostic
+}
+
 TEST(TrafficTest, AttrStageNamesCoverTheAxis) {
   EXPECT_STREQ(attr_stage_name(kAttrQueueWait), "queue_wait");
   EXPECT_STREQ(attr_stage_name(kAttrOther), "other");
