@@ -29,7 +29,7 @@ int main() {
     const Ssd* ssd = system.cache_ssd();
     t.add_row({scheme, fmt_ms(system.metrics().mean_response()),
                Table::integer(static_cast<long long>(ssd->block_erases())),
-               Table::num(ssd->mean_flash_access(), 2),
+               Table::num(ssd->mean_flash_access().value(), 2),
                Table::num(ssd->ftl().stats().write_amplification(
                    ssd->nand().stats()), 3),
                Table::integer(static_cast<long long>(

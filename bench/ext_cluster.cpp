@@ -26,7 +26,7 @@ int main() {
                Table::num(4.0 / shards, 2),
                fmt_ms(cluster.metrics().mean_response()),
                Table::num(cluster.metrics().histogram().quantile(0.99) /
-                              kMillisecond, 2),
+                              kMillisecond.value(), 2),
                Table::num(cluster.throughput_qps(), 1),
                Table::percent(
                    cluster.shard(0).cache_manager().stats().hit_ratio())});

@@ -40,7 +40,7 @@ struct FaultCell {
 struct CellResult {
   const FaultCell* cell = nullptr;
   std::uint64_t fingerprint = 0;
-  Micros mean_response = 0;
+  Micros mean_response = micros(0);
   std::uint64_t ssd_read_errors = 0;
   std::uint64_t hdd_read_errors = 0;
   std::uint64_t read_retries = 0;
@@ -73,14 +73,14 @@ CellResult run_cell(const FaultCell& c, std::uint64_t queries,
                     bool emit_report) {
   SearchSystem sys(cell_config(c));
   std::uint64_t checksum = 0;
-  Micros sum = 0;
+  Micros sum = micros(0);
   for (std::uint64_t i = 0; i < queries; ++i) {
     const auto out = sys.execute(sys.generator().next());
     sum += out.response;
     for (const ScoredDoc& d : out.result.docs) {
       std::uint32_t bits;
       std::memcpy(&bits, &d.score, sizeof bits);
-      checksum = checksum * 1099511628211ull + d.doc + bits;
+      checksum = checksum * 1099511628211ull + d.doc.raw() + bits;
     }
   }
   sys.drain();
@@ -89,7 +89,7 @@ CellResult run_cell(const FaultCell& c, std::uint64_t queries,
   CellResult r;
   r.cell = &c;
   r.fingerprint = checksum;
-  r.mean_response = queries ? sum / static_cast<double>(queries) : 0.0;
+  r.mean_response = queries ? sum / static_cast<double>(queries) : Micros{};
   const CacheManagerStats& cm = sys.cache_manager().stats();
   r.ssd_read_errors = cm.ssd_read_errors;
   r.hdd_read_errors = cm.hdd_read_errors;

@@ -82,7 +82,7 @@ ingest::DocBag make_bag(Rng& rng, std::uint32_t vocab) {
 
 std::uint64_t fold_result(std::uint64_t checksum, const ResultEntry& r) {
   for (const ScoredDoc& d : r.docs) {
-    checksum = checksum * 1099511628211ull + d.doc +
+    checksum = checksum * 1099511628211ull + d.doc.raw() +
                std::bit_cast<std::uint32_t>(d.score);
   }
   return checksum;
@@ -133,14 +133,14 @@ CellResult run_cell(const char* name, std::uint64_t queries,
   std::vector<ingest::DocBag> mirror;
   if (keep != nullptr) {
     mirror.reserve(corpus->num_docs());
-    for (DocId d = 0; d < corpus->num_docs(); ++d) {
+    for (DocId d{}; d.raw() < corpus->num_docs(); ++d) {
       mirror.push_back(corpus->doc(d));
     }
   }
 
   Rng churn_rng(4242);
   std::uint64_t ingests = 0;
-  Micros sum = 0;
+  Micros sum = micros(0);
   CellResult cell;
   cell.name = name;
   for (std::uint64_t i = 0; i < queries; ++i) {
@@ -155,7 +155,7 @@ CellResult run_cell(const char* name, std::uint64_t queries,
         const auto victim =
             static_cast<DocId>(churn_rng.next_below(index->num_docs()));
         if (sys->delete_document(victim) && keep != nullptr) {
-          mirror[victim].clear();  // slot stays — empty bag
+          mirror[victim.raw()].clear();  // slot stays — empty bag
         }
       }
     }

@@ -25,7 +25,7 @@ struct PolicyRun {
   CachePolicy policy;
   std::unique_ptr<SearchSystem> system;
   std::unique_ptr<SystemTrafficTarget> target;
-  Micros mean_service = 0;
+  Micros mean_service = micros(0);
 };
 
 /// Closed-loop warmup + calibration: steady-state mean service time
@@ -35,7 +35,7 @@ Micros calibrate(PolicyRun& run, std::uint64_t queries) {
   for (std::uint64_t i = 0; i < queries; ++i) {
     stats.add(run.target->serve(run.system->generator().next()));
   }
-  return stats.mean();
+  return micros(stats.mean());
 }
 
 }  // namespace
@@ -61,11 +61,11 @@ int main() {
 
   // Common load axis: fractions of the *fastest* policy's single-server
   // saturation rate, so the slower policies visibly knee first.
-  double best_mean = runs.front().mean_service;
+  double best_mean = runs.front().mean_service.value();
   for (const PolicyRun& r : runs) {
-    best_mean = std::min(best_mean, r.mean_service);
+    best_mean = std::min(best_mean, r.mean_service.value());
   }
-  const double saturation_qps = kSecond / std::max(best_mean, 1.0);
+  const double saturation_qps = kSecond.value() / std::max(best_mean, 1.0);
 
   telemetry::SloSpec slo;
   slo.name = "p99_latency";
@@ -86,7 +86,7 @@ int main() {
       cfg.servers = 1;
       cfg.queue_capacity = 512;
       cfg.window = kSecond;
-      slo.threshold_us = 12.0 * run.mean_service;
+      slo.threshold_us = 12.0 * run.mean_service.value();
       cfg.slos = {slo};
       points.push_back(
           run_traffic(*run.target, run.system->generator(), cfg));
@@ -101,9 +101,9 @@ int main() {
                                   static_cast<double>(r.offered);
     };
     t.add_row({Table::num(qps, 0),
-               fmt_ms(points[0].response_hist.quantile(0.99)),
-               fmt_ms(points[1].response_hist.quantile(0.99)),
-               fmt_ms(points[2].response_hist.quantile(0.99)),
+               fmt_ms(micros(points[0].response_hist.quantile(0.99))),
+               fmt_ms(micros(points[1].response_hist.quantile(0.99))),
+               fmt_ms(micros(points[2].response_hist.quantile(0.99))),
                Table::percent(shed_pct(points[0])),
                Table::percent(shed_pct(points[2]))});
   }

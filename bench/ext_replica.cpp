@@ -61,7 +61,7 @@ ReplicationConfig policy_stack(std::uint32_t factor, Micros hedge_delay) {
   ReplicationConfig rep;
   rep.replication_factor = factor;
   rep.retry_budget = 2;
-  rep.hedge_delay = factor > 1 ? hedge_delay : 0;
+  rep.hedge_delay = factor > 1 ? hedge_delay : Micros{};
   rep.failover = factor > 1;
   return rep;
 }
@@ -86,9 +86,9 @@ void inject_sick_primary(ClusterConfig& cfg, double spike_rate,
 
 struct Calibration {
   std::uint64_t queries = 0;
-  Micros mean_service = 0;
-  Micros p99_service = 0;
-  Micros median_slowest_shard = 0;  // deadline anchor for gate (b)
+  Micros mean_service = micros(0);
+  Micros p99_service = micros(0);
+  Micros median_slowest_shard = micros(0);  // deadline anchor for gate (b)
   double capacity_qps = 0;          // kUtilizationTarget * saturation
 };
 
@@ -115,11 +115,11 @@ Calibration calibrate(std::uint64_t queries) {
 
   Calibration cal;
   cal.queries = queries;
-  cal.mean_service = stats.mean();
-  cal.p99_service = service.quantile(0.99);
+  cal.mean_service = micros(stats.mean());
+  cal.p99_service = micros(service.quantile(0.99));
   cal.median_slowest_shard = slowest[slowest.size() / 2];
-  cal.capacity_qps = kUtilizationTarget * kServers * kSecond /
-                     std::max(cal.mean_service, 1.0);
+  cal.capacity_qps = kUtilizationTarget * kServers * kSecond.value() /
+                     std::max(cal.mean_service.value(), 1.0);
   return cal;
 }
 
@@ -127,7 +127,7 @@ std::vector<telemetry::SloSpec> make_slos(const Calibration& cal) {
   telemetry::SloSpec p99;
   p99.name = "p99_latency";
   p99.quantile = 0.99;
-  p99.threshold_us = std::max(5.0 * cal.p99_service, ms(2));
+  p99.threshold_us = std::max(5.0 * cal.p99_service.value(), ms(2).value());
   p99.compliance_windows = 10;
   return {p99};
 }
@@ -185,8 +185,8 @@ CellOutcome run_cell(const SweepCell& cell, const Calibration& cal,
 // ---- Gate (a): hedging cuts the closed-loop broker p99 ---------------
 
 struct HedgeGate {
-  Micros p99_no_hedge = 0;
-  Micros p99_hedge = 0;
+  Micros p99_no_hedge = micros(0);
+  Micros p99_hedge = micros(0);
   std::uint64_t hedges = 0;
   std::uint64_t hedge_wins = 0;
   bool pass = false;
@@ -200,7 +200,7 @@ Micros closed_loop_p99(const ClusterConfig& cfg, std::uint64_t queries,
     hist.add(cluster.execute(cluster.generator().next()).response);
   }
   if (snap != nullptr) *snap = cluster.replication_snapshot();
-  return hist.quantile(0.99);
+  return micros(hist.quantile(0.99));
 }
 
 HedgeGate run_hedge_gate(const Calibration& cal, std::uint64_t queries,
@@ -224,7 +224,7 @@ HedgeGate run_hedge_gate(const Calibration& cal, std::uint64_t queries,
 // ---- Gate (b): retries restore coverage under the deadline -----------
 
 struct RetryGate {
-  Micros deadline = 0;
+  Micros deadline = micros(0);
   double coverage_no_retry = 1.0;
   double coverage_retry = 0.0;
   std::uint64_t retries = 0;
@@ -369,7 +369,7 @@ int main() {
     const TrafficResult& r = c.result;
     t.add_row({c.cell->name, Table::num(static_cast<double>(r.served), 0),
                Table::num(static_cast<double>(r.shed), 0),
-               fmt_ms(r.response_hist.quantile(0.99)),
+               fmt_ms(micros(r.response_hist.quantile(0.99))),
                Table::num(c.snap.coverage_mean, 4),
                Table::num(static_cast<double>(c.snap.retries), 0),
                Table::num(static_cast<double>(c.snap.hedges), 0),
@@ -418,7 +418,7 @@ int main() {
       determinism ? "ok" : "FAIL");
 
   // ---- BENCH_PR9.json -------------------------------------------------
-  const ReplicationConfig sched_ref = policy_stack(2, 0);
+  const ReplicationConfig sched_ref = policy_stack(2, micros(0));
   telemetry::JsonWriter w;
   w.begin_object();
   w.key("bench");
@@ -430,26 +430,26 @@ int main() {
   w.key("servers");
   w.value(static_cast<std::uint64_t>(kServers));
   w.key("window_us");
-  w.value(kWindow);
+  w.value(kWindow.value());
   w.key("calibration");
   w.begin_object();
   w.key("queries");
   w.value(cal.queries);
   w.key("mean_service_us");
-  w.value(cal.mean_service);
+  w.value(cal.mean_service.value());
   w.key("p99_service_us");
-  w.value(cal.p99_service);
+  w.value(cal.p99_service.value());
   w.key("median_slowest_shard_us");
-  w.value(cal.median_slowest_shard);
+  w.value(cal.median_slowest_shard.value());
   w.key("capacity_qps");
   w.value(cal.capacity_qps);
   w.key("fault_spike_us");
-  w.value(spike);
+  w.value(spike.value());
   w.end_object();
   w.key("backoff_schedule_us");
   w.begin_array();
   for (std::uint32_t k = 0; k < sched_ref.retry_budget; ++k) {
-    w.value(sched_ref.backoff_at(k));
+    w.value(sched_ref.backoff_at(k).value());
   }
   w.end_array();
   w.key("cells");
@@ -516,9 +516,9 @@ int main() {
   w.key("hedge_cuts_p99");
   w.begin_object();
   w.key("p99_no_hedge_us");
-  w.value(hedge.p99_no_hedge);
+  w.value(hedge.p99_no_hedge.value());
   w.key("p99_hedge_us");
-  w.value(hedge.p99_hedge);
+  w.value(hedge.p99_hedge.value());
   w.key("hedges");
   w.value(hedge.hedges);
   w.key("hedge_wins");
@@ -529,7 +529,7 @@ int main() {
   w.key("retries_restore_coverage");
   w.begin_object();
   w.key("deadline_us");
-  w.value(retry.deadline);
+  w.value(retry.deadline.value());
   w.key("coverage_no_retry");
   w.value(retry.coverage_no_retry);
   w.key("coverage_retry");

@@ -71,8 +71,8 @@ ClusterConfig traffic_cluster() {
 
 struct Calibration {
   std::uint64_t queries = 0;
-  Micros mean_service = 0;
-  Micros p99_service = 0;
+  Micros mean_service = micros(0);
+  Micros p99_service = micros(0);
   double capacity_qps = 0;  // kUtilizationTarget * saturation
 };
 
@@ -91,10 +91,10 @@ Calibration calibrate(std::uint64_t queries) {
   }
   Calibration cal;
   cal.queries = queries;
-  cal.mean_service = stats.mean();
-  cal.p99_service = service.quantile(0.99);
-  cal.capacity_qps = kUtilizationTarget * kServers * kSecond /
-                     std::max(cal.mean_service, 1.0);
+  cal.mean_service = micros(stats.mean());
+  cal.p99_service = micros(service.quantile(0.99));
+  cal.capacity_qps = kUtilizationTarget * kServers * kSecond.value() /
+                     std::max(cal.mean_service.value(), 1.0);
   return cal;
 }
 
@@ -102,12 +102,12 @@ std::vector<telemetry::SloSpec> make_slos(const Calibration& cal) {
   telemetry::SloSpec p99;
   p99.name = "p99_latency";
   p99.quantile = 0.99;
-  p99.threshold_us = 12.0 * cal.p99_service;
+  p99.threshold_us = 12.0 * cal.p99_service.value();
   p99.compliance_windows = 10;
   telemetry::SloSpec p999;
   p999.name = "p999_latency";
   p999.quantile = 0.999;
-  p999.threshold_us = 40.0 * cal.p99_service;
+  p999.threshold_us = 40.0 * cal.p99_service.value();
   p999.compliance_windows = 10;
   return {p99, p999};
 }
@@ -205,7 +205,7 @@ std::uint64_t daat_fingerprint(std::uint64_t queries) {
     for (const ScoredDoc& d : r.docs) {
       std::uint32_t bits;
       std::memcpy(&bits, &d.score, sizeof bits);
-      checksum = checksum * 1099511628211ull + d.doc + bits;
+      checksum = checksum * 1099511628211ull + d.doc.raw() + bits;
     }
   }
   return checksum;
@@ -290,8 +290,8 @@ int main() {
                Table::num(static_cast<double>(r.offered), 0),
                Table::num(static_cast<double>(r.served), 0),
                Table::num(static_cast<double>(r.shed), 0),
-               fmt_ms(r.response_hist.quantile(0.99)),
-               fmt_ms(r.wait_hist.quantile(0.99)),
+               fmt_ms(micros(r.response_hist.quantile(0.99))),
+               fmt_ms(micros(r.wait_hist.quantile(0.99))),
                telemetry::to_string(s.state),
                Table::num(static_cast<double>(s.breach_windows), 0),
                r.guilty_stage});
@@ -352,15 +352,15 @@ int main() {
   w.key("queue_capacity");
   w.value(static_cast<std::uint64_t>(kQueueCapacity));
   w.key("window_us");
-  w.value(kWindow);
+  w.value(kWindow.value());
   w.key("calibration");
   w.begin_object();
   w.key("queries");
   w.value(cal.queries);
   w.key("mean_service_us");
-  w.value(cal.mean_service);
+  w.value(cal.mean_service.value());
   w.key("p99_service_us");
-  w.value(cal.p99_service);
+  w.value(cal.p99_service.value());
   w.key("utilization_target");
   w.value(kUtilizationTarget);
   w.key("capacity_qps");

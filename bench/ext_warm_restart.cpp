@@ -25,7 +25,7 @@ namespace {
 
 struct Window {
   double hit_ratio = 0;
-  Micros mean_response = 0;
+  Micros mean_response = micros(0);
 };
 
 Window run_window(SearchSystem& system, std::uint64_t queries) {
@@ -33,7 +33,7 @@ Window run_window(SearchSystem& system, std::uint64_t queries) {
   const auto hits0 = st.result_hits_mem + st.result_hits_ssd +
                      st.list_hits_mem + st.list_hits_ssd;
   const auto lookups0 = st.result_lookups + st.list_lookups;
-  Micros sum = 0;
+  Micros sum = micros(0);
   for (std::uint64_t i = 0; i < queries; ++i) {
     sum += system.execute(system.generator().next()).response;
   }
@@ -44,7 +44,7 @@ Window run_window(SearchSystem& system, std::uint64_t queries) {
   w.hit_ratio = lookups ? static_cast<double>(hits) /
                               static_cast<double>(lookups)
                         : 0.0;
-  w.mean_response = queries ? sum / static_cast<double>(queries) : 0.0;
+  w.mean_response = queries ? sum / static_cast<double>(queries) : Micros{};
   return w;
 }
 

@@ -18,7 +18,7 @@ int main() {
   Table a({"term_rank", "list_bytes", "utilization_%"});
   for (std::uint32_t rank = 0; rank < 3'000;
        rank += rank < 100 ? 10 : 100) {
-    const TermMeta m = index.term_meta(rank);
+    const TermMeta m = index.term_meta(TermId{rank});
     a.add_row({Table::integer(rank),
                Table::integer(static_cast<long long>(m.list_bytes)),
                Table::num(m.utilization * 100, 1)});
@@ -36,7 +36,7 @@ int main() {
        rank += rank < 20 ? 1 : 50) {
     const auto term = static_cast<TermId>(sorted[rank].first);
     b.add_row({Table::integer(static_cast<long long>(rank)),
-               Table::integer(term),
+               Table::integer(term.raw()),
                Table::integer(static_cast<long long>(sorted[rank].second)),
                Table::integer(
                    static_cast<long long>(index.term_meta(term).list_bytes))});

@@ -21,7 +21,7 @@ int main() {
        rank += rank < 20 ? 1 : std::max<std::size_t>(terms.size() / 60, 1)) {
     const auto& te = terms[rank];
     t.add_row({Table::integer(static_cast<long long>(rank)),
-               Table::integer(te.term),
+               Table::integer(te.term.raw()),
                Table::integer(static_cast<long long>(te.freq)),
                Table::integer(te.sc_blocks), Table::num(te.ev, 3)});
   }

@@ -46,9 +46,9 @@ int main() {
     tp.add_row({Table::integer(static_cast<long long>(docs)),
                 Table::num(lru.qps, 1), Table::num(cb.qps, 1),
                 Table::num(cbs.qps, 1)});
-    resp[0] += lru.response;
-    resp[1] += cb.response;
-    resp[2] += cbs.response;
+    resp[0] += lru.response.value();
+    resp[1] += cb.response.value();
+    resp[2] += cbs.response.value();
     thpt[0] += lru.qps;
     thpt[1] += cb.qps;
     thpt[2] += cbs.qps;

@@ -62,8 +62,8 @@ int main() {
   for (std::uint64_t cp = 0; cp < checkpoints; ++cp) {
     b.add_row({Table::num(static_cast<double>((cp + 1) * total) /
                               (checkpoints * 10'000.0), 1),
-               Table::num(lru.access[cp], 2), Table::num(cb.access[cp], 2),
-               Table::num(cbs.access[cp], 2)});
+               Table::num(lru.access[cp].value(), 2), Table::num(cb.access[cp].value(), 2),
+               Table::num(cbs.access[cp].value(), 2)});
   }
   b.print();
 
@@ -75,7 +75,7 @@ int main() {
         (static_cast<double>(cb.erases.back()) / final_lru - 1) * 100,
         (static_cast<double>(cbs.erases.back()) / final_lru - 1) * 100);
   }
-  if (lru.access.back() > 0) {
+  if (lru.access.back() > Micros{}) {
     std::printf(
         "final access time vs LRU: CBLRU %+.2f%% (paper -13.20%%), "
         "CBSLRU %+.2f%% (paper -43.83%%)\n",

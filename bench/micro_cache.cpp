@@ -68,7 +68,7 @@ BENCHMARK(BM_QueryGeneration)->Arg(0)->Arg(1);
 
 void BM_MemResultCacheInsert(benchmark::State& state) {
   MemResultCache cache(10 * MiB);
-  QueryId q = 0;
+  QueryId q{};
   for (auto _ : state) {
     ResultEntry e;
     e.query = q++;

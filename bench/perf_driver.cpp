@@ -106,7 +106,7 @@ std::uint64_t daat_loop(const DaatWorkload& w,
     for (const ScoredDoc& d : r.docs) {
       std::uint32_t bits;
       std::memcpy(&bits, &d.score, sizeof bits);
-      checksum = checksum * 1099511628211ull + d.doc + bits;
+      checksum = checksum * 1099511628211ull + d.doc.raw() + bits;
     }
     if constexpr (kTraced) {
       tracer->add_span(telemetry::TraceStage::kDaatScore,
@@ -138,7 +138,7 @@ PhaseResult run_daat_phase(std::uint64_t queries, DaatMode mode) {
       for (const ScoredDoc& d : r.docs) {
         std::uint32_t bits;
         std::memcpy(&bits, &d.score, sizeof bits);
-        checksum = checksum * 1099511628211ull + d.doc + bits;
+        checksum = checksum * 1099511628211ull + d.doc.raw() + bits;
       }
     }
     const double wall = ms_since(t0);

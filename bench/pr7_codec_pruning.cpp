@@ -107,7 +107,7 @@ CompressionResult run_compression(const MaterializedIndex& index) {
   c.blocks = index.block_store().total_blocks();
   BlockPostingStore svb(CodecKind::kStreamVByte);
   svb.reserve(index.vocab_size(), index.block_store().total_postings());
-  for (TermId t = 0; t < index.vocab_size(); ++t) {
+  for (TermId t{}; t < TermId{index.vocab_size()}; ++t) {
     const DocSortedView v = index.doc_sorted(t);
     svb.add_list(v.postings(), v.idf());
   }
@@ -143,7 +143,7 @@ std::uint64_t fold_checksum(std::uint64_t checksum, const DaatStats& stats,
   for (const ScoredDoc& d : r.docs) {
     std::uint32_t bits;
     std::memcpy(&bits, &d.score, sizeof bits);
-    checksum = checksum * 1099511628211ull + d.doc + bits;
+    checksum = checksum * 1099511628211ull + d.doc.raw() + bits;
   }
   return checksum;
 }
@@ -261,7 +261,7 @@ std::pair<double, std::uint64_t> lru_run(std::uint64_t ops) {
       case 7: {  // capacity-style eviction
         if (map.size() > 40'000) {
           if (auto e = map.pop_lru()) {
-            fp = fp * 1099511628211ull + e->first + e->second;
+            fp = fp * 1099511628211ull + e->first.raw() + e->second;
           }
         }
         break;

@@ -40,7 +40,7 @@ Row run_policy(CachePolicy policy, std::uint64_t queries) {
              system.metrics().mean_response(),
              system.throughput_qps(),
              ssd ? ssd->block_erases() : 0,
-             ssd ? ssd->mean_flash_access() : 0};
+             ssd ? ssd->mean_flash_access() : Micros{}};
 }
 
 }  // namespace
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
                Table::num(r.mean_response / kMillisecond, 2),
                Table::num(r.qps, 1),
                Table::integer(static_cast<long long>(r.erases)),
-               Table::num(r.flash_access, 2)});
+               Table::num(r.flash_access.value(), 2)});
   }
   std::printf("\n");
   t.print();

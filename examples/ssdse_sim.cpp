@@ -88,7 +88,7 @@ void report_system(SearchSystem& system) {
   t.add_row({"mean response (ms)",
              Table::num(m.mean_response() / kMillisecond, 3)});
   t.add_row({"p99 response (ms)",
-             Table::num(m.histogram().quantile(0.99) / kMillisecond, 3)});
+             Table::num(m.histogram().quantile(0.99) / kMillisecond.value(), 3)});
   t.add_row({"throughput (q/s)", Table::num(system.throughput_qps(), 1)});
   t.add_row({"hit ratio", Table::percent(cs.hit_ratio())});
   t.add_row({"  result hits mem/ssd",
@@ -108,7 +108,7 @@ void report_system(SearchSystem& system) {
     t.add_row({"SSD block erasures",
                Table::integer(static_cast<long long>(ssd->block_erases()))});
     t.add_row({"SSD mean access (us)",
-               Table::num(ssd->mean_flash_access(), 2)});
+               Table::num(ssd->mean_flash_access().value(), 2)});
     t.add_row({"SSD write amplification",
                Table::num(ssd->ftl().stats().write_amplification(
                    ssd->nand().stats()), 3)});

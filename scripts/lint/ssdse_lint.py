@@ -29,8 +29,12 @@ line or the line above:
     // ssdse-lint: allow(<rule>) <why this is safe>
 
 The justification text is mandatory: an allow without a reason is
-itself a violation. Run with --self-test to verify every rule fires on
-a seeded violation (this is what the `ssdse_lint_selftest` CTest runs).
+itself a violation. An allow that no longer suppresses anything — the
+code it excused was fixed or deleted, the comment survived — is also a
+violation (`allow-stale`): stale suppressions are how real violations
+sneak back in unreviewed. Run with --self-test to verify every rule
+fires on a seeded violation (this is what the `ssdse_lint_selftest`
+CTest runs).
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 """
@@ -219,6 +223,9 @@ class Linter:
         self.root = root
         self.violations: list[tuple[Path, int, str, str]] = []
         self.bad_allows: list[tuple[Path, int, str]] = []
+        # (path, 0-based row) of every allow annotation that suppressed
+        # at least one violation this run — the rest are stale.
+        self.used_allows: set[tuple[Path, int]] = set()
 
     def collect_tree(self, subdir: str) -> dict[Path, list[str]]:
         files: dict[Path, list[str]] = {}
@@ -230,12 +237,14 @@ class Linter:
                 files[p] = p.read_text(encoding="utf-8").splitlines()
         return files
 
-    def allowed(self, lines: list[str], row: int, rule: str) -> bool:
+    def allowed(self, path: Path, lines: list[str], row: int,
+                rule: str) -> bool:
         """Annotation on the violating line or the line above it."""
         for candidate in (row - 1, row - 2):
             if 0 <= candidate < len(lines):
                 m = ALLOW_RE.search(lines[candidate])
                 if m and m.group(1) == rule:
+                    self.used_allows.add((path, candidate))
                     return True
         return False
 
@@ -249,21 +258,41 @@ class Linter:
         files = {**src_files, **bench_files}
 
         def report(path: Path, row: int, rule: str, msg: str) -> None:
-            if self.allowed(files[path], row, rule):
+            if self.allowed(path, files[path], row, rule):
                 return
             self.violations.append((path, row, rule, msg))
 
+        # Every allow annotation in the scanned trees: (path, 0-based
+        # row, rule, justification). Needed up front so staleness can be
+        # judged after all rules have run.
+        allow_sites: list[tuple[Path, int, str, str]] = []
         for path, lines in sorted(files.items()):
             check_nondeterminism(path, lines, report)
-            # Allow annotations must carry a justification.
             for i, line in enumerate(lines):
                 m = ALLOW_RE.search(line)
-                if m and not m.group(2).strip():
+                if m is None:
+                    continue
+                allow_sites.append((path, i, m.group(1),
+                                    m.group(2).strip()))
+                # Allow annotations must carry a justification.
+                if not m.group(2).strip():
                     self.bad_allows.append((path, i + 1, m.group(1)))
         for path, lines in sorted(src_files.items()):
             check_unordered_iter(path, lines, report)
             check_headers(path, lines, report)
         check_metrics(src_files, report)
+
+        # Staleness: an allow that suppressed nothing this run excuses
+        # code that no longer exists — it must be deleted, or a future
+        # violation on that line would be waved through unreviewed.
+        # Reason-less allows are already flagged above; one error per
+        # annotation is enough.
+        for path, row0, rule, reason in allow_sites:
+            if reason and (path, row0) not in self.used_allows:
+                self.violations.append(
+                    (path, row0 + 1, "allow-stale",
+                     f"allow({rule}) no longer suppresses anything — the "
+                     "code it excused changed; delete the annotation"))
 
         for path, row, rule, msg in self.violations:
             rel = path.relative_to(self.root)
@@ -318,6 +347,13 @@ inline int no_guard() { return 1; }
     "header-using": """
 #pragma once
 using namespace std;
+""",
+    # A justified allow whose excused code is gone: the annotation
+    # suppresses nothing and must itself be flagged.
+    "allow-stale": """
+#pragma once
+// ssdse-lint: allow(nondeterminism) the clock read this excused is gone
+inline int f() { return 0; }
 """,
 }
 

@@ -24,7 +24,7 @@ namespace ssdse {
 /// One slot of a result block. `state` mirrors RbInfo::slot_state:
 /// 0 valid, 1 memory-resident (replaceable), 2 invalid.
 struct RbSlotImage {
-  QueryId qid = 0;
+  QueryId qid{};
   std::uint64_t freq = 0;
   std::uint64_t born = 0;
   std::uint8_t state = 0;
@@ -39,7 +39,7 @@ struct RbImage {
 
 /// One SSD list-cache entry (dynamic or static partition).
 struct ListEntryImage {
-  TermId term = 0;
+  TermId term{};
   std::vector<std::uint32_t> blocks;  // cache-file block ids, in order
   Bytes cached_bytes = 0;
   std::uint64_t freq = 0;

@@ -149,7 +149,7 @@ const ResultEntry* CacheManager::lookup_result(QueryId qid,
   std::uint64_t freq = 0;
   std::uint64_t born = 0;
   const ResultEntry* ssd_hit = nullptr;
-  Micros flash = 0;
+  Micros flash = micros(0);
   if (cfg_.l2) {
     if (!breaker_.allow()) {
       // Breaker open: skip the SSD probe entirely and fall through to
@@ -225,7 +225,7 @@ const ResultEntry* CacheManager::promote_result(ResultEntry entry,
 Micros CacheManager::read_list_from_hdd(TermId term, Bytes bytes) {
   const Extent full = index_.layout().extent(term);
   const Extent pfx = index_.layout().prefix_extent(term, bytes);
-  Micros t = 0;
+  Micros t = micros(0);
   // Skipped reads: the prefix is consumed in chunks whose gaps grow as
   // the frequency-sorted list is skipped through.
   Lba lba = pfx.lba();
@@ -253,7 +253,7 @@ Micros CacheManager::read_list_from_hdd(TermId term, Bytes bytes) {
 
 Micros CacheManager::expire_list(TermId term) {
   ++stats_.lists_expired;
-  Micros t = 0;
+  Micros t = micros(0);
   mem_lc_.erase(term);
   if (cfg_.l2) {
     if (cost_based()) {
@@ -294,7 +294,7 @@ Tier CacheManager::fetch_list(TermId term, Micros* time) {
   std::uint64_t promoted_born = now_;
   Bytes promoted_bytes = 0;
   bool ssd_hit = false;
-  Micros flash = 0;
+  Micros flash = micros(0);
   if (cfg_.l2) {
     if (!breaker_.allow()) {
       // Breaker open: no SSD probe; the query pays the HDD path below.
@@ -434,7 +434,7 @@ void CacheManager::route_list_evictions(std::vector<EvictedList> evicted) {
     // Formula 2 + TEV.
     const auto sc = e.info.sc_blocks;
     if (sieve_) {
-      if (!sieve_->observe_and_admit(e.term)) {
+      if (!sieve_->observe_and_admit(e.term.raw())) {
         ++stats_.lists_discarded;
         continue;
       }
@@ -539,9 +539,9 @@ CacheImage CacheManager::export_image() const {
 }
 
 Micros CacheManager::restore_image(const CacheImage& image) {
-  if (!supports_persistence()) return 0;
+  if (!supports_persistence()) return Micros{};
   now_ = image.logical_now;
-  Micros t = 0;
+  Micros t = micros(0);
   t += ssd_rc_->restore_image(image.rbs, image.static_rbs);
   t += ssd_lc_->restore_image(image.lists, image.static_lists);
   return t;

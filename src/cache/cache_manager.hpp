@@ -46,7 +46,7 @@ struct CacheManagerStats {
   std::uint64_t lists_discarded = 0;    // EV < TEV
   std::uint64_t results_expired = 0;    // TTL misses (dynamic scenario)
   std::uint64_t lists_expired = 0;
-  Micros background_flash_time = 0;     // flush/eviction writes (+ GC)
+  Micros background_flash_time = micros(0);     // flush/eviction writes (+ GC)
 
   // Graceful degradation (DESIGN.md §10).
   std::uint64_t ssd_read_errors = 0;  // uncorrectable SSD-cache reads

@@ -36,7 +36,7 @@ class IntersectionCache {
   /// Canonical unordered pair key.
   static std::uint64_t key(TermId a, TermId b) {
     if (a > b) std::swap(a, b);
-    return (static_cast<std::uint64_t>(a) << 32) | b;
+    return (static_cast<std::uint64_t>(a.raw()) << 32) | b.raw();
   }
 
   /// Hit returns the cached intersection (freq bumped, MRU promoted).

@@ -53,8 +53,8 @@ bool LruSsdResultCache::erase(QueryId qid) {
 }
 
 Micros LruSsdResultCache::insert(CachedResult entry) {
-  if (num_slots_ == 0) return 0;
-  Micros t = 0;
+  if (num_slots_ == 0) return Micros{};
+  Micros t;
   const QueryId qid = entry.entry.query;
   std::uint32_t slot;
   if (Slot* existing = map_.touch(qid)) {
@@ -183,12 +183,12 @@ bool LruSsdListCache::erase(TermId term) {
 
 Micros LruSsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
                                std::uint64_t born) {
-  Micros t = 0;
+  Micros t = micros(0);
   const auto pages =
       static_cast<std::uint64_t>((bytes + page_bytes_ - 1) / page_bytes_);
   if (pages == 0 || pages > alloc_.total_pages()) {
     ++stats_.rejected_too_large;
-    return 0;
+    return Micros{};
   }
   if (Entry* existing = map_.peek(term)) {
     for (const auto& [start, len] : existing->runs) alloc_.free(start, len);
@@ -198,7 +198,7 @@ Micros LruSsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
   Entry e;
   if (!alloc_.alloc(pages, e.runs)) {
     ++stats_.rejected_too_large;
-    return 0;
+    return Micros{};
   }
   e.bytes = bytes;
   e.pages = pages;

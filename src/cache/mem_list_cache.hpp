@@ -28,7 +28,7 @@ struct CachedList {
 };
 
 struct EvictedList {
-  TermId term = 0;
+  TermId term{};
   CachedList info;
 };
 

@@ -101,7 +101,7 @@ Micros SsdCacheFile::adopt(std::uint32_t cb, CbState state) {
 
 Micros SsdCacheFile::trim(std::uint32_t cb) {
   check_block(cb);
-  if (states_[cb] == CbState::kFree) return 0;
+  if (states_[cb] == CbState::kFree) return Micros{};
   if (states_[cb] == CbState::kReplaceable) --replaceable_;
   states_[cb] = CbState::kFree;
   free_.push_back(cb);

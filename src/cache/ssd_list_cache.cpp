@@ -33,7 +33,7 @@ IoResult SsdListCache::read_entry_pages(const SsdListEntry& e, Bytes bytes) {
 Micros SsdListCache::write_entry_pages(const SsdListEntry& e) {
   auto pages = static_cast<std::uint64_t>(
       (e.cached_bytes + page_bytes() - 1) / page_bytes());
-  Micros t = 0;
+  Micros t = micros(0);
   const auto ppb = file_.pages_per_block();
   for (std::uint32_t cb : e.blocks) {
     const auto n = static_cast<std::uint32_t>(
@@ -196,7 +196,7 @@ void SsdListCache::mark_stale(TermId term) {
 }
 
 Micros SsdListCache::erase(TermId term) {
-  Micros t = 0;
+  Micros t = micros(0);
   if (auto sit = static_map_.find(term); sit != static_map_.end()) {
     // Stale pinned copy: drop the mapping; pinned blocks stay allocated.
     static_map_.erase(sit);
@@ -213,13 +213,13 @@ Micros SsdListCache::erase(TermId term) {
 
 Micros SsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
                             std::uint64_t born) {
-  if (is_static(term)) return 0;  // pinned copy already present
-  Micros t = 0;
+  if (is_static(term)) return Micros{};  // pinned copy already present
+  Micros t = micros(0);
   const std::uint32_t needed = blocks_for(bytes);
-  if (needed == 0) return 0;
+  if (needed == 0) return Micros{};
   if (needed > file_.num_blocks()) {
     ++stats_.rejected_too_large;
-    return 0;
+    return Micros{};
   }
   // Cancellation (replaceable -> normal, Fig. 9): the SSD still holds a
   // prefix at least as long as what we would write, so revalidate it
@@ -235,7 +235,7 @@ Micros SsdListCache::insert(TermId term, Bytes bytes, std::uint64_t freq,
         for (std::uint32_t cb : existing->blocks) file_.mark_normal(cb);
       }
       ++stats_.resurrections;
-      return 0;
+      return Micros{};
     }
   }
   // Rewrite of a cached term: release the old copy first (single hash
@@ -293,7 +293,7 @@ void SsdListCache::export_image(
 Micros SsdListCache::restore_image(
     const std::vector<ListEntryImage>& entries,
     const std::vector<ListEntryImage>& static_entries) {
-  Micros t = 0;
+  Micros t = micros(0);
   auto rebuild = [](const ListEntryImage& image) {
     SsdListEntry e;
     e.blocks = image.blocks;
@@ -329,7 +329,7 @@ Micros SsdListCache::restore_image(
 
 Micros SsdListCache::preload_static(
     std::span<const std::tuple<TermId, Bytes, std::uint64_t>> entries) {
-  Micros t = 0;
+  Micros t = micros(0);
   for (const auto& [term, bytes, freq] : entries) {
     const std::uint32_t needed = blocks_for(bytes);
     if (needed == 0) continue;

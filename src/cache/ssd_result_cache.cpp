@@ -160,10 +160,10 @@ std::optional<std::uint32_t> SsdResultCache::acquire_block() {
 }
 
 Micros SsdResultCache::insert_rb(std::span<CachedResult> entries) {
-  if (entries.empty()) return 0;
+  if (entries.empty()) return Micros{};
   assert(entries.size() <= slots_per_rb_);
   const auto cb = acquire_block();
-  if (!cb) return 0;  // cache smaller than one RB: drop silently
+  if (!cb) return Micros{};  // cache smaller than one RB: drop silently
 
   // An entry being rewritten elsewhere invalidates its old slot.
   for (const auto& e : entries) {
@@ -251,7 +251,7 @@ void SsdResultCache::export_image(std::vector<RbImage>& out,
 
 Micros SsdResultCache::restore_image(
     const std::vector<RbImage>& rbs, const std::vector<RbImage>& static_rbs) {
-  Micros t = 0;
+  Micros t = micros(0);
   for (const RbImage& image : static_rbs) {
     t += file_.adopt(image.cb, CbState::kNormal);
     RbInfo rb;
@@ -295,7 +295,7 @@ Micros SsdResultCache::restore_image(
 }
 
 Micros SsdResultCache::preload_static(std::span<CachedResult> entries) {
-  Micros t = 0;
+  Micros t = micros(0);
   for (std::size_t i = 0; i < entries.size(); i += slots_per_rb_) {
     const auto n = std::min<std::size_t>(slots_per_rb_, entries.size() - i);
     const auto cb = file_.alloc();

@@ -11,7 +11,7 @@ namespace ssdse {
 struct Query {
   /// Identity of the *distinct* query string; repetitions of the same
   /// query share the id (that is what result caching exploits).
-  QueryId id = 0;
+  QueryId id{};
   std::vector<TermId> terms;
 };
 

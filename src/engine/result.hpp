@@ -14,14 +14,14 @@ constexpr Bytes kBytesPerResultDoc = 400;
 constexpr Bytes kResultEntryBytes = kTopK * kBytesPerResultDoc;  // 20'000 B
 
 struct ScoredDoc {
-  DocId doc = 0;
+  DocId doc{};
   float score = 0.0f;
 
   friend bool operator==(const ScoredDoc&, const ScoredDoc&) = default;
 };
 
 struct ResultEntry {
-  QueryId query = 0;
+  QueryId query{};
   std::vector<ScoredDoc> docs;  // descending score, at most kTopK
 
   [[nodiscard]] Bytes bytes() const { return kResultEntryBytes; }

@@ -13,7 +13,7 @@ namespace {
 
 /// Deterministic pseudo-doc for analytic top-K synthesis.
 DocId synth_doc(QueryId q, std::size_t i, std::uint64_t num_docs) {
-  std::uint64_t x = q * 0x9E3779B97F4A7C15ull + i * 0xBF58476D1CE4E5B9ull;
+  std::uint64_t x = q.raw() * 0x9E3779B97F4A7C15ull + i * 0xBF58476D1CE4E5B9ull;
   x ^= x >> 31;
   x *= 0x94D049BB133111EBull;
   x ^= x >> 29;

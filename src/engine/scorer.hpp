@@ -26,13 +26,13 @@ struct ScorerConfig {
   /// Candidate multiple required before termination can trigger.
   double candidate_multiple = 3.0;
   /// CPU cost per posting processed (ranking arithmetic + accumulator).
-  Micros cpu_per_posting = 0.008;  // 8 ns
+  Micros cpu_per_posting = micros(0.008);  // 8 ns
   /// Fixed per-query CPU overhead (parse, rank merge, snippets).
-  Micros cpu_fixed = 300.0;
+  Micros cpu_fixed = micros(300.0);
 };
 
 struct TermScoreInfo {
-  TermId term = 0;
+  TermId term{};
   std::uint64_t postings_processed = 0;
   double utilization = 1.0;  // processed / df
 };
@@ -40,7 +40,7 @@ struct TermScoreInfo {
 struct ScoreOutcome {
   ResultEntry result;
   std::vector<TermScoreInfo> terms;
-  Micros cpu_time = 0;
+  Micros cpu_time = micros(0);
   std::uint64_t total_postings = 0;
 };
 

@@ -64,7 +64,7 @@ Micros BlockFtl::merge_block(std::uint32_t lbn, std::uint32_t write_offset) {
   const auto ppb = nand_.config().pages_per_block;
   const Pbn old = map_[lbn];
   const Pbn fresh = alloc_block();
-  Micros cost = 0;
+  Micros cost = micros(0);
 
   // Highest offset that must be programmed in the fresh block.
   std::uint32_t top = write_offset == kInvalidU32 ? 0 : write_offset;
@@ -141,7 +141,7 @@ Micros BlockFtl::trim(Lpn lpn) {
   const auto ppb = nand_.config().pages_per_block;
   const auto lbn = static_cast<std::uint32_t>(lpn / ppb);
   const auto off = static_cast<std::uint32_t>(lpn % ppb);
-  Micros cost = 1.0;
+  Micros cost = micros(1.0);
   if (map_[lbn] != kUnmappedB && valid_[lbn].test(off)) {
     valid_[lbn].clear(off);
     ++version_[lpn];

@@ -28,7 +28,7 @@ class BlockFtl final : public Ftl {
 
  private:
   static constexpr Pbn kUnmappedB = kInvalidU32;
-  static constexpr Micros kCtrlOverhead = 5.0;
+  static constexpr Micros kCtrlOverhead = micros(5.0);
   /// Pad pages carry this marker in the upper tag bits.
   static constexpr std::uint64_t kPadTag = 0xFFFFFFFF00000000ull;
 

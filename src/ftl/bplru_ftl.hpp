@@ -24,7 +24,7 @@ struct BplruConfig {
   /// from flash and rewritten so the whole block lands sequentially.
   bool page_padding = true;
   /// Cost of absorbing one page write into the RAM buffer.
-  Micros ram_write = 2.0;
+  Micros ram_write = micros(2.0);
 };
 
 struct BplruStats {

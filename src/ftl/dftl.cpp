@@ -7,7 +7,7 @@ Dftl::Dftl(NandArray& nand, const DftlConfig& cfg)
 
 Micros Dftl::cmt_access(Lpn lpn, bool dirtying) {
   const auto& nc = nand_.config();
-  Micros cost = 0;
+  Micros cost = micros(0);
   if (bool* dirty = cmt_.touch(lpn)) {
     ++dstats_.cmt_hits;
     *dirty = *dirty || dirtying;

@@ -29,8 +29,8 @@ struct FtlStats {
   std::uint64_t host_trims = 0;
   std::uint64_t gc_invocations = 0;
   std::uint64_t gc_page_copies = 0;
-  Micros host_busy = 0;  // latency charged to host ops (incl. GC stalls)
-  Micros gc_busy = 0;    // portion of host_busy spent inside GC/merges
+  Micros host_busy = micros(0);  // latency charged to host ops (incl. GC stalls)
+  Micros gc_busy = micros(0);    // portion of host_busy spent inside GC/merges
   // Fault/BBM accounting (DESIGN.md §10); all zero when faults are off.
   std::uint64_t read_retries = 0;        // ECC ladder steps consumed
   std::uint64_t uncorrectable_reads = 0; // host reads failed past the ladder
@@ -47,7 +47,7 @@ struct FtlStats {
   }
   [[nodiscard]] Micros mean_access() const {
     const auto ops = host_reads + host_writes;
-    return ops ? host_busy / static_cast<double>(ops) : 0.0;
+    return ops ? host_busy / static_cast<double>(ops) : Micros{};
   }
 };
 

@@ -73,7 +73,7 @@ IoResult HybridLogFtl::read(Lpn lpn) {
 
 Micros HybridLogFtl::full_merge(std::uint32_t lbn) {
   const auto ppb = nand_.config().pages_per_block;
-  Micros cost = 0;
+  Micros cost = micros(0);
   const Pbn fresh = alloc_block();
   const Pbn old = data_map_[lbn];
 
@@ -131,11 +131,11 @@ Micros HybridLogFtl::merge_oldest_log() {
   const auto ppb = nand_.config().pages_per_block;
   const Pbn victim = log_fifo_.front();
   log_fifo_.pop_front();
-  Micros cost = 0;
+  Micros cost = micros(0);
   // full_merge accounts its own cost into gc_busy; track only this
   // function's own work (victim-scan reads + final erase) to avoid
   // double-counting.
-  Micros own = 0;
+  Micros own = micros(0);
 
   // Walk the victim's pages; each live page triggers a full merge of its
   // logical block (which also clears this block's other entries for it).
@@ -161,7 +161,7 @@ Micros HybridLogFtl::merge_oldest_log() {
 
 Micros HybridLogFtl::append_to_log(Lpn lpn) {
   const auto ppb = nand_.config().pages_per_block;
-  Micros cost = 0;
+  Micros cost = micros(0);
   if (log_active_ == kUnmappedB || log_cursor_ == ppb) {
     if (log_active_ != kUnmappedB) log_fifo_.push_back(log_active_);
     while (log_fifo_.size() >= cfg_.log_blocks) {
@@ -218,7 +218,7 @@ Micros HybridLogFtl::trim(Lpn lpn) {
     data_valid_[lbn].clear(off);
   }
   ++version_[lpn];
-  return 1.0;
+  return micros(1.0);
 }
 
 }  // namespace ssdse

@@ -37,7 +37,7 @@ class HybridLogFtl final : public Ftl {
  private:
   static constexpr Pbn kUnmappedB = kInvalidU32;
   static constexpr Ppn kUnmappedP = ~0ull;
-  static constexpr Micros kCtrlOverhead = 5.0;
+  static constexpr Micros kCtrlOverhead = micros(5.0);
   static constexpr std::uint64_t kPadTag = 0xFFFFFFFF00000000ull;
 
   Pbn alloc_block();

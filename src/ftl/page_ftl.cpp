@@ -197,7 +197,7 @@ Micros PageFtl::gc_once() {
     throw std::logic_error(
         "PageFtl: no reclaimable block (logical space overcommitted)");
   }
-  Micros cost = 0;
+  Micros cost = micros(0);
   const Ppn base = static_cast<Ppn>(victim) * nc.pages_per_block;
   for (std::uint32_t p = 0; p < nc.pages_per_block; ++p) {
     const Ppn src = base + p;
@@ -227,7 +227,7 @@ Micros PageFtl::gc_once() {
 }
 
 Micros PageFtl::collect_garbage() {
-  Micros cost = 0;
+  Micros cost = micros(0);
   while (free_blocks_.size() < cfg_.gc_low_watermark) {
     cost += gc_once();
   }
@@ -305,7 +305,7 @@ Micros PageFtl::retire_active_block(int s) {
   // page. Relocation uses the fault-free NAND ops: modeling relocation
   // failure would mean data loss, which the latency-only simulation
   // cannot represent (DESIGN.md §10).
-  Micros cost = 0;
+  Micros cost = micros(0);
   const Ppn base = static_cast<Ppn>(b) * nc.pages_per_block;
   for (std::uint32_t p = 0; p < nc.pages_per_block; ++p) {
     const Ppn src = base + p;
@@ -382,7 +382,7 @@ Micros PageFtl::trim(Lpn lpn) {
     map_[lpn] = kUnmappedP;
     ++version_[lpn];
   }
-  return 1.0;  // mapping-table update only
+  return micros(1.0);  // mapping-table update only
 }
 
 }  // namespace ssdse

@@ -48,7 +48,7 @@ class PageFtl final : public Ftl {
  private:
   static constexpr Ppn kUnmappedP = ~0ull;
   static constexpr Lpn kUnmappedL = ~0ull;
-  static constexpr Micros kCtrlOverhead = 5.0;
+  static constexpr Micros kCtrlOverhead = micros(5.0);
 
   enum class BState : std::uint8_t { kFree, kActive, kUsed, kBad };
 

@@ -107,8 +107,8 @@ SearchCluster::ClusterOutcome SearchCluster::merge_replies(
 
   std::vector<ScoredDoc> merged;
   Situation worst_situation = Situation::kS1_ResultMemory;
-  Micros wait = 0;
-  Micros retry_overhead = 0;
+  Micros wait = micros(0);
+  Micros retry_overhead = micros(0);
   for (std::size_t s = 0; s < replies.size(); ++s) {
     const GroupReply& r = replies[s];
     out.slowest_shard = std::max(out.slowest_shard, r.response);
@@ -117,9 +117,9 @@ SearchCluster::ClusterOutcome SearchCluster::merge_replies(
     out.hedge_wins += r.hedge_wins;
     out.failovers += r.failovers;
     retry_overhead += r.overhead;
-    backoff_us_total_ += static_cast<std::uint64_t>(r.backoff_us);
+    backoff_us_total_ += static_cast<std::uint64_t>(r.backoff_us.value());
     const bool dropped = policy ? !r.ok
-                                : (deadline > 0 && r.response > deadline);
+                                : (deadline > Micros{} && r.response > deadline);
     if (dropped) {
       // Late shard: the broker stops waiting (at the deadline without
       // policies; at the post-retry give-up point with them); this
@@ -143,8 +143,9 @@ SearchCluster::ClusterOutcome SearchCluster::merge_replies(
     }
     for (const ScoredDoc& d : r.docs) {
       merged.push_back(ScoredDoc{
-          d.doc * static_cast<DocId>(groups_.size()) +
-              static_cast<DocId>(s),
+          DocId{d.doc.raw() *
+                    static_cast<std::uint32_t>(groups_.size()) +
+                static_cast<std::uint32_t>(s)},
           d.score});
     }
   }
@@ -180,7 +181,7 @@ SearchCluster::ClusterOutcome SearchCluster::merge_replies(
   // waited for past the deadline — the broker chose to wait). Merge
   // CPU is paid only for results that actually arrived.
   if (!policy) {
-    wait = (deadline > 0 && out.shards_dropped > 0) ? deadline
+    wait = (deadline > Micros{} && out.shards_dropped > 0) ? deadline
                                                     : out.slowest_shard;
   }
   out.response = wait + cfg_.network_rtt +
@@ -189,7 +190,7 @@ SearchCluster::ClusterOutcome SearchCluster::merge_replies(
 #if SSDSE_TRACING
   broker_tracer_.add_span(telemetry::TraceStage::kBrokerMerge,
                           out.response - wait);
-  if (retry_overhead > 0) {
+  if (retry_overhead > Micros{}) {
     broker_tracer_.add_span(telemetry::TraceStage::kBrokerRetry,
                             retry_overhead);
   }
@@ -316,7 +317,7 @@ ReplicationSnapshot SearchCluster::replication_snapshot() const {
       if (st.breaker.state() == CircuitBreaker::State::kOpen) {
         ++slot.breakers_open;
       }
-      slot.ewma_us_mean += st.ewma_us;
+      slot.ewma_us_mean += st.ewma_us.value();
     }
   }
   for (auto& slot : snap.slots) {

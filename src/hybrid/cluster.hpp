@@ -40,15 +40,15 @@ struct ClusterConfig {
   /// and the full cache configuration of `shard_template`.
   std::uint64_t total_docs = 4'000'000;
   SystemConfig shard_template;
-  Micros network_rtt = 300;           // broker <-> shard, one hop each way
-  Micros merge_cpu_per_shard = 25;    // top-K heap merge per shard result
+  Micros network_rtt = micros(300);           // broker <-> shard, one hop each way
+  Micros merge_cpu_per_shard = micros(25);    // top-K heap merge per shard result
   /// Per-shard soft deadline at the broker (simulated µs). Shards whose
   /// service time exceeds it are dropped from the merge: the broker
   /// stops waiting at the deadline and returns partial coverage
   /// (graceful degradation, DESIGN.md §10). With retries enabled a
   /// deadline expiry is retried before the shard is given up on. 0 =
   /// wait for every shard.
-  Micros shard_deadline = 0;
+  Micros shard_deadline = micros(0);
   /// Replication + broker tail-tolerance policies (DESIGN.md §15).
   /// Defaults keep it entirely off: R=1, no retries, no hedging, no
   /// failover — the exact pre-replication broker.
@@ -92,8 +92,8 @@ class SearchCluster {
   explicit SearchCluster(const ClusterConfig& cfg);
 
   struct ClusterOutcome {
-    Micros response = 0;       // broker-observed latency
-    Micros slowest_shard = 0;  // max per-group service time (incl. late)
+    Micros response = micros(0);       // broker-observed latency
+    Micros slowest_shard = micros(0);  // max per-group service time (incl. late)
     std::uint32_t shards_included = 0;  // answered within the deadline
     std::uint32_t shards_dropped = 0;   // late, excluded from the merge
     std::uint32_t shards_failed = 0;    // dropped with faults after retries

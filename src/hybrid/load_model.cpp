@@ -11,16 +11,16 @@ LoadPoint simulate_open_loop(std::span<const Micros> service_times,
   out.arrival_qps = arrival_qps;
   if (service_times.empty() || arrival_qps <= 0) return out;
 
-  const double mean_gap_us = kSecond / arrival_qps;
+  const Micros mean_gap_us = kSecond / arrival_qps;
   StreamingStats wait, response;
   LatencyHistogram hist(0.1, 1e9, 1.2);
 
-  Micros now = 0;           // arrival clock
-  Micros server_free = 0;   // when the server becomes idle
-  Micros busy = 0;
+  Micros now = micros(0);           // arrival clock
+  Micros server_free = micros(0);   // when the server becomes idle
+  Micros busy = micros(0);
   for (const Micros service : service_times) {
     // Exponential inter-arrival gap (Poisson process).
-    now += -mean_gap_us * std::log1p(-rng.next_double());
+    now += (-mean_gap_us) * std::log1p(-rng.next_double());
     const Micros start = std::max(now, server_free);
     const Micros w = start - now;
     server_free = start + service;
@@ -29,10 +29,10 @@ LoadPoint simulate_open_loop(std::span<const Micros> service_times,
     response.add(w + service);
     hist.add(w + service);
   }
-  out.utilization = server_free > 0 ? busy / server_free : 0.0;
-  out.mean_wait = wait.mean();
-  out.mean_response = response.mean();
-  out.p99_response = hist.quantile(0.99);
+  out.utilization = server_free > Micros{} ? busy / server_free : 0.0;
+  out.mean_wait = micros(wait.mean());
+  out.mean_response = micros(response.mean());
+  out.p99_response = micros(hist.quantile(0.99));
   out.served = wait.count();
   return out;
 }

@@ -16,9 +16,9 @@ namespace ssdse {
 struct LoadPoint {
   double arrival_qps = 0;
   double utilization = 0;      // busy time / horizon
-  Micros mean_wait = 0;        // queueing delay
-  Micros mean_response = 0;    // wait + service
-  Micros p99_response = 0;
+  Micros mean_wait = micros(0);        // queueing delay
+  Micros mean_response = micros(0);    // wait + service
+  Micros p99_response = micros(0);
   std::uint64_t served = 0;
 };
 

@@ -53,7 +53,7 @@ Micros RunMetrics::situation_mean_time(Situation s) const {
   const auto n = counts_[static_cast<std::size_t>(s)];
   return n ? time_sums_[static_cast<std::size_t>(s)] /
                  static_cast<double>(n)
-           : 0.0;
+           : Micros{};
 }
 
 double RunMetrics::cache_served_fraction() const {
@@ -86,8 +86,8 @@ void RunMetrics::register_into(telemetry::MetricsRegistry& registry,
 }
 
 double RunMetrics::throughput_qps(Micros background_time) const {
-  const Micros total = responses_.sum() + background_time;
-  return total > 0 ? static_cast<double>(responses_.count()) /
+  const Micros total = micros(responses_.sum()) + background_time;
+  return total > Micros{} ? static_cast<double>(responses_.count()) /
                          (total / kSecond)
                    : 0.0;
 }

@@ -44,10 +44,10 @@ struct WarmRestartReport {
   double steady_hit_ratio = 0;
   double warm_hit_ratio = 0;
   double cold_hit_ratio = 0;
-  Micros warm_mean_response = 0;
-  Micros cold_mean_response = 0;
+  Micros warm_mean_response = micros(0);
+  Micros cold_mean_response = micros(0);
   /// Simulated flash time the restore spent re-adopting blocks.
-  Micros recovery_flash_time = 0;
+  Micros recovery_flash_time = micros(0);
   /// Host wall-clock of snapshot parse + journal replay.
   double recovery_wall_ms = 0;
 
@@ -67,7 +67,9 @@ class RunMetrics {
   void record(Situation s, Micros response);
 
   [[nodiscard]] std::uint64_t queries() const { return responses_.count(); }
-  [[nodiscard]] Micros mean_response() const { return responses_.mean(); }
+  [[nodiscard]] Micros mean_response() const {
+    return micros(responses_.mean());
+  }
   [[nodiscard]] const StreamingStats& responses() const { return responses_; }
   [[nodiscard]] const LatencyHistogram& histogram() const { return hist_; }
 
@@ -78,7 +80,9 @@ class RunMetrics {
   Micros situation_mean_time(Situation s) const;
 
   /// Foreground time only; see throughput_qps for the full accounting.
-  [[nodiscard]] Micros total_response_time() const { return responses_.sum(); }
+  [[nodiscard]] Micros total_response_time() const {
+    return micros(responses_.sum());
+  }
 
   /// Query-level cache hit ratio: fraction of queries answered without
   /// touching the HDD index store — i.e. situations S1-S5 of Table I.
@@ -114,7 +118,7 @@ class RunMetrics {
   StreamingStats responses_;
   LatencyHistogram hist_{0.1, 1e8, 1.2};
   std::array<std::uint64_t, kNumSituations> counts_{};
-  std::array<double, kNumSituations> time_sums_{};
+  std::array<Micros, kNumSituations> time_sums_{};
   std::uint64_t covered_requests_ = 0;
   std::uint64_t implied_requests_ = 0;
 };

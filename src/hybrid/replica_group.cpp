@@ -78,7 +78,7 @@ ReplicaGroup::Attempt ReplicaGroup::run_attempt(std::size_t r,
   a.t = out.response;
   a.situation = out.situation;
   a.docs = std::move(out.result.docs);
-  a.faulted = events > 0 || (deadline_ > 0 && a.t > deadline_);
+  a.faulted = events > 0 || (deadline_ > Micros{} && a.t > deadline_);
 
   ReplicaState& st = states_[r];
   ++st.attempts;
@@ -97,10 +97,15 @@ void ReplicaGroup::pick_order(std::vector<std::size_t>& order) {
   for (std::size_t r = 0; r < order.size(); ++r) order[r] = r;
   if (!rep_.failover) return;
   // Breaker-admitted replicas first (allow() advances the open-state
-  // cooldown and lets half-open replicas take probe traffic), then by
-  // EWMA latency ascending. Open replicas stay in the order as a last
-  // resort: with every breaker open the primary still answers — honest
-  // accounting happens at the merge, not by refusing to serve.
+  // cooldown and lets half-open replicas take probe traffic), then
+  // *warmed* replicas by EWMA latency ascending, then unwarmed ones in
+  // index order. An unwarmed replica has no health sample — its
+  // zero-initialized EWMA must not read as "fastest", or every cold
+  // sibling would steal the primary slot once, ping-ponging the order
+  // and counting a failover per warm-up on a perfectly healthy cluster.
+  // Open replicas stay in the order as a last resort: with every
+  // breaker open the primary still answers — honest accounting happens
+  // at the merge, not by refusing to serve.
   std::vector<char> admitted(order.size());
   for (std::size_t r = 0; r < order.size(); ++r) {
     admitted[r] = states_[r].breaker.allow() ? 1 : 0;
@@ -110,6 +115,10 @@ void ReplicaGroup::pick_order(std::vector<std::size_t>& order) {
                      if (admitted[a] != admitted[b]) {
                        return admitted[a] > admitted[b];
                      }
+                     if (states_[a].warmed != states_[b].warmed) {
+                       return states_[a].warmed;
+                     }
+                     if (!states_[a].warmed) return false;  // keep index order
                      return states_[a].ewma_us < states_[b].ewma_us;
                    });
 }
@@ -156,7 +165,7 @@ GroupReply ReplicaGroup::serve(const Query& q) {
   // completion. The loser keeps running on its own replica (state
   // effects stand) but its extra time is not on the broker's critical
   // path.
-  if (rep_.hedge_delay > 0 && order.size() > 1 &&
+  if (rep_.hedge_delay > Micros{} && order.size() > 1 &&
       win.t > rep_.hedge_delay) {
     ++hedges_;
     ++reply.hedges;
@@ -174,10 +183,10 @@ GroupReply ReplicaGroup::serve(const Query& q) {
   // replica in order after a capped-exponential, jittered pause. The
   // broker notices a deadline expiry at the deadline (it stops
   // waiting), a fault reply when it arrives.
-  Micros elapsed = 0;
+  Micros elapsed = micros(0);
   while (win.faulted && reply.retries < rep_.retry_budget) {
     const Micros noticed =
-        (deadline_ > 0 && win.t > deadline_) ? deadline_ : win.t;
+        (deadline_ > Micros{} && win.t > deadline_) ? deadline_ : win.t;
     Micros pause = rep_.backoff_at(reply.retries);
     if (rep_.retry_jitter > 0) {
       pause *= 1.0 + rep_.retry_jitter * rng_.next_double();
@@ -190,7 +199,7 @@ GroupReply ReplicaGroup::serve(const Query& q) {
     ++next_slot;
   }
 
-  const bool late = deadline_ > 0 && win.t > deadline_;
+  const bool late = deadline_ > Micros{} && win.t > deadline_;
   reply.ok = !late;
   reply.faulted = win.faulted;
   reply.situation = win.situation;

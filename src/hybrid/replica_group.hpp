@@ -59,17 +59,18 @@ struct ReplicationConfig {
   /// Extra attempts after the first (0 = retries off).
   std::uint32_t retry_budget = 0;
   /// First backoff pause; pause k is min(cap, base * 2^k), plus jitter.
-  Micros retry_backoff_base = 500;
-  Micros retry_backoff_cap = 8'000;
+  Micros retry_backoff_base = micros(500);
+  Micros retry_backoff_cap = micros(8'000);
   /// Uniform jitter fraction: each pause is scaled by a factor drawn
   /// from [1, 1 + retry_jitter). 0 disables the draw entirely.
   double retry_jitter = 0.25;
   /// Dispatch a hedge to a second replica once the primary attempt runs
   /// past this (simulated µs). 0 = hedging off. Needs R >= 2.
-  Micros hedge_delay = 0;
+  Micros hedge_delay = micros(0);
   /// Health-driven failover: order replicas by EWMA latency among those
-  /// whose circuit breaker admits traffic. Off = fixed order (replica 0
-  /// is always primary).
+  /// whose circuit breaker admits traffic; replicas without a warm-up
+  /// sample rank after warmed ones. Off = fixed order (replica 0 is
+  /// always primary).
   bool failover = false;
   /// EWMA smoothing factor for per-replica latency health.
   double health_alpha = 0.2;
@@ -81,7 +82,8 @@ struct ReplicationConfig {
 
   /// True when any policy can alter the pre-replication behavior.
   [[nodiscard]] bool active() const {
-    return replication_factor > 1 || retry_budget > 0 || hedge_delay > 0 ||
+    return replication_factor > 1 || retry_budget > 0 ||
+           hedge_delay > Micros{} ||
            failover;
   }
 
@@ -98,8 +100,8 @@ struct ReplicationConfig {
 
 /// One group's answer as seen by the broker merge.
 struct GroupReply {
-  Micros response = 0;   // full group service: attempts + backoff + hedge
-  Micros noticed = 0;    // when the broker stopped waiting (== response
+  Micros response = micros(0);   // full group service: attempts + backoff + hedge
+  Micros noticed = micros(0);    // when the broker stopped waiting (== response
                          // when ok; elapsed + deadline when it gave up)
   bool ok = true;        // include in the merge (final attempt on time)
   bool faulted = false;  // final attempt was fault-classified
@@ -110,8 +112,8 @@ struct GroupReply {
   std::uint32_t hedge_wins = 0;
   std::uint32_t failovers = 0;      // primary was not replica 0
   std::uint64_t observed_faults = 0;  // fault-counter deltas this query
-  Micros backoff_us = 0;            // jittered pauses charged this query
-  Micros overhead = 0;              // response minus final attempt time
+  Micros backoff_us = micros(0);            // jittered pauses charged this query
+  Micros overhead = micros(0);              // response minus final attempt time
 };
 
 class ReplicaGroup {
@@ -136,7 +138,7 @@ class ReplicaGroup {
 
   /// Per-replica health + bookkeeping (broker side).
   struct ReplicaState {
-    double ewma_us = 0.0;
+    Micros ewma_us{};
     bool warmed = false;  // ewma_us holds at least one sample
     std::uint64_t attempts = 0;
     std::uint64_t faults = 0;  // fault-classified attempts
@@ -173,7 +175,7 @@ class ReplicaGroup {
   /// One attempt on one replica: execute, observe fault deltas, update
   /// health + breaker.
   struct Attempt {
-    Micros t = 0;
+    Micros t = micros(0);
     bool faulted = false;
     Situation situation = Situation::kS1_ResultMemory;
     std::vector<ScoredDoc> docs;
@@ -181,11 +183,13 @@ class ReplicaGroup {
   Attempt run_attempt(std::size_t r, const Query& q);
 
   /// Replica try-order for this query (failover: breaker-admitted
-  /// first, EWMA ascending; otherwise fixed 0..R-1).
+  /// first, then warmed replicas by EWMA ascending, then unwarmed ones
+  /// in index order; otherwise fixed 0..R-1). Unwarmed replicas rank
+  /// last, not first — a zero EWMA is "no data", not "fastest".
   void pick_order(std::vector<std::size_t>& order);
 
   ReplicationConfig rep_;
-  Micros deadline_ = 0;
+  Micros deadline_ = micros(0);
   std::vector<std::unique_ptr<SearchSystem>> replicas_;
   std::vector<ReplicaState> states_;
   Rng rng_;  // jitter draws only; never advanced unless a retry fires

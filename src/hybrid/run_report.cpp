@@ -53,7 +53,7 @@ void append_traffic_json(telemetry::JsonWriter& w, const TrafficResult& t) {
   w.key("queue_capacity");
   w.value(static_cast<std::uint64_t>(t.queue_capacity));
   w.key("horizon_us");
-  w.value(t.horizon);
+  w.value(t.horizon.value());
   w.key("response");
   w.begin_object();
   w.key("mean_us");
@@ -88,7 +88,7 @@ void append_traffic_json(telemetry::JsonWriter& w, const TrafficResult& t) {
   w.key("windows");
   w.begin_object();
   w.key("width_us");
-  w.value(t.response_windows.width());
+  w.value(t.response_windows.width().value());
   w.key("count");
   w.value(static_cast<std::uint64_t>(cells.size()));
   w.key("emitted");
@@ -192,27 +192,27 @@ void append_traffic_json(telemetry::JsonWriter& w, const TrafficResult& t) {
     const TailSample& s = t.worst[i];
     w.begin_object();
     w.key("query");
-    w.value(s.query);
+    w.value(s.query.raw());
     w.key("outlier");
     w.value(s.outlier);
     w.key("arrival_us");
-    w.value(s.arrival);
+    w.value(s.arrival.value());
     w.key("wait_us");
-    w.value(s.wait);
+    w.value(s.wait.value());
     w.key("service_us");
-    w.value(s.service);
+    w.value(s.service.value());
     w.key("response_us");
-    w.value(s.response);
+    w.value(s.response.value());
     w.key("stages");
     w.begin_object();
     for (std::size_t j = 0; j < telemetry::kNumTraceStages; ++j) {
-      if (s.stage_us[j] <= 0) continue;
+      if (s.stage_us[j] <= Micros{}) continue;
       w.key(attr_stage_name(j));
-      w.value(s.stage_us[j]);
+      w.value(s.stage_us[j].value());
     }
-    if (s.untraced > 0) {
+    if (s.untraced > Micros{}) {
       w.key("other");
-      w.value(s.untraced);
+      w.value(s.untraced.value());
     }
     w.end_object();
     w.end_object();
@@ -257,7 +257,7 @@ void append_replication_json(telemetry::JsonWriter& w,
   w.value(rs.coverage_mean);
   w.key("backoff_schedule_us");
   w.begin_array();
-  for (const Micros pause : rs.backoff_schedule) w.value(pause);
+  for (const Micros pause : rs.backoff_schedule) w.value(pause.value());
   w.end_array();
   w.key("replicas");
   w.begin_array();
@@ -352,12 +352,12 @@ std::string render_run_report(const SearchSystem& sys,
   w.key("simulated");
   w.begin_object();
   w.key("mean_response_us");
-  w.value(rm.mean_response());
+  w.value(rm.mean_response().value());
   append_quantiles(w, rm.histogram());
   w.key("throughput_qps");
   w.value(sys.throughput_qps());
   w.key("background_flash_us");
-  w.value(sys.background_flash_time());
+  w.value(sys.background_flash_time().value());
   w.end_object();
 
   // Per-stage trace summary. Stages a run never touched are omitted;
@@ -397,7 +397,7 @@ std::string render_run_report(const SearchSystem& sys,
     w.key("count");
     w.value(rm.situation_count(s));
     w.key("mean_us");
-    w.value(rm.situation_mean_time(s));
+    w.value(rm.situation_mean_time(s).value());
     w.end_object();
   }
   w.end_array();
@@ -435,7 +435,7 @@ std::string render_run_report(const SearchSystem& sys,
     w.key("gc_page_copies");
     w.value(fs.gc_page_copies);
     w.key("gc_busy_us");
-    w.value(fs.gc_busy);
+    w.value(fs.gc_busy.value());
     w.key("page_reads");
     w.value(ns.page_reads);
     w.key("page_programs");
@@ -531,9 +531,9 @@ std::string render_run_report(const SearchSystem& sys,
     w.key("replay_torn_bytes");
     w.value(is.replay_torn_bytes);
     w.key("apply_us");
-    w.value(is.apply_time);
+    w.value(is.apply_time.value());
     w.key("merge_us");
-    w.value(is.merge_time);
+    w.value(is.merge_time.value());
     w.key("segment_postings");
     w.value(li->segment().total_postings());
     w.key("segment_arena_bytes");

@@ -9,14 +9,14 @@ namespace ssdse {
 namespace {
 
 /// CPU cost of serving an already-computed result (lookup + transmit).
-constexpr Micros kResultServeCpu = 50.0;
+constexpr Micros kResultServeCpu = micros(50.0);
 
 /// Modelled CPU of live-index mutations: fixed dispatch plus per-posting
 /// segment-append / list-rewrite work. Deterministic constants (no
 /// clocks) so churn runs stay reproducible.
-constexpr Micros kIngestApplyCpu = 2.0;
-constexpr Micros kIngestPerPosting = 0.01;
-constexpr Micros kMergePerPosting = 0.02;
+constexpr Micros kIngestApplyCpu = micros(2.0);
+constexpr Micros kIngestPerPosting = micros(0.01);
+constexpr Micros kMergePerPosting = micros(0.02);
 
 /// Size a NAND array so its post-OP logical space covers `logical_bytes`.
 NandConfig size_nand(NandConfig nand, Bytes logical_bytes, double op) {
@@ -158,7 +158,7 @@ void SearchSystem::build(IndexView* external_index) {
   if (!warm_started_ && cfg_.use_cache &&
       cc.policy == CachePolicy::kCbslru && analysis_) {
     cm_->preload_static(*analysis_, [this](QueryId qid) {
-      return scorer_.score(*index_, gen_->query_for_rank(qid)).result;
+      return scorer_.score(*index_, gen_->query_for_rank(qid.raw())).result;
     });
   }
 
@@ -195,7 +195,7 @@ void SearchSystem::register_telemetry() {
   r.counter("cache.stale.ssd_result_misses", &cs->stale_ssd_result_misses);
   r.counter("cache.stale.ssd_list_misses", &cs->stale_ssd_list_misses);
   r.gauge("cache.background.flash_us",
-          [cs] { return cs->background_flash_time; });
+          [cs] { return cs->background_flash_time.value(); });
   r.gauge("cache.result.hit_ratio", [cs] { return cs->result_hit_ratio(); });
   r.gauge("cache.list.hit_ratio", [cs] { return cs->list_hit_ratio(); });
   r.gauge("cache.hit_ratio", [cs] { return cs->hit_ratio(); });
@@ -238,7 +238,8 @@ void SearchSystem::register_telemetry() {
     r.counter("ssd.cache.host.trims", &fs->host_trims);
     r.counter("ssd.cache.gc.invocations", &fs->gc_invocations);
     r.counter("ssd.cache.gc.page_copies", &fs->gc_page_copies);
-    r.gauge("ssd.cache.ftl.gc_busy_us", [fs] { return fs->gc_busy; });
+    r.gauge("ssd.cache.ftl.gc_busy_us",
+            [fs] { return fs->gc_busy.value(); });
     r.counter("ssd.cache.nand.page_reads", &ns->page_reads);
     r.counter("ssd.cache.nand.page_programs", &ns->page_programs);
     r.counter("ssd.cache.nand.block_erases", &ns->block_erases);
@@ -268,8 +269,8 @@ void SearchSystem::register_telemetry() {
     r.counter("ingest.merged_postings", &is->merged_postings);
     r.counter("ingest.replayed_records", &is->replayed_records);
     r.counter("ingest.replay_torn_bytes", &is->replay_torn_bytes);
-    r.gauge("ingest.apply_us", [is] { return is->apply_time; });
-    r.gauge("ingest.merge_us", [is] { return is->merge_time; });
+    r.gauge("ingest.apply_us", [is] { return is->apply_time.value(); });
+    r.gauge("ingest.merge_us", [is] { return is->merge_time.value(); });
     const ingest::LiveIndex* li = live_.get();
     r.gauge("ingest.segment.postings", [li] {
       return static_cast<double>(li->segment().total_postings());
@@ -360,7 +361,7 @@ void SearchSystem::format_index_ssd() {
 
 SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
   QueryOutcome out;
-  Micros t = 0;
+  Micros t = micros(0);
   cm_->advance_time();  // logical clock for the TTL dynamic scenario
 
 #if SSDSE_TRACING
@@ -373,13 +374,14 @@ SearchSystem::QueryOutcome SearchSystem::execute(const Query& q) {
   // a subset of the background delta.
   const Micros trace_bg0 = cm_->stats().background_flash_time;
   const Micros trace_gc0 =
-      cache_ssd_ ? cache_ssd_->ftl().stats().gc_busy : 0.0;
+      cache_ssd_ ? cache_ssd_->ftl().stats().gc_busy : Micros{};
   const auto trace_finish = [&](Micros total) {
     const Micros bg = cm_->stats().background_flash_time - trace_bg0;
     const Micros gc =
-        (cache_ssd_ ? cache_ssd_->ftl().stats().gc_busy : 0.0) - trace_gc0;
+        (cache_ssd_ ? cache_ssd_->ftl().stats().gc_busy : Micros{}) -
+        trace_gc0;
     if (bg > gc) tracer_.add_span(TraceStage::kWriteBufferFlush, bg - gc);
-    if (gc > 0) tracer_.add_span(TraceStage::kFtlGc, gc);
+    if (gc > Micros{}) tracer_.add_span(TraceStage::kFtlGc, gc);
     tracer_.end_query(total);
   };
 #endif
@@ -523,7 +525,7 @@ ingest::DocBag normalize_bag(ingest::DocBag bag, std::uint32_t vocab) {
   ingest::DocBag norm;
   norm.reserve(bag.size());
   for (const auto& [term, tf] : bag) {
-    if (term >= vocab) {
+    if (term.raw() >= vocab) {
       throw std::out_of_range("ingest_document: term beyond vocabulary");
     }
     if (tf == 0) continue;
@@ -570,7 +572,7 @@ DocId SearchSystem::ingest_document(
       kIngestApplyCpu + kIngestPerPosting * static_cast<double>(postings);
   ingest_stats_.apply_time += cost;
 #if SSDSE_TRACING
-  tracer_.begin_query(static_cast<QueryId>(id));
+  tracer_.begin_query(QueryId{id.raw()});
   tracer_.add_span(telemetry::TraceStage::kIngestApply, cost);
   tracer_.end_query(cost);
 #endif
@@ -584,7 +586,7 @@ bool SearchSystem::delete_document(DocId doc) {
   }
   // Pre-check so misses leave no journal record: replaying a no-op
   // delete would be harmless but would skew replayed-record accounting.
-  if (doc >= index_->num_docs() || live_->is_deleted(doc)) {
+  if (doc.raw() >= index_->num_docs() || live_->is_deleted(doc)) {
     ++ingest_stats_.delete_misses;
     return false;
   }
@@ -600,7 +602,7 @@ bool SearchSystem::delete_document(DocId doc) {
       kIngestApplyCpu + kIngestPerPosting * static_cast<double>(terms.size());
   ingest_stats_.apply_time += cost;
 #if SSDSE_TRACING
-  tracer_.begin_query(static_cast<QueryId>(doc));
+  tracer_.begin_query(QueryId{doc.raw()});
   tracer_.add_span(telemetry::TraceStage::kIngestApply, cost);
   tracer_.end_query(cost);
 #endif

@@ -29,8 +29,8 @@ struct IngestStats {
   std::uint64_t merged_postings = 0;   // postings rewritten across merges
   std::uint64_t replayed_records = 0;  // warm-restart log replay
   std::uint64_t replay_torn_bytes = 0;  // truncated tail at recovery
-  Micros apply_time = 0;  // modelled CPU of ingest/delete applies
-  Micros merge_time = 0;  // modelled CPU of segment merges
+  Micros apply_time = micros(0);  // modelled CPU of ingest/delete applies
+  Micros merge_time = micros(0);  // modelled CPU of segment merges
 };
 
 class SearchSystem {
@@ -52,7 +52,7 @@ class SearchSystem {
   SearchSystem& operator=(const SearchSystem&) = delete;
 
   struct QueryOutcome {
-    Micros response = 0;
+    Micros response = micros(0);
     Situation situation = Situation::kS9_ListsHdd;
     bool result_from_cache = false;
     ResultEntry result;

@@ -14,7 +14,7 @@ ClusterTrafficTarget::ClusterTrafficTarget(SearchCluster& cluster)
     : cluster_(cluster), background_prev_(background_total()) {}
 
 Micros ClusterTrafficTarget::background_total() const {
-  Micros total = 0;
+  Micros total = micros(0);
   for (std::uint32_t s = 0; s < cluster_.num_shards(); ++s) {
     const ReplicaGroup& g = cluster_.group(s);
     for (std::size_t r = 0; r < g.num_replicas(); ++r) {

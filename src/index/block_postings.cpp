@@ -91,7 +91,7 @@ void encode_block_packed(std::span<const Posting> block,
   const std::uint32_t wt = bit_width32(max_tf);
   out.push_back(static_cast<std::uint8_t>(wd));
   out.push_back(static_cast<std::uint8_t>(wt));
-  put_varint(out, block[0].doc);
+  put_varint(out, block[0].doc.raw());
   BitWriter w{out};
   for (std::size_t i = 1; i < block.size(); ++i) {
     w.put(block[i].doc - block[i - 1].doc, wd);
@@ -111,7 +111,7 @@ std::size_t decode_block_packed(std::span<const std::uint8_t> bytes,
   if (wd > 32 || wt > 32) {
     throw std::invalid_argument("block decode: bad bit width");
   }
-  out[0].doc = static_cast<DocId>(get_varint(bytes, pos));
+  out[0].doc = DocId{static_cast<std::uint32_t>(get_varint(bytes, pos))};
   BitReader r{bytes, pos};
   for (std::uint32_t i = 1; i < count; ++i) {
     out[i].doc = out[i - 1].doc + r.get(wd);
@@ -178,7 +178,7 @@ std::size_t svb_decode_run(std::span<const std::uint8_t> bytes,
 
 void encode_block_svb(std::span<const Posting> block,
                       std::vector<std::uint8_t>& out) {
-  put_varint(out, block[0].doc);
+  put_varint(out, block[0].doc.raw());
   std::uint32_t scratch[kBlockPostings] = {};
   for (std::size_t i = 1; i < block.size(); ++i) {
     scratch[i - 1] = block[i].doc - block[i - 1].doc;
@@ -191,7 +191,7 @@ void encode_block_svb(std::span<const Posting> block,
 std::size_t decode_block_svb(std::span<const std::uint8_t> bytes,
                              std::size_t pos, std::uint32_t count,
                              Posting* out) {
-  out[0].doc = static_cast<DocId>(get_varint(bytes, pos));
+  out[0].doc = DocId{static_cast<std::uint32_t>(get_varint(bytes, pos))};
   std::uint32_t scratch[kBlockPostings];
   pos = svb_decode_run(bytes, pos, count - 1, scratch);
   for (std::uint32_t i = 1; i < count; ++i) {

@@ -52,7 +52,7 @@ std::size_t decode_block(CodecKind kind,
 
 /// Skip + max-score metadata of one posting block.
 struct PostingBlockMeta {
-  DocId last_doc = 0;          // doc id of the block's final posting
+  DocId last_doc{};          // doc id of the block's final posting
   std::uint32_t byte_off = 0;  // block start within the term's byte slice
   /// max over the block of log(1 + tf), idf-free (see file comment).
   /// Stored as the exact double the scorer computes, so `stored max >=
@@ -152,10 +152,10 @@ class BlockPostingStore {
   CodecKind kind_;
   std::vector<std::uint8_t> bytes_;      // arena: all terms' blocks
   std::vector<PostingBlockMeta> metas_;  // arena: all block metadata
-  std::vector<std::uint64_t> byte_off_{0};  // per-term slice bounds
-  std::vector<std::uint64_t> meta_off_{0};
-  std::vector<std::uint32_t> counts_;       // postings per term
-  std::vector<double> idf_;
+  IdVector<TermId, std::uint64_t> byte_off_{0};  // per-term slice bounds
+  IdVector<TermId, std::uint64_t> meta_off_{0};
+  IdVector<TermId, std::uint32_t> counts_;       // postings per term
+  IdVector<TermId, double> idf_;
   std::uint64_t total_postings_ = 0;
 };
 

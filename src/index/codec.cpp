@@ -131,7 +131,7 @@ std::vector<std::uint8_t> VarintCodec::encode(
   std::uint32_t prev_tf = 0;
   bool first = true;
   for (const Posting& p : postings) {
-    put_varint(out, p.doc);
+    put_varint(out, p.doc.raw());
     if (first) {
       put_varint(out, p.tf);
       first = false;
@@ -187,7 +187,7 @@ std::vector<std::uint8_t> GroupVarintCodec::encode(
   std::vector<std::uint32_t> values;
   values.reserve(postings.size() * 2);
   for (const Posting& p : postings) {
-    values.push_back(p.doc);
+    values.push_back(p.doc.raw());
     values.push_back(p.tf);
   }
   std::vector<std::uint8_t> out;
@@ -242,7 +242,7 @@ std::vector<Posting> GroupVarintCodec::decode(
   }
   std::vector<Posting> out(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    out[i] = Posting{values[i * 2], values[i * 2 + 1]};
+    out[i] = Posting{DocId{values[i * 2]}, values[i * 2 + 1]};
   }
   return out;
 }

@@ -39,9 +39,9 @@ TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
                                  static_cast<double>(cfg.num_docs)),
       1);
   total_postings_ = 0;
-  for (std::uint32_t r = 0; r < cfg.vocab_size; ++r) {
+  for (TermId r{}; r.raw() < cfg.vocab_size; ++r) {
     const double share =
-        std::pow(static_cast<double>(r + 1), -cfg.df_zipf) / hn;
+        std::pow(static_cast<double>(r.raw() + 1), -cfg.df_zipf) / hn;
     auto df = static_cast<std::uint64_t>(target * share);
     df = std::min(df, df_cap);  // stopword pruning
     df = std::max<std::uint64_t>(df, 1);
@@ -60,7 +60,7 @@ TermStatsModel::TermStatsModel(const CorpusConfig& cfg) : cfg_(cfg) {
   // grows only slowly with list length, so PU falls with df. Calibrated
   // to Fig. 3a's spread (long head terms ~5-30 %, mid terms ~40-80 %,
   // tail terms ~100 %).
-  for (std::uint32_t r = 0; r < cfg.vocab_size; ++r) {
+  for (TermId r{}; r.raw() < cfg.vocab_size; ++r) {
     const double dfd = static_cast<double>(df_[r]);
     // Postings actually needed ~ c * df^0.55 (sublinear in list size).
     const double needed = 40.0 * std::pow(dfd, 0.55);
@@ -88,7 +88,7 @@ MaterializedCorpus::MaterializedCorpus(const CorpusConfig& cfg, Rng& rng)
     // Sample occurrences; repeats raise tf (roughly geometric tf's).
     const auto occurrences = distinct * 2;
     for (std::uint64_t i = 0; i < occurrences; ++i) {
-      tf[static_cast<TermId>(term_dist.sample(rng) - 1)] += 1;
+      tf[TermId{static_cast<std::uint32_t>(term_dist.sample(rng) - 1)}] += 1;
     }
     doc.assign(tf.begin(), tf.end());
     std::sort(doc.begin(), doc.end());

@@ -63,9 +63,9 @@ class TermStatsModel {
 
  private:
   CorpusConfig cfg_;
-  std::vector<std::uint64_t> df_;
-  std::vector<Bytes> list_bytes_;
-  std::vector<float> pu_;
+  IdVector<TermId, std::uint64_t> df_;
+  IdVector<TermId, Bytes> list_bytes_;
+  IdVector<TermId, float> pu_;
   std::uint64_t total_postings_ = 0;
   double build_wall_ms_ = 0.0;
 };
@@ -81,8 +81,16 @@ class MaterializedCorpus {
   /// a churn episode.
   MaterializedCorpus(
       const CorpusConfig& cfg,
-      std::vector<std::vector<std::pair<TermId, std::uint32_t>>> docs)
+      IdVector<DocId, std::vector<std::pair<TermId, std::uint32_t>>> docs)
       : cfg_(cfg), docs_(std::move(docs)) {}
+  /// Same, from a raw mirror vector (position i holds document i).
+  MaterializedCorpus(
+      const CorpusConfig& cfg,
+      std::vector<std::vector<std::pair<TermId, std::uint32_t>>> docs)
+      : cfg_(cfg),
+        docs_(IdVector<DocId,
+                       std::vector<std::pair<TermId, std::uint32_t>>>(
+            std::move(docs))) {}
 
   [[nodiscard]] std::uint64_t num_docs() const { return docs_.size(); }
   [[nodiscard]] std::uint32_t vocab_size() const { return cfg_.vocab_size; }
@@ -95,7 +103,7 @@ class MaterializedCorpus {
 
  private:
   CorpusConfig cfg_;
-  std::vector<std::vector<std::pair<TermId, std::uint32_t>>> docs_;
+  IdVector<DocId, std::vector<std::pair<TermId, std::uint32_t>>> docs_;
 };
 
 }  // namespace ssdse

@@ -20,7 +20,7 @@ namespace ssdse {
 
 /// One skip-table entry: the doc id found at postings[pos].
 struct SkipEntry {
-  DocId doc = 0;
+  DocId doc{};
   std::uint32_t pos = 0;
 };
 
@@ -91,14 +91,15 @@ class DocSortedStore {
   }
 
   [[nodiscard]] std::size_t num_terms() const { return idf_.size(); }
+  [[nodiscard]] TermId end_term() const { return idf_.end_id(); }
   [[nodiscard]] std::size_t total_postings() const { return postings_.size(); }
 
  private:
   std::vector<Posting> postings_;        // arena: all terms, doc-ascending
   std::vector<SkipEntry> skips_;         // arena: all skip tables
-  std::vector<std::uint64_t> posting_off_{0};  // per-term slice bounds
-  std::vector<std::uint64_t> skip_off_{0};
-  std::vector<double> idf_;
+  IdVector<TermId, std::uint64_t> posting_off_{0};  // per-term slice bounds
+  IdVector<TermId, std::uint64_t> skip_off_{0};
+  IdVector<TermId, double> idf_;
 };
 
 }  // namespace ssdse

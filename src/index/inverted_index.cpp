@@ -20,8 +20,8 @@ AnalyticIndex::AnalyticIndex(const CorpusConfig& cfg) : model_(cfg) {
   std::vector<Bytes> sizes(model_.vocab_size());
   metas_.resize(model_.vocab_size());
   const double n_docs = static_cast<double>(model_.num_docs());
-  for (TermId t = 0; t < model_.vocab_size(); ++t) {
-    sizes[t] = model_.list_bytes(t);
+  for (TermId t{}; t.raw() < model_.vocab_size(); ++t) {
+    sizes[t.raw()] = model_.list_bytes(t);
     const auto df = model_.df(t);
     metas_[t] = TermMeta{
         df, model_.list_bytes(t), model_.utilization(t),
@@ -32,7 +32,7 @@ AnalyticIndex::AnalyticIndex(const CorpusConfig& cfg) : model_(cfg) {
 }
 
 TermMeta AnalyticIndex::term_meta(TermId t) const {
-  if (t >= metas_.size()) {
+  if (!metas_.contains(t)) {
     throw std::out_of_range("AnalyticIndex: term id out of range");
   }
   return metas_[t];
@@ -40,8 +40,8 @@ TermMeta AnalyticIndex::term_meta(TermId t) const {
 
 MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
     : num_docs_(corpus.num_docs()), codec_name_(corpus.config().codec) {
-  std::vector<std::vector<Posting>> raw(corpus.vocab_size());
-  for (DocId d = 0; d < corpus.num_docs(); ++d) {
+  IdVector<TermId, std::vector<Posting>> raw(corpus.vocab_size());
+  for (DocId d{}; d.raw() < corpus.num_docs(); ++d) {
     for (const auto& [term, tf] : corpus.doc(d)) {
       raw[term].push_back(Posting{d, tf});
     }
@@ -93,7 +93,7 @@ MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
         lists_.back().empty()
             ? 0
             : (is_block_codec(kind)
-                   ? blocks_.term_bytes(blocks_.num_terms() - 1)
+                   ? blocks_.term_bytes(TermId{static_cast<std::uint32_t>(blocks_.num_terms() - 1)})
                    : codec->encoded_bytes(lists_.back().postings()));
     metas_.push_back(TermMeta{lists_.back().size(),
                               std::max<Bytes>(encoded, 1),
@@ -107,7 +107,7 @@ MaterializedIndex::MaterializedIndex(const MaterializedCorpus& corpus)
 }
 
 TermMeta MaterializedIndex::term_meta(TermId t) const {
-  if (t >= lists_.size()) {
+  if (!lists_.contains(t)) {
     throw std::out_of_range("MaterializedIndex: term id out of range");
   }
   return metas_[t];
@@ -116,7 +116,7 @@ TermMeta MaterializedIndex::term_meta(TermId t) const {
 bool MaterializedIndex::live_doc_sorted(TermId t,
                                         std::vector<Posting>& scratch) const {
   if (overlay_ == nullptr || !overlay_->term_dirty(t)) return false;
-  if (t >= lists_.size()) {
+  if (!lists_.contains(t)) {
     throw std::out_of_range("MaterializedIndex: term id out of range");
   }
   scratch.clear();
@@ -161,7 +161,7 @@ void MaterializedIndex::rebuild_lists(
   const auto codec = make_codec(codec_name_);
   std::vector<Bytes> sizes(vocab);
   std::size_t r = 0;
-  for (TermId t = 0; t < vocab; ++t) {
+  for (TermId t{}; t.raw() < vocab; ++t) {
     if (r < replacements.size() && replacements[r].first == t) {
       const std::vector<Posting>& repl = replacements[r].second;
       ++r;
@@ -193,7 +193,7 @@ void MaterializedIndex::rebuild_lists(
         metas_[t].df == 0
             ? 0.0
             : std::log(1.0 + n_docs / static_cast<double>(metas_[t].df));
-    sizes[t] = metas_[t].list_bytes;
+    sizes[t.raw()] = metas_[t].list_bytes;
   }
   num_docs_ = new_num_docs;
   doc_sorted_ = std::move(fresh);
@@ -202,7 +202,7 @@ void MaterializedIndex::rebuild_lists(
 }
 
 void MaterializedIndex::record_utilization(TermId t, double pu) {
-  if (t >= lists_.size()) {
+  if (!lists_.contains(t)) {
     throw std::out_of_range("MaterializedIndex: term id out of range");
   }
   const auto n = ++pu_samples_[t];

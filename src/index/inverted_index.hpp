@@ -52,10 +52,10 @@ class IndexView {
   /// Implementations without a table fall back to the virtual call.
   TermMeta term_meta_fast(TermId t) const {
     if (meta_table_ != nullptr) {
-      if (t >= meta_count_) {
+      if (t.raw() >= meta_count_) {
         throw std::out_of_range("IndexView: term id out of range");
       }
-      return meta_table_[t];
+      return meta_table_[t.raw()];
     }
     return term_meta(t);
   }
@@ -91,7 +91,7 @@ class AnalyticIndex final : public IndexView {
   // hot path (scorer + cache manager, several calls per query) and a
   // single-struct read costs one cache miss where gathering df / bytes /
   // pu / idf from four parallel arrays cost up to four.
-  std::vector<TermMeta> metas_;
+  IdVector<TermId, TermMeta> metas_;
 };
 
 class MaterializedIndex final : public IndexView {
@@ -166,16 +166,16 @@ class MaterializedIndex final : public IndexView {
   std::uint64_t num_docs_;
   std::string codec_name_;  // kept for merge-time re-encoding
   const LiveOverlay* overlay_ = nullptr;
-  std::vector<PostingList> lists_;
+  IdVector<TermId, PostingList> lists_;
   IndexLayout layout_;
   DocSortedStore doc_sorted_;  // build-once doc-ordered projections
   BlockPostingStore blocks_;   // compressed blocks + skip/max metadata
   // Contiguous TermMeta table (df, encoded bytes, running-mean PU, idf)
   // backing term_meta_fast(); record_utilization keeps the utilization
   // field in step with pu_mean_.
-  std::vector<TermMeta> metas_;
-  std::vector<float> pu_mean_;
-  std::vector<std::uint32_t> pu_samples_;
+  IdVector<TermId, TermMeta> metas_;
+  IdVector<TermId, float> pu_mean_;
+  IdVector<TermId, std::uint32_t> pu_samples_;
 };
 
 }  // namespace ssdse

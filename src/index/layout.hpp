@@ -36,7 +36,7 @@ class IndexLayout {
   Extent prefix_extent(TermId t, Bytes prefix_bytes) const;
 
  private:
-  std::vector<Extent> extents_;
+  IdVector<TermId, Extent> extents_;
   Bytes total_bytes_ = 0;
 };
 

@@ -16,7 +16,7 @@
 namespace ssdse {
 
 struct Posting {
-  DocId doc = 0;
+  DocId doc{};
   std::uint32_t tf = 0;  // term frequency in doc
 
   friend bool operator==(const Posting&, const Posting&) = default;

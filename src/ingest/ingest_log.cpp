@@ -13,7 +13,7 @@ bool decode_record(const recovery::Frame& f, LogRecord& out) {
   out.bag.clear();
   switch (f.type) {
     case recovery::RecordType::kIngest: {
-      out.doc = r.u32();
+      out.doc = DocId{r.u32()};
       out.tick = r.u64();
       const std::uint32_t n = r.u32();
       if (!r.ok() || r.remaining() != static_cast<std::size_t>(n) * 8) {
@@ -21,14 +21,14 @@ bool decode_record(const recovery::Frame& f, LogRecord& out) {
       }
       out.bag.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) {
-        const TermId term = r.u32();
+        const TermId term{r.u32()};
         const std::uint32_t tf = r.u32();
         out.bag.emplace_back(term, tf);
       }
       return r.ok() && r.at_end();
     }
     case recovery::RecordType::kDelete:
-      out.doc = r.u32();
+      out.doc = DocId{r.u32()};
       out.tick = r.u64();
       return r.ok() && r.at_end();
     case recovery::RecordType::kMergeSeal:
@@ -46,11 +46,11 @@ void IngestLog::append_ingest(
     DocId doc, std::uint64_t tick,
     const std::vector<std::pair<TermId, std::uint32_t>>& bag) {
   recovery::ByteWriter w;
-  w.u32(doc);
+  w.u32(doc.raw());
   w.u64(tick);
   w.u32(static_cast<std::uint32_t>(bag.size()));
   for (const auto& [term, tf] : bag) {
-    w.u32(term);
+    w.u32(term.raw());
     w.u32(tf);
   }
   writer_.append(recovery::RecordType::kIngest, w.data());
@@ -58,7 +58,7 @@ void IngestLog::append_ingest(
 
 void IngestLog::append_delete(DocId doc, std::uint64_t tick) {
   recovery::ByteWriter w;
-  w.u32(doc);
+  w.u32(doc.raw());
   w.u64(tick);
   writer_.append(recovery::RecordType::kDelete, w.data());
 }

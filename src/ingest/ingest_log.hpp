@@ -24,7 +24,7 @@ namespace ssdse::ingest {
 
 struct LogRecord {
   recovery::RecordType type = recovery::RecordType::kIngest;
-  DocId doc = 0;            // kIngest / kDelete
+  DocId doc{};            // kIngest / kDelete
   std::uint64_t tick = 0;   // cache logical time of the mutation
   std::uint64_t doc_count = 0;  // kMergeSeal: total slots after merge
   std::vector<std::pair<TermId, std::uint32_t>> bag;  // kIngest only

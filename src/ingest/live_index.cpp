@@ -15,7 +15,7 @@ LiveIndex::LiveIndex(MaterializedIndex& index,
       deleted_df_(index.vocab_size(), 0) {}
 
 DocId LiveIndex::ingest(DocBag bag) {
-  const auto id = static_cast<DocId>(base0_ + all_live_bags_.size());
+  const DocId id{static_cast<std::uint32_t>(base0_ + all_live_bags_.size())};
   for (const auto& [term, tf] : bag) {
     segment_.append(term, Posting{id, tf});
   }
@@ -25,12 +25,13 @@ DocId LiveIndex::ingest(DocBag bag) {
 }
 
 bool LiveIndex::erase(DocId d, std::vector<TermId>* affected_terms) {
-  if (d >= base0_ + all_live_bags_.size()) return false;
+  if (d.raw() >= base0_ + all_live_bags_.size()) return false;
   if (is_deleted(d)) return false;
-  if (tombstones_.size() <= d) tombstones_.resize(d + 1);
-  tombstones_.set(d);
+  if (tombstones_.size() <= d.raw()) tombstones_.resize(d.raw() + 1);
+  tombstones_.set(d.raw());
   const DocBag& bag =
-      d < base0_ ? corpus_.doc(d) : all_live_bags_[d - base0_];
+      d.raw() < base0_ ? corpus_.doc(d)
+                       : all_live_bags_[d.raw() - base0_];
   for (const auto& [term, tf] : bag) {
     (void)tf;
     // Marks the term dirty even when its tombstoned postings still sit
@@ -70,7 +71,7 @@ MergeOutcome LiveIndex::merge() {
   if (clean()) return out;
   std::vector<std::pair<TermId, std::vector<Posting>>> replacements;
   std::vector<Posting> scratch;
-  for (TermId t = 0; t < index_.vocab_size(); ++t) {
+  for (TermId t{}; t.raw() < index_.vocab_size(); ++t) {
     if (!term_dirty(t)) continue;
     // live_doc_sorted consults this overlay: base postings minus
     // tombstones, then surviving segment postings.

@@ -83,7 +83,7 @@ class LiveIndex final : public LiveOverlay {
     return all_live_bags_.size() - merged_count_;
   }
   [[nodiscard]] bool is_deleted(DocId d) const override {
-    return d < tombstones_.size() && tombstones_.test(d);
+    return d.raw() < tombstones_.size() && tombstones_.test(d.raw());
   }
   [[nodiscard]] bool term_dirty(TermId t) const override {
     return segment_.count(t) > 0 || deleted_df_[t] > 0;
@@ -114,7 +114,7 @@ class LiveIndex final : public LiveOverlay {
   std::uint64_t base0_;         // corpus docs at construction (constant)
   std::uint64_t merged_count_ = 0;  // prefix of all_live_bags_ in arenas
   Bitmap tombstones_;           // grown lazily, never cleared
-  std::vector<std::uint32_t> deleted_df_;  // per-term, reset at merge
+  IdVector<TermId, std::uint32_t> deleted_df_;  // per-term, reset at merge
   std::uint64_t ops_since_merge_ = 0;
 };
 

@@ -60,7 +60,7 @@ class LiveSegment {
   std::uint32_t block_postings_;
   std::vector<Posting> arena_;  // blocks_.size() * block_postings_ slots
   std::vector<Block> blocks_;
-  std::vector<Chain> chains_;  // per term
+  IdVector<TermId, Chain> chains_;  // per term
   std::uint64_t total_ = 0;
 };
 

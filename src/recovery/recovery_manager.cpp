@@ -74,7 +74,7 @@ bool apply_journal_record(const Frame& record, CacheImage& image) {
       return true;
     }
     case RecordType::kJournalResultInvalidate: {
-      const QueryId qid = r.u64();
+      const QueryId qid{r.u64()};
       if (!r.ok()) return false;
       invalidate_result(image.rbs, qid);
       invalidate_result(image.static_rbs, qid);
@@ -87,7 +87,7 @@ bool apply_journal_record(const Frame& record, CacheImage& image) {
       return true;
     }
     case RecordType::kJournalListErase: {
-      const TermId term = r.u32();
+      const TermId term{r.u32()};
       if (!r.ok()) return false;
       std::erase_if(image.lists, [&](const ListEntryImage& old) {
         return old.term == term;
@@ -182,7 +182,7 @@ void PersistenceManager::on_rb_flush(const RbImage& rb) {
 void PersistenceManager::on_result_invalidate(QueryId qid) {
   if (!journal_) return;
   ByteWriter w;
-  w.u64(qid);
+  w.u64(qid.raw());
   journal_->append(RecordType::kJournalResultInvalidate, w.data());
 }
 
@@ -196,7 +196,7 @@ void PersistenceManager::on_list_install(const ListEntryImage& entry) {
 void PersistenceManager::on_list_erase(TermId term) {
   if (!journal_) return;
   ByteWriter w;
-  w.u32(term);
+  w.u32(term.raw());
   journal_->append(RecordType::kJournalListErase, w.data());
 }
 

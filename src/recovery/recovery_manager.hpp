@@ -35,7 +35,7 @@ struct RecoveryStats {
   std::uint64_t list_entries_recovered = 0;
   /// Simulated flash time spent re-adopting recovered blocks (reported
   /// separately from query traffic).
-  Micros restore_flash_time = 0;
+  Micros restore_flash_time = micros(0);
   /// Host wall-clock of recover() — snapshot parse + journal replay.
   double recovery_wall_ms = 0;
 };

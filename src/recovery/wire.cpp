@@ -117,13 +117,13 @@ void encode_rb(const RbImage& rb, ByteWriter& w) {
   w.u32(rb.cb);
   w.u32(static_cast<std::uint32_t>(rb.slots.size()));
   for (const RbSlotImage& s : rb.slots) {
-    w.u64(s.qid);
+    w.u64(s.qid.raw());
     w.u64(s.freq);
     w.u64(s.born);
     w.u8(s.state);
     w.u32(static_cast<std::uint32_t>(s.docs.size()));
     for (const ScoredDoc& d : s.docs) {
-      w.u32(d.doc);
+      w.u32(d.doc.raw());
       w.f32(d.score);
     }
   }
@@ -135,7 +135,7 @@ bool decode_rb(ByteReader& r, RbImage& rb) {
   if (!r.ok() || nslots > 4096) return false;
   rb.slots.resize(nslots);
   for (RbSlotImage& s : rb.slots) {
-    s.qid = r.u64();
+    s.qid = QueryId{r.u64()};
     s.freq = r.u64();
     s.born = r.u64();
     s.state = r.u8();
@@ -143,7 +143,7 @@ bool decode_rb(ByteReader& r, RbImage& rb) {
     if (!r.ok() || ndocs > 65536) return false;
     s.docs.resize(ndocs);
     for (ScoredDoc& d : s.docs) {
-      d.doc = r.u32();
+      d.doc = DocId{r.u32()};
       d.score = r.f32();
     }
   }
@@ -151,7 +151,7 @@ bool decode_rb(ByteReader& r, RbImage& rb) {
 }
 
 void encode_list_entry(const ListEntryImage& e, ByteWriter& w) {
-  w.u32(e.term);
+  w.u32(e.term.raw());
   w.u32(static_cast<std::uint32_t>(e.blocks.size()));
   for (std::uint32_t cb : e.blocks) w.u32(cb);
   w.u64(e.cached_bytes);
@@ -162,7 +162,7 @@ void encode_list_entry(const ListEntryImage& e, ByteWriter& w) {
 }
 
 bool decode_list_entry(ByteReader& r, ListEntryImage& e) {
-  e.term = r.u32();
+  e.term = TermId{r.u32()};
   const std::uint32_t nblocks = r.u32();
   if (!r.ok() || nblocks > 1u << 20) return false;
   e.blocks.resize(nblocks);

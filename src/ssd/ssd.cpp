@@ -32,7 +32,7 @@ IoResult Ssd::write_pages(Lpn first, std::uint64_t count) {
 }
 
 Micros Ssd::trim_pages(Lpn first, std::uint64_t count) {
-  Micros t = 0;
+  Micros t = micros(0);
   for (std::uint64_t i = 0; i < count; ++i) t += ftl_->trim(first + i);
   return t;
 }
@@ -63,7 +63,7 @@ IoResult Ssd::trim(Lba lba, std::uint64_t sectors) {
   // TRIM only whole pages fully covered by the range.
   const Lpn first = (lba + sectors_per_page_ - 1) / sectors_per_page_;
   const Lpn last = (lba + sectors) / sectors_per_page_;
-  Micros t = 0;
+  Micros t = micros(0);
   if (last > first) t = trim_pages(first, last - first);
   account(IoOp::kTrim, lba, static_cast<std::uint32_t>(sectors), t);
   return {t, IoStatus::kOk, 0};

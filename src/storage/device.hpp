@@ -18,13 +18,13 @@ struct DeviceStats {
   std::uint64_t trim_ops = 0;
   std::uint64_t sectors_read = 0;
   std::uint64_t sectors_written = 0;
-  Micros busy_read = 0;
-  Micros busy_write = 0;
+  Micros busy_read = micros(0);
+  Micros busy_write = micros(0);
 
   [[nodiscard]] Micros busy_total() const { return busy_read + busy_write; }
   [[nodiscard]] std::uint64_t ops_total() const { return read_ops + write_ops; }
   [[nodiscard]] Micros mean_access() const {
-    return ops_total() ? busy_total() / static_cast<double>(ops_total()) : 0;
+    return ops_total() ? busy_total() / static_cast<double>(ops_total()) : Micros{};
   }
 };
 
@@ -56,7 +56,7 @@ class StorageDevice {
 
   DeviceStats stats_;
   TraceCollector collector_{/*enabled=*/false};
-  Micros device_clock_ = 0;
+  Micros device_clock_ = micros(0);
 };
 
 inline void StorageDevice::account(IoOp op, Lba lba, std::uint32_t sectors,

@@ -83,9 +83,9 @@ struct FaultPlan {
   double read_transient_rate = 0;  // P[read needs a retry, then succeeds]
   double write_fail_rate = 0;      // P[write returns kWriteFailed]
   double latency_spike_rate = 0;   // P[op hits a latency spike]
-  Micros retry_latency = 500;      // added per transient retry
-  Micros unc_penalty = 4'000;      // added when a read is uncorrectable
-  Micros spike_latency = 50'000;   // added on a latency spike
+  Micros retry_latency = micros(500);      // added per transient retry
+  Micros unc_penalty = micros(4'000);      // added when a read is uncorrectable
+  Micros spike_latency = micros(50'000);   // added on a latency spike
   std::uint64_t seed = 0xdeadull;
 
   [[nodiscard]] bool armed() const {

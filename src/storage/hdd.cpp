@@ -16,7 +16,7 @@ HddModel::HddModel(const HddConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
 Micros HddModel::seek_time(Lba from, Lba to) const {
   const Lba total = cfg_.capacity / kSectorSize;
   const Lba dist = from > to ? from - to : to - from;
-  if (dist == 0) return 0;
+  if (dist == 0) return Micros{};
   // Square-root seek curve: short seeks are dominated by head settle,
   // long seeks by coast velocity. Classic Ruemmler & Wilkes shape.
   const double frac = static_cast<double>(dist) / static_cast<double>(total);

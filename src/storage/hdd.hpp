@@ -11,11 +11,11 @@ namespace ssdse {
 
 struct HddConfig {
   Bytes capacity = 180 * GiB;
-  Micros min_seek = 800;        // adjacent-track seek
-  Micros max_seek = 12'000;     // full-stroke seek
+  Micros min_seek = micros(800);        // adjacent-track seek
+  Micros max_seek = micros(12'000);     // full-stroke seek
   double rpm = 7200;            // -> 8.33 ms per revolution
   double transfer_mib_s = 100;  // sustained media rate
-  Micros controller_overhead = 50;
+  Micros controller_overhead = micros(50);
   std::uint64_t seed = 42;      // rotational-phase randomness
 };
 

@@ -34,7 +34,7 @@ inline const char* to_string(IoStatus s) {
 }
 
 struct [[nodiscard]] IoResult {
-  Micros latency = 0;
+  Micros latency = micros(0);
   IoStatus status = IoStatus::kOk;
   std::uint32_t retries = 0;  // ECC retry-ladder steps consumed
 

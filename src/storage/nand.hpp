@@ -21,9 +21,9 @@ struct NandConfig {
   std::uint32_t page_bytes = 2 * KiB;   // Table III
   std::uint32_t pages_per_block = 64;   // -> 128 KiB blocks
   std::uint32_t num_blocks = 16 * 1024; // 2 GiB raw by default
-  Micros page_read = 32.725;            // Table III
-  Micros page_program = 101.475;        // Table III
-  Micros block_erase = 1500.0;          // Table III
+  Micros page_read = micros(32.725);            // Table III
+  Micros page_program = micros(101.475);        // Table III
+  Micros block_erase = micros(1500.0);          // Table III
   NandFaultConfig fault;                // DESIGN.md §10; inert by default
 
   [[nodiscard]] Bytes block_bytes() const {
@@ -52,7 +52,7 @@ struct NandStats {
   std::uint64_t page_reads = 0;
   std::uint64_t page_programs = 0;
   std::uint64_t block_erases = 0;
-  Micros busy = 0;
+  Micros busy = micros(0);
 };
 
 class NandArray {

@@ -9,7 +9,7 @@ namespace ssdse {
 
 struct RamConfig {
   Bytes capacity = 2 * GiB;
-  Micros access_latency = 0.08;   // ~80 ns
+  Micros access_latency = micros(0.08);   // ~80 ns
   double bandwidth_gib_s = 20.0;  // sustained copy bandwidth
 };
 

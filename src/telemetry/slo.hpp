@@ -33,6 +33,8 @@
 #include <deque>
 #include <string>
 
+#include "src/util/types.hpp"
+
 namespace ssdse::telemetry {
 
 enum class SloState : std::uint8_t { kOk = 0, kWarn, kBreach };
@@ -58,15 +60,15 @@ struct SloSpec {
 
   /// Good iff at or below threshold — an exactly-on-threshold response
   /// meets the SLO (tested in traffic_test).
-  [[nodiscard]] bool good(double response_us) const {
-    return response_us <= threshold_us;
+  [[nodiscard]] bool good(Micros response) const {
+    return response <= micros(threshold_us);
   }
 
   /// Full event classification: latency good *and* coverage at or
   /// above the floor. Exactly-on-floor meets the SLO, mirroring the
   /// exactly-on-threshold convention (tested in traffic_test).
-  [[nodiscard]] bool good_event(double response_us, double coverage) const {
-    return good(response_us) &&
+  [[nodiscard]] bool good_event(Micros response, double coverage) const {
+    return good(response) &&
            (coverage_floor <= 0.0 || coverage >= coverage_floor);
   }
 };

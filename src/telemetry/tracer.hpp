@@ -55,8 +55,8 @@ const char* to_string(TraceStage stage);
 /// attribution. Stages the query never touched stay at 0 and are
 /// excluded from aggregate histograms via the touched mask.
 struct QueryTrace {
-  QueryId query = 0;
-  Micros total = 0;
+  QueryId query{};
+  Micros total = micros(0);
   std::array<Micros, kNumTraceStages> stage_us{};
   std::uint32_t touched = 0;  // bitmask over TraceStage
 

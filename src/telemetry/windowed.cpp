@@ -6,12 +6,12 @@
 namespace ssdse::telemetry {
 
 std::uint64_t window_index(Micros now, Micros width) {
-  if (now <= 0) return 0;
+  if (now <= Micros{}) return 0;
   return static_cast<std::uint64_t>(now / width);
 }
 
 WindowedSeries::WindowedSeries(Micros width) : width_(width) {
-  if (width <= 0) {
+  if (width <= Micros{}) {
     throw std::invalid_argument("WindowedSeries: width must be positive");
   }
 }
@@ -63,7 +63,7 @@ void WindowedSeries::merge(const WindowedSeries& other) {
 }
 
 WindowedCounter::WindowedCounter(Micros width) : width_(width) {
-  if (width <= 0) {
+  if (width <= Micros{}) {
     throw std::invalid_argument("WindowedCounter: width must be positive");
   }
 }
@@ -104,7 +104,7 @@ void WindowedCounter::merge(const WindowedCounter& other) {
     throw std::invalid_argument("WindowedCounter: width mismatch in merge");
   }
   for (const Cell& c : other.cells_) {
-    add(static_cast<Micros>(c.index) * width_, c.count);
+    add(static_cast<double>(c.index) * width_, c.count);
   }
   // add() already accumulated the counts into total_.
 }

@@ -40,6 +40,9 @@ class WindowedSeries {
 
   /// Record `value` in the window containing simulated time `now`.
   void add(Micros now, double value);
+  /// Histogram boundary (DESIGN.md §16): latencies leave the Micros
+  /// unit here, explicitly.
+  void add(Micros now, Micros value) { add(now, value.value()); }
 
   [[nodiscard]] Micros width() const { return width_; }
   /// Total samples across all windows.

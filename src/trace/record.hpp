@@ -11,7 +11,7 @@ namespace ssdse {
 enum class IoOp : std::uint8_t { kRead, kWrite, kTrim };
 
 struct IoRecord {
-  Micros timestamp = 0;  // simulated time of issue
+  Micros timestamp = micros(0);  // simulated time of issue
   IoOp op = IoOp::kRead;
   Lba lba = 0;           // starting sector
   std::uint32_t sectors = 0;

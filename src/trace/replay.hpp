@@ -17,10 +17,10 @@ struct ReplayReport {
   std::uint64_t writes = 0;
   std::uint64_t trims = 0;
   std::uint64_t skipped_out_of_range = 0;  // records beyond the device
-  Micros device_time = 0;                  // sum of service latencies
+  Micros device_time = micros(0);                  // sum of service latencies
   StreamingStats op_latency;
 
-  [[nodiscard]] Micros mean_latency() const { return op_latency.mean(); }
+  [[nodiscard]] Micros mean_latency() const { return micros(op_latency.mean()); }
 };
 
 struct ReplayOptions {

@@ -23,7 +23,7 @@ std::vector<IoRecord> synthesize_web_search_trace(
     std::swap(region_base[i - 1], region_base[rng.next_below(i)]);
   }
 
-  Micros now = 0;
+  Micros now = micros(0);
   for (std::size_t i = 0; i < cfg.num_ops; ++i) {
     const std::uint64_t rank = zipf.sample(rng) - 1;
     const Lba base = region_base[rank];
@@ -34,7 +34,7 @@ std::vector<IoRecord> synthesize_web_search_trace(
     const IoOp op = rng.chance(cfg.read_fraction) ? IoOp::kRead : IoOp::kWrite;
     out.push_back(IoRecord{now, op, std::min(lba, cfg.device_sectors - 1),
                            sectors});
-    now += rng.uniform(50.0, 500.0);
+    now += micros(rng.uniform(50.0, 500.0));
   }
   return out;
 }
@@ -43,7 +43,7 @@ std::vector<IoRecord> synthesize_lucene_trace(const LuceneTraceConfig& cfg,
                                               Rng& rng) {
   std::vector<IoRecord> out;
   out.reserve(cfg.num_ops);
-  Micros now = 0;
+  Micros now = micros(0);
   Lba cursor = cfg.band_start + rng.next_below(cfg.band_sectors);
   for (std::size_t i = 0; i < cfg.num_ops; ++i) {
     const auto sectors = static_cast<std::uint32_t>(
@@ -64,7 +64,7 @@ std::vector<IoRecord> synthesize_lucene_trace(const LuceneTraceConfig& cfg,
     }
     out.push_back(IoRecord{now, IoOp::kRead, cursor, sectors});
     cursor += sectors;
-    now += rng.uniform(50.0, 500.0);
+    now += micros(rng.uniform(50.0, 500.0));
   }
   return out;
 }

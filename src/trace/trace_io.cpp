@@ -56,7 +56,7 @@ std::vector<IoRecord> read_trace_csv(const std::string& path) {
         throw std::runtime_error(std::string("unknown op '") + op + "' in " +
                                  path);
     }
-    out.push_back(IoRecord{ts, parsed, lba, sectors});
+    out.push_back(IoRecord{micros(ts), parsed, lba, sectors});
   }
   return out;
 }

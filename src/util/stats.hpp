@@ -12,12 +12,17 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/types.hpp"
+
 namespace ssdse {
 
 /// Welford-style running mean/variance plus min/max/sum.
 class StreamingStats {
  public:
   void add(double x);
+  /// Histogram/statistics boundary (DESIGN.md §16): simulated latencies
+  /// leave the `Micros` unit here, explicitly, and nowhere implicitly.
+  void add(Micros x) { add(x.value()); }
   void merge(const StreamingStats& other);
   void reset();
 
@@ -47,6 +52,9 @@ class LatencyHistogram {
                             double growth = 1.15);
 
   void add(double x);
+  /// Histogram boundary (DESIGN.md §16): the one sanctioned implicit
+  /// exit from the `Micros` unit into bucket space.
+  void add(Micros x) { add(x.value()); }
   [[nodiscard]] std::uint64_t count() const { return total_; }
   double quantile(double q) const;  // q in [0,1]
   [[nodiscard]] double mean() const {

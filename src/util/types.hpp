@@ -1,22 +1,101 @@
 // Common scalar types and unit helpers shared by every subsystem.
+//
+// Units and identifiers are *strong types* (DESIGN.md §16): the whole
+// reproduction rests on disciplined accounting of simulated
+// microseconds, byte budgets and identifier spaces, so mixing them is
+// ill-formed at compile time rather than a silent unit bug.
+//
+//   - `Micros` wraps a double. Micros±Micros, Micros×scalar, Micros/scalar
+//     and comparisons are fine; Micros+Bytes, Micros+raw-double and any
+//     implicit double→Micros narrowing do not compile. The escape hatch
+//     is explicit: `.value()` to leave the unit (serialization, histogram
+//     geometry, wall-clock interop) and `micros(v)` / `ms(v)` / `sec(v)`
+//     to enter it.
+//   - `TermId` / `DocId` / `QueryId` are tagged, mutually incompatible
+//     integer ids: hashable, ordered within their own space, with an
+//     explicit `.raw()` at container-index and serialization boundaries.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
 
 namespace ssdse {
 
 /// Simulated time in microseconds. All device models and the query
-/// processor account time in this unit; a plain double keeps arithmetic
-/// cheap and composable (latencies are summed, averaged and histogrammed
-/// constantly in the hot path).
-using Micros = double;
+/// processor account time in this unit. The representation stays a plain
+/// double (arithmetic is as cheap as before; latencies are summed,
+/// averaged and histogrammed constantly in the hot path) — only the
+/// *type* is strong.
+class Micros {
+ public:
+  constexpr Micros() = default;
+  explicit constexpr Micros(double v) : v_(v) {}
 
-constexpr Micros kMillisecond = 1000.0;
-constexpr Micros kSecond = 1'000'000.0;
+  /// Escape hatch: leave the unit. Reserved for serialization,
+  /// histogram/statistics boundaries and wall-clock interop.
+  [[nodiscard]] constexpr double value() const { return v_; }
 
-constexpr Micros ms(double v) { return v * kMillisecond; }
-constexpr Micros sec(double v) { return v * kSecond; }
+  constexpr Micros& operator+=(Micros o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Micros& operator-=(Micros o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  template <class S, class = std::enable_if_t<std::is_arithmetic_v<S>>>
+  constexpr Micros& operator*=(S s) {
+    v_ *= static_cast<double>(s);
+    return *this;
+  }
+  template <class S, class = std::enable_if_t<std::is_arithmetic_v<S>>>
+  constexpr Micros& operator/=(S s) {
+    v_ /= static_cast<double>(s);
+    return *this;
+  }
+
+  friend constexpr Micros operator+(Micros a, Micros b) {
+    return Micros{a.v_ + b.v_};
+  }
+  friend constexpr Micros operator-(Micros a, Micros b) {
+    return Micros{a.v_ - b.v_};
+  }
+  friend constexpr Micros operator-(Micros a) { return Micros{-a.v_}; }
+
+  /// Scaling by a dimensionless count (ops, pages, sectors) keeps the
+  /// unit; Bytes is arithmetic so per-unit costs × counts stay legal.
+  template <class S, class = std::enable_if_t<std::is_arithmetic_v<S>>>
+  friend constexpr Micros operator*(Micros a, S s) {
+    return Micros{a.v_ * static_cast<double>(s)};
+  }
+  template <class S, class = std::enable_if_t<std::is_arithmetic_v<S>>>
+  friend constexpr Micros operator*(S s, Micros a) {
+    return Micros{static_cast<double>(s) * a.v_};
+  }
+  template <class S, class = std::enable_if_t<std::is_arithmetic_v<S>>>
+  friend constexpr Micros operator/(Micros a, S s) {
+    return Micros{a.v_ / static_cast<double>(s)};
+  }
+  /// Micros/Micros is a dimensionless ratio (utilization, burn rate).
+  friend constexpr double operator/(Micros a, Micros b) { return a.v_ / b.v_; }
+
+  friend constexpr bool operator==(Micros a, Micros b) { return a.v_ == b.v_; }
+  friend constexpr auto operator<=>(Micros a, Micros b) { return a.v_ <=> b.v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Explicit entry points into the unit.
+constexpr Micros micros(double v) { return Micros{v}; }
+constexpr Micros ms(double v) { return Micros{v * 1000.0}; }
+constexpr Micros sec(double v) { return Micros{v * 1'000'000.0}; }
+
+inline constexpr Micros kMillisecond = ms(1.0);
+inline constexpr Micros kSecond = sec(1.0);
 
 /// Byte counts. 64-bit everywhere: index extents for 5M documents exceed
 /// 4 GiB easily.
@@ -30,11 +109,106 @@ constexpr Bytes GiB = 1024 * MiB;
 using Lba = std::uint64_t;
 constexpr Bytes kSectorSize = 512;
 
-/// Identifier types. Strong-enough aliases; the index/engine layers never
-/// mix them because the APIs take them by distinct parameter names.
-using TermId = std::uint32_t;
-using DocId = std::uint32_t;
-using QueryId = std::uint64_t;
+/// Tagged identifier: `Tag` makes distinct id spaces mutually
+/// incompatible types. Ordered and hashable within one space; `.raw()`
+/// is the explicit boundary for container indexing and serialization.
+template <class Tag, class T>
+class TaggedId {
+ public:
+  using underlying_type = T;
+
+  constexpr TaggedId() = default;
+  explicit constexpr TaggedId(T v) : v_(v) {}
+
+  /// Escape hatch: the raw integer, for indexing and serialization.
+  [[nodiscard]] constexpr T raw() const { return v_; }
+
+  /// Ids enumerate their own space (corpus/vocabulary iteration).
+  constexpr TaggedId& operator++() {
+    ++v_;
+    return *this;
+  }
+  constexpr TaggedId operator++(int) {
+    TaggedId old = *this;
+    ++v_;
+    return old;
+  }
+
+  /// Affine-space arithmetic: id + offset is the id `offset` slots later
+  /// in the *same* space; id − id is the raw distance between two slots
+  /// (posting-gap deltas, vocabulary spans). Cross-space arithmetic does
+  /// not exist.
+  friend constexpr TaggedId operator+(TaggedId a, T offset) {
+    return TaggedId{static_cast<T>(a.v_ + offset)};
+  }
+  friend constexpr T operator-(TaggedId a, TaggedId b) {
+    return static_cast<T>(a.v_ - b.v_);
+  }
+
+  friend constexpr bool operator==(TaggedId, TaggedId) = default;
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+ private:
+  T v_ = 0;
+};
+
+/// A std::vector indexable *only* by one id space: parallel per-term /
+/// per-doc arrays keep their natural `arr[id]` syntax while an index by
+/// the wrong id space (or a bare integer) stays ill-formed. Only the
+/// vector surface this codebase uses is forwarded.
+template <class Id, class T>
+class IdVector {
+ public:
+  IdVector() = default;
+  explicit IdVector(std::size_t n) : v_(n) {}
+  IdVector(std::size_t n, const T& init) : v_(n, init) {}
+  IdVector(std::initializer_list<T> init) : v_(init) {}
+  /// Adopt a raw vector whose position i is the slot for Id{i}.
+  explicit IdVector(std::vector<T> v) : v_(std::move(v)) {}
+
+  [[nodiscard]] T& operator[](Id id) { return v_[id.raw()]; }
+  [[nodiscard]] const T& operator[](Id id) const { return v_[id.raw()]; }
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  /// One-past-the-last valid id — the bound for `for (Id i{}; i != end_id(); ++i)`.
+  [[nodiscard]] Id end_id() const {
+    return Id{static_cast<typename Id::underlying_type>(v_.size())};
+  }
+  /// True when `id` indexes a live slot.
+  [[nodiscard]] bool contains(Id id) const { return id.raw() < v_.size(); }
+
+  void resize(std::size_t n) { v_.resize(n); }
+  void resize(std::size_t n, const T& init) { v_.resize(n, init); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const { return v_.capacity(); }
+  void assign(std::size_t n, const T& init) { v_.assign(n, init); }
+  void push_back(const T& x) { v_.push_back(x); }
+  void push_back(T&& x) { v_.push_back(static_cast<T&&>(x)); }
+  template <class... Args>
+  T& emplace_back(Args&&... args) {
+    return v_.emplace_back(static_cast<Args&&>(args)...);
+  }
+  void clear() { v_.clear(); }
+  [[nodiscard]] T* data() { return v_.data(); }
+  [[nodiscard]] const T* data() const { return v_.data(); }
+
+  [[nodiscard]] auto begin() { return v_.begin(); }
+  [[nodiscard]] auto end() { return v_.end(); }
+  [[nodiscard]] auto begin() const { return v_.begin(); }
+  [[nodiscard]] auto end() const { return v_.end(); }
+  [[nodiscard]] T& back() { return v_.back(); }
+  [[nodiscard]] const T& back() const { return v_.back(); }
+
+ private:
+  std::vector<T> v_;
+};
+
+/// Identifier spaces. Distinct tags — assigning a TermId to a DocId (or
+/// comparing across spaces) is ill-formed.
+using TermId = TaggedId<struct TermIdTag, std::uint32_t>;
+using DocId = TaggedId<struct DocIdTag, std::uint32_t>;
+using QueryId = TaggedId<struct QueryIdTag, std::uint64_t>;
 
 constexpr std::uint32_t kInvalidU32 = 0xFFFFFFFFu;
 
@@ -43,3 +217,10 @@ inline constexpr Bytes bytes_to_sectors(Bytes b) {
 }
 
 }  // namespace ssdse
+
+template <class Tag, class T>
+struct std::hash<ssdse::TaggedId<Tag, T>> {
+  std::size_t operator()(ssdse::TaggedId<Tag, T> id) const noexcept {
+    return std::hash<T>{}(id.raw());
+  }
+};

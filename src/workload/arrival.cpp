@@ -44,7 +44,7 @@ ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg,
   // (overlapping crowds compound, so the product is the safe bound).
   double crowd_peak = 1.0;
   for (const FlashCrowd& c : cfg_.flash_crowds) {
-    if (c.multiplier <= 0.0 || c.duration < 0.0) {
+    if (c.multiplier <= 0.0 || c.duration < Micros{}) {
       throw std::invalid_argument("ArrivalProcess: malformed flash crowd");
     }
     crowd_peak *= std::max(1.0, c.multiplier);
@@ -70,13 +70,13 @@ Query ArrivalProcess::make_outlier_query() {
   // near-certain cache miss, most of them HDD seeks, and the result
   // cache can never help. This is the heavy service-time tail.
   Query q;
-  q.id = (1ull << 62) + outliers_;
+  q.id = QueryId{(1ull << 62) + outliers_};
   const std::uint32_t vocab = gen_.config().vocab_size;
   const std::uint32_t lo = vocab / 2;
   q.terms.reserve(cfg_.outlier_terms);
   for (std::uint32_t i = 0; i < cfg_.outlier_terms; ++i) {
     const auto term =
-        static_cast<TermId>(lo + rng_.next_below(vocab - lo));
+        TermId{static_cast<std::uint32_t>(lo + rng_.next_below(vocab - lo))};
     if (std::find(q.terms.begin(), q.terms.end(), term) == q.terms.end()) {
       q.terms.push_back(term);
     }
@@ -87,9 +87,9 @@ Query ArrivalProcess::make_outlier_query() {
 ArrivalProcess::Arrival ArrivalProcess::next() {
   // Lewis-Shedler thinning: homogeneous candidates at the peak rate,
   // each kept with probability rate(t)/peak.
-  const double peak_per_us = peak_qps_ / kSecond;
+  const double peak_per_us = peak_qps_ / kSecond.value();
   for (;;) {
-    now_ += -std::log1p(-rng_.next_double()) / peak_per_us;
+    now_ += micros(-std::log1p(-rng_.next_double()) / peak_per_us);
     if (rng_.next_double() * peak_qps_ < rate_at(now_)) break;
   }
   Arrival a;
@@ -129,7 +129,7 @@ bool TrafficResult::breached() const {
 
 std::uint64_t TrafficResult::series_fingerprint() const {
   std::uint64_t h = kFnvOffset;
-  fnv_mix_double(h, response_windows.width());
+  fnv_mix_double(h, response_windows.width().value());
   fnv_mix(h, offered);
   fnv_mix(h, served);
   fnv_mix(h, shed);
@@ -194,7 +194,7 @@ TrafficResult run_traffic(TrafficTarget& target, QueryLogGenerator& gen,
 
   // k identical servers: a min-heap of times each server frees up.
   std::priority_queue<Micros, std::vector<Micros>, std::greater<>> free_at;
-  for (std::uint32_t s = 0; s < cfg.servers; ++s) free_at.push(0.0);
+  for (std::uint32_t s = 0; s < cfg.servers; ++s) free_at.push(Micros{});
   std::deque<ArrivalProcess::Arrival> waiting;
 
   const auto shed = [&](const ArrivalProcess::Arrival& a) {
@@ -239,7 +239,7 @@ TrafficResult run_traffic(TrafficTarget& target, QueryLogGenerator& gen,
     sample.wait = wait;
     sample.service = service;
     sample.response = response;
-    Micros traced = 0;
+    Micros traced = micros(0);
     if (const telemetry::QueryTrace* t = target.last_trace()) {
       for (std::size_t s = 0; s < telemetry::kNumTraceStages; ++s) {
         if (s == static_cast<std::size_t>(telemetry::TraceStage::kDaatSkip)) {
@@ -252,7 +252,7 @@ TrafficResult run_traffic(TrafficTarget& target, QueryLogGenerator& gen,
         ++r.stage_counts[s];
       }
     }
-    sample.untraced = std::max(0.0, service - traced);
+    sample.untraced = std::max(Micros{}, service - traced);
     r.stage_hists[kAttrQueueWait].add(wait);
     ++r.stage_counts[kAttrQueueWait];
     r.stage_hists[kAttrOther].add(sample.untraced);

@@ -49,8 +49,8 @@ namespace ssdse {
 /// A flash crowd: the arrival rate multiplies by `multiplier` for
 /// `duration` starting at `start` (simulated time).
 struct FlashCrowd {
-  Micros start = 0;
-  Micros duration = 0;
+  Micros start = micros(0);
+  Micros duration = micros(0);
   double multiplier = 1.0;
 };
 
@@ -76,7 +76,7 @@ struct ArrivalConfig {
 class ArrivalProcess {
  public:
   struct Arrival {
-    Micros time = 0;
+    Micros time = micros(0);
     Query query;
     bool outlier = false;
   };
@@ -99,7 +99,7 @@ class ArrivalProcess {
   ArrivalConfig cfg_;
   QueryLogGenerator& gen_;
   Rng rng_;
-  Micros now_ = 0;
+  Micros now_ = micros(0);
   double peak_qps_ = 0.0;
   std::uint64_t generated_ = 0;
   std::uint64_t outliers_ = 0;
@@ -144,16 +144,16 @@ const char* attr_stage_name(std::size_t stage);
 /// One worst-N reservoir entry: a full span breakdown of one slow
 /// query.
 struct TailSample {
-  QueryId query = 0;
+  QueryId query{};
   bool outlier = false;
-  Micros arrival = 0;
-  Micros wait = 0;      // dispatch - arrival (queueing delay)
-  Micros service = 0;   // completion - dispatch
-  Micros response = 0;  // completion - arrival
+  Micros arrival = micros(0);
+  Micros wait = micros(0);      // dispatch - arrival (queueing delay)
+  Micros service = micros(0);   // completion - dispatch
+  Micros response = micros(0);  // completion - arrival
   /// Per-stage span times (tracer stages; pseudo-stages are derived:
   /// queue_wait = wait, other = untraced).
   std::array<Micros, telemetry::kNumTraceStages> stage_us{};
-  Micros untraced = 0;  // service time no tracer span claimed
+  Micros untraced = micros(0);  // service time no tracer span claimed
 };
 
 /// Per-spec SLO verdict after the deterministic post-pass.
@@ -201,7 +201,7 @@ struct TrafficResult {
   std::uint64_t partial = 0;
   std::uint32_t servers = 1;
   std::size_t queue_capacity = 64;
-  Micros horizon = 0;  // end of simulation (last completion or arrival)
+  Micros horizon = micros(0);  // end of simulation (last completion or arrival)
 
   // Run-level distributions.
   LatencyHistogram response_hist;  // completion - arrival

@@ -35,22 +35,25 @@ LogAnalysis analyze_log(const QueryLogConfig& log_cfg, const IndexView& index,
   QueryLogGenerator gen(log_cfg);
   for (std::uint64_t i = 0; i < sample_size; ++i) {
     const Query q = gen.next();
-    out.query_freq.add(q.id);
-    for (TermId t : q.terms) out.term_freq.add(t);
+    out.query_freq.add(q.id.raw());
+    for (TermId t : q.terms) out.term_freq.add(t.raw());
   }
   for (const auto& [term, freq] : out.term_freq.sorted()) {
-    const auto meta = index.term_meta_fast(static_cast<TermId>(term));
+    const auto meta = index.term_meta_fast(TermId{static_cast<std::uint32_t>(term)});
     const auto sc =
         formula_sc_blocks(meta.list_bytes, meta.utilization, block_bytes);
     out.terms_by_ev.push_back(TermEfficiency{
-        static_cast<TermId>(term), freq, sc, formula_ev(freq, sc)});
+        TermId{static_cast<std::uint32_t>(term)}, freq, sc,
+        formula_ev(freq, sc)});
   }
   std::sort(out.terms_by_ev.begin(), out.terms_by_ev.end(),
             [](const TermEfficiency& a, const TermEfficiency& b) {
               if (a.ev != b.ev) return a.ev > b.ev;
               return a.term < b.term;
             });
-  out.queries_by_freq = out.query_freq.sorted();
+  for (const auto& [qid, freq] : out.query_freq.sorted()) {
+    out.queries_by_freq.emplace_back(QueryId{qid}, freq);
+  }
   return out;
 }
 

@@ -13,7 +13,7 @@
 namespace ssdse {
 
 struct TermEfficiency {
-  TermId term = 0;
+  TermId term{};
   std::uint64_t freq = 0;      // accesses in the analyzed sample
   std::uint32_t sc_blocks = 0; // Formula 1 cache size in 128 KiB blocks
   double ev = 0;               // Formula 2: freq / sc_blocks

@@ -33,7 +33,7 @@ Query QueryLogGenerator::query_for_rank(std::uint64_t rank) const {
   // the same terms — the identity the result cache keys on.
   Rng qrng(rank * 0x2545F4914F6CDD1Dull + cfg_.seed);
   Query q;
-  q.id = rank;
+  q.id = QueryId{rank};
   const std::uint32_t span = cfg_.max_terms - cfg_.min_terms + 1;
   const auto nterms = cfg_.min_terms +
                       static_cast<std::uint32_t>(qrng.next_below(span));

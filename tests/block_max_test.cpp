@@ -34,13 +34,13 @@ CorpusConfig pruning_corpus() {
 void expect_docs_identical(const ResultEntry& pruned, const ResultEntry& ref,
                            QueryId qid) {
   ASSERT_EQ(pruned.query, ref.query);
-  ASSERT_EQ(pruned.docs.size(), ref.docs.size()) << "query " << qid;
+  ASSERT_EQ(pruned.docs.size(), ref.docs.size()) << "query " << qid.raw();
   for (std::size_t i = 0; i < pruned.docs.size(); ++i) {
     EXPECT_EQ(pruned.docs[i].doc, ref.docs[i].doc)
-        << "query " << qid << " rank " << i;
+        << "query " << qid.raw() << " rank " << i;
     EXPECT_EQ(std::bit_cast<std::uint32_t>(pruned.docs[i].score),
               std::bit_cast<std::uint32_t>(ref.docs[i].score))
-        << "query " << qid << " rank " << i;
+        << "query " << qid.raw() << " rank " << i;
   }
 }
 
@@ -53,18 +53,18 @@ TEST(BlockPostingStoreTest, DecodeMatchesDocSortedArenaEveryTerm) {
     MaterializedCorpus corpus(pruning_corpus(), rng);
     MaterializedIndex index(corpus);
     BlockPostingStore store(kind);
-    for (TermId t = 0; t < index.vocab_size(); ++t) {
+    for (TermId t{}; t < TermId{index.vocab_size()}; ++t) {
       const DocSortedView ref = index.doc_sorted(t);
       store.add_list(ref.postings(), ref.idf());
       const BlockPostingView v = store.view(t);
-      ASSERT_EQ(v.size(), ref.size()) << "term " << t;
+      ASSERT_EQ(v.size(), ref.size()) << "term " << t.raw();
       Posting buf[kBlockPostings];
       std::size_t abs = 0;
       for (std::uint32_t b = 0; b < v.num_blocks(); ++b) {
         const std::uint32_t count = v.decode_block(b, buf);
         ASSERT_EQ(count, v.block_size(b));
         for (std::uint32_t i = 0; i < count; ++i, ++abs) {
-          ASSERT_EQ(buf[i], ref[abs]) << "term " << t << " abs " << abs;
+          ASSERT_EQ(buf[i], ref[abs]) << "term " << t.raw() << " abs " << abs;
         }
         EXPECT_EQ(v.block(b).last_doc, buf[count - 1].doc);
       }
@@ -83,7 +83,7 @@ TEST(BlockPostingStoreTest, StoredMaxBoundsEveryDecodedWeight) {
   const BlockPostingStore& store = index.block_store();
   Posting buf[kBlockPostings];
   std::uint64_t blocks_checked = 0;
-  for (TermId t = 0; t < index.vocab_size(); ++t) {
+  for (TermId t{}; t < TermId{index.vocab_size()}; ++t) {
     const BlockPostingView v = store.view(t);
     for (std::uint32_t b = 0; b < v.num_blocks(); ++b, ++blocks_checked) {
       const std::uint32_t count = v.decode_block(b, buf);
@@ -92,12 +92,12 @@ TEST(BlockPostingStoreTest, StoredMaxBoundsEveryDecodedWeight) {
         const double w = std::log(1.0 + buf[i].tf);
         // The invariant pruning soundness rests on: stored max >= every
         // weight in the block, as exact doubles.
-        ASSERT_GE(v.block(b).max_weight, w) << "term " << t << " block " << b;
+        ASSERT_GE(v.block(b).max_weight, w) << "term " << t.raw() << " block " << b;
         block_max = std::max(block_max, w);
       }
       // ... and it is the exact max, not merely an upper bound.
       ASSERT_EQ(v.block(b).max_weight, block_max)
-          << "term " << t << " block " << b;
+          << "term " << t.raw() << " block " << b;
     }
   }
   EXPECT_GT(blocks_checked, 100u);  // the corpus must exercise many blocks
@@ -108,8 +108,8 @@ TEST(BlockPostingStoreTest, FindBlockIsTheSkipTable) {
   MaterializedCorpus corpus(pruning_corpus(), rng);
   MaterializedIndex index(corpus);
   // Pick the longest list; probe find_block against a linear reference.
-  TermId longest = 0;
-  for (TermId t = 0; t < index.vocab_size(); ++t) {
+  TermId longest{};
+  for (TermId t{}; t < TermId{index.vocab_size()}; ++t) {
     if (index.block_postings(t).size() >
         index.block_postings(longest).size()) {
       longest = t;
@@ -126,7 +126,7 @@ TEST(BlockPostingStoreTest, FindBlockIsTheSkipTable) {
     std::uint32_t want = from;
     while (want < v.num_blocks() && v.block(want).last_doc < target) ++want;
     EXPECT_EQ(v.find_block(from, target), want)
-        << "target " << target << " from " << from;
+        << "target " << target.raw() << " from " << from;
   }
 }
 
@@ -142,7 +142,7 @@ TEST(MaxScoreEquivalenceTest, RandomizedQueriesBitIdenticalToOracle) {
   DaatProcessor oracle(10);
   MaxScoreDaatProcessor pruned(10);
   Rng qrng(909);
-  for (QueryId qid = 0; qid < 1'000; ++qid) {
+  for (QueryId qid{}; qid < QueryId{1'000}; ++qid) {
     const std::size_t n_terms = 1 + qrng.next_below(4);
     Query q{qid, {}};
     for (std::size_t i = 0; i < n_terms; ++i) {
@@ -172,7 +172,7 @@ TEST(MaxScoreEquivalenceTest, StreamVByteIndexMatchesToo) {
   DaatProcessor oracle(10);
   MaxScoreDaatProcessor pruned(10);
   Rng qrng(911);
-  for (QueryId qid = 0; qid < 300; ++qid) {
+  for (QueryId qid{}; qid < QueryId{300}; ++qid) {
     Query q{qid, {}};
     const std::size_t n_terms = 1 + qrng.next_below(3);
     for (std::size_t i = 0; i < n_terms; ++i) {
@@ -192,7 +192,7 @@ TEST(MaxScoreEquivalenceTest, UnboundedTopKNeverPrunes) {
   DaatProcessor oracle(100'000);
   MaxScoreDaatProcessor pruned(100'000);
   Rng qrng(913);
-  for (QueryId qid = 0; qid < 100; ++qid) {
+  for (QueryId qid{}; qid < QueryId{100}; ++qid) {
     Query q{qid, {}};
     q.terms.push_back(
         static_cast<TermId>(qrng.next_below(pruning_corpus().vocab_size)));
@@ -224,30 +224,30 @@ class MaxScoreEdgeTest : public ::testing::Test {
   MaterializedIndex index_;
 };
 
-TEST_F(MaxScoreEdgeTest, EmptyQuery) { check(Query{0, {}}); }
+TEST_F(MaxScoreEdgeTest, EmptyQuery) { check(Query{QueryId{0}, {}}); }
 
 TEST_F(MaxScoreEdgeTest, SingleTermQueries) {
-  for (TermId t = 0; t < 40; ++t) {
-    check(Query{t, {t}});
-    check(Query{1'000 + t, {t}}, /*top_k=*/1);  // θ rises fastest at k=1
+  for (TermId t{}; t < TermId{40}; ++t) {
+    check(Query{QueryId{t.raw()}, {t}});
+    check(Query{QueryId{1'000 + t.raw()}, {t}}, /*top_k=*/1);  // θ rises fastest at k=1
   }
 }
 
 TEST_F(MaxScoreEdgeTest, DuplicatedTermQuery) {
-  check(Query{1, {3, 3}});
-  check(Query{2, {7, 7, 7}});
+  check(Query{QueryId{1}, {TermId{3}, TermId{3}}});
+  check(Query{QueryId{2}, {TermId{7}, TermId{7}, TermId{7}}});
 }
 
 TEST_F(MaxScoreEdgeTest, TopKZeroAndOne) {
-  check(Query{5, {1, 2}}, /*top_k=*/0);
-  check(Query{6, {1, 2}}, /*top_k=*/1);
+  check(Query{QueryId{5}, {TermId{1}, TermId{2}}}, /*top_k=*/0);
+  check(Query{QueryId{6}, {TermId{1}, TermId{2}}}, /*top_k=*/1);
 }
 
 TEST_F(MaxScoreEdgeTest, ScratchReuseAcrossMixedQueries) {
   DaatProcessor oracle(10);
   MaxScoreDaatProcessor pruned(10);
   Rng rng(404);
-  for (QueryId qid = 0; qid < 200; ++qid) {
+  for (QueryId qid{}; qid < QueryId{200}; ++qid) {
     const std::size_t n_terms = 1 + rng.next_below(5);
     Query q{qid, {}};
     for (std::size_t i = 0; i < n_terms; ++i) {
@@ -282,8 +282,8 @@ TEST(MaxScoreChurnTest, DirtyTermsBypassStaleBlockMax) {
   MaxScoreDaatProcessor pruned(10);
   Rng crng(515);
   const auto run_queries = [&](QueryId base) {
-    for (QueryId i = 0; i < 150; ++i) {
-      Query q{base + i, {}};
+    for (QueryId i{}; i < QueryId{150}; ++i) {
+      Query q{base + i.raw(), {}};
       const std::size_t n_terms = 1 + crng.next_below(3);
       for (std::size_t k = 0; k < n_terms; ++k) {
         q.terms.push_back(static_cast<TermId>(crng.next_below(cfg.vocab_size)));
@@ -298,7 +298,7 @@ TEST(MaxScoreChurnTest, DirtyTermsBypassStaleBlockMax) {
   // deletes that orphan old maxima.
   for (int i = 0; i < 80; ++i) {
     ingest::DocBag bag;
-    for (TermId t = 0; t < 6; ++t) {
+    for (TermId t{}; t < TermId{6}; ++t) {
       bag.emplace_back(static_cast<TermId>(crng.next_below(cfg.vocab_size)),
                        20 + static_cast<std::uint32_t>(crng.next_below(40)));
     }
@@ -314,13 +314,13 @@ TEST(MaxScoreChurnTest, DirtyTermsBypassStaleBlockMax) {
     }
   }
   ASSERT_FALSE(live.clean());
-  run_queries(10'000);
+  run_queries(QueryId{10'000});
 
   // Post-merge: blocks (and block-max metadata) rebuilt from the merged
   // postings; the clean fast path is back in force.
   live.merge();
   ASSERT_TRUE(live.clean());
-  run_queries(20'000);
+  run_queries(QueryId{20'000});
 }
 
 }  // namespace

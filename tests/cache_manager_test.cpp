@@ -29,7 +29,7 @@ CacheConfig small_cache(CachePolicy policy) {
 ResultEntry make_result(QueryId qid) {
   ResultEntry e;
   e.query = qid;
-  e.docs = {{static_cast<DocId>(qid), 1.0f}};
+  e.docs = {{DocId{static_cast<std::uint32_t>(qid.raw())}, 1.0f}};
   return e;
 }
 
@@ -55,23 +55,23 @@ class CacheManagerTest : public ::testing::Test {
 TEST_F(CacheManagerTest, ResultMissThenMemoryHit) {
   auto cm = make(CachePolicy::kCblru);
   Tier tier;
-  Micros t = 0;
-  EXPECT_EQ(cm->lookup_result(1, &tier, &t), nullptr);
-  cm->insert_result(make_result(1));
-  const ResultEntry* hit = cm->lookup_result(1, &tier, &t);
+  Micros t = micros(0);
+  EXPECT_EQ(cm->lookup_result(QueryId{1}, &tier, &t), nullptr);
+  cm->insert_result(make_result(QueryId{1}));
+  const ResultEntry* hit = cm->lookup_result(QueryId{1}, &tier, &t);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(tier, Tier::kMemory);
   EXPECT_EQ(cm->stats().result_hits_mem, 1u);
-  EXPECT_GT(t, 0.0);
+  EXPECT_GT(t.value(), 0.0);
 }
 
 TEST_F(CacheManagerTest, ListMissGoesToHddThenMemoryHit) {
   auto cm = make(CachePolicy::kCblru);
-  Micros t1 = 0;
-  EXPECT_EQ(cm->fetch_list(100, &t1), Tier::kHdd);
-  EXPECT_GT(t1, 1000.0);  // HDD seek territory
-  Micros t2 = 0;
-  EXPECT_EQ(cm->fetch_list(100, &t2), Tier::kMemory);
+  Micros t1 = micros(0);
+  EXPECT_EQ(cm->fetch_list(TermId{100}, &t1), Tier::kHdd);
+  EXPECT_GT(t1.value(), 1000.0);  // HDD seek territory
+  Micros t2 = micros(0);
+  EXPECT_EQ(cm->fetch_list(TermId{100}, &t2), Tier::kMemory);
   EXPECT_LT(t2, t1 / 10);
   EXPECT_EQ(cm->stats().hdd_list_reads, 1u);
   EXPECT_EQ(cm->stats().list_hits_mem, 1u);
@@ -81,13 +81,13 @@ TEST_F(CacheManagerTest, EvictedHotListsReachSsd) {
   auto cm = make(CachePolicy::kCblru);
   // Flood the memory list cache so evictions cascade into the SSD list
   // cache, then hit one of the SSD-resident terms.
-  Micros t = 0;
-  for (TermId term = 0; term < 1'500; ++term) cm->fetch_list(term, &t);
+  Micros t = micros(0);
+  for (TermId term{}; term < TermId{1'500}; ++term) cm->fetch_list(term, &t);
   EXPECT_GT(cm->ssd_lists()->stats().inserts, 0u);
-  EXPECT_GT(cm->stats().background_flash_time, 0.0);
-  for (TermId term = 0; term < 1'500; ++term) {
+  EXPECT_GT(cm->stats().background_flash_time.value(), 0.0);
+  for (TermId term{}; term < TermId{1'500}; ++term) {
     if (cm->ssd_lists()->contains(term) && !cm->mem_lists().contains(term)) {
-      Micros t2 = 0;
+      Micros t2 = micros(0);
       EXPECT_EQ(cm->fetch_list(term, &t2), Tier::kSsd);
       EXPECT_GE(cm->stats().list_hits_ssd, 1u);
       return;
@@ -102,9 +102,9 @@ TEST_F(CacheManagerTest, ResultsFlushInRbGroupsThroughWriteBuffer) {
   // eviction carries freq 2.
   const auto per_rb = cm->config().results_per_rb();
   Tier tier;
-  for (QueryId q = 0; q < 40; ++q) {
+  for (QueryId q{}; q < QueryId{40}; ++q) {
     cm->insert_result(make_result(q));
-    Micros t = 0;
+    Micros t = micros(0);
     cm->lookup_result(q, &tier, &t);
   }
   // 10-entry L1: 30 evictions -> write buffer groups of `per_rb`.
@@ -117,7 +117,7 @@ TEST_F(CacheManagerTest, ColdResultsDiscardedNotFlushed) {
   CacheConfig cc = small_cache(CachePolicy::kCblru);
   cc.min_result_freq_for_ssd = 100;  // nothing qualifies
   CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
-  for (QueryId q = 0; q < 40; ++q) cm.insert_result(make_result(q));
+  for (QueryId q{}; q < QueryId{40}; ++q) cm.insert_result(make_result(q));
   EXPECT_GT(cm.stats().results_discarded, 0u);
   EXPECT_EQ(cm.ssd_results()->stats().rb_writes, 0u);
 }
@@ -127,8 +127,8 @@ TEST_F(CacheManagerTest, TevFiltersListAdmission) {
   cc.tev = 1e18;          // impossible bar
   cc.mem_list_capacity = 128 * KiB;  // force plenty of evictions
   CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
-  Micros t = 0;
-  for (TermId term = 0; term < 2'000; ++term) cm.fetch_list(term, &t);
+  Micros t = micros(0);
+  for (TermId term{}; term < TermId{2'000}; ++term) cm.fetch_list(term, &t);
   EXPECT_GT(cm.stats().lists_discarded, 0u);
   EXPECT_EQ(cm.ssd_lists()->stats().inserts, 0u);
 }
@@ -137,36 +137,36 @@ TEST_F(CacheManagerTest, LruBaselineUsesLruMachinery) {
   auto cm = make(CachePolicy::kLru);
   EXPECT_EQ(cm->ssd_results(), nullptr);
   EXPECT_NE(cm->lru_ssd_results(), nullptr);
-  Micros t = 0;
-  cm->fetch_list(10, &t);
+  Micros t = micros(0);
+  cm->fetch_list(TermId{10}, &t);
   Tier tier;
-  cm->insert_result(make_result(1));
-  cm->lookup_result(1, &tier, &t);
+  cm->insert_result(make_result(QueryId{1}));
+  cm->lookup_result(QueryId{1}, &tier, &t);
   EXPECT_EQ(tier, Tier::kMemory);
 }
 
 TEST_F(CacheManagerTest, LruEvictionsWriteImmediately) {
   auto cm = make(CachePolicy::kLru);
-  for (QueryId q = 0; q < 20; ++q) cm->insert_result(make_result(q));
+  for (QueryId q{}; q < QueryId{20}; ++q) cm->insert_result(make_result(q));
   // 10-entry L1 -> 10 evictions, written without any grouping.
   EXPECT_EQ(cm->lru_ssd_results()->stats().inserts, 10u);
-  EXPECT_GT(cm->stats().background_flash_time, 0.0);
+  EXPECT_GT(cm->stats().background_flash_time.value(), 0.0);
 }
 
 TEST_F(CacheManagerTest, SsdResultHitPromotesToMemory) {
   auto cm = make(CachePolicy::kCblru);
   Tier tier;
   // Fill and overflow L1 so early queries land on the SSD.
-  for (QueryId q = 0; q < 40; ++q) {
+  for (QueryId q{}; q < QueryId{40}; ++q) {
     cm->insert_result(make_result(q));
-    Micros t = 0;
+    Micros t = micros(0);
     cm->lookup_result(q, &tier, &t);
   }
   cm->drain();
   // Find one query that is on the SSD and not in memory.
-  for (QueryId q = 0; q < 10; ++q) {
+  for (QueryId q{}; q < QueryId{10}; ++q) {
     if (!cm->mem_results().contains(q) && cm->ssd_results()->contains(q)) {
-      Micros t = 0;
+      Micros t = micros(0);
       const ResultEntry* hit = cm->lookup_result(q, &tier, &t);
       ASSERT_NE(hit, nullptr);
       EXPECT_EQ(tier, Tier::kSsd);
@@ -181,10 +181,10 @@ TEST_F(CacheManagerTest, OneLevelConfigNeverTouchesSsd) {
   CacheConfig cc = small_cache(CachePolicy::kCblru);
   cc.l2 = false;
   CacheManager cm(cc, nullptr, hdd_, ram_, index_);
-  Micros t = 0;
-  for (TermId term = 0; term < 100; ++term) cm.fetch_list(term, &t);
-  for (QueryId q = 0; q < 30; ++q) cm.insert_result(make_result(q));
-  EXPECT_EQ(cm.stats().background_flash_time, 0.0);
+  Micros t = micros(0);
+  for (TermId term{}; term < TermId{100}; ++term) cm.fetch_list(term, &t);
+  for (QueryId q{}; q < QueryId{30}; ++q) cm.insert_result(make_result(q));
+  EXPECT_EQ(cm.stats().background_flash_time.value(), 0.0);
   EXPECT_EQ(cm.ssd_lists(), nullptr);
 }
 
@@ -199,9 +199,9 @@ TEST_F(CacheManagerTest, DisabledResultCacheNeverHits) {
   cc.result_cache = false;
   CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
   Tier tier;
-  Micros t = 0;
-  cm.insert_result(make_result(1));
-  EXPECT_EQ(cm.lookup_result(1, &tier, &t), nullptr);
+  Micros t = micros(0);
+  cm.insert_result(make_result(QueryId{1}));
+  EXPECT_EQ(cm.lookup_result(QueryId{1}, &tier, &t), nullptr);
   EXPECT_EQ(cm.stats().result_lookups, 0u);
 }
 
@@ -209,9 +209,9 @@ TEST_F(CacheManagerTest, DisabledListCacheAlwaysHdd) {
   CacheConfig cc = small_cache(CachePolicy::kCblru);
   cc.list_cache = false;
   CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
-  Micros t = 0;
-  EXPECT_EQ(cm.fetch_list(5, &t), Tier::kHdd);
-  EXPECT_EQ(cm.fetch_list(5, &t), Tier::kHdd);  // no caching
+  Micros t = micros(0);
+  EXPECT_EQ(cm.fetch_list(TermId{5}, &t), Tier::kHdd);
+  EXPECT_EQ(cm.fetch_list(TermId{5}, &t), Tier::kHdd);  // no caching
   EXPECT_EQ(cm.stats().list_lookups, 0u);
 }
 
@@ -233,17 +233,17 @@ TEST_F(CacheManagerTest, DegenerateL1ServesWriteBufferHitFromScratch) {
   CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
   ASSERT_EQ(cm.mem_results().max_entries(), 0u);
 
-  cm.insert_result(make_result(7));
+  cm.insert_result(make_result(QueryId{7}));
   EXPECT_EQ(cm.mem_results().size(), 0u);  // bounced straight through
   EXPECT_GT(cm.write_buffer().size(), 0u);
 
   Tier tier;
-  Micros t = 0;
-  const ResultEntry* hit = cm.lookup_result(7, &tier, &t);
+  Micros t = micros(0);
+  const ResultEntry* hit = cm.lookup_result(QueryId{7}, &tier, &t);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->query, 7u);
+  EXPECT_EQ(hit->query, QueryId{7});
   ASSERT_EQ(hit->docs.size(), 1u);
-  EXPECT_EQ(hit->docs[0].doc, 7u);
+  EXPECT_EQ(hit->docs[0].doc.raw(), 7u);
   EXPECT_EQ(tier, Tier::kMemory);
   EXPECT_EQ(cm.stats().result_hits_mem, 1u);
 }
@@ -257,19 +257,19 @@ TEST_F(CacheManagerTest, DegenerateL1ServesSsdHitFromScratch) {
   cc.min_result_freq_for_ssd = 1;
   CacheManager cm(cc, ssd_.get(), hdd_, ram_, index_);
 
-  for (QueryId q = 0; q < 40; ++q) cm.insert_result(make_result(q));
+  for (QueryId q{}; q < QueryId{40}; ++q) cm.insert_result(make_result(q));
   cm.drain();  // flush the write buffer so entries are SSD-resident
 
   Tier tier;
   bool exercised = false;
-  for (QueryId q = 0; q < 40 && !exercised; ++q) {
+  for (QueryId q{}; q < QueryId{40} && !exercised; ++q) {
     if (!cm.ssd_results()->contains(q)) continue;
-    Micros t = 0;
+    Micros t = micros(0);
     const ResultEntry* hit = cm.lookup_result(q, &tier, &t);
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->query, q);
     ASSERT_EQ(hit->docs.size(), 1u);
-    EXPECT_EQ(hit->docs[0].doc, static_cast<DocId>(q));
+    EXPECT_EQ(hit->docs[0].doc, DocId{static_cast<std::uint32_t>(q.raw())});
     EXPECT_EQ(tier, Tier::kSsd);
     EXPECT_EQ(cm.mem_results().size(), 0u);  // never actually admitted
     exercised = true;
@@ -279,9 +279,9 @@ TEST_F(CacheManagerTest, DegenerateL1ServesSsdHitFromScratch) {
 
 TEST_F(CacheManagerTest, HitRatioAccounting) {
   auto cm = make(CachePolicy::kCblru);
-  Micros t = 0;
-  cm->fetch_list(1, &t);  // miss
-  cm->fetch_list(1, &t);  // hit
+  Micros t = micros(0);
+  cm->fetch_list(TermId{1}, &t);  // miss
+  cm->fetch_list(TermId{1}, &t);  // hit
   EXPECT_DOUBLE_EQ(cm->stats().list_hit_ratio(), 0.5);
   EXPECT_DOUBLE_EQ(cm->stats().hit_ratio(), 0.5);
 }

@@ -35,17 +35,17 @@ TEST(ClusterTest, GlobalDocIdsDisjointAcrossShards) {
   const auto out = cluster.execute(cluster.generator().next());
   // Global ids are shard-striped: id % shards recovers the shard.
   for (const ScoredDoc& d : out.result.docs) {
-    EXPECT_LT(d.doc % 4, 4u);
-    EXPECT_LT(d.doc / 4, 100'000u);  // shard-local space
+    EXPECT_LT(d.doc.raw() % 4, 4u);
+    EXPECT_LT(d.doc.raw() / 4, 100'000u);  // shard-local space
   }
 }
 
 TEST(ClusterTest, ResponseIncludesNetworkAndMerge) {
   ClusterConfig cfg = small_cluster(2);
-  cfg.network_rtt = 10'000;  // exaggerate to make it visible
+  cfg.network_rtt = micros(10'000);  // exaggerate to make it visible
   SearchCluster cluster(cfg);
   const auto out = cluster.execute(cluster.generator().next());
-  EXPECT_GE(out.response, out.slowest_shard + 10'000);
+  EXPECT_GE(out.response, out.slowest_shard + micros(10'000));
 }
 
 TEST(ClusterTest, MoreShardsLowerShardLatency) {
@@ -56,7 +56,7 @@ TEST(ClusterTest, MoreShardsLowerShardLatency) {
     cluster.run(600);
     return cluster.metrics().mean_response();
   };
-  EXPECT_LT(mean_response(8), mean_response(1) + 1'000 /*rtt+merge slack*/);
+  EXPECT_LT(mean_response(8), mean_response(1) + micros(1'000) /*rtt+merge slack*/);
 }
 
 TEST(ClusterTest, RunAccumulatesMetricsAndThroughput) {
@@ -76,7 +76,7 @@ TEST(ClusterTest, ParallelRunMatchesSequential) {
   a.run(400);
   b.run_parallel(400);
   EXPECT_EQ(a.metrics().queries(), b.metrics().queries());
-  EXPECT_DOUBLE_EQ(a.metrics().mean_response(), b.metrics().mean_response());
+  EXPECT_DOUBLE_EQ(a.metrics().mean_response().value(), b.metrics().mean_response().value());
   for (std::size_t i = 0; i < kNumSituations; ++i) {
     const auto s = static_cast<Situation>(i);
     EXPECT_EQ(a.metrics().situation_count(s), b.metrics().situation_count(s))

@@ -11,7 +11,7 @@ namespace ssdse {
 namespace {
 
 std::vector<Posting> freq_sorted_list(std::size_t n, std::uint64_t seed,
-                                      DocId doc_space = 1'000'000) {
+                                      DocId doc_space = DocId{1'000'000}) {
   Rng rng(seed);
   std::vector<Posting> out;
   out.reserve(n);
@@ -19,7 +19,7 @@ std::vector<Posting> freq_sorted_list(std::size_t n, std::uint64_t seed,
   for (std::size_t i = 0; i < n; ++i) {
     // tf non-increasing (frequency-sorted order).
     tf -= static_cast<std::uint32_t>(rng.next_below(3));
-    out.push_back(Posting{static_cast<DocId>(rng.next_below(doc_space)),
+    out.push_back(Posting{DocId{static_cast<std::uint32_t>(rng.next_below(doc_space.raw()))},
                           std::max<std::uint32_t>(tf, 1)});
   }
   return out;
@@ -206,13 +206,13 @@ std::vector<CodecCase> codec_cases() {
 // doc-sorted order they were designed for.
 
 std::vector<Posting> doc_sorted_list(std::size_t n, std::uint64_t seed,
-                                     DocId max_gap = 64) {
+                                     DocId max_gap = DocId{64}) {
   Rng rng(seed);
   std::vector<Posting> out;
   out.reserve(n);
-  DocId doc = 0;
+  DocId doc{};
   for (std::size_t i = 0; i < n; ++i) {
-    doc += 1 + static_cast<DocId>(rng.next_below(max_gap));
+    doc = doc + (1u + static_cast<std::uint32_t>(rng.next_below(max_gap.raw())));
     out.push_back(Posting{
         doc, 1 + static_cast<std::uint32_t>(rng.next_below(7))});
   }
@@ -235,11 +235,11 @@ TEST(BlockCodecTest, MaxDeltaAndOverflowPatterns) {
   // Extremes: doc 0 and doc 2^32-1 adjacent in both directions (the
   // delta wraps modulo 2^32), max tf, long runs of identical doc ids.
   const std::vector<std::vector<Posting>> lists = {
-      {{0, 1}, {0xFFFFFFFFu, 0xFFFFFFFFu}},
-      {{0xFFFFFFFFu, 1}, {0, 1}},  // negative delta: full wrap-around
-      {{5, 0}},                    // tf == 0 must survive
-      std::vector<Posting>(300, Posting{7, 3}),  // all-zero deltas
-      {{0, 0}, {0, 0}, {0xFFFFFFFFu, 0}},
+      {{DocId{0}, 1}, {DocId{0xFFFFFFFFu}, 0xFFFFFFFFu}},
+      {{DocId{0xFFFFFFFFu}, 1}, {DocId{0}, 1}},  // negative delta: full wrap-around
+      {{DocId{5}, 0}},                    // tf == 0 must survive
+      std::vector<Posting>(300, Posting{DocId{7}, 3}),  // all-zero deltas
+      {{DocId{0}, 0}, {DocId{0}, 0}, {DocId{0xFFFFFFFFu}, 0}},
   };
   for (std::size_t i = 0; i < lists.size(); ++i) {
     expect_round_trip(packed, lists[i], "packed case " + std::to_string(i));
@@ -255,12 +255,12 @@ TEST(BlockCodecTest, AdversarialBitWidths) {
   StreamVByteCodec svb;
   for (std::uint32_t width = 0; width <= 32; ++width) {
     std::vector<Posting> list;
-    DocId doc = 3;
-    const DocId delta =
-        width == 0 ? 0 : static_cast<DocId>((1ull << width) - 1);
+    DocId doc = DocId{3};
+    const std::uint32_t delta =
+        width == 0 ? 0 : static_cast<std::uint32_t>((1ull << width) - 1);
     for (std::size_t i = 0; i < 200; ++i) {
       list.push_back(Posting{doc, 1 + static_cast<std::uint32_t>(i % 5)});
-      doc += delta;  // wraps for wide widths; the format is modulo 2^32
+      doc = doc + delta;  // wraps for wide widths; the format is modulo 2^32
     }
     expect_round_trip(packed, list, "packed width " + std::to_string(width));
     expect_round_trip(svb, list, "svb width " + std::to_string(width));

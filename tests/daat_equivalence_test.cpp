@@ -19,15 +19,15 @@ void expect_identical(const ResultEntry& fast, const ResultEntry& ref,
                       const DaatStats& fast_stats,
                       const DaatStats& ref_stats, const Query& q) {
   ASSERT_EQ(fast.query, ref.query);
-  ASSERT_EQ(fast.docs.size(), ref.docs.size()) << "query " << q.id;
+  ASSERT_EQ(fast.docs.size(), ref.docs.size()) << "query " << q.id.raw();
   for (std::size_t i = 0; i < fast.docs.size(); ++i) {
     EXPECT_EQ(fast.docs[i].doc, ref.docs[i].doc)
-        << "query " << q.id << " rank " << i;
+        << "query " << q.id.raw() << " rank " << i;
     // Bit-exact scores: identical summation order and idf expressions,
     // not merely approximate equality.
     EXPECT_EQ(std::bit_cast<std::uint32_t>(fast.docs[i].score),
               std::bit_cast<std::uint32_t>(ref.docs[i].score))
-        << "query " << q.id << " rank " << i;
+        << "query " << q.id.raw() << " rank " << i;
   }
   EXPECT_EQ(fast_stats.docs_scored, ref_stats.docs_scored);
   EXPECT_EQ(fast_stats.postings_touched, ref_stats.postings_touched);
@@ -42,7 +42,7 @@ void run_suite(const CorpusConfig& cfg, std::uint64_t query_seed,
   DaatProcessor fast(top_k);
   NaiveDaatProcessor ref(top_k);
   Rng rng(query_seed);
-  for (QueryId qid = 0; qid < num_queries; ++qid) {
+  for (QueryId qid{}; qid < QueryId{num_queries}; ++qid) {
     const std::size_t n_terms = 1 + rng.next_below(4);
     Query q{qid, {}};
     for (std::size_t i = 0; i < n_terms; ++i) {
@@ -113,7 +113,7 @@ class DaatEquivalenceEdgeTest : public ::testing::Test {
   }
 
   DocId max_doc(TermId t) const {
-    DocId m = 0;
+    DocId m{};
     for (const Posting& p : index_.postings(t)->postings()) {
       m = std::max(m, p.doc);
     }
@@ -125,18 +125,18 @@ class DaatEquivalenceEdgeTest : public ::testing::Test {
   MaterializedIndex index_;
 };
 
-TEST_F(DaatEquivalenceEdgeTest, EmptyQuery) { check(Query{0, {}}); }
+TEST_F(DaatEquivalenceEdgeTest, EmptyQuery) { check(Query{QueryId{0}, {}}); }
 
 TEST_F(DaatEquivalenceEdgeTest, SingleTermQueries) {
-  for (TermId t = 0; t < 50; ++t) {
-    check(Query{t, {t}});
-    check(Query{1'000 + t, {t}}, /*top_k=*/100'000);
+  for (TermId t{}; t < TermId{50}; ++t) {
+    check(Query{QueryId{t.raw()}, {t}});
+    check(Query{QueryId{1'000 + t.raw()}, {t}}, /*top_k=*/100'000);
   }
 }
 
 TEST_F(DaatEquivalenceEdgeTest, DuplicatedTermQuery) {
-  check(Query{1, {3, 3}});
-  check(Query{2, {7, 7, 7}});
+  check(Query{QueryId{1}, {TermId{3}, TermId{3}}});
+  check(Query{QueryId{2}, {TermId{7}, TermId{7}, TermId{7}}});
 }
 
 TEST_F(DaatEquivalenceEdgeTest, ExhaustedNonDriverList) {
@@ -144,15 +144,15 @@ TEST_F(DaatEquivalenceEdgeTest, ExhaustedNonDriverList) {
   // the longer one: mid-intersection the non-driver list runs out, the
   // early-exit path the stats accounting is most sensitive to.
   bool found = false;
-  for (TermId a = 0; a < index_.vocab_size() && !found; ++a) {
+  for (TermId a{}; a < TermId{index_.vocab_size()} && !found; ++a) {
     const auto sa = index_.postings(a)->size();
     if (sa == 0) continue;
-    for (TermId b = 0; b < index_.vocab_size() && !found; ++b) {
+    for (TermId b{}; b < TermId{index_.vocab_size()} && !found; ++b) {
       const auto sb = index_.postings(b)->size();
       if (a == b || sb <= sa) continue;  // a must drive (strictly shorter)
       if (max_doc(b) < max_doc(a)) {
-        check(Query{42, {a, b}});
-        check(Query{43, {b, a}});  // term order must not matter
+        check(Query{QueryId{42}, {a, b}});
+        check(Query{QueryId{43}, {b, a}});  // term order must not matter
         found = true;
       }
     }
@@ -167,7 +167,7 @@ TEST_F(DaatEquivalenceEdgeTest, ScratchReuseAcrossMixedQueries) {
   DaatProcessor fast(10);
   NaiveDaatProcessor ref(10);
   Rng rng(404);
-  for (QueryId qid = 0; qid < 100; ++qid) {
+  for (QueryId qid{}; qid < QueryId{100}; ++qid) {
     const std::size_t n_terms = 1 + rng.next_below(5);
     Query q{qid, {}};
     for (std::size_t i = 0; i < n_terms; ++i) {

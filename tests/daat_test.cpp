@@ -21,20 +21,20 @@ PostingList make_list(std::vector<DocId> docs, std::uint32_t tf = 5) {
 // --- DocSortedList -----------------------------------------------------
 
 TEST(DocSortedListTest, SortsByDocId) {
-  DocSortedList list(make_list({50, 3, 20, 7}));
+  DocSortedList list(make_list({DocId{50}, DocId{3}, DocId{20}, DocId{7}}));
   ASSERT_EQ(list.size(), 4u);
-  EXPECT_EQ(list[0].doc, 3u);
-  EXPECT_EQ(list[3].doc, 50u);
+  EXPECT_EQ(list[0].doc.raw(), 3u);
+  EXPECT_EQ(list[3].doc, DocId{50});
 }
 
 TEST(DocSortedListTest, AdvanceFindsFirstAtLeastTarget) {
-  DocSortedList list(make_list({10, 20, 30, 40, 50}));
-  EXPECT_EQ(list.advance(0, 25), 2u);   // -> doc 30
-  EXPECT_EQ(list.advance(0, 30), 2u);   // exact
-  EXPECT_EQ(list.advance(0, 5), 0u);    // already positioned
-  EXPECT_EQ(list.advance(3, 35), 3u);   // from later cursor
-  EXPECT_EQ(list.advance(0, 100), 5u);  // exhausted
-  EXPECT_EQ(list.advance(5, 10), 5u);   // from end stays at end
+  DocSortedList list(make_list({DocId{10}, DocId{20}, DocId{30}, DocId{40}, DocId{50}}));
+  EXPECT_EQ(list.advance(0, DocId{25}), 2u);   // -> doc 30
+  EXPECT_EQ(list.advance(0, DocId{30}), 2u);   // exact
+  EXPECT_EQ(list.advance(0, DocId{5}), 0u);    // already positioned
+  EXPECT_EQ(list.advance(3, DocId{35}), 3u);   // from later cursor
+  EXPECT_EQ(list.advance(0, DocId{100}), 5u);  // exhausted
+  EXPECT_EQ(list.advance(5, DocId{10}), 5u);   // from end stays at end
 }
 
 TEST(DocSortedListTest, AdvanceNeverMovesBackwards) {
@@ -57,7 +57,7 @@ TEST(DocSortedListTest, AdvanceNeverMovesBackwards) {
         EXPECT_LT(list[next - 1].doc, target);
       }
     }
-    if (target >= (pos < list.size() ? list[pos].doc : 0)) pos = next;
+    if (target >= (pos < list.size() ? list[pos].doc : DocId{})) pos = next;
     if (pos >= list.size()) pos = 0;
   }
 }
@@ -69,7 +69,7 @@ TEST(DocSortedListTest, LongJumpsUseSkips) {
   }
   DocSortedList list(make_list(docs), /*skip_interval=*/64);
   std::uint64_t hops = 0;
-  list.advance(0, 29'000, &hops);
+  list.advance(0, DocId{29'000}, &hops);
   EXPECT_GT(hops, 0u);
 }
 
@@ -118,15 +118,15 @@ class DaatTest : public ::testing::Test {
 
 TEST_F(DaatTest, MatchesBruteForceIntersection) {
   DaatProcessor daat(/*top_k=*/100'000);  // keep every match
-  for (QueryId qid = 0; qid < 20; ++qid) {
-    Query q{qid, {static_cast<TermId>(qid % 40),
-                  static_cast<TermId>(40 + qid % 40)}};
+  for (QueryId qid{}; qid < QueryId{20}; ++qid) {
+    Query q{qid, {TermId{static_cast<std::uint32_t>(qid.raw() % 40)},
+                  TermId{static_cast<std::uint32_t>(40 + qid.raw() % 40)}}};
     DaatStats stats;
     const ResultEntry result = daat.intersect(index_, q, &stats);
     const auto expected = oracle(q.terms);
-    ASSERT_EQ(result.docs.size(), expected.size()) << "query " << qid;
+    ASSERT_EQ(result.docs.size(), expected.size()) << "query " << qid.raw();
     for (const ScoredDoc& d : result.docs) {
-      EXPECT_TRUE(expected.count(d.doc)) << d.doc;
+      EXPECT_TRUE(expected.count(d.doc)) << d.doc.raw();
     }
     EXPECT_EQ(stats.docs_scored, expected.size());
   }
@@ -134,7 +134,7 @@ TEST_F(DaatTest, MatchesBruteForceIntersection) {
 
 TEST_F(DaatTest, ThreeTermIntersection) {
   DaatProcessor daat(100'000);
-  Query q{1, {0, 1, 2}};
+  Query q{QueryId{1}, {TermId{0}, TermId{1}, TermId{2}}};
   const auto result = daat.intersect(index_, q);
   const auto expected = oracle(q.terms);
   EXPECT_EQ(result.docs.size(), expected.size());
@@ -142,7 +142,7 @@ TEST_F(DaatTest, ThreeTermIntersection) {
 
 TEST_F(DaatTest, ScoresDescending) {
   DaatProcessor daat(50);
-  Query q{2, {0, 1}};
+  Query q{QueryId{2}, {TermId{0}, TermId{1}}};
   const auto result = daat.intersect(index_, q);
   for (std::size_t i = 1; i < result.docs.size(); ++i) {
     EXPECT_GE(result.docs[i - 1].score, result.docs[i].score);
@@ -151,22 +151,22 @@ TEST_F(DaatTest, ScoresDescending) {
 
 TEST_F(DaatTest, TopKBoundsOutput) {
   DaatProcessor daat(5);
-  Query q{3, {0, 1}};
+  Query q{QueryId{3}, {TermId{0}, TermId{1}}};
   const auto result = daat.intersect(index_, q);
   EXPECT_LE(result.docs.size(), 5u);
 }
 
 TEST_F(DaatTest, EmptyQueryAndMissingTerm) {
   DaatProcessor daat;
-  EXPECT_TRUE(daat.intersect(index_, Query{4, {}}).docs.empty());
+  EXPECT_TRUE(daat.intersect(index_, Query{QueryId{4}, {}}).docs.empty());
 }
 
 TEST_F(DaatTest, SkipHopsObservedOnSelectiveQueries) {
   // Intersecting a rare term with a dense one forces long advances in
   // the dense list — the "skipped reads" of paper SSIII.
-  TermId rare = 0, dense = 0;
+  TermId rare = TermId{0}, dense = TermId{0};
   std::size_t min_df = ~0ull, max_df = 0;
-  for (TermId t = 0; t < index_.vocab_size(); ++t) {
+  for (TermId t{}; t < TermId{index_.vocab_size()}; ++t) {
     const auto df = index_.postings(t)->size();
     if (df > 0 && df < min_df) {
       min_df = df;
@@ -180,7 +180,7 @@ TEST_F(DaatTest, SkipHopsObservedOnSelectiveQueries) {
   ASSERT_NE(rare, dense);
   DaatProcessor daat(100'000);
   DaatStats stats;
-  daat.intersect(index_, Query{5, {rare, dense}}, &stats);
+  daat.intersect(index_, Query{QueryId{5}, {rare, dense}}, &stats);
   // Far fewer postings touched than the dense list holds.
   EXPECT_LT(stats.postings_touched, max_df);
 }

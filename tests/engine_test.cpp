@@ -30,37 +30,37 @@ class MaterializedScorerTest : public ::testing::Test {
 };
 
 TEST_F(MaterializedScorerTest, TopKBoundedAndSorted) {
-  Query q{1, {0, 1, 2}};
+  Query q{QueryId{1}, {TermId{0}, TermId{1}, TermId{2}}};
   const ScoreOutcome out = scorer_.score(index_, q);
   EXPECT_LE(out.result.docs.size(), kTopK);
   EXPECT_FALSE(out.result.docs.empty());
   for (std::size_t i = 1; i < out.result.docs.size(); ++i) {
     EXPECT_GE(out.result.docs[i - 1].score, out.result.docs[i].score);
   }
-  EXPECT_EQ(out.result.query, 1u);
+  EXPECT_EQ(out.result.query.raw(), 1u);
 }
 
 TEST_F(MaterializedScorerTest, EarlyTerminationPartialProcessing) {
   // Term 0 is the most frequent: its long list must not be fully walked.
-  Query q{2, {0}};
+  Query q{QueryId{2}, {TermId{0}}};
   const ScoreOutcome out = scorer_.score(index_, q);
   ASSERT_EQ(out.terms.size(), 1u);
   EXPECT_GT(out.terms[0].postings_processed, 0u);
   EXPECT_LE(out.terms[0].utilization, 1.0);
-  EXPECT_LE(out.terms[0].postings_processed, index_.term_meta(0).df);
+  EXPECT_LE(out.terms[0].postings_processed, index_.term_meta(TermId{0}).df);
 }
 
 TEST_F(MaterializedScorerTest, UtilizationRecordedBackIntoIndex) {
-  Query q{3, {5}};
+  Query q{QueryId{3}, {TermId{5}}};
   scorer_.score(index_, q);
   // After a real scoring pass, the optimistic 1.0 prior is replaced by
   // the measured value.
-  EXPECT_LE(index_.term_meta(5).utilization, 1.0);
-  EXPECT_GT(index_.term_meta(5).utilization, 0.0);
+  EXPECT_LE(index_.term_meta(TermId{5}).utilization, 1.0);
+  EXPECT_GT(index_.term_meta(TermId{5}).utilization, 0.0);
 }
 
 TEST_F(MaterializedScorerTest, DeterministicForSameQuery) {
-  Query q{4, {1, 7}};
+  Query q{QueryId{4}, {TermId{1}, TermId{7}}};
   const auto a = scorer_.score(index_, q);
   const auto b = scorer_.score(index_, q);
   ASSERT_EQ(a.result.docs.size(), b.result.docs.size());
@@ -70,8 +70,8 @@ TEST_F(MaterializedScorerTest, DeterministicForSameQuery) {
 }
 
 TEST_F(MaterializedScorerTest, CpuTimeGrowsWithPostings) {
-  const ScoreOutcome one = scorer_.score(index_, Query{5, {250}});
-  const ScoreOutcome many = scorer_.score(index_, Query{6, {0, 1, 2, 3}});
+  const ScoreOutcome one = scorer_.score(index_, Query{QueryId{5}, {TermId{250}}});
+  const ScoreOutcome many = scorer_.score(index_, Query{QueryId{6}, {TermId{0}, TermId{1}, TermId{2}, TermId{3}}});
   EXPECT_GT(many.total_postings, one.total_postings);
   EXPECT_GT(many.cpu_time, one.cpu_time);
 }
@@ -81,8 +81,8 @@ TEST_F(MaterializedScorerTest, TighterCutoffProcessesLess) {
   relaxed.tf_cutoff = 0.05;
   ScorerConfig tight;
   tight.tf_cutoff = 0.9;
-  const auto more = Scorer(relaxed).score(index_, Query{7, {0}});
-  const auto less = Scorer(tight).score(index_, Query{8, {0}});
+  const auto more = Scorer(relaxed).score(index_, Query{QueryId{7}, {TermId{0}}});
+  const auto less = Scorer(tight).score(index_, Query{QueryId{8}, {TermId{0}}});
   EXPECT_LE(less.total_postings, more.total_postings);
 }
 
@@ -94,13 +94,13 @@ TEST(AnalyticScorerTest, SynthesizesDeterministicTopK) {
   cfg.vocab_size = 5'000;
   AnalyticIndex index(cfg);
   Scorer scorer;
-  const Query q{42, {0, 3}};
+  const Query q{QueryId{42}, {TermId{0}, TermId{3}}};
   const auto a = scorer.score(index, q);
   const auto b = scorer.score(index, q);
   ASSERT_EQ(a.result.docs.size(), kTopK);
   for (std::size_t i = 0; i < kTopK; ++i) {
     EXPECT_EQ(a.result.docs[i], b.result.docs[i]);
-    EXPECT_LT(a.result.docs[i].doc, cfg.num_docs);
+    EXPECT_LT(a.result.docs[i].doc, DocId{cfg.num_docs});
   }
 }
 
@@ -110,8 +110,8 @@ TEST(AnalyticScorerTest, PostingsProcessedFollowUtilization) {
   cfg.vocab_size = 5'000;
   AnalyticIndex index(cfg);
   Scorer scorer;
-  const auto out = scorer.score(index, Query{1, {10}});
-  const TermMeta meta = index.term_meta(10);
+  const auto out = scorer.score(index, Query{QueryId{1}, {TermId{10}}});
+  const TermMeta meta = index.term_meta(TermId{10});
   ASSERT_EQ(out.terms.size(), 1u);
   EXPECT_EQ(out.terms[0].postings_processed,
             static_cast<std::uint64_t>(
@@ -124,8 +124,8 @@ TEST(AnalyticScorerTest, DifferentQueriesDifferentResults) {
   cfg.vocab_size = 5'000;
   AnalyticIndex index(cfg);
   Scorer scorer;
-  const auto a = scorer.score(index, Query{1, {0}});
-  const auto b = scorer.score(index, Query{2, {0}});
+  const auto a = scorer.score(index, Query{QueryId{1}, {TermId{0}}});
+  const auto b = scorer.score(index, Query{QueryId{2}, {TermId{0}}});
   EXPECT_NE(a.result.docs[0].doc, b.result.docs[0].doc);
 }
 

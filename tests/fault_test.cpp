@@ -35,7 +35,7 @@ TEST(FaultyDeviceTest, UnarmedPlanIsTransparent) {
   FaultyDevice faulty(b, FaultPlan{});  // all rates zero
   const IoResult plain = a.read(1'000, 64);
   const IoResult wrapped = faulty.read(1'000, 64);
-  EXPECT_DOUBLE_EQ(plain.latency, wrapped.latency);
+  EXPECT_DOUBLE_EQ(plain.latency.value(), wrapped.latency.value());
   EXPECT_EQ(wrapped.status, IoStatus::kOk);
   EXPECT_EQ(faulty.fault_stats().read_uncs, 0u);
 }
@@ -85,7 +85,7 @@ TEST(NandFaultTest, ZeroRatesDrawNothingAndStayOk) {
   const IoResult io = nand.read_page_checked(0);
   EXPECT_EQ(io.status, IoStatus::kOk);
   EXPECT_EQ(io.retries, 0u);
-  EXPECT_DOUBLE_EQ(io.latency, nand.config().page_read);
+  EXPECT_DOUBLE_EQ(io.latency.value(), nand.config().page_read.value());
 }
 
 // --- FTL bad-block management ---------------------------------------------
@@ -127,7 +127,7 @@ TEST(BadBlockTest, SparePoolExhaustionSurfacesWriteFailed) {
   const IoResult io = ftl.write(0);
   EXPECT_EQ(io.status, IoStatus::kWriteFailed);
   EXPECT_FALSE(io.ok());
-  EXPECT_GT(io.latency, 0.0);
+  EXPECT_GT(io.latency.value(), 0.0);
   EXPECT_GT(ftl.stats().grown_bad_blocks, 0u);
   // The failed page reads back as unmapped (the data never reached
   // flash) rather than tripping the tag verifier.
@@ -228,24 +228,24 @@ TEST(IoStatusTest, SeverityMergeIsAssociativeAndCommutative) {
   for (const IoStatus a : all) {
     for (const IoStatus b : all) {
       // Commutativity of the severity merge.
-      IoResult ab{1.0, a, 1};
-      ab += IoResult{2.0, b, 2};
-      IoResult ba{2.0, b, 2};
-      ba += IoResult{1.0, a, 1};
+      IoResult ab{micros(1.0), a, 1};
+      ab += IoResult{micros(2.0), b, 2};
+      IoResult ba{micros(2.0), b, 2};
+      ba += IoResult{micros(1.0), a, 1};
       EXPECT_EQ(ab.status, ba.status);
-      EXPECT_DOUBLE_EQ(ab.latency, ba.latency);
+      EXPECT_DOUBLE_EQ(ab.latency.value(), ba.latency.value());
       EXPECT_EQ(ab.retries, ba.retries);
       for (const IoStatus c : all) {
         // Associativity: (a + b) + c == a + (b + c).
-        IoResult left{1.0, a, 1};
-        left += IoResult{2.0, b, 2};
-        left += IoResult{4.0, c, 4};
-        IoResult bc{2.0, b, 2};
-        bc += IoResult{4.0, c, 4};
-        IoResult right{1.0, a, 1};
+        IoResult left{micros(1.0), a, 1};
+        left += IoResult{micros(2.0), b, 2};
+        left += IoResult{micros(4.0), c, 4};
+        IoResult bc{micros(2.0), b, 2};
+        bc += IoResult{micros(4.0), c, 4};
+        IoResult right{micros(1.0), a, 1};
         right += bc;
         EXPECT_EQ(left.status, right.status);
-        EXPECT_DOUBLE_EQ(left.latency, right.latency);
+        EXPECT_DOUBLE_EQ(left.latency.value(), right.latency.value());
         EXPECT_EQ(left.retries, right.retries);
         // The merged status is exactly the max severity of the inputs.
         const IoStatus expect = std::max(std::max(a, b), c);
@@ -285,7 +285,7 @@ std::uint64_t result_fingerprint(SearchSystem& sys, std::uint64_t queries) {
     for (const ScoredDoc& d : out.result.docs) {
       std::uint32_t bits;
       std::memcpy(&bits, &d.score, sizeof bits);
-      checksum = checksum * 1099511628211ull + d.doc + bits;
+      checksum = checksum * 1099511628211ull + d.doc.raw() + bits;
     }
   }
   return checksum;
@@ -376,7 +376,7 @@ TEST(ShardDeadlineTest, NoDeadlineIncludesEveryShard) {
 
 TEST(ShardDeadlineTest, ImpossibleDeadlineDropsAllShards) {
   ClusterConfig cfg = small_cluster(2);
-  cfg.shard_deadline = 0.001;  // far below any shard's service time
+  cfg.shard_deadline = micros(0.001);  // far below any shard's service time
   SearchCluster cluster(cfg);
   const auto out = cluster.execute(cluster.generator().next());
   EXPECT_EQ(out.shards_included, 0u);
@@ -384,7 +384,8 @@ TEST(ShardDeadlineTest, ImpossibleDeadlineDropsAllShards) {
   EXPECT_DOUBLE_EQ(out.coverage, 0.0);
   EXPECT_TRUE(out.result.docs.empty());
   // Broker stops waiting at the deadline: rtt only, no merge CPU.
-  EXPECT_DOUBLE_EQ(out.response, cfg.shard_deadline + cfg.network_rtt);
+  EXPECT_DOUBLE_EQ(out.response.value(),
+                   (cfg.shard_deadline + cfg.network_rtt).value());
 }
 
 TEST(ShardDeadlineTest, PartialCoverageKeepsFastShards) {
@@ -406,8 +407,9 @@ TEST(ShardDeadlineTest, PartialCoverageKeepsFastShards) {
   EXPECT_EQ(out.shards_dropped, 1u);
   EXPECT_DOUBLE_EQ(out.coverage, 0.5);
   EXPECT_FALSE(out.result.docs.empty());
-  EXPECT_DOUBLE_EQ(out.response, cfg.shard_deadline + cfg.network_rtt +
-                                     cfg.merge_cpu_per_shard);
+  EXPECT_DOUBLE_EQ(out.response.value(),
+                   (cfg.shard_deadline + cfg.network_rtt +
+                    cfg.merge_cpu_per_shard).value());
 }
 
 }  // namespace

@@ -136,7 +136,7 @@ TEST(PageFtlTest, GcLatencyChargedToWrites) {
   PageFtl ftl(nand);
   Rng rng(12);
   const Lpn n = ftl.logical_pages();
-  Micros max_write = 0;
+  Micros max_write = micros(0);
   for (int i = 0; i < 5000; ++i) {
     max_write = std::max(max_write, ftl.write(rng.next_below(n)).latency);
   }
@@ -167,7 +167,7 @@ TEST(PageFtlTest, MeanAccessPositiveAfterTraffic) {
   PageFtl ftl(nand);
   EXPECT_TRUE(ftl.write(0).ok());
   EXPECT_TRUE(ftl.read(0).ok());
-  EXPECT_GT(ftl.stats().mean_access(), 0.0);
+  EXPECT_GT(ftl.stats().mean_access().value(), 0.0);
 }
 
 TEST(PageFtlTest, WearBucketsZeroBeforeFirstCompaction) {

@@ -231,7 +231,7 @@ TEST_P(FtlSweepTest, IntegrityAndAccountingInvariants) {
   // Accounting invariants.
   const auto& s = ftl->stats();
   EXPECT_EQ(s.host_writes, 4000u);
-  EXPECT_GT(s.host_busy, 0.0);
+  EXPECT_GT(s.host_busy.value(), 0.0);
   EXPECT_GE(nand.stats().page_programs, s.host_writes);
   if (s.host_writes > 0) {
     EXPECT_GE(s.write_amplification(nand.stats()), 1.0);

@@ -13,7 +13,7 @@ namespace {
 // --- PostingList ---------------------------------------------------------
 
 TEST(PostingListTest, SortedByDescendingTf) {
-  PostingList list({{1, 5}, {2, 50}, {3, 1}, {4, 50}});
+  PostingList list({{DocId{1}, 5}, {DocId{2}, 50}, {DocId{3}, 1}, {DocId{4}, 50}});
   ASSERT_EQ(list.size(), 4u);
   EXPECT_EQ(list[0].tf, 50u);
   EXPECT_EQ(list[1].tf, 50u);
@@ -23,7 +23,7 @@ TEST(PostingListTest, SortedByDescendingTf) {
 
 TEST(PostingListTest, PrefixFractionRounding) {
   std::vector<Posting> p;
-  for (DocId d = 0; d < 10; ++d) p.push_back({d, 10 - d});
+  for (DocId d{}; d < DocId{10}; ++d) p.push_back({d, 10 - d.raw()});
   PostingList list(std::move(p));
   EXPECT_EQ(list.prefix(0.5).size(), 5u);
   EXPECT_EQ(list.prefix(0.01).size(), 1u);  // at least one posting
@@ -40,7 +40,8 @@ TEST(PostingListTest, EmptyList) {
 }
 
 TEST(PostingListTest, FrontierBinarySearch) {
-  PostingList list({{0, 9}, {1, 7}, {2, 7}, {3, 3}, {4, 1}});
+  PostingList list(
+      {{DocId{0}, 9}, {DocId{1}, 7}, {DocId{2}, 7}, {DocId{3}, 3}, {DocId{4}, 1}});
   EXPECT_EQ(list.frontier(10), 0u);
   EXPECT_EQ(list.frontier(7), 3u);  // first index with tf < 7
   EXPECT_EQ(list.frontier(1), 5u);
@@ -49,7 +50,7 @@ TEST(PostingListTest, FrontierBinarySearch) {
 
 TEST(PostingListTest, SkipTableCoversList) {
   std::vector<Posting> p;
-  for (DocId d = 0; d < 1000; ++d) p.push_back({d, 1000 - d});
+  for (DocId d{}; d < DocId{1000}; ++d) p.push_back({d, 1000 - d.raw()});
   PostingList list(std::move(p), /*skip_interval=*/128);
   const auto skips = list.skips();
   ASSERT_FALSE(skips.empty());
@@ -61,7 +62,7 @@ TEST(PostingListTest, SkipTableCoversList) {
 }
 
 TEST(PostingListTest, BytesUsesPostingSizeModel) {
-  PostingList list({{0, 1}, {1, 1}});
+  PostingList list({{DocId{0}, 1}, {DocId{1}, 1}});
   EXPECT_EQ(list.bytes(), 2 * kPostingBytes);
 }
 
@@ -77,8 +78,8 @@ CorpusConfig small_corpus() {
 
 TEST(TermStatsTest, DfDecreasesWithRankAndIsCapped) {
   TermStatsModel model(small_corpus());
-  for (TermId t = 1; t < model.vocab_size(); ++t) {
-    EXPECT_LE(model.df(t), model.df(t - 1) + 1) << "rank " << t;
+  for (TermId t = TermId{1}; t < TermId{model.vocab_size()}; ++t) {
+    EXPECT_LE(model.df(t), model.df(TermId{t.raw() - 1}) + 1) << "rank " << t.raw();
     EXPECT_LE(model.df(t), model.num_docs());
     EXPECT_GE(model.df(t), 1u);
   }
@@ -97,22 +98,23 @@ TEST(TermStatsTest, TotalPostingsNearTarget) {
 TEST(TermStatsTest, UtilizationInRangeAndLowForHeadTerms) {
   TermStatsModel model(small_corpus());
   double head_pu = 0, tail_pu = 0;
-  const TermId head_n = 20, tail_n = 20;
-  for (TermId t = 0; t < head_n; ++t) head_pu += model.utilization(t);
-  for (TermId t = model.vocab_size() - tail_n; t < model.vocab_size(); ++t) {
+  const TermId head_n = TermId{20}, tail_n = TermId{20};
+  for (TermId t{}; t < head_n; ++t) head_pu += model.utilization(t);
+  for (TermId t{model.vocab_size() - tail_n.raw()};
+       t < TermId{model.vocab_size()}; ++t) {
     tail_pu += model.utilization(t);
   }
-  for (TermId t = 0; t < model.vocab_size(); t += 97) {
+  for (TermId t{}; t < TermId{model.vocab_size()}; t = t + 97) {
     EXPECT_GT(model.utilization(t), 0.0);
     EXPECT_LE(model.utilization(t), 1.0);
   }
   // Long head lists are processed shallowly; short tail lists fully.
-  EXPECT_LT(head_pu / head_n, tail_pu / tail_n);
+  EXPECT_LT(head_pu / head_n.raw(), tail_pu / tail_n.raw());
 }
 
 TEST(TermStatsTest, ListBytesMatchPostingModel) {
   TermStatsModel model(small_corpus());
-  EXPECT_EQ(model.list_bytes(0), model.df(0) * kPostingBytes);
+  EXPECT_EQ(model.list_bytes(TermId{0}), model.df(TermId{0}) * kPostingBytes);
 }
 
 TEST(TermStatsTest, BuildWallTimeIsMeasured) {
@@ -128,8 +130,8 @@ TEST(TermStatsTest, CodecChangesModeledListBytes) {
   cfg.codec = "varint";
   TermStatsModel varint(cfg);
   TermStatsModel raw(small_corpus());  // default codec is raw
-  EXPECT_EQ(raw.df(0), varint.df(0));
-  EXPECT_LT(varint.list_bytes(0), raw.list_bytes(0));
+  EXPECT_EQ(raw.df(TermId{0}), varint.df(TermId{0}));
+  EXPECT_LT(varint.list_bytes(TermId{0}), raw.list_bytes(TermId{0}));
 }
 
 // --- IndexLayout ---------------------------------------------------------------
@@ -137,28 +139,28 @@ TEST(TermStatsTest, CodecChangesModeledListBytes) {
 TEST(LayoutTest, ExtentsAlignedAndDisjoint) {
   IndexLayout layout({1000, 5000, 1, 4096}, /*align=*/4096);
   Bytes prev_end = 0;
-  for (TermId t = 0; t < 4; ++t) {
+  for (TermId t{}; t < TermId{4}; ++t) {
     const Extent& e = layout.extent(t);
     EXPECT_EQ(e.offset % 4096, 0u);
     EXPECT_GE(e.offset, prev_end);
     prev_end = e.offset + e.length;
   }
-  EXPECT_EQ(layout.extent(1).length, 5000u);
+  EXPECT_EQ(layout.extent(TermId{1}).length, 5000u);
   EXPECT_GE(layout.total_bytes(), 1000u + 5000 + 1 + 4096);
 }
 
 TEST(LayoutTest, PrefixExtentClamped) {
   IndexLayout layout({10'000});
-  const Extent p = layout.prefix_extent(0, 2'000);
-  EXPECT_EQ(p.offset, layout.extent(0).offset);
+  const Extent p = layout.prefix_extent(TermId{0}, 2'000);
+  EXPECT_EQ(p.offset, layout.extent(TermId{0}).offset);
   EXPECT_EQ(p.length, 2'000u);
-  EXPECT_EQ(layout.prefix_extent(0, 99'999).length, 10'000u);
+  EXPECT_EQ(layout.prefix_extent(TermId{0}, 99'999).length, 10'000u);
 }
 
 TEST(LayoutTest, LbaConversion) {
   IndexLayout layout({1024, 1024}, 4096, /*base_offset=*/8192);
-  EXPECT_EQ(layout.extent(0).lba(), 8192 / kSectorSize);
-  EXPECT_EQ(layout.extent(0).sectors(), 2u);
+  EXPECT_EQ(layout.extent(TermId{0}).lba(), 8192 / kSectorSize);
+  EXPECT_EQ(layout.extent(TermId{0}).sectors(), 2u);
 }
 
 // --- MaterializedCorpus / MaterializedIndex ----------------------------------
@@ -175,14 +177,14 @@ TEST(MaterializedTest, CorpusDocsHaveSortedUniqueTerms) {
   Rng rng(31);
   MaterializedCorpus corpus(tiny_corpus(), rng);
   ASSERT_EQ(corpus.num_docs(), 500u);
-  for (DocId d = 0; d < 50; ++d) {
+  for (DocId d{}; d < DocId{50}; ++d) {
     const auto& doc = corpus.doc(d);
     EXPECT_FALSE(doc.empty());
     for (std::size_t i = 1; i < doc.size(); ++i) {
       EXPECT_LT(doc[i - 1].first, doc[i].first);
     }
     for (const auto& [term, tf] : doc) {
-      EXPECT_LT(term, 200u);
+      EXPECT_LT(term, TermId{200u});
       EXPECT_GE(tf, 1u);
     }
   }
@@ -193,12 +195,12 @@ TEST(MaterializedTest, IndexConsistentWithCorpus) {
   MaterializedCorpus corpus(tiny_corpus(), rng);
   MaterializedIndex index(corpus);
   // df(t) == number of docs containing t; verify on a sample.
-  for (TermId t = 0; t < 20; ++t) {
+  for (TermId t{}; t < TermId{20}; ++t) {
     std::uint64_t df = 0;
-    for (DocId d = 0; d < corpus.num_docs(); ++d) {
+    for (DocId d{}; d < DocId{corpus.num_docs()}; ++d) {
       for (const auto& [term, tf] : corpus.doc(d)) df += term == t;
     }
-    EXPECT_EQ(index.term_meta(t).df, df) << "term " << t;
+    EXPECT_EQ(index.term_meta(t).df, df) << "term " << t.raw();
     EXPECT_EQ(index.postings(t)->size(), df);
   }
 }
@@ -207,19 +209,19 @@ TEST(MaterializedTest, UtilizationRecordingRunsMean) {
   Rng rng(33);
   MaterializedCorpus corpus(tiny_corpus(), rng);
   MaterializedIndex index(corpus);
-  EXPECT_DOUBLE_EQ(index.term_meta(0).utilization, 1.0);  // optimistic prior
-  index.record_utilization(0, 0.5);
-  EXPECT_NEAR(index.term_meta(0).utilization, 0.5, 1e-6);
-  index.record_utilization(0, 0.7);
-  EXPECT_NEAR(index.term_meta(0).utilization, 0.6, 1e-6);
+  EXPECT_DOUBLE_EQ(index.term_meta(TermId{0}).utilization, 1.0);  // optimistic prior
+  index.record_utilization(TermId{0}, 0.5);
+  EXPECT_NEAR(index.term_meta(TermId{0}).utilization, 0.5, 1e-6);
+  index.record_utilization(TermId{0}, 0.7);
+  EXPECT_NEAR(index.term_meta(TermId{0}).utilization, 0.6, 1e-6);
 }
 
 TEST(MaterializedTest, OutOfRangeTermThrows) {
   Rng rng(34);
   MaterializedCorpus corpus(tiny_corpus(), rng);
   MaterializedIndex index(corpus);
-  EXPECT_THROW(index.term_meta(5000), std::out_of_range);
-  EXPECT_THROW(index.record_utilization(5000, 0.5), std::out_of_range);
+  EXPECT_THROW(index.term_meta(TermId{5000}), std::out_of_range);
+  EXPECT_THROW(index.record_utilization(TermId{5000}, 0.5), std::out_of_range);
 }
 
 // --- AnalyticIndex --------------------------------------------------------------
@@ -228,18 +230,18 @@ TEST(AnalyticIndexTest, MetaMatchesModel) {
   AnalyticIndex index(small_corpus());
   EXPECT_EQ(index.num_docs(), 100'000u);
   EXPECT_EQ(index.vocab_size(), 20'000u);
-  const TermMeta m = index.term_meta(0);
-  EXPECT_EQ(m.df, index.model().df(0));
-  EXPECT_EQ(m.list_bytes, index.model().list_bytes(0));
-  EXPECT_EQ(index.postings(0), nullptr);  // analytic: no materialized lists
-  EXPECT_THROW(index.term_meta(20'000), std::out_of_range);
+  const TermMeta m = index.term_meta(TermId{0});
+  EXPECT_EQ(m.df, index.model().df(TermId{0}));
+  EXPECT_EQ(m.list_bytes, index.model().list_bytes(TermId{0}));
+  EXPECT_EQ(index.postings(TermId{0}), nullptr);  // analytic: no materialized lists
+  EXPECT_THROW(index.term_meta(TermId{20'000}), std::out_of_range);
 }
 
 TEST(AnalyticIndexTest, LayoutCoversEveryTerm) {
   AnalyticIndex index(small_corpus());
   EXPECT_EQ(index.layout().terms(), index.vocab_size());
   EXPECT_GT(index.layout().total_bytes(), 0u);
-  EXPECT_EQ(index.layout().extent(5).length, index.term_meta(5).list_bytes);
+  EXPECT_EQ(index.layout().extent(TermId{5}).length, index.term_meta(TermId{5}).list_bytes);
 }
 
 }  // namespace

@@ -71,13 +71,13 @@ ingest::DocBag make_bag(Rng& rng, std::uint32_t vocab, std::size_t terms) {
 
 void expect_docs_eq(const ResultEntry& got, const ResultEntry& want,
                     QueryId qid) {
-  ASSERT_EQ(got.docs.size(), want.docs.size()) << "query " << qid;
+  ASSERT_EQ(got.docs.size(), want.docs.size()) << "query " << qid.raw();
   for (std::size_t i = 0; i < got.docs.size(); ++i) {
     EXPECT_EQ(got.docs[i].doc, want.docs[i].doc)
-        << "query " << qid << " rank " << i;
+        << "query " << qid.raw() << " rank " << i;
     EXPECT_EQ(std::bit_cast<std::uint32_t>(got.docs[i].score),
               std::bit_cast<std::uint32_t>(want.docs[i].score))
-        << "query " << qid << " rank " << i;
+        << "query " << qid.raw() << " rank " << i;
   }
 }
 
@@ -91,7 +91,7 @@ void expect_matches_oracle(MaterializedIndex& restarted,
   ASSERT_EQ(restarted.num_docs(), oracle_index.num_docs());
   DaatProcessor a(10), b(10);
   Rng qrng(77);
-  for (QueryId qid = 0; qid < 100; ++qid) {
+  for (QueryId qid{}; qid < QueryId{100}; ++qid) {
     Query q{qid, {}};
     const std::size_t terms = 1 + qrng.next_below(3);
     for (std::size_t i = 0; i < terms; ++i) {
@@ -109,10 +109,10 @@ TEST(IngestLogTest, RoundTripAllRecordTypes) {
   const std::string path = test_dir("roundtrip") + "/ingest.ssdse";
   {
     ingest::IngestLog log(path);
-    log.append_ingest(100, 5, {{1, 2}, {7, 1}});
-    log.append_delete(42, 6);
+    log.append_ingest(DocId{100}, 5, {{TermId{1}, 2}, {TermId{7}, 1}});
+    log.append_delete(DocId{42}, 6);
     log.append_merge_seal(101, 7);
-    log.append_ingest(101, 8, {});  // empty bag is legal on the wire
+    log.append_ingest(DocId{101}, 8, {});  // empty bag is legal on the wire
   }
   const auto scan = ingest::IngestLog::scan(path);
   ASSERT_EQ(scan.records.size(), 4u);
@@ -120,13 +120,13 @@ TEST(IngestLogTest, RoundTripAllRecordTypes) {
   EXPECT_EQ(scan.valid_bytes, fs::file_size(path));
 
   EXPECT_EQ(scan.records[0].type, recovery::RecordType::kIngest);
-  EXPECT_EQ(scan.records[0].doc, 100u);
+  EXPECT_EQ(scan.records[0].doc.raw(), 100u);
   EXPECT_EQ(scan.records[0].tick, 5u);
   ASSERT_EQ(scan.records[0].bag.size(), 2u);
   EXPECT_EQ(scan.records[0].bag[1], (std::pair<TermId, std::uint32_t>{7, 1}));
 
   EXPECT_EQ(scan.records[1].type, recovery::RecordType::kDelete);
-  EXPECT_EQ(scan.records[1].doc, 42u);
+  EXPECT_EQ(scan.records[1].doc, DocId{42});
   EXPECT_EQ(scan.records[1].tick, 6u);
 
   EXPECT_EQ(scan.records[2].type, recovery::RecordType::kMergeSeal);
@@ -148,8 +148,8 @@ TEST(IngestLogTest, TornTailScansToPrefixAndRepairs) {
   Bytes first_two = 0;
   {
     ingest::IngestLog log(path);
-    log.append_ingest(10, 1, {{3, 1}});
-    log.append_delete(4, 2);
+    log.append_ingest(DocId{10}, 1, {{TermId{3}, 1}});
+    log.append_delete(DocId{4}, 2);
     first_two = log.bytes_written();
     // Tear 5 bytes into the third record.
     CrashInjector::instance().arm_byte(first_two + 5);
@@ -177,7 +177,7 @@ TEST(IngestLogTest, ForeignRecordTypeEndsPrefix) {
   Bytes first = 0;
   {
     ingest::IngestLog log(path);
-    log.append_delete(1, 1);
+    log.append_delete(DocId{1}, 1);
     first = log.bytes_written();
   }
   {
@@ -202,7 +202,7 @@ TEST(IngestRecoveryTest, CleanRestartReplaysChurn) {
   Rng corpus_rng(cc.seed);
   MaterializedCorpus corpus(cc, corpus_rng);
   std::vector<ingest::DocBag> mirror;
-  for (DocId d = 0; d < corpus.num_docs(); ++d) mirror.push_back(corpus.doc(d));
+  for (DocId d{}; d < DocId{corpus.num_docs()}; ++d) mirror.push_back(corpus.doc(d));
 
   {
     MaterializedIndex index(corpus);
@@ -211,12 +211,12 @@ TEST(IngestRecoveryTest, CleanRestartReplaysChurn) {
     for (int i = 0; i < 25; ++i) {
       (void)a.execute(a.generator().next());
       const ingest::DocBag bag = make_bag(churn, cc.vocab_size, 8);
-      ASSERT_EQ(a.ingest_document(bag), mirror.size());
+      ASSERT_EQ(a.ingest_document(bag).raw(), mirror.size());
       mirror.push_back(bag);
       if (i % 5 == 4) {
         const auto victim =
             static_cast<DocId>(churn.next_below(index.num_docs()));
-        if (a.delete_document(victim)) mirror[victim].clear();
+        if (a.delete_document(victim)) mirror[victim.raw()].clear();
       }
     }
     a.merge_now();
@@ -240,7 +240,7 @@ TEST(IngestRecoveryTest, CrashMidIngestRecoversToPrefix) {
   Rng corpus_rng(cc.seed);
   MaterializedCorpus corpus(cc, corpus_rng);
   std::vector<ingest::DocBag> mirror;
-  for (DocId d = 0; d < corpus.num_docs(); ++d) mirror.push_back(corpus.doc(d));
+  for (DocId d{}; d < DocId{corpus.num_docs()}; ++d) mirror.push_back(corpus.doc(d));
 
   {
     MaterializedIndex index(corpus);
@@ -248,7 +248,7 @@ TEST(IngestRecoveryTest, CrashMidIngestRecoversToPrefix) {
     Rng churn(62);
     for (int i = 0; i < 10; ++i) {
       const ingest::DocBag bag = make_bag(churn, cc.vocab_size, 6);
-      ASSERT_EQ(a.ingest_document(bag), mirror.size());
+      ASSERT_EQ(a.ingest_document(bag).raw(), mirror.size());
       mirror.push_back(bag);
     }
     // Arm a tear a few bytes into the NEXT ingest append: the record is
@@ -273,8 +273,8 @@ TEST(IngestRecoveryTest, CrashMidIngestRecoversToPrefix) {
   expect_matches_oracle(restarted, cc, mirror);
 
   // The repaired log accepts new appends cleanly after restart.
-  (void)b.ingest_document({{1, 1}});
-  mirror.push_back({{1, 1}});
+  (void)b.ingest_document({{TermId{1}, 1}});
+  mirror.push_back({{TermId{1}, 1}});
   expect_matches_oracle(restarted, cc, mirror);
 }
 
@@ -285,7 +285,7 @@ TEST(IngestRecoveryTest, CrashMidMergeSealRecoversPreMergeState) {
   Rng corpus_rng(cc.seed);
   MaterializedCorpus corpus(cc, corpus_rng);
   std::vector<ingest::DocBag> mirror;
-  for (DocId d = 0; d < corpus.num_docs(); ++d) mirror.push_back(corpus.doc(d));
+  for (DocId d{}; d < DocId{corpus.num_docs()}; ++d) mirror.push_back(corpus.doc(d));
 
   {
     MaterializedIndex index(corpus);
@@ -296,7 +296,7 @@ TEST(IngestRecoveryTest, CrashMidMergeSealRecoversPreMergeState) {
       (void)a.ingest_document(bag);
       mirror.push_back(bag);
     }
-    ASSERT_TRUE(a.delete_document(3));
+    ASSERT_TRUE(a.delete_document(DocId{3}));
     mirror[3].clear();
     // Tear inside the kMergeSeal record itself: the merge never ran.
     const fs::path log_path = fs::path(dir) / "ingest.ssdse";
@@ -333,7 +333,7 @@ TEST(IngestRecoveryTest, CommittedSealReplaysMergeDeterministically) {
   Rng corpus_rng(cc.seed);
   MaterializedCorpus corpus(cc, corpus_rng);
   std::vector<ingest::DocBag> mirror;
-  for (DocId d = 0; d < corpus.num_docs(); ++d) mirror.push_back(corpus.doc(d));
+  for (DocId d{}; d < DocId{corpus.num_docs()}; ++d) mirror.push_back(corpus.doc(d));
 
   {
     MaterializedIndex index(corpus);

@@ -41,10 +41,10 @@ struct DocMirror {
 
   explicit DocMirror(const MaterializedCorpus& base) {
     docs.reserve(base.num_docs());
-    for (DocId d = 0; d < base.num_docs(); ++d) docs.push_back(base.doc(d));
+    for (DocId d{}; d.raw() < base.num_docs(); ++d) docs.push_back(base.doc(d));
   }
   void ingest(const ingest::DocBag& bag) { docs.push_back(bag); }
-  void erase(DocId d) { docs[d].clear(); }  // slot stays — empty bag
+  void erase(DocId d) { docs[d.raw()].clear(); }  // slot stays — empty bag
 };
 
 /// Rebuild-from-scratch oracle: a fresh corpus + index over the
@@ -72,7 +72,7 @@ ingest::DocBag make_bag(Rng& rng, std::uint32_t vocab, std::size_t terms) {
 std::vector<Query> random_queries(Rng& rng, std::uint32_t vocab,
                                   std::size_t n) {
   std::vector<Query> queries;
-  for (QueryId qid = 0; qid < n; ++qid) {
+  for (QueryId qid{}; qid < QueryId{n}; ++qid) {
     Query q{qid, {}};
     const std::size_t terms = 1 + rng.next_below(3);
     for (std::size_t i = 0; i < terms; ++i) {
@@ -85,13 +85,13 @@ std::vector<Query> random_queries(Rng& rng, std::uint32_t vocab,
 
 void expect_docs_eq(const ResultEntry& got, const ResultEntry& want,
                     const char* ctx, QueryId qid) {
-  ASSERT_EQ(got.docs.size(), want.docs.size()) << ctx << " query " << qid;
+  ASSERT_EQ(got.docs.size(), want.docs.size()) << ctx << " query " << qid.raw();
   for (std::size_t i = 0; i < got.docs.size(); ++i) {
     EXPECT_EQ(got.docs[i].doc, want.docs[i].doc)
-        << ctx << " query " << qid << " rank " << i;
+        << ctx << " query " << qid.raw() << " rank " << i;
     EXPECT_EQ(std::bit_cast<std::uint32_t>(got.docs[i].score),
               std::bit_cast<std::uint32_t>(want.docs[i].score))
-        << ctx << " query " << qid << " rank " << i;
+        << ctx << " query " << qid.raw() << " rank " << i;
   }
 }
 
@@ -113,11 +113,11 @@ void expect_oracle_equivalent(const MaterializedIndex& live_index,
     const ResultEntry nr = naive.intersect(live_index, q, &ns);
     const ResultEntry orn = oracle_naive.intersect(oracle.index, q, &ons);
     expect_docs_eq(nr, orn, ctx, q.id);
-    EXPECT_EQ(fs.docs_scored, os.docs_scored) << ctx << " query " << q.id;
+    EXPECT_EQ(fs.docs_scored, os.docs_scored) << ctx << " query " << q.id.raw();
     if (skips_rebuilt) {
       EXPECT_EQ(fs.postings_touched, os.postings_touched)
-          << ctx << " query " << q.id;
-      EXPECT_EQ(fs.skip_hops, os.skip_hops) << ctx << " query " << q.id;
+          << ctx << " query " << q.id.raw();
+      EXPECT_EQ(fs.skip_hops, os.skip_hops) << ctx << " query " << q.id.raw();
     }
   }
 }
@@ -126,20 +126,20 @@ void expect_oracle_equivalent(const MaterializedIndex& live_index,
 
 TEST(LiveSegmentTest, AppendAndCollectPreservesOrder) {
   ingest::LiveSegment seg(10, 2);  // tiny blocks force chaining
-  seg.append(3, {100, 2});
-  seg.append(3, {101, 1});
-  seg.append(3, {105, 4});
-  seg.append(7, {100, 9});
-  EXPECT_EQ(seg.count(3), 3u);
-  EXPECT_EQ(seg.count(7), 1u);
-  EXPECT_EQ(seg.count(0), 0u);
+  seg.append(TermId{3}, {DocId{100}, 2});
+  seg.append(TermId{3}, {DocId{101}, 1});
+  seg.append(TermId{3}, {DocId{105}, 4});
+  seg.append(TermId{7}, {DocId{100}, 9});
+  EXPECT_EQ(seg.count(TermId{3}), 3u);
+  EXPECT_EQ(seg.count(TermId{7}), 1u);
+  EXPECT_EQ(seg.count(TermId{0}), 0u);
   EXPECT_EQ(seg.total_postings(), 4u);
   std::vector<Posting> out;
-  seg.collect(3, out);
+  seg.collect(TermId{3}, out);
   ASSERT_EQ(out.size(), 3u);
-  EXPECT_EQ(out[0].doc, 100u);
-  EXPECT_EQ(out[1].doc, 101u);
-  EXPECT_EQ(out[2].doc, 105u);
+  EXPECT_EQ(out[0].doc.raw(), 100u);
+  EXPECT_EQ(out[1].doc, DocId{101});
+  EXPECT_EQ(out[2].doc, DocId{105});
   EXPECT_EQ(out[2].tf, 4u);
 }
 
@@ -153,7 +153,7 @@ TEST(LiveSegmentTest, ClearKeepsArenaCapacity) {
   EXPECT_GT(bytes_before, 0u);
   seg.clear();
   EXPECT_EQ(seg.total_postings(), 0u);
-  EXPECT_EQ(seg.count(0), 0u);
+  EXPECT_EQ(seg.count(TermId{0}), 0u);
   EXPECT_EQ(seg.arena_bytes(), bytes_before);  // capacity retained
 }
 
@@ -174,8 +174,8 @@ TEST(LiveIndexTest, MonotoneDocIdsAndSlotAccounting) {
   Rng bag_rng(11);
   const DocId d0 = live.ingest(make_bag(bag_rng, cc.vocab_size, 5));
   const DocId d1 = live.ingest(make_bag(bag_rng, cc.vocab_size, 5));
-  EXPECT_EQ(d0, base);
-  EXPECT_EQ(d1, base + 1);
+  EXPECT_EQ(d0.raw(), base);
+  EXPECT_EQ(d1.raw(), base + 1);
   EXPECT_EQ(index.num_docs(), base + 2);
   EXPECT_FALSE(live.clean());
   EXPECT_EQ(live.live_doc_slots(), 2u);
@@ -191,10 +191,10 @@ TEST(LiveIndexTest, DeleteSemantics) {
   index.attach_overlay(&live);
 
   std::vector<TermId> terms;
-  ASSERT_TRUE(live.erase(5, &terms));
-  EXPECT_EQ(terms.size(), corpus.doc(5).size());
-  EXPECT_TRUE(live.is_deleted(5));
-  EXPECT_FALSE(live.erase(5, nullptr));  // already deleted
+  ASSERT_TRUE(live.erase(DocId{5}, &terms));
+  EXPECT_EQ(terms.size(), corpus.doc(DocId{5}).size());
+  EXPECT_TRUE(live.is_deleted(DocId{5}));
+  EXPECT_FALSE(live.erase(DocId{5}, nullptr));  // already deleted
   EXPECT_FALSE(live.erase(static_cast<DocId>(index.num_docs()), nullptr));
   // Deleting keeps the slot: N is unchanged.
   EXPECT_EQ(index.num_docs(), corpus.num_docs());
@@ -225,9 +225,9 @@ TEST(LiveIndexTest, MergeTriggers) {
   ic2.merge_segment_ops = 2;
   ingest::LiveIndex by_ops(index, corpus, ic2);
   std::vector<TermId> terms;
-  ASSERT_TRUE(by_ops.erase(1, &terms));
+  ASSERT_TRUE(by_ops.erase(DocId{1}, &terms));
   EXPECT_FALSE(by_ops.should_merge());
-  ASSERT_TRUE(by_ops.erase(2, &terms));
+  ASSERT_TRUE(by_ops.erase(DocId{2}, &terms));
   EXPECT_TRUE(by_ops.should_merge());  // deletes alone age the segment
 }
 
@@ -247,7 +247,7 @@ TEST(LiveIndexOracleTest, ChurnMatchesRebuildFromScratch) {
   for (int i = 0; i < 40; ++i) {
     const ingest::DocBag bag = make_bag(churn_rng, cc.vocab_size, 8);
     const DocId id = live.ingest(bag);
-    ASSERT_EQ(id, mirror.docs.size());
+    ASSERT_EQ(id.raw(), mirror.docs.size());
     mirror.ingest(bag);
     if (i % 4 == 3) {
       const auto victim =
@@ -273,14 +273,14 @@ TEST(LiveIndexOracleTest, ChurnMatchesRebuildFromScratch) {
   expect_oracle_equivalent(index, mid, queries, "post-merge", true);
 
   // Term metadata reconverges too (df, bytes, scoring idf).
-  for (TermId t = 0; t < cc.vocab_size; ++t) {
+  for (TermId t{}; t < TermId{cc.vocab_size}; ++t) {
     const TermMeta got = index.term_meta(t);
     const TermMeta want = mid.index.term_meta(t);
-    EXPECT_EQ(got.df, want.df) << "term " << t;
-    EXPECT_EQ(got.list_bytes, want.list_bytes) << "term " << t;
+    EXPECT_EQ(got.df, want.df) << "term " << t.raw();
+    EXPECT_EQ(got.list_bytes, want.list_bytes) << "term " << t.raw();
     EXPECT_EQ(std::bit_cast<std::uint64_t>(got.idf),
               std::bit_cast<std::uint64_t>(want.idf))
-        << "term " << t;
+        << "term " << t.raw();
   }
   index.attach_overlay(nullptr);
 }
@@ -337,8 +337,8 @@ TEST(IngestSystemTest, DisabledConfigRejectsApiAndStaysTransparent) {
   off.ingest.enabled = false;
   MaterializedIndex plain_index(corpus);
   SearchSystem plain(off, plain_index);
-  EXPECT_THROW((void)plain.delete_document(0), std::logic_error);
-  EXPECT_THROW((void)plain.ingest_document({{0, 1}}), std::logic_error);
+  EXPECT_THROW((void)plain.delete_document(DocId{0}), std::logic_error);
+  EXPECT_THROW((void)plain.ingest_document({{TermId{0}, 1}}), std::logic_error);
 
   // Enabled-but-idle: every query outcome bit-identical to a build
   // without the subsystem (zero-churn indistinguishability).
@@ -352,7 +352,7 @@ TEST(IngestSystemTest, DisabledConfigRejectsApiAndStaysTransparent) {
     const auto b = idle.execute(q2);
     EXPECT_EQ(std::bit_cast<std::uint64_t>(a.response),
               std::bit_cast<std::uint64_t>(b.response))
-        << "query " << q.id;
+        << "query " << q.id.raw();
     EXPECT_EQ(a.situation, b.situation);
     expect_docs_eq(b.result, a.result, "idle", q.id);
   }
@@ -386,7 +386,7 @@ TEST(IngestSystemTest, MutationInvalidatesCachedResultsAndLists) {
   // result (and any cached list) must be invalidated, and re-execution
   // recomputes against the mutated index.
   const DocId d = sys.ingest_document({{q.terms[0], 3}});
-  EXPECT_EQ(d, index.num_docs() - 1);
+  EXPECT_EQ(d.raw(), index.num_docs() - 1);
   const auto after = sys.execute(q);
   EXPECT_FALSE(after.result_from_cache);
   EXPECT_GT(sys.cache_manager().stats().stale_result_invalidations, 0u);
@@ -421,7 +421,7 @@ TEST(IngestSystemTest, ChurnedSystemMatchesOracleSystem) {
     if (i % 2 == 0) {
       const ingest::DocBag bag = make_bag(churn_rng, cc.vocab_size, 10);
       const DocId id = sys.ingest_document(bag);
-      ASSERT_EQ(id, mirror.docs.size());
+      ASSERT_EQ(id.raw(), mirror.docs.size());
       mirror.ingest(bag);
     }
     if (i % 8 == 5) {
@@ -455,7 +455,7 @@ TEST(IngestSystemTest, RunReportCarriesIngestSection) {
   MaterializedIndex index(corpus);
   SystemConfig cfg = ingest_system(cc);
   SearchSystem sys(cfg, index, corpus);
-  (void)sys.ingest_document({{1, 2}, {3, 1}});
+  (void)sys.ingest_document({{TermId{1}, 2}, {TermId{3}, 1}});
   (void)sys.execute(sys.generator().next());
   const std::string json = render_run_report(sys, "ingest_unit");
   EXPECT_NE(json.find("\"ingest\""), std::string::npos);

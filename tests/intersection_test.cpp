@@ -11,45 +11,45 @@ namespace {
 // --- IntersectionCache unit tests ---------------------------------------
 
 TEST(IntersectionCacheTest, KeyIsOrderInvariant) {
-  EXPECT_EQ(IntersectionCache::key(3, 9), IntersectionCache::key(9, 3));
-  EXPECT_NE(IntersectionCache::key(3, 9), IntersectionCache::key(3, 10));
+  EXPECT_EQ(IntersectionCache::key(TermId{3}, TermId{9}), IntersectionCache::key(TermId{9}, TermId{3}));
+  EXPECT_NE(IntersectionCache::key(TermId{3}, TermId{9}), IntersectionCache::key(TermId{3}, TermId{10}));
 }
 
 TEST(IntersectionCacheTest, InsertLookupEitherOrder) {
   IntersectionCache cache(1 * MiB);
-  cache.insert(5, 7, 10 * KiB);
-  EXPECT_NE(cache.lookup(5, 7), nullptr);
-  const CachedIntersection* e = cache.lookup(7, 5);
+  cache.insert(TermId{5}, TermId{7}, 10 * KiB);
+  EXPECT_NE(cache.lookup(TermId{5}, TermId{7}), nullptr);
+  const CachedIntersection* e = cache.lookup(TermId{7}, TermId{5});
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->bytes, 10 * KiB);
   EXPECT_EQ(e->freq, 3u);  // two lookups after admission
-  EXPECT_EQ(cache.lookup(5, 8), nullptr);
+  EXPECT_EQ(cache.lookup(TermId{5}, TermId{8}), nullptr);
 }
 
 TEST(IntersectionCacheTest, LruEvictionUnderPressure) {
   IntersectionCache cache(30 * KiB);
-  cache.insert(1, 2, 10 * KiB);
-  cache.insert(3, 4, 10 * KiB);
-  cache.insert(5, 6, 10 * KiB);
-  cache.lookup(1, 2);  // promote
-  cache.insert(7, 8, 10 * KiB);
-  EXPECT_TRUE(cache.contains(1, 2));
-  EXPECT_FALSE(cache.contains(3, 4));  // LRU victim
+  cache.insert(TermId{1}, TermId{2}, 10 * KiB);
+  cache.insert(TermId{3}, TermId{4}, 10 * KiB);
+  cache.insert(TermId{5}, TermId{6}, 10 * KiB);
+  cache.lookup(TermId{1}, TermId{2});  // promote
+  cache.insert(TermId{7}, TermId{8}, 10 * KiB);
+  EXPECT_TRUE(cache.contains(TermId{1}, TermId{2}));
+  EXPECT_FALSE(cache.contains(TermId{3}, TermId{4}));  // LRU victim
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_LE(cache.used_bytes(), cache.capacity());
 }
 
 TEST(IntersectionCacheTest, OversizedEntryRejected) {
   IntersectionCache cache(10 * KiB);
-  cache.insert(1, 2, 1 * MiB);
-  EXPECT_FALSE(cache.contains(1, 2));
+  cache.insert(TermId{1}, TermId{2}, 1 * MiB);
+  EXPECT_FALSE(cache.contains(TermId{1}, TermId{2}));
   EXPECT_EQ(cache.used_bytes(), 0u);
 }
 
 TEST(IntersectionCacheTest, ReinsertUpdatesBytes) {
   IntersectionCache cache(1 * MiB);
-  cache.insert(1, 2, 10 * KiB);
-  cache.insert(2, 1, 20 * KiB);
+  cache.insert(TermId{1}, TermId{2}, 10 * KiB);
+  cache.insert(TermId{2}, TermId{1}, 20 * KiB);
   EXPECT_EQ(cache.used_bytes(), 20 * KiB);
   EXPECT_EQ(cache.size(), 1u);
 }

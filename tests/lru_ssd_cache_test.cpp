@@ -16,7 +16,7 @@ SsdConfig small_ssd() {
 CachedResult cached(QueryId qid) {
   CachedResult c;
   c.entry.query = qid;
-  c.entry.docs = {{static_cast<DocId>(qid), 1.0f}};
+  c.entry.docs = {{DocId{static_cast<std::uint32_t>(qid.raw())}, 1.0f}};
   return c;
 }
 
@@ -71,24 +71,24 @@ TEST(LruSsdResultCacheTest, InsertLookupEvict) {
   Ssd ssd(small_ssd());
   // Room for exactly 3 slots (10 pages each).
   LruSsdResultCache cache(ssd, 0, 30);
-  (void)cache.insert(cached(1));
-  (void)cache.insert(cached(2));
-  (void)cache.insert(cached(3));
+  (void)cache.insert(cached(QueryId{1}));
+  (void)cache.insert(cached(QueryId{2}));
+  (void)cache.insert(cached(QueryId{3}));
   std::uint64_t freq;
-  Micros t = 0;
-  EXPECT_NE(cache.lookup(1, freq, t), nullptr);  // 1 promoted
-  (void)cache.insert(cached(4));                       // evicts LRU (= 2)
-  EXPECT_EQ(cache.lookup(2, freq, t), nullptr);
-  EXPECT_NE(cache.lookup(1, freq, t), nullptr);
+  Micros t = micros(0);
+  EXPECT_NE(cache.lookup(QueryId{1}, freq, t), nullptr);  // 1 promoted
+  (void)cache.insert(cached(QueryId{4}));                       // evicts LRU (= 2)
+  EXPECT_EQ(cache.lookup(QueryId{2}, freq, t), nullptr);
+  EXPECT_NE(cache.lookup(QueryId{1}, freq, t), nullptr);
   EXPECT_EQ(cache.stats().evictions, 1u);
 }
 
 TEST(LruSsdResultCacheTest, ReinsertOverwritesInPlace) {
   Ssd ssd(small_ssd());
   LruSsdResultCache cache(ssd, 0, 30);
-  (void)cache.insert(cached(1));
+  (void)cache.insert(cached(QueryId{1}));
   const auto writes_before = ssd.ftl().stats().host_writes;
-  (void)cache.insert(cached(1));  // same slot rewritten
+  (void)cache.insert(cached(QueryId{1}));  // same slot rewritten
   EXPECT_EQ(ssd.ftl().stats().host_writes, writes_before + 10);
   EXPECT_EQ(cache.size(), 1u);
 }
@@ -96,19 +96,19 @@ TEST(LruSsdResultCacheTest, ReinsertOverwritesInPlace) {
 TEST(LruSsdResultCacheTest, HitBumpsFrequency) {
   Ssd ssd(small_ssd());
   LruSsdResultCache cache(ssd, 0, 30);
-  (void)cache.insert(cached(7));
+  (void)cache.insert(cached(QueryId{7}));
   std::uint64_t freq = 0;
-  Micros t = 0;
-  cache.lookup(7, freq, t);
+  Micros t = micros(0);
+  cache.lookup(QueryId{7}, freq, t);
   EXPECT_EQ(freq, 2u);
-  cache.lookup(7, freq, t);
+  cache.lookup(QueryId{7}, freq, t);
   EXPECT_EQ(freq, 3u);
 }
 
 TEST(LruSsdResultCacheTest, ZeroCapacityDropsInserts) {
   Ssd ssd(small_ssd());
   LruSsdResultCache cache(ssd, 0, 5);  // < one slot
-  EXPECT_EQ(cache.insert(cached(1)), 0.0);
+  EXPECT_EQ((cache.insert(cached(QueryId{1}))).value(), 0.0);
   EXPECT_EQ(cache.size(), 0u);
 }
 
@@ -117,32 +117,32 @@ TEST(LruSsdResultCacheTest, ZeroCapacityDropsInserts) {
 TEST(LruSsdListCacheTest, PrefixRuleGovernsHits) {
   Ssd ssd(small_ssd());
   LruSsdListCache cache(ssd, 0, 100);
-  (void)cache.insert(1, 50 * KiB, 1);
-  Micros t = 0;
-  EXPECT_NE(cache.lookup(1, 50 * KiB, t), nullptr);
-  EXPECT_NE(cache.lookup(1, 10 * KiB, t), nullptr);
+  (void)cache.insert(TermId{1}, 50 * KiB, 1);
+  Micros t = micros(0);
+  EXPECT_NE(cache.lookup(TermId{1}, 50 * KiB, t), nullptr);
+  EXPECT_NE(cache.lookup(TermId{1}, 10 * KiB, t), nullptr);
   // Needing more than the cached prefix is a miss.
-  EXPECT_EQ(cache.lookup(1, 200 * KiB, t), nullptr);
-  EXPECT_EQ(cache.lookup(2, 1, t), nullptr);
+  EXPECT_EQ(cache.lookup(TermId{1}, 200 * KiB, t), nullptr);
+  EXPECT_EQ(cache.lookup(TermId{2}, 1, t), nullptr);
 }
 
 TEST(LruSsdListCacheTest, EvictsLruUntilFit) {
   Ssd ssd(small_ssd());
   LruSsdListCache cache(ssd, 0, 50);  // 100 KiB of pages
-  (void)cache.insert(1, 40 * KiB, 1);       // 20 pages
-  (void)cache.insert(2, 40 * KiB, 1);       // 20 pages
-  Micros t = 0;
-  cache.lookup(1, 1, t);              // promote 1
-  (void)cache.insert(3, 40 * KiB, 1);       // needs 20: evict LRU (= 2)
-  EXPECT_FALSE(cache.contains(2));
-  EXPECT_TRUE(cache.contains(1));
-  EXPECT_TRUE(cache.contains(3));
+  (void)cache.insert(TermId{1}, 40 * KiB, 1);       // 20 pages
+  (void)cache.insert(TermId{2}, 40 * KiB, 1);       // 20 pages
+  Micros t = micros(0);
+  cache.lookup(TermId{1}, 1, t);              // promote 1
+  (void)cache.insert(TermId{3}, 40 * KiB, 1);       // needs 20: evict LRU (= 2)
+  EXPECT_FALSE(cache.contains(TermId{2}));
+  EXPECT_TRUE(cache.contains(TermId{1}));
+  EXPECT_TRUE(cache.contains(TermId{3}));
 }
 
 TEST(LruSsdListCacheTest, TooLargeRejected) {
   Ssd ssd(small_ssd());
   LruSsdListCache cache(ssd, 0, 50);
-  EXPECT_EQ(cache.insert(1, 10 * MiB, 1), 0.0);
+  EXPECT_EQ(cache.insert(TermId{1}, 10 * MiB, 1), Micros{});
   EXPECT_EQ(cache.stats().rejected_too_large, 1u);
 }
 
@@ -168,8 +168,8 @@ TEST(LruSsdListCacheTest, ChurnScattersWritesAcrossRuns) {
 TEST(LruSsdListCacheTest, ReinsertReleasesOldSpace) {
   Ssd ssd(small_ssd());
   LruSsdListCache cache(ssd, 0, 100);
-  (void)cache.insert(1, 100 * KiB, 1);  // 50 pages
-  (void)cache.insert(1, 20 * KiB, 1);   // shrink to 10 pages
+  (void)cache.insert(TermId{1}, 100 * KiB, 1);  // 50 pages
+  (void)cache.insert(TermId{1}, 20 * KiB, 1);   // shrink to 10 pages
   EXPECT_EQ(cache.allocator().free_pages(), 90u);
   EXPECT_EQ(cache.size(), 1u);
 }

@@ -13,7 +13,7 @@ namespace {
 ResultEntry make_result(QueryId qid) {
   ResultEntry e;
   e.query = qid;
-  e.docs = {{static_cast<DocId>(qid), 1.0f}};
+  e.docs = {{DocId{static_cast<std::uint32_t>(qid.raw())}, 1.0f}};
   return e;
 }
 
@@ -21,30 +21,30 @@ ResultEntry make_result(QueryId qid) {
 
 TEST(MemResultCacheTest, HitBumpsFrequency) {
   MemResultCache cache(100 * KiB);  // 5 entries
-  cache.insert(make_result(1));
-  EXPECT_EQ(cache.lookup(1)->freq, 2u);
-  EXPECT_EQ(cache.lookup(1)->freq, 3u);
-  EXPECT_EQ(cache.lookup(2), nullptr);
+  cache.insert(make_result(QueryId{1}));
+  EXPECT_EQ(cache.lookup(QueryId{1})->freq, 2u);
+  EXPECT_EQ(cache.lookup(QueryId{1})->freq, 3u);
+  EXPECT_EQ(cache.lookup(QueryId{2}), nullptr);
 }
 
 TEST(MemResultCacheTest, LruEvictionOrder) {
   MemResultCache cache(40 * KiB);  // 2 entries
-  cache.insert(make_result(1));
-  cache.insert(make_result(2));
-  cache.lookup(1);  // 1 becomes MRU
-  const auto ins = cache.insert(make_result(3));
-  EXPECT_EQ(ins.handle->entry.query, 3u);
+  cache.insert(make_result(QueryId{1}));
+  cache.insert(make_result(QueryId{2}));
+  cache.lookup(QueryId{1});  // 1 becomes MRU
+  const auto ins = cache.insert(make_result(QueryId{3}));
+  EXPECT_EQ(ins.handle->entry.query.raw(), 3u);
   ASSERT_EQ(ins.evicted.size(), 1u);
-  EXPECT_EQ(ins.evicted[0].entry.query, 2u);
-  EXPECT_TRUE(cache.contains(1));
-  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(ins.evicted[0].entry.query, QueryId{2});
+  EXPECT_TRUE(cache.contains(QueryId{1}));
+  EXPECT_TRUE(cache.contains(QueryId{3}));
 }
 
 TEST(MemResultCacheTest, ReinsertRefreshesWithoutEviction) {
   MemResultCache cache(40 * KiB);
-  cache.insert(make_result(1));
-  cache.insert(make_result(2));
-  const auto ins = cache.insert(make_result(1));
+  cache.insert(make_result(QueryId{1}));
+  cache.insert(make_result(QueryId{2}));
+  const auto ins = cache.insert(make_result(QueryId{1}));
   EXPECT_NE(ins.handle, nullptr);
   EXPECT_TRUE(ins.evicted.empty());
   EXPECT_EQ(cache.size(), 2u);
@@ -53,41 +53,41 @@ TEST(MemResultCacheTest, ReinsertRefreshesWithoutEviction) {
 TEST(MemResultCacheTest, CapacityAccounting) {
   MemResultCache cache(100 * KiB);
   EXPECT_EQ(cache.max_entries(), 5u);
-  for (QueryId q = 0; q < 10; ++q) cache.insert(make_result(q));
+  for (QueryId q{}; q < QueryId{10}; ++q) cache.insert(make_result(q));
   EXPECT_EQ(cache.size(), 5u);
   EXPECT_EQ(cache.used_bytes(), 5 * kResultEntryBytes);
 }
 
 TEST(MemResultCacheTest, EvictionCarriesFrequency) {
   MemResultCache cache(20 * KiB);  // 1 entry
-  cache.insert(make_result(1));
-  cache.lookup(1);
-  cache.lookup(1);
-  const auto ins = cache.insert(make_result(2));
+  cache.insert(make_result(QueryId{1}));
+  cache.lookup(QueryId{1});
+  cache.lookup(QueryId{1});
+  const auto ins = cache.insert(make_result(QueryId{2}));
   ASSERT_EQ(ins.evicted.size(), 1u);
   EXPECT_EQ(ins.evicted[0].freq, 3u);
 }
 
 TEST(MemResultCacheTest, InsertHandleIsStableAcrossRecencyChurn) {
   MemResultCache cache(100 * KiB);  // 5 entries
-  const auto ins = cache.insert(make_result(1));
+  const auto ins = cache.insert(make_result(QueryId{1}));
   ASSERT_NE(ins.handle, nullptr);
-  for (QueryId q = 2; q <= 5; ++q) cache.insert(make_result(q));
-  cache.lookup(3);  // recency churn must not move the node
-  EXPECT_EQ(ins.handle->entry.query, 1u);
-  EXPECT_EQ(&cache.lookup(1)->entry, &ins.handle->entry);
+  for (QueryId q = QueryId{2}; q <= QueryId{5}; ++q) cache.insert(make_result(q));
+  cache.lookup(QueryId{3});  // recency churn must not move the node
+  EXPECT_EQ(ins.handle->entry.query, QueryId{1});
+  EXPECT_EQ(&cache.lookup(QueryId{1})->entry, &ins.handle->entry);
 }
 
 TEST(MemResultCacheTest, DegenerateCapacityHoldsZeroEntries) {
   MemResultCache cache(kResultEntryBytes / 2);  // below one entry
   EXPECT_EQ(cache.max_entries(), 0u);
-  const auto ins = cache.insert(make_result(1));
+  const auto ins = cache.insert(make_result(QueryId{1}));
   // The entry is bounced straight to the eviction path, never cached.
   EXPECT_EQ(ins.handle, nullptr);
   ASSERT_EQ(ins.evicted.size(), 1u);
-  EXPECT_EQ(ins.evicted[0].entry.query, 1u);
+  EXPECT_EQ(ins.evicted[0].entry.query, QueryId{1});
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.lookup(QueryId{1}), nullptr);
 }
 
 // --- MemListCache ------------------------------------------------------------
@@ -106,18 +106,18 @@ CachedList list_info(Bytes cached, Bytes full, std::uint64_t freq = 1,
 
 TEST(MemListCacheTest, PrefixRuleGovernsHits) {
   MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
-  cache.insert(7, list_info(100 * KiB, 400 * KiB));
-  EXPECT_NE(cache.lookup(7, 50 * KiB), nullptr);
-  EXPECT_NE(cache.lookup(7, 100 * KiB), nullptr);
+  cache.insert(TermId{7}, list_info(100 * KiB, 400 * KiB));
+  EXPECT_NE(cache.lookup(TermId{7}, 50 * KiB), nullptr);
+  EXPECT_NE(cache.lookup(TermId{7}, 100 * KiB), nullptr);
   // Needing more than the cached prefix is a miss.
-  EXPECT_EQ(cache.lookup(7, 200 * KiB), nullptr);
-  EXPECT_EQ(cache.lookup(8, 1), nullptr);
+  EXPECT_EQ(cache.lookup(TermId{7}, 200 * KiB), nullptr);
+  EXPECT_EQ(cache.lookup(TermId{8}, 1), nullptr);
 }
 
 TEST(MemListCacheTest, HitBumpsFreqAndEv) {
   MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
-  cache.insert(1, list_info(10 * KiB, 10 * KiB, 1, 2));
-  const CachedList* e = cache.lookup(1, 1 * KiB);
+  cache.insert(TermId{1}, list_info(10 * KiB, 10 * KiB, 1, 2));
+  const CachedList* e = cache.lookup(TermId{1}, 1 * KiB);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->freq, 2u);
   EXPECT_DOUBLE_EQ(e->ev, 1.0);  // 2 / 2
@@ -125,72 +125,72 @@ TEST(MemListCacheTest, HitBumpsFreqAndEv) {
 
 TEST(MemListCacheTest, LruPolicyEvictsLru) {
   MemListCache cache(100 * KiB, CachePolicy::kLru, 4);
-  cache.insert(1, list_info(40 * KiB, 40 * KiB));
-  cache.insert(2, list_info(40 * KiB, 40 * KiB));
-  cache.lookup(1, 1);
-  const auto evicted = cache.insert(3, list_info(40 * KiB, 40 * KiB));
+  cache.insert(TermId{1}, list_info(40 * KiB, 40 * KiB));
+  cache.insert(TermId{2}, list_info(40 * KiB, 40 * KiB));
+  cache.lookup(TermId{1}, 1);
+  const auto evicted = cache.insert(TermId{3}, list_info(40 * KiB, 40 * KiB));
   ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].term, 2u);
+  EXPECT_EQ(evicted[0].term.raw(), 2u);
 }
 
 TEST(MemListCacheTest, CblruEvictsMinEvInWindow) {
   // Window covers the whole cache; the min-EV entry must go first even
   // if it is not the LRU one (Fig. 12).
   MemListCache cache(120 * KiB, CachePolicy::kCblru, 8);
-  cache.insert(1, list_info(40 * KiB, 40 * KiB, /*freq=*/50, /*sc=*/1));
-  cache.insert(2, list_info(40 * KiB, 40 * KiB, /*freq=*/2, /*sc=*/1));
-  cache.insert(3, list_info(40 * KiB, 40 * KiB, /*freq=*/30, /*sc=*/1));
+  cache.insert(TermId{1}, list_info(40 * KiB, 40 * KiB, /*freq=*/50, /*sc=*/1));
+  cache.insert(TermId{2}, list_info(40 * KiB, 40 * KiB, /*freq=*/2, /*sc=*/1));
+  cache.insert(TermId{3}, list_info(40 * KiB, 40 * KiB, /*freq=*/30, /*sc=*/1));
   // LRU order (old->new): 1, 2, 3. Min EV is term 2.
-  const auto evicted = cache.insert(4, list_info(40 * KiB, 40 * KiB, 10, 1));
+  const auto evicted = cache.insert(TermId{4}, list_info(40 * KiB, 40 * KiB, 10, 1));
   ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].term, 2u);
-  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(evicted[0].term, TermId{2});
+  EXPECT_TRUE(cache.contains(TermId{1}));
 }
 
 TEST(MemListCacheTest, CblruWindowLimitsScan) {
   // Window of 1: only the LRU entry is examined, so the global min-EV
   // entry deeper in the list survives.
   MemListCache cache(100 * KiB, CachePolicy::kCblru, 1);
-  cache.insert(1, list_info(40 * KiB, 40 * KiB, /*freq=*/1, /*sc=*/1));   // min EV
-  cache.insert(2, list_info(40 * KiB, 40 * KiB, /*freq=*/90, /*sc=*/1));
-  cache.lookup(1, 1);  // promote term 1 to MRU; LRU is now 2
-  const auto evicted = cache.insert(3, list_info(40 * KiB, 40 * KiB, 5, 1));
+  cache.insert(TermId{1}, list_info(40 * KiB, 40 * KiB, /*freq=*/1, /*sc=*/1));   // min EV
+  cache.insert(TermId{2}, list_info(40 * KiB, 40 * KiB, /*freq=*/90, /*sc=*/1));
+  cache.lookup(TermId{1}, 1);  // promote term 1 to MRU; LRU is now 2
+  const auto evicted = cache.insert(TermId{3}, list_info(40 * KiB, 40 * KiB, 5, 1));
   ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].term, 2u);  // LRU evicted despite higher EV
+  EXPECT_EQ(evicted[0].term, TermId{2});  // LRU evicted despite higher EV
 }
 
 TEST(MemListCacheTest, OversizedEntryPassesThrough) {
   MemListCache cache(50 * KiB, CachePolicy::kCblru, 4);
-  const auto evicted = cache.insert(1, list_info(80 * KiB, 80 * KiB));
+  const auto evicted = cache.insert(TermId{1}, list_info(80 * KiB, 80 * KiB));
   ASSERT_EQ(evicted.size(), 1u);
-  EXPECT_EQ(evicted[0].term, 1u);
-  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(evicted[0].term, TermId{1});
+  EXPECT_FALSE(cache.contains(TermId{1}));
   EXPECT_EQ(cache.used_bytes(), 0u);
 }
 
 TEST(MemListCacheTest, ReinsertUpdatesBytesAccounting) {
   MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
-  cache.insert(1, list_info(100 * KiB, 400 * KiB));
-  cache.insert(1, list_info(200 * KiB, 400 * KiB));
+  cache.insert(TermId{1}, list_info(100 * KiB, 400 * KiB));
+  cache.insert(TermId{1}, list_info(200 * KiB, 400 * KiB));
   EXPECT_EQ(cache.used_bytes(), 200 * KiB);
   EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(MemListCacheTest, ReinsertKeepsLargerFreq) {
   MemListCache cache(1 * MiB, CachePolicy::kCblru, 4);
-  cache.insert(1, list_info(10 * KiB, 10 * KiB, /*freq=*/9));
-  cache.insert(1, list_info(10 * KiB, 10 * KiB, /*freq=*/1));
-  EXPECT_EQ(cache.lookup(1, 1)->freq, 10u);  // max(9,1) + the hit
+  cache.insert(TermId{1}, list_info(10 * KiB, 10 * KiB, /*freq=*/9));
+  cache.insert(TermId{1}, list_info(10 * KiB, 10 * KiB, /*freq=*/1));
+  EXPECT_EQ(cache.lookup(TermId{1}, 1)->freq, 10u);  // max(9,1) + the hit
 }
 
 TEST(MemListCacheTest, MultipleEvictionsUntilFit) {
   MemListCache cache(100 * KiB, CachePolicy::kLru, 4);
-  cache.insert(1, list_info(40 * KiB, 40 * KiB));
-  cache.insert(2, list_info(40 * KiB, 40 * KiB));
-  const auto evicted = cache.insert(3, list_info(90 * KiB, 90 * KiB));
+  cache.insert(TermId{1}, list_info(40 * KiB, 40 * KiB));
+  cache.insert(TermId{2}, list_info(40 * KiB, 40 * KiB));
+  const auto evicted = cache.insert(TermId{3}, list_info(90 * KiB, 90 * KiB));
   EXPECT_EQ(evicted.size(), 2u);
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(TermId{3}));
 }
 
 // --- FlatLruMap vs LruMap shadow equivalence ----------------------------
@@ -313,7 +313,7 @@ TEST(MemListCacheTest, EncodedSizeAccountingChangesEvictionCounts) {
   // bytes are the encoded slice sizes, several-fold below raw.
   Bytes raw_total = 0;
   Bytes packed_total = 0;
-  for (TermId t = 0; t < cfg.vocab_size; ++t) {
+  for (TermId t{}; t < TermId{cfg.vocab_size}; ++t) {
     ASSERT_EQ(raw_index.doc_sorted(t).size(), packed_index.doc_sorted(t).size());
     raw_total += raw_index.term_meta_fast(t).list_bytes;
     packed_total += packed_index.term_meta_fast(t).list_bytes;
@@ -328,7 +328,7 @@ TEST(MemListCacheTest, EncodedSizeAccountingChangesEvictionCounts) {
   const auto evictions = [&](const MaterializedIndex& index) {
     MemListCache cache(capacity, CachePolicy::kLru, 4);
     std::size_t evicted = 0;
-    for (TermId t = 0; t < cfg.vocab_size; ++t) {
+    for (TermId t{}; t < TermId{cfg.vocab_size}; ++t) {
       const Bytes bytes = index.term_meta_fast(t).list_bytes;
       evicted += cache.insert(t, list_info(bytes, bytes)).size();
     }

@@ -45,33 +45,33 @@ TEST(SituationTest, NamesDistinct) {
 
 TEST(RunMetricsTest, ProbabilitiesSumToOne) {
   RunMetrics m;
-  m.record(Situation::kS1_ResultMemory, 100);
-  m.record(Situation::kS1_ResultMemory, 200);
-  m.record(Situation::kS9_ListsHdd, 5000);
-  m.record(Situation::kS5_ListsSsd, 800);
+  m.record(Situation::kS1_ResultMemory, micros(100));
+  m.record(Situation::kS1_ResultMemory, micros(200));
+  m.record(Situation::kS9_ListsHdd, micros(5000));
+  m.record(Situation::kS5_ListsSsd, micros(800));
   double sum = 0;
   for (std::size_t i = 0; i < kNumSituations; ++i) {
     sum += m.situation_probability(static_cast<Situation>(i));
   }
   EXPECT_NEAR(sum, 1.0, 1e-12);
   EXPECT_EQ(m.queries(), 4u);
-  EXPECT_DOUBLE_EQ(m.situation_mean_time(Situation::kS1_ResultMemory), 150.0);
+  EXPECT_DOUBLE_EQ(m.situation_mean_time(Situation::kS1_ResultMemory).value(), 150.0);
 }
 
 TEST(RunMetricsTest, ThroughputAccountsBackgroundTime) {
   RunMetrics m;
-  for (int i = 0; i < 10; ++i) m.record(Situation::kS3_ListsMemory, 1000.0);
+  for (int i = 0; i < 10; ++i) m.record(Situation::kS3_ListsMemory, micros(1000.0));
   // 10 queries in 10 ms of foreground -> 1000 q/s.
-  EXPECT_NEAR(m.throughput_qps(0), 1000.0, 1e-9);
+  EXPECT_NEAR(m.throughput_qps(micros(0)), 1000.0, 1e-9);
   // Adding 10 ms of background flash time halves it.
-  EXPECT_NEAR(m.throughput_qps(10'000.0), 500.0, 1e-9);
+  EXPECT_NEAR(m.throughput_qps(micros(10'000.0)), 500.0, 1e-9);
 }
 
 TEST(RunMetricsTest, EmptyMetricsSafe) {
   RunMetrics m;
   EXPECT_EQ(m.queries(), 0u);
-  EXPECT_EQ(m.mean_response(), 0.0);
-  EXPECT_EQ(m.throughput_qps(0), 0.0);
+  EXPECT_EQ(m.mean_response().value(), 0.0);
+  EXPECT_EQ(m.throughput_qps(micros(0)), 0.0);
   EXPECT_EQ(m.situation_probability(Situation::kS1_ResultMemory), 0.0);
 }
 

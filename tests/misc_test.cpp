@@ -35,10 +35,10 @@ TEST(CoverageTest, EmptyIsZero) {
 
 TEST(CoverageTest, CacheServedFractionCountsS1toS5) {
   RunMetrics m;
-  m.record(Situation::kS1_ResultMemory, 1);
-  m.record(Situation::kS5_ListsSsd, 1);
-  m.record(Situation::kS6_ListsMemoryHdd, 1);
-  m.record(Situation::kS9_ListsHdd, 1);
+  m.record(Situation::kS1_ResultMemory, micros(1));
+  m.record(Situation::kS5_ListsSsd, micros(1));
+  m.record(Situation::kS6_ListsMemoryHdd, micros(1));
+  m.record(Situation::kS9_ListsHdd, micros(1));
   EXPECT_DOUBLE_EQ(m.cache_served_fraction(), 0.5);
 }
 
@@ -133,13 +133,13 @@ TEST(BitmapEdgeTest, ExactWordBoundary) {
 // --- PostingList corner ---------------------------------------------------------
 
 TEST(PostingEdgeTest, ZeroSkipIntervalClamped) {
-  PostingList list({{1, 5}, {2, 3}}, /*skip_interval=*/0);
+  PostingList list({{DocId{1}, 5}, {DocId{2}, 3}}, /*skip_interval=*/0);
   EXPECT_EQ(list.skip_interval(), 1u);
   EXPECT_EQ(list.skips().size(), 2u);
 }
 
 TEST(PostingEdgeTest, SingleElementPrefix) {
-  PostingList list({{9, 2}});
+  PostingList list({{DocId{9}, 2}});
   EXPECT_EQ(list.prefix(0.0001).size(), 1u);  // ceil: never zero if >0
 }
 

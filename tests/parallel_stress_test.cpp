@@ -13,7 +13,8 @@
 namespace ssdse {
 namespace {
 
-ClusterConfig stress_cluster(std::uint32_t shards, Micros deadline = 0) {
+ClusterConfig stress_cluster(std::uint32_t shards,
+                             Micros deadline = Micros{}) {
   ClusterConfig cfg;
   cfg.num_shards = shards;
   cfg.total_docs = 400'000;
@@ -69,9 +70,9 @@ void expect_identical_telemetry(const SearchCluster& a,
 
 void expect_identical_runs(const SearchCluster& a, const SearchCluster& b) {
   ASSERT_EQ(a.metrics().queries(), b.metrics().queries());
-  EXPECT_DOUBLE_EQ(a.metrics().mean_response(), b.metrics().mean_response());
-  EXPECT_DOUBLE_EQ(a.metrics().total_response_time(),
-                   b.metrics().total_response_time());
+  EXPECT_DOUBLE_EQ(a.metrics().mean_response().value(), b.metrics().mean_response().value());
+  EXPECT_DOUBLE_EQ(a.metrics().total_response_time().value(),
+                   b.metrics().total_response_time().value());
   EXPECT_DOUBLE_EQ(a.metrics().request_coverage(),
                    b.metrics().request_coverage());
   for (std::size_t i = 0; i < kNumSituations; ++i) {
@@ -95,7 +96,7 @@ void expect_identical_runs(const SearchCluster& a, const SearchCluster& b) {
 // telemetry of every shard.
 TEST(ParallelStressTest, DeadlineRunMatchesSequentialExactly) {
   const Micros deadline = calibrated_deadline(8);
-  ASSERT_GT(deadline, 0.0);
+  ASSERT_GT(deadline.value(), 0.0);
   SearchCluster seq(stress_cluster(8, deadline));
   SearchCluster par(stress_cluster(8, deadline));
   seq.run(1200);
@@ -136,8 +137,8 @@ TEST(ParallelStressTest, ManyShardsManyQueriesUnderDeadline) {
       ASSERT_EQ(cluster.shard(s).metrics().queries(), total);
     }
   }
-  EXPECT_GT(cluster.metrics().mean_response(), 0.0);
-  EXPECT_TRUE(std::isfinite(cluster.metrics().mean_response()));
+  EXPECT_GT(cluster.metrics().mean_response().value(), 0.0);
+  EXPECT_TRUE(std::isfinite(cluster.metrics().mean_response().value()));
   const auto snap = cluster.telemetry_snapshot();
   const auto broker = cluster.broker_registry().snapshot();
   const auto* queries = broker.find("cluster.broker.queries");
@@ -154,7 +155,7 @@ TEST(ParallelStressTest, ManyShardsManyQueriesUnderDeadline) {
 // group-confined, so shard threads never share mutable state).
 TEST(ParallelStressTest, ReplicatedPolicyRunMatchesSequentialExactly) {
   const Micros deadline = calibrated_deadline(4);
-  ASSERT_GT(deadline, 0.0);
+  ASSERT_GT(deadline.value(), 0.0);
   ClusterConfig cfg = stress_cluster(4, deadline);
   cfg.replication.replication_factor = 2;
   cfg.replication.retry_budget = 2;

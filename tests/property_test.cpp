@@ -33,7 +33,7 @@ TEST_P(SystemPropertyTest, InvariantsHoldOverQueryStream) {
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto out = system.execute(system.generator().next());
     // Responses are positive and bounded by a sane ceiling (seconds).
-    ASSERT_GT(out.response, 0.0);
+    ASSERT_GT(out.response.value(), 0.0);
     ASSERT_LT(out.response, 10.0 * kSecond);
     ASSERT_FALSE(out.result.docs.empty());
   }
@@ -55,7 +55,7 @@ TEST_P(SystemPropertyTest, InvariantsHoldOverQueryStream) {
 
   // Storage accounting: flash time only exists when an L2 is present.
   if (!cfg.cache.l2) {
-    EXPECT_EQ(cs.background_flash_time, 0.0);
+    EXPECT_EQ(cs.background_flash_time.value(), 0.0);
   }
   if (const Ssd* ssd = system.cache_ssd()) {
     const auto& fs = ssd->ftl().stats();
@@ -104,9 +104,9 @@ TEST(HybridSchemeProperty, SsdHitKeepsCopyReadable) {
   // Any term still indexed by the SSD list cache must serve a lookup
   // (i.e. reads never deleted data - the exclusive scheme would have).
   auto& cm = system.cache_manager();
-  Micros t = 0;
+  Micros t = micros(0);
   std::uint64_t present = 0;
-  for (TermId term = 0; term < 2'000; ++term) {
+  for (TermId term{}; term < TermId{2'000}; ++term) {
     if (cm.ssd_lists()->contains(term)) {
       ++present;
     }

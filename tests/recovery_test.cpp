@@ -57,8 +57,8 @@ RbImage make_rb(std::uint32_t cb, QueryId first_qid, std::uint32_t slots) {
     s.freq = 3 + i;
     s.born = 100 + i;
     s.state = 0;
-    s.docs = {{static_cast<DocId>(first_qid + i), 0.5f + i},
-              {static_cast<DocId>(9000 + i), 0.25f}};
+    s.docs = {{DocId{static_cast<std::uint32_t>(first_qid.raw() + i)}, 0.5f + i},
+              {DocId{static_cast<std::uint32_t>(9000 + i)}, 0.25f}};
     rb.slots.push_back(std::move(s));
   }
   return rb;
@@ -101,10 +101,10 @@ void expect_list_eq(const ListEntryImage& a, const ListEntryImage& b) {
 CacheImage small_image() {
   CacheImage image;
   image.logical_now = 777;
-  image.rbs = {make_rb(3, 100, 6), make_rb(1, 200, 4)};
-  image.static_rbs = {make_rb(9, 500, 6)};
-  image.lists = {make_list(11, {20, 21}), make_list(12, {22})};
-  image.static_lists = {make_list(90, {30, 31, 32})};
+  image.rbs = {make_rb(3, QueryId{100}, 6), make_rb(1, QueryId{200}, 4)};
+  image.static_rbs = {make_rb(9, QueryId{500}, 6)};
+  image.lists = {make_list(TermId{11}, {20, 21}), make_list(TermId{12}, {22})};
+  image.static_lists = {make_list(TermId{90}, {30, 31, 32})};
   // Exercise non-trivial slot states.
   image.rbs[0].slots[2].state = 2;
   image.rbs[1].slots[0].state = 1;
@@ -145,7 +145,7 @@ SystemConfig recovery_system(const std::string& dir,
 /// Truth oracle: the same query pipeline with caching off recomputes
 /// every result from the index — what an always-up run would serve.
 std::vector<ScoredDoc> truth_docs(SearchSystem& truth, QueryId qid) {
-  return truth.execute(truth.generator().query_for_rank(qid)).result.docs;
+  return truth.execute(truth.generator().query_for_rank(qid.raw())).result.docs;
 }
 
 SystemConfig truth_config() {
@@ -170,7 +170,7 @@ void expect_recovered_results_match_truth(SearchSystem& recovered,
         if (slot.state == 2 || checked >= max_checked) continue;
         ++checked;
         EXPECT_EQ(slot.docs, truth_docs(truth, slot.qid))
-            << "recovered query " << slot.qid << " differs from truth";
+            << "recovered query " << slot.qid.raw() << " differs from truth";
       }
     }
   };
@@ -227,7 +227,7 @@ TEST(RecoveryWireTest, FrameRejectsAnyBitFlip) {
 }
 
 TEST(RecoveryWireTest, RbCodecRoundTrip) {
-  const RbImage rb = make_rb(17, 1000, 6);
+  const RbImage rb = make_rb(17, QueryId{1000}, 6);
   recovery::ByteWriter w;
   recovery::encode_rb(rb, w);
   recovery::ByteReader r(w.data().data(), w.data().size());
@@ -238,7 +238,7 @@ TEST(RecoveryWireTest, RbCodecRoundTrip) {
 }
 
 TEST(RecoveryWireTest, ListEntryCodecRoundTrip) {
-  ListEntryImage e = make_list(123, {5, 6, 9});
+  ListEntryImage e = make_list(TermId{123}, {5, 6, 9});
   e.replaceable = true;
   recovery::ByteWriter w;
   recovery::encode_list_entry(e, w);
@@ -305,7 +305,7 @@ TEST(SnapshotTest, RewriteReplacesAtomically) {
   ASSERT_TRUE(recovery::write_snapshot(path, small_image(), 7));
   CacheImage second;
   second.logical_now = 1;
-  second.rbs = {make_rb(2, 55, 1)};
+  second.rbs = {make_rb(2, QueryId{55}, 1)};
   ASSERT_TRUE(recovery::write_snapshot(path, second, 7));
   auto back = recovery::read_snapshot(path, 7);
   ASSERT_TRUE(back.has_value());
@@ -449,29 +449,29 @@ Frame rb_flush_frame(const RbImage& rb) {
 
 TEST(ReplayTest, RbFlushReplacesBlockAndInvalidatesOldCopies) {
   CacheImage image;
-  image.rbs = {make_rb(1, 100, 6), make_rb(2, 200, 6)};
+  image.rbs = {make_rb(1, QueryId{100}, 6), make_rb(2, QueryId{200}, 6)};
 
   // A new RB lands on block 2 and re-caches query 103 (older copy lives
   // in block 1).
-  RbImage fresh = make_rb(2, 300, 5);
-  fresh.slots[0].qid = 103;
+  RbImage fresh = make_rb(2, QueryId{300}, 5);
+  fresh.slots[0].qid = QueryId{103};
   ASSERT_TRUE(recovery::apply_journal_record(rb_flush_frame(fresh), image));
 
   ASSERT_EQ(image.rbs.size(), 2u);
   EXPECT_EQ(image.rbs.front().cb, 2u);  // MRU position
-  EXPECT_EQ(image.rbs.front().slots[0].qid, 103u);
+  EXPECT_EQ(image.rbs.front().slots[0].qid.raw(), 103u);
   // Old copy of 103 in block 1 is now invalid; its neighbours live on.
   const RbImage& old = image.rbs.back();
   EXPECT_EQ(old.cb, 1u);
-  EXPECT_EQ(old.slots[3].qid, 103u);
+  EXPECT_EQ(old.slots[3].qid, QueryId{103});
   EXPECT_EQ(old.slots[3].state, 2);
   EXPECT_EQ(old.slots[2].state, 0);
 }
 
 TEST(ReplayTest, ReplayIsIdempotent) {
   CacheImage image;
-  image.rbs = {make_rb(1, 100, 6)};
-  const Frame f = rb_flush_frame(make_rb(2, 300, 6));
+  image.rbs = {make_rb(1, QueryId{100}, 6)};
+  const Frame f = rb_flush_frame(make_rb(2, QueryId{300}, 6));
   ASSERT_TRUE(recovery::apply_journal_record(f, image));
   ASSERT_TRUE(recovery::apply_journal_record(f, image));
   ASSERT_EQ(image.rbs.size(), 2u);
@@ -489,13 +489,13 @@ TEST(ReplayTest, InvalidateAndListRecords) {
     EXPECT_EQ(image.static_rbs[0].slots[0].state, 2);
   }
   {  // List install evicts the same term and block-colliding entries.
-    ListEntryImage e = make_list(40, {21, 22});  // collides with terms 11, 12
+    ListEntryImage e = make_list(TermId{40}, {21, 22});  // collides with terms 11, 12
     recovery::ByteWriter w;
     recovery::encode_list_entry(e, w);
     ASSERT_TRUE(recovery::apply_journal_record(
         Frame{RecordType::kJournalListInstall, w.take()}, image));
     ASSERT_EQ(image.lists.size(), 1u);
-    EXPECT_EQ(image.lists.front().term, 40u);
+    EXPECT_EQ(image.lists.front().term.raw(), 40u);
   }
   {  // List erase.
     recovery::ByteWriter w;
@@ -542,9 +542,9 @@ TEST(WarmRestartTest, ServesPriorSsdResultsBitIdentical) {
 
   SearchSystem truth(truth_config());
   for (QueryId qid : on_ssd) {
-    const auto out = b.execute(b.generator().query_for_rank(qid));
-    EXPECT_TRUE(out.result_from_cache) << "query " << qid << " missed";
-    EXPECT_EQ(out.result.docs, truth_docs(truth, qid)) << "query " << qid;
+    const auto out = b.execute(b.generator().query_for_rank(qid.raw()));
+    EXPECT_TRUE(out.result_from_cache) << "query " << qid.raw() << " missed";
+    EXPECT_EQ(out.result.docs, truth_docs(truth, qid)) << "query " << qid.raw();
   }
 }
 
@@ -568,9 +568,9 @@ TEST(WarmRestartTest, RestoredListsServeFromSsd) {
   ASSERT_TRUE(b.warm_started());
   EXPECT_GE(b.recovery_stats()->list_entries_recovered, terms.size());
   for (TermId term : terms) {
-    Micros t = 0;
+    Micros t = micros(0);
     EXPECT_EQ(b.cache_manager().fetch_list(term, &t), Tier::kSsd)
-        << "term " << term << " not served from the recovered SSD cache";
+        << "term " << term.raw() << " not served from the recovered SSD cache";
   }
 }
 
@@ -578,7 +578,7 @@ TEST(WarmRestartTest, CbslruStaticPartitionSurvivesRestart) {
   const std::string dir = test_dir("warm_cbslru");
   const SystemConfig cfg = recovery_system(dir, CachePolicy::kCbslru);
 
-  QueryId hottest = 0;
+  QueryId hottest{};
   {
     SearchSystem a(cfg);
     ASSERT_TRUE(a.log_analysis().has_value());
@@ -592,7 +592,7 @@ TEST(WarmRestartTest, CbslruStaticPartitionSurvivesRestart) {
   ASSERT_TRUE(b.warm_started());
   EXPECT_TRUE(b.cache_manager().ssd_results()->is_static(hottest));
   SearchSystem truth(truth_config());
-  const auto out = b.execute(b.generator().query_for_rank(hottest));
+  const auto out = b.execute(b.generator().query_for_rank(hottest.raw()));
   EXPECT_TRUE(out.result_from_cache);
   EXPECT_EQ(out.result.docs, truth_docs(truth, hottest));
 }

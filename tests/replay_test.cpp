@@ -11,10 +11,10 @@ namespace {
 
 TEST(ReplayTest, CountsOpsByType) {
   std::vector<IoRecord> trace = {
-      {0, IoOp::kRead, 0, 8},
-      {1, IoOp::kWrite, 100, 8},
-      {2, IoOp::kRead, 200, 8},
-      {3, IoOp::kTrim, 0, 8},
+      {micros(0), IoOp::kRead, 0, 8},
+      {micros(1), IoOp::kWrite, 100, 8},
+      {micros(2), IoOp::kRead, 200, 8},
+      {micros(3), IoOp::kTrim, 0, 8},
   };
   HddModel hdd;
   const auto report = replay_trace(trace, hdd);
@@ -22,8 +22,8 @@ TEST(ReplayTest, CountsOpsByType) {
   EXPECT_EQ(report.reads, 2u);
   EXPECT_EQ(report.writes, 1u);
   EXPECT_EQ(report.trims, 1u);
-  EXPECT_GT(report.device_time, 0.0);
-  EXPECT_GT(report.mean_latency(), 0.0);
+  EXPECT_GT(report.device_time.value(), 0.0);
+  EXPECT_GT(report.mean_latency().value(), 0.0);
 }
 
 TEST(ReplayTest, WrapMapsLargeAddressesIn) {
@@ -32,7 +32,7 @@ TEST(ReplayTest, WrapMapsLargeAddressesIn) {
   cfg.nand.pages_per_block = 16;
   Ssd ssd(cfg);
   std::vector<IoRecord> trace = {
-      {0, IoOp::kWrite, 1'000'000'000, 8},  // far beyond the SSD
+      {micros(0), IoOp::kWrite, 1'000'000'000, 8},  // far beyond the SSD
   };
   ReplayOptions wrap;
   wrap.wrap_addresses = true;
@@ -68,7 +68,7 @@ TEST(ReplayTest, EmptyTraceIsNoop) {
   HddModel hdd;
   const auto report = replay_trace({}, hdd);
   EXPECT_EQ(report.ops, 0u);
-  EXPECT_EQ(report.device_time, 0.0);
+  EXPECT_EQ(report.device_time.value(), 0.0);
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ TEST(ReplicaTest, FaultFreeReplicasAnswerBitIdentically) {
     const Query q = cluster.generator().next();
     const auto a = g.replica(0).execute(q);
     const auto b = g.replica(1).execute(q);
-    ASSERT_DOUBLE_EQ(a.response, b.response) << "query " << i;
+    ASSERT_DOUBLE_EQ(a.response.value(), b.response.value()) << "query " << i;
     ASSERT_EQ(a.situation, b.situation) << "query " << i;
     ASSERT_EQ(a.result.docs.size(), b.result.docs.size()) << "query " << i;
     for (std::size_t d = 0; d < a.result.docs.size(); ++d) {
@@ -82,23 +82,23 @@ TEST(ReplicaTest, FaultFreeReplicasAnswerBitIdentically) {
 
 TEST(ReplicaTest, BackoffScheduleIsCappedExponentialAndMonotone) {
   ReplicationConfig rep;
-  rep.retry_backoff_base = 500;
-  rep.retry_backoff_cap = 8'000;
-  EXPECT_DOUBLE_EQ(rep.backoff_at(0), 500);
-  EXPECT_DOUBLE_EQ(rep.backoff_at(1), 1'000);
-  EXPECT_DOUBLE_EQ(rep.backoff_at(2), 2'000);
-  EXPECT_DOUBLE_EQ(rep.backoff_at(3), 4'000);
-  EXPECT_DOUBLE_EQ(rep.backoff_at(4), 8'000);
-  EXPECT_DOUBLE_EQ(rep.backoff_at(5), 8'000);  // capped, stays capped
+  rep.retry_backoff_base = micros(500);
+  rep.retry_backoff_cap = micros(8'000);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(0).value(), 500);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(1).value(), 1'000);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(2).value(), 2'000);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(3).value(), 4'000);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(4).value(), 8'000);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(5).value(), 8'000);  // capped, stays capped
   for (std::uint32_t k = 1; k < 12; ++k) {
     EXPECT_GE(rep.backoff_at(k), rep.backoff_at(k - 1));
     EXPECT_LE(rep.backoff_at(k), rep.retry_backoff_cap);
   }
   // Cap not on the doubling grid: clamps rather than overshoots.
-  rep.retry_backoff_base = 300;
-  rep.retry_backoff_cap = 1'000;
-  EXPECT_DOUBLE_EQ(rep.backoff_at(1), 600);
-  EXPECT_DOUBLE_EQ(rep.backoff_at(2), 1'000);
+  rep.retry_backoff_base = micros(300);
+  rep.retry_backoff_cap = micros(1'000);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(1).value(), 600);
+  EXPECT_DOUBLE_EQ(rep.backoff_at(2).value(), 1'000);
 }
 
 TEST(ReplicaTest, InvalidConfigsRejected) {
@@ -126,10 +126,10 @@ TEST(ReplicaTest, IdlePolicyStackMatchesPrimaryOnlyRun) {
 
   baseline.run(400);
   replicated.run(400);
-  EXPECT_DOUBLE_EQ(baseline.metrics().mean_response(),
-                   replicated.metrics().mean_response());
-  EXPECT_DOUBLE_EQ(baseline.metrics().total_response_time(),
-                   replicated.metrics().total_response_time());
+  EXPECT_DOUBLE_EQ(baseline.metrics().mean_response().value(),
+                   replicated.metrics().mean_response().value());
+  EXPECT_DOUBLE_EQ(baseline.metrics().total_response_time().value(),
+                   replicated.metrics().total_response_time().value());
   EXPECT_DOUBLE_EQ(baseline.replication_snapshot().coverage_mean,
                    replicated.replication_snapshot().coverage_mean);
   for (std::size_t i = 0; i < kNumSituations; ++i) {
@@ -157,7 +157,7 @@ TEST(ReplicaTest, IdlePolicyStackMatchesPrimaryOnlyRun) {
 // retry budget converts dropped shards back into full coverage.
 TEST(ReplicaTest, RetriesRestoreFullCoverageUnderDeadline) {
   const Micros deadline = calibrated_deadline(2);
-  ASSERT_GT(deadline, 0.0);
+  ASSERT_GT(deadline.value(), 0.0);
 
   ClusterConfig base = small_cluster(2);
   base.shard_deadline = deadline;
@@ -177,10 +177,10 @@ TEST(ReplicaTest, RetriesRestoreFullCoverageUnderDeadline) {
   // Every retry paid a backoff pause: the schedule is visible in the
   // snapshot and each pause respects the cap.
   ASSERT_EQ(snap.backoff_schedule.size(), 2u);
-  EXPECT_DOUBLE_EQ(snap.backoff_schedule[0],
-                   cfg.replication.backoff_at(0));
-  EXPECT_DOUBLE_EQ(snap.backoff_schedule[1],
-                   cfg.replication.backoff_at(1));
+  EXPECT_DOUBLE_EQ(snap.backoff_schedule[0].value(),
+                   cfg.replication.backoff_at(0).value());
+  EXPECT_DOUBLE_EQ(snap.backoff_schedule[1].value(),
+                   cfg.replication.backoff_at(1).value());
 }
 
 // Retried-and-included replies still charge their full wait: the broker
@@ -266,13 +266,42 @@ TEST(ReplicaTest, FailoverRoutesAroundSickPrimary) {
   EXPECT_DOUBLE_EQ(snap.coverage_mean, 1.0);
 }
 
+// Regression (PR 9 carryover): unwarmed replicas used to sort *first*
+// in the EWMA try-order — a zero-initialized EWMA read as "fastest" —
+// so on a perfectly healthy cluster every cold sibling stole the
+// primary slot once, ping-ponging the order and inflating
+// cluster.broker.failovers during warm-up. A clean, warmed cluster with
+// failover armed must report zero failovers, never touch the siblings,
+// and reproduce the primary-only run exactly.
+TEST(ReplicaTest, WarmupDoesNotCountAsFailoverOnHealthyCluster) {
+  SearchCluster baseline(small_cluster(1));
+  ClusterConfig cfg = small_cluster(1);
+  cfg.replication.replication_factor = 3;
+  cfg.replication.failover = true;
+  SearchCluster cluster(cfg);
+
+  baseline.run(400);
+  cluster.run(400);
+
+  const auto snap = cluster.replication_snapshot();
+  EXPECT_EQ(snap.failovers, 0u);
+  EXPECT_EQ(snap.retries, 0u);
+  ASSERT_EQ(snap.slots.size(), 3u);
+  EXPECT_EQ(snap.slots[1].attempts, 0u);  // siblings never promoted
+  EXPECT_EQ(snap.slots[2].attempts, 0u);
+  EXPECT_DOUBLE_EQ(baseline.metrics().mean_response().value(),
+                   cluster.metrics().mean_response().value());
+  EXPECT_DOUBLE_EQ(baseline.metrics().total_response_time().value(),
+                   cluster.metrics().total_response_time().value());
+}
+
 // --- Honest accounting -------------------------------------------------
 
 // An unmeetable deadline: even retries land late, so the broker reports
 // zero coverage and an empty merge instead of inventing results.
 TEST(ReplicaTest, UnmeetableDeadlineReportsZeroCoverage) {
   ClusterConfig cfg = small_cluster(2);
-  cfg.shard_deadline = 0.5;  // half a microsecond: nothing can answer
+  cfg.shard_deadline = micros(0.5);  // half a microsecond: nothing can answer
   cfg.replication.retry_budget = 1;
   SearchCluster cluster(cfg);
   const auto out = cluster.execute(cluster.generator().next());

@@ -11,10 +11,10 @@ namespace {
 
 struct PolicyOutcome {
   double coverage = 0;
-  Micros response = 0;
+  Micros response = micros(0);
   double qps = 0;
   std::uint64_t erases = 0;
-  Micros flash_access = 0;
+  Micros flash_access = micros(0);
 };
 
 PolicyOutcome run_policy(CachePolicy policy, Bytes mem_budget = 4 * MiB,

@@ -35,7 +35,7 @@ TEST_F(SsdCacheFileTest, AllocWriteTransitionsToNormal) {
   ASSERT_TRUE(cb.has_value());
   EXPECT_EQ(file_.free_count(), 15u);
   const Micros t = file_.write(*cb, file_.pages_per_block()).latency;
-  EXPECT_GT(t, 0.0);
+  EXPECT_GT(t.value(), 0.0);
   EXPECT_EQ(file_.state(*cb), CbState::kNormal);
 }
 
@@ -89,7 +89,7 @@ TEST_F(SsdCacheFileTest, ReadChecksState) {
   EXPECT_THROW((void)file_.read(0, 0, 1), std::logic_error);  // free block
   const auto cb = *file_.alloc();
   EXPECT_TRUE(file_.write(cb, 8).ok());
-  EXPECT_GT(file_.read(cb, 0, 8).latency, 0.0);
+  EXPECT_GT(file_.read(cb, 0, 8).latency.value(), 0.0);
   EXPECT_THROW((void)file_.read(cb, 10, 10), std::invalid_argument);  // off end
 }
 
@@ -102,7 +102,7 @@ TEST_F(SsdCacheFileTest, WriteValidation) {
 }
 
 TEST_F(SsdCacheFileTest, TrimFreeBlockIsNoop) {
-  EXPECT_EQ(file_.trim(3), 0.0);
+  EXPECT_EQ(file_.trim(3).value(), 0.0);
   EXPECT_EQ(file_.free_count(), 16u);
 }
 
@@ -135,8 +135,8 @@ TEST(SsdCacheFileCtorTest, DisjointRegionsCoexist) {
   const auto cb = *b.alloc();
   EXPECT_TRUE(a.write(ca, 16).ok());
   EXPECT_TRUE(b.write(cb, 16).ok());
-  EXPECT_GT(a.read(ca, 0, 16).latency, 0.0);
-  EXPECT_GT(b.read(cb, 0, 16).latency, 0.0);
+  EXPECT_GT(a.read(ca, 0, 16).latency.value(), 0.0);
+  EXPECT_GT(b.read(cb, 0, 16).latency.value(), 0.0);
 }
 
 }  // namespace

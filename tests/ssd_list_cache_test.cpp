@@ -24,143 +24,143 @@ class SsdListCacheTest : public ::testing::Test {
 };
 
 TEST_F(SsdListCacheTest, InsertThenPrefixLookup) {
-  const Micros wt = cache_.insert(1, kBlk + 5, /*freq=*/3);
-  EXPECT_GT(wt, 0.0);
-  EXPECT_TRUE(cache_.contains(1));
-  Micros t = 0;
-  const SsdListEntry* e = cache_.lookup(1, kBlk, t);
+  const Micros wt = cache_.insert(TermId{1}, kBlk + 5, /*freq=*/3);
+  EXPECT_GT(wt.value(), 0.0);
+  EXPECT_TRUE(cache_.contains(TermId{1}));
+  Micros t = micros(0);
+  const SsdListEntry* e = cache_.lookup(TermId{1}, kBlk, t);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->sc_blocks, 2u);  // kBlk+5 bytes -> 2 blocks
   EXPECT_EQ(e->freq, 4u);
-  EXPECT_GT(t, 0.0);
+  EXPECT_GT(t.value(), 0.0);
   // Beyond the cached prefix: miss.
-  EXPECT_EQ(cache_.lookup(1, 3 * kBlk, t), nullptr);
-  EXPECT_EQ(cache_.lookup(404, 1, t), nullptr);
+  EXPECT_EQ(cache_.lookup(TermId{1}, 3 * kBlk, t), nullptr);
+  EXPECT_EQ(cache_.lookup(TermId{404}, 1, t), nullptr);
 }
 
 TEST_F(SsdListCacheTest, HitMarksEntryAndBlocksReplaceable) {
-  (void)cache_.insert(1, 2 * kBlk, 1);
-  Micros t = 0;
-  cache_.lookup(1, kBlk, t);
+  (void)cache_.insert(TermId{1}, 2 * kBlk, 1);
+  Micros t = micros(0);
+  cache_.lookup(TermId{1}, kBlk, t);
   EXPECT_EQ(file_.replaceable_count(), 2u);  // both blocks of the entry
 }
 
 TEST_F(SsdListCacheTest, ResurrectionAvoidsRewrite) {
-  (void)cache_.insert(1, 2 * kBlk, 1);
-  Micros t = 0;
-  cache_.lookup(1, kBlk, t);  // replaceable now
+  (void)cache_.insert(TermId{1}, 2 * kBlk, 1);
+  Micros t = micros(0);
+  cache_.lookup(TermId{1}, kBlk, t);  // replaceable now
   const auto writes_before = cache_.stats().blocks_written;
-  const Micros wt = cache_.insert(1, kBlk, /*freq=*/5);  // smaller prefix
-  EXPECT_EQ(wt, 0.0);
+  const Micros wt = cache_.insert(TermId{1}, kBlk, /*freq=*/5);  // smaller prefix
+  EXPECT_EQ(wt.value(), 0.0);
   EXPECT_EQ(cache_.stats().blocks_written, writes_before);
   EXPECT_EQ(cache_.stats().resurrections, 1u);
   EXPECT_EQ(file_.replaceable_count(), 0u);  // back to normal
 }
 
 TEST_F(SsdListCacheTest, GrowingPrefixForcesRewrite) {
-  (void)cache_.insert(1, kBlk, 1);
+  (void)cache_.insert(TermId{1}, kBlk, 1);
   const auto writes_before = cache_.stats().blocks_written;
-  (void)cache_.insert(1, 3 * kBlk, 1);  // longer prefix than cached
+  (void)cache_.insert(TermId{1}, 3 * kBlk, 1);  // longer prefix than cached
   EXPECT_GT(cache_.stats().blocks_written, writes_before);
-  Micros t = 0;
-  EXPECT_NE(cache_.lookup(1, 3 * kBlk, t), nullptr);
+  Micros t = micros(0);
+  EXPECT_NE(cache_.lookup(TermId{1}, 3 * kBlk, t), nullptr);
 }
 
 TEST_F(SsdListCacheTest, ReplaceableEvictedFirstInWindow) {
   // Fill the 10-block region with 5 entries of 2 blocks.
-  for (TermId term = 1; term <= 5; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
-  Micros t = 0;
+  for (TermId term = TermId{1}; term <= TermId{5}; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
+  Micros t = micros(0);
   // Make term 2 (inside the W=3 LRU window: entries 1,2,3) replaceable.
-  cache_.lookup(2, kBlk, t);
-  (void)cache_.insert(6, 2 * kBlk, 1);
-  EXPECT_FALSE(cache_.contains(2));  // replaceable victim chosen first
-  EXPECT_TRUE(cache_.contains(1));   // plain LRU survivor
+  cache_.lookup(TermId{2}, kBlk, t);
+  (void)cache_.insert(TermId{6}, 2 * kBlk, 1);
+  EXPECT_FALSE(cache_.contains(TermId{2}));  // replaceable victim chosen first
+  EXPECT_TRUE(cache_.contains(TermId{1}));   // plain LRU survivor
 }
 
 TEST_F(SsdListCacheTest, ExactSizeMatchPreferredOverAssembly) {
   // Entries: sizes 1,3,1,1,1 blocks -> region 10 blocks, 3 free.
-  (void)cache_.insert(1, kBlk, 1);
-  (void)cache_.insert(2, 3 * kBlk, 1);
-  (void)cache_.insert(3, kBlk, 1);
-  (void)cache_.insert(4, kBlk, 1);
-  (void)cache_.insert(5, kBlk, 1);
+  (void)cache_.insert(TermId{1}, kBlk, 1);
+  (void)cache_.insert(TermId{2}, 3 * kBlk, 1);
+  (void)cache_.insert(TermId{3}, kBlk, 1);
+  (void)cache_.insert(TermId{4}, kBlk, 1);
+  (void)cache_.insert(TermId{5}, kBlk, 1);
   EXPECT_EQ(file_.free_count(), 3u);
   // Need 4 blocks: 3 free + 1 more. Window (LRU end) holds 1,2,3; the
   // shortfall is exactly 1 block, and term 1 matches it exactly.
-  (void)cache_.insert(6, 4 * kBlk, 1);
-  EXPECT_FALSE(cache_.contains(1));
-  EXPECT_TRUE(cache_.contains(2));  // 3-block entry untouched
-  EXPECT_TRUE(cache_.contains(6));
+  (void)cache_.insert(TermId{6}, 4 * kBlk, 1);
+  EXPECT_FALSE(cache_.contains(TermId{1}));
+  EXPECT_TRUE(cache_.contains(TermId{2}));  // 3-block entry untouched
+  EXPECT_TRUE(cache_.contains(TermId{6}));
 }
 
 TEST_F(SsdListCacheTest, AssemblySpansSeveralWindowEntries) {
-  for (TermId term = 1; term <= 5; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
+  for (TermId term = TermId{1}; term <= TermId{5}; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
   // Need 4 blocks, no free, no exact-size (needing 4, entries are 2):
   // two LRU-window entries are assembled.
-  (void)cache_.insert(6, 4 * kBlk, 1);
-  EXPECT_FALSE(cache_.contains(1));
-  EXPECT_FALSE(cache_.contains(2));
-  EXPECT_TRUE(cache_.contains(3));
-  EXPECT_TRUE(cache_.contains(6));
+  (void)cache_.insert(TermId{6}, 4 * kBlk, 1);
+  EXPECT_FALSE(cache_.contains(TermId{1}));
+  EXPECT_FALSE(cache_.contains(TermId{2}));
+  EXPECT_TRUE(cache_.contains(TermId{3}));
+  EXPECT_TRUE(cache_.contains(TermId{6}));
 }
 
 TEST_F(SsdListCacheTest, WorstCaseWholeListScan) {
   // One huge entry beyond the window plus small window entries; a write
   // bigger than the whole window must reach into the working region.
-  (void)cache_.insert(1, kBlk, 1);      // LRU end after later inserts
-  (void)cache_.insert(2, kBlk, 1);
-  (void)cache_.insert(3, kBlk, 1);
-  (void)cache_.insert(4, kBlk, 1);
-  (void)cache_.insert(5, 6 * kBlk, 1);  // MRU, outside W=3 window
+  (void)cache_.insert(TermId{1}, kBlk, 1);      // LRU end after later inserts
+  (void)cache_.insert(TermId{2}, kBlk, 1);
+  (void)cache_.insert(TermId{3}, kBlk, 1);
+  (void)cache_.insert(TermId{4}, kBlk, 1);
+  (void)cache_.insert(TermId{5}, 6 * kBlk, 1);  // MRU, outside W=3 window
   // Need 8 blocks; window holds 3 small entries + 0 free -> pass 4.
-  (void)cache_.insert(6, 8 * kBlk, 1);
-  EXPECT_TRUE(cache_.contains(6));
-  EXPECT_FALSE(cache_.contains(5));  // working-region entry sacrificed
+  (void)cache_.insert(TermId{6}, 8 * kBlk, 1);
+  EXPECT_TRUE(cache_.contains(TermId{6}));
+  EXPECT_FALSE(cache_.contains(TermId{5}));  // working-region entry sacrificed
 }
 
 TEST_F(SsdListCacheTest, TooLargeRejected) {
-  const Micros t = cache_.insert(1, 11 * kBlk, 1);
-  EXPECT_EQ(t, 0.0);
-  EXPECT_FALSE(cache_.contains(1));
+  const Micros t = cache_.insert(TermId{1}, 11 * kBlk, 1);
+  EXPECT_EQ(t, Micros{});
+  EXPECT_FALSE(cache_.contains(TermId{1}));
   EXPECT_EQ(cache_.stats().rejected_too_large, 1u);
 }
 
 TEST_F(SsdListCacheTest, ExcessVictimBlocksTrimmed) {
   // Evicting a 3-block victim for a 1-block shortfall trims the excess.
-  (void)cache_.insert(1, 3 * kBlk, 1);
-  for (TermId term = 2; term <= 4; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
+  (void)cache_.insert(TermId{1}, 3 * kBlk, 1);
+  for (TermId term = TermId{2}; term <= TermId{4}; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
   EXPECT_EQ(file_.free_count(), 1u);
-  (void)cache_.insert(5, 2 * kBlk, 1);  // needs 1 extra block; victim is term 1
-  EXPECT_FALSE(cache_.contains(1));
-  EXPECT_TRUE(cache_.contains(5));
+  (void)cache_.insert(TermId{5}, 2 * kBlk, 1);  // needs 1 extra block; victim is term 1
+  EXPECT_FALSE(cache_.contains(TermId{1}));
+  EXPECT_TRUE(cache_.contains(TermId{5}));
   // Two of the victim's three blocks were not needed: back to free.
   EXPECT_GE(file_.free_count(), 1u);
 }
 
 TEST_F(SsdListCacheTest, StaticPreloadPinnedAndUnevictable) {
   std::vector<std::tuple<TermId, Bytes, std::uint64_t>> pinned = {
-      {100, 2 * kBlk, 50},
-      {101, 2 * kBlk, 40},
+      {TermId{100}, 2 * kBlk, 50},
+      {TermId{101}, 2 * kBlk, 40},
   };
   (void)cache_.preload_static(pinned);
-  EXPECT_TRUE(cache_.is_static(100));
-  Micros t = 0;
-  const SsdListEntry* e = cache_.lookup(100, kBlk, t);
+  EXPECT_TRUE(cache_.is_static(TermId{100}));
+  Micros t = micros(0);
+  const SsdListEntry* e = cache_.lookup(TermId{100}, kBlk, t);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(e->freq, 51u);
   // Dynamic churn cannot evict static entries.
-  for (TermId term = 1; term <= 30; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
-  EXPECT_TRUE(cache_.contains(100));
-  EXPECT_TRUE(cache_.contains(101));
+  for (TermId term = TermId{1}; term <= TermId{30}; ++term) (void)cache_.insert(term, 2 * kBlk, 1);
+  EXPECT_TRUE(cache_.contains(TermId{100}));
+  EXPECT_TRUE(cache_.contains(TermId{101}));
   // Inserting a static term is a no-op (already pinned).
-  EXPECT_EQ(cache_.insert(100, kBlk, 1), 0.0);
+  EXPECT_EQ(cache_.insert(TermId{100}, kBlk, 1), Micros{});
 }
 
 TEST_F(SsdListCacheTest, StatsAccounting) {
-  (void)cache_.insert(1, 2 * kBlk, 1);
-  Micros t = 0;
-  cache_.lookup(1, 1, t);
-  cache_.lookup(2, 1, t);
+  (void)cache_.insert(TermId{1}, 2 * kBlk, 1);
+  Micros t = micros(0);
+  cache_.lookup(TermId{1}, 1, t);
+  cache_.lookup(TermId{2}, 1, t);
   EXPECT_EQ(cache_.stats().inserts, 1u);
   EXPECT_EQ(cache_.stats().lookups, 2u);
   EXPECT_EQ(cache_.stats().hits, 1u);

@@ -17,7 +17,7 @@ SsdConfig small_ssd() {
 CachedResult cached(QueryId qid, std::uint64_t freq = 1) {
   CachedResult c;
   c.entry.query = qid;
-  c.entry.docs = {{static_cast<DocId>(qid), 1.0f}};
+  c.entry.docs = {{DocId{static_cast<std::uint32_t>(qid.raw())}, 1.0f}};
   c.freq = freq;
   return c;
 }
@@ -42,110 +42,110 @@ TEST_F(SsdResultCacheTest, SixSlotsPerRb) {
 }
 
 TEST_F(SsdResultCacheTest, InsertThenLookup) {
-  auto g = group(10, 6);
+  auto g = group(QueryId{10}, 6);
   const Micros t = cache_.insert_rb(g);
-  EXPECT_GT(t, 0.0);
+  EXPECT_GT(t.value(), 0.0);
   EXPECT_EQ(cache_.entry_count(), 6u);
   std::uint64_t freq = 0;
-  Micros rt = 0;
-  const ResultEntry* e = cache_.lookup(12, freq, rt);
+  Micros rt = micros(0);
+  const ResultEntry* e = cache_.lookup(QueryId{12}, freq, rt);
   ASSERT_NE(e, nullptr);
-  EXPECT_EQ(e->query, 12u);
+  EXPECT_EQ(e->query.raw(), 12u);
   EXPECT_EQ(freq, 2u);  // admission freq 1 + this hit
-  EXPECT_GT(rt, 0.0);
-  EXPECT_EQ(cache_.lookup(999, freq, rt), nullptr);
+  EXPECT_GT(rt.value(), 0.0);
+  EXPECT_EQ(cache_.lookup(QueryId{999}, freq, rt), nullptr);
 }
 
 TEST_F(SsdResultCacheTest, HitMarksBlockReplaceable) {
-  auto g = group(0, 6);
+  auto g = group(QueryId{0}, 6);
   (void)cache_.insert_rb(g);
   std::uint64_t freq;
-  Micros t = 0;
-  cache_.lookup(3, freq, t);
+  Micros t = micros(0);
+  cache_.lookup(QueryId{3}, freq, t);
   EXPECT_EQ(file_.replaceable_count(), 1u);
   // Second hit on the same RB does not double count.
-  cache_.lookup(4, freq, t);
+  cache_.lookup(QueryId{4}, freq, t);
   EXPECT_EQ(file_.replaceable_count(), 1u);
 }
 
 TEST_F(SsdResultCacheTest, ResurrectCancelsRewrite) {
-  auto g = group(0, 6);
+  auto g = group(QueryId{0}, 6);
   (void)cache_.insert_rb(g);
   std::uint64_t freq;
-  Micros t = 0;
-  cache_.lookup(2, freq, t);  // slot now memory-resident
-  EXPECT_TRUE(cache_.resurrect(2));
+  Micros t = micros(0);
+  cache_.lookup(QueryId{2}, freq, t);  // slot now memory-resident
+  EXPECT_TRUE(cache_.resurrect(QueryId{2}));
   EXPECT_EQ(file_.replaceable_count(), 0u);  // block normal again
   // A slot that was never read back cannot be resurrected.
-  EXPECT_FALSE(cache_.resurrect(3));
-  EXPECT_FALSE(cache_.resurrect(999));
+  EXPECT_FALSE(cache_.resurrect(QueryId{3}));
+  EXPECT_FALSE(cache_.resurrect(QueryId{999}));
   EXPECT_EQ(cache_.stats().resurrections, 1u);
 }
 
 TEST_F(SsdResultCacheTest, VictimIsMaxIrenInWindow) {
   // Fill all 8 RBs.
-  for (QueryId base = 0; base < 48; base += 6) {
+  for (QueryId base{}; base < QueryId{48}; base = base + 6) {
     auto g = group(base, 6);
     (void)cache_.insert_rb(g);
   }
-  auto g2 = group(100, 6);
+  auto g2 = group(QueryId{100}, 6);
   (void)cache_.insert_rb(g2);  // 8 blocks total in the region: one must go
   // Read back 3 entries of the second-oldest RB (queries 6..11) to give
   // it the largest IREN.
   std::uint64_t freq;
-  Micros t = 0;
+  Micros t = micros(0);
   // (Re-fill state: insert_rb above already evicted one RB. Rebuild a
   // clean scenario instead.)
   SsdCacheFile file2(ssd_, 8 * 64, 4);
   SsdResultCache cache2(file2, /*W=*/2);
-  for (QueryId base = 0; base < 24; base += 6) {
+  for (QueryId base{}; base < QueryId{24}; base = base + 6) {
     auto g3 = group(base, 6);
     (void)cache2.insert_rb(g3);
   }
   // LRU order of RBs (old->new): [0..5], [6..11], [12..17], [18..23].
   // Window W=2 covers the two oldest. Give the second-oldest more IREN.
-  cache2.lookup(6, freq, t);
-  cache2.lookup(7, freq, t);
+  cache2.lookup(QueryId{6}, freq, t);
+  cache2.lookup(QueryId{7}, freq, t);
   // Insert a new RB: victim must be the RB holding 6..11.
-  auto g4 = group(200, 6);
+  auto g4 = group(QueryId{200}, 6);
   (void)cache2.insert_rb(g4);
-  const ResultEntry* survivor = cache2.lookup(0, freq, t);
+  const ResultEntry* survivor = cache2.lookup(QueryId{0}, freq, t);
   EXPECT_NE(survivor, nullptr);  // oldest RB survived (lower IREN)
-  EXPECT_EQ(cache2.lookup(8, freq, t), nullptr);  // dropped with its RB
+  EXPECT_EQ(cache2.lookup(QueryId{8}, freq, t), nullptr);  // dropped with its RB
   EXPECT_GT(cache2.stats().entries_dropped_by_overwrite, 0u);
 }
 
 TEST_F(SsdResultCacheTest, RewriteInvalidatesOldSlot) {
-  auto g = group(0, 6);
+  auto g = group(QueryId{0}, 6);
   (void)cache_.insert_rb(g);
   // Re-insert query 0 in a later RB; old slot must be invalidated, and
   // the lookup must find the new copy.
-  auto g2 = group(0, 1);
+  auto g2 = group(QueryId{0}, 1);
   (void)cache_.insert_rb(g2);
   std::uint64_t freq;
-  Micros t = 0;
-  EXPECT_NE(cache_.lookup(0, freq, t), nullptr);
+  Micros t = micros(0);
+  EXPECT_NE(cache_.lookup(QueryId{0}, freq, t), nullptr);
   EXPECT_EQ(cache_.entry_count(), 6u);  // 5 from first RB + 1 rewritten
 }
 
 TEST_F(SsdResultCacheTest, PartialGroupsSupported) {
-  auto g = group(0, 3);
+  auto g = group(QueryId{0}, 3);
   (void)cache_.insert_rb(g);
   EXPECT_EQ(cache_.entry_count(), 3u);
   std::uint64_t freq;
-  Micros t = 0;
-  EXPECT_NE(cache_.lookup(1, freq, t), nullptr);
+  Micros t = micros(0);
+  EXPECT_NE(cache_.lookup(QueryId{1}, freq, t), nullptr);
 }
 
 TEST_F(SsdResultCacheTest, StaticPreloadPinnedAndHit) {
   std::vector<CachedResult> hot;
-  for (QueryId q = 500; q < 512; ++q) hot.push_back(cached(q, 10));
+  for (QueryId q = QueryId{500}; q < QueryId{512}; ++q) hot.push_back(cached(q, 10));
   (void)cache_.preload_static(hot);
-  EXPECT_TRUE(cache_.is_static(505));
-  EXPECT_FALSE(cache_.is_static(5));
+  EXPECT_TRUE(cache_.is_static(QueryId{505}));
+  EXPECT_FALSE(cache_.is_static(QueryId{5}));
   std::uint64_t freq;
-  Micros t = 0;
-  const ResultEntry* e = cache_.lookup(505, freq, t);
+  Micros t = micros(0);
+  const ResultEntry* e = cache_.lookup(QueryId{505}, freq, t);
   ASSERT_NE(e, nullptr);
   EXPECT_EQ(freq, 11u);
   // Static blocks never become replaceable on hits.
@@ -154,20 +154,20 @@ TEST_F(SsdResultCacheTest, StaticPreloadPinnedAndHit) {
 
 TEST_F(SsdResultCacheTest, StaticSurvivesDynamicChurn) {
   std::vector<CachedResult> hot;
-  for (QueryId q = 500; q < 506; ++q) hot.push_back(cached(q, 10));
+  for (QueryId q = QueryId{500}; q < QueryId{506}; ++q) hot.push_back(cached(q, 10));
   (void)cache_.preload_static(hot);
   // Churn far more dynamic RBs than the region holds.
-  for (QueryId base = 0; base < 600; base += 6) {
+  for (QueryId base{}; base < QueryId{600}; base = base + 6) {
     auto g = group(base, 6);
     (void)cache_.insert_rb(g);
   }
   std::uint64_t freq;
-  Micros t = 0;
-  EXPECT_NE(cache_.lookup(503, freq, t), nullptr);
+  Micros t = micros(0);
+  EXPECT_NE(cache_.lookup(QueryId{503}, freq, t), nullptr);
 }
 
 TEST_F(SsdResultCacheTest, StatsCountWrites) {
-  auto g = group(0, 6);
+  auto g = group(QueryId{0}, 6);
   (void)cache_.insert_rb(g);
   EXPECT_EQ(cache_.stats().rb_writes, 1u);
   EXPECT_EQ(cache_.stats().entries_written, 6u);

@@ -54,10 +54,10 @@ TEST(SsdTest, WriteCostsMoreThanRead) {
 TEST(SsdTest, PageGranularHelpers) {
   Ssd ssd(small_ssd());
   const Micros w = ssd.write_pages(10, 4).latency;
-  EXPECT_GT(w, 4 * 100.0);  // at least 4 programs
+  EXPECT_GT(w.value(), 4 * 100.0);  // at least 4 programs
   const Micros r = ssd.read_pages(10, 4).latency;
-  EXPECT_GT(r, 4 * 30.0);
-  EXPECT_GT(ssd.trim_pages(10, 4), 0.0);
+  EXPECT_GT(r.value(), 4 * 30.0);
+  EXPECT_GT(ssd.trim_pages(10, 4).value(), 0.0);
 }
 
 TEST(SsdTest, TrimOnlyCoversWholePages) {
@@ -86,8 +86,9 @@ TEST(SsdTest, MeanFlashAccessTracksFtl) {
   Ssd ssd(small_ssd());
   EXPECT_TRUE(ssd.write_pages(0, 10).ok());
   EXPECT_TRUE(ssd.read_pages(0, 10).ok());
-  EXPECT_GT(ssd.mean_flash_access(), 0.0);
-  EXPECT_DOUBLE_EQ(ssd.mean_flash_access(), ssd.ftl().stats().mean_access());
+  EXPECT_GT(ssd.mean_flash_access().value(), 0.0);
+  EXPECT_DOUBLE_EQ(ssd.mean_flash_access().value(),
+                   ssd.ftl().stats().mean_access().value());
 }
 
 TEST(SsdTest, DeviceStatsAccumulate) {

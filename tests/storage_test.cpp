@@ -37,7 +37,7 @@ TEST(HddTest, SequentialRunHasNoSeek) {
   EXPECT_TRUE(hdd.read(0, 8).ok());
   const Micros t = hdd.read(8, 8).latency;
   // Controller overhead + transfer only: well under 1 ms.
-  EXPECT_LT(t, 1000.0);
+  EXPECT_LT(t.value(), 1000.0);
 }
 
 TEST(HddTest, LongerSeeksCostMore) {
@@ -51,7 +51,7 @@ TEST(HddTest, TransferScalesWithSize) {
   HddModel hdd;
   const Micros small = hdd.expected_latency(0, 0, 8);
   const Micros large = hdd.expected_latency(0, 0, 8000);
-  EXPECT_GT(large, small + 1000);  // ~4 ms more at 100 MiB/s
+  EXPECT_GT(large, small + micros(1000));  // ~4 ms more at 100 MiB/s
 }
 
 TEST(HddTest, StatsAccumulate) {
@@ -62,8 +62,8 @@ TEST(HddTest, StatsAccumulate) {
   EXPECT_EQ(hdd.stats().write_ops, 1u);
   EXPECT_EQ(hdd.stats().sectors_read, 8u);
   EXPECT_EQ(hdd.stats().sectors_written, 16u);
-  EXPECT_GT(hdd.stats().busy_total(), 0.0);
-  EXPECT_GT(hdd.stats().mean_access(), 0.0);
+  EXPECT_GT(hdd.stats().busy_total().value(), 0.0);
+  EXPECT_GT(hdd.stats().mean_access().value(), 0.0);
 }
 
 TEST(HddTest, CollectorSeesOps) {
@@ -140,10 +140,10 @@ TEST(NandTest, WearCountsPerBlock) {
 
 TEST(NandTest, LatenciesMatchTableIII) {
   NandArray nand;  // default = Table III parameters
-  EXPECT_DOUBLE_EQ(nand.program_page(0, 1), 101.475);
+  EXPECT_DOUBLE_EQ(nand.program_page(0, 1).value(), 101.475);
   std::uint64_t tag;
-  EXPECT_DOUBLE_EQ(nand.read_page(0, &tag), 32.725);
-  EXPECT_DOUBLE_EQ(nand.erase_block(0), 1500.0);
+  EXPECT_DOUBLE_EQ(nand.read_page(0, &tag).value(), 32.725);
+  EXPECT_DOUBLE_EQ(nand.erase_block(0).value(), 1500.0);
 }
 
 TEST(NandTest, StatsTrackOps) {
@@ -156,7 +156,7 @@ TEST(NandTest, StatsTrackOps) {
   EXPECT_EQ(nand.stats().page_programs, 1u);
   EXPECT_EQ(nand.stats().page_reads, 2u);
   EXPECT_EQ(nand.stats().block_erases, 1u);
-  EXPECT_GT(nand.stats().busy, 0.0);
+  EXPECT_GT(nand.stats().busy.value(), 0.0);
 }
 
 TEST(NandTest, OutOfRangeThrows) {
@@ -182,7 +182,7 @@ TEST(RamTest, AccessCostScalesWithBytes) {
   RamDevice ram;
   EXPECT_LT(ram.access_cost(64), ram.access_cost(1 * MiB));
   // Latency floor applies to tiny accesses.
-  EXPECT_GE(ram.access_cost(1), 0.08);
+  EXPECT_GE(ram.access_cost(1).value(), 0.08);
 }
 
 TEST(RamTest, ReadWriteBoundsChecked) {

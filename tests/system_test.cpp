@@ -20,7 +20,7 @@ TEST(SearchSystemTest, RunsAndRecordsMetrics) {
   SearchSystem system(small_system());
   system.run(2'000);
   EXPECT_EQ(system.metrics().queries(), 2'000u);
-  EXPECT_GT(system.metrics().mean_response(), 0.0);
+  EXPECT_GT(system.metrics().mean_response().value(), 0.0);
   EXPECT_GT(system.throughput_qps(), 0.0);
 }
 
@@ -85,7 +85,7 @@ TEST(SearchSystemTest, NoCacheModeAlwaysHitsIndexStore) {
   system.run(300);
   EXPECT_EQ(system.metrics().situation_probability(Situation::kS9_ListsHdd),
             1.0);
-  EXPECT_EQ(system.cache_manager().stats().background_flash_time, 0.0);
+  EXPECT_EQ(system.cache_manager().stats().background_flash_time.value(), 0.0);
 }
 
 TEST(SearchSystemTest, CacheBeatsNoCache) {
@@ -131,7 +131,7 @@ TEST(SearchSystemTest, DeterministicAcrossRuns) {
   SearchSystem a(cfg), b(cfg);
   a.run(500);
   b.run(500);
-  EXPECT_DOUBLE_EQ(a.metrics().mean_response(), b.metrics().mean_response());
+  EXPECT_DOUBLE_EQ(a.metrics().mean_response().value(), b.metrics().mean_response().value());
   EXPECT_EQ(a.cache_manager().stats().hit_ratio(),
             b.cache_manager().stats().hit_ratio());
 }
@@ -167,7 +167,7 @@ TEST(SearchSystemTest, MaterializedIndexEndToEnd) {
   EXPECT_GT(system.cache_manager().stats().hit_ratio(), 0.0);
   // Real scoring measured utilizations and fed them back.
   bool any_partial = false;
-  for (TermId t = 0; t < 20; ++t) {
+  for (TermId t{}; t < TermId{20}; ++t) {
     if (index.term_meta(t).utilization < 1.0) any_partial = true;
   }
   EXPECT_TRUE(any_partial);

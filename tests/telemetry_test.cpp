@@ -197,18 +197,20 @@ TEST(SnapshotMergeTest, MergeWithSelfCopyDoublesCounters) {
 
 TEST(TracerTest, SpansAccumulateAndFeedAggregates) {
   QueryTracer t;
-  t.begin_query(1);
-  t.add_span(TraceStage::kResultProbe, 10.0);
-  t.add_span(TraceStage::kListFetchHdd, 5000.0);
-  t.add_span(TraceStage::kListFetchHdd, 3000.0);  // repeated stage adds
-  t.end_query(8010.0);
+  t.begin_query(QueryId{1});
+  t.add_span(TraceStage::kResultProbe, micros(10.0));
+  t.add_span(TraceStage::kListFetchHdd, micros(5000.0));
+  t.add_span(TraceStage::kListFetchHdd, micros(3000.0));  // repeated stage adds
+  t.end_query(micros(8010.0));
   EXPECT_EQ(t.queries_traced(), 1u);
   const auto recent = t.recent();
   ASSERT_EQ(recent.size(), 1u);
-  EXPECT_EQ(recent[0].query, 1u);
-  EXPECT_DOUBLE_EQ(recent[0].total, 8010.0);
+  EXPECT_EQ(recent[0].query, QueryId{1});
+  EXPECT_DOUBLE_EQ(recent[0].total.value(), 8010.0);
   EXPECT_DOUBLE_EQ(
-      recent[0].stage_us[static_cast<std::size_t>(TraceStage::kListFetchHdd)],
+      recent[0]
+          .stage_us[static_cast<std::size_t>(TraceStage::kListFetchHdd)]
+          .value(),
       8000.0);
   EXPECT_TRUE(recent[0].touched_stage(TraceStage::kResultProbe));
   EXPECT_TRUE(recent[0].touched_stage(TraceStage::kListFetchHdd));
@@ -222,17 +224,17 @@ TEST(TracerTest, SpansAccumulateAndFeedAggregates) {
 
 TEST(TracerTest, RingKeepsNewestOldestFirst) {
   QueryTracer t(/*ring_capacity=*/3);
-  for (QueryId q = 0; q < 10; ++q) {
+  for (QueryId q{}; q < QueryId{10}; ++q) {
     t.begin_query(q);
-    t.add_span(TraceStage::kDaatScore, 1.0);
-    t.end_query(1.0);
+    t.add_span(TraceStage::kDaatScore, micros(1.0));
+    t.end_query(micros(1.0));
   }
   EXPECT_EQ(t.queries_traced(), 10u);
   const auto recent = t.recent();
   ASSERT_EQ(recent.size(), 3u);  // bounded by capacity
-  EXPECT_EQ(recent[0].query, 7u);
-  EXPECT_EQ(recent[1].query, 8u);
-  EXPECT_EQ(recent[2].query, 9u);
+  EXPECT_EQ(recent[0].query.raw(), 7u);
+  EXPECT_EQ(recent[1].query, QueryId{8});
+  EXPECT_EQ(recent[2].query, QueryId{9});
   // Aggregates still cover all 10 queries.
   EXPECT_EQ(t.stage_stats(TraceStage::kDaatScore).count(), 10u);
 }
@@ -240,9 +242,9 @@ TEST(TracerTest, RingKeepsNewestOldestFirst) {
 TEST(TracerTest, DisabledRecordsNothing) {
   QueryTracer t;
   t.set_enabled(false);
-  t.begin_query(1);
-  t.add_span(TraceStage::kDaatScore, 5.0);
-  t.end_query(5.0);
+  t.begin_query(QueryId{1});
+  t.add_span(TraceStage::kDaatScore, micros(5.0));
+  t.end_query(micros(5.0));
   EXPECT_EQ(t.queries_traced(), 0u);
   EXPECT_TRUE(t.recent().empty());
   EXPECT_EQ(t.stage_stats(TraceStage::kDaatScore).count(), 0u);
@@ -250,12 +252,12 @@ TEST(TracerTest, DisabledRecordsNothing) {
 
 TEST(TracerTest, MergeAggregatesFoldsShards) {
   QueryTracer a, b;
-  a.begin_query(1);
-  a.add_span(TraceStage::kDaatScore, 100.0);
-  a.end_query(100.0);
-  b.begin_query(2);
-  b.add_span(TraceStage::kDaatScore, 300.0);
-  b.end_query(300.0);
+  a.begin_query(QueryId{1});
+  a.add_span(TraceStage::kDaatScore, micros(100.0));
+  a.end_query(micros(100.0));
+  b.begin_query(QueryId{2});
+  b.add_span(TraceStage::kDaatScore, micros(300.0));
+  b.end_query(micros(300.0));
   a.merge_aggregates(b);
   EXPECT_EQ(a.queries_traced(), 2u);
   EXPECT_EQ(a.stage_stats(TraceStage::kDaatScore).count(), 2u);
@@ -267,36 +269,38 @@ TEST(TracerTest, MergeAggregatesFoldsShards) {
 
 TEST(TracerTest, ClearResetsEverything) {
   QueryTracer t(/*ring_capacity=*/2);
-  for (QueryId q = 0; q < 5; ++q) {
+  for (QueryId q{}; q < QueryId{5}; ++q) {
     t.begin_query(q);
-    t.add_span(TraceStage::kResultProbe, 1.0);
-    t.end_query(1.0);
+    t.add_span(TraceStage::kResultProbe, micros(1.0));
+    t.end_query(micros(1.0));
   }
   t.clear();
   EXPECT_EQ(t.queries_traced(), 0u);
   EXPECT_TRUE(t.recent().empty());
   EXPECT_EQ(t.stage_stats(TraceStage::kResultProbe).count(), 0u);
   // Still usable after clear.
-  t.begin_query(9);
-  t.add_span(TraceStage::kResultProbe, 2.0);
-  t.end_query(2.0);
+  t.begin_query(QueryId{9});
+  t.add_span(TraceStage::kResultProbe, micros(2.0));
+  t.end_query(micros(2.0));
   EXPECT_EQ(t.queries_traced(), 1u);
-  EXPECT_EQ(t.recent()[0].query, 9u);
+  EXPECT_EQ(t.recent()[0].query, QueryId{9});
 }
 
 TEST(TracerTest, SpanTimerAttributesClockDelta) {
   QueryTracer t;
-  Micros clock = 100.0;
-  t.begin_query(1);
+  Micros clock = micros(100.0);
+  t.begin_query(QueryId{1});
   {
     SpanTimer span(t, TraceStage::kListFetchSsd, clock);
-    clock += 250.0;  // simulated work advances the clock
+    clock += micros(250.0);  // simulated work advances the clock
   }
-  t.end_query(clock - 100.0);
+  t.end_query(clock - micros(100.0));
   const auto recent = t.recent();
   ASSERT_EQ(recent.size(), 1u);
   EXPECT_DOUBLE_EQ(
-      recent[0].stage_us[static_cast<std::size_t>(TraceStage::kListFetchSsd)],
+      recent[0]
+          .stage_us[static_cast<std::size_t>(TraceStage::kListFetchSsd)]
+          .value(),
       250.0);
 }
 

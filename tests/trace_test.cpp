@@ -15,9 +15,9 @@ namespace {
 
 TEST(CollectorTest, RecordsAndCounts) {
   TraceCollector c;
-  c.record(1.0, IoOp::kRead, 100, 8);
-  c.record(2.0, IoOp::kWrite, 200, 16);
-  c.record(3.0, IoOp::kTrim, 300, 32);
+  c.record(micros(1.0), IoOp::kRead, 100, 8);
+  c.record(micros(2.0), IoOp::kWrite, 200, 16);
+  c.record(micros(3.0), IoOp::kTrim, 300, 32);
   EXPECT_EQ(c.total_recorded(), 3u);
   EXPECT_EQ(c.reads(), 1u);
   EXPECT_EQ(c.writes(), 1u);
@@ -29,7 +29,7 @@ TEST(CollectorTest, RecordsAndCounts) {
 
 TEST(CollectorTest, DisabledDropsRecords) {
   TraceCollector c(/*enabled=*/false);
-  c.record(1.0, IoOp::kRead, 1, 1);
+  c.record(micros(1.0), IoOp::kRead, 1, 1);
   EXPECT_EQ(c.total_recorded(), 0u);
   EXPECT_TRUE(c.records().empty());
 }
@@ -37,7 +37,7 @@ TEST(CollectorTest, DisabledDropsRecords) {
 TEST(CollectorTest, CapacityCapStopsStorageNotCounting) {
   TraceCollector c;
   c.set_capacity(2);
-  for (int i = 0; i < 5; ++i) c.record(i, IoOp::kRead, i, 1);
+  for (int i = 0; i < 5; ++i) c.record(micros(i), IoOp::kRead, i, 1);
   EXPECT_EQ(c.records().size(), 2u);
   EXPECT_EQ(c.total_recorded(), 5u);
 }
@@ -49,16 +49,16 @@ TEST(CollectorTest, DroppedCountsCapacityOverflowExactly) {
   TraceCollector c;
   c.set_capacity(3);
   EXPECT_EQ(c.dropped(), 0u);
-  for (int i = 0; i < 3; ++i) c.record(i, IoOp::kRead, i, 1);
+  for (int i = 0; i < 3; ++i) c.record(micros(i), IoOp::kRead, i, 1);
   EXPECT_EQ(c.dropped(), 0u);  // at capacity, nothing lost yet
-  for (int i = 0; i < 7; ++i) c.record(3 + i, IoOp::kWrite, i, 1);
+  for (int i = 0; i < 7; ++i) c.record(micros(3 + i), IoOp::kWrite, i, 1);
   EXPECT_EQ(c.dropped(), 7u);
   EXPECT_EQ(c.records().size(), 3u);
   EXPECT_EQ(c.total_recorded(), 10u);  // dropped still counted as recorded
   // A disabled collector drops nothing: records are refused, not lost.
   TraceCollector off(/*enabled=*/false);
   off.set_capacity(1);
-  for (int i = 0; i < 5; ++i) off.record(i, IoOp::kRead, i, 1);
+  for (int i = 0; i < 5; ++i) off.record(micros(i), IoOp::kRead, i, 1);
   EXPECT_EQ(off.dropped(), 0u);
   // clear() resets the dropped count with the rest of the accounting.
   c.clear();
@@ -67,7 +67,7 @@ TEST(CollectorTest, DroppedCountsCapacityOverflowExactly) {
 
 TEST(CollectorTest, ClearResets) {
   TraceCollector c;
-  c.record(1.0, IoOp::kRead, 1, 1);
+  c.record(micros(1.0), IoOp::kRead, 1, 1);
   c.clear();
   EXPECT_EQ(c.total_recorded(), 0u);
   EXPECT_TRUE(c.records().empty());
@@ -76,9 +76,9 @@ TEST(CollectorTest, ClearResets) {
 TEST(CollectorTest, PerOpCountersKeepCountingPastCapacity) {
   TraceCollector c;
   c.set_capacity(3);
-  for (int i = 0; i < 4; ++i) c.record(i, IoOp::kRead, i, 1);
-  for (int i = 0; i < 4; ++i) c.record(4 + i, IoOp::kWrite, i, 1);
-  for (int i = 0; i < 2; ++i) c.record(8 + i, IoOp::kTrim, i, 1);
+  for (int i = 0; i < 4; ++i) c.record(micros(i), IoOp::kRead, i, 1);
+  for (int i = 0; i < 4; ++i) c.record(micros(4 + i), IoOp::kWrite, i, 1);
+  for (int i = 0; i < 2; ++i) c.record(micros(8 + i), IoOp::kTrim, i, 1);
   EXPECT_EQ(c.records().size(), 3u);  // storage stops at the cap...
   EXPECT_EQ(c.total_recorded(), 10u);  // ...accounting does not
   EXPECT_EQ(c.reads(), 4u);
@@ -89,7 +89,7 @@ TEST(CollectorTest, PerOpCountersKeepCountingPastCapacity) {
 TEST(CollectorTest, ClearResetsCapAccountingButKeepsCapValue) {
   TraceCollector c;
   c.set_capacity(2);
-  for (int i = 0; i < 5; ++i) c.record(i, IoOp::kRead, i, 1);
+  for (int i = 0; i < 5; ++i) c.record(micros(i), IoOp::kRead, i, 1);
   ASSERT_EQ(c.records().size(), 2u);
   c.clear();
   EXPECT_EQ(c.total_recorded(), 0u);
@@ -99,7 +99,7 @@ TEST(CollectorTest, ClearResetsCapAccountingButKeepsCapValue) {
   EXPECT_TRUE(c.records().empty());
   // The configured cap survives clear(): storage refills up to it and
   // counting continues past it.
-  for (int i = 0; i < 5; ++i) c.record(i, IoOp::kWrite, i, 1);
+  for (int i = 0; i < 5; ++i) c.record(micros(i), IoOp::kWrite, i, 1);
   EXPECT_EQ(c.records().size(), 2u);
   EXPECT_EQ(c.total_recorded(), 5u);
   EXPECT_EQ(c.writes(), 5u);
@@ -155,7 +155,7 @@ TEST(AnalyzerTest, LargeJumpsAreRandom) {
 TEST(AnalyzerTest, WriteFractionCounted) {
   std::vector<IoRecord> t;
   for (int i = 0; i < 10; ++i) {
-    t.push_back({0.0, i < 4 ? IoOp::kWrite : IoOp::kRead,
+    t.push_back({micros(0), i < 4 ? IoOp::kWrite : IoOp::kRead,
                  static_cast<Lba>(i * 1000), 8});
   }
   TraceAnalyzer a;
@@ -222,9 +222,9 @@ TEST(SynthTest, DeterministicGivenSeed) {
 
 TEST(TraceIoTest, RoundTrip) {
   std::vector<IoRecord> t = {
-      {1.5, IoOp::kRead, 100, 8},
-      {2.5, IoOp::kWrite, 200, 16},
-      {3.5, IoOp::kTrim, 300, 32},
+      {micros(1.5), IoOp::kRead, 100, 8},
+      {micros(2.5), IoOp::kWrite, 200, 16},
+      {micros(3.5), IoOp::kTrim, 300, 32},
   };
   const std::string path = ::testing::TempDir() + "trace_roundtrip.csv";
   write_trace_csv(path, t);
@@ -234,7 +234,7 @@ TEST(TraceIoTest, RoundTrip) {
     EXPECT_EQ(back[i].op, t[i].op);
     EXPECT_EQ(back[i].lba, t[i].lba);
     EXPECT_EQ(back[i].sectors, t[i].sectors);
-    EXPECT_NEAR(back[i].timestamp, t[i].timestamp, 1e-3);
+    EXPECT_NEAR(back[i].timestamp.value(), t[i].timestamp.value(), 1e-3);
   }
   std::remove(path.c_str());
 }

@@ -26,20 +26,20 @@ using telemetry::window_index;
 TEST(WindowedTest, IndexRolloverAtExactBucketBoundary) {
   // A sample landing exactly on k * width belongs to window k, not k-1:
   // windows are [k*width, (k+1)*width).
-  EXPECT_EQ(window_index(0, kSecond), 0u);
-  EXPECT_EQ(window_index(kSecond - 1, kSecond), 0u);
+  EXPECT_EQ(window_index(micros(0), kSecond), 0u);
+  EXPECT_EQ(window_index(kSecond - micros(1), kSecond), 0u);
   EXPECT_EQ(window_index(kSecond, kSecond), 1u);
   EXPECT_EQ(window_index(2 * kSecond, kSecond), 2u);
-  EXPECT_EQ(window_index(2 * kSecond + 1, kSecond), 2u);
+  EXPECT_EQ(window_index(2 * kSecond + micros(1), kSecond), 2u);
   // Negative simulated time clamps to window 0 (no negative indices).
-  EXPECT_EQ(window_index(-5.0, kSecond), 0u);
+  EXPECT_EQ(window_index(micros(-5.0), kSecond), 0u);
 }
 
 TEST(WindowedTest, SeriesRolloverKeepsWindowsDisjoint) {
   WindowedSeries s(kSecond);
-  s.add(kSecond - 1, 10.0);  // last instant of window 0
+  s.add(kSecond - micros(1), 10.0);  // last instant of window 0
   s.add(kSecond, 20.0);      // first instant of window 1
-  s.add(kSecond + 1, 30.0);
+  s.add(kSecond + micros(1), 30.0);
   ASSERT_NE(s.cell(0), nullptr);
   ASSERT_NE(s.cell(1), nullptr);
   EXPECT_EQ(s.cell(0)->hist.count(), 1u);
@@ -53,7 +53,7 @@ TEST(WindowedTest, OutOfOrderCompletionsStaySorted) {
   // window 0 finishes after a short one started in window 1).
   WindowedSeries s(kSecond);
   s.add(3 * kSecond, 1.0);
-  s.add(0.0, 2.0);
+  s.add(Micros{}, 2.0);
   s.add(kSecond, 3.0);
   const auto& cells = s.cells();
   ASSERT_EQ(cells.size(), 3u);
@@ -65,7 +65,7 @@ TEST(WindowedTest, OutOfOrderCompletionsStaySorted) {
 
 TEST(WindowedTest, EmptyWindowHasNoCellAndZeroQuantile) {
   WindowedSeries s(kSecond);
-  s.add(0.0, 5.0);
+  s.add(Micros{}, 5.0);
   s.add(2 * kSecond, 7.0);  // window 1 never sees a sample
   EXPECT_EQ(s.cell(1), nullptr);
   // Convention: an empty window's quantiles are 0 (matching
@@ -80,13 +80,13 @@ TEST(WindowedTest, MergePartiallyFilledShards) {
   // must equal the union stream: disjoint windows copied, the shared
   // window combined bucket-exactly.
   WindowedSeries a(kSecond), b(kSecond);
-  a.add(0.0, 100.0);
+  a.add(Micros{}, 100.0);
   a.add(kSecond, 200.0);
   b.add(kSecond, 400.0);
   b.add(2 * kSecond, 800.0);
 
   WindowedSeries expected(kSecond);
-  expected.add(0.0, 100.0);
+  expected.add(Micros{}, 100.0);
   expected.add(kSecond, 200.0);
   expected.add(kSecond, 400.0);
   expected.add(2 * kSecond, 800.0);
@@ -114,7 +114,7 @@ TEST(WindowedTest, MergeWidthMismatchThrows) {
 
 TEST(WindowedTest, CounterMergeAndAbsentWindows) {
   WindowedCounter a(kSecond), b(kSecond);
-  a.add(0.0, 3);
+  a.add(micros(0.0), 3);
   a.add(2 * kSecond, 1);
   b.add(2 * kSecond, 4);
   b.add(3 * kSecond, 2);
@@ -132,9 +132,9 @@ TEST(WindowedTest, CounterMergeAndAbsentWindows) {
 TEST(SloTest, ExactlyOnThresholdIsGood) {
   SloSpec spec;
   spec.threshold_us = 1000.0;
-  EXPECT_TRUE(spec.good(999.9));
-  EXPECT_TRUE(spec.good(1000.0));  // equality meets the SLO
-  EXPECT_FALSE(spec.good(1000.1));
+  EXPECT_TRUE(spec.good(micros(999.9)));
+  EXPECT_TRUE(spec.good(micros(1000.0)));  // equality meets the SLO
+  EXPECT_FALSE(spec.good(micros(1000.1)));
 }
 
 TEST(SloTest, BudgetExactlySpentIsWarnNotBreach) {
@@ -247,7 +247,7 @@ TEST(ArrivalTest, DeterministicAndStrictlyIncreasing) {
 
   QueryLogGenerator g1(small_log()), g2(small_log());
   ArrivalProcess a1(cfg, g1), a2(cfg, g2);
-  Micros prev = -1.0;
+  Micros prev = micros(-1.0);
   for (int i = 0; i < 2000; ++i) {
     const auto x = a1.next();
     const auto y = a2.next();
@@ -271,8 +271,8 @@ TEST(ArrivalTest, RateCurveRespectsCrowdsAndPeakEnvelope) {
   // Inside the crowd the rate is multiplied; outside it is not.
   EXPECT_GT(a.rate_at(6 * kSecond), 2.0 * a.rate_at(15 * kSecond));
   // The thinning envelope dominates the instantaneous rate everywhere.
-  for (Micros t = 0; t < 30 * kSecond; t += kSecond / 4) {
-    EXPECT_LE(a.rate_at(t), a.peak_qps() + 1e-9) << "t=" << t;
+  for (Micros t = micros(0); t < 30 * kSecond; t += kSecond / 4) {
+    EXPECT_LE(a.rate_at(t), a.peak_qps() + 1e-9) << "t=" << t.value();
   }
 }
 
@@ -287,11 +287,11 @@ TEST(ArrivalTest, OutliersAreFreshRareTermQueries) {
   for (int i = 0; i < 50; ++i) {
     const auto arr = a.next();
     EXPECT_TRUE(arr.outlier);
-    EXPECT_GE(arr.query.id, QueryId{1} << 62);  // never collides with log ids
+    EXPECT_GE(arr.query.id, QueryId{1ull << 62});  // never collides with log ids
     EXPECT_GE(arr.query.terms.size(), 1u);
     EXPECT_LE(arr.query.terms.size(), 8u);
     for (TermId t : arr.query.terms) {
-      EXPECT_GE(t, small_log().vocab_size / 2);  // rare half of the vocab
+      EXPECT_GE(t, TermId{small_log().vocab_size / 2});  // rare half of the vocab
     }
     ids.push_back(arr.query.id);
   }
@@ -333,7 +333,7 @@ class StubTarget : public TrafficTarget {
   telemetry::QueryTrace trace_;
 };
 
-TrafficConfig stub_cfg(double qps, Micros service_ignored = 0) {
+TrafficConfig stub_cfg(double qps, Micros service_ignored = Micros{}) {
   (void)service_ignored;
   TrafficConfig cfg;
   cfg.arrival.base_qps = qps;
@@ -345,7 +345,7 @@ TrafficConfig stub_cfg(double qps, Micros service_ignored = 0) {
   SloSpec slo;
   slo.name = "p99_latency";
   slo.quantile = 0.99;
-  slo.threshold_us = 50 * kMillisecond;
+  slo.threshold_us = (50 * kMillisecond).value();
   cfg.slos = {slo};
   return cfg;
 }
@@ -406,8 +406,8 @@ TEST(TrafficTest, TracedTargetAttributesStages) {
                                return a.response > b.response;
                              }));
   for (const auto& w : r.worst) {
-    EXPECT_NEAR(w.stage_us[hdd], 0.75 * w.service, 1e-6);
-    EXPECT_NEAR(w.untraced, 0.25 * w.service, 1e-6);
+    EXPECT_NEAR(w.stage_us[hdd].value(), 0.75 * w.service.value(), 1e-6);
+    EXPECT_NEAR(w.untraced.value(), 0.25 * w.service.value(), 1e-6);
     EXPECT_EQ(w.response, w.wait + w.service);
   }
 }
@@ -491,7 +491,7 @@ TEST(TrafficTest, CoverageExactlyOnFloorIsGood) {
   SloSpec spec;
   spec.name = "p99_with_coverage";
   spec.quantile = 0.99;
-  spec.threshold_us = 50 * kMillisecond;
+  spec.threshold_us = (50 * kMillisecond).value();
   spec.coverage_floor = 0.75;
   EXPECT_TRUE(spec.good_event(1 * kMillisecond, 0.75));
   EXPECT_FALSE(spec.good_event(1 * kMillisecond,

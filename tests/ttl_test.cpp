@@ -33,7 +33,7 @@ CacheConfig ttl_cache(std::uint64_t ttl) {
 ResultEntry make_result(QueryId qid) {
   ResultEntry e;
   e.query = qid;
-  e.docs = {{static_cast<DocId>(qid), 1.0f}};
+  e.docs = {{DocId{static_cast<std::uint32_t>(qid.raw())}, 1.0f}};
   return e;
 }
 
@@ -61,74 +61,74 @@ class TtlTest : public ::testing::Test {
 TEST_F(TtlTest, FreshResultServedStaleResultExpired) {
   auto cm = make(/*ttl=*/10);
   cm->advance_time();
-  cm->insert_result(make_result(1));
+  cm->insert_result(make_result(QueryId{1}));
   Tier tier;
-  Micros t = 0;
+  Micros t = micros(0);
   // Within TTL: hit.
   tick(*cm, 5);
-  EXPECT_NE(cm->lookup_result(1, &tier, &t), nullptr);
+  EXPECT_NE(cm->lookup_result(QueryId{1}, &tier, &t), nullptr);
   // Beyond TTL: stale -> miss, and the entry is gone everywhere.
   tick(*cm, 10);
-  EXPECT_EQ(cm->lookup_result(1, &tier, &t), nullptr);
+  EXPECT_EQ(cm->lookup_result(QueryId{1}, &tier, &t), nullptr);
   EXPECT_EQ(cm->stats().results_expired, 1u);
-  EXPECT_FALSE(cm->mem_results().contains(1));
+  EXPECT_FALSE(cm->mem_results().contains(QueryId{1}));
 }
 
 TEST_F(TtlTest, ZeroTtlMeansStaticScenario) {
   auto cm = make(/*ttl=*/0);
-  cm->insert_result(make_result(1));
+  cm->insert_result(make_result(QueryId{1}));
   tick(*cm, 1'000'000);
   Tier tier;
-  Micros t = 0;
-  EXPECT_NE(cm->lookup_result(1, &tier, &t), nullptr);
+  Micros t = micros(0);
+  EXPECT_NE(cm->lookup_result(QueryId{1}, &tier, &t), nullptr);
   EXPECT_EQ(cm->stats().results_expired, 0u);
 }
 
 TEST_F(TtlTest, StaleListRefetchedFromHdd) {
   auto cm = make(/*ttl=*/10);
   cm->advance_time();
-  Micros t = 0;
-  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kHdd);
-  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kMemory);
+  Micros t = micros(0);
+  EXPECT_EQ(cm->fetch_list(TermId{42}, &t), Tier::kHdd);
+  EXPECT_EQ(cm->fetch_list(TermId{42}, &t), Tier::kMemory);
   tick(*cm, 20);
   // Stale now: served from HDD again and counted as expired.
-  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kHdd);
+  EXPECT_EQ(cm->fetch_list(TermId{42}, &t), Tier::kHdd);
   EXPECT_EQ(cm->stats().lists_expired, 1u);
   // The refetched copy is fresh again.
-  EXPECT_EQ(cm->fetch_list(42, &t), Tier::kMemory);
+  EXPECT_EQ(cm->fetch_list(TermId{42}, &t), Tier::kMemory);
 }
 
 TEST_F(TtlTest, ExpiryPurgesSsdCopyToo) {
   auto cm = make(/*ttl=*/50);
   cm->advance_time();
-  Micros t = 0;
+  Micros t = micros(0);
   // Get term 7 into the SSD list cache by flooding memory.
-  cm->fetch_list(7, &t);
-  for (TermId term = 100; term < 1'200; ++term) cm->fetch_list(term, &t);
-  ASSERT_FALSE(cm->mem_lists().contains(7));
-  if (!cm->ssd_lists()->contains(7)) {
+  cm->fetch_list(TermId{7}, &t);
+  for (TermId term = TermId{100}; term < TermId{1'200}; ++term) cm->fetch_list(term, &t);
+  ASSERT_FALSE(cm->mem_lists().contains(TermId{7}));
+  if (!cm->ssd_lists()->contains(TermId{7})) {
     GTEST_SKIP() << "term 7 was not admitted to the SSD in this setup";
   }
   tick(*cm, 100);  // well past TTL
-  EXPECT_EQ(cm->fetch_list(7, &t), Tier::kHdd);
-  EXPECT_FALSE(cm->ssd_lists()->contains(7));
+  EXPECT_EQ(cm->fetch_list(TermId{7}, &t), Tier::kHdd);
+  EXPECT_FALSE(cm->ssd_lists()->contains(TermId{7}));
 }
 
 TEST_F(TtlTest, BornCarriedThroughPromotion) {
   auto cm = make(/*ttl=*/30);
   cm->advance_time();
-  Micros t = 0;
-  cm->fetch_list(9, &t);  // born at time 1
-  for (TermId term = 100; term < 1'200; ++term) cm->fetch_list(term, &t);
-  if (!cm->ssd_lists()->contains(9)) {
+  Micros t = micros(0);
+  cm->fetch_list(TermId{9}, &t);  // born at time 1
+  for (TermId term = TermId{100}; term < TermId{1'200}; ++term) cm->fetch_list(term, &t);
+  if (!cm->ssd_lists()->contains(TermId{9})) {
     GTEST_SKIP() << "term 9 was not admitted to the SSD in this setup";
   }
   // Promote back from SSD at ~time 1101; the *original* born must stick,
   // so the entry expires at 1+30, not 1101+30.
-  const Tier tier = cm->fetch_list(9, &t);
+  const Tier tier = cm->fetch_list(TermId{9}, &t);
   ASSERT_EQ(tier, Tier::kSsd);
   tick(*cm, 40);
-  EXPECT_EQ(cm->fetch_list(9, &t), Tier::kHdd);
+  EXPECT_EQ(cm->fetch_list(TermId{9}, &t), Tier::kHdd);
   EXPECT_GE(cm->stats().lists_expired, 1u);
 }
 

@@ -1,0 +1,306 @@
+// Strong-type layer tests (DESIGN.md §16).
+//
+// Two halves. The compile-time half proves, via SFINAE detection and
+// type traits, that the ill-formed mixes really are ill-formed: Micros
+// plus a raw double or a Bytes count, cross-space id assignment and
+// comparison, implicit double→Micros narrowing — each rejected at
+// compile time, each a silent unit bug before the strong types landed.
+// The runtime half proves the wrappers are *only* types: tagged values
+// flowing through StreamingStats, LatencyHistogram, MetricsRegistry and
+// the JSON writer produce bit-identical results to the raw doubles and
+// integers they wrap (the pinned-fingerprint guarantee depends on it).
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/telemetry/json_writer.hpp"
+#include "src/telemetry/registry.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/types.hpp"
+
+namespace ssdse {
+namespace {
+
+// --- SFINAE probes ------------------------------------------------------
+
+template <class A, class B, class = void>
+struct CanAdd : std::false_type {};
+template <class A, class B>
+struct CanAdd<A, B,
+              std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanSubtract : std::false_type {};
+template <class A, class B>
+struct CanSubtract<
+    A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanMultiply : std::false_type {};
+template <class A, class B>
+struct CanMultiply<
+    A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanCompareEq : std::false_type {};
+template <class A, class B>
+struct CanCompareEq<
+    A, B, std::void_t<decltype(std::declval<A>() == std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanCompareLt : std::false_type {};
+template <class A, class B>
+struct CanCompareLt<
+    A, B, std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+template <class C, class I, class = void>
+struct CanIndex : std::false_type {};
+template <class C, class I>
+struct CanIndex<
+    C, I, std::void_t<decltype(std::declval<C&>()[std::declval<I>()])>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct CanPlusAssign : std::false_type {};
+template <class A, class B>
+struct CanPlusAssign<
+    A, B, std::void_t<decltype(std::declval<A&>() += std::declval<B>())>>
+    : std::true_type {};
+
+// --- Micros: legal surface ---------------------------------------------
+
+static_assert(CanAdd<Micros, Micros>::value);
+static_assert(CanSubtract<Micros, Micros>::value);
+static_assert(CanMultiply<Micros, double>::value);
+static_assert(CanMultiply<double, Micros>::value);
+static_assert(CanMultiply<Micros, Bytes>::value);  // per-unit cost × count
+static_assert(CanCompareEq<Micros, Micros>::value);
+static_assert(CanCompareLt<Micros, Micros>::value);
+static_assert(CanPlusAssign<Micros, Micros>::value);
+// Micros / Micros is a dimensionless ratio.
+static_assert(
+    std::is_same_v<decltype(std::declval<Micros>() / std::declval<Micros>()),
+                   double>);
+// Entry is explicit only.
+static_assert(std::is_constructible_v<Micros, double>);
+
+// --- Micros: ill-formed mixes ------------------------------------------
+
+static_assert(!CanAdd<Micros, double>::value);
+static_assert(!CanAdd<double, Micros>::value);
+static_assert(!CanAdd<Micros, Bytes>::value);  // time + bytes is nonsense
+static_assert(!CanAdd<Bytes, Micros>::value);
+static_assert(!CanSubtract<Micros, double>::value);
+static_assert(!CanPlusAssign<Micros, double>::value);
+static_assert(!CanPlusAssign<double, Micros>::value);
+static_assert(!CanCompareEq<Micros, double>::value);
+static_assert(!CanCompareLt<Micros, double>::value);
+// No implicit narrowing in either direction: the only exits are
+// .value() and the sanctioned overloads at histogram boundaries.
+static_assert(!std::is_convertible_v<double, Micros>);
+static_assert(!std::is_convertible_v<Micros, double>);
+static_assert(!std::is_assignable_v<Micros&, double>);
+
+// --- Tagged ids: legal surface -----------------------------------------
+
+static_assert(CanCompareEq<TermId, TermId>::value);
+static_assert(CanCompareLt<DocId, DocId>::value);
+static_assert(CanAdd<TermId, std::uint32_t>::value);  // affine: id + offset
+static_assert(
+    std::is_same_v<decltype(std::declval<DocId>() - std::declval<DocId>()),
+                   std::uint32_t>);  // affine: id − id = raw distance
+static_assert(std::is_constructible_v<TermId, std::uint32_t>);
+static_assert(std::is_constructible_v<QueryId, std::uint64_t>);
+
+// --- Tagged ids: cross-space mixes are ill-formed ----------------------
+
+static_assert(!std::is_assignable_v<TermId&, DocId>);
+static_assert(!std::is_assignable_v<DocId&, TermId>);
+static_assert(!std::is_assignable_v<QueryId&, DocId>);
+static_assert(!CanCompareEq<TermId, DocId>::value);
+static_assert(!CanCompareLt<DocId, QueryId>::value);
+static_assert(!CanAdd<TermId, DocId>::value);
+static_assert(!CanSubtract<TermId, DocId>::value);
+// No implicit raw-integer bridge in either direction.
+static_assert(!std::is_convertible_v<std::uint32_t, TermId>);
+static_assert(!std::is_convertible_v<TermId, std::uint32_t>);
+static_assert(!std::is_assignable_v<TermId&, std::uint32_t>);
+// Ids are positions, not quantities: no +=, no id + id.
+static_assert(!CanPlusAssign<TermId, std::uint32_t>::value);
+static_assert(!CanAdd<TermId, TermId>::value);
+
+// --- IdVector: only its own id space indexes ---------------------------
+
+static_assert(CanIndex<IdVector<DocId, int>, DocId>::value);
+static_assert(!CanIndex<IdVector<DocId, int>, TermId>::value);
+static_assert(!CanIndex<IdVector<DocId, int>, std::size_t>::value);
+static_assert(!CanIndex<IdVector<DocId, int>, int>::value);
+static_assert(CanIndex<IdVector<TermId, double>, TermId>::value);
+static_assert(!CanIndex<IdVector<TermId, double>, DocId>::value);
+
+// --- Micros runtime: wrapper arithmetic is the raw arithmetic ----------
+
+TEST(MicrosTest, EntryHelpersAndRoundTrip) {
+  EXPECT_EQ(micros(123.5).value(), 123.5);
+  EXPECT_EQ(ms(2).value(), 2'000.0);
+  EXPECT_EQ(sec(3).value(), 3'000'000.0);
+  EXPECT_EQ(kMillisecond, ms(1));
+  EXPECT_EQ(kSecond, sec(1));
+  EXPECT_EQ(Micros{}.value(), 0.0);
+}
+
+TEST(MicrosTest, ArithmeticIsBitIdenticalToRawDoubles) {
+  // Same IEEE ops in the same order: the wrapper must add nothing.
+  const double xs[] = {0.0, 1.5, 3.7e5, 1e-3, 8'191.25};
+  double raw = 0.0;
+  Micros typed{};
+  for (const double x : xs) {
+    raw += x * 3.0 + (x / 7.0);
+    typed += micros(x) * 3.0 + (micros(x) / 7.0);
+  }
+  EXPECT_EQ(typed.value(), raw);  // exact, not approximate
+  EXPECT_EQ((micros(5.5) - micros(1.25)).value(), 5.5 - 1.25);
+  EXPECT_EQ((-micros(4.0)).value(), -4.0);
+  EXPECT_EQ(micros(9.0) / micros(2.0), 9.0 / 2.0);
+}
+
+TEST(MicrosTest, ComparisonsMatchRaw) {
+  EXPECT_TRUE(micros(1) < micros(2));
+  EXPECT_TRUE(micros(2) >= micros(2));
+  EXPECT_TRUE(micros(3) == micros(3));
+  EXPECT_TRUE(Micros{} < micros(0.1));
+}
+
+// --- Tagged ids runtime ------------------------------------------------
+
+TEST(TaggedIdTest, RawRoundTripAndEnumeration) {
+  TermId t{41};
+  EXPECT_EQ(t.raw(), 41u);
+  EXPECT_EQ((++t).raw(), 42u);
+  EXPECT_EQ((t++).raw(), 42u);  // postfix yields the old value
+  EXPECT_EQ(t.raw(), 43u);
+  EXPECT_EQ((t + 7).raw(), 50u);
+  EXPECT_EQ(TermId{50} - TermId{43}, 7u);
+}
+
+TEST(TaggedIdTest, HashMatchesRawHashAndWorksInMaps) {
+  EXPECT_EQ(std::hash<DocId>{}(DocId{99}),
+            std::hash<std::uint32_t>{}(99u));
+  EXPECT_EQ(std::hash<QueryId>{}(QueryId{1ull << 40}),
+            std::hash<std::uint64_t>{}(1ull << 40));
+  std::unordered_map<DocId, int> m;
+  m[DocId{3}] = 30;
+  m[DocId{4}] = 40;
+  EXPECT_EQ(m.at(DocId{3}), 30);
+  EXPECT_EQ(m.count(DocId{5}), 0u);
+}
+
+TEST(TaggedIdTest, IdVectorSurface) {
+  IdVector<DocId, int> v(3, 7);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[DocId{2}], 7);
+  EXPECT_TRUE(v.contains(DocId{2}));
+  EXPECT_FALSE(v.contains(DocId{3}));
+  EXPECT_EQ(v.end_id(), DocId{3});
+  v.push_back(9);
+  EXPECT_EQ(v[DocId{3}], 9);
+  int sum = 0;
+  for (DocId d{}; d != v.end_id(); ++d) sum += v[d];
+  EXPECT_EQ(sum, 30);
+  // Adopting a raw mirror vector: position i becomes the slot of Id{i}.
+  IdVector<TermId, int> adopted(std::vector<int>{5, 6});
+  EXPECT_EQ(adopted[TermId{1}], 6);
+}
+
+// --- Telemetry boundaries: tagged in == raw in -------------------------
+
+TEST(TypeBoundaryTest, StreamingStatsIdenticalForMicrosAndRaw) {
+  StreamingStats typed, raw;
+  const double xs[] = {12.5, 900.0, 33.25, 1e6, 0.125};
+  for (const double x : xs) {
+    typed.add(micros(x));
+    raw.add(x);
+  }
+  EXPECT_EQ(typed.count(), raw.count());
+  EXPECT_EQ(typed.sum(), raw.sum());
+  EXPECT_EQ(typed.mean(), raw.mean());
+  EXPECT_EQ(typed.variance(), raw.variance());
+  EXPECT_EQ(typed.min(), raw.min());
+  EXPECT_EQ(typed.max(), raw.max());
+}
+
+TEST(TypeBoundaryTest, LatencyHistogramIdenticalForMicrosAndRaw) {
+  LatencyHistogram typed, raw;
+  for (int i = 1; i <= 2'000; ++i) {
+    const double x = 0.5 * i;
+    typed.add(micros(x));
+    raw.add(x);
+  }
+  EXPECT_EQ(typed.count(), raw.count());
+  EXPECT_EQ(typed.mean(), raw.mean());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(typed.quantile(q), raw.quantile(q));
+  }
+  EXPECT_EQ(typed.summary(), raw.summary());
+}
+
+TEST(TypeBoundaryTest, RegistrySnapshotIdenticalForMicrosAndRaw) {
+  LatencyHistogram typed_h, raw_h;
+  for (int i = 1; i <= 500; ++i) {
+    typed_h.add(ms(i));
+    raw_h.add(1'000.0 * i);
+  }
+  telemetry::MetricsRegistry typed_reg, raw_reg;
+  typed_reg.histogram("query.latency.us", &typed_h);
+  raw_reg.histogram("query.latency.us", &raw_h);
+  const Micros build_time = ms(42);
+  typed_reg.gauge_value("index.build.us", build_time.value());
+  raw_reg.gauge_value("index.build.us", 42'000.0);
+
+  const auto typed_snap = typed_reg.snapshot();
+  const auto raw_snap = raw_reg.snapshot();
+  ASSERT_EQ(typed_snap.metrics().size(), raw_snap.metrics().size());
+  const auto* th = typed_snap.find("query.latency.us");
+  const auto* rh = raw_snap.find("query.latency.us");
+  ASSERT_NE(th, nullptr);
+  ASSERT_NE(rh, nullptr);
+  EXPECT_EQ(th->hist.count(), rh->hist.count());
+  EXPECT_EQ(th->hist.quantile(0.99), rh->hist.quantile(0.99));
+  const auto* tg = typed_snap.find("index.build.us");
+  const auto* rg = raw_snap.find("index.build.us");
+  ASSERT_NE(tg, nullptr);
+  ASSERT_NE(rg, nullptr);
+  EXPECT_EQ(tg->gauge.mean(), rg->gauge.mean());
+}
+
+TEST(TypeBoundaryTest, JsonReportIdenticalForMicrosAndRaw) {
+  const Micros latency = micros(1'234.5);
+  const QueryId qid{77};
+  telemetry::JsonWriter typed, raw;
+  typed.begin_object();
+  typed.key("query_id");
+  typed.value(qid.raw());
+  typed.key("response_us");
+  typed.value(latency.value());
+  typed.end_object();
+  raw.begin_object();
+  raw.key("query_id");
+  raw.value(std::uint64_t{77});
+  raw.key("response_us");
+  raw.value(1'234.5);
+  raw.end_object();
+  EXPECT_EQ(typed.str(), raw.str());
+}
+
+}  // namespace
+}  // namespace ssdse

@@ -22,7 +22,7 @@ TEST(QueryLogTest, QueryForRankDeterministic) {
   for (std::uint64_t r : {0ull, 1ull, 77ull, 9999ull}) {
     const Query qa = a.query_for_rank(r);
     const Query qb = b.query_for_rank(r);
-    EXPECT_EQ(qa.id, r);
+    EXPECT_EQ(qa.id.raw(), r);
     EXPECT_EQ(qa.terms, qb.terms);
   }
 }
@@ -33,7 +33,7 @@ TEST(QueryLogTest, TermCountWithinBounds) {
     const Query q = gen.next();
     EXPECT_GE(q.terms.size(), 1u);
     EXPECT_LE(q.terms.size(), 4u);
-    for (TermId t : q.terms) EXPECT_LT(t, 5'000u);
+    for (TermId t : q.terms) EXPECT_LT(t, TermId{5'000u});
   }
 }
 
@@ -52,7 +52,7 @@ TEST(QueryLogTest, TermsWithinQueryAreDistinct) {
 TEST(QueryLogTest, PopularQueriesRepeat) {
   QueryLogGenerator gen(small_log());
   Counter freq;
-  for (int i = 0; i < 20'000; ++i) freq.add(gen.next().id);
+  for (int i = 0; i < 20'000; ++i) freq.add(gen.next().id.raw());
   const auto sorted = freq.sorted();
   // Zipf: the hottest distinct query must repeat many times while the
   // tail is mostly singletons.
@@ -66,7 +66,7 @@ TEST(QueryLogTest, TermAccessFrequencyZipfLike) {
   QueryLogGenerator gen(small_log());
   Counter freq;
   for (int i = 0; i < 20'000; ++i) {
-    for (TermId t : gen.next().terms) freq.add(t);
+    for (TermId t : gen.next().terms) freq.add(t.raw());
   }
   const auto sorted = freq.sorted();
   // Head term dominates the median term by a large factor (Fig. 3b).
@@ -84,8 +84,8 @@ TEST(QueryLogTest, AliasSamplerKeepsDistributionShape) {
     EXPECT_GE(q.terms.size(), 1u);
     EXPECT_LE(q.terms.size(), 4u);
     for (TermId t : q.terms) {
-      EXPECT_LT(t, cfg.vocab_size);
-      freq.add(t);
+      EXPECT_LT(t, TermId{cfg.vocab_size});
+      freq.add(t.raw());
     }
   }
   // Same Zipf-like shape as the default sampler (Fig. 3b): the head

@@ -14,9 +14,9 @@ CachedResult cached(QueryId qid, std::uint64_t freq = 1) {
 
 TEST(WriteBufferTest, GroupsAtConfiguredSize) {
   WriteBuffer wb(3);
-  EXPECT_FALSE(wb.push(cached(1)).has_value());
-  EXPECT_FALSE(wb.push(cached(2)).has_value());
-  auto group = wb.push(cached(3));
+  EXPECT_FALSE(wb.push(cached(QueryId{1})).has_value());
+  EXPECT_FALSE(wb.push(cached(QueryId{2})).has_value());
+  auto group = wb.push(cached(QueryId{3}));
   ASSERT_TRUE(group.has_value());
   EXPECT_EQ(group->size(), 3u);
   EXPECT_EQ(wb.size(), 0u);
@@ -25,43 +25,43 @@ TEST(WriteBufferTest, GroupsAtConfiguredSize) {
 
 TEST(WriteBufferTest, DuplicatePushKeepsNewest) {
   WriteBuffer wb(3);
-  wb.push(cached(1, 5));
-  wb.push(cached(1, 2));
+  wb.push(cached(QueryId{1}, 5));
+  wb.push(cached(QueryId{1}, 2));
   EXPECT_EQ(wb.size(), 1u);
-  auto taken = wb.take(1);
+  auto taken = wb.take(QueryId{1});
   ASSERT_TRUE(taken.has_value());
   EXPECT_EQ(taken->freq, 5u);  // larger frequency preserved
 }
 
 TEST(WriteBufferTest, TakeRemovesAndCounts) {
   WriteBuffer wb(4);
-  wb.push(cached(1));
-  wb.push(cached(2));
-  EXPECT_TRUE(wb.contains(1));
-  auto taken = wb.take(1);
+  wb.push(cached(QueryId{1}));
+  wb.push(cached(QueryId{2}));
+  EXPECT_TRUE(wb.contains(QueryId{1}));
+  auto taken = wb.take(QueryId{1});
   ASSERT_TRUE(taken.has_value());
-  EXPECT_EQ(taken->entry.query, 1u);
-  EXPECT_FALSE(wb.contains(1));
+  EXPECT_EQ(taken->entry.query.raw(), 1u);
+  EXPECT_FALSE(wb.contains(QueryId{1}));
   EXPECT_EQ(wb.size(), 1u);
   EXPECT_EQ(wb.stats().buffer_hits, 1u);
-  EXPECT_FALSE(wb.take(1).has_value());
+  EXPECT_FALSE(wb.take(QueryId{1}).has_value());
 }
 
 TEST(WriteBufferTest, CancelDropsWithoutFlush) {
   WriteBuffer wb(2);
-  wb.push(cached(1));
-  EXPECT_TRUE(wb.cancel(1));
-  EXPECT_FALSE(wb.cancel(1));
+  wb.push(cached(QueryId{1}));
+  EXPECT_TRUE(wb.cancel(QueryId{1}));
+  EXPECT_FALSE(wb.cancel(QueryId{1}));
   EXPECT_EQ(wb.size(), 0u);
   EXPECT_EQ(wb.stats().cancelled, 1u);
   // The next push does not form a group (buffer was emptied).
-  EXPECT_FALSE(wb.push(cached(2)).has_value());
+  EXPECT_FALSE(wb.push(cached(QueryId{2})).has_value());
 }
 
 TEST(WriteBufferTest, DrainReturnsShortGroup) {
   WriteBuffer wb(6);
-  wb.push(cached(1));
-  wb.push(cached(2));
+  wb.push(cached(QueryId{1}));
+  wb.push(cached(QueryId{2}));
   auto rest = wb.drain();
   EXPECT_EQ(rest.size(), 2u);
   EXPECT_EQ(wb.size(), 0u);
@@ -70,36 +70,36 @@ TEST(WriteBufferTest, DrainReturnsShortGroup) {
 
 TEST(WriteBufferTest, GroupSizeOneFlushesImmediately) {
   WriteBuffer wb(1);
-  auto group = wb.push(cached(9));
+  auto group = wb.push(cached(QueryId{9}));
   ASSERT_TRUE(group.has_value());
   EXPECT_EQ(group->size(), 1u);
 }
 
 TEST(WriteBufferTest, StatsCountBuffered) {
   WriteBuffer wb(10);
-  for (QueryId q = 0; q < 5; ++q) wb.push(cached(q));
+  for (QueryId q{}; q < QueryId{5}; ++q) wb.push(cached(q));
   EXPECT_EQ(wb.stats().buffered, 5u);
 }
 
 TEST(WriteBufferTest, DrainPartialRbResetsGrouping) {
   WriteBuffer wb(6);
-  for (QueryId q = 0; q < 4; ++q) wb.push(cached(q));
+  for (QueryId q{}; q < QueryId{4}; ++q) wb.push(cached(q));
   auto rest = wb.drain();  // partial RB: 4 of 6 slots
   EXPECT_EQ(rest.size(), 4u);
   EXPECT_EQ(wb.stats().flush_groups, 1u);
   // The group counter starts over: the next full group needs 6 fresh
   // entries, not 2.
-  for (QueryId q = 10; q < 15; ++q) {
+  for (QueryId q = QueryId{10}; q < QueryId{15}; ++q) {
     EXPECT_FALSE(wb.push(cached(q)).has_value());
   }
-  auto group = wb.push(cached(15));
+  auto group = wb.push(cached(QueryId{15}));
   ASSERT_TRUE(group.has_value());
   EXPECT_EQ(group->size(), 6u);
 }
 
 TEST(WriteBufferTest, DrainTwiceSecondIsEmptyAndUncounted) {
   WriteBuffer wb(6);
-  wb.push(cached(1));
+  wb.push(cached(QueryId{1}));
   EXPECT_EQ(wb.drain().size(), 1u);
   EXPECT_TRUE(wb.drain().empty());
   EXPECT_TRUE(wb.drain().empty());
@@ -109,28 +109,28 @@ TEST(WriteBufferTest, DrainTwiceSecondIsEmptyAndUncounted) {
 
 TEST(WriteBufferTest, DrainInterleavedWithEvictions) {
   WriteBuffer wb(6);
-  wb.push(cached(1));
-  wb.push(cached(2));
-  wb.push(cached(3));
-  wb.take(2);    // read back to L1 (buffer hit)
-  wb.cancel(1);  // SSD copy resurrected instead
+  wb.push(cached(QueryId{1}));
+  wb.push(cached(QueryId{2}));
+  wb.push(cached(QueryId{3}));
+  wb.take(QueryId{2});    // read back to L1 (buffer hit)
+  wb.cancel(QueryId{1});  // SSD copy resurrected instead
   auto rest = wb.drain();
   ASSERT_EQ(rest.size(), 1u);
-  EXPECT_EQ(rest[0].entry.query, 3u);
+  EXPECT_EQ(rest[0].entry.query, QueryId{3});
   EXPECT_EQ(wb.stats().buffer_hits, 1u);
   EXPECT_EQ(wb.stats().cancelled, 1u);
   // Drained entries are gone for good: no stale probes.
-  EXPECT_FALSE(wb.contains(3));
-  EXPECT_FALSE(wb.take(3).has_value());
+  EXPECT_FALSE(wb.contains(QueryId{3}));
+  EXPECT_FALSE(wb.take(QueryId{3}).has_value());
 }
 
 TEST(WriteBufferTest, DrainKeepsMergedDuplicateState) {
   WriteBuffer wb(6);
-  wb.push(cached(7, 9));
-  wb.push(cached(7, 4));  // re-eviction merges into one slot
+  wb.push(cached(QueryId{7}, 9));
+  wb.push(cached(QueryId{7}, 4));  // re-eviction merges into one slot
   auto rest = wb.drain();
   ASSERT_EQ(rest.size(), 1u);
-  EXPECT_EQ(rest[0].entry.query, 7u);
+  EXPECT_EQ(rest[0].entry.query, QueryId{7});
   EXPECT_EQ(rest[0].freq, 9u);  // max frequency survives the merge
 }
 
